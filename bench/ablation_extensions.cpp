@@ -1,0 +1,58 @@
+// Ablation for the paper's Section V future-work engine extensions,
+// implemented in this library: boundary bucket initialization, early pass
+// exit, and fast pass reinitialization. Reports the quality/runtime effect
+// of each against the baseline FM engine inside ML.
+#include <random>
+
+#include "bench_common.h"
+#include "core/multilevel.h"
+#include "refine/multistart.h"
+
+using namespace mlpart;
+
+int main() {
+    const BenchEnv env = benchEnv(/*defaultRuns=*/10, /*defaultScale=*/0.5);
+    bench::printHeader("Ablation: engine extensions (boundary / early-exit / fast-init)", env);
+
+    struct Variant {
+        const char* name;
+        FMConfig cfg;
+    };
+    std::vector<Variant> variants(4);
+    variants[0].name = "base";
+    variants[1].name = "boundary";
+    variants[1].cfg.boundaryInit = true;
+    variants[2].name = "early-exit";
+    variants[2].cfg.earlyExitFraction = 0.25;
+    variants[3].name = "fast-init";
+    variants[3].cfg.fastPassInit = true;
+
+    Table t({"Test", "AVG base", "AVG bdry", "AVG early", "AVG fast", "CPU base", "CPU bdry",
+             "CPU early", "CPU fast"});
+    for (const std::string& name : bench::suiteFor(env)) {
+        const Hypergraph h = benchmarkInstance(name, env.scale);
+        std::vector<double> avg, cpu;
+        for (const Variant& variant : variants) {
+            MLConfig cfg;
+            MultilevelPartitioner ml(cfg, makeFMFactory(variant.cfg));
+            std::mt19937_64 rng(0xAB2);
+            RunStats stats;
+            Stopwatch w;
+            for (int run = 0; run < env.runs; ++run)
+                stats.add(static_cast<double>(ml.run(h, rng).cut));
+            avg.push_back(stats.mean());
+            cpu.push_back(w.seconds());
+        }
+        t.addRow({name, Table::cell(avg[0], 1), Table::cell(avg[1], 1), Table::cell(avg[2], 1),
+                  Table::cell(avg[3], 1), Table::cell(cpu[0], 2), Table::cell(cpu[1], 2),
+                  Table::cell(cpu[2], 2), Table::cell(cpu[3], 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nExpected: fast-init matches base quality exactly (bit-identical\n"
+                 "algorithm; its CPU effect depends on how many modules move per pass —\n"
+                 "the dirty-marking overhead can cancel the pass-start savings). The\n"
+                 "boundary variant matches or slightly improves quality (the paper's\n"
+                 "Section V conjecture: \"may even enhance solution quality\");\n"
+                 "early-exit cuts CPU roughly in half for a modest quality cost.\n";
+    return 0;
+}

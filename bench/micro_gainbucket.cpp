@@ -1,0 +1,92 @@
+// Microbenchmarks for the FM gain-bucket structure: the O(1) operation
+// costs that make FM linear-time per pass, across the three bucket
+// organizations, plus the CLIP concatenation preprocessing step.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "refine/gain_bucket.h"
+
+using namespace mlpart;
+
+namespace {
+
+constexpr ModuleId kModules = 100000;
+constexpr Weight kMaxGain = 64;
+
+BucketPolicy policyFor(std::int64_t i) {
+    switch (i) {
+        case 0: return BucketPolicy::kLifo;
+        case 1: return BucketPolicy::kFifo;
+        default: return BucketPolicy::kRandom;
+    }
+}
+
+void BM_InsertAll(benchmark::State& state) {
+    const BucketPolicy policy = policyFor(state.range(0));
+    std::mt19937_64 rng(1);
+    std::vector<Weight> gains(kModules);
+    for (auto& g : gains) g = static_cast<Weight>(rng() % (2 * kMaxGain + 1)) - kMaxGain;
+    for (auto _ : state) {
+        GainBucketArray b(kModules, kMaxGain, false, policy);
+        for (ModuleId v = 0; v < kModules; ++v) b.insert(v, gains[static_cast<std::size_t>(v)]);
+        benchmark::DoNotOptimize(b.maxGain());
+    }
+    state.SetItemsProcessed(state.iterations() * kModules);
+}
+BENCHMARK(BM_InsertAll)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_AdjustGain(benchmark::State& state) {
+    const BucketPolicy policy = policyFor(state.range(0));
+    std::mt19937_64 rng(2);
+    GainBucketArray b(kModules, kMaxGain, false, policy);
+    for (ModuleId v = 0; v < kModules; ++v)
+        b.insert(v, static_cast<Weight>(rng() % (2 * kMaxGain + 1)) - kMaxGain);
+    std::vector<std::pair<ModuleId, Weight>> ops(1 << 16);
+    for (auto& op : ops) {
+        op.first = static_cast<ModuleId>(rng() % kModules);
+        op.second = static_cast<Weight>(rng() % 7) - 3;
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& op = ops[i++ & (ops.size() - 1)];
+        b.adjustGain(op.first, op.second);
+        benchmark::DoNotOptimize(b.gain(op.first));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdjustGain)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SelectBest(benchmark::State& state) {
+    const BucketPolicy policy = policyFor(state.range(0));
+    std::mt19937_64 rng(3);
+    GainBucketArray b(kModules, kMaxGain, false, policy);
+    for (ModuleId v = 0; v < kModules; ++v)
+        b.insert(v, static_cast<Weight>(rng() % (2 * kMaxGain + 1)) - kMaxGain);
+    for (auto _ : state) {
+        const ModuleId v = b.selectBest([](ModuleId) { return true; }, rng);
+        benchmark::DoNotOptimize(v);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectBest)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ClipConcatenate(benchmark::State& state) {
+    std::mt19937_64 rng(4);
+    for (auto _ : state) {
+        state.PauseTiming();
+        GainBucketArray b(kModules, kMaxGain, true, BucketPolicy::kLifo);
+        for (ModuleId v = 0; v < kModules; ++v)
+            b.insert(v, static_cast<Weight>(rng() % (2 * kMaxGain + 1)) - kMaxGain);
+        state.ResumeTiming();
+        b.clipConcatenate();
+        benchmark::DoNotOptimize(b.maxGain());
+    }
+    state.SetItemsProcessed(state.iterations() * kModules);
+}
+BENCHMARK(BM_ClipConcatenate);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Top-down placement flow built on multilevel quadrisection — the
+// application the paper's Section IV.D motivates ("our work in multilevel
+// quadrisection has been used as the basis for an effective cell
+// placement package").
+//
+// Runs the library's quadrisection-driven standard-cell placer
+// (placement/topdown_placer.h) on a synthetic circuit and compares its
+// half-perimeter wirelength against a flat GORDIAN-style quadratic
+// placement and a random placement.
+//
+//   $ ./placement_flow [modules] [levels]
+#include <iostream>
+#include <random>
+#include <string>
+
+#include "gen/rent_generator.h"
+#include "placement/quadratic_placer.h"
+#include "placement/topdown_placer.h"
+
+using namespace mlpart;
+
+int main(int argc, char** argv) {
+    const ModuleId modules = argc > 1 ? static_cast<ModuleId>(std::stol(argv[1])) : 3000;
+    const int levels = argc > 2 ? std::stoi(argv[2]) : 3;
+
+    RentConfig gen;
+    gen.numModules = modules;
+    gen.numNets = modules;
+    gen.pinsPerNet = 3.0;
+    gen.seed = 11;
+    const Hypergraph h = generateRentCircuit(gen);
+    std::mt19937_64 rng(11);
+
+    std::cout << "top-down ML quadrisection placement: " << modules << " cells, " << levels
+              << " levels (" << (1 << levels) << "x" << (1 << levels) << " bins)\n";
+
+    TopDownPlacerConfig cfg;
+    cfg.levels = levels;
+    const TopDownPlacement placed = placeTopDown(h, cfg, rng);
+    std::cout << "  rows: " << placed.gridSize << ", HPWL: " << placed.hpwl << "\n";
+
+    // Baseline 1: flat GORDIAN-style quadratic placement with pseudo-pads,
+    // scaled to the same chip span for a fair HPWL comparison.
+    auto pads = choosePeripheralPads(h, 64, rng);
+    PlacementResult analytic = QuadraticPlacer(h, pads).place();
+    for (double& v : analytic.x) v *= placed.gridSize;
+    for (double& v : analytic.y) v *= placed.gridSize;
+    const double hpwlAnalytic = halfPerimeterWirelength(h, analytic.x, analytic.y);
+
+    // Baseline 2: random placement on the same chip.
+    std::vector<double> rx(static_cast<std::size_t>(h.numModules()));
+    std::vector<double> ry(rx.size());
+    std::uniform_real_distribution<double> u(0.0, static_cast<double>(placed.gridSize));
+    for (std::size_t i = 0; i < rx.size(); ++i) {
+        rx[i] = u(rng);
+        ry[i] = u(rng);
+    }
+    const double hpwlRandom = halfPerimeterWirelength(h, rx, ry);
+
+    std::cout << "\nHPWL comparison (same " << placed.gridSize << "x" << placed.gridSize
+              << " chip):\n"
+              << "  top-down ML quadrisection (legal rows): " << placed.hpwl << "\n"
+              << "  flat quadratic placement (overlapping): " << hpwlAnalytic << "\n"
+              << "  random placement:                       " << hpwlRandom << "\n"
+              << "\nThe analytic optimum clusters cells near the pads' centroid and is\n"
+                 "not legal (cells overlap); the top-down flow yields a legal row\n"
+                 "placement at a fraction of random's wirelength.\n";
+    return 0;
+}

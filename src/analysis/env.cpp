@@ -1,0 +1,36 @@
+#include "analysis/env.h"
+
+#include <cstdlib>
+
+namespace mlpart {
+
+std::int64_t envInt(const std::string& name, std::int64_t def) {
+    const char* s = std::getenv(name.c_str());
+    if (s == nullptr || *s == '\0') return def;
+    char* end = nullptr;
+    const long long v = std::strtoll(s, &end, 10);
+    if (end == s) return def;
+    return static_cast<std::int64_t>(v);
+}
+
+double envDouble(const std::string& name, double def) {
+    const char* s = std::getenv(name.c_str());
+    if (s == nullptr || *s == '\0') return def;
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s) return def;
+    return v;
+}
+
+BenchEnv benchEnv(int defaultRuns, double defaultScale) {
+    BenchEnv e{};
+    e.full = envInt("MLPART_FULL", 0) != 0;
+    e.runs = static_cast<int>(envInt("MLPART_RUNS", e.full ? 100 : defaultRuns));
+    e.scale = envDouble("MLPART_SCALE", e.full ? 1.0 : defaultScale);
+    if (e.runs < 1) e.runs = 1;
+    if (e.scale <= 0.0) e.scale = defaultScale;
+    if (e.scale > 1.0) e.scale = 1.0;
+    return e;
+}
+
+} // namespace mlpart

@@ -1,0 +1,34 @@
+// Environment-variable knobs shared by the bench harnesses so that
+// `for b in build/bench/*; do $b; done` completes quickly by default yet
+// can be scaled up to the paper's full protocol.
+//
+//   MLPART_RUNS   — multi-start runs per (algorithm, circuit) cell
+//   MLPART_SCALE  — scale factor (0 < s <= 1] applied to benchmark sizes
+//   MLPART_FULL=1 — shorthand for the paper's protocol (100 runs, scale 1)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mlpart {
+
+/// Reads an integer environment variable, returning `def` when unset or
+/// malformed.
+[[nodiscard]] std::int64_t envInt(const std::string& name, std::int64_t def);
+
+/// Reads a double environment variable, returning `def` when unset or
+/// malformed.
+[[nodiscard]] double envDouble(const std::string& name, double def);
+
+/// Bench configuration resolved from the environment.
+struct BenchEnv {
+    int runs;       ///< runs per cell (paper: 100)
+    double scale;   ///< circuit size scale (paper: 1.0)
+    bool full;      ///< MLPART_FULL=1
+};
+
+/// Resolves {MLPART_RUNS, MLPART_SCALE, MLPART_FULL} with the given
+/// defaults for quick mode.
+[[nodiscard]] BenchEnv benchEnv(int defaultRuns, double defaultScale);
+
+} // namespace mlpart

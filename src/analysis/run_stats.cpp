@@ -1,0 +1,21 @@
+#include "analysis/run_stats.h"
+
+#include <algorithm>
+
+namespace mlpart {
+
+void RunStats::add(double x) {
+    ++n_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunStats::stddev() const {
+    if (n_ < 1) return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_));
+}
+
+} // namespace mlpart

@@ -1,0 +1,49 @@
+// Accumulation of per-run results into min / avg / standard deviation —
+// the three figures every table in the paper reports — plus a wall-clock
+// stopwatch for the CPU columns.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mlpart {
+
+/// Online accumulator for min, max, mean, and (population) standard
+/// deviation of a sequence of observations, via Welford's algorithm.
+class RunStats {
+public:
+    void add(double x);
+
+    [[nodiscard]] std::int64_t count() const { return n_; }
+    [[nodiscard]] double min() const { return min_; }
+    [[nodiscard]] double max() const { return max_; }
+    [[nodiscard]] double mean() const { return mean_; }
+    /// Population standard deviation (the paper's STD columns).
+    [[nodiscard]] double stddev() const;
+
+private:
+    std::int64_t n_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/// Wall-clock stopwatch; starts running on construction.
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+    void restart() { start_ = clock::now(); }
+    /// Elapsed seconds since construction/restart.
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace mlpart

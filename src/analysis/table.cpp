@@ -1,0 +1,56 @@
+#include "analysis/table.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mlpart {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::addRow(std::vector<std::string> row) {
+    if (row.size() != header_.size()) throw std::invalid_argument("Table: row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& out) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0) out << "  ";
+            if (c == 0)
+                out << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+            else
+                out << std::right << std::setw(static_cast<int>(width[c])) << row[c];
+        }
+        out << '\n';
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c > 0 ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::toString() const {
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+std::string Table::cell(double x, int prec) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << x;
+    return os.str();
+}
+
+std::string Table::cell(std::int64_t x) { return std::to_string(x); }
+
+} // namespace mlpart

@@ -1,0 +1,34 @@
+// Minimal fixed-width table printer for the bench harnesses, producing
+// rows in the style of the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mlpart {
+
+/// Builds a text table with a header row and fixed-width, right-aligned
+/// numeric columns (first column left-aligned). Cells are strings; use
+/// cell() helpers for numbers.
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Appends a row; must have the same number of cells as the header.
+    void addRow(std::vector<std::string> row);
+
+    /// Renders with column separators and a header underline.
+    void print(std::ostream& out) const;
+    [[nodiscard]] std::string toString() const;
+
+    /// Formats a double with `prec` digits after the point.
+    static std::string cell(double x, int prec = 1);
+    static std::string cell(std::int64_t x);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mlpart

@@ -1,0 +1,30 @@
+#include "coarsen/clustering.h"
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mlpart {
+
+void validateClustering(const Hypergraph& h, const Clustering& c) {
+    if (c.clusterOf.size() != static_cast<std::size_t>(h.numModules()))
+        throw std::invalid_argument("validateClustering: size mismatch");
+    std::vector<char> seen(static_cast<std::size_t>(c.numClusters), 0);
+    for (ModuleId cl : c.clusterOf) {
+        if (cl < 0 || cl >= c.numClusters)
+            throw std::invalid_argument("validateClustering: cluster id out of range");
+        seen[static_cast<std::size_t>(cl)] = 1;
+    }
+    for (char s : seen)
+        if (!s) throw std::invalid_argument("validateClustering: cluster ids not dense");
+}
+
+Clustering identityClustering(const Hypergraph& h) {
+    Clustering c;
+    c.clusterOf.resize(static_cast<std::size_t>(h.numModules()));
+    std::iota(c.clusterOf.begin(), c.clusterOf.end(), 0);
+    c.numClusters = h.numModules();
+    return c;
+}
+
+} // namespace mlpart

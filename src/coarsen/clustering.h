@@ -1,0 +1,28 @@
+// Clustering representation shared by the matching algorithms and the
+// Induce/Project coarsening machinery (paper Definitions 1 and 2).
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/types.h"
+
+namespace mlpart {
+
+/// A k-way clustering P^k of a hypergraph: every module belongs to exactly
+/// one cluster; cluster ids are dense in [0, numClusters).
+struct Clustering {
+    std::vector<ModuleId> clusterOf; ///< per module
+    ModuleId numClusters = 0;
+
+    [[nodiscard]] ModuleId numModules() const { return static_cast<ModuleId>(clusterOf.size()); }
+};
+
+/// Validates density and range of cluster ids; throws std::invalid_argument
+/// on violation. Used at the Induce boundary and in tests.
+void validateClustering(const Hypergraph& h, const Clustering& c);
+
+/// Identity clustering (every module its own cluster).
+[[nodiscard]] Clustering identityClustering(const Hypergraph& h);
+
+} // namespace mlpart

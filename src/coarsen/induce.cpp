@@ -1,0 +1,40 @@
+#include "coarsen/induce.h"
+
+#include <vector>
+
+#include "hypergraph/builder.h"
+
+namespace mlpart {
+
+Hypergraph induce(const Hypergraph& h, const Clustering& c) {
+    validateClustering(h, c);
+    HypergraphBuilder b(c.numClusters, 0);
+
+    // Cluster areas are the sums of member areas.
+    std::vector<Area> areas(static_cast<std::size_t>(c.numClusters), 0);
+    for (ModuleId v = 0; v < h.numModules(); ++v)
+        areas[static_cast<std::size_t>(c.clusterOf[static_cast<std::size_t>(v)])] += h.area(v);
+    for (ModuleId cl = 0; cl < c.numClusters; ++cl) b.setArea(cl, areas[static_cast<std::size_t>(cl)]);
+
+    // Map each net through the clustering; the builder dedupes pins within
+    // a net, drops |e*| < 2 nets, and merges identical nets (weights sum).
+    std::vector<ModuleId> coarsePins;
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        coarsePins.clear();
+        for (ModuleId v : h.pins(e))
+            coarsePins.push_back(c.clusterOf[static_cast<std::size_t>(v)]);
+        b.addNet(coarsePins, h.netWeight(e));
+    }
+    return std::move(b).build();
+}
+
+Partition project(const Hypergraph& fine, const Clustering& c, const Partition& coarse) {
+    validateClustering(fine, c);
+    std::vector<PartId> assignment(static_cast<std::size_t>(fine.numModules()));
+    for (ModuleId v = 0; v < fine.numModules(); ++v)
+        assignment[static_cast<std::size_t>(v)] =
+            coarse.part(c.clusterOf[static_cast<std::size_t>(v)]);
+    return {fine, coarse.numParts(), std::move(assignment)};
+}
+
+} // namespace mlpart

@@ -1,0 +1,24 @@
+// Induce and Project: the coarsening/uncoarsening primitives of the
+// multilevel paradigm (paper Definitions 1 and 2).
+#pragma once
+
+#include "coarsen/clustering.h"
+#include "hypergraph/partition.h"
+
+namespace mlpart {
+
+/// Definition 1: the coarser netlist induced by a clustering. For every
+/// net e of `h`, the coarse net e* spans the clusters touched by e; nets
+/// with |e*| = 1 vanish. Cluster areas are the sums of member areas
+/// ("module areas are preserved", Section III). Identical coarse nets are
+/// merged with summed weights, which leaves every partition's cut *weight*
+/// unchanged — the invariant
+///     cutWeight(coarse, P) == cutWeight(fine, project(P))
+/// holds exactly and is property-tested.
+[[nodiscard]] Hypergraph induce(const Hypergraph& h, const Clustering& c);
+
+/// Definition 2: projects a partition of the coarse hypergraph back onto
+/// the fine one (every module inherits its cluster's block).
+[[nodiscard]] Partition project(const Hypergraph& fine, const Clustering& c, const Partition& coarse);
+
+} // namespace mlpart

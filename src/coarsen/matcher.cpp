@@ -1,0 +1,185 @@
+#include "coarsen/matcher.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mlpart {
+
+namespace {
+
+void checkConfig(const Hypergraph& h, const MatchConfig& cfg) {
+    if (cfg.ratio <= 0.0 || cfg.ratio > 1.0)
+        throw std::invalid_argument("matching: ratio must be in (0, 1]");
+    if (cfg.maxNetSize < 2) throw std::invalid_argument("matching: maxNetSize must be >= 2");
+    if (!cfg.excluded.empty() && cfg.excluded.size() != static_cast<std::size_t>(h.numModules()))
+        throw std::invalid_argument("matching: excluded mask size mismatch");
+    if (!cfg.sameBlockOnly.empty() &&
+        cfg.sameBlockOnly.size() != static_cast<std::size_t>(h.numModules()))
+        throw std::invalid_argument("matching: sameBlockOnly size mismatch");
+}
+
+bool isExcluded(const MatchConfig& cfg, ModuleId v) {
+    return !cfg.excluded.empty() && cfg.excluded[static_cast<std::size_t>(v)] != 0;
+}
+
+bool blockMismatch(const MatchConfig& cfg, ModuleId v, ModuleId w) {
+    return !cfg.sameBlockOnly.empty() &&
+           cfg.sameBlockOnly[static_cast<std::size_t>(v)] != cfg.sameBlockOnly[static_cast<std::size_t>(w)];
+}
+
+// Shared matching skeleton: visits modules in random order, asks `pickMate`
+// for the partner of each unmatched module, stops at the matching ratio,
+// then closes out singletons (paper Fig. 3 steps 8-11).
+template <typename PickMate>
+Clustering matchSkeleton(const Hypergraph& h, const MatchConfig& cfg, std::mt19937_64& rng,
+                         PickMate&& pickMate) {
+    checkConfig(h, cfg);
+    const ModuleId n = h.numModules();
+    Clustering c;
+    c.clusterOf.assign(static_cast<std::size_t>(n), kInvalidModule);
+    std::vector<ModuleId> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng);
+
+    ModuleId k = 0;
+    std::int64_t nMatch = 0;
+    std::size_t j = 0;
+    // Step 2: while matched fraction < R and modules remain.
+    while (j < perm.size() &&
+           static_cast<double>(nMatch) < cfg.ratio * static_cast<double>(n)) {
+        const ModuleId v = perm[j++];
+        if (c.clusterOf[static_cast<std::size_t>(v)] != kInvalidModule) continue;
+        const ModuleId cluster = k++;
+        c.clusterOf[static_cast<std::size_t>(v)] = cluster;
+        if (isExcluded(cfg, v)) continue; // pads stay singletons
+        const ModuleId w = pickMate(v, c);
+        if (w != kInvalidModule) {
+            c.clusterOf[static_cast<std::size_t>(w)] = cluster;
+            nMatch += 2;
+        }
+    }
+    // Steps 8-10: remaining unmatched modules become singletons.
+    for (; j < perm.size(); ++j) {
+        const ModuleId v = perm[j];
+        if (c.clusterOf[static_cast<std::size_t>(v)] == kInvalidModule)
+            c.clusterOf[static_cast<std::size_t>(v)] = k++;
+    }
+    // Modules skipped because the ratio bound hit first.
+    for (ModuleId v = 0; v < n; ++v)
+        if (c.clusterOf[static_cast<std::size_t>(v)] == kInvalidModule)
+            c.clusterOf[static_cast<std::size_t>(v)] = k++;
+    c.numClusters = k;
+    return c;
+}
+
+} // namespace
+
+Clustering matchClustering(const Hypergraph& h, const MatchConfig& cfg, std::mt19937_64& rng) {
+    // Scratch reused across pickMate calls: Conn array indexed by module and
+    // the set S of touched neighbours, reset after each query (paper's
+    // described implementation of Step 5).
+    std::vector<double> conn(static_cast<std::size_t>(h.numModules()), 0.0);
+    std::vector<ModuleId> touched;
+    return matchSkeleton(h, cfg, rng, [&](ModuleId v, const Clustering& c) -> ModuleId {
+        touched.clear();
+        for (NetId e : h.nets(v)) {
+            if (h.netSize(e) > cfg.maxNetSize) continue;
+            // The paper's 1/(|e|-1) term, scaled by the net weight so that
+            // parallel nets merged during coarsening keep their full pull.
+            const double perNet = static_cast<double>(h.netWeight(e)) /
+                                  static_cast<double>(h.netSize(e) - 1);
+            for (ModuleId w : h.pins(e)) {
+                if (w == v) continue;
+                if (c.clusterOf[static_cast<std::size_t>(w)] != kInvalidModule) continue;
+                if (isExcluded(cfg, w)) continue;
+                if (blockMismatch(cfg, v, w)) continue;
+                if (conn[static_cast<std::size_t>(w)] == 0.0) touched.push_back(w);
+                conn[static_cast<std::size_t>(w)] += perNet;
+            }
+        }
+        ModuleId best = kInvalidModule;
+        double bestScore = 0.0;
+        for (ModuleId w : touched) {
+            const double score = conn[static_cast<std::size_t>(w)] /
+                                 static_cast<double>(h.area(v) + h.area(w));
+            if (best == kInvalidModule || score > bestScore) {
+                best = w;
+                bestScore = score;
+            }
+            conn[static_cast<std::size_t>(w)] = 0.0; // cheap reinitialization via S
+        }
+        return best;
+    });
+}
+
+Clustering heavyEdgeMatching(const Hypergraph& h, const MatchConfig& cfg, std::mt19937_64& rng) {
+    std::vector<double> conn(static_cast<std::size_t>(h.numModules()), 0.0);
+    std::vector<ModuleId> touched;
+    return matchSkeleton(h, cfg, rng, [&](ModuleId v, const Clustering& c) -> ModuleId {
+        touched.clear();
+        for (NetId e : h.nets(v)) {
+            if (h.netSize(e) > cfg.maxNetSize) continue;
+            const double perNet = static_cast<double>(h.netWeight(e)) /
+                                  static_cast<double>(h.netSize(e) - 1);
+            for (ModuleId w : h.pins(e)) {
+                if (w == v) continue;
+                if (c.clusterOf[static_cast<std::size_t>(w)] != kInvalidModule) continue;
+                if (isExcluded(cfg, w)) continue;
+                if (blockMismatch(cfg, v, w)) continue;
+                if (conn[static_cast<std::size_t>(w)] == 0.0) touched.push_back(w);
+                conn[static_cast<std::size_t>(w)] += perNet;
+            }
+        }
+        ModuleId best = kInvalidModule;
+        double bestScore = 0.0;
+        for (ModuleId w : touched) {
+            if (best == kInvalidModule || conn[static_cast<std::size_t>(w)] > bestScore) {
+                best = w;
+                bestScore = conn[static_cast<std::size_t>(w)];
+            }
+            conn[static_cast<std::size_t>(w)] = 0.0;
+        }
+        return best;
+    });
+}
+
+Clustering randomMatching(const Hypergraph& h, const MatchConfig& cfg, std::mt19937_64& rng) {
+    std::vector<ModuleId> candidates;
+    return matchSkeleton(h, cfg, rng, [&](ModuleId v, const Clustering& c) -> ModuleId {
+        candidates.clear();
+        for (NetId e : h.nets(v)) {
+            if (h.netSize(e) > cfg.maxNetSize) continue;
+            for (ModuleId w : h.pins(e)) {
+                if (w == v) continue;
+                if (c.clusterOf[static_cast<std::size_t>(w)] != kInvalidModule) continue;
+                if (isExcluded(cfg, w)) continue;
+                if (blockMismatch(cfg, v, w)) continue;
+                candidates.push_back(w);
+            }
+        }
+        if (candidates.empty()) return kInvalidModule;
+        return candidates[std::uniform_int_distribution<std::size_t>(0, candidates.size() - 1)(rng)];
+    });
+}
+
+const char* toString(CoarsenerKind k) {
+    switch (k) {
+        case CoarsenerKind::kConnectivityMatch: return "match";
+        case CoarsenerKind::kRandomMatch: return "random";
+        case CoarsenerKind::kHeavyEdgeMatch: return "heavy-edge";
+    }
+    return "?";
+}
+
+Clustering runMatcher(CoarsenerKind kind, const Hypergraph& h, const MatchConfig& cfg,
+                      std::mt19937_64& rng) {
+    switch (kind) {
+        case CoarsenerKind::kConnectivityMatch: return matchClustering(h, cfg, rng);
+        case CoarsenerKind::kRandomMatch: return randomMatching(h, cfg, rng);
+        case CoarsenerKind::kHeavyEdgeMatch: return heavyEdgeMatching(h, cfg, rng);
+    }
+    throw std::invalid_argument("runMatcher: unknown coarsener kind");
+}
+
+} // namespace mlpart

@@ -1,0 +1,59 @@
+// Matching-based clustering algorithms for the coarsening phase.
+//
+// The paper's Match procedure (Fig. 3) visits modules in a random
+// permutation and pairs each unmatched module v with the unmatched
+// neighbour w maximizing
+//
+//     conn(v, w) = 1/(a(v)+a(w)) * sum_{e containing v and w} 1/(|e|-1),
+//
+// ignoring nets with more than ten pins. Crucially, matching stops once a
+// fraction R (the matching ratio) of the modules has been matched — this is
+// the mechanism that controls the speed of coarsening and hence the number
+// of levels in the hierarchy (Section III.A). Random matching (Chaco) and
+// heavy-edge matching (Metis, no area normalization) are provided as
+// ablation baselines.
+#pragma once
+
+#include <random>
+
+#include "coarsen/clustering.h"
+
+namespace mlpart {
+
+struct MatchConfig {
+    /// Matching ratio R in (0, 1]: stop once matched/total >= R.
+    double ratio = 1.0;
+    /// Nets with more pins than this are ignored by conn() (paper: 10).
+    int maxNetSize = 10;
+    /// Modules flagged here are never matched (always singleton clusters);
+    /// used to keep pre-assigned pads intact through the hierarchy. Empty
+    /// means "none".
+    std::vector<char> excluded;
+    /// When non-empty (one block id per module), only modules in the same
+    /// block may match. Iterated V-cycles use this so re-coarsening never
+    /// merges across the current cut and the existing solution projects
+    /// exactly onto every level of the new hierarchy.
+    std::vector<PartId> sameBlockOnly;
+};
+
+/// Paper Fig. 3: connectivity matching with ratio control.
+[[nodiscard]] Clustering matchClustering(const Hypergraph& h, const MatchConfig& cfg, std::mt19937_64& rng);
+
+/// Chaco-style random maximal matching: each module pairs with a uniformly
+/// random unmatched neighbour.
+[[nodiscard]] Clustering randomMatching(const Hypergraph& h, const MatchConfig& cfg, std::mt19937_64& rng);
+
+/// Metis-style heavy-edge matching: like matchClustering but scoring
+/// sum 1/(|e|-1) without the area normalization.
+[[nodiscard]] Clustering heavyEdgeMatching(const Hypergraph& h, const MatchConfig& cfg, std::mt19937_64& rng);
+
+/// Which matcher a multilevel configuration uses.
+enum class CoarsenerKind { kConnectivityMatch, kRandomMatch, kHeavyEdgeMatch };
+
+[[nodiscard]] const char* toString(CoarsenerKind k);
+
+/// Dispatch helper.
+[[nodiscard]] Clustering runMatcher(CoarsenerKind kind, const Hypergraph& h, const MatchConfig& cfg,
+                                    std::mt19937_64& rng);
+
+} // namespace mlpart

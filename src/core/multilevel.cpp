@@ -1,0 +1,238 @@
+#include "core/multilevel.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "coarsen/induce.h"
+#include "lsmc/lsmc.h"
+
+namespace mlpart {
+
+MultilevelPartitioner::MultilevelPartitioner(MLConfig cfg, RefinerFactory refinerFactory)
+    : cfg_(std::move(cfg)), factory_(std::move(refinerFactory)) {
+    if (!factory_) throw std::invalid_argument("MultilevelPartitioner: null refiner factory");
+    if (cfg_.coarseningThreshold < 2)
+        throw std::invalid_argument("MultilevelPartitioner: threshold must be >= 2");
+    if (cfg_.matchingRatio <= 0.0 || cfg_.matchingRatio > 1.0)
+        throw std::invalid_argument("MultilevelPartitioner: matching ratio must be in (0, 1]");
+    if (cfg_.k < 2) throw std::invalid_argument("MultilevelPartitioner: k must be >= 2");
+    if (cfg_.coarsestStarts < 1)
+        throw std::invalid_argument("MultilevelPartitioner: coarsestStarts must be >= 1");
+    if (cfg_.tolerance < 0.0 || cfg_.tolerance >= 1.0)
+        throw std::invalid_argument("MultilevelPartitioner: tolerance must be in [0, 1)");
+    if (cfg_.vCycles < 1) throw std::invalid_argument("MultilevelPartitioner: vCycles must be >= 1");
+    if (cfg_.coarsestLSMCDescents < 0)
+        throw std::invalid_argument("MultilevelPartitioner: coarsestLSMCDescents must be >= 0");
+    if (!cfg_.targetFractions.empty() &&
+        cfg_.targetFractions.size() != static_cast<std::size_t>(cfg_.k))
+        throw std::invalid_argument("MultilevelPartitioner: targetFractions size must equal k");
+}
+
+namespace {
+
+// Initial partition of the coarsest netlist: pre-assigned clusters take
+// their blocks, everything else is spread greedily balanced at random.
+Partition initialPartition(const Hypergraph& h, PartId k, const std::vector<PartId>& preassign,
+                           const std::vector<double>& fractions, const BalanceConstraint& bc,
+                           std::mt19937_64& rng) {
+    std::vector<ModuleId> order(static_cast<std::size_t>(h.numModules()));
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    std::vector<PartId> assign(order.size(), 0);
+    std::vector<Area> load(static_cast<std::size_t>(k), 0);
+    for (ModuleId v : order) {
+        if (!preassign.empty() && preassign[static_cast<std::size_t>(v)] != kInvalidPart) {
+            const PartId p = preassign[static_cast<std::size_t>(v)];
+            assign[static_cast<std::size_t>(v)] = p;
+            load[static_cast<std::size_t>(p)] += h.area(v);
+        }
+    }
+    for (ModuleId v : order) {
+        if (!preassign.empty() && preassign[static_cast<std::size_t>(v)] != kInvalidPart) continue;
+        // Greedy lightest block, relative to its area target.
+        auto relLoad = [&](PartId p) {
+            const double f = fractions.empty() ? 1.0 : fractions[static_cast<std::size_t>(p)];
+            return static_cast<double>(load[static_cast<std::size_t>(p)]) / f;
+        };
+        PartId best = 0;
+        for (PartId p = 1; p < k; ++p)
+            if (relLoad(p) < relLoad(best)) best = p;
+        assign[static_cast<std::size_t>(v)] = best;
+        load[static_cast<std::size_t>(best)] += h.area(v);
+    }
+    Partition part(h, k, std::move(assign));
+    if (!bc.satisfied(part)) rebalance(h, part, bc, rng);
+    return part;
+}
+
+} // namespace
+
+Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64& rng,
+                                          const Partition* warm, MLResult* info) const {
+    // ---- Coarsening phase (Figure 2, steps 1-5) ----
+    std::vector<Hypergraph> coarse;             // coarse[i] = H_{i+1}
+    std::vector<Clustering> clusterings;        // clusterings[i]: H_i -> H_{i+1}
+    std::vector<std::vector<PartId>> preassign; // per level
+    // Matching-group constraint per module at the current level: a warm
+    // cycle's blocks, or the caller's matchGroups (genetic hybrid), or
+    // nothing. Threaded down the hierarchy exactly like the blocks.
+    std::vector<PartId> warmBlocks;
+    preassign.push_back(cfg_.preassignment);
+    if (warm != nullptr) warmBlocks.assign(warm->assignment().begin(), warm->assignment().end());
+    else if (!cfg_.matchGroups.empty()) {
+        if (cfg_.matchGroups.size() != static_cast<std::size_t>(h0.numModules()))
+            throw std::invalid_argument("MultilevelPartitioner: matchGroups size mismatch");
+        warmBlocks = cfg_.matchGroups;
+    }
+
+    const Hypergraph* cur = &h0;
+    int netLimit = cfg_.matchNetSizeLimit;
+    while (cur->numModules() > cfg_.coarseningThreshold &&
+           static_cast<int>(coarse.size()) < cfg_.maxLevels) {
+        MatchConfig mc;
+        mc.ratio = cfg_.matchingRatio;
+        mc.maxNetSize = netLimit;
+        mc.sameBlockOnly = warmBlocks; // empty when unconstrained
+        const auto& pre = preassign.back();
+        if (!pre.empty()) {
+            mc.excluded.assign(pre.size(), 0);
+            for (std::size_t v = 0; v < pre.size(); ++v)
+                if (pre[v] != kInvalidPart) mc.excluded[v] = 1;
+        }
+        Clustering c = runMatcher(cfg_.coarsener, *cur, mc, rng);
+        if (c.numClusters >= cur->numModules()) {
+            // No pair matched — on very coarse netlists this usually means
+            // every remaining net exceeds the matching net-size limit.
+            if (cfg_.adaptiveNetLimit && netLimit < cur->numModules()) {
+                netLimit *= 4;
+                continue;
+            }
+            break;
+        }
+        coarse.push_back(induce(*cur, c));
+
+        // Thread the pre-assignment down: pre-assigned modules are singleton
+        // clusters (excluded from matching), so the mapping is one-to-one.
+        std::vector<PartId> nextPre;
+        if (!pre.empty()) {
+            nextPre.assign(static_cast<std::size_t>(c.numClusters), kInvalidPart);
+            for (std::size_t v = 0; v < pre.size(); ++v)
+                if (pre[v] != kInvalidPart)
+                    nextPre[static_cast<std::size_t>(c.clusterOf[v])] = pre[v];
+        }
+        preassign.push_back(std::move(nextPre));
+        // Thread the warm blocks / match groups down (clusters never mix
+        // groups, so any member's group is the cluster's group).
+        if (!warmBlocks.empty()) {
+            std::vector<PartId> nextBlocks(static_cast<std::size_t>(c.numClusters), kInvalidPart);
+            for (std::size_t v = 0; v < warmBlocks.size(); ++v)
+                nextBlocks[static_cast<std::size_t>(c.clusterOf[v])] = warmBlocks[v];
+            warmBlocks = std::move(nextBlocks);
+        }
+        clusterings.push_back(std::move(c));
+        cur = &coarse.back();
+    }
+    const int m = static_cast<int>(coarse.size());
+
+    auto levelGraph = [&](int i) -> const Hypergraph& {
+        return i == 0 ? h0 : coarse[static_cast<std::size_t>(i - 1)];
+    };
+    auto fixedMask = [&](int i) -> std::vector<char> {
+        const auto& pre = preassign[static_cast<std::size_t>(i)];
+        if (pre.empty()) return {};
+        std::vector<char> mask(pre.size(), 0);
+        for (std::size_t v = 0; v < pre.size(); ++v)
+            if (pre[v] != kInvalidPart) mask[v] = 1;
+        return mask;
+    };
+
+    // ---- Initial partitioning of H_m (step 6) ----
+    const Hypergraph& hm = levelGraph(m);
+    auto levelBc = [&](const Hypergraph& hl) {
+        return cfg_.targetFractions.empty()
+                   ? BalanceConstraint::forRefinement(hl, cfg_.k, cfg_.tolerance)
+                   : BalanceConstraint::forTargets(hl, cfg_.targetFractions, cfg_.tolerance);
+    };
+    const BalanceConstraint bcM = levelBc(hm);
+    auto coarsestRefiner = factory_(hm, fixedMask(m));
+    Partition best(hm, cfg_.k);
+    Weight bestCut = 0;
+    if (warm != nullptr) {
+        // Warm cycle: refine the incumbent's projection onto H_m.
+        Partition cand(hm, cfg_.k, warmBlocks);
+        if (!bcM.satisfied(cand)) rebalance(hm, cand, bcM, rng);
+        bestCut = coarsestRefiner->refine(cand, bcM, rng);
+        best = std::move(cand);
+    } else {
+        for (int s = 0; s < cfg_.coarsestStarts; ++s) {
+            Partition cand = initialPartition(hm, cfg_.k, preassign[static_cast<std::size_t>(m)],
+                                              cfg_.targetFractions, bcM, rng);
+            const Weight cut = coarsestRefiner->refine(cand, bcM, rng);
+            if (s == 0 || cut < bestCut) {
+                best = std::move(cand);
+                bestCut = cut;
+            }
+        }
+        // "Spend more CPU at the top levels ... using LSMC" (Section V).
+        if (cfg_.coarsestLSMCDescents > 0 && cfg_.preassignment.empty()) {
+            LSMCConfig lc;
+            lc.descents = cfg_.coarsestLSMCDescents;
+            lc.tolerance = cfg_.tolerance;
+            lc.k = cfg_.k;
+            LSMCPartitioner lsmc(lc, factory_);
+            LSMCResult lr = lsmc.run(hm, rng);
+            if (lr.cut < bestCut) {
+                best = std::move(lr.partition);
+                bestCut = lr.cut;
+            }
+        }
+    }
+
+    // ---- Uncoarsening phase (steps 7-9) ----
+    Partition curPart = std::move(best);
+    for (int i = m - 1; i >= 0; --i) {
+        const Hypergraph& hi = levelGraph(i);
+        Partition projected = project(hi, clusterings[static_cast<std::size_t>(i)], curPart);
+        const BalanceConstraint bcI = levelBc(hi);
+        // A(v*) can shrink during uncoarsening, so the projected solution
+        // may violate the finer constraint; rebalance by random moves
+        // (Section III.B).
+        if (!bcI.satisfied(projected)) rebalance(hi, projected, bcI, rng);
+        auto refiner = factory_(hi, fixedMask(i));
+        refiner->refine(projected, bcI, rng);
+        curPart = std::move(projected);
+    }
+
+    if (info != nullptr) {
+        info->levels = m;
+        info->levelModules.clear();
+        info->levelModules.reserve(static_cast<std::size_t>(m) + 1);
+        for (int i = 0; i <= m; ++i) info->levelModules.push_back(levelGraph(i).numModules());
+    }
+    return curPart;
+}
+
+MLResult MultilevelPartitioner::run(const Hypergraph& h0, std::mt19937_64& rng) const {
+    if (!cfg_.preassignment.empty() &&
+        cfg_.preassignment.size() != static_cast<std::size_t>(h0.numModules()))
+        throw std::invalid_argument("MultilevelPartitioner: preassignment size mismatch");
+
+    MLResult result{Partition(h0, cfg_.k), 0, 0, 0, {}};
+    Partition bestPart = runCycle(h0, rng, nullptr, &result);
+    Weight bestCut = cutWeight(h0, bestPart);
+    for (int cycle = 1; cycle < cfg_.vCycles; ++cycle) {
+        Partition next = runCycle(h0, rng, &bestPart, nullptr);
+        const Weight cut = cutWeight(h0, next);
+        if (cut <= bestCut) { // refinement never accepted if it worsened the cut
+            bestPart = std::move(next);
+            bestCut = cut;
+        }
+    }
+    result.partition = std::move(bestPart);
+    result.cut = bestCut;
+    result.cutNetCount = cutNets(h0, result.partition);
+    return result;
+}
+
+} // namespace mlpart

@@ -1,0 +1,107 @@
+// ML — the paper's multilevel partitioning algorithm (Figure 2).
+//
+//   1. While |V_i| > T: cluster H_i with Match(H_i, R), induce H_{i+1}.
+//   2. Partition the coarsest netlist H_m from a random start.
+//   3. For i = m-1 .. 0: project the solution and refine it with the
+//      configured iterative engine (FM or CLIP; Sanchis k-way for
+//      quadrisection).
+//
+// The matching ratio R controls the speed of coarsening — R < 1 stops each
+// matching early, yielding more hierarchy levels and hence more refinement
+// opportunities (Section III.A, the paper's key mechanism). MLp in the
+// paper = FM engine, MLc = CLIP engine; both are obtained by passing the
+// corresponding factory.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "coarsen/matcher.h"
+#include "hypergraph/partition.h"
+#include "refine/refiner.h"
+
+namespace mlpart {
+
+struct MLConfig {
+    /// Coarsening threshold T: stop coarsening once |V_i| <= T (paper uses
+    /// T = 35 for bipartitioning, T = 100 for quadrisection).
+    ModuleId coarseningThreshold = 35;
+    /// Matching ratio R in (0, 1] (paper sweeps 1.0 / 0.5 / 0.33).
+    double matchingRatio = 1.0;
+    /// Balance tolerance r (paper: 0.1).
+    double tolerance = 0.1;
+    /// Number of blocks (2 = bipartitioning, 4 = quadrisection).
+    PartId k = 2;
+    /// Which matcher coarsens (connectivity Match by default; random and
+    /// heavy-edge provided for ablation).
+    CoarsenerKind coarsener = CoarsenerKind::kConnectivityMatch;
+    /// Nets larger than this are invisible to conn() during matching
+    /// (paper: 10).
+    int matchNetSizeLimit = 10;
+    /// When matching makes no progress before |V_i| reaches T (typically
+    /// because every remaining net exceeds matchNetSizeLimit on a very
+    /// coarse netlist), temporarily relax the limit and retry instead of
+    /// stopping the coarsening early.
+    bool adaptiveNetLimit = true;
+    /// Safety bound on hierarchy depth.
+    int maxLevels = 256;
+    /// Random starts at the coarsest level, keeping the best refined one
+    /// ("it may be worthwhile to spend more CPU time partitioning at these
+    /// levels", Section V). 1 = the paper's configuration.
+    int coarsestStarts = 1;
+    /// When > 0, additionally run an LSMC chain with this many descents on
+    /// the coarsest netlist and keep the best result (Section V: "...or
+    /// using LSMC" at the top levels). Ignored when preassignment is set.
+    int coarsestLSMCDescents = 0;
+    /// Number of V-cycles (1 = the paper's algorithm). Cycles after the
+    /// first re-coarsen with matching restricted to same-block pairs, so
+    /// the incumbent solution projects exactly onto the new hierarchy and
+    /// is refined again at every level (hMETIS-style iterated V-cycles).
+    int vCycles = 1;
+    /// Optional pre-assignment (Section III.C: e.g. I/O pads): one entry
+    /// per module, kInvalidPart = free. Pre-assigned modules are kept as
+    /// singleton clusters through the hierarchy and never moved.
+    std::vector<PartId> preassignment;
+    /// Optional per-block area targets as fractions of A(V) (size k, sum
+    /// 1). Empty = uniform A(V)/k. Recursive bisection uses this for
+    /// uneven splits (e.g. 3 blocks on one side, 2 on the other).
+    std::vector<double> targetFractions;
+    /// Optional matching groups (one id per module): coarsening only
+    /// matches modules with equal group ids. The genetic hybrid
+    /// (genetic/hybrid.h) uses parent-agreement classes here, following
+    /// the GMetis idea of inheriting clustering constraints from good
+    /// solutions. Empty = unconstrained.
+    std::vector<PartId> matchGroups;
+};
+
+struct MLResult {
+    Partition partition;            ///< refined partition of H_0
+    Weight cut = 0;                 ///< exact cut weight on H_0
+    std::int64_t cutNetCount = 0;   ///< unweighted cut nets (tables report this)
+    int levels = 0;                 ///< m, number of coarsening levels used
+    std::vector<ModuleId> levelModules; ///< |V_i| for i = 0..m
+};
+
+/// The ML driver. Construct once, run many times (multi-start).
+class MultilevelPartitioner {
+public:
+    MultilevelPartitioner(MLConfig cfg, RefinerFactory refinerFactory);
+
+    /// One full V-cycle; deterministic given the rng state.
+    [[nodiscard]] MLResult run(const Hypergraph& h0, std::mt19937_64& rng) const;
+
+    [[nodiscard]] const MLConfig& config() const { return cfg_; }
+
+private:
+    /// One V-cycle. `warm` (nullable) is an incumbent solution: coarsening
+    /// is then restricted to same-block matches and the projected incumbent
+    /// seeds the coarsest-level refinement. `info` (nullable) receives the
+    /// level statistics.
+    [[nodiscard]] Partition runCycle(const Hypergraph& h0, std::mt19937_64& rng,
+                                     const Partition* warm, MLResult* info) const;
+
+    MLConfig cfg_;
+    RefinerFactory factory_;
+};
+
+} // namespace mlpart

@@ -1,0 +1,56 @@
+#include "core/parallel_multistart.h"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mlpart {
+
+MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartitioner& ml,
+                                     const MultiStartConfig& cfg) {
+    if (cfg.runs < 1) throw std::invalid_argument("parallelMultiStart: runs must be >= 1");
+    if (cfg.threads < 0) throw std::invalid_argument("parallelMultiStart: threads must be >= 0");
+    unsigned threads = cfg.threads > 0 ? static_cast<unsigned>(cfg.threads)
+                                       : std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<unsigned>(threads, static_cast<unsigned>(cfg.runs));
+
+    Stopwatch watch;
+    std::vector<Weight> cuts(static_cast<std::size_t>(cfg.runs), 0);
+    std::mutex bestMutex;
+    Partition best(h, ml.config().k);
+    Weight bestCut = 0;
+    int bestRun = -1;
+
+    std::atomic<int> next{0};
+    auto worker = [&]() {
+        while (true) {
+            const int run = next.fetch_add(1);
+            if (run >= cfg.runs) break;
+            // Per-run stream derived from (seed, run) only: scheduling
+            // cannot influence any run's result.
+            std::mt19937_64 rng(cfg.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(run));
+            MLResult r = ml.run(h, rng);
+            cuts[static_cast<std::size_t>(run)] = r.cut;
+            std::lock_guard<std::mutex> lock(bestMutex);
+            // Deterministic winner: lowest cut, then lowest run index.
+            if (bestRun == -1 || r.cut < bestCut || (r.cut == bestCut && run < bestRun)) {
+                best = std::move(r.partition);
+                bestCut = r.cut;
+                bestRun = run;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+
+    MultiStartOutcome out{std::move(best), bestCut, bestRun, {}, watch.seconds()};
+    for (Weight c : cuts) out.cuts.add(static_cast<double>(c));
+    return out;
+}
+
+} // namespace mlpart

@@ -1,0 +1,37 @@
+// Deterministic parallel multi-start: the paper's experimental protocol
+// (100 independent runs, keep min/avg/std) embarrassingly parallelized.
+//
+// Each run i derives its RNG stream from (seed, i) alone, and the winner
+// is the lowest cut with the lowest run index breaking ties — so results
+// are bit-identical for any thread count, including 1.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/run_stats.h"
+#include "core/multilevel.h"
+
+namespace mlpart {
+
+struct MultiStartConfig {
+    int runs = 100;     ///< the paper's protocol
+    int threads = 0;    ///< 0 = hardware concurrency
+    std::uint64_t seed = 1;
+};
+
+struct MultiStartOutcome {
+    Partition best;
+    Weight bestCut = 0;
+    int bestRun = -1;    ///< index of the winning run
+    RunStats cuts;       ///< min/avg/std over all runs (the table columns)
+    double seconds = 0.0;
+};
+
+/// Runs `cfg.runs` independent ML V-cycles in parallel and returns the
+/// best result plus the cut statistics. Deterministic for fixed
+/// (partitioner config, seed, runs) regardless of `threads`.
+[[nodiscard]] MultiStartOutcome parallelMultiStart(const Hypergraph& h,
+                                                   const MultilevelPartitioner& ml,
+                                                   const MultiStartConfig& cfg);
+
+} // namespace mlpart

@@ -1,0 +1,61 @@
+#include "core/recursive_bisection.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "hypergraph/subgraph.h"
+
+namespace mlpart {
+
+namespace {
+
+// Assigns blocks [firstBlock, firstBlock + k) to the modules listed in
+// `members` (ids of `h`), writing into `out`.
+void bisectRange(const Hypergraph& h, const std::vector<ModuleId>& members, PartId k,
+                 PartId firstBlock, const MLConfig& cfg, const RefinerFactory& factory,
+                 std::mt19937_64& rng, std::vector<PartId>& out) {
+    if (k == 1) {
+        for (ModuleId v : members) out[static_cast<std::size_t>(v)] = firstBlock;
+        return;
+    }
+    // Split k as evenly as possible; the area split follows the block
+    // split so every final block targets A(V)/k overall.
+    const PartId kLeft = (k + 1) / 2;
+    const PartId kRight = k - kLeft;
+
+    std::vector<char> mask(static_cast<std::size_t>(h.numModules()), 0);
+    for (ModuleId v : members) mask[static_cast<std::size_t>(v)] = 1;
+    const SubgraphResult sub = extractSubgraph(h, mask);
+
+    MLConfig split = cfg;
+    split.k = 2;
+    split.preassignment.clear();
+    split.targetFractions = {static_cast<double>(kLeft) / static_cast<double>(k),
+                             static_cast<double>(kRight) / static_cast<double>(k)};
+    MultilevelPartitioner ml(split, factory);
+    const MLResult r = ml.run(sub.graph, rng);
+
+    std::vector<ModuleId> left, right;
+    for (ModuleId sv = 0; sv < sub.graph.numModules(); ++sv) {
+        const ModuleId parent = sub.toParent[static_cast<std::size_t>(sv)];
+        if (r.partition.part(sv) == 0) left.push_back(parent);
+        else right.push_back(parent);
+    }
+    bisectRange(h, left, kLeft, firstBlock, cfg, factory, rng, out);
+    bisectRange(h, right, kRight, firstBlock + kLeft, cfg, factory, rng, out);
+}
+
+} // namespace
+
+Partition recursiveBisection(const Hypergraph& h, PartId k, const MLConfig& cfg,
+                             const RefinerFactory& factory, std::mt19937_64& rng) {
+    if (k < 2) throw std::invalid_argument("recursiveBisection: k must be >= 2");
+    if (!factory) throw std::invalid_argument("recursiveBisection: null refiner factory");
+    std::vector<PartId> assign(static_cast<std::size_t>(h.numModules()), 0);
+    std::vector<ModuleId> all(static_cast<std::size_t>(h.numModules()));
+    for (ModuleId v = 0; v < h.numModules(); ++v) all[static_cast<std::size_t>(v)] = v;
+    bisectRange(h, all, k, 0, cfg, factory, rng, assign);
+    return {h, k, std::move(assign)};
+}
+
+} // namespace mlpart

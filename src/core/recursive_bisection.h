@@ -1,0 +1,26 @@
+// Recursive multilevel bisection: k-way partitioning by recursively
+// splitting the netlist with the 2-way ML algorithm. This is the
+// traditional alternative to direct k-way refinement (Sanchis) and is
+// provided both as a library feature and as the subject of the
+// direct-vs-recursive ablation bench.
+#pragma once
+
+#include <random>
+
+#include "core/multilevel.h"
+
+namespace mlpart {
+
+/// Partitions `h` into `k` blocks (any k >= 2, not only powers of two) by
+/// recursive bisection with the ML partitioner. At each internal split the
+/// target block counts are divided as evenly as possible (ceil/floor) and
+/// the bisection area bounds are weighted accordingly, so all k final
+/// blocks target A(V)/k.
+///
+/// `cfg.k` is ignored (forced to 2 per split); tolerance and coarsening
+/// parameters apply to every split. Throws std::invalid_argument for
+/// k < 2.
+[[nodiscard]] Partition recursiveBisection(const Hypergraph& h, PartId k, const MLConfig& cfg,
+                                           const RefinerFactory& factory, std::mt19937_64& rng);
+
+} // namespace mlpart

@@ -1,0 +1,38 @@
+#include "core/two_phase.h"
+
+#include <stdexcept>
+
+#include "coarsen/induce.h"
+
+namespace mlpart {
+
+TwoPhaseResult twoPhasePartition(const Hypergraph& h, const TwoPhaseConfig& cfg,
+                                 const RefinerFactory& factory, std::mt19937_64& rng) {
+    if (!factory) throw std::invalid_argument("twoPhasePartition: null refiner factory");
+    if (cfg.k < 2) throw std::invalid_argument("twoPhasePartition: k must be >= 2");
+    if (cfg.tolerance < 0.0 || cfg.tolerance >= 1.0)
+        throw std::invalid_argument("twoPhasePartition: tolerance must be in [0, 1)");
+
+    MatchConfig mc;
+    mc.ratio = cfg.matchingRatio;
+    mc.maxNetSize = cfg.matchNetSizeLimit;
+    const Clustering c = runMatcher(cfg.coarsener, h, mc, rng);
+    const Hypergraph h1 = induce(h, c);
+
+    // Phase 1: FM on the clustered netlist from a random start.
+    const BalanceConstraint bc1 = BalanceConstraint::forRefinement(h1, cfg.k, cfg.tolerance);
+    Partition p1 = randomPartition(h1, cfg.k, BalanceConstraint::forTolerance(h1, cfg.k, cfg.tolerance), rng);
+    auto refiner1 = factory(h1, {});
+    refiner1->refine(p1, bc1, rng);
+
+    // Phase 2: project and refine on the flat netlist.
+    Partition p0 = project(h, c, p1);
+    const BalanceConstraint bc0 = BalanceConstraint::forRefinement(h, cfg.k, cfg.tolerance);
+    if (!bc0.satisfied(p0)) rebalance(h, p0, bc0, rng);
+    auto refiner0 = factory(h, {});
+    const Weight cut = refiner0->refine(p0, bc0, rng);
+
+    return {std::move(p0), cut, h1.numModules()};
+}
+
+} // namespace mlpart

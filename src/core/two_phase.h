@@ -1,0 +1,37 @@
+// "Two-phase FM" (paper Section II.C): the historical clustering
+// methodology that ML generalizes. A single clustering induces one coarse
+// netlist H1; FM partitions H1 from a random start; the solution is
+// projected back to H0 and refined by a second FM run.
+//
+// Provided as a baseline so the repository can demonstrate the paper's
+// motivating claim: multilevel (many gentle levels) beats two-phase (one
+// aggressive level) beats flat FM.
+#pragma once
+
+#include <random>
+
+#include "coarsen/matcher.h"
+#include "hypergraph/partition.h"
+#include "refine/refiner.h"
+
+namespace mlpart {
+
+struct TwoPhaseConfig {
+    double tolerance = 0.1;
+    PartId k = 2;
+    CoarsenerKind coarsener = CoarsenerKind::kConnectivityMatch;
+    double matchingRatio = 1.0;
+    int matchNetSizeLimit = 10;
+};
+
+struct TwoPhaseResult {
+    Partition partition;
+    Weight cut = 0;
+    ModuleId coarseModules = 0; ///< |V_1|
+};
+
+/// One two-phase run: cluster, partition H1, project, refine H0.
+[[nodiscard]] TwoPhaseResult twoPhasePartition(const Hypergraph& h, const TwoPhaseConfig& cfg,
+                                               const RefinerFactory& factory, std::mt19937_64& rng);
+
+} // namespace mlpart

@@ -1,0 +1,81 @@
+#include "gen/benchmark_suite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+
+#include "gen/rent_generator.h"
+#include "hypergraph/io.h"
+
+namespace mlpart {
+
+const std::vector<BenchmarkSpec>& benchmarkSuite() {
+    // Module/net/pin counts from the paper's Table I.
+    static const std::vector<BenchmarkSpec> kSuite = {
+        {"balu", 801, 735, 2697},
+        {"bm1", 882, 903, 2910},
+        {"primary1", 833, 902, 2908},
+        {"test04", 1515, 1658, 5975},
+        {"test03", 1607, 1618, 5807},
+        {"test02", 1663, 1720, 6134},
+        {"test06", 1752, 1541, 6638},
+        {"struct", 1952, 1920, 5471},
+        {"test05", 2595, 2750, 10076},
+        {"19ks", 2844, 3282, 10547},
+        {"primary2", 3014, 3029, 11219},
+        {"s9234", 5866, 5844, 14065},
+        {"biomed", 6514, 5742, 21040},
+        {"s13207", 8772, 8651, 20606},
+        {"s15850", 10470, 10383, 24712},
+        {"industry2", 12637, 13419, 48404},
+        {"industry3", 15406, 21923, 65792},
+        {"s35932", 18148, 17828, 48145},
+        {"s38584", 20995, 20717, 55203},
+        {"avqsmall", 21918, 22124, 76231},
+        {"s38417", 23849, 23843, 57613},
+        {"avqlarge", 25178, 25384, 82751},
+        {"golem3", 103048, 144949, 338419},
+    };
+    return kSuite;
+}
+
+const BenchmarkSpec& benchmarkSpec(const std::string& name) {
+    for (const auto& s : benchmarkSuite())
+        if (s.name == name) return s;
+    throw std::invalid_argument("benchmarkSpec: unknown benchmark '" + name + "'");
+}
+
+Hypergraph benchmarkInstance(const std::string& name, double scale) {
+    if (scale <= 0.0 || scale > 1.0) throw std::invalid_argument("benchmarkInstance: scale must be in (0, 1]");
+    const BenchmarkSpec& spec = benchmarkSpec(name);
+
+    if (const char* dir = std::getenv("MLPART_BENCH_DIR"); dir != nullptr && *dir != '\0') {
+        const std::string path = std::string(dir) + "/" + name + ".hgr";
+        if (std::ifstream probe(path); probe.good()) return readHgrFile(path);
+    }
+
+    RentConfig cfg;
+    cfg.numModules = std::max<ModuleId>(64, static_cast<ModuleId>(std::llround(scale * spec.modules)));
+    cfg.numNets = std::max<NetId>(64, static_cast<NetId>(std::llround(scale * spec.nets)));
+    cfg.pinsPerNet = static_cast<double>(spec.pins) / static_cast<double>(spec.nets);
+    cfg.rentExponent = 0.6;
+    cfg.crossFraction = 0.45;
+    cfg.leafSize = 8;
+    cfg.seed = std::hash<std::string>{}(name) ^ 0x9e3779b97f4a7c15ULL;
+    return generateRentCircuit(cfg);
+}
+
+std::vector<std::string> quickSuite() {
+    return {"balu", "primary1", "struct", "test05", "primary2", "s9234", "s15850", "avqsmall"};
+}
+
+std::vector<std::string> fullSuite() {
+    std::vector<std::string> names;
+    for (const auto& s : benchmarkSuite()) names.push_back(s.name);
+    return names;
+}
+
+} // namespace mlpart

@@ -1,0 +1,45 @@
+// Registry of the 23 ACM/SIGDA benchmark circuits used throughout the
+// paper (Table I), with deterministic synthetic Rent's-rule stand-ins.
+//
+// The original circuits (ftp.cbl.ncsu.edu) are not redistributable here, so
+// instance() fabricates a circuit with the same module/net/pin counts. If
+// the environment variable MLPART_BENCH_DIR is set and contains
+// "<name>.hgr", the real circuit is loaded instead — every experiment in
+// bench/ then runs on the true suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace mlpart {
+
+/// Size characteristics of one benchmark (the columns of Table I).
+struct BenchmarkSpec {
+    std::string name;
+    ModuleId modules;
+    NetId nets;
+    std::int64_t pins;
+};
+
+/// All 23 circuits of Table I, in the paper's (size) order.
+[[nodiscard]] const std::vector<BenchmarkSpec>& benchmarkSuite();
+
+/// Spec lookup by name; throws std::invalid_argument for unknown names.
+[[nodiscard]] const BenchmarkSpec& benchmarkSpec(const std::string& name);
+
+/// Builds the circuit for `name`, scaled by `scale` in module count
+/// (0 < scale <= 1; nets/pins scale along). scale=1 reproduces the Table I
+/// size. Deterministic per (name, scale).
+[[nodiscard]] Hypergraph benchmarkInstance(const std::string& name, double scale = 1.0);
+
+/// The subset of names used by the quick (default) bench configuration:
+/// small and medium circuits that keep `for b in bench/*` under a minute.
+[[nodiscard]] std::vector<std::string> quickSuite();
+
+/// Medium subset including the larger circuits, for MLPART_FULL runs.
+[[nodiscard]] std::vector<std::string> fullSuite();
+
+} // namespace mlpart

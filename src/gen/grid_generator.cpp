@@ -1,0 +1,32 @@
+#include "gen/grid_generator.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "hypergraph/builder.h"
+
+namespace mlpart {
+
+Hypergraph generateGrid(const GridConfig& cfg) {
+    if (cfg.width < 1 || cfg.height < 1) throw std::invalid_argument("generateGrid: dimensions must be >= 1");
+    if (static_cast<std::int64_t>(cfg.width) * cfg.height < 2)
+        throw std::invalid_argument("generateGrid: need >= 2 cells");
+    HypergraphBuilder b(cfg.width * cfg.height);
+    for (std::int32_t y = 0; y < cfg.height; ++y) {
+        for (std::int32_t x = 0; x < cfg.width; ++x) {
+            const ModuleId v = gridId(cfg, x, y);
+            if (x + 1 < cfg.width) b.addNet({v, gridId(cfg, x + 1, y)});
+            if (y + 1 < cfg.height) b.addNet({v, gridId(cfg, x, y + 1)});
+        }
+    }
+    if (cfg.rowNets && cfg.width >= 2) {
+        std::vector<ModuleId> row(static_cast<std::size_t>(cfg.width));
+        for (std::int32_t y = 0; y < cfg.height; ++y) {
+            for (std::int32_t x = 0; x < cfg.width; ++x) row[static_cast<std::size_t>(x)] = gridId(cfg, x, y);
+            b.addNet(row);
+        }
+    }
+    return std::move(b).build();
+}
+
+} // namespace mlpart

@@ -1,0 +1,29 @@
+// Mesh (grid) circuit generator with known optimal cut structure.
+//
+// A w x h grid with 2-pin nets between horizontal and vertical neighbours
+// has a minimum vertical-line bisection cut of exactly h (and horizontal of
+// w), which makes it the reference workload for partitioning property
+// tests: any claimed cut below min(w, h) is a bug.
+#pragma once
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.h"
+
+namespace mlpart {
+
+struct GridConfig {
+    std::int32_t width = 0;
+    std::int32_t height = 0;
+    bool rowNets = false; ///< add one (width)-pin net per row (bus-like nets)
+};
+
+/// Generates the grid; module id of cell (x, y) is y*width + x.
+[[nodiscard]] Hypergraph generateGrid(const GridConfig& cfg);
+
+/// Module id helper for tests.
+[[nodiscard]] inline ModuleId gridId(const GridConfig& cfg, std::int32_t x, std::int32_t y) {
+    return y * cfg.width + x;
+}
+
+} // namespace mlpart

@@ -1,0 +1,30 @@
+#include "gen/net_size_dist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlpart {
+
+NetSizeDist NetSizeDist::forMean(double mean, int maxSize) {
+    if (maxSize < 2) throw std::invalid_argument("NetSizeDist: maxSize must be >= 2");
+    if (mean <= 2.0) return fixed(2);
+    if (mean >= static_cast<double>(maxSize))
+        throw std::invalid_argument("NetSizeDist: mean must be < maxSize");
+    // size = 2 + G, G ~ Geometric(p) counting failures, E[G] = (1-p)/p.
+    const double g = mean - 2.0;
+    const double p = 1.0 / (g + 1.0);
+    return {p, maxSize, mean};
+}
+
+NetSizeDist NetSizeDist::fixed(int size) {
+    if (size < 2) throw std::invalid_argument("NetSizeDist: fixed size must be >= 2");
+    return {-1.0, size, static_cast<double>(size)};
+}
+
+int NetSizeDist::sample(std::mt19937_64& rng) const {
+    if (geomP_ <= 0.0) return maxSize_; // fixed distribution stores size in maxSize_
+    std::geometric_distribution<int> geom(geomP_);
+    return std::min(maxSize_, 2 + geom(rng));
+}
+
+} // namespace mlpart

@@ -1,0 +1,34 @@
+// Net-size distribution used by the synthetic circuit generators.
+//
+// Real netlists are dominated by 2- and 3-pin nets with a geometric tail
+// (the paper's Table I circuits average 2.3-3.9 pins/net). We model sizes
+// as 2 + Geometric(p) truncated at maxSize, with p chosen so the mean
+// matches a requested value.
+#pragma once
+
+#include <random>
+
+namespace mlpart {
+
+class NetSizeDist {
+public:
+    /// Distribution over {2, ..., maxSize} with (approximately) the given
+    /// mean. Requires 2 < mean < maxSize.
+    static NetSizeDist forMean(double mean, int maxSize = 32);
+
+    /// Degenerate distribution always returning `size` (>= 2).
+    static NetSizeDist fixed(int size);
+
+    [[nodiscard]] int sample(std::mt19937_64& rng) const;
+    [[nodiscard]] double mean() const { return mean_; }
+    [[nodiscard]] int maxSize() const { return maxSize_; }
+
+private:
+    NetSizeDist(double geomP, int maxSize, double mean)
+        : geomP_(geomP), maxSize_(maxSize), mean_(mean) {}
+    double geomP_; ///< success probability; <= 0 means "fixed size"
+    int maxSize_;
+    double mean_;
+};
+
+} // namespace mlpart

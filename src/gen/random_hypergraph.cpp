@@ -1,0 +1,31 @@
+#include "gen/random_hypergraph.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "hypergraph/builder.h"
+
+namespace mlpart {
+
+Hypergraph generateRandomHypergraph(const RandomHypergraphConfig& cfg) {
+    if (cfg.numModules < 2) throw std::invalid_argument("generateRandomHypergraph: need >= 2 modules");
+    if (cfg.numNets < 0) throw std::invalid_argument("generateRandomHypergraph: negative net count");
+    std::mt19937_64 rng(cfg.seed);
+    std::uniform_int_distribution<ModuleId> pick(0, cfg.numModules - 1);
+    HypergraphBuilder b(cfg.numModules);
+    b.setMergeParallelNets(false); // keep the requested net count exact
+    std::vector<ModuleId> pins;
+    for (NetId e = 0; e < cfg.numNets; ++e) {
+        const int size = std::min<int>(cfg.sizeDist.sample(rng), cfg.numModules);
+        pins.clear();
+        while (static_cast<int>(pins.size()) < size) {
+            const ModuleId v = pick(rng);
+            if (std::find(pins.begin(), pins.end(), v) == pins.end()) pins.push_back(v);
+        }
+        b.addNet(pins);
+    }
+    return std::move(b).build();
+}
+
+} // namespace mlpart

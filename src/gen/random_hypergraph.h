@@ -1,0 +1,27 @@
+// Unstructured random hypergraph generator (Erdos-Renyi style): pins of
+// every net sampled uniformly over all modules. Random hypergraphs have no
+// locality, so they are the adversarial baseline for multilevel clustering
+// (matching finds little structure) and a useful stress workload in tests.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "gen/net_size_dist.h"
+#include "hypergraph/hypergraph.h"
+
+namespace mlpart {
+
+struct RandomHypergraphConfig {
+    ModuleId numModules = 0;
+    NetId numNets = 0;
+    NetSizeDist sizeDist = NetSizeDist::forMean(3.0);
+    std::uint64_t seed = 1;
+};
+
+/// Generates a random hypergraph per the config. Nets with accidentally
+/// duplicate pins are repaired by resampling; the result can contain
+/// isolated modules.
+[[nodiscard]] Hypergraph generateRandomHypergraph(const RandomHypergraphConfig& cfg);
+
+} // namespace mlpart

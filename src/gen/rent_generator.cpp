@@ -1,0 +1,152 @@
+#include "gen/rent_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "hypergraph/builder.h"
+
+namespace mlpart {
+
+namespace {
+
+struct Block {
+    ModuleId lo, mid, hi; // internal block: halves [lo,mid) and [mid,hi)
+};
+
+struct Leaf {
+    ModuleId lo, hi;
+};
+
+// Enumerates the binary hierarchy over [lo, hi).
+void splitBlocks(ModuleId lo, ModuleId hi, int leafSize, std::vector<Block>& blocks, std::vector<Leaf>& leaves) {
+    const ModuleId size = hi - lo;
+    if (size <= leafSize) {
+        leaves.push_back({lo, hi});
+        return;
+    }
+    const ModuleId mid = lo + size / 2;
+    blocks.push_back({lo, mid, hi});
+    splitBlocks(lo, mid, leafSize, blocks, leaves);
+    splitBlocks(mid, hi, leafSize, blocks, leaves);
+}
+
+// Samples `count` distinct modules from [lo, hi) into `pins` (appending).
+void samplePins(ModuleId lo, ModuleId hi, int count, std::vector<ModuleId>& pins, std::mt19937_64& rng) {
+    std::uniform_int_distribution<ModuleId> pick(lo, hi - 1);
+    int guard = 0;
+    while (count > 0 && guard < 1000) {
+        const ModuleId v = pick(rng);
+        if (std::find(pins.begin(), pins.end(), v) == pins.end()) {
+            pins.push_back(v);
+            --count;
+        }
+        ++guard;
+    }
+}
+
+// Largest-remainder apportionment of `total` items over `weights`.
+std::vector<NetId> apportion(NetId total, const std::vector<double>& weights) {
+    const double wsum = std::accumulate(weights.begin(), weights.end(), 0.0);
+    std::vector<NetId> out(weights.size(), 0);
+    if (wsum <= 0.0 || total <= 0) return out;
+    std::vector<std::pair<double, std::size_t>> rem;
+    NetId assigned = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double exact = static_cast<double>(total) * weights[i] / wsum;
+        out[i] = static_cast<NetId>(std::floor(exact));
+        assigned += out[i];
+        rem.emplace_back(exact - std::floor(exact), i);
+    }
+    std::sort(rem.begin(), rem.end(), [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t i = 0; assigned < total && i < rem.size(); ++i, ++assigned) out[rem[i].second]++;
+    return out;
+}
+
+} // namespace
+
+Hypergraph generateRentCircuit(const RentConfig& cfg) {
+    if (cfg.numModules < 2) throw std::invalid_argument("generateRentCircuit: need >= 2 modules");
+    if (cfg.numNets < 1) throw std::invalid_argument("generateRentCircuit: need >= 1 net");
+    if (cfg.leafSize < 2) throw std::invalid_argument("generateRentCircuit: leafSize must be >= 2");
+    if (cfg.crossFraction < 0.0 || cfg.crossFraction > 1.0)
+        throw std::invalid_argument("generateRentCircuit: crossFraction must be in [0,1]");
+    if (cfg.rentExponent <= 0.0 || cfg.rentExponent >= 1.0)
+        throw std::invalid_argument("generateRentCircuit: rentExponent must be in (0,1)");
+
+    std::mt19937_64 rng(cfg.seed);
+    const NetSizeDist dist = cfg.pinsPerNet <= 2.0
+                                 ? NetSizeDist::fixed(2)
+                                 : NetSizeDist::forMean(cfg.pinsPerNet, cfg.maxNetSize);
+
+    std::vector<Block> blocks;
+    std::vector<Leaf> leaves;
+    splitBlocks(0, cfg.numModules, cfg.leafSize, blocks, leaves);
+
+    // Budget split: cross nets over internal blocks ~ size^p; local nets
+    // over leaves ~ size.
+    const NetId crossTotal = static_cast<NetId>(std::llround(cfg.crossFraction * static_cast<double>(cfg.numNets)));
+    std::vector<double> blockWeight(blocks.size());
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+        blockWeight[i] = std::pow(static_cast<double>(blocks[i].hi - blocks[i].lo), cfg.rentExponent);
+    const auto crossCount = apportion(crossTotal, blockWeight);
+
+    std::vector<double> leafWeight(leaves.size());
+    for (std::size_t i = 0; i < leaves.size(); ++i)
+        leafWeight[i] = static_cast<double>(leaves[i].hi - leaves[i].lo);
+    const auto localCount = apportion(cfg.numNets - crossTotal, leafWeight);
+
+    // Optional relabeling so final module ids carry no hierarchy hint.
+    std::vector<ModuleId> relabel(static_cast<std::size_t>(cfg.numModules));
+    std::iota(relabel.begin(), relabel.end(), 0);
+    if (cfg.shuffleIds) std::shuffle(relabel.begin(), relabel.end(), rng);
+
+    HypergraphBuilder b(cfg.numModules);
+    std::vector<ModuleId> pins;
+    std::vector<char> touched(static_cast<std::size_t>(cfg.numModules), 0);
+    auto emit = [&](std::vector<ModuleId>& raw) {
+        for (ModuleId& v : raw) {
+            touched[static_cast<std::size_t>(v)] = 1;
+            v = relabel[static_cast<std::size_t>(v)];
+        }
+        b.addNet(raw);
+    };
+
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const Block& blk = blocks[i];
+        for (NetId e = 0; e < crossCount[i]; ++e) {
+            const int size = std::min<int>(dist.sample(rng), blk.hi - blk.lo);
+            pins.clear();
+            // Anchor one pin in each half so the net genuinely crosses.
+            samplePins(blk.lo, blk.mid, 1, pins, rng);
+            samplePins(blk.mid, blk.hi, 1, pins, rng);
+            if (size > 2) samplePins(blk.lo, blk.hi, size - 2, pins, rng);
+            if (pins.size() >= 2) emit(pins);
+        }
+    }
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        const Leaf& lf = leaves[i];
+        const ModuleId span = lf.hi - lf.lo;
+        if (span < 2) continue;
+        for (NetId e = 0; e < localCount[i]; ++e) {
+            const int size = std::min<int>(dist.sample(rng), span);
+            pins.clear();
+            samplePins(lf.lo, lf.hi, std::max(size, 2), pins, rng);
+            if (pins.size() >= 2) emit(pins);
+        }
+    }
+    // Random sampling can miss cells entirely; real netlists have no
+    // floating cells, so tie every untouched module to a neighbour in its
+    // index range with a 2-pin net (a small net-count overshoot).
+    for (ModuleId v = 0; v < cfg.numModules; ++v) {
+        if (touched[static_cast<std::size_t>(v)]) continue;
+        const ModuleId u = v + 1 < cfg.numModules ? v + 1 : v - 1;
+        pins.assign({v, u});
+        emit(pins);
+    }
+    return std::move(b).build();
+}
+
+} // namespace mlpart

@@ -1,0 +1,38 @@
+// Rent's-rule hierarchical circuit generator.
+//
+// Real circuits obey Rent's rule: a block of g cells has about t * g^p
+// external connections (p ~ 0.55-0.7). The generator builds a balanced
+// binary hierarchy of blocks over the module index range and spends a
+// configurable fraction of the net budget on "cross" nets that span the two
+// halves of a block (distributed over blocks proportionally to size^p), and
+// the remainder on local nets inside leaf blocks. The result has the
+// locality/cut structure of a placed standard-cell netlist, which is what
+// makes the paper's relative comparisons (LIFO vs FIFO, CLIP vs FM,
+// multilevel vs flat) come out the same way they do on the ACM/SIGDA suite.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "gen/net_size_dist.h"
+#include "hypergraph/hypergraph.h"
+
+namespace mlpart {
+
+struct RentConfig {
+    ModuleId numModules = 0;
+    NetId numNets = 0;          ///< target net count (result is close, not exact: degenerate/duplicate nets may be dropped)
+    double pinsPerNet = 3.0;    ///< mean net size
+    double rentExponent = 0.6;  ///< p in t*g^p; larger = more cross wiring at upper levels
+    double crossFraction = 0.45;///< fraction of nets that cross block boundaries
+    int leafSize = 8;           ///< cells per leaf block
+    int maxNetSize = 32;        ///< truncation of the net-size distribution
+    bool shuffleIds = true;     ///< relabel modules so ids carry no placement hint
+    std::uint64_t seed = 1;
+};
+
+/// Generates a Rent's-rule circuit. Throws std::invalid_argument on
+/// nonsensical configs (numModules < 2, numNets < 1, leafSize < 2, ...).
+[[nodiscard]] Hypergraph generateRentCircuit(const RentConfig& cfg);
+
+} // namespace mlpart

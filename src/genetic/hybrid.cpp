@@ -1,0 +1,88 @@
+#include "genetic/hybrid.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace mlpart {
+
+HybridMultiStart::HybridMultiStart(HybridConfig cfg, RefinerFactory factory)
+    : cfg_(std::move(cfg)), factory_(std::move(factory)) {
+    if (!factory_) throw std::invalid_argument("HybridMultiStart: null refiner factory");
+    if (cfg_.populationSize < 2)
+        throw std::invalid_argument("HybridMultiStart: populationSize must be >= 2");
+    if (cfg_.generations < 0)
+        throw std::invalid_argument("HybridMultiStart: generations must be >= 0");
+}
+
+HybridResult HybridMultiStart::run(const Hypergraph& h, std::mt19937_64& rng) const {
+    struct Member {
+        Partition part;
+        Weight cut;
+    };
+    MLConfig base = cfg_.ml;
+    base.matchGroups.clear();
+    MultilevelPartitioner seedML(base, factory_);
+
+    std::vector<Member> population;
+    population.reserve(static_cast<std::size_t>(cfg_.populationSize));
+    for (int i = 0; i < cfg_.populationSize; ++i) {
+        MLResult r = seedML.run(h, rng);
+        population.push_back({std::move(r.partition), r.cut});
+    }
+
+    auto worst = [&]() {
+        std::size_t idx = 0;
+        for (std::size_t i = 1; i < population.size(); ++i)
+            if (population[i].cut > population[idx].cut) idx = i;
+        return idx;
+    };
+    auto best = [&]() {
+        std::size_t idx = 0;
+        for (std::size_t i = 1; i < population.size(); ++i)
+            if (population[i].cut < population[idx].cut) idx = i;
+        return idx;
+    };
+    // Binary tournament selection.
+    auto pick = [&]() -> std::size_t {
+        std::uniform_int_distribution<std::size_t> d(0, population.size() - 1);
+        const std::size_t a = d(rng), b = d(rng);
+        return population[a].cut <= population[b].cut ? a : b;
+    };
+
+    HybridResult result{Partition(h, base.k), 0, 0, 0, 0.0, 0.0};
+    result.initialBest = static_cast<double>(population[best()].cut);
+
+    const PartId k = base.k;
+    for (int gen = 0; gen < cfg_.generations; ++gen) {
+        std::size_t pa = pick();
+        std::size_t pb = pick();
+        if (pa == pb) pb = (pb + 1) % population.size();
+
+        // Agreement classes: (block in parent A, block in parent B) pairs.
+        MLConfig childCfg = base;
+        childCfg.matchGroups.resize(static_cast<std::size_t>(h.numModules()));
+        for (ModuleId v = 0; v < h.numModules(); ++v)
+            childCfg.matchGroups[static_cast<std::size_t>(v)] =
+                population[pa].part.part(v) * k + population[pb].part.part(v);
+        MultilevelPartitioner childML(childCfg, factory_);
+        MLResult child = childML.run(h, rng);
+
+        const std::size_t w = worst();
+        if (child.cut < population[w].cut) {
+            population[w] = {std::move(child.partition), child.cut};
+            ++result.improvements;
+        }
+    }
+
+    const std::size_t b = best();
+    double sum = 0;
+    for (const Member& m : population) sum += static_cast<double>(m.cut);
+    result.finalAverage = sum / static_cast<double>(population.size());
+    result.cut = population[b].cut;
+    result.partition = std::move(population[b].part);
+    result.cutNetCount = cutNets(h, result.partition);
+    return result;
+}
+
+} // namespace mlpart

@@ -1,0 +1,46 @@
+// Hybrid genetic / multilevel multi-start, after Alpert-Hagen-Kahng [1]
+// (the "GMet" comparator of the paper's Table VII: an adaptation of Metis
+// combined with the adaptive multi-start genetic method of [20]).
+//
+// A population of ML solutions evolves: each generation picks two parents
+// (binary tournament), forms their *agreement classes* (modules grouped by
+// the pair of blocks the parents assign them to), and runs ML with
+// coarsening constrained to match only within a class — the child inherits
+// the structural consensus of two good solutions while refinement is free
+// to improve on both. The child replaces the worst member if it is better.
+// This yields the "more stable solution quality" that [1] reports.
+#pragma once
+
+#include <random>
+
+#include "core/multilevel.h"
+
+namespace mlpart {
+
+struct HybridConfig {
+    int populationSize = 6;
+    int generations = 12;
+    MLConfig ml; ///< base configuration for every ML run
+};
+
+struct HybridResult {
+    Partition partition;
+    Weight cut = 0;
+    std::int64_t cutNetCount = 0;
+    int improvements = 0; ///< children that entered the population
+    double initialBest = 0.0;
+    double finalAverage = 0.0; ///< population average at the end
+};
+
+class HybridMultiStart {
+public:
+    HybridMultiStart(HybridConfig cfg, RefinerFactory factory);
+
+    [[nodiscard]] HybridResult run(const Hypergraph& h, std::mt19937_64& rng) const;
+
+private:
+    HybridConfig cfg_;
+    RefinerFactory factory_;
+};
+
+} // namespace mlpart

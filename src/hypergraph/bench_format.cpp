@@ -1,0 +1,128 @@
+#include "hypergraph/bench_format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "hypergraph/builder.h"
+
+namespace mlpart {
+
+namespace {
+
+std::string strip(const std::string& s) {
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos) return {};
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+// Splits "NAND(G0, G1)" into inputs {"G0", "G1"}; validates parentheses.
+std::vector<std::string> parseArgs(const std::string& call, const std::string& context) {
+    const std::size_t open = call.find('(');
+    const std::size_t close = call.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open)
+        throw std::runtime_error("readBench: malformed gate expression '" + context + "'");
+    std::vector<std::string> args;
+    std::string arg;
+    for (std::size_t i = open + 1; i < close; ++i) {
+        if (call[i] == ',') {
+            args.push_back(strip(arg));
+            arg.clear();
+        } else {
+            arg += call[i];
+        }
+    }
+    arg = strip(arg);
+    if (!arg.empty()) args.push_back(arg);
+    for (const auto& a : args)
+        if (a.empty()) throw std::runtime_error("readBench: empty operand in '" + context + "'");
+    return args;
+}
+
+} // namespace
+
+Hypergraph readBench(std::istream& in) {
+    struct Signal {
+        ModuleId driver = kInvalidModule;     // module producing this signal
+        std::vector<ModuleId> fanout;         // modules consuming it
+        bool isInput = false;
+    };
+    std::unordered_map<std::string, Signal> signals;
+    std::vector<std::string> moduleNames;
+    std::unordered_map<std::string, ModuleId> moduleOf; // signal name -> producing module
+
+    auto defineModule = [&](const std::string& name) -> ModuleId {
+        auto [it, inserted] = moduleOf.emplace(name, static_cast<ModuleId>(moduleNames.size()));
+        if (!inserted) throw std::runtime_error("readBench: duplicate definition of '" + name + "'");
+        moduleNames.push_back(name);
+        return it->second;
+    };
+
+    std::string line;
+    std::vector<std::string> outputs;
+    while (std::getline(in, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        line = strip(line);
+        if (line.empty()) continue;
+
+        std::string upper = line;
+        std::transform(upper.begin(), upper.end(), upper.begin(),
+                       [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+        if (upper.rfind("INPUT", 0) == 0) {
+            const auto args = parseArgs(line, line);
+            if (args.size() != 1) throw std::runtime_error("readBench: INPUT takes one signal");
+            const ModuleId m = defineModule(args[0]);
+            signals[args[0]].driver = m;
+            signals[args[0]].isInput = true;
+            continue;
+        }
+        if (upper.rfind("OUTPUT", 0) == 0) {
+            const auto args = parseArgs(line, line);
+            if (args.size() != 1) throw std::runtime_error("readBench: OUTPUT takes one signal");
+            outputs.push_back(args[0]); // outputs only checked for existence at the end
+            continue;
+        }
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            throw std::runtime_error("readBench: unrecognized line '" + line + "'");
+        const std::string target = strip(line.substr(0, eq));
+        if (target.empty()) throw std::runtime_error("readBench: missing target in '" + line + "'");
+        const ModuleId m = defineModule(target);
+        signals[target].driver = m;
+        for (const std::string& operand : parseArgs(line.substr(eq + 1), line))
+            signals[operand].fanout.push_back(m);
+    }
+
+    for (const std::string& out : outputs)
+        if (signals.find(out) == signals.end() || signals[out].driver == kInvalidModule)
+            throw std::runtime_error("readBench: OUTPUT '" + out + "' is never driven");
+    for (const auto& [name, sig] : signals)
+        if (sig.driver == kInvalidModule)
+            throw std::runtime_error("readBench: signal '" + name + "' used but never driven");
+
+    HypergraphBuilder b(static_cast<ModuleId>(moduleNames.size()));
+    for (std::size_t i = 0; i < moduleNames.size(); ++i)
+        b.setModuleName(static_cast<ModuleId>(i), moduleNames[i]);
+    std::vector<ModuleId> pins;
+    for (const auto& [name, sig] : signals) {
+        pins.clear();
+        pins.push_back(sig.driver);
+        pins.insert(pins.end(), sig.fanout.begin(), sig.fanout.end());
+        if (pins.size() >= 2) b.addNet(pins); // builder dedupes multi-use pins
+    }
+    return std::move(b).build();
+}
+
+Hypergraph readBenchFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("readBenchFile: cannot open " + path);
+    return readBench(in);
+}
+
+} // namespace mlpart

@@ -1,0 +1,29 @@
+// ISCAS-89 ".bench" netlist reader. The s-prefixed circuits of the
+// paper's Table I (s9234, s13207, s15850, s35932, s38584, s38417) are
+// distributed in this format:
+//
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = NAND(G0, G1)
+//   G11 = DFF(G10)
+//
+// Mapping to a netlist hypergraph: every primary input and every gate is
+// a module; every signal becomes a net connecting its driver and all its
+// fanout gates (signals with no fanout vanish — the builder drops nets
+// with fewer than two pins). Module names are preserved.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hypergraph/hypergraph.h"
+
+namespace mlpart {
+
+/// Parses a .bench stream. Throws std::runtime_error on malformed input
+/// (undriven non-input signals, duplicate definitions, syntax errors).
+[[nodiscard]] Hypergraph readBench(std::istream& in);
+[[nodiscard]] Hypergraph readBenchFile(const std::string& path);
+
+} // namespace mlpart

@@ -1,0 +1,140 @@
+#include "hypergraph/builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mlpart {
+
+HypergraphBuilder::HypergraphBuilder(ModuleId numModules, Area defaultArea)
+    : numModules_(numModules) {
+    if (numModules < 0) throw std::invalid_argument("HypergraphBuilder: negative module count");
+    if (defaultArea < 0) throw std::invalid_argument("HypergraphBuilder: negative default area");
+    areas_.assign(static_cast<std::size_t>(numModules), defaultArea);
+}
+
+NetId HypergraphBuilder::addNet(std::span<const ModuleId> pins, Weight w) {
+    if (w < 1) throw std::invalid_argument("HypergraphBuilder::addNet: net weight must be >= 1");
+    for (ModuleId v : pins) {
+        if (v < 0 || v >= numModules_)
+            throw std::invalid_argument("HypergraphBuilder::addNet: pin module id out of range");
+    }
+    netPins_.insert(netPins_.end(), pins.begin(), pins.end());
+    netOffsets_.push_back(static_cast<std::int64_t>(netPins_.size()));
+    netWeights_.push_back(w);
+    return static_cast<NetId>(netWeights_.size() - 1);
+}
+
+NetId HypergraphBuilder::addNet(std::initializer_list<ModuleId> pins, Weight w) {
+    return addNet(std::span<const ModuleId>(pins.begin(), pins.size()), w);
+}
+
+void HypergraphBuilder::setArea(ModuleId v, Area a) {
+    if (v < 0 || v >= numModules_) throw std::invalid_argument("HypergraphBuilder::setArea: module id out of range");
+    if (a < 0) throw std::invalid_argument("HypergraphBuilder::setArea: negative area");
+    areas_[static_cast<std::size_t>(v)] = a;
+}
+
+void HypergraphBuilder::setModuleName(ModuleId v, std::string name) {
+    if (v < 0 || v >= numModules_) throw std::invalid_argument("HypergraphBuilder::setModuleName: module id out of range");
+    if (names_.empty()) names_.resize(static_cast<std::size_t>(numModules_));
+    names_[static_cast<std::size_t>(v)] = std::move(name);
+}
+
+namespace {
+
+// FNV-1a over the sorted pin list; used to bucket candidate duplicate nets.
+std::uint64_t hashPins(std::span<const ModuleId> pins) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (ModuleId v : pins) {
+        h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+Hypergraph HypergraphBuilder::build() && {
+    Hypergraph h;
+    const NetId rawNets = numNetsAdded();
+
+    // Normalize each net: sort pins, strip duplicates, drop size<2 nets.
+    std::vector<std::int64_t> keptOffsets{0};
+    std::vector<ModuleId> keptPins;
+    std::vector<Weight> keptWeights;
+    keptPins.reserve(netPins_.size());
+    keptWeights.reserve(netWeights_.size());
+
+    std::vector<ModuleId> scratch;
+    // Maps pin-hash -> list of kept net ids with that hash (for merging).
+    std::unordered_map<std::uint64_t, std::vector<NetId>> byHash;
+
+    for (NetId e = 0; e < rawNets; ++e) {
+        const auto begin = netPins_.begin() + netOffsets_[e];
+        const auto end = netPins_.begin() + netOffsets_[e + 1];
+        scratch.assign(begin, end);
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+        if (scratch.size() < 2) continue; // degenerate net: connects < 2 modules
+
+        if (mergeParallel_) {
+            const std::uint64_t key = hashPins(scratch);
+            auto& candidates = byHash[key];
+            bool merged = false;
+            for (NetId other : candidates) {
+                const auto* op = keptPins.data() + keptOffsets[other];
+                const auto osz = keptOffsets[other + 1] - keptOffsets[other];
+                if (static_cast<std::size_t>(osz) == scratch.size() &&
+                    std::equal(scratch.begin(), scratch.end(), op)) {
+                    keptWeights[static_cast<std::size_t>(other)] += netWeights_[static_cast<std::size_t>(e)];
+                    merged = true;
+                    break;
+                }
+            }
+            if (merged) continue;
+            candidates.push_back(static_cast<NetId>(keptWeights.size()));
+        }
+        keptPins.insert(keptPins.end(), scratch.begin(), scratch.end());
+        keptOffsets.push_back(static_cast<std::int64_t>(keptPins.size()));
+        keptWeights.push_back(netWeights_[static_cast<std::size_t>(e)]);
+    }
+
+    h.netPinOffsets_ = std::move(keptOffsets);
+    h.netPins_ = std::move(keptPins);
+    h.netWeights_ = std::move(keptWeights);
+    h.areas_ = std::move(areas_);
+    h.moduleNames_ = std::move(names_);
+
+    // Build the module -> nets CSR by counting then filling.
+    const std::size_t nMod = static_cast<std::size_t>(numModules_);
+    h.moduleNetOffsets_.assign(nMod + 1, 0);
+    for (ModuleId v : h.netPins_) h.moduleNetOffsets_[static_cast<std::size_t>(v) + 1]++;
+    for (std::size_t i = 1; i <= nMod; ++i) h.moduleNetOffsets_[i] += h.moduleNetOffsets_[i - 1];
+    h.moduleNets_.resize(h.netPins_.size());
+    {
+        std::vector<std::int64_t> cursor(h.moduleNetOffsets_.begin(), h.moduleNetOffsets_.end() - 1);
+        const NetId kept = static_cast<NetId>(h.netWeights_.size());
+        for (NetId e = 0; e < kept; ++e) {
+            for (std::int64_t p = h.netPinOffsets_[e]; p < h.netPinOffsets_[e + 1]; ++p) {
+                h.moduleNets_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(h.netPins_[static_cast<std::size_t>(p)])]++)] = e;
+            }
+        }
+    }
+
+    h.totalArea_ = 0;
+    h.maxArea_ = 0;
+    for (Area a : h.areas_) {
+        h.totalArea_ += a;
+        h.maxArea_ = std::max(h.maxArea_, a);
+    }
+    h.maxModuleGain_ = 0;
+    for (ModuleId v = 0; v < numModules_; ++v) {
+        Weight sum = 0;
+        for (NetId e : h.nets(v)) sum += h.netWeight(e);
+        h.maxModuleGain_ = std::max(h.maxModuleGain_, sum);
+    }
+    return h;
+}
+
+} // namespace mlpart

@@ -1,0 +1,36 @@
+#include "hypergraph/graph_model.h"
+
+#include <stdexcept>
+
+namespace mlpart {
+
+std::vector<WeightedEdge> cliqueExpansion(const Hypergraph& h, int maxNetSize) {
+    if (maxNetSize < 2) throw std::invalid_argument("cliqueExpansion: maxNetSize must be >= 2");
+    std::vector<WeightedEdge> edges;
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        const auto pins = h.pins(e);
+        const int s = static_cast<int>(pins.size());
+        if (s > maxNetSize) continue;
+        const double w = static_cast<double>(h.netWeight(e)) / static_cast<double>(s - 1);
+        for (int i = 0; i < s; ++i)
+            for (int j = i + 1; j < s; ++j)
+                edges.push_back({pins[static_cast<std::size_t>(i)], pins[static_cast<std::size_t>(j)], w});
+    }
+    return edges;
+}
+
+std::vector<WeightedEdge> starExpansion(const Hypergraph& h, ModuleId& numStars, int minNetSize) {
+    if (minNetSize < 2) throw std::invalid_argument("starExpansion: minNetSize must be >= 2");
+    std::vector<WeightedEdge> edges;
+    numStars = 0;
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        const auto pins = h.pins(e);
+        if (static_cast<int>(pins.size()) < minNetSize) continue;
+        const ModuleId star = h.numModules() + numStars++;
+        const double w = static_cast<double>(h.netWeight(e));
+        for (ModuleId v : pins) edges.push_back({v, star, w});
+    }
+    return edges;
+}
+
+} // namespace mlpart

@@ -1,0 +1,34 @@
+// Hypergraph-to-graph net models, shared by the analytic engines
+// (quadratic placement, spectral bisection). The paper's footnote 2 notes
+// that graph-based tools must transform the netlist before partitioning —
+// these are the standard transformations.
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace mlpart {
+
+/// Weighted undirected graph edge between two modules.
+struct WeightedEdge {
+    ModuleId u, v;
+    double w;
+};
+
+/// Clique model: every net e becomes a clique over its pins with per-pair
+/// weight w(e)/(|e|-1) (the standard normalization: total clique weight
+/// grows linearly in |e|). Nets larger than `maxNetSize` are skipped —
+/// their cliques would be quadratic in size and carry little cut
+/// information.
+[[nodiscard]] std::vector<WeightedEdge> cliqueExpansion(const Hypergraph& h, int maxNetSize = 32);
+
+/// Star model: every net e becomes |e| edges from its pins to a virtual
+/// star module, with weight w(e). Star modules receive ids
+/// numModules()..numModules()+numStars-1; the number of stars created is
+/// returned through `numStars`. Linear in pins regardless of net size —
+/// the standard choice for very large nets.
+[[nodiscard]] std::vector<WeightedEdge> starExpansion(const Hypergraph& h, ModuleId& numStars,
+                                                      int minNetSize = 2);
+
+} // namespace mlpart

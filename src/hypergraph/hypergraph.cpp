@@ -1,0 +1,11 @@
+#include "hypergraph/hypergraph.h"
+
+namespace mlpart {
+
+const std::string& Hypergraph::moduleName(ModuleId v) const {
+    static const std::string kEmpty;
+    if (moduleNames_.empty()) return kEmpty;
+    return moduleNames_[static_cast<std::size_t>(v)];
+}
+
+} // namespace mlpart

@@ -1,0 +1,142 @@
+#include "hypergraph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "hypergraph/builder.h"
+
+namespace mlpart {
+
+namespace {
+
+// Reads the next non-comment, non-empty line; returns false on EOF.
+bool nextLine(std::istream& in, std::string& line) {
+    while (std::getline(in, line)) {
+        std::size_t i = line.find_first_not_of(" \t\r");
+        if (i == std::string::npos) continue;
+        if (line[i] == '%') continue;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Hypergraph readHgr(std::istream& in) {
+    std::string line;
+    if (!nextLine(in, line)) throw std::runtime_error("readHgr: empty input");
+    std::istringstream header(line);
+    std::int64_t numNets = 0, numModules = 0;
+    int fmt = 0;
+    if (!(header >> numNets >> numModules)) throw std::runtime_error("readHgr: malformed header");
+    header >> fmt; // optional
+    if (numNets < 0 || numModules < 0) throw std::runtime_error("readHgr: negative counts");
+    if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11) throw std::runtime_error("readHgr: unsupported fmt code");
+    const bool netWeights = (fmt == 1 || fmt == 11);
+    const bool moduleWeights = (fmt == 10 || fmt == 11);
+
+    HypergraphBuilder b(static_cast<ModuleId>(numModules));
+    std::vector<ModuleId> pins;
+    for (std::int64_t e = 0; e < numNets; ++e) {
+        if (!nextLine(in, line)) throw std::runtime_error("readHgr: truncated net list");
+        std::istringstream ls(line);
+        Weight w = 1;
+        if (netWeights && !(ls >> w)) throw std::runtime_error("readHgr: missing net weight");
+        if (w < 1) throw std::runtime_error("readHgr: net weight must be >= 1");
+        pins.clear();
+        std::int64_t id = 0;
+        while (ls >> id) {
+            if (id < 1 || id > numModules) throw std::runtime_error("readHgr: pin id out of range");
+            pins.push_back(static_cast<ModuleId>(id - 1));
+        }
+        if (pins.empty()) throw std::runtime_error("readHgr: net with no pins");
+        b.addNet(pins, w);
+    }
+    if (moduleWeights) {
+        for (std::int64_t v = 0; v < numModules; ++v) {
+            if (!nextLine(in, line)) throw std::runtime_error("readHgr: truncated module weights");
+            std::istringstream ls(line);
+            Area a = 0;
+            if (!(ls >> a)) throw std::runtime_error("readHgr: malformed module weight");
+            b.setArea(static_cast<ModuleId>(v), a);
+        }
+    }
+    return std::move(b).build();
+}
+
+Hypergraph readHgrFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("readHgrFile: cannot open " + path);
+    return readHgr(in);
+}
+
+void writeHgr(const Hypergraph& h, std::ostream& out) {
+    bool anyNetWeight = false;
+    for (NetId e = 0; e < h.numNets(); ++e)
+        if (h.netWeight(e) != 1) { anyNetWeight = true; break; }
+    bool anyModuleWeight = false;
+    for (ModuleId v = 0; v < h.numModules(); ++v)
+        if (h.area(v) != 1) { anyModuleWeight = true; break; }
+
+    const int fmt = (anyNetWeight ? 1 : 0) + (anyModuleWeight ? 10 : 0);
+    out << h.numNets() << ' ' << h.numModules();
+    if (fmt != 0) out << ' ' << fmt;
+    out << '\n';
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        if (anyNetWeight) out << h.netWeight(e) << ' ';
+        bool first = true;
+        for (ModuleId v : h.pins(e)) {
+            if (!first) out << ' ';
+            out << (v + 1);
+            first = false;
+        }
+        out << '\n';
+    }
+    if (anyModuleWeight)
+        for (ModuleId v = 0; v < h.numModules(); ++v) out << h.area(v) << '\n';
+}
+
+void writeHgrFile(const Hypergraph& h, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("writeHgrFile: cannot open " + path);
+    writeHgr(h, out);
+}
+
+void writePartition(const Partition& part, std::ostream& out) {
+    for (ModuleId v = 0; v < part.numModules(); ++v) out << part.part(v) << '\n';
+}
+
+void writePartitionFile(const Partition& part, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("writePartitionFile: cannot open " + path);
+    writePartition(part, out);
+}
+
+Partition readPartition(const Hypergraph& h, std::istream& in, PartId k) {
+    std::vector<PartId> assign;
+    assign.reserve(static_cast<std::size_t>(h.numModules()));
+    std::string line;
+    PartId maxSeen = -1;
+    while (static_cast<ModuleId>(assign.size()) < h.numModules() && nextLine(in, line)) {
+        std::istringstream ls(line);
+        PartId p = 0;
+        if (!(ls >> p) || p < 0) throw std::runtime_error("readPartition: malformed block id");
+        maxSeen = std::max(maxSeen, p);
+        assign.push_back(p);
+    }
+    if (static_cast<ModuleId>(assign.size()) != h.numModules())
+        throw std::runtime_error("readPartition: truncated partition file");
+    const PartId effectiveK = k > 0 ? k : maxSeen + 1;
+    if (maxSeen >= effectiveK) throw std::runtime_error("readPartition: block id exceeds k");
+    return {h, effectiveK, std::move(assign)};
+}
+
+Partition readPartitionFile(const Hypergraph& h, const std::string& path, PartId k) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("readPartitionFile: cannot open " + path);
+    return readPartition(h, in, k);
+}
+
+} // namespace mlpart

@@ -1,0 +1,46 @@
+// hMETIS-format (.hgr) hypergraph I/O.
+//
+// Format (hMETIS manual):
+//   line 1: <numNets> <numModules> [fmt]
+//     fmt = 1  -> each net line starts with its weight
+//     fmt = 10 -> a trailing block of numModules lines gives module weights
+//     fmt = 11 -> both
+//   then one line per net listing 1-based module ids.
+// Lines starting with '%' are comments.
+//
+// The ACM/SIGDA circuits the paper evaluates are distributed in this format;
+// with them on disk, readHgr() lets every bench run on the real instances
+// instead of the synthetic stand-ins.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/partition.h"
+
+namespace mlpart {
+
+/// Parses an .hgr stream. Throws std::runtime_error on malformed input.
+[[nodiscard]] Hypergraph readHgr(std::istream& in);
+/// Parses an .hgr file by path. Throws std::runtime_error if unreadable.
+[[nodiscard]] Hypergraph readHgrFile(const std::string& path);
+
+/// Writes `h` in .hgr format. Net weights are emitted (fmt=1) when any net
+/// weight differs from 1; module weights (fmt=10) when any area differs
+/// from 1.
+void writeHgr(const Hypergraph& h, std::ostream& out);
+void writeHgrFile(const Hypergraph& h, const std::string& path);
+
+/// Writes a partition in the hMETIS solution format: one block id per
+/// line, in module order.
+void writePartition(const Partition& part, std::ostream& out);
+void writePartitionFile(const Partition& part, const std::string& path);
+
+/// Reads an hMETIS-format partition for `h` (one block id per module
+/// line); k is inferred as max id + 1 unless `k` > 0 forces it. Throws
+/// std::runtime_error on malformed or truncated input.
+[[nodiscard]] Partition readPartition(const Hypergraph& h, std::istream& in, PartId k = 0);
+[[nodiscard]] Partition readPartitionFile(const Hypergraph& h, const std::string& path, PartId k = 0);
+
+} // namespace mlpart

@@ -1,0 +1,116 @@
+#include "hypergraph/netd_format.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "hypergraph/builder.h"
+
+namespace mlpart {
+
+namespace {
+
+struct ParsedNetD {
+    std::vector<std::string> names;
+    std::vector<std::vector<ModuleId>> nets;
+    std::unordered_map<std::string, ModuleId> idOf;
+};
+
+ParsedNetD parseNetDBody(std::istream& in) {
+    std::int64_t magic = 0, numPins = 0, numNets = 0, numModules = 0, padOffset = 0;
+    if (!(in >> magic >> numPins >> numNets >> numModules >> padOffset))
+        throw std::runtime_error("readNetD: malformed header");
+    if (numPins < 0 || numNets < 0 || numModules < 1)
+        throw std::runtime_error("readNetD: nonsensical header counts");
+
+    ParsedNetD parsed;
+    std::string name, flag, direction;
+    std::int64_t pinsSeen = 0;
+    while (in >> name >> flag) {
+        if (flag != "s" && flag != "l") throw std::runtime_error("readNetD: pin flag must be 's' or 'l'");
+        // Optional direction letter (I/O/B) may follow on the same line.
+        const auto peekPos = in.tellg();
+        if (in >> direction) {
+            if (direction != "I" && direction != "O" && direction != "B") {
+                in.seekg(peekPos); // it was the next pin's name
+            }
+        } else {
+            in.clear(); // EOF after the flag is fine
+        }
+        auto [it, inserted] = parsed.idOf.emplace(name, static_cast<ModuleId>(parsed.names.size()));
+        if (inserted) parsed.names.push_back(name);
+        if (flag == "s") parsed.nets.emplace_back();
+        if (parsed.nets.empty()) throw std::runtime_error("readNetD: first pin must start a net");
+        parsed.nets.back().push_back(it->second);
+        ++pinsSeen;
+    }
+    if (pinsSeen != numPins)
+        throw std::runtime_error("readNetD: header declares " + std::to_string(numPins) +
+                                 " pins, file contains " + std::to_string(pinsSeen));
+    if (static_cast<std::int64_t>(parsed.nets.size()) != numNets)
+        throw std::runtime_error("readNetD: header declares " + std::to_string(numNets) +
+                                 " nets, file contains " + std::to_string(parsed.nets.size()));
+    if (static_cast<std::int64_t>(parsed.names.size()) > numModules)
+        throw std::runtime_error("readNetD: more distinct cell names than header modules");
+    return parsed;
+}
+
+Hypergraph buildFrom(const ParsedNetD& parsed,
+                     const std::unordered_map<std::string, Area>* areas) {
+    HypergraphBuilder b(static_cast<ModuleId>(parsed.names.size()));
+    for (std::size_t i = 0; i < parsed.names.size(); ++i)
+        b.setModuleName(static_cast<ModuleId>(i), parsed.names[i]);
+    if (areas != nullptr) {
+        for (const auto& [name, area] : *areas) {
+            const auto it = parsed.idOf.find(name);
+            if (it == parsed.idOf.end())
+                throw std::runtime_error("readNetD: .are names unknown cell '" + name + "'");
+            b.setArea(it->second, area);
+        }
+    }
+    for (const auto& net : parsed.nets)
+        if (net.size() >= 2) b.addNet(net);
+    return std::move(b).build();
+}
+
+std::unordered_map<std::string, Area> parseAre(std::istream& in) {
+    std::unordered_map<std::string, Area> areas;
+    std::string name;
+    Area area = 0;
+    while (in >> name >> area) {
+        if (area < 0) throw std::runtime_error("readNetD: negative area for '" + name + "'");
+        areas[name] = area;
+    }
+    return areas;
+}
+
+} // namespace
+
+Hypergraph readNetD(std::istream& in) {
+    const ParsedNetD parsed = parseNetDBody(in);
+    return buildFrom(parsed, nullptr);
+}
+
+Hypergraph readNetD(std::istream& netStream, std::istream& areaStream) {
+    const ParsedNetD parsed = parseNetDBody(netStream);
+    const auto areas = parseAre(areaStream);
+    return buildFrom(parsed, &areas);
+}
+
+Hypergraph readNetDFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("readNetDFile: cannot open " + path);
+    return readNetD(in);
+}
+
+Hypergraph readNetDFile(const std::string& netPath, const std::string& arePath) {
+    std::ifstream netIn(netPath);
+    if (!netIn) throw std::runtime_error("readNetDFile: cannot open " + netPath);
+    std::ifstream areIn(arePath);
+    if (!areIn) throw std::runtime_error("readNetDFile: cannot open " + arePath);
+    return readNetD(netIn, areIn);
+}
+
+} // namespace mlpart

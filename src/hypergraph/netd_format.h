@@ -1,0 +1,36 @@
+// CAD Benchmarking Laboratory "netD / are" netlist reader — the format
+// the paper's primary1/primary2/industry/test/avq circuits shipped in
+// (ftp.cbl.ncsu.edu).
+//
+// .netD layout (whitespace-separated):
+//   line 1: 0                      (ignored magic)
+//   line 2: <numPins>
+//   line 3: <numNets>
+//   line 4: <numModules>
+//   line 5: <padOffset>            (names p1..p<numPads> are pads,
+//                                   a0..a<...> are core cells)
+//   then one line per pin: <name> <s|l> [<I|O|B>]
+//     's' starts a new net, 'l' continues the current one; the optional
+//     direction letter is ignored for partitioning.
+//
+// .are layout: "<name> <area>" per line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hypergraph/hypergraph.h"
+
+namespace mlpart {
+
+/// Parses a .netD stream (areas default to 1). Throws std::runtime_error
+/// on malformed input or counts that do not match the header.
+[[nodiscard]] Hypergraph readNetD(std::istream& in);
+[[nodiscard]] Hypergraph readNetDFile(const std::string& path);
+
+/// Parses a .netD plus its companion .are stream (module areas).
+/// Names present in the .are stream but not the netlist are an error.
+[[nodiscard]] Hypergraph readNetD(std::istream& netStream, std::istream& areaStream);
+[[nodiscard]] Hypergraph readNetDFile(const std::string& netPath, const std::string& arePath);
+
+} // namespace mlpart

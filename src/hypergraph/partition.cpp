@@ -1,0 +1,214 @@
+#include "hypergraph/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mlpart {
+
+Partition::Partition(const Hypergraph& h, PartId k) : k_(k) {
+    if (k < 1) throw std::invalid_argument("Partition: k must be >= 1");
+    part_.assign(static_cast<std::size_t>(h.numModules()), 0);
+    blockArea_.assign(static_cast<std::size_t>(k), 0);
+    blockArea_[0] = h.totalArea();
+}
+
+Partition::Partition(const Hypergraph& h, PartId k, std::vector<PartId> assignment) : k_(k), part_(std::move(assignment)) {
+    if (k < 1) throw std::invalid_argument("Partition: k must be >= 1");
+    if (part_.size() != static_cast<std::size_t>(h.numModules()))
+        throw std::invalid_argument("Partition: assignment size mismatch");
+    blockArea_.assign(static_cast<std::size_t>(k), 0);
+    for (ModuleId v = 0; v < h.numModules(); ++v) {
+        const PartId p = part_[static_cast<std::size_t>(v)];
+        if (p < 0 || p >= k) throw std::invalid_argument("Partition: block id out of range");
+        blockArea_[static_cast<std::size_t>(p)] += h.area(v);
+    }
+}
+
+void Partition::move(const Hypergraph& h, ModuleId v, PartId to) {
+    PartId& cur = part_[static_cast<std::size_t>(v)];
+    if (cur == to) return;
+    blockArea_[static_cast<std::size_t>(cur)] -= h.area(v);
+    blockArea_[static_cast<std::size_t>(to)] += h.area(v);
+    cur = to;
+}
+
+ModuleId Partition::blockSize(PartId p) const {
+    return static_cast<ModuleId>(std::count(part_.begin(), part_.end(), p));
+}
+
+BalanceConstraint::BalanceConstraint(std::vector<Area> lower, std::vector<Area> upper)
+    : lower_(std::move(lower)), upper_(std::move(upper)) {
+    if (lower_.size() != upper_.size()) throw std::invalid_argument("BalanceConstraint: bound size mismatch");
+    for (std::size_t p = 0; p < lower_.size(); ++p)
+        if (lower_[p] > upper_[p]) throw std::invalid_argument("BalanceConstraint: lower bound exceeds upper bound");
+}
+
+BalanceConstraint BalanceConstraint::forTolerance(const Hypergraph& h, PartId k, double r) {
+    if (k < 1) throw std::invalid_argument("BalanceConstraint: k must be >= 1");
+    if (r < 0.0 || r >= 1.0) throw std::invalid_argument("BalanceConstraint: tolerance must be in [0, 1)");
+    const double target = static_cast<double>(h.totalArea()) / static_cast<double>(k);
+    // The epsilon absorbs binary floating-point noise (e.g. 200*1.1 =
+    // 220.0000000000000028) so bounds land on the intended integers.
+    const Area lo = static_cast<Area>(std::floor(target * (1.0 - r) + 1e-9));
+    const Area hi = static_cast<Area>(std::ceil(target * (1.0 + r) - 1e-9));
+    return {std::vector<Area>(static_cast<std::size_t>(k), lo), std::vector<Area>(static_cast<std::size_t>(k), hi)};
+}
+
+BalanceConstraint BalanceConstraint::forTargets(const Hypergraph& h,
+                                                const std::vector<double>& fractions, double r) {
+    if (fractions.empty()) throw std::invalid_argument("BalanceConstraint: empty target fractions");
+    if (r < 0.0 || r >= 1.0) throw std::invalid_argument("BalanceConstraint: tolerance must be in [0, 1)");
+    double sum = 0.0;
+    for (double f : fractions) {
+        if (f <= 0.0) throw std::invalid_argument("BalanceConstraint: fractions must be positive");
+        sum += f;
+    }
+    if (std::abs(sum - 1.0) > 1e-6)
+        throw std::invalid_argument("BalanceConstraint: fractions must sum to 1");
+    const double total = static_cast<double>(h.totalArea());
+    std::vector<Area> lower(fractions.size()), upper(fractions.size());
+    for (std::size_t p = 0; p < fractions.size(); ++p) {
+        const double target = total * fractions[p];
+        const Area slack =
+            std::max<Area>(h.maxArea(), static_cast<Area>(std::ceil(2.0 * r * target)));
+        lower[p] = std::max<Area>(0, static_cast<Area>(std::floor(target)) - slack);
+        upper[p] = static_cast<Area>(std::ceil(target)) + slack;
+    }
+    return {std::move(lower), std::move(upper)};
+}
+
+BalanceConstraint BalanceConstraint::forRefinement(const Hypergraph& h, PartId k, double r) {
+    if (k < 1) throw std::invalid_argument("BalanceConstraint: k must be >= 1");
+    if (r < 0.0 || r >= 1.0) throw std::invalid_argument("BalanceConstraint: tolerance must be in [0, 1)");
+    const double target = static_cast<double>(h.totalArea()) / static_cast<double>(k);
+    // For k=2 this is exactly the paper's A(V)/2 ± max(A(v*), r*A(V)); for
+    // k>2 the r-term scales with the block target so the *relative* slack
+    // matches the bipartition case.
+    const double rSlack = r * static_cast<double>(h.totalArea()) * 2.0 / static_cast<double>(k);
+    const Area slack = std::max<Area>(h.maxArea(), static_cast<Area>(std::ceil(rSlack)));
+    const Area lo = std::max<Area>(0, static_cast<Area>(std::floor(target)) - slack);
+    const Area hi = static_cast<Area>(std::ceil(target)) + slack;
+    return {std::vector<Area>(static_cast<std::size_t>(k), lo), std::vector<Area>(static_cast<std::size_t>(k), hi)};
+}
+
+bool BalanceConstraint::satisfied(const Partition& part) const {
+    for (PartId p = 0; p < numParts(); ++p) {
+        const Area a = part.blockArea(p);
+        if (a < lower(p) || a > upper(p)) return false;
+    }
+    return true;
+}
+
+bool BalanceConstraint::allowsMove(const Partition& part, Area a, PartId from, PartId to) const {
+    if (from == to) return true;
+    return part.blockArea(from) - a >= lower(from) && part.blockArea(to) + a <= upper(to);
+}
+
+PartId netSpan(const Hypergraph& h, const Partition& part, NetId e) {
+    // Net sizes are small in practice; a tiny inline set is cheaper than a
+    // bitset over k.
+    PartId seen[8];
+    PartId nSeen = 0;
+    std::vector<PartId> overflow;
+    for (ModuleId v : h.pins(e)) {
+        const PartId p = part.part(v);
+        bool found = false;
+        for (PartId i = 0; i < nSeen && i < 8; ++i)
+            if (seen[i] == p) { found = true; break; }
+        if (!found)
+            for (PartId q : overflow)
+                if (q == p) { found = true; break; }
+        if (!found) {
+            if (nSeen < 8) seen[nSeen] = p;
+            else overflow.push_back(p);
+            ++nSeen;
+        }
+    }
+    return nSeen;
+}
+
+Weight cutWeight(const Hypergraph& h, const Partition& part) {
+    Weight cut = 0;
+    for (NetId e = 0; e < h.numNets(); ++e)
+        if (netSpan(h, part, e) > 1) cut += h.netWeight(e);
+    return cut;
+}
+
+std::int64_t cutNets(const Hypergraph& h, const Partition& part) {
+    std::int64_t cut = 0;
+    for (NetId e = 0; e < h.numNets(); ++e)
+        if (netSpan(h, part, e) > 1) ++cut;
+    return cut;
+}
+
+Weight sumOfDegrees(const Hypergraph& h, const Partition& part) {
+    Weight total = 0;
+    for (NetId e = 0; e < h.numNets(); ++e)
+        total += h.netWeight(e) * static_cast<Weight>(netSpan(h, part, e) - 1);
+    return total;
+}
+
+Partition randomPartition(const Hypergraph& h, PartId k, const BalanceConstraint& bc, std::mt19937_64& rng) {
+    std::vector<ModuleId> order(static_cast<std::size_t>(h.numModules()));
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    Partition part(h, k);
+    // Greedy lightest-block assignment of shuffled modules yields a nearly
+    // perfectly balanced start even with non-unit areas.
+    std::vector<PartId> assign(order.size(), 0);
+    std::vector<Area> load(static_cast<std::size_t>(k), 0);
+    for (ModuleId v : order) {
+        PartId best = 0;
+        for (PartId p = 1; p < k; ++p)
+            if (load[static_cast<std::size_t>(p)] < load[static_cast<std::size_t>(best)]) best = p;
+        assign[static_cast<std::size_t>(v)] = best;
+        load[static_cast<std::size_t>(best)] += h.area(v);
+    }
+    Partition result(h, k, std::move(assign));
+    rebalance(h, result, bc, rng);
+    return result;
+}
+
+std::int64_t rebalance(const Hypergraph& h, Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) {
+    if (bc.satisfied(part)) return 0;
+    std::vector<ModuleId> order(static_cast<std::size_t>(h.numModules()));
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    std::int64_t moved = 0;
+    bool progress = true;
+    while (!bc.satisfied(part) && progress) {
+        progress = false;
+        for (ModuleId v : order) {
+            const PartId from = part.part(v);
+            const Area a = h.area(v);
+            const bool fromOverfull = part.blockArea(from) > bc.upper(from);
+            // A donor must either be overfull itself, or be able to spare
+            // the module for an underfull block without dropping below its
+            // own lower bound.
+            if (!fromOverfull && part.blockArea(from) - a < bc.lower(from)) continue;
+            PartId best = kInvalidPart;
+            bool bestUnderfull = false;
+            for (PartId p = 0; p < part.numParts(); ++p) {
+                if (p == from) continue;
+                if (part.blockArea(p) + a > bc.upper(p)) continue;
+                const bool underfull = part.blockArea(p) < bc.lower(p);
+                if (!fromOverfull && !underfull) continue; // pointless shuffle
+                if (best == kInvalidPart || (underfull && !bestUnderfull) ||
+                    (underfull == bestUnderfull && part.blockArea(p) < part.blockArea(best))) {
+                    best = p;
+                    bestUnderfull = underfull;
+                }
+            }
+            if (best == kInvalidPart) continue;
+            part.move(h, v, best);
+            ++moved;
+            progress = true;
+            if (bc.satisfied(part)) return moved;
+        }
+    }
+    return moved;
+}
+
+} // namespace mlpart

@@ -1,0 +1,117 @@
+// Partition representation, balance constraints, and cut objectives.
+#pragma once
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/types.h"
+
+namespace mlpart {
+
+/// Assignment of every module to one of k blocks, with cached block areas.
+///
+/// Invariant: every module is assigned (part(v) in [0, k)), and blockArea(p)
+/// equals the sum of areas of modules assigned to p.
+class Partition {
+public:
+    Partition() = default;
+    /// All modules initially in block 0.
+    Partition(const Hypergraph& h, PartId k);
+    /// Construction from an explicit assignment (validated).
+    Partition(const Hypergraph& h, PartId k, std::vector<PartId> assignment);
+
+    [[nodiscard]] PartId numParts() const { return k_; }
+    [[nodiscard]] ModuleId numModules() const { return static_cast<ModuleId>(part_.size()); }
+    [[nodiscard]] PartId part(ModuleId v) const { return part_[static_cast<std::size_t>(v)]; }
+    [[nodiscard]] Area blockArea(PartId p) const { return blockArea_[static_cast<std::size_t>(p)]; }
+    [[nodiscard]] std::span<const PartId> assignment() const { return part_; }
+
+    /// Moves module `v` to block `to`, updating cached block areas.
+    /// The caller supplies the hypergraph for the area lookup.
+    void move(const Hypergraph& h, ModuleId v, PartId to);
+
+    /// Number of modules in block `p` (O(n); for reporting/tests).
+    [[nodiscard]] ModuleId blockSize(PartId p) const;
+
+private:
+    PartId k_ = 0;
+    std::vector<PartId> part_;
+    std::vector<Area> blockArea_;
+};
+
+/// Per-block area bounds [lower, upper].
+///
+/// The paper's refinement bound for bipartitioning with tolerance r is
+///   A(V)/2 - max(A(v*), r*A(V)) <= A(X) <= A(V)/2 + max(A(v*), r*A(V))
+/// (Section III.B); the reporting bound of Section I is
+///   A(V)(1-r)/2 <= A(X) <= A(V)(1+r)/2.
+/// Both shapes (and k-way generalizations) are expressible here.
+class BalanceConstraint {
+public:
+    BalanceConstraint() = default;
+    BalanceConstraint(std::vector<Area> lower, std::vector<Area> upper);
+
+    /// Paper Section I bound generalized to k blocks:
+    /// A(V)(1-r)/k <= A(X_p) <= A(V)(1+r)/k.
+    static BalanceConstraint forTolerance(const Hypergraph& h, PartId k, double r);
+
+    /// Refinement-style bounds around arbitrary per-block area targets
+    /// given as fractions of A(V) (must sum to ~1). Used by recursive
+    /// bisection for uneven splits: block p targets A(V)*fractions[p] with
+    /// slack max(A(v*), 2*r*A(V)*fractions[p]).
+    static BalanceConstraint forTargets(const Hypergraph& h, const std::vector<double>& fractions,
+                                        double r);
+
+    /// Paper Section III.B refinement bound generalized to k blocks:
+    /// A(V)/k -/+ max(A(v*), r*A(V)/ (k/2... )) — for k=2 this is exactly
+    /// A(V)/2 ± max(A(v*), r*A(V)); for k>2 the slack max(A(v*), r*A(V)/k*k/2)
+    /// degenerates to max(A(v*), r*A(V)) scaled by 2/k so that the relative
+    /// slack matches the bipartition case.
+    static BalanceConstraint forRefinement(const Hypergraph& h, PartId k, double r);
+
+    [[nodiscard]] PartId numParts() const { return static_cast<PartId>(lower_.size()); }
+    [[nodiscard]] Area lower(PartId p) const { return lower_[static_cast<std::size_t>(p)]; }
+    [[nodiscard]] Area upper(PartId p) const { return upper_[static_cast<std::size_t>(p)]; }
+
+    /// True when every block of `part` is within bounds.
+    [[nodiscard]] bool satisfied(const Partition& part) const;
+    /// True when moving a module of area `a` from `from` to `to` keeps both
+    /// affected blocks within bounds.
+    [[nodiscard]] bool allowsMove(const Partition& part, Area a, PartId from, PartId to) const;
+
+private:
+    std::vector<Area> lower_, upper_;
+};
+
+/// Span of a net: the number of distinct blocks containing at least one of
+/// its pins. A net is cut iff its span is >= 2.
+[[nodiscard]] PartId netSpan(const Hypergraph& h, const Partition& part, NetId e);
+
+/// Weighted cut: sum of weights of nets spanning >= 2 blocks (paper, §I).
+[[nodiscard]] Weight cutWeight(const Hypergraph& h, const Partition& part);
+
+/// Number of cut nets, ignoring weights (what the paper's tables report
+/// with unit weights).
+[[nodiscard]] std::int64_t cutNets(const Hypergraph& h, const Partition& part);
+
+/// Sum-of-degrees objective: sum over nets of w(e) * (span(e) - 1).
+/// This is the "sum of cluster degrees" gain objective of Section III.C.
+[[nodiscard]] Weight sumOfDegrees(const Hypergraph& h, const Partition& part);
+
+/// Generates a random balanced k-way partition: modules are shuffled and
+/// greedily assigned to the currently lightest block, then repaired to meet
+/// `bc` when possible.
+[[nodiscard]] Partition randomPartition(const Hypergraph& h, PartId k, const BalanceConstraint& bc,
+                                        std::mt19937_64& rng);
+
+/// Rebalances `part` in place by randomly moving modules from overfull
+/// blocks to underfull ones (paper §III.B: projected solutions that violate
+/// the finer level's constraint are "rebalanced by randomly moving modules
+/// from the larger cluster to the smaller one"). Returns the number of
+/// modules moved.
+std::int64_t rebalance(const Hypergraph& h, Partition& part, const BalanceConstraint& bc,
+                       std::mt19937_64& rng);
+
+} // namespace mlpart

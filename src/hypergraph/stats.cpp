@@ -1,0 +1,61 @@
+#include "hypergraph/stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace mlpart {
+
+std::vector<std::int32_t> connectedComponents(const Hypergraph& h) {
+    const ModuleId n = h.numModules();
+    std::vector<std::int32_t> label(static_cast<std::size_t>(n), -1);
+    std::vector<char> netSeen(static_cast<std::size_t>(h.numNets()), 0);
+    std::vector<ModuleId> stack;
+    std::int32_t next = 0;
+    for (ModuleId s = 0; s < n; ++s) {
+        if (label[static_cast<std::size_t>(s)] != -1) continue;
+        label[static_cast<std::size_t>(s)] = next;
+        stack.assign(1, s);
+        while (!stack.empty()) {
+            const ModuleId v = stack.back();
+            stack.pop_back();
+            for (NetId e : h.nets(v)) {
+                if (netSeen[static_cast<std::size_t>(e)]) continue;
+                netSeen[static_cast<std::size_t>(e)] = 1;
+                for (ModuleId u : h.pins(e)) {
+                    if (label[static_cast<std::size_t>(u)] == -1) {
+                        label[static_cast<std::size_t>(u)] = next;
+                        stack.push_back(u);
+                    }
+                }
+            }
+        }
+        ++next;
+    }
+    return label;
+}
+
+HypergraphStats computeStats(const Hypergraph& h) {
+    HypergraphStats s;
+    s.numModules = h.numModules();
+    s.numNets = h.numNets();
+    s.numPins = h.numPins();
+    for (NetId e = 0; e < h.numNets(); ++e) s.maxNetSize = std::max(s.maxNetSize, h.netSize(e));
+    for (ModuleId v = 0; v < h.numModules(); ++v) {
+        s.maxDegree = std::max(s.maxDegree, h.degree(v));
+        if (h.degree(v) == 0) ++s.numIsolatedModules;
+    }
+    s.avgNetSize = s.numNets > 0 ? static_cast<double>(s.numPins) / static_cast<double>(s.numNets) : 0.0;
+    s.avgDegree = s.numModules > 0 ? static_cast<double>(s.numPins) / static_cast<double>(s.numModules) : 0.0;
+    const auto labels = connectedComponents(h);
+    s.numConnectedComponents = labels.empty() ? 0 : 1 + *std::max_element(labels.begin(), labels.end());
+    return s;
+}
+
+std::string formatStatsRow(const std::string& name, const HypergraphStats& s) {
+    std::ostringstream os;
+    os << name << '\t' << s.numModules << '\t' << s.numNets << '\t' << s.numPins;
+    return os.str();
+}
+
+} // namespace mlpart

@@ -1,0 +1,35 @@
+// Structural statistics of a hypergraph (Table I style reporting) and
+// connectivity analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace mlpart {
+
+/// Size characteristics as reported in the paper's Table I, plus a few
+/// extra distribution figures useful for validating synthetic circuits.
+struct HypergraphStats {
+    ModuleId numModules = 0;
+    NetId numNets = 0;
+    std::int64_t numPins = 0;
+    double avgNetSize = 0.0;
+    std::int32_t maxNetSize = 0;
+    double avgDegree = 0.0;
+    std::int32_t maxDegree = 0;
+    ModuleId numIsolatedModules = 0; ///< modules with no incident net
+    std::int64_t numConnectedComponents = 0;
+};
+
+[[nodiscard]] HypergraphStats computeStats(const Hypergraph& h);
+
+/// Connected-component label per module (components connect via shared
+/// nets). Labels are dense, starting at 0.
+[[nodiscard]] std::vector<std::int32_t> connectedComponents(const Hypergraph& h);
+
+/// One-line Table-I style summary: "name  modules nets pins".
+[[nodiscard]] std::string formatStatsRow(const std::string& name, const HypergraphStats& s);
+
+} // namespace mlpart

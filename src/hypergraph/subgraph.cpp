@@ -1,0 +1,35 @@
+#include "hypergraph/subgraph.h"
+
+#include <stdexcept>
+
+#include "hypergraph/builder.h"
+
+namespace mlpart {
+
+SubgraphResult extractSubgraph(const Hypergraph& h, const std::vector<char>& inSubset) {
+    if (inSubset.size() != static_cast<std::size_t>(h.numModules()))
+        throw std::invalid_argument("extractSubgraph: mask size mismatch");
+    SubgraphResult result;
+    std::vector<ModuleId> toSub(static_cast<std::size_t>(h.numModules()), kInvalidModule);
+    for (ModuleId v = 0; v < h.numModules(); ++v) {
+        if (inSubset[static_cast<std::size_t>(v)]) {
+            toSub[static_cast<std::size_t>(v)] = static_cast<ModuleId>(result.toParent.size());
+            result.toParent.push_back(v);
+        }
+    }
+    HypergraphBuilder b(static_cast<ModuleId>(result.toParent.size()));
+    for (std::size_t i = 0; i < result.toParent.size(); ++i)
+        b.setArea(static_cast<ModuleId>(i), h.area(result.toParent[i]));
+    std::vector<ModuleId> pins;
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        pins.clear();
+        for (ModuleId v : h.pins(e))
+            if (toSub[static_cast<std::size_t>(v)] != kInvalidModule)
+                pins.push_back(toSub[static_cast<std::size_t>(v)]);
+        if (pins.size() >= 2) b.addNet(pins, h.netWeight(e));
+    }
+    result.graph = std::move(b).build();
+    return result;
+}
+
+} // namespace mlpart

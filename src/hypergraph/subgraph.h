@@ -1,0 +1,24 @@
+// Induced sub-hypergraph extraction, used by top-down (recursive
+// partitioning-driven) placement: each region's cells become a standalone
+// hypergraph whose nets are the original nets restricted to the region
+// (nets with fewer than two pins inside vanish).
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace mlpart {
+
+struct SubgraphResult {
+    Hypergraph graph;
+    /// Maps sub-hypergraph module ids back to the parent's ids.
+    std::vector<ModuleId> toParent;
+};
+
+/// Extracts the sub-hypergraph induced by modules with inSubset[v] != 0.
+/// Module areas are preserved; net weights are preserved for surviving
+/// nets. Throws std::invalid_argument if the mask size mismatches.
+[[nodiscard]] SubgraphResult extractSubgraph(const Hypergraph& h, const std::vector<char>& inSubset);
+
+} // namespace mlpart

@@ -1,0 +1,30 @@
+// Basic identifier and weight types shared across the mlpart libraries.
+//
+// A netlist hypergraph H(V, E) has modules (cells) V and nets E; a net is a
+// subset of V with at least two members (paper, Section I). Modules and nets
+// are identified by dense 0-based indices so that every per-module /
+// per-net attribute can live in a flat array.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mlpart {
+
+/// Dense 0-based module (cell) index.
+using ModuleId = std::int32_t;
+/// Dense 0-based net index.
+using NetId = std::int32_t;
+/// Partition block index (0..k-1); kInvalidPart marks "unassigned".
+using PartId = std::int32_t;
+/// Module area; the paper uses unit areas for all experiments but the
+/// algorithms support arbitrary non-negative integer areas.
+using Area = std::int64_t;
+/// Net weight used in cut objectives (1 for all paper experiments).
+using Weight = std::int64_t;
+
+inline constexpr ModuleId kInvalidModule = -1;
+inline constexpr NetId kInvalidNet = -1;
+inline constexpr PartId kInvalidPart = -1;
+
+} // namespace mlpart

@@ -1,0 +1,42 @@
+// Configuration of the Sanchis-style multi-way FM refiner.
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/types.h"
+#include "refine/gain_bucket.h"
+
+namespace mlpart {
+
+/// Gain objective for multi-way moves (paper Section III.C: "we have
+/// implemented the sum of cluster degrees, net cut, and generic gain
+/// computations; our quadrisection results are reported for the sum of
+/// degrees gain computation").
+enum class KWayObjective {
+    kNetCut,       ///< sum of w(e) over nets with span >= 2
+    kSumOfDegrees, ///< sum of w(e) * (span(e) - 1)
+};
+
+[[nodiscard]] inline const char* toString(KWayObjective o) {
+    return o == KWayObjective::kNetCut ? "net-cut" : "sum-of-degrees";
+}
+
+struct KWayConfig {
+    KWayObjective objective = KWayObjective::kSumOfDegrees;
+    BucketPolicy policy = BucketPolicy::kLifo;
+    double tolerance = 0.1;
+    int maxNetSize = 200;
+    int maxPasses = 32;
+    /// CLIP-style pass preprocessing (concatenate buckets into index 0).
+    bool clip = false;
+    /// Sanchis lookahead depth: 0/1 = off (the paper's quadrisection
+    /// configuration, "Sanchis without lookahead"), 2..4 = break ties in
+    /// the winning bucket by level-2..k gain vectors.
+    int lookahead = 0;
+    int lookaheadWidth = 16;
+    /// Modules that must keep their initial block (pre-assigned I/O pads,
+    /// Section III.C). Empty = none; otherwise one flag per module.
+    std::vector<char> fixed;
+};
+
+} // namespace mlpart

@@ -1,0 +1,282 @@
+#include "kway/kway_refiner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlpart {
+
+KWayFMRefiner::KWayFMRefiner(const Hypergraph& h, KWayConfig cfg) : h_(h), cfg_(std::move(cfg)) {
+    if (cfg_.tolerance < 0.0 || cfg_.tolerance >= 1.0)
+        throw std::invalid_argument("KWayFMRefiner: tolerance must be in [0, 1)");
+    if (cfg_.maxNetSize < 2) throw std::invalid_argument("KWayFMRefiner: maxNetSize must be >= 2");
+    if (!cfg_.fixed.empty() && cfg_.fixed.size() != static_cast<std::size_t>(h.numModules()))
+        throw std::invalid_argument("KWayFMRefiner: fixed mask size mismatch");
+    if (cfg_.lookahead < 0 || cfg_.lookahead > 8)
+        throw std::invalid_argument("KWayFMRefiner: lookahead depth out of range");
+}
+
+void KWayFMRefiner::initNetState(const Partition& part) {
+    const NetId m = h_.numNets();
+    activeNet_.assign(static_cast<std::size_t>(m), 0);
+    counts_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(k_), 0);
+    lockedCounts_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(k_), 0);
+    span_.assign(static_cast<std::size_t>(m), 0);
+    curObjective_ = 0;
+    for (NetId e = 0; e < m; ++e) {
+        if (h_.netSize(e) > cfg_.maxNetSize) continue;
+        activeNet_[static_cast<std::size_t>(e)] = 1;
+        for (ModuleId v : h_.pins(e)) count(e, part.part(v))++;
+        PartId sp = 0;
+        for (PartId p = 0; p < k_; ++p)
+            if (count(e, p) > 0) ++sp;
+        span_[static_cast<std::size_t>(e)] = sp;
+        if (cfg_.objective == KWayObjective::kNetCut) {
+            if (sp > 1) curObjective_ += h_.netWeight(e);
+        } else {
+            curObjective_ += h_.netWeight(e) * static_cast<Weight>(sp - 1);
+        }
+    }
+}
+
+Weight KWayFMRefiner::moveGain(ModuleId v, PartId q, const Partition& part) const {
+    const PartId p = part.part(v);
+    Weight g = 0;
+    for (NetId e : h_.nets(v)) {
+        const std::size_t ei = static_cast<std::size_t>(e);
+        if (!activeNet_[ei]) continue;
+        const PartId sp = span_[ei];
+        const PartId spAfter = sp - (count(e, p) == 1 ? 1 : 0) + (count(e, q) == 0 ? 1 : 0);
+        if (cfg_.objective == KWayObjective::kNetCut)
+            g += h_.netWeight(e) * ((sp > 1 ? 1 : 0) - (spAfter > 1 ? 1 : 0));
+        else
+            g += h_.netWeight(e) * static_cast<Weight>(sp - spAfter);
+    }
+    return g;
+}
+
+Weight KWayFMRefiner::lookaheadGain(ModuleId v, PartId q, int depth, const Partition& part) const {
+    // Krishnamurthy/Sanchis level-r gain generalized to k blocks: a net
+    // can still leave block x at level r if x holds no locked pins of it
+    // and exactly r free ones.
+    const PartId p = part.part(v);
+    Weight g = 0;
+    for (NetId e : h_.nets(v)) {
+        const std::size_t ei = static_cast<std::size_t>(e);
+        if (!activeNet_[ei]) continue;
+        const std::size_t base = ei * static_cast<std::size_t>(k_);
+        const std::int32_t lockedP = lockedCounts_[base + static_cast<std::size_t>(p)];
+        const std::int32_t lockedQ = lockedCounts_[base + static_cast<std::size_t>(q)];
+        const std::int32_t freeP = count(e, p) - lockedP;
+        const std::int32_t freeQ = count(e, q) - lockedQ;
+        if (lockedP == 0 && freeP == depth) g += h_.netWeight(e);
+        if (lockedQ == 0 && freeQ == depth - 1) g -= h_.netWeight(e);
+    }
+    return g;
+}
+
+void KWayFMRefiner::buildBuckets(const Partition& part) {
+    for (auto& b : buckets_)
+        if (b) b->clear();
+    const ModuleId n = h_.numModules();
+    for (ModuleId v = 0; v < n; ++v) {
+        if (locked_[static_cast<std::size_t>(v)]) continue;
+        const PartId p = part.part(v);
+        for (PartId q = 0; q < k_; ++q) {
+            if (q == p) continue;
+            bucket(p, q).insert(v, moveGain(v, q, part));
+        }
+    }
+    if (cfg_.clip)
+        for (auto& b : buckets_)
+            if (b) b->clipConcatenate();
+}
+
+void KWayFMRefiner::refreshModuleGains(ModuleId v, const Partition& part) {
+    const PartId p = part.part(v);
+    for (PartId q = 0; q < k_; ++q) {
+        if (q == p) continue;
+        GainBucketArray& b = bucket(p, q);
+        if (!b.contains(v)) continue;
+        // Apply the change in *real* gain as a delta so CLIP's relative
+        // ordering semantics are preserved.
+        const Weight real = moveGain(v, q, part);
+        const Weight stored = realGain_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
+                                        static_cast<std::size_t>(q)];
+        if (real != stored) {
+            b.adjustGain(v, real - stored);
+            realGain_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
+                      static_cast<std::size_t>(q)] = real;
+        }
+    }
+}
+
+Weight KWayFMRefiner::applyMove(ModuleId v, PartId to, Partition& part) {
+    const PartId from = part.part(v);
+    // True objective delta, from pin counts before the update.
+    const Weight delta = moveGain(v, to, part);
+    for (NetId e : h_.nets(v)) {
+        const std::size_t ei = static_cast<std::size_t>(e);
+        if (!activeNet_[ei]) continue;
+        if (count(e, from) == 1) span_[ei]--;
+        if (count(e, to) == 0) span_[ei]++;
+        count(e, from)--;
+        count(e, to)++;
+        lockedCounts_[ei * static_cast<std::size_t>(k_) + static_cast<std::size_t>(to)]++;
+    }
+    part.move(h_, v, to);
+    locked_[static_cast<std::size_t>(v)] = 1;
+    for (PartId q = 0; q < k_; ++q) {
+        if (q == from) continue;
+        if (bucket(from, q).contains(v)) bucket(from, q).remove(v);
+    }
+    curObjective_ -= delta;
+
+    // Refresh every free neighbour's gains (deduplicated via epoch marks).
+    ++epoch_;
+    for (NetId e : h_.nets(v)) {
+        if (!activeNet_[static_cast<std::size_t>(e)]) continue;
+        for (ModuleId u : h_.pins(e)) {
+            const std::size_t ui = static_cast<std::size_t>(u);
+            if (u == v || locked_[ui] || touched_[ui] == epoch_) continue;
+            touched_[ui] = epoch_;
+            refreshModuleGains(u, part);
+        }
+    }
+    return delta;
+}
+
+void KWayFMRefiner::undoMoves(std::size_t n, Partition& part) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const MoveRec rec = moves_.back();
+        moves_.pop_back();
+        for (NetId e : h_.nets(rec.v)) {
+            const std::size_t ei = static_cast<std::size_t>(e);
+            if (!activeNet_[ei]) continue;
+            if (count(e, rec.to) == 1) span_[ei]--;
+            if (count(e, rec.from) == 0) span_[ei]++;
+            count(e, rec.to)--;
+            count(e, rec.from)++;
+            lockedCounts_[ei * static_cast<std::size_t>(k_) + static_cast<std::size_t>(rec.to)]--;
+        }
+        part.move(h_, rec.v, rec.from);
+        locked_[static_cast<std::size_t>(rec.v)] = 0;
+        curObjective_ += rec.delta;
+    }
+}
+
+Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) {
+    buildBuckets(part);
+    // Cache the real gains the buckets were built with (for CLIP deltas).
+    realGain_.assign(static_cast<std::size_t>(h_.numModules()) * static_cast<std::size_t>(k_), 0);
+    for (ModuleId v = 0; v < h_.numModules(); ++v) {
+        if (locked_[static_cast<std::size_t>(v)]) continue;
+        const PartId p = part.part(v);
+        for (PartId q = 0; q < k_; ++q)
+            if (q != p)
+                realGain_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
+                          static_cast<std::size_t>(q)] = moveGain(v, q, part);
+    }
+
+    moves_.clear();
+    Weight cumGain = 0;
+    Weight bestGain = 0;
+    std::size_t bestIdx = 0;
+    while (true) {
+        ModuleId bestV = kInvalidModule;
+        PartId bestTo = kInvalidPart;
+        Weight bestDisplayed = 0;
+        for (PartId p = 0; p < k_; ++p) {
+            for (PartId q = 0; q < k_; ++q) {
+                if (p == q) continue;
+                GainBucketArray& b = bucket(p, q);
+                auto feasible = [&](ModuleId v) { return bc.allowsMove(part, h_.area(v), p, q); };
+                const ModuleId v = b.selectBest(feasible, rng);
+                if (v == kInvalidModule) continue;
+                const Weight g = b.gain(v);
+                if (bestV == kInvalidModule || g > bestDisplayed) {
+                    bestV = v;
+                    bestTo = q;
+                    bestDisplayed = g;
+                }
+            }
+        }
+        if (bestV == kInvalidModule) break;
+        if (cfg_.lookahead >= 2) {
+            // Tie-break equal-displayed-gain candidates of the winning
+            // bucket by their level-2..k lookahead vectors.
+            const PartId p = part.part(bestV);
+            GainBucketArray& b = bucket(p, bestTo);
+            int examined = 0;
+            ModuleId best = bestV;
+            std::vector<Weight> bestVecL;
+            for (ModuleId v = b.head(bestDisplayed); v != kInvalidModule && examined < cfg_.lookaheadWidth;
+                 v = b.next(v)) {
+                if (!bc.allowsMove(part, h_.area(v), p, bestTo)) continue;
+                ++examined;
+                std::vector<Weight> vec;
+                for (int d = 2; d <= cfg_.lookahead; ++d)
+                    vec.push_back(lookaheadGain(v, bestTo, d, part));
+                if (bestVecL.empty() && v == best) { bestVecL = std::move(vec); continue; }
+                if (bestVecL.empty() || std::lexicographical_compare(bestVecL.begin(), bestVecL.end(),
+                                                                     vec.begin(), vec.end())) {
+                    best = v;
+                    bestVecL = std::move(vec);
+                }
+            }
+            bestV = best;
+        }
+        const PartId from = part.part(bestV);
+        const Weight delta = applyMove(bestV, bestTo, part);
+        moves_.push_back({bestV, from, bestTo, delta});
+        cumGain += delta;
+        if (cumGain > bestGain) {
+            bestGain = cumGain;
+            bestIdx = moves_.size();
+        }
+    }
+    undoMoves(moves_.size() - bestIdx, part);
+    return bestGain;
+}
+
+Weight KWayFMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) {
+    k_ = part.numParts();
+    if (k_ < 2) throw std::invalid_argument("KWayFMRefiner: requires k >= 2");
+    if (bc.numParts() != k_) throw std::invalid_argument("KWayFMRefiner: constraint arity mismatch");
+
+    const ModuleId n = h_.numModules();
+    locked_.assign(static_cast<std::size_t>(n), 0);
+    touched_.assign(static_cast<std::size_t>(n), 0);
+    epoch_ = 0;
+    buckets_.clear();
+    buckets_.resize(static_cast<std::size_t>(k_) * static_cast<std::size_t>(k_));
+    for (PartId p = 0; p < k_; ++p)
+        for (PartId q = 0; q < k_; ++q)
+            if (p != q)
+                buckets_[static_cast<std::size_t>(p) * static_cast<std::size_t>(k_) +
+                         static_cast<std::size_t>(q)] =
+                    std::make_unique<GainBucketArray>(n, h_.maxModuleGain(), cfg_.clip, cfg_.policy);
+
+    if (!bc.satisfied(part)) rebalance(h_, part, bc, rng);
+    initNetState(part);
+
+    lastPassCount_ = 0;
+    for (int pass = 0; pass < cfg_.maxPasses; ++pass) {
+        // Pre-assigned (fixed) modules stay locked through every pass.
+        if (cfg_.fixed.empty()) std::fill(locked_.begin(), locked_.end(), 0);
+        else std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_.begin());
+        const Weight gain = runPass(part, bc, rng);
+        ++lastPassCount_;
+        if (gain <= 0) break;
+    }
+    return cutWeight(h_, part);
+}
+
+RefinerFactory makeKWayFactory(KWayConfig cfg) {
+    return [cfg](const Hypergraph& h, const std::vector<char>& fixedMask) -> std::unique_ptr<Refiner> {
+        KWayConfig local = cfg;
+        local.fixed = fixedMask;
+        return std::make_unique<KWayFMRefiner>(h, std::move(local));
+    };
+}
+
+} // namespace mlpart

@@ -1,0 +1,61 @@
+#include "lsmc/lsmc.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace mlpart {
+
+LSMCPartitioner::LSMCPartitioner(LSMCConfig cfg, RefinerFactory factory)
+    : cfg_(cfg), factory_(std::move(factory)) {
+    if (!factory_) throw std::invalid_argument("LSMCPartitioner: null refiner factory");
+    if (cfg_.descents < 1) throw std::invalid_argument("LSMCPartitioner: descents must be >= 1");
+    if (cfg_.kickFraction <= 0.0 || cfg_.kickFraction > 1.0)
+        throw std::invalid_argument("LSMCPartitioner: kickFraction must be in (0, 1]");
+    if (cfg_.k < 2) throw std::invalid_argument("LSMCPartitioner: k must be >= 2");
+}
+
+void LSMCPartitioner::kick(const Hypergraph& h, Partition& part, const BalanceConstraint& bc,
+                           std::mt19937_64& rng) const {
+    const ModuleId n = h.numModules();
+    const std::int64_t swaps =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(cfg_.kickFraction * static_cast<double>(n) / 2.0));
+    std::uniform_int_distribution<ModuleId> pick(0, n - 1);
+    for (std::int64_t s = 0; s < swaps; ++s) {
+        const ModuleId a = pick(rng);
+        const ModuleId b = pick(rng);
+        const PartId pa = part.part(a);
+        const PartId pb = part.part(b);
+        if (pa == pb) continue;
+        part.move(h, a, pb);
+        part.move(h, b, pa);
+    }
+    if (!bc.satisfied(part)) rebalance(h, part, bc, rng);
+}
+
+LSMCResult LSMCPartitioner::run(const Hypergraph& h, std::mt19937_64& rng) const {
+    const BalanceConstraint startBc = BalanceConstraint::forTolerance(h, cfg_.k, cfg_.tolerance);
+    const BalanceConstraint refineBc = BalanceConstraint::forRefinement(h, cfg_.k, cfg_.tolerance);
+    auto refiner = factory_(h, {});
+
+    Partition best = randomPartition(h, cfg_.k, startBc, rng);
+    Weight bestCut = refiner->refine(best, refineBc, rng);
+
+    LSMCResult result{Partition(h, cfg_.k), 0, 0, 0};
+    for (int d = 1; d < cfg_.descents; ++d) {
+        Partition cand = best; // kick from the incumbent (temperature 0)
+        kick(h, cand, refineBc, rng);
+        const Weight cut = refiner->refine(cand, refineBc, rng);
+        if (cut < bestCut) {
+            best = std::move(cand);
+            bestCut = cut;
+            ++result.acceptedDescents;
+        }
+    }
+    result.partition = std::move(best);
+    result.cut = bestCut;
+    result.cutNetCount = cutNets(h, result.partition);
+    return result;
+}
+
+} // namespace mlpart

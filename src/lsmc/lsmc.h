@@ -1,0 +1,51 @@
+// Large-Step Markov Chain partitioning (Fukunaga-Huang-Kahng [16]),
+// reimplemented as in the paper's Table VII/IX comparison: 100 descents,
+// with the kick move applied to the best partitioning observed so far
+// (i.e. temperature = 0).
+//
+// One descent = kick the incumbent (a "big jump": a batch of random
+// cross-block swaps that preserves balance), then run the iterative engine
+// (FM or CLIP; k-way for quadrisection) to a new local minimum; keep it if
+// it is at least as good.
+#pragma once
+
+#include <random>
+
+#include "hypergraph/partition.h"
+#include "refine/refiner.h"
+
+namespace mlpart {
+
+struct LSMCConfig {
+    int descents = 100;         ///< paper: 100
+    double kickFraction = 0.05; ///< fraction of modules swapped per kick
+    double tolerance = 0.1;
+    PartId k = 2;
+};
+
+struct LSMCResult {
+    Partition partition;
+    Weight cut = 0;
+    std::int64_t cutNetCount = 0;
+    int acceptedDescents = 0; ///< descents that improved the incumbent
+};
+
+class LSMCPartitioner {
+public:
+    /// The factory supplies the descent engine (FM / CLIP / k-way).
+    LSMCPartitioner(LSMCConfig cfg, RefinerFactory factory);
+
+    [[nodiscard]] LSMCResult run(const Hypergraph& h, std::mt19937_64& rng) const;
+
+private:
+    /// Temperature-0 kick: swaps ~kickFraction*n module pairs between
+    /// random distinct blocks (balance approximately preserved, then
+    /// repaired).
+    void kick(const Hypergraph& h, Partition& part, const BalanceConstraint& bc,
+              std::mt19937_64& rng) const;
+
+    LSMCConfig cfg_;
+    RefinerFactory factory_;
+};
+
+} // namespace mlpart

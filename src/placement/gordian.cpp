@@ -1,0 +1,65 @@
+#include "placement/gordian.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace mlpart {
+
+namespace {
+
+// Splits `ids` (pre-sorted by coordinate) at the area median: the prefix
+// whose area first reaches half the total goes to side 0.
+std::vector<char> areaMedianSplit(const Hypergraph& h, const std::vector<ModuleId>& ids) {
+    Area total = 0;
+    for (ModuleId v : ids) total += h.area(v);
+    std::vector<char> side(ids.size(), 1);
+    Area acc = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (2 * acc >= total) break;
+        side[i] = 0;
+        acc += h.area(ids[i]);
+    }
+    return side;
+}
+
+} // namespace
+
+GordianResult gordianQuadrisect(const Hypergraph& h, const GordianConfig& cfg, std::mt19937_64& rng) {
+    auto pads = cfg.pads.empty() ? choosePeripheralPads(h, cfg.padCount, rng) : cfg.pads;
+    const QuadraticPlacer placer(h, pads, cfg.placer);
+    PlacementResult placement = placer.place();
+
+    const ModuleId n = h.numModules();
+    std::vector<ModuleId> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+
+    // Horizontal ordering -> left/right split at the area median.
+    std::sort(order.begin(), order.end(), [&](ModuleId a, ModuleId b) {
+        return placement.x[static_cast<std::size_t>(a)] < placement.x[static_cast<std::size_t>(b)];
+    });
+    const std::vector<char> lr = areaMedianSplit(h, order);
+    std::vector<char> isRight(static_cast<std::size_t>(n), 0);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        isRight[static_cast<std::size_t>(order[i])] = lr[i];
+
+    // Vertical ordering, split independently inside each half.
+    std::vector<PartId> assign(static_cast<std::size_t>(n), 0);
+    for (int half = 0; half < 2; ++half) {
+        std::vector<ModuleId> ids;
+        for (ModuleId v = 0; v < n; ++v)
+            if (isRight[static_cast<std::size_t>(v)] == half) ids.push_back(v);
+        std::sort(ids.begin(), ids.end(), [&](ModuleId a, ModuleId b) {
+            return placement.y[static_cast<std::size_t>(a)] < placement.y[static_cast<std::size_t>(b)];
+        });
+        const std::vector<char> bt = areaMedianSplit(h, ids);
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            assign[static_cast<std::size_t>(ids[i])] = static_cast<PartId>(2 * half + bt[i]);
+    }
+
+    GordianResult result{Partition(h, 4, std::move(assign)), 0, std::move(placement)};
+    result.cutNetCount = cutNets(h, result.partition);
+    return result;
+}
+
+} // namespace mlpart

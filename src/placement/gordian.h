@@ -1,0 +1,39 @@
+// GORDIAN-like quadrisection baseline (paper Section IV.D / Table IX).
+//
+// GORDIAN preplaces the I/O pads, solves a quadratic program for the free
+// module locations, splits the induced horizontal ordering at the area
+// median into left/right halves, then a second optimization induces a
+// vertical ordering that is split to yield the 4-way partitioning. This
+// module reproduces that mechanism with our QuadraticPlacer: one x solve,
+// area-median x split, one y solve, per-half area-median y splits.
+// Setting reweightIterations > 0 gives the GORDIAN-L (linear-objective)
+// flavour.
+#pragma once
+
+#include <random>
+
+#include "hypergraph/partition.h"
+#include "placement/quadratic_placer.h"
+
+namespace mlpart {
+
+struct GordianConfig {
+    std::int32_t padCount = 64; ///< pseudo-pads placed on the periphery
+    PlacerConfig placer;        ///< placer.reweightIterations > 0 => GORDIAN-L
+    /// Explicit pad placement; when non-empty it overrides padCount and
+    /// the random peripheral choice (use for circuits with real pads).
+    std::vector<PadAssignment> pads;
+};
+
+struct GordianResult {
+    Partition partition;        ///< 4-way partitioning (block = quadrant)
+    std::int64_t cutNetCount = 0;
+    PlacementResult placement;  ///< the analytic placement that induced it
+};
+
+/// Runs the GORDIAN-style placement-driven quadrisection. Block ids:
+/// 0 = left-bottom, 1 = left-top, 2 = right-bottom, 3 = right-top.
+[[nodiscard]] GordianResult gordianQuadrisect(const Hypergraph& h, const GordianConfig& cfg,
+                                              std::mt19937_64& rng);
+
+} // namespace mlpart

@@ -1,0 +1,124 @@
+#include "placement/linear_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mlpart {
+
+SparseSymmetricMatrix::SparseSymmetricMatrix(std::int32_t n, std::vector<Triplet> offDiagonal,
+                                             std::vector<double> diagonal)
+    : n_(n), diag_(std::move(diagonal)) {
+    if (n < 0) throw std::invalid_argument("SparseSymmetricMatrix: negative dimension");
+    if (diag_.size() != static_cast<std::size_t>(n))
+        throw std::invalid_argument("SparseSymmetricMatrix: diagonal size mismatch");
+    // Mirror every triplet so multiply() can scan plain CSR rows.
+    std::vector<Triplet> sym;
+    sym.reserve(offDiagonal.size() * 2);
+    for (const Triplet& t : offDiagonal) {
+        if (t.row < 0 || t.row >= n || t.col < 0 || t.col >= n)
+            throw std::invalid_argument("SparseSymmetricMatrix: index out of range");
+        if (t.row == t.col)
+            throw std::invalid_argument("SparseSymmetricMatrix: diagonal entries belong in `diagonal`");
+        sym.push_back(t);
+        sym.push_back({t.col, t.row, t.value});
+    }
+    std::sort(sym.begin(), sym.end(), [](const Triplet& a, const Triplet& b) {
+        return a.row != b.row ? a.row < b.row : a.col < b.col;
+    });
+    rowOffsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (std::size_t i = 0; i < sym.size();) {
+        std::size_t j = i;
+        double sum = 0.0;
+        while (j < sym.size() && sym[j].row == sym[i].row && sym[j].col == sym[i].col) {
+            sum += sym[j].value; // accumulate duplicates
+            ++j;
+        }
+        cols_.push_back(sym[i].col);
+        values_.push_back(sum);
+        rowOffsets_[static_cast<std::size_t>(sym[i].row) + 1]++;
+        i = j;
+    }
+    for (std::size_t r = 1; r <= static_cast<std::size_t>(n); ++r) rowOffsets_[r] += rowOffsets_[r - 1];
+}
+
+void SparseSymmetricMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+    if (x.size() != static_cast<std::size_t>(n_) || y.size() != static_cast<std::size_t>(n_))
+        throw std::invalid_argument("SparseSymmetricMatrix::multiply: size mismatch");
+    for (std::int32_t i = 0; i < n_; ++i) {
+        double sum = diag_[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i)];
+        for (std::int64_t p = rowOffsets_[static_cast<std::size_t>(i)];
+             p < rowOffsets_[static_cast<std::size_t>(i) + 1]; ++p)
+            sum += values_[static_cast<std::size_t>(p)] * x[static_cast<std::size_t>(cols_[static_cast<std::size_t>(p)])];
+        y[static_cast<std::size_t>(i)] = sum;
+    }
+}
+
+CGResult conjugateGradient(const SparseSymmetricMatrix& A, std::span<const double> b,
+                           std::vector<double>& x, double tol, int maxIterations) {
+    const std::size_t n = static_cast<std::size_t>(A.dimension());
+    if (b.size() != n) throw std::invalid_argument("conjugateGradient: rhs size mismatch");
+    x.resize(n, 0.0);
+
+    std::vector<double> r(n), z(n), p(n), Ap(n);
+    A.multiply(x, Ap);
+    double bNorm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        r[i] = b[i] - Ap[i];
+        bNorm += b[i] * b[i];
+    }
+    bNorm = std::sqrt(bNorm);
+    const double target = tol * std::max(bNorm, 1e-300);
+
+    auto precond = [&](const std::vector<double>& rr, std::vector<double>& zz) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const double d = A.diagonal(static_cast<std::int32_t>(i));
+            zz[i] = d > 0.0 ? rr[i] / d : rr[i];
+        }
+    };
+
+    precond(r, z);
+    p = z;
+    double rz = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+
+    CGResult result;
+    double rNorm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rNorm += r[i] * r[i];
+    rNorm = std::sqrt(rNorm);
+    if (rNorm <= target) {
+        result.converged = true;
+        result.residualNorm = rNorm;
+        return result;
+    }
+
+    for (int it = 0; it < maxIterations; ++it) {
+        A.multiply(p, Ap);
+        double pAp = 0.0;
+        for (std::size_t i = 0; i < n; ++i) pAp += p[i] * Ap[i];
+        if (pAp <= 0.0) break; // matrix not SPD (floating pathologies); bail out
+        const double alpha = rz / pAp;
+        rNorm = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * Ap[i];
+            rNorm += r[i] * r[i];
+        }
+        rNorm = std::sqrt(rNorm);
+        result.iterations = it + 1;
+        if (rNorm <= target) {
+            result.converged = true;
+            break;
+        }
+        precond(r, z);
+        double rzNew = 0.0;
+        for (std::size_t i = 0; i < n; ++i) rzNew += r[i] * z[i];
+        const double beta = rzNew / rz;
+        rz = rzNew;
+        for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    }
+    result.residualNorm = rNorm;
+    return result;
+}
+
+} // namespace mlpart

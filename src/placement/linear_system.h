@@ -1,0 +1,54 @@
+// Sparse symmetric linear algebra for quadratic placement: a compressed
+// sparse row symmetric matrix and a Jacobi-preconditioned conjugate
+// gradient solver. The matrices here are graph Laplacians restricted to
+// free (non-pad) modules — symmetric positive definite whenever every
+// connected component touches a pad.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mlpart {
+
+/// Coordinate-form entry used during assembly.
+struct Triplet {
+    std::int32_t row;
+    std::int32_t col;
+    double value;
+};
+
+/// Symmetric sparse matrix; only off-diagonal entries are supplied as
+/// triplets (each unordered pair once), diagonal is stored densely.
+class SparseSymmetricMatrix {
+public:
+    /// Builds from off-diagonal triplets (duplicates are accumulated) and
+    /// an explicit diagonal.
+    SparseSymmetricMatrix(std::int32_t n, std::vector<Triplet> offDiagonal, std::vector<double> diagonal);
+
+    [[nodiscard]] std::int32_t dimension() const { return n_; }
+    [[nodiscard]] double diagonal(std::int32_t i) const { return diag_[static_cast<std::size_t>(i)]; }
+
+    /// y = A * x.
+    void multiply(std::span<const double> x, std::span<double> y) const;
+
+private:
+    std::int32_t n_;
+    std::vector<double> diag_;
+    std::vector<std::int64_t> rowOffsets_;
+    std::vector<std::int32_t> cols_;
+    std::vector<double> values_;
+};
+
+struct CGResult {
+    int iterations = 0;
+    double residualNorm = 0.0;
+    bool converged = false;
+};
+
+/// Solves A x = b by preconditioned conjugate gradient (Jacobi), starting
+/// from the provided x. Stops when ||r|| <= tol * ||b|| or maxIterations.
+CGResult conjugateGradient(const SparseSymmetricMatrix& A, std::span<const double> b,
+                           std::vector<double>& x, double tol = 1e-8, int maxIterations = 2000);
+
+} // namespace mlpart

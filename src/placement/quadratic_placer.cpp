@@ -1,0 +1,185 @@
+#include "placement/quadratic_placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "hypergraph/graph_model.h"
+
+namespace mlpart {
+
+QuadraticPlacer::QuadraticPlacer(const Hypergraph& h, std::vector<PadAssignment> pads, PlacerConfig cfg)
+    : h_(h), pads_(std::move(pads)), cfg_(cfg) {
+    if (pads_.empty()) throw std::invalid_argument("QuadraticPlacer: at least one pad required");
+    if (cfg_.maxCliqueNetSize < 2) throw std::invalid_argument("QuadraticPlacer: maxCliqueNetSize must be >= 2");
+    freeIndex_.assign(static_cast<std::size_t>(h.numModules()), 0);
+    for (const PadAssignment& p : pads_) {
+        if (p.v < 0 || p.v >= h.numModules())
+            throw std::invalid_argument("QuadraticPlacer: pad module id out of range");
+        if (freeIndex_[static_cast<std::size_t>(p.v)] == -1)
+            throw std::invalid_argument("QuadraticPlacer: duplicate pad");
+        freeIndex_[static_cast<std::size_t>(p.v)] = -1;
+    }
+    numFree_ = 0;
+    for (ModuleId v = 0; v < h.numModules(); ++v)
+        if (freeIndex_[static_cast<std::size_t>(v)] != -1) freeIndex_[static_cast<std::size_t>(v)] = numFree_++;
+    // Big nets enter the system through the star model: each star is an
+    // extra free variable appended after the real modules.
+    ModuleId numStars = 0;
+    if (cfg_.starForLargeNets) {
+        for (NetId e = 0; e < h.numNets(); ++e)
+            if (h.netSize(e) > cfg_.maxCliqueNetSize) ++numStars;
+    }
+    numStars_ = numStars;
+    starFreeBase_ = numFree_;
+    numFree_ += numStars;
+}
+
+std::vector<QuadraticPlacer::Edge> QuadraticPlacer::buildEdges() const {
+    std::vector<Edge> edges;
+    for (const WeightedEdge& e : cliqueExpansion(h_, cfg_.maxCliqueNetSize))
+        edges.push_back({e.u, e.v, e.w});
+    if (cfg_.starForLargeNets && numStars_ > 0) {
+        ModuleId star = 0;
+        for (NetId e = 0; e < h_.numNets(); ++e) {
+            if (h_.netSize(e) <= cfg_.maxCliqueNetSize) continue;
+            // Star weight scaled like the clique normalization so big nets
+            // do not dominate the objective.
+            const double w = static_cast<double>(h_.netWeight(e)) /
+                             static_cast<double>(h_.netSize(e) - 1);
+            const ModuleId starModule = h_.numModules() + star; // virtual id
+            for (ModuleId v : h_.pins(e)) edges.push_back({v, starModule, w});
+            ++star;
+        }
+    }
+    return edges;
+}
+
+void QuadraticPlacer::solveAxis(const std::vector<Edge>& edges, const std::vector<double>& padPos,
+                                std::vector<double>& out, PlacementResult& result) const {
+    // Free index of a (real or virtual-star) node; -1 for pads.
+    auto freeOf = [&](ModuleId node) -> std::int32_t {
+        if (node < h_.numModules()) return freeIndex_[static_cast<std::size_t>(node)];
+        return starFreeBase_ + (node - h_.numModules());
+    };
+    std::vector<Triplet> offDiag;
+    std::vector<double> diag(static_cast<std::size_t>(numFree_), 0.0);
+    std::vector<double> rhs(static_cast<std::size_t>(numFree_), 0.0);
+    for (const Edge& ed : edges) {
+        const std::int32_t fu = freeOf(ed.u);
+        const std::int32_t fv = freeOf(ed.v);
+        if (fu == -1 && fv == -1) continue; // pad-pad: constant term
+        if (fu == -1) {
+            diag[static_cast<std::size_t>(fv)] += ed.w;
+            rhs[static_cast<std::size_t>(fv)] += ed.w * padPos[static_cast<std::size_t>(ed.u)];
+        } else if (fv == -1) {
+            diag[static_cast<std::size_t>(fu)] += ed.w;
+            rhs[static_cast<std::size_t>(fu)] += ed.w * padPos[static_cast<std::size_t>(ed.v)];
+        } else {
+            diag[static_cast<std::size_t>(fu)] += ed.w;
+            diag[static_cast<std::size_t>(fv)] += ed.w;
+            offDiag.push_back({fu, fv, -ed.w});
+        }
+    }
+    // Free modules with no connectivity at all would make the system
+    // singular; give them a tiny anchor at the region center (0.5).
+    for (std::int32_t i = 0; i < numFree_; ++i) {
+        if (diag[static_cast<std::size_t>(i)] == 0.0) {
+            diag[static_cast<std::size_t>(i)] = 1.0;
+            rhs[static_cast<std::size_t>(i)] = 0.5;
+        }
+    }
+    const SparseSymmetricMatrix A(numFree_, std::move(offDiag), std::move(diag));
+    std::vector<double> xf(static_cast<std::size_t>(numFree_), 0.5);
+    const CGResult cg = conjugateGradient(A, rhs, xf, cfg_.cgTolerance, cfg_.cgMaxIterations);
+    result.cgIterations += cg.iterations;
+    result.converged = result.converged && cg.converged;
+
+    for (ModuleId v = 0; v < h_.numModules(); ++v) {
+        const std::int32_t f = freeIndex_[static_cast<std::size_t>(v)];
+        out[static_cast<std::size_t>(v)] =
+            f == -1 ? padPos[static_cast<std::size_t>(v)] : xf[static_cast<std::size_t>(f)];
+    }
+}
+
+PlacementResult QuadraticPlacer::place() const {
+    const std::size_t n = static_cast<std::size_t>(h_.numModules());
+    std::vector<double> padX(n, 0.0), padY(n, 0.0);
+    for (const PadAssignment& p : pads_) {
+        padX[static_cast<std::size_t>(p.v)] = p.x;
+        padY[static_cast<std::size_t>(p.v)] = p.y;
+    }
+    PlacementResult result;
+    result.x.assign(n, 0.0);
+    result.y.assign(n, 0.0);
+
+    std::vector<Edge> edges = buildEdges();
+    solveAxis(edges, padX, result.x, result);
+    solveAxis(edges, padY, result.y, result);
+
+    // GORDIAN-L approximation: reweight each pair by its current distance
+    // and re-solve, which drives the quadratic objective toward linear
+    // wirelength. Star endpoints reuse the chip-center estimate (0.5) as
+    // their position proxy.
+    for (int iter = 0; iter < cfg_.reweightIterations; ++iter) {
+        auto posX = [&](ModuleId node) {
+            return node < h_.numModules() ? result.x[static_cast<std::size_t>(node)] : 0.5;
+        };
+        auto posY = [&](ModuleId node) {
+            return node < h_.numModules() ? result.y[static_cast<std::size_t>(node)] : 0.5;
+        };
+        std::vector<Edge> rw = edges;
+        for (Edge& ed : rw) {
+            const double dx = posX(ed.u) - posX(ed.v);
+            const double dy = posY(ed.u) - posY(ed.v);
+            ed.w /= std::max(std::sqrt(dx * dx + dy * dy), cfg_.reweightEpsilon);
+        }
+        solveAxis(rw, padX, result.x, result);
+        solveAxis(rw, padY, result.y, result);
+    }
+    return result;
+}
+
+double halfPerimeterWirelength(const Hypergraph& h, std::span<const double> x, std::span<const double> y) {
+    if (x.size() != static_cast<std::size_t>(h.numModules()) || y.size() != x.size())
+        throw std::invalid_argument("halfPerimeterWirelength: coordinate size mismatch");
+    double total = 0.0;
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+        for (ModuleId v : h.pins(e)) {
+            xmin = std::min(xmin, x[static_cast<std::size_t>(v)]);
+            xmax = std::max(xmax, x[static_cast<std::size_t>(v)]);
+            ymin = std::min(ymin, y[static_cast<std::size_t>(v)]);
+            ymax = std::max(ymax, y[static_cast<std::size_t>(v)]);
+        }
+        total += static_cast<double>(h.netWeight(e)) * ((xmax - xmin) + (ymax - ymin));
+    }
+    return total;
+}
+
+std::vector<PadAssignment> choosePeripheralPads(const Hypergraph& h, std::int32_t count,
+                                                std::mt19937_64& rng) {
+    if (count < 1) throw std::invalid_argument("choosePeripheralPads: count must be >= 1");
+    count = std::min<std::int32_t>(count, h.numModules());
+    std::vector<ModuleId> all(static_cast<std::size_t>(h.numModules()));
+    std::iota(all.begin(), all.end(), 0);
+    std::shuffle(all.begin(), all.end(), rng);
+    all.resize(static_cast<std::size_t>(count));
+
+    std::vector<PadAssignment> pads;
+    pads.reserve(all.size());
+    // Walk the unit-square perimeter (length 4) in even steps.
+    for (std::int32_t i = 0; i < count; ++i) {
+        const double t = 4.0 * static_cast<double>(i) / static_cast<double>(count);
+        double x, y;
+        if (t < 1.0) { x = t; y = 0.0; }
+        else if (t < 2.0) { x = 1.0; y = t - 1.0; }
+        else if (t < 3.0) { x = 3.0 - t; y = 1.0; }
+        else { x = 0.0; y = 4.0 - t; }
+        pads.push_back({all[static_cast<std::size_t>(i)], x, y});
+    }
+    return pads;
+}
+
+} // namespace mlpart

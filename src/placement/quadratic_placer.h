@@ -1,0 +1,89 @@
+// GORDIAN-style quadratic placement substrate (paper Section IV.D).
+//
+// Nets become cliques with weight w(e)/(|e|-1) per pair; I/O pads are
+// fixed; free-module positions minimize the squared wirelength
+// sum_{ij} w_ij (xi - xj)^2 independently per axis, solved by CG on the
+// pad-anchored Laplacian. Optional iterative reweighting approximates the
+// *linear* wirelength objective of GORDIAN-L (Sigl et al. [41]): each
+// solve divides pair weights by the previous solution's distance.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "placement/linear_system.h"
+
+namespace mlpart {
+
+/// A module pinned at a fixed location (an I/O pad).
+struct PadAssignment {
+    ModuleId v;
+    double x, y;
+};
+
+struct PlacerConfig {
+    /// Nets larger than this are skipped by the clique model (quadratic
+    /// blowup guard; matches GORDIAN practice of special-casing big nets).
+    int maxCliqueNetSize = 32;
+    /// When true, nets above maxCliqueNetSize enter the system through the
+    /// linear-size star model (one virtual free node per big net) instead
+    /// of being dropped.
+    bool starForLargeNets = true;
+    double cgTolerance = 1e-7;
+    int cgMaxIterations = 2000;
+    /// 0 = quadratic objective (GORDIAN); >0 = GORDIAN-L-style linear
+    /// objective via this many reweighting iterations.
+    int reweightIterations = 0;
+    /// Distance floor in the reweighting denominator.
+    double reweightEpsilon = 1e-3;
+};
+
+struct PlacementResult {
+    std::vector<double> x, y; ///< one coordinate pair per module
+    int cgIterations = 0;     ///< total CG iterations over both axes
+    bool converged = true;
+};
+
+/// Places all modules of `h`; pads are fixed at their given positions,
+/// free modules settle at the quadratic (or reweighted-linear) optimum.
+/// Throws std::invalid_argument if no pads are given (the Laplacian would
+/// be singular).
+class QuadraticPlacer {
+public:
+    QuadraticPlacer(const Hypergraph& h, std::vector<PadAssignment> pads, PlacerConfig cfg = {});
+
+    [[nodiscard]] PlacementResult place() const;
+
+private:
+    struct Edge {
+        ModuleId u, v;
+        double w;
+    };
+
+    void solveAxis(const std::vector<Edge>& edges, const std::vector<double>& padPos,
+                   std::vector<double>& out, PlacementResult& result) const;
+    [[nodiscard]] std::vector<Edge> buildEdges() const;
+
+    const Hypergraph& h_;
+    std::vector<PadAssignment> pads_;
+    PlacerConfig cfg_;
+    std::vector<std::int32_t> freeIndex_; ///< module -> free index or -1 (pad)
+    std::int32_t numFree_ = 0;            ///< real free modules + virtual stars
+    ModuleId numStars_ = 0;               ///< virtual star nodes for big nets
+    std::int32_t starFreeBase_ = 0;       ///< free index of the first star
+};
+
+/// Half-perimeter wirelength of a placement (the standard placement
+/// quality metric; used by the top-down placement example).
+[[nodiscard]] double halfPerimeterWirelength(const Hypergraph& h, std::span<const double> x,
+                                             std::span<const double> y);
+
+/// Picks `count` distinct modules as pseudo-pads (deterministic for a
+/// given rng state) and spaces them evenly around the unit-square
+/// perimeter — the synthetic stand-in for the preplaced I/O pads GORDIAN
+/// expects.
+[[nodiscard]] std::vector<PadAssignment> choosePeripheralPads(const Hypergraph& h, std::int32_t count,
+                                                              std::mt19937_64& rng);
+
+} // namespace mlpart

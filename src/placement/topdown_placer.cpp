@@ -1,0 +1,195 @@
+#include "placement/topdown_placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "hypergraph/subgraph.h"
+#include "kway/kway_refiner.h"
+#include "placement/quadratic_placer.h"
+
+namespace mlpart {
+
+namespace {
+
+struct Region {
+    std::vector<ModuleId> cells;
+    int x0, y0, size; // bin-grid square [x0, x0+size) x [y0, y0+size)
+};
+
+void quadrisectRegions(const Hypergraph& h, const TopDownPlacerConfig& cfg, std::mt19937_64& rng,
+                       std::vector<Region>& regions) {
+    MLConfig mlCfg = cfg.ml;
+    mlCfg.k = 4;
+    if (mlCfg.coarseningThreshold < 100) mlCfg.coarseningThreshold = 100;
+    const RefinerFactory factory = makeKWayFactory(cfg.engine);
+
+    for (int level = 0; level < cfg.levels; ++level) {
+        std::vector<Region> next;
+        for (Region& region : regions) {
+            if (region.size == 1 ||
+                static_cast<ModuleId>(region.cells.size()) < cfg.minRegionCells) {
+                next.push_back(std::move(region));
+                continue;
+            }
+            std::vector<char> mask(static_cast<std::size_t>(h.numModules()), 0);
+            for (ModuleId v : region.cells) mask[static_cast<std::size_t>(v)] = 1;
+            const SubgraphResult sub = extractSubgraph(h, mask);
+            MultilevelPartitioner ml(mlCfg, factory);
+            const MLResult r = ml.run(sub.graph, rng);
+
+            const int half = region.size / 2;
+            Region quads[4] = {{{}, region.x0, region.y0, half},
+                               {{}, region.x0 + half, region.y0, half},
+                               {{}, region.x0, region.y0 + half, half},
+                               {{}, region.x0 + half, region.y0 + half, half}};
+            for (ModuleId sv = 0; sv < sub.graph.numModules(); ++sv)
+                quads[r.partition.part(sv)].cells.push_back(
+                    sub.toParent[static_cast<std::size_t>(sv)]);
+            for (auto& q : quads)
+                if (!q.cells.empty()) next.push_back(std::move(q));
+        }
+        regions = std::move(next);
+    }
+}
+
+double hpwlOf(const Hypergraph& h, const std::vector<double>& x, const std::vector<double>& y) {
+    return halfPerimeterWirelength(h, x, y);
+}
+
+} // namespace
+
+TopDownPlacement placeTopDown(const Hypergraph& h, const TopDownPlacerConfig& cfg,
+                              std::mt19937_64& rng) {
+    if (cfg.levels < 1 || cfg.levels > 10)
+        throw std::invalid_argument("placeTopDown: levels must be in [1, 10]");
+    if (cfg.orderingSweeps < 0 || cfg.swapSweeps < 0)
+        throw std::invalid_argument("placeTopDown: sweep counts must be >= 0");
+    const ModuleId n = h.numModules();
+    if (n < 1) throw std::invalid_argument("placeTopDown: empty netlist");
+
+    const int grid = 1 << cfg.levels;
+
+    // ---- 1. Global placement: quadrisect down to bins. ----
+    std::vector<Region> regions;
+    {
+        Region root;
+        root.cells.resize(static_cast<std::size_t>(n));
+        std::iota(root.cells.begin(), root.cells.end(), 0);
+        root.x0 = root.y0 = 0;
+        root.size = grid;
+        regions.push_back(std::move(root));
+    }
+    quadrisectRegions(h, cfg, rng, regions);
+
+    // ---- 2. Legalization: one row per bin-grid y; cells of a row sorted
+    // by bin x and packed into unit sites. ----
+    std::vector<std::vector<ModuleId>> rows(static_cast<std::size_t>(grid));
+    std::vector<double> binX(static_cast<std::size_t>(n), 0.0);
+    for (const Region& region : regions) {
+        // Spread a region's cells over its rows round-robin.
+        int row = 0;
+        for (ModuleId v : region.cells) {
+            const int ry = region.y0 + (row++ % std::max(1, region.size));
+            rows[static_cast<std::size_t>(std::min(ry, grid - 1))].push_back(v);
+            binX[static_cast<std::size_t>(v)] =
+                static_cast<double>(region.x0) + static_cast<double>(region.size) / 2.0;
+        }
+    }
+
+    TopDownPlacement result;
+    result.gridSize = grid;
+    result.x.assign(static_cast<std::size_t>(n), 0.0);
+    result.y.assign(static_cast<std::size_t>(n), 0.0);
+
+    auto pack = [&](std::vector<ModuleId>& row, int ry) {
+        // Keep relative order, space cells evenly across the row width.
+        const double width = static_cast<double>(grid);
+        const double pitch = row.empty() ? 0.0 : width / static_cast<double>(row.size());
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            result.x[static_cast<std::size_t>(row[i])] = (static_cast<double>(i) + 0.5) * pitch;
+            result.y[static_cast<std::size_t>(row[i])] = static_cast<double>(ry) + 0.5;
+        }
+    };
+    for (int ry = 0; ry < grid; ++ry) {
+        auto& row = rows[static_cast<std::size_t>(ry)];
+        std::sort(row.begin(), row.end(),
+                  [&](ModuleId a, ModuleId b) { return binX[static_cast<std::size_t>(a)] < binX[static_cast<std::size_t>(b)]; });
+        pack(row, ry);
+    }
+
+    // ---- 3a. Detailed placement: net-center ordering sweeps. ----
+    for (int sweep = 0; sweep < cfg.orderingSweeps; ++sweep) {
+        // Each cell's preferred x = mean of its nets' current centers.
+        std::vector<double> preferred(static_cast<std::size_t>(n), 0.0);
+        for (ModuleId v = 0; v < n; ++v) {
+            double sum = 0.0;
+            int cnt = 0;
+            for (NetId e : h.nets(v)) {
+                double lo = 1e300, hi = -1e300;
+                for (ModuleId u : h.pins(e)) {
+                    lo = std::min(lo, result.x[static_cast<std::size_t>(u)]);
+                    hi = std::max(hi, result.x[static_cast<std::size_t>(u)]);
+                }
+                sum += (lo + hi) / 2.0;
+                ++cnt;
+            }
+            preferred[static_cast<std::size_t>(v)] =
+                cnt > 0 ? sum / cnt : result.x[static_cast<std::size_t>(v)];
+        }
+        for (int ry = 0; ry < grid; ++ry) {
+            auto& row = rows[static_cast<std::size_t>(ry)];
+            std::stable_sort(row.begin(), row.end(), [&](ModuleId a, ModuleId b) {
+                return preferred[static_cast<std::size_t>(a)] < preferred[static_cast<std::size_t>(b)];
+            });
+            pack(row, ry);
+        }
+    }
+
+    // ---- 3b. Greedy adjacent-swap refinement. ----
+    auto netHpwl = [&](NetId e) {
+        double xlo = 1e300, xhi = -1e300, ylo = 1e300, yhi = -1e300;
+        for (ModuleId u : h.pins(e)) {
+            xlo = std::min(xlo, result.x[static_cast<std::size_t>(u)]);
+            xhi = std::max(xhi, result.x[static_cast<std::size_t>(u)]);
+            ylo = std::min(ylo, result.y[static_cast<std::size_t>(u)]);
+            yhi = std::max(yhi, result.y[static_cast<std::size_t>(u)]);
+        }
+        return static_cast<double>(h.netWeight(e)) * ((xhi - xlo) + (yhi - ylo));
+    };
+    auto localCost = [&](ModuleId a, ModuleId b) {
+        double cost = 0.0;
+        for (NetId e : h.nets(a)) cost += netHpwl(e);
+        for (NetId e : h.nets(b)) {
+            // Avoid double-counting shared nets.
+            bool shared = false;
+            for (ModuleId u : h.pins(e))
+                if (u == a) { shared = true; break; }
+            if (!shared) cost += netHpwl(e);
+        }
+        return cost;
+    };
+    for (int sweep = 0; sweep < cfg.swapSweeps; ++sweep) {
+        for (int ry = 0; ry < grid; ++ry) {
+            auto& row = rows[static_cast<std::size_t>(ry)];
+            for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+                const ModuleId a = row[i];
+                const ModuleId b = row[i + 1];
+                const double before = localCost(a, b);
+                std::swap(result.x[static_cast<std::size_t>(a)], result.x[static_cast<std::size_t>(b)]);
+                const double after = localCost(a, b);
+                if (after < before) {
+                    std::swap(row[i], row[i + 1]);
+                } else {
+                    std::swap(result.x[static_cast<std::size_t>(a)], result.x[static_cast<std::size_t>(b)]);
+                }
+            }
+        }
+    }
+
+    result.hpwl = hpwlOf(h, result.x, result.y);
+    return result;
+}
+
+} // namespace mlpart

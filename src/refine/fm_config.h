@@ -1,0 +1,72 @@
+// Configuration for the FM/CLIP bipartitioning engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "refine/gain_bucket.h"
+
+namespace mlpart {
+
+/// Engine variant (paper Section II).
+enum class EngineVariant {
+    kFM,   ///< classic Fiduccia-Mattheyses gains
+    kCLIP, ///< Dutt-Deng CLIP: buckets concatenated into index 0 at pass start
+};
+
+[[nodiscard]] inline const char* toString(EngineVariant v) {
+    return v == EngineVariant::kFM ? "FM" : "CLIP";
+}
+
+/// All knobs of the bipartition refinement engine. Defaults reproduce the
+/// paper's configuration: LIFO buckets, r = 0.1 tolerance, nets with more
+/// than 200 pins ignored during refinement.
+struct FMConfig {
+    EngineVariant variant = EngineVariant::kFM;
+    BucketPolicy policy = BucketPolicy::kLifo;
+    /// Balance tolerance r; the refinement bound is
+    /// A(V)/2 ± max(A(v*), r·A(V)) (paper §III.B).
+    double tolerance = 0.1;
+    /// Nets with more than this many pins are ignored during refinement
+    /// and reinstated when measuring solution quality (paper §III.B).
+    int maxNetSize = 200;
+    /// Hard cap on FM passes (the natural stop is a pass without
+    /// improvement; the cap only guards pathological cycling).
+    int maxPasses = 64;
+    /// Krishnamurthy lookahead depth for tie-breaking: 0 or 1 = off,
+    /// 2..4 = compare level-2..level-k gains among equal top-gain modules.
+    int lookahead = 0;
+    /// Max candidates examined per bucket when lookahead tie-breaking.
+    int lookaheadWidth = 32;
+    /// CDIP-style backtracking (Dutt-Deng): when the cumulative pass gain
+    /// falls `cdipThreshold` below the best seen in the pass, undo back to
+    /// the best prefix and block the first module of the failed sequence.
+    bool cdip = false;
+    Weight cdipThreshold = 4;
+    int cdipMaxBacktracks = 4;
+    /// Extension (paper "future work"): initialize buckets with boundary
+    /// modules only; gains of others computed on demand.
+    bool boundaryInit = false;
+    /// Extension (paper "future work"): abandon a pass when more than this
+    /// fraction of the movable modules have been moved since the best
+    /// prefix (0 disables).
+    double earlyExitFraction = 0.0;
+    /// Extension (paper "future work", after Chaco): faster bucket
+    /// reinitialization between passes — only modules whose neighbourhood
+    /// changed during the previous pass have their gains recomputed; all
+    /// others reuse their stored gain.
+    bool fastPassInit = false;
+    /// Dasdan-Aykanat-style relaxed locking (Section II.B): each module
+    /// may move up to this many times per pass (1 = classic FM locking).
+    int movesPerPass = 1;
+    /// Shin-Kim-style gradually tightening size constraints (Section
+    /// II.B): early passes run under a relaxed tolerance that shrinks to
+    /// the target over `tightenPasses` passes. 0 disables.
+    double tightenStart = 0.0;
+    int tightenPasses = 4;
+    /// Modules that must keep their initial side (pre-assigned pads).
+    /// Empty = none; otherwise one flag per module.
+    std::vector<char> fixed;
+};
+
+} // namespace mlpart

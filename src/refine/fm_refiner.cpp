@@ -1,0 +1,354 @@
+#include "refine/fm_refiner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlpart {
+
+FMRefiner::FMRefiner(const Hypergraph& h, FMConfig cfg) : h_(h), cfg_(cfg) {
+    if (cfg_.tolerance < 0.0 || cfg_.tolerance >= 1.0)
+        throw std::invalid_argument("FMRefiner: tolerance must be in [0, 1)");
+    if (cfg_.maxNetSize < 2) throw std::invalid_argument("FMRefiner: maxNetSize must be >= 2");
+    if (cfg_.lookahead < 0 || cfg_.lookahead > 8)
+        throw std::invalid_argument("FMRefiner: lookahead depth out of range");
+    if (!cfg_.fixed.empty() && cfg_.fixed.size() != static_cast<std::size_t>(h.numModules()))
+        throw std::invalid_argument("FMRefiner: fixed mask size mismatch");
+    if (cfg_.movesPerPass < 1) throw std::invalid_argument("FMRefiner: movesPerPass must be >= 1");
+    if (cfg_.tightenStart < 0.0 || cfg_.tightenStart >= 1.0)
+        throw std::invalid_argument("FMRefiner: tightenStart must be in [0, 1)");
+    if (cfg_.tightenStart > 0.0 && cfg_.tightenStart < cfg_.tolerance)
+        throw std::invalid_argument("FMRefiner: tightenStart must be >= tolerance");
+    if (cfg_.tightenPasses < 1) throw std::invalid_argument("FMRefiner: tightenPasses must be >= 1");
+}
+
+void FMRefiner::initNetState(const Partition& part) {
+    const NetId m = h_.numNets();
+    activeNet_.assign(static_cast<std::size_t>(m), 0);
+    pc_[0].assign(static_cast<std::size_t>(m), 0);
+    pc_[1].assign(static_cast<std::size_t>(m), 0);
+    lockedPc_[0].assign(static_cast<std::size_t>(m), 0);
+    lockedPc_[1].assign(static_cast<std::size_t>(m), 0);
+    ignoredNets_ = 0;
+    curActiveCut_ = 0;
+    for (NetId e = 0; e < m; ++e) {
+        if (h_.netSize(e) > cfg_.maxNetSize) {
+            ++ignoredNets_; // reinstated when measuring final quality
+            continue;
+        }
+        activeNet_[static_cast<std::size_t>(e)] = 1;
+        for (ModuleId v : h_.pins(e)) pc_[part.part(v)][static_cast<std::size_t>(e)]++;
+        if (pc_[0][static_cast<std::size_t>(e)] > 0 && pc_[1][static_cast<std::size_t>(e)] > 0)
+            curActiveCut_ += h_.netWeight(e);
+    }
+}
+
+Weight FMRefiner::computeGain(ModuleId v, const Partition& part) const {
+    const PartId s = part.part(v);
+    const PartId t = 1 - s;
+    Weight g = 0;
+    for (NetId e : h_.nets(v)) {
+        if (!activeNet_[static_cast<std::size_t>(e)]) continue;
+        if (pc_[s][static_cast<std::size_t>(e)] == 1) g += h_.netWeight(e);
+        else if (pc_[t][static_cast<std::size_t>(e)] == 0) g -= h_.netWeight(e);
+    }
+    return g;
+}
+
+bool FMRefiner::isBoundary(ModuleId v, const Partition& part) const {
+    (void)part;
+    for (NetId e : h_.nets(v)) {
+        if (!activeNet_[static_cast<std::size_t>(e)]) continue;
+        if (pc_[0][static_cast<std::size_t>(e)] > 0 && pc_[1][static_cast<std::size_t>(e)] > 0) return true;
+    }
+    return false;
+}
+
+void FMRefiner::buildBuckets(const Partition& part) {
+    for (int s = 0; s < 2; ++s) bucket_[s]->clear();
+    const ModuleId n = h_.numModules();
+    const bool useCache = cfg_.fastPassInit && gainsValid_;
+    for (ModuleId v = 0; v < n; ++v) {
+        const std::size_t vi = static_cast<std::size_t>(v);
+        if (locked_[vi] || blocked_[vi]) continue;
+        if (cfg_.boundaryInit && !isBoundary(v, part)) continue;
+        Weight g;
+        if (useCache && !dirty_[vi]) {
+            g = gains_[vi]; // neighbourhood untouched last pass: gain unchanged
+        } else {
+            g = computeGain(v, part);
+        }
+        if (cfg_.fastPassInit) {
+            gains_[vi] = g;
+            dirty_[vi] = 0;
+        }
+        bucket_[part.part(v)]->insert(v, g);
+    }
+    if (cfg_.fastPassInit) gainsValid_ = true;
+    if (cfg_.variant == EngineVariant::kCLIP) {
+        bucket_[0]->clipConcatenate();
+        bucket_[1]->clipConcatenate();
+    }
+}
+
+Weight FMRefiner::lookaheadGain(ModuleId v, int depth, const Partition& part) const {
+    // Krishnamurthy level-r gain: a net can still be freed from side x at
+    // level r if it has no locked pins on x and exactly r free pins there.
+    const PartId s = part.part(v);
+    const PartId t = 1 - s;
+    Weight g = 0;
+    for (NetId e : h_.nets(v)) {
+        const std::size_t ei = static_cast<std::size_t>(e);
+        if (!activeNet_[ei]) continue;
+        const std::int32_t freeS = pc_[s][ei] - lockedPc_[s][ei];
+        const std::int32_t freeT = pc_[t][ei] - lockedPc_[t][ei];
+        if (lockedPc_[s][ei] == 0 && freeS == depth) g += h_.netWeight(e);
+        if (lockedPc_[t][ei] == 0 && freeT == depth - 1) g -= h_.netWeight(e);
+    }
+    return g;
+}
+
+ModuleId FMRefiner::selectMove(const Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) {
+    ModuleId cand[2] = {kInvalidModule, kInvalidModule};
+    for (int s = 0; s < 2; ++s) {
+        const PartId from = s;
+        const PartId to = 1 - s;
+        auto feasible = [&](ModuleId v) { return bc.allowsMove(part, h_.area(v), from, to); };
+        cand[s] = bucket_[s]->selectBest(feasible, rng);
+    }
+    if (cand[0] == kInvalidModule) return cand[1];
+    if (cand[1] == kInvalidModule) return cand[0];
+    const Weight g0 = bucket_[0]->gain(cand[0]);
+    const Weight g1 = bucket_[1]->gain(cand[1]);
+    int side;
+    if (g0 != g1) side = g0 > g1 ? 0 : 1;
+    else side = part.blockArea(0) >= part.blockArea(1) ? 0 : 1; // tie: drain the heavier side
+    ModuleId chosen = cand[side];
+
+    if (cfg_.lookahead >= 2) {
+        // Scan the winning bucket for equal-displayed-gain feasible
+        // candidates and break ties lexicographically on level-2..k gains.
+        const GainBucketArray& b = *bucket_[side];
+        const Weight topGain = b.gain(chosen);
+        const PartId from = side;
+        const PartId to = 1 - side;
+        int examined = 0;
+        ModuleId best = chosen;
+        std::vector<Weight> bestVec;
+        for (ModuleId v = b.head(topGain); v != kInvalidModule && examined < cfg_.lookaheadWidth;
+             v = b.next(v)) {
+            if (!bc.allowsMove(part, h_.area(v), from, to)) continue;
+            ++examined;
+            std::vector<Weight> vec;
+            vec.reserve(static_cast<std::size_t>(cfg_.lookahead - 1));
+            for (int d = 2; d <= cfg_.lookahead; ++d) vec.push_back(lookaheadGain(v, d, part));
+            if (bestVec.empty() && v == best) { bestVec = std::move(vec); continue; }
+            if (bestVec.empty() || std::lexicographical_compare(bestVec.begin(), bestVec.end(),
+                                                                vec.begin(), vec.end())) {
+                best = v;
+                bestVec = std::move(vec);
+            }
+        }
+        chosen = best;
+    }
+    return chosen;
+}
+
+Weight FMRefiner::applyMove(ModuleId v, Partition& part) {
+    const PartId from = part.part(v);
+    const PartId to = 1 - from;
+
+    // True cut delta, measured from pin counts before the move.
+    Weight delta = 0;
+    for (NetId e : h_.nets(v)) {
+        const std::size_t ei = static_cast<std::size_t>(e);
+        if (!activeNet_[ei]) continue;
+        if (pc_[to][ei] == 0) delta -= h_.netWeight(e);      // net becomes cut
+        else if (pc_[from][ei] == 1) delta += h_.netWeight(e); // net becomes uncut
+    }
+
+    lazyInsert_.clear();
+    if (cfg_.fastPassInit) {
+        // The move perturbs pin counts of v's nets: everyone on them needs
+        // a fresh gain at the next pass start.
+        dirty_[static_cast<std::size_t>(v)] = 1;
+        for (NetId e : h_.nets(v)) {
+            if (!activeNet_[static_cast<std::size_t>(e)]) continue;
+            for (ModuleId u : h_.pins(e)) dirty_[static_cast<std::size_t>(u)] = 1;
+        }
+    }
+    auto adjust = [&](ModuleId u, Weight d) {
+        if (locked_[static_cast<std::size_t>(u)] || blocked_[static_cast<std::size_t>(u)]) return;
+        if (u == v) return;
+        if (bucket_[part.part(u)]->contains(u)) bucket_[part.part(u)]->adjustGain(u, d);
+        else if (cfg_.boundaryInit) lazyInsert_.push_back(u); // now near the cut; full gain after updates
+    };
+
+    if (bucket_[from]->contains(v)) bucket_[from]->remove(v);
+    for (NetId e : h_.nets(v)) {
+        const std::size_t ei = static_cast<std::size_t>(e);
+        if (!activeNet_[ei]) continue;
+        const Weight w = h_.netWeight(e);
+        // Standard FM delta-gain rules, applied around the count updates.
+        if (pc_[to][ei] == 0) {
+            for (ModuleId u : h_.pins(e)) adjust(u, +w);
+        } else if (pc_[to][ei] == 1) {
+            for (ModuleId u : h_.pins(e))
+                if (u != v && part.part(u) == to) adjust(u, -w);
+        }
+        pc_[from][ei]--;
+        pc_[to][ei]++;
+        if (pc_[from][ei] == 0) {
+            for (ModuleId u : h_.pins(e)) adjust(u, -w);
+        } else if (pc_[from][ei] == 1) {
+            for (ModuleId u : h_.pins(e))
+                if (part.part(u) == from) adjust(u, +w);
+        }
+        lockedPc_[to][ei]++; // v locks on the target side
+    }
+    part.move(h_, v, to);
+    moveCount_[static_cast<std::size_t>(v)]++;
+    const bool exhausted = moveCount_[static_cast<std::size_t>(v)] >= cfg_.movesPerPass ||
+                           (!cfg_.fixed.empty() && cfg_.fixed[static_cast<std::size_t>(v)]);
+    locked_[static_cast<std::size_t>(v)] = exhausted ? 1 : 0;
+    curActiveCut_ -= delta;
+
+    // Boundary mode: modules that just became boundary enter the structure
+    // with a freshly computed gain (computed after all count updates).
+    for (ModuleId u : lazyInsert_) {
+        GainBucketArray& b = *bucket_[part.part(u)];
+        if (!b.contains(u) && !locked_[static_cast<std::size_t>(u)]) b.insert(u, computeGain(u, part));
+    }
+    // Relaxed locking (Dasdan-Aykanat): a module with budget left rejoins
+    // the structure on its new side with a fresh gain.
+    if (!exhausted && !blocked_[static_cast<std::size_t>(v)])
+        bucket_[to]->insert(v, computeGain(v, part));
+    return delta;
+}
+
+void FMRefiner::undoMoves(std::size_t count, Partition& part) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const MoveRec rec = moves_.back();
+        moves_.pop_back();
+        const PartId cur = part.part(rec.v);
+        for (NetId e : h_.nets(rec.v)) {
+            const std::size_t ei = static_cast<std::size_t>(e);
+            if (!activeNet_[ei]) continue;
+            pc_[cur][ei]--;
+            pc_[rec.from][ei]++;
+            lockedPc_[cur][ei]--;
+            if (cfg_.fastPassInit)
+                for (ModuleId u : h_.pins(e)) dirty_[static_cast<std::size_t>(u)] = 1;
+        }
+        part.move(h_, rec.v, rec.from);
+        moveCount_[static_cast<std::size_t>(rec.v)]--;
+        locked_[static_cast<std::size_t>(rec.v)] = 0;
+        curActiveCut_ += rec.delta;
+    }
+}
+
+Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) {
+    buildBuckets(part);
+    moves_.clear();
+    Weight cumGain = 0;
+    Weight bestGain = 0;
+    std::size_t bestIdx = 0;
+    int backtracks = 0;
+    const std::size_t movable = static_cast<std::size_t>(bucket_[0]->size() + bucket_[1]->size());
+
+    while (true) {
+        const ModuleId v = selectMove(part, bc, rng);
+        if (v == kInvalidModule) break;
+        const PartId from = part.part(v);
+        const Weight delta = applyMove(v, part);
+        moves_.push_back({v, from, delta});
+        cumGain += delta;
+        if (cumGain > bestGain) {
+            bestGain = cumGain;
+            bestIdx = moves_.size();
+        }
+
+        if (cfg_.cdip && backtracks < cfg_.cdipMaxBacktracks &&
+            bestGain - cumGain >= cfg_.cdipThreshold && moves_.size() > bestIdx) {
+            // Reverse the unprofitable tail and try a different sequence,
+            // excluding the module that started it (Dutt-Deng CDIP idea).
+            const ModuleId firstBad = moves_[bestIdx].v;
+            undoMoves(moves_.size() - bestIdx, part);
+            blocked_[static_cast<std::size_t>(firstBad)] = 1;
+            cumGain = bestGain;
+            ++backtracks;
+            buildBuckets(part);
+            continue;
+        }
+        if (cfg_.earlyExitFraction > 0.0 && moves_.size() > bestIdx) {
+            const double sinceBest = static_cast<double>(moves_.size() - bestIdx);
+            if (sinceBest > cfg_.earlyExitFraction * static_cast<double>(std::max<std::size_t>(movable, 1)))
+                break;
+        }
+    }
+    // Keep only the best prefix of the pass.
+    undoMoves(moves_.size() - bestIdx, part);
+    lastMoveCount_ += static_cast<std::int64_t>(bestIdx);
+    return bestGain;
+}
+
+Weight FMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) {
+    if (part.numParts() != 2) throw std::invalid_argument("FMRefiner: requires a bipartition");
+    const ModuleId n = h_.numModules();
+    locked_.assign(static_cast<std::size_t>(n), 0);
+    moveCount_.assign(static_cast<std::size_t>(n), 0);
+    blocked_.assign(static_cast<std::size_t>(n), 0);
+    const bool doubled = cfg_.variant == EngineVariant::kCLIP;
+    for (int s = 0; s < 2; ++s)
+        bucket_[s] = std::make_unique<GainBucketArray>(n, h_.maxModuleGain(), doubled, cfg_.policy);
+
+    if (!bc.satisfied(part)) rebalance(h_, part, bc, rng); // defensive; ML projections are pre-balanced
+
+    initNetState(part);
+    if (cfg_.fastPassInit) {
+        gains_.assign(static_cast<std::size_t>(n), 0);
+        dirty_.assign(static_cast<std::size_t>(n), 0);
+        gainsValid_ = false;
+    }
+    lastPassCount_ = 0;
+    lastMoveCount_ = 0;
+    for (int pass = 0; pass < cfg_.maxPasses; ++pass) {
+        // Pre-assigned (fixed) modules stay locked through every pass.
+        if (cfg_.fixed.empty()) std::fill(locked_.begin(), locked_.end(), 0);
+        else std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_.begin());
+        std::fill(moveCount_.begin(), moveCount_.end(), 0);
+        std::fill(blocked_.begin(), blocked_.end(), 0);
+        std::fill(lockedPc_[0].begin(), lockedPc_[0].end(), 0);
+        std::fill(lockedPc_[1].begin(), lockedPc_[1].end(), 0);
+        // Shin-Kim tightening: early passes run under a relaxed tolerance
+        // shrinking linearly to the target; late passes use the caller's
+        // constraint verbatim.
+        Weight gain;
+        if (cfg_.tightenStart > 0.0 && pass < cfg_.tightenPasses) {
+            const double frac = static_cast<double>(pass) / static_cast<double>(cfg_.tightenPasses);
+            const double tol = cfg_.tightenStart + (cfg_.tolerance - cfg_.tightenStart) * frac;
+            const BalanceConstraint relaxed = BalanceConstraint::forRefinement(h_, 2, tol);
+            gain = runPass(part, relaxed, rng);
+        } else {
+            gain = runPass(part, bc, rng);
+        }
+        ++lastPassCount_;
+        if (gain <= 0 && pass >= (cfg_.tightenStart > 0.0 ? cfg_.tightenPasses : 0))
+            break; // a pass without improvement (after tightening) terminates FM
+    }
+    if (!bc.satisfied(part)) {
+        // Tightened passes can leave the relaxed solution outside the
+        // caller's bound: repair and run one exact-tolerance pass.
+        rebalance(h_, part, bc, rng);
+        std::fill(locked_.begin(), locked_.end(), 0);
+        if (!cfg_.fixed.empty()) std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_.begin());
+        std::fill(moveCount_.begin(), moveCount_.end(), 0);
+        std::fill(blocked_.begin(), blocked_.end(), 0);
+        std::fill(lockedPc_[0].begin(), lockedPc_[0].end(), 0);
+        std::fill(lockedPc_[1].begin(), lockedPc_[1].end(), 0);
+        runPass(part, bc, rng);
+        ++lastPassCount_;
+    }
+    return cutWeight(h_, part); // exact cut, ignored nets reinstated
+}
+
+} // namespace mlpart

@@ -1,0 +1,128 @@
+// FM gain-bucket structure with selectable tie-breaking organization.
+//
+// The bucket array is the classic Fiduccia-Mattheyses structure: one
+// doubly-linked list per integer gain value, plus a max pointer. Which
+// module is returned from the highest bucket is determined by the bucket
+// *organization* (paper Section II.A):
+//   LIFO   — insert at head, scan from head (last inserted wins),
+//   FIFO   — insert at tail, scan from head (first inserted wins),
+//   RANDOM — uniform choice among the members of the highest bucket.
+// The CLIP preprocessing step of Dutt-Deng (Section II.B) is supported via
+// clipConcatenate(): all buckets are concatenated in descending-gain order
+// into the zero bucket, after which gains evolve relatively (the index
+// range must be doubled, which the constructor's `doubledRange` does).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "hypergraph/types.h"
+
+namespace mlpart {
+
+/// Bucket organization / tie-breaking scheme (Table II of the paper).
+enum class BucketPolicy { kLifo, kFifo, kRandom };
+
+[[nodiscard]] const char* toString(BucketPolicy p);
+
+/// Intrusive bucket array over modules [0, n) with gains in
+/// [-range, +range].
+class GainBucketArray {
+public:
+    /// Bucket-index range cap: with huge net weights the natural range
+    /// (sum of incident weights) would make the bucket array unboundedly
+    /// large, so gains beyond the cap share the extreme buckets. This only
+    /// coarsens tie-breaking among extreme-gain modules — the engines
+    /// recompute true cut deltas per move, so correctness is unaffected.
+    static constexpr Weight kMaxRange = 1 << 18;
+
+    /// `maxGain` is the largest absolute module gain (sum of incident net
+    /// weights); `doubledRange` doubles the index range for CLIP.
+    GainBucketArray(ModuleId numModules, Weight maxGain, bool doubledRange, BucketPolicy policy);
+
+    /// Inserts `v` with the given gain; `v` must not be present.
+    void insert(ModuleId v, Weight gain);
+    /// Removes `v`; it must be present.
+    void remove(ModuleId v);
+    /// Adds `delta` to the gain of present module `v` (re-bucketing it
+    /// according to the policy). Gains are clamped to the index range.
+    void adjustGain(ModuleId v, Weight delta);
+
+    [[nodiscard]] bool contains(ModuleId v) const { return bucketOf_[static_cast<std::size_t>(v)] != kNone; }
+    /// Current gain of present module `v`.
+    [[nodiscard]] Weight gain(ModuleId v) const { return bucketOf_[static_cast<std::size_t>(v)] - range_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] ModuleId size() const { return size_; }
+    [[nodiscard]] BucketPolicy policy() const { return policy_; }
+    /// Gain of the highest non-empty bucket; valid only when !empty().
+    [[nodiscard]] Weight maxGain() const { return maxIdx_ - range_; }
+    [[nodiscard]] Weight minRepresentableGain() const { return -range_; }
+    [[nodiscard]] Weight maxRepresentableGain() const { return range_; }
+
+    /// Head of the list for gain `g` (kInvalidModule when empty).
+    [[nodiscard]] ModuleId head(Weight g) const { return heads_[static_cast<std::size_t>(g + range_)]; }
+    /// Next module after `v` in its bucket list (kInvalidModule at end).
+    [[nodiscard]] ModuleId next(ModuleId v) const { return next_[static_cast<std::size_t>(v)]; }
+    /// Number of modules in the bucket for gain `g`.
+    [[nodiscard]] ModuleId bucketSize(Weight g) const { return counts_[static_cast<std::size_t>(g + range_)]; }
+
+    /// Highest-gain module satisfying `feasible`, honouring the policy
+    /// within the winning bucket (RANDOM picks uniformly among feasible
+    /// members of the highest bucket that has any). Returns kInvalidModule
+    /// when nothing is feasible. Does not remove.
+    template <typename Feasible>
+    [[nodiscard]] ModuleId selectBest(Feasible&& feasible, std::mt19937_64& rng) const {
+        for (Weight idx = maxIdx_; idx >= 0; --idx) {
+            const ModuleId h = heads_[static_cast<std::size_t>(idx)];
+            if (h == kInvalidModule) continue;
+            if (policy_ == BucketPolicy::kRandom) {
+                ModuleId chosen = kInvalidModule;
+                std::int64_t seen = 0;
+                for (ModuleId v = h; v != kInvalidModule; v = next_[static_cast<std::size_t>(v)]) {
+                    if (!feasible(v)) continue;
+                    ++seen;
+                    // Reservoir sampling keeps the pick uniform in one scan.
+                    if (std::uniform_int_distribution<std::int64_t>(0, seen - 1)(rng) == 0) chosen = v;
+                }
+                if (chosen != kInvalidModule) return chosen;
+            } else {
+                for (ModuleId v = h; v != kInvalidModule; v = next_[static_cast<std::size_t>(v)])
+                    if (feasible(v)) return v;
+            }
+        }
+        return kInvalidModule;
+    }
+
+    /// CLIP preprocessing: concatenates all buckets, highest gain first,
+    /// into the zero bucket and empties the rest. Every present module's
+    /// gain becomes 0; relative order of equal-gain modules is preserved.
+    void clipConcatenate();
+
+    /// Removes all modules.
+    void clear();
+
+    /// Internal consistency check for tests: list links, counts, and max
+    /// pointer all agree. O(n + buckets).
+    [[nodiscard]] bool checkInvariants() const;
+
+private:
+    void linkAtHead(ModuleId v, Weight idx);
+    void linkAtTail(ModuleId v, Weight idx);
+    void unlink(ModuleId v);
+    void insertAtIndex(ModuleId v, Weight idx);
+
+    static constexpr Weight kNone = -1;
+
+    BucketPolicy policy_;
+    Weight range_;                ///< gains live in [-range_, +range_]
+    std::vector<ModuleId> heads_; ///< per bucket index
+    std::vector<ModuleId> tails_;
+    std::vector<ModuleId> counts_;
+    std::vector<ModuleId> prev_, next_; ///< per module
+    std::vector<Weight> bucketOf_;      ///< bucket index or kNone
+    Weight maxIdx_ = -1;                ///< highest non-empty bucket index
+    ModuleId size_ = 0;
+};
+
+} // namespace mlpart

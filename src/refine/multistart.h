@@ -1,0 +1,30 @@
+// Multi-start helpers: one random-start refinement run, and engine
+// composition (primary engine + FM follow-up, the "f" suffix of the
+// paper's Table VII comparators).
+#pragma once
+
+#include <memory>
+#include <random>
+
+#include "refine/fm_config.h"
+#include "refine/refiner.h"
+
+namespace mlpart {
+
+/// Generates a random balanced bipartition (reporting bound, Section I)
+/// and refines it with `refiner` under the refinement bound (Section
+/// III.B) for tolerance `r`. Returns the exact final cut; when `out` is
+/// non-null the refined partition is stored there.
+Weight randomStartRefine(const Hypergraph& h, Refiner& refiner, double r, std::mt19937_64& rng,
+                         Partition* out = nullptr);
+
+/// Runs `primary`, then a plain FM (LIFO) refinement pass on the result —
+/// the "algorithm_f" composition used by Dutt-Deng and quoted in Table
+/// VII (CL-LA3f, CD-LA3f, CL-PRf).
+Weight refineWithFollowupFM(const Hypergraph& h, Refiner& primary, Partition& part,
+                            const BalanceConstraint& bc, std::mt19937_64& rng);
+
+/// Factory helpers for the standard engine configurations.
+[[nodiscard]] RefinerFactory makeFMFactory(FMConfig cfg);
+
+} // namespace mlpart

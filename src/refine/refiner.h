@@ -1,0 +1,37 @@
+// Abstract refinement interface shared by the iterative-improvement
+// engines (FM, CLIP, PROP) so the multilevel driver can plug in any of
+// them as its FMPartition step.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "hypergraph/partition.h"
+
+namespace mlpart {
+
+/// A refiner improves a partition in place via local moves and returns the
+/// resulting (exact, all-nets) cut weight.
+class Refiner {
+public:
+    virtual ~Refiner() = default;
+
+    /// Refines `part` subject to `bc`. `part` must already satisfy `bc`
+    /// (callers rebalance first; see rebalance()). Deterministic given rng
+    /// state.
+    virtual Weight refine(Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) = 0;
+
+    /// Number of passes executed by the most recent refine() call.
+    [[nodiscard]] virtual int lastPassCount() const = 0;
+};
+
+/// Creates a refiner bound to a hypergraph; used by the multilevel driver
+/// to instantiate an engine per hierarchy level. `fixedMask` is either
+/// empty or one flag per module marking pre-assigned modules the engine
+/// must not move.
+using RefinerFactory =
+    std::function<std::unique_ptr<Refiner>(const Hypergraph&, const std::vector<char>& fixedMask)>;
+
+} // namespace mlpart

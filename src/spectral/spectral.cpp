@@ -1,0 +1,126 @@
+#include "spectral/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "hypergraph/graph_model.h"
+#include "placement/linear_system.h"
+
+namespace mlpart {
+
+namespace {
+
+// Clique-model Laplacian of the netlist.
+SparseSymmetricMatrix buildLaplacian(const Hypergraph& h, int maxCliqueNetSize) {
+    std::vector<Triplet> off;
+    std::vector<double> diag(static_cast<std::size_t>(h.numModules()), 0.0);
+    for (const WeightedEdge& e : cliqueExpansion(h, maxCliqueNetSize)) {
+        off.push_back({e.u, e.v, -e.w});
+        diag[static_cast<std::size_t>(e.u)] += e.w;
+        diag[static_cast<std::size_t>(e.v)] += e.w;
+    }
+    return {h.numModules(), std::move(off), std::move(diag)};
+}
+
+} // namespace
+
+SpectralResult spectralBisect(const Hypergraph& h, const SpectralConfig& cfg, std::mt19937_64& rng) {
+    if (cfg.maxIterations < 1) throw std::invalid_argument("spectralBisect: maxIterations must be >= 1");
+    if (cfg.maxCliqueNetSize < 2) throw std::invalid_argument("spectralBisect: maxCliqueNetSize must be >= 2");
+    if (cfg.tolerance < 0.0 || cfg.tolerance >= 1.0)
+        throw std::invalid_argument("spectralBisect: tolerance must be in [0, 1)");
+    const std::size_t n = static_cast<std::size_t>(h.numModules());
+    if (n < 2) throw std::invalid_argument("spectralBisect: need >= 2 modules");
+
+    const SparseSymmetricMatrix L = buildLaplacian(h, cfg.maxCliqueNetSize);
+    double maxDiag = 0.0;
+    for (std::int32_t i = 0; i < L.dimension(); ++i) maxDiag = std::max(maxDiag, L.diagonal(i));
+    // Gershgorin: every Laplacian eigenvalue lies in [0, 2*maxDiag], so
+    // M = sigma*I - L with sigma = 2*maxDiag + 1 is PSD with eigenvalue
+    // order reversed; power iteration on M (with the all-ones kernel vector
+    // deflated) converges to the Fiedler vector.
+    const double sigma = 2.0 * maxDiag + 1.0;
+
+    std::vector<double> x(n), Lx(n), next(n);
+    std::uniform_real_distribution<double> init(-1.0, 1.0);
+    for (double& v : x) v = init(rng);
+
+    auto deflate = [&](std::vector<double>& v) {
+        double mean = std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(n);
+        for (double& value : v) value -= mean;
+    };
+    auto normalize = [&](std::vector<double>& v) {
+        double norm = 0.0;
+        for (double value : v) norm += value * value;
+        norm = std::sqrt(norm);
+        if (norm < 1e-300) return false;
+        for (double& value : v) value /= norm;
+        return true;
+    };
+
+    deflate(x);
+    if (!normalize(x)) {
+        // Degenerate start (all equal); reseed deterministically.
+        for (std::size_t i = 0; i < n; ++i) x[i] = (i % 2 == 0) ? 1.0 : -1.0;
+        deflate(x);
+        normalize(x);
+    }
+
+    SpectralResult result{Partition(h, 2), 0, {}, 0};
+    for (int it = 0; it < cfg.maxIterations; ++it) {
+        L.multiply(x, Lx);
+        for (std::size_t i = 0; i < n; ++i) next[i] = sigma * x[i] - Lx[i];
+        deflate(next);
+        if (!normalize(next)) break;
+        double delta = 0.0;
+        for (std::size_t i = 0; i < n; ++i) delta = std::max(delta, std::abs(next[i] - x[i]));
+        x.swap(next);
+        result.iterations = it + 1;
+        if (delta < cfg.convergence) break;
+    }
+
+    // Sweep the sorted embedding for the minimum-cut split inside the
+    // balance window. Pin counts update incrementally as modules cross.
+    std::vector<ModuleId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](ModuleId a, ModuleId b) { return x[static_cast<std::size_t>(a)] < x[static_cast<std::size_t>(b)]; });
+
+    const BalanceConstraint bc = BalanceConstraint::forTolerance(h, 2, cfg.tolerance);
+    std::vector<std::int32_t> left(static_cast<std::size_t>(h.numNets()), 0);
+    Weight cut = 0; // nets with pins on both sides; initially all on the right
+    Area leftArea = 0;
+    std::size_t bestPrefix = 0;
+    Weight bestCut = 0;
+    bool any = false;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        const ModuleId v = order[i];
+        for (NetId e : h.nets(v)) {
+            const std::size_t ei = static_cast<std::size_t>(e);
+            if (left[ei] == 0) cut += h.netWeight(e); // first pin crossing cuts the net
+            left[ei]++;
+            if (left[ei] == h.netSize(e)) cut -= h.netWeight(e); // fully crossed: uncut again
+        }
+        leftArea += h.area(v);
+        const Area rightArea = h.totalArea() - leftArea;
+        if (leftArea < bc.lower(0) || leftArea > bc.upper(0)) continue;
+        if (rightArea < bc.lower(1) || rightArea > bc.upper(1)) continue;
+        if (!any || cut < bestCut) {
+            any = true;
+            bestCut = cut;
+            bestPrefix = i + 1;
+        }
+    }
+    if (!any) bestPrefix = n / 2; // no legal window point (pathological areas)
+
+    std::vector<PartId> assign(n, 1);
+    for (std::size_t i = 0; i < bestPrefix; ++i) assign[static_cast<std::size_t>(order[i])] = 0;
+    result.partition = Partition(h, 2, std::move(assign));
+    result.cut = cutWeight(h, result.partition);
+    result.fiedler = std::move(x);
+    return result;
+}
+
+} // namespace mlpart

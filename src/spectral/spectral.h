@@ -1,0 +1,40 @@
+// Spectral bipartitioning (EIG1-style): the classic analytic comparator
+// referenced throughout the paper's related work (Hagen-Kahng [18]; both
+// PARABOLI and Hauck-Borriello report against it in Table VII's lineage).
+//
+// The netlist becomes a weighted graph via the clique model
+// (w(e)/(|e|-1) per pin pair); the Fiedler vector (eigenvector of the
+// second-smallest Laplacian eigenvalue) is computed by shifted power
+// iteration with deflation of the trivial all-ones eigenvector; modules
+// are sorted by their Fiedler value and the minimum-cut split point within
+// the balance window is chosen by a linear sweep.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "hypergraph/partition.h"
+
+namespace mlpart {
+
+struct SpectralConfig {
+    int maxIterations = 2000;    ///< power-iteration cap
+    double convergence = 1e-7;   ///< eigenvector change threshold
+    int maxCliqueNetSize = 32;   ///< nets above this skip the clique model
+    double tolerance = 0.1;      ///< balance tolerance r for the split sweep
+};
+
+struct SpectralResult {
+    Partition partition;
+    Weight cut = 0;
+    std::vector<double> fiedler; ///< per-module embedding value
+    int iterations = 0;
+};
+
+/// Spectral bisection of `h`. The rng only seeds the power-iteration start
+/// vector (results are deterministic given rng state). Throws
+/// std::invalid_argument on malformed configs.
+[[nodiscard]] SpectralResult spectralBisect(const Hypergraph& h, const SpectralConfig& cfg,
+                                            std::mt19937_64& rng);
+
+} // namespace mlpart

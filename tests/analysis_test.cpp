@@ -1,0 +1,105 @@
+// Tests for the analysis helpers (statistics, tables, env knobs).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "analysis/env.h"
+#include "analysis/run_stats.h"
+#include "analysis/table.h"
+
+namespace mlpart {
+namespace {
+
+TEST(RunStats, MinMaxMeanStd) {
+    RunStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0); // classic population-std example
+}
+
+TEST(RunStats, SingleObservation) {
+    RunStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunStats, EmptyIsSane) {
+    RunStats s;
+    EXPECT_EQ(s.count(), 0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+    Stopwatch w;
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+    EXPECT_GE(w.seconds(), 0.0);
+    const double t1 = w.seconds();
+    EXPECT_GE(w.seconds(), t1);
+    w.restart();
+    EXPECT_LT(w.seconds(), t1 + 1.0);
+}
+
+TEST(Table, FormatsAlignedRows) {
+    Table t({"Test", "MIN", "AVG"});
+    t.addRow({"balu", "27", "33.5"});
+    t.addRow({"primary1", "47", "55.0"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("balu"), std::string::npos);
+    EXPECT_NE(s.find("MIN"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+    EXPECT_THROW(t.addRow({"too", "few"}), std::invalid_argument);
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CellFormatting) {
+    EXPECT_EQ(Table::cell(static_cast<std::int64_t>(42)), "42");
+    EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::cell(3.0, 0), "3");
+}
+
+TEST(Env, ReadsIntAndDouble) {
+    ::setenv("MLPART_TEST_INT", "42", 1);
+    ::setenv("MLPART_TEST_DBL", "0.5", 1);
+    ::setenv("MLPART_TEST_BAD", "xyz", 1);
+    EXPECT_EQ(envInt("MLPART_TEST_INT", 7), 42);
+    EXPECT_EQ(envInt("MLPART_TEST_UNSET_123", 7), 7);
+    EXPECT_EQ(envInt("MLPART_TEST_BAD", 7), 7);
+    EXPECT_DOUBLE_EQ(envDouble("MLPART_TEST_DBL", 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(envDouble("MLPART_TEST_UNSET_123", 1.0), 1.0);
+    ::unsetenv("MLPART_TEST_INT");
+    ::unsetenv("MLPART_TEST_DBL");
+    ::unsetenv("MLPART_TEST_BAD");
+}
+
+TEST(Env, BenchEnvDefaultsAndFullMode) {
+    ::unsetenv("MLPART_RUNS");
+    ::unsetenv("MLPART_SCALE");
+    ::unsetenv("MLPART_FULL");
+    BenchEnv e = benchEnv(5, 0.25);
+    EXPECT_EQ(e.runs, 5);
+    EXPECT_DOUBLE_EQ(e.scale, 0.25);
+    EXPECT_FALSE(e.full);
+
+    ::setenv("MLPART_FULL", "1", 1);
+    e = benchEnv(5, 0.25);
+    EXPECT_EQ(e.runs, 100);
+    EXPECT_DOUBLE_EQ(e.scale, 1.0);
+    EXPECT_TRUE(e.full);
+
+    ::setenv("MLPART_RUNS", "3", 1);
+    ::setenv("MLPART_SCALE", "0.5", 1);
+    e = benchEnv(5, 0.25);
+    EXPECT_EQ(e.runs, 3);
+    EXPECT_DOUBLE_EQ(e.scale, 0.5);
+    ::unsetenv("MLPART_RUNS");
+    ::unsetenv("MLPART_SCALE");
+    ::unsetenv("MLPART_FULL");
+}
+
+} // namespace
+} // namespace mlpart

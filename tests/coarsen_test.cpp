@@ -1,0 +1,269 @@
+// Tests for the Match coarsening algorithm, the ablation matchers, and the
+// Induce/Project primitives.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "coarsen/induce.h"
+#include "coarsen/matcher.h"
+#include "gen/grid_generator.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+// Every cluster produced by a matcher has at most two modules.
+void expectIsMatching(const Clustering& c) {
+    std::vector<int> sizes(static_cast<std::size_t>(c.numClusters), 0);
+    for (ModuleId cl : c.clusterOf) sizes[static_cast<std::size_t>(cl)]++;
+    for (int s : sizes) {
+        EXPECT_GE(s, 1);
+        EXPECT_LE(s, 2);
+    }
+}
+
+class MatcherKindTest : public ::testing::TestWithParam<CoarsenerKind> {};
+
+TEST_P(MatcherKindTest, ProducesValidMatching) {
+    const Hypergraph h = testing::mediumCircuit(400);
+    std::mt19937_64 rng(1);
+    const Clustering c = runMatcher(GetParam(), h, {}, rng);
+    validateClustering(h, c);
+    expectIsMatching(c);
+    // A maximal matching on a connected-ish circuit should shrink it well
+    // below 75%.
+    EXPECT_LT(c.numClusters, h.numModules() * 3 / 4);
+}
+
+TEST_P(MatcherKindTest, RatioLimitsMatchedFraction) {
+    const Hypergraph h = testing::mediumCircuit(600);
+    std::mt19937_64 rng(2);
+    MatchConfig cfg;
+    cfg.ratio = 0.5;
+    const Clustering c = runMatcher(GetParam(), h, cfg, rng);
+    validateClustering(h, c);
+    expectIsMatching(c);
+    // Matched modules = 2 * (numModules - numClusters). With R = 0.5 at
+    // most ~half the modules are matched (plus one final pair).
+    const std::int64_t matched = 2 * (h.numModules() - c.numClusters);
+    EXPECT_LE(matched, static_cast<std::int64_t>(0.5 * h.numModules()) + 2);
+}
+
+TEST_P(MatcherKindTest, ExclusionKeepsModulesSingleton) {
+    const Hypergraph h = testing::mediumCircuit(200);
+    std::mt19937_64 rng(3);
+    MatchConfig cfg;
+    cfg.excluded.assign(static_cast<std::size_t>(h.numModules()), 0);
+    cfg.excluded[5] = cfg.excluded[6] = 1;
+    const Clustering c = runMatcher(GetParam(), h, cfg, rng);
+    // Excluded modules must be alone in their clusters.
+    for (ModuleId v = 0; v < h.numModules(); ++v) {
+        if (v == 5 || v == 6) continue;
+        EXPECT_NE(c.clusterOf[static_cast<std::size_t>(v)], c.clusterOf[5]);
+        EXPECT_NE(c.clusterOf[static_cast<std::size_t>(v)], c.clusterOf[6]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatchers, MatcherKindTest,
+                         ::testing::Values(CoarsenerKind::kConnectivityMatch,
+                                           CoarsenerKind::kRandomMatch,
+                                           CoarsenerKind::kHeavyEdgeMatch),
+                         [](const ::testing::TestParamInfo<CoarsenerKind>& info) {
+                             return std::string(toString(info.param)) == "heavy-edge"
+                                        ? "heavy_edge"
+                                        : toString(info.param);
+                         });
+
+TEST(Match, PrefersStronglyConnectedPairs) {
+    // Two strongly tied pairs joined by a weak bridge. Whatever the visit
+    // permutation, every module's best unmatched partner is its strong
+    // mate (conn 1.0 > bridge conn 0.25), so the bridge can never match.
+    HypergraphBuilder b(4);
+    b.addNet({0, 1}, 2);
+    b.addNet({2, 3}, 2);
+    b.addNet({1, 2}); // bridge, weight 1
+    const Hypergraph h = std::move(b).build();
+    std::mt19937_64 rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Clustering c = matchClustering(h, {}, rng);
+        EXPECT_EQ(c.clusterOf[0], c.clusterOf[1]);
+        EXPECT_EQ(c.clusterOf[2], c.clusterOf[3]);
+    }
+}
+
+TEST(Match, AreaNormalizationPrefersSmallPartners) {
+    // Modules 2 and 3 are huge; raw connectivity would let 2 grab 0
+    // (weight-1 net) over 3 (weight-2 net gives conn 2/20 = 0.1 vs
+    // 1/11 = 0.09)... every module's normalized best partner is
+    // deterministic here: 0<->1 (conn 0.5) and 2<->3 (conn 0.1 beats
+    // 2's alternative 0 at 0.091), for any visit order.
+    HypergraphBuilder b(4);
+    b.setArea(2, 10);
+    b.setArea(3, 10);
+    b.addNet({0, 1});
+    b.addNet({0, 2});
+    b.addNet({2, 3}, 2);
+    const Hypergraph h = std::move(b).build();
+    std::mt19937_64 rng(11);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Clustering c = matchClustering(h, {}, rng);
+        EXPECT_EQ(c.clusterOf[0], c.clusterOf[1]);
+        EXPECT_EQ(c.clusterOf[2], c.clusterOf[3]);
+    }
+}
+
+TEST(Match, ConnRespectsNetWeight) {
+    // 0's partners: 1 via a weight-3 net (conn 1.5), 2 via a weight-1 net
+    // (conn 0.5); 1 and 2 have no other neighbours. {0,1} must form for
+    // every visiting order: if 1 or 2 is visited first it picks 0 only if
+    // 0 is its best — for 1 and 2 module 0 is the only neighbour, but
+    // whoever of {1,2} comes before 0 grabs it... so pin the order by
+    // giving 2 a better partner of its own.
+    HypergraphBuilder b(4);
+    b.addNet({0, 1}, 3);
+    b.addNet({0, 2});
+    b.addNet({2, 3}, 3);
+    const Hypergraph h = std::move(b).build();
+    std::mt19937_64 rng(13);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Clustering c = matchClustering(h, {}, rng);
+        EXPECT_EQ(c.clusterOf[0], c.clusterOf[1]);
+        EXPECT_EQ(c.clusterOf[2], c.clusterOf[3]);
+    }
+}
+
+TEST(Match, IgnoresLargeNets) {
+    // Only connection between 0 and 1 is a big net above the limit: no
+    // matching possible.
+    HypergraphBuilder b(12);
+    std::vector<ModuleId> big;
+    for (ModuleId v = 0; v < 12; ++v) big.push_back(v);
+    b.addNet(big);
+    const Hypergraph h = std::move(b).build();
+    std::mt19937_64 rng(13);
+    MatchConfig cfg;
+    cfg.maxNetSize = 10;
+    const Clustering c = matchClustering(h, cfg, rng);
+    EXPECT_EQ(c.numClusters, 12); // all singletons
+}
+
+TEST(Match, RejectsBadConfig) {
+    const Hypergraph h = testing::tinyPath();
+    std::mt19937_64 rng(1);
+    MatchConfig cfg;
+    cfg.ratio = 0.0;
+    EXPECT_THROW(matchClustering(h, cfg, rng), std::invalid_argument);
+    cfg = {};
+    cfg.ratio = 1.5;
+    EXPECT_THROW(matchClustering(h, cfg, rng), std::invalid_argument);
+    cfg = {};
+    cfg.maxNetSize = 1;
+    EXPECT_THROW(matchClustering(h, cfg, rng), std::invalid_argument);
+    cfg = {};
+    cfg.excluded.assign(3, 0);
+    EXPECT_THROW(matchClustering(h, cfg, rng), std::invalid_argument);
+}
+
+TEST(Clustering, ValidateCatchesCorruption) {
+    const Hypergraph h = testing::tinyPath();
+    Clustering c = identityClustering(h);
+    EXPECT_NO_THROW(validateClustering(h, c));
+    c.clusterOf[0] = 99;
+    EXPECT_THROW(validateClustering(h, c), std::invalid_argument);
+    c = identityClustering(h);
+    c.numClusters = 7; // id 6 never used -> not dense
+    EXPECT_THROW(validateClustering(h, c), std::invalid_argument);
+}
+
+TEST(Induce, PreservesAreaAndDropsInternalNets) {
+    const Hypergraph h = testing::tinyPath();
+    // Pair (0,1), (2,3), (4,5).
+    Clustering c;
+    c.clusterOf = {0, 0, 1, 1, 2, 2};
+    c.numClusters = 3;
+    const Hypergraph coarse = induce(h, c);
+    EXPECT_EQ(coarse.numModules(), 3);
+    EXPECT_EQ(coarse.totalArea(), h.totalArea());
+    EXPECT_EQ(coarse.area(0), 2);
+    // Nets {0,1},{2,3},{4,5} vanish; {1,2} -> {0,1}, {3,4} -> {1,2},
+    // {0,2,4} -> {0,1,2}.
+    EXPECT_EQ(coarse.numNets(), 3);
+}
+
+TEST(Induce, MergesParallelNetsPreservingWeight) {
+    HypergraphBuilder b(4);
+    b.addNet({0, 2});
+    b.addNet({1, 3}); // becomes parallel to the first after clustering
+    const Hypergraph h = std::move(b).build();
+    Clustering c;
+    c.clusterOf = {0, 0, 1, 1};
+    c.numClusters = 2;
+    const Hypergraph coarse = induce(h, c);
+    ASSERT_EQ(coarse.numNets(), 1);
+    EXPECT_EQ(coarse.netWeight(0), 2);
+}
+
+TEST(Project, InvertsInduceAssignment) {
+    const Hypergraph h = testing::tinyPath();
+    Clustering c;
+    c.clusterOf = {0, 0, 1, 1, 2, 2};
+    c.numClusters = 3;
+    const Hypergraph coarse = induce(h, c);
+    const Partition coarseP(coarse, 2, {0, 0, 1});
+    const Partition fineP = project(h, c, coarseP);
+    EXPECT_EQ(fineP.part(0), 0);
+    EXPECT_EQ(fineP.part(3), 0);
+    EXPECT_EQ(fineP.part(4), 1);
+    EXPECT_EQ(fineP.blockArea(1), 2);
+}
+
+TEST(InduceProject, CutWeightInvariantHolds) {
+    // The documented invariant: cutWeight(coarse, P) ==
+    // cutWeight(fine, project(P)) for any coarse partition.
+    const Hypergraph h = testing::mediumCircuit(500);
+    std::mt19937_64 rng(17);
+    const Clustering c = matchClustering(h, {}, rng);
+    const Hypergraph coarse = induce(h, c);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<PartId> assign(static_cast<std::size_t>(coarse.numModules()));
+        for (auto& p : assign) p = static_cast<PartId>(rng() % 2);
+        const Partition coarseP(coarse, 2, std::move(assign));
+        const Partition fineP = project(h, c, coarseP);
+        EXPECT_EQ(cutWeight(coarse, coarseP), cutWeight(h, fineP)) << "trial " << trial;
+    }
+}
+
+TEST(InduceProject, InvariantHoldsThroughMultipleLevels) {
+    const Hypergraph h0 = testing::mediumCircuit(800, 23);
+    std::mt19937_64 rng(19);
+    MatchConfig cfg;
+    cfg.ratio = 0.5;
+    const Clustering c01 = matchClustering(h0, cfg, rng);
+    const Hypergraph h1 = induce(h0, c01);
+    const Clustering c12 = matchClustering(h1, cfg, rng);
+    const Hypergraph h2 = induce(h1, c12);
+    EXPECT_LT(h2.numModules(), h1.numModules());
+    EXPECT_LT(h1.numModules(), h0.numModules());
+    EXPECT_EQ(h2.totalArea(), h0.totalArea());
+
+    std::vector<PartId> assign(static_cast<std::size_t>(h2.numModules()));
+    for (auto& p : assign) p = static_cast<PartId>(rng() % 2);
+    const Partition p2(h2, 2, std::move(assign));
+    const Partition p1 = project(h1, c12, p2);
+    const Partition p0 = project(h0, c01, p1);
+    EXPECT_EQ(cutWeight(h2, p2), cutWeight(h1, p1));
+    EXPECT_EQ(cutWeight(h1, p1), cutWeight(h0, p0));
+}
+
+TEST(Induce, GridCoarseningKeepsGridLikeStructure) {
+    const Hypergraph h = generateGrid({10, 10, false});
+    std::mt19937_64 rng(29);
+    const Clustering c = matchClustering(h, {}, rng);
+    const Hypergraph coarse = induce(h, c);
+    EXPECT_GT(coarse.numNets(), 0);
+    EXPECT_LE(coarse.numModules(), 55);
+    EXPECT_GE(coarse.numModules(), 50); // perfect matching halves 100
+}
+
+} // namespace
+} // namespace mlpart

@@ -1,0 +1,218 @@
+// Edge-case and failure-injection tests: degenerate inputs every module
+// must survive gracefully.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "coarsen/induce.h"
+#include "coarsen/matcher.h"
+#include "core/multilevel.h"
+#include "hypergraph/builder.h"
+#include "hypergraph/stats.h"
+#include "kway/kway_refiner.h"
+#include "refine/fm_refiner.h"
+#include "refine/multistart.h"
+#include "refine/prop_refiner.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+Hypergraph twoModules() {
+    HypergraphBuilder b(2);
+    b.addNet({0, 1});
+    return std::move(b).build();
+}
+
+Hypergraph netless(ModuleId n) { return std::move(HypergraphBuilder(n)).build(); }
+
+TEST(EdgeCase, TwoModuleCircuit) {
+    const Hypergraph h = twoModules();
+    FMRefiner fm(h, {});
+    // r = 0.1 with 2 unit modules: slack = max(1, 0.2) = 1 -> any split legal.
+    const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+    std::mt19937_64 rng(1);
+    Partition p(h, 2, {0, 1});
+    // The max-area slack lets FM gather both modules on one side and zero
+    // the cut; either outcome is legal, exactness is what matters.
+    const Weight cut = fm.refine(p, bc, rng);
+    EXPECT_LE(cut, 1);
+    EXPECT_EQ(cut, testing::bruteForceCut(h, p));
+}
+
+TEST(EdgeCase, NetlessHypergraph) {
+    const Hypergraph h = netless(10);
+    EXPECT_EQ(h.numNets(), 0);
+    FMRefiner fm(h, {});
+    const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+    std::mt19937_64 rng(2);
+    Partition p = randomPartition(h, 2, BalanceConstraint::forTolerance(h, 2, 0.1), rng);
+    EXPECT_EQ(fm.refine(p, bc, rng), 0);
+    // Coarsening a netless graph: all singletons, no progress, ML still works.
+    MLConfig cfg;
+    cfg.coarseningThreshold = 4;
+    MultilevelPartitioner ml(cfg, makeFMFactory({}));
+    const MLResult r = ml.run(h, rng);
+    EXPECT_EQ(r.cut, 0);
+    EXPECT_EQ(r.levels, 0); // no matchable pair anywhere
+}
+
+TEST(EdgeCase, AllNetsIgnoredByRefiner) {
+    // Every net exceeds maxNetSize: FM has no active nets, must make no
+    // moves but still return the true cut.
+    HypergraphBuilder b(30);
+    std::vector<ModuleId> all;
+    for (ModuleId v = 0; v < 30; ++v) all.push_back(v);
+    b.addNet(all);
+    std::vector<ModuleId> most(all.begin(), all.begin() + 25);
+    b.addNet(most);
+    const Hypergraph h = std::move(b).build();
+    FMConfig cfg;
+    cfg.maxNetSize = 20;
+    FMRefiner fm(h, cfg);
+    const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+    std::mt19937_64 rng(3);
+    Partition p = randomPartition(h, 2, BalanceConstraint::forTolerance(h, 2, 0.1), rng);
+    const Weight cut = fm.refine(p, bc, rng);
+    EXPECT_EQ(fm.ignoredNets(), 2);
+    EXPECT_EQ(cut, testing::bruteForceCut(h, p));
+    EXPECT_EQ(cut, 2); // both giant nets stay cut in any balanced split
+}
+
+TEST(EdgeCase, SingleHugeWeightNet) {
+    HypergraphBuilder b(4);
+    b.addNet({0, 1}, 1000000000);
+    b.addNet({2, 3});
+    const Hypergraph h = std::move(b).build();
+    EXPECT_EQ(h.maxModuleGain(), 1000000000);
+    FMRefiner fm(h, {});
+    const auto bc = BalanceConstraint::forRefinement(h, 2, 0.3);
+    std::mt19937_64 rng(4);
+    Partition p(h, 2, {0, 1, 0, 1}); // heavy net cut
+    const Weight cut = fm.refine(p, bc, rng);
+    EXPECT_LT(cut, 1000000000); // FM must uncut the heavy net
+}
+
+TEST(EdgeCase, KLargerThanUsefulStillWorks) {
+    const Hypergraph h = testing::tinyPath(); // 6 modules
+    KWayFMRefiner kway(h, {});
+    std::mt19937_64 rng(5);
+    const auto bc = BalanceConstraint::forRefinement(h, 6, 0.1);
+    Partition p(h, 6, {0, 1, 2, 3, 4, 5});
+    const Weight cut = kway.refine(p, bc, rng);
+    EXPECT_EQ(cut, testing::bruteForceCut(h, p));
+}
+
+TEST(EdgeCase, PartitionWithOneBlock) {
+    const Hypergraph h = testing::tinyPath();
+    const Partition p(h, 1);
+    EXPECT_EQ(cutWeight(h, p), 0);
+    EXPECT_EQ(sumOfDegrees(h, p), 0);
+}
+
+TEST(EdgeCase, MatchOnTinyInputs) {
+    std::mt19937_64 rng(6);
+    const Hypergraph h2 = twoModules();
+    const Clustering c = matchClustering(h2, {}, rng);
+    EXPECT_EQ(c.numClusters, 1); // the pair matches
+    const Hypergraph solo = netless(1);
+    const Clustering cs = matchClustering(solo, {}, rng);
+    EXPECT_EQ(cs.numClusters, 1);
+    const Hypergraph none = netless(0);
+    const Clustering cn = matchClustering(none, {}, rng);
+    EXPECT_EQ(cn.numClusters, 0);
+    EXPECT_NO_THROW(validateClustering(none, cn));
+}
+
+TEST(EdgeCase, InduceToSingleCluster) {
+    const Hypergraph h = testing::tinyPath();
+    Clustering c;
+    c.clusterOf.assign(6, 0);
+    c.numClusters = 1;
+    const Hypergraph coarse = induce(h, c);
+    EXPECT_EQ(coarse.numModules(), 1);
+    EXPECT_EQ(coarse.numNets(), 0); // everything internal
+    EXPECT_EQ(coarse.totalArea(), h.totalArea());
+}
+
+TEST(EdgeCase, ZeroAreaModules) {
+    HypergraphBuilder b(4);
+    b.setArea(0, 0);
+    b.setArea(1, 0);
+    b.addNet({0, 1});
+    b.addNet({2, 3});
+    const Hypergraph h = std::move(b).build();
+    EXPECT_EQ(h.totalArea(), 2);
+    FMRefiner fm(h, {});
+    const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+    std::mt19937_64 rng(7);
+    Partition p(h, 2, {0, 1, 0, 1});
+    const Weight cut = fm.refine(p, bc, rng);
+    EXPECT_EQ(cut, testing::bruteForceCut(h, p));
+    EXPECT_EQ(cut, 0); // zero-area modules can always join their partners
+}
+
+TEST(EdgeCase, PropOnTinyAndNetless) {
+    std::mt19937_64 rng(8);
+    {
+        const Hypergraph h = twoModules();
+        PropRefiner prop(h, {});
+        const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+        Partition p(h, 2, {0, 1});
+        EXPECT_NO_THROW(prop.refine(p, bc, rng));
+    }
+    {
+        const Hypergraph h = netless(5);
+        PropRefiner prop(h, {});
+        const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+        Partition p = randomPartition(h, 2, BalanceConstraint::forTolerance(h, 2, 0.1), rng);
+        EXPECT_EQ(prop.refine(p, bc, rng), 0);
+    }
+}
+
+TEST(EdgeCase, MLThresholdLargerThanInput) {
+    const Hypergraph h = testing::mediumCircuit(100);
+    MLConfig cfg;
+    cfg.coarseningThreshold = 1000;
+    MultilevelPartitioner ml(cfg, makeFMFactory({}));
+    std::mt19937_64 rng(9);
+    const MLResult r = ml.run(h, rng);
+    EXPECT_EQ(r.levels, 0); // degenerates to flat FM
+    EXPECT_EQ(r.cut, testing::bruteForceCut(h, r.partition));
+}
+
+TEST(EdgeCase, MaxLevelsCapsHierarchy) {
+    const Hypergraph h = testing::mediumCircuit(800);
+    MLConfig cfg;
+    cfg.maxLevels = 2;
+    MultilevelPartitioner ml(cfg, makeFMFactory({}));
+    std::mt19937_64 rng(10);
+    const MLResult r = ml.run(h, rng);
+    EXPECT_LE(r.levels, 2);
+    EXPECT_EQ(r.cut, testing::bruteForceCut(h, r.partition));
+}
+
+TEST(EdgeCase, StatsRowFormatting) {
+    const HypergraphStats s = computeStats(testing::tinyPath());
+    const std::string row = formatStatsRow("tiny", s);
+    EXPECT_NE(row.find("tiny"), std::string::npos);
+    EXPECT_NE(row.find("6"), std::string::npos);
+    EXPECT_NE(row.find("13"), std::string::npos);
+}
+
+TEST(EdgeCase, TightBalanceLeavesNoMoves) {
+    // Exact bisection (r = 0) with the refinement slack of max-area 1:
+    // FM can still swap but never violate.
+    const Hypergraph h = testing::mediumCircuit(200);
+    FMConfig cfg;
+    cfg.tolerance = 0.0;
+    FMRefiner fm(h, cfg);
+    const auto bc = BalanceConstraint::forRefinement(h, 2, 0.0);
+    std::mt19937_64 rng(11);
+    Partition p = randomPartition(h, 2, BalanceConstraint::forTolerance(h, 2, 0.0), rng);
+    fm.refine(p, bc, rng);
+    EXPECT_TRUE(bc.satisfied(p));
+}
+
+} // namespace
+} // namespace mlpart

@@ -1,0 +1,172 @@
+// Tests for the real-benchmark netlist formats: ISCAS-89 .bench and CBL
+// netD/are.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hypergraph/bench_format.h"
+#include "hypergraph/netd_format.h"
+#include "hypergraph/partition.h"
+
+namespace mlpart {
+namespace {
+
+constexpr const char* kTinyBench = R"(
+# simple ISCAS-89 style circuit
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G5)
+G3 = NAND(G0, G1)
+G4 = NOT(G3)
+G5 = DFF(G4)
+)";
+
+TEST(BenchFormat, ParsesGatesAndSignals) {
+    std::istringstream in(kTinyBench);
+    const Hypergraph h = readBench(in);
+    // Modules: G0, G1, G3, G4, G5.
+    EXPECT_EQ(h.numModules(), 5);
+    // Nets: G0->{G3}, G1->{G3}, G3->{G4}, G4->{G5}; G5 has no fanout.
+    EXPECT_EQ(h.numNets(), 4);
+    EXPECT_TRUE(h.hasModuleNames());
+    // Every net is 2-pin here.
+    for (NetId e = 0; e < h.numNets(); ++e) EXPECT_EQ(h.netSize(e), 2);
+}
+
+TEST(BenchFormat, FanoutBecomesOneNet) {
+    std::istringstream in(R"(
+INPUT(A)
+B = NOT(A)
+C = NOT(A)
+D = NAND(A, B, C)
+)");
+    const Hypergraph h = readBench(in);
+    EXPECT_EQ(h.numModules(), 4);
+    // Signal A drives B, C, D -> one 4-pin net; B->D, C->D 2-pin nets.
+    std::int32_t maxSize = 0;
+    for (NetId e = 0; e < h.numNets(); ++e) maxSize = std::max(maxSize, h.netSize(e));
+    EXPECT_EQ(maxSize, 4);
+    EXPECT_EQ(h.numNets(), 3);
+}
+
+TEST(BenchFormat, SelfLoopGateHandled) {
+    // A DFF feeding itself through an inverter: pins dedupe inside nets.
+    std::istringstream in(R"(
+INPUT(CLKISH)
+Q = DFF(NQ)
+NQ = NOT(Q)
+X = AND(Q, CLKISH)
+)");
+    const Hypergraph h = readBench(in);
+    EXPECT_EQ(h.numModules(), 4);
+    EXPECT_GE(h.numNets(), 2);
+}
+
+TEST(BenchFormat, RejectsMalformedInput) {
+    {
+        std::istringstream in("G1 = NAND(G0)\n"); // G0 never driven
+        EXPECT_THROW(readBench(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("INPUT(A)\nINPUT(A)\n"); // duplicate
+        EXPECT_THROW(readBench(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("INPUT(A)\nOUTPUT(Z)\n"); // Z undriven
+        EXPECT_THROW(readBench(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("INPUT(A)\nB = NAND(A\n"); // missing paren
+        EXPECT_THROW(readBench(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("INPUT(A)\njunk line\n");
+        EXPECT_THROW(readBench(in), std::runtime_error);
+    }
+    EXPECT_THROW(readBenchFile("/nonexistent.bench"), std::runtime_error);
+}
+
+// netD sample: 3 nets over cells a0, a1, a2 and pads p1, p2.
+constexpr const char* kTinyNetD = R"(0
+7
+3
+5
+3
+p1 s I
+a0 l B
+a1 l O
+a0 s O
+a2 l I
+p2 s I
+a2 l B
+)";
+
+TEST(NetDFormat, ParsesHeaderAndPins) {
+    std::istringstream in(kTinyNetD);
+    const Hypergraph h = readNetD(in);
+    EXPECT_EQ(h.numModules(), 5);
+    EXPECT_EQ(h.numNets(), 3);
+    EXPECT_EQ(h.numPins(), 7);
+    EXPECT_TRUE(h.hasModuleNames());
+    EXPECT_EQ(h.area(0), 1); // default areas
+}
+
+TEST(NetDFormat, AreFileSetsAreas) {
+    std::istringstream net(kTinyNetD);
+    std::istringstream are("a0 4\na1 2\na2 6\np1 1\np2 1\n");
+    const Hypergraph h = readNetD(net, are);
+    EXPECT_EQ(h.totalArea(), 14);
+    EXPECT_EQ(h.maxArea(), 6);
+}
+
+TEST(NetDFormat, DirectionLetterIsOptional) {
+    std::istringstream in(R"(0
+4
+2
+3
+0
+a0 s
+a1 l
+a1 s
+a2 l
+)");
+    const Hypergraph h = readNetD(in);
+    EXPECT_EQ(h.numModules(), 3);
+    EXPECT_EQ(h.numNets(), 2);
+}
+
+TEST(NetDFormat, RejectsMalformedInput) {
+    {
+        std::istringstream in("not a header\n");
+        EXPECT_THROW(readNetD(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("0\n5\n2\n3\n0\na0 s\na1 l\n"); // pin count mismatch
+        EXPECT_THROW(readNetD(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("0\n2\n1\n2\n0\na0 x\na1 l\n"); // bad flag
+        EXPECT_THROW(readNetD(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("0\n2\n1\n2\n0\na0 l\na1 l\n"); // first pin not 's'
+        EXPECT_THROW(readNetD(in), std::runtime_error);
+    }
+    {
+        std::istringstream net(kTinyNetD);
+        std::istringstream are("zz 5\n"); // unknown cell in .are
+        EXPECT_THROW(readNetD(net, are), std::runtime_error);
+    }
+    EXPECT_THROW(readNetDFile("/nonexistent.netD"), std::runtime_error);
+}
+
+TEST(NetDFormat, PartitionableEndToEnd) {
+    std::istringstream in(kTinyNetD);
+    const Hypergraph h = readNetD(in);
+    const Partition p(h, 2, {0, 0, 1, 1, 1});
+    EXPECT_EQ(cutWeight(h, p), cutNets(h, p));
+    EXPECT_GE(cutWeight(h, p), 1);
+}
+
+} // namespace
+} // namespace mlpart

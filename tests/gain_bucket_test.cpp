@@ -1,0 +1,196 @@
+// Tests for the FM gain bucket structure, parameterized over the three
+// bucket organizations of Table II.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "refine/gain_bucket.h"
+
+namespace mlpart {
+namespace {
+
+class GainBucketPolicyTest : public ::testing::TestWithParam<BucketPolicy> {};
+
+TEST_P(GainBucketPolicyTest, InsertRemoveBasics) {
+    GainBucketArray b(10, 5, false, GetParam());
+    EXPECT_TRUE(b.empty());
+    b.insert(3, 2);
+    b.insert(7, -1);
+    EXPECT_EQ(b.size(), 2);
+    EXPECT_TRUE(b.contains(3));
+    EXPECT_EQ(b.gain(3), 2);
+    EXPECT_EQ(b.maxGain(), 2);
+    b.remove(3);
+    EXPECT_FALSE(b.contains(3));
+    EXPECT_EQ(b.maxGain(), -1);
+    EXPECT_TRUE(b.checkInvariants());
+}
+
+TEST_P(GainBucketPolicyTest, AdjustGainRebuckets) {
+    GainBucketArray b(10, 5, false, GetParam());
+    b.insert(1, 0);
+    b.adjustGain(1, 3);
+    EXPECT_EQ(b.gain(1), 3);
+    b.adjustGain(1, -5);
+    EXPECT_EQ(b.gain(1), -2);
+    EXPECT_TRUE(b.checkInvariants());
+}
+
+TEST_P(GainBucketPolicyTest, GainsClampToRange) {
+    GainBucketArray b(4, 3, false, GetParam());
+    b.insert(0, 100);
+    EXPECT_EQ(b.gain(0), 3);
+    b.adjustGain(0, -1000);
+    EXPECT_EQ(b.gain(0), -3);
+    EXPECT_TRUE(b.checkInvariants());
+}
+
+TEST_P(GainBucketPolicyTest, SelectBestHonorsFeasibility) {
+    GainBucketArray b(6, 5, false, GetParam());
+    std::mt19937_64 rng(1);
+    b.insert(0, 5);
+    b.insert(1, 4);
+    b.insert(2, 4);
+    // Module 0 infeasible: the best feasible lives in the gain-4 bucket.
+    const ModuleId v = b.selectBest([](ModuleId m) { return m != 0; }, rng);
+    EXPECT_TRUE(v == 1 || v == 2);
+    // Nothing feasible at all:
+    EXPECT_EQ(b.selectBest([](ModuleId) { return false; }, rng), kInvalidModule);
+}
+
+TEST_P(GainBucketPolicyTest, RandomStressKeepsInvariants) {
+    GainBucketArray b(50, 20, false, GetParam());
+    std::mt19937_64 rng(9);
+    std::set<ModuleId> present;
+    for (int step = 0; step < 2000; ++step) {
+        const ModuleId v = static_cast<ModuleId>(rng() % 50);
+        if (present.count(v)) {
+            if (rng() % 2) {
+                b.remove(v);
+                present.erase(v);
+            } else {
+                b.adjustGain(v, static_cast<Weight>(rng() % 11) - 5);
+            }
+        } else {
+            b.insert(v, static_cast<Weight>(rng() % 41) - 20);
+            present.insert(v);
+        }
+        if (step % 100 == 0) {
+            ASSERT_TRUE(b.checkInvariants()) << "step " << step;
+        }
+    }
+    EXPECT_TRUE(b.checkInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, GainBucketPolicyTest,
+                         ::testing::Values(BucketPolicy::kLifo, BucketPolicy::kFifo,
+                                           BucketPolicy::kRandom),
+                         [](const ::testing::TestParamInfo<BucketPolicy>& info) {
+                             return toString(info.param);
+                         });
+
+TEST(GainBucket, LifoReturnsMostRecentlyInserted) {
+    GainBucketArray b(5, 3, false, BucketPolicy::kLifo);
+    std::mt19937_64 rng(1);
+    b.insert(0, 2);
+    b.insert(1, 2);
+    b.insert(2, 2);
+    EXPECT_EQ(b.selectBest([](ModuleId) { return true; }, rng), 2);
+}
+
+TEST(GainBucket, FifoReturnsFirstInserted) {
+    GainBucketArray b(5, 3, false, BucketPolicy::kFifo);
+    std::mt19937_64 rng(1);
+    b.insert(0, 2);
+    b.insert(1, 2);
+    b.insert(2, 2);
+    EXPECT_EQ(b.selectBest([](ModuleId) { return true; }, rng), 0);
+}
+
+TEST(GainBucket, RandomSelectsUniformlyFromTopBucket) {
+    GainBucketArray b(4, 3, false, BucketPolicy::kRandom);
+    std::mt19937_64 rng(123);
+    b.insert(0, 1);
+    b.insert(1, 1);
+    b.insert(2, 1);
+    b.insert(3, 0); // lower bucket, must never be chosen
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 3000; ++i) {
+        const ModuleId v = b.selectBest([](ModuleId) { return true; }, rng);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, 2);
+        counts[v]++;
+    }
+    for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(GainBucket, ClipConcatenatePutsEverythingAtZeroInGainOrder) {
+    GainBucketArray b(6, 5, true, BucketPolicy::kLifo);
+    b.insert(0, -3);
+    b.insert(1, 5);
+    b.insert(2, 0);
+    b.insert(3, 5);
+    b.insert(4, 2);
+    b.clipConcatenate();
+    EXPECT_EQ(b.size(), 5);
+    for (ModuleId v : {0, 1, 2, 3, 4}) EXPECT_EQ(b.gain(v), 0);
+    EXPECT_EQ(b.maxGain(), 0);
+    // Head of the zero bucket = previously highest gain; LIFO insertion
+    // order within the old bucket means module 1 preceded 3 (1 inserted
+    // first => 3 was at the head of bucket 5, so 3 comes first).
+    const ModuleId first = b.head(0);
+    EXPECT_EQ(first, 3);
+    EXPECT_EQ(b.next(first), 1);
+    EXPECT_TRUE(b.checkInvariants());
+    // Subsequent deltas move modules relative to zero.
+    b.adjustGain(0, 4);
+    EXPECT_EQ(b.gain(0), 4);
+    std::mt19937_64 rng(1);
+    EXPECT_EQ(b.selectBest([](ModuleId) { return true; }, rng), 0);
+}
+
+TEST(GainBucket, DoubledRangeForClip) {
+    GainBucketArray normal(4, 7, false, BucketPolicy::kLifo);
+    GainBucketArray clip(4, 7, true, BucketPolicy::kLifo);
+    EXPECT_EQ(normal.maxRepresentableGain(), 7);
+    EXPECT_EQ(clip.maxRepresentableGain(), 14);
+    EXPECT_EQ(clip.minRepresentableGain(), -14);
+}
+
+TEST(GainBucket, RejectsMisuse) {
+    GainBucketArray b(3, 2, false, BucketPolicy::kLifo);
+    EXPECT_THROW(b.remove(0), std::invalid_argument);
+    EXPECT_THROW(b.adjustGain(0, 1), std::invalid_argument);
+    b.insert(0, 0);
+    EXPECT_THROW(b.insert(0, 1), std::invalid_argument);
+    EXPECT_THROW(GainBucketArray(-1, 2, false, BucketPolicy::kLifo), std::invalid_argument);
+}
+
+TEST(GainBucket, HugeWeightsCapTheIndexRange) {
+    // A net weight of 10^9 must not allocate a multi-gigabyte bucket
+    // array: the range caps at kMaxRange and extreme gains clamp.
+    GainBucketArray b(4, 1000000000, false, BucketPolicy::kLifo);
+    EXPECT_EQ(b.maxRepresentableGain(), GainBucketArray::kMaxRange);
+    b.insert(0, 999999999);
+    b.insert(1, 5);
+    EXPECT_EQ(b.gain(0), GainBucketArray::kMaxRange);
+    std::mt19937_64 rng(1);
+    EXPECT_EQ(b.selectBest([](ModuleId) { return true; }, rng), 0);
+    EXPECT_TRUE(b.checkInvariants());
+}
+
+TEST(GainBucket, ClearEmptiesEverything) {
+    GainBucketArray b(4, 3, false, BucketPolicy::kFifo);
+    b.insert(0, 1);
+    b.insert(1, -1);
+    b.clear();
+    EXPECT_TRUE(b.empty());
+    EXPECT_FALSE(b.contains(0));
+    EXPECT_TRUE(b.checkInvariants());
+    b.insert(0, 2); // reusable after clear
+    EXPECT_EQ(b.gain(0), 2);
+}
+
+} // namespace
+} // namespace mlpart

@@ -1,0 +1,64 @@
+// Tests for the hypergraph-to-graph net models.
+#include <gtest/gtest.h>
+
+#include "hypergraph/graph_model.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+TEST(CliqueModel, PairCountsAndWeights) {
+    HypergraphBuilder b(5);
+    b.addNet({0, 1});          // 1 pair, weight 1/1
+    b.addNet({1, 2, 3}, 2);    // 3 pairs, weight 2/2 = 1 each
+    b.addNet({0, 1, 2, 3, 4}); // 10 pairs, weight 1/4
+    const Hypergraph h = std::move(b).build();
+    const auto edges = cliqueExpansion(h);
+    EXPECT_EQ(edges.size(), 1u + 3u + 10u);
+    double total = 0.0;
+    for (const auto& e : edges) total += e.w;
+    // Total clique weight per net: w(e) * |e| / 2.
+    EXPECT_NEAR(total, 1.0 + 2.0 * 3.0 / 2.0 + 5.0 / 4.0 * 2.0, 1e-9);
+}
+
+TEST(CliqueModel, SkipsLargeNets) {
+    HypergraphBuilder b(10);
+    std::vector<ModuleId> big;
+    for (ModuleId v = 0; v < 10; ++v) big.push_back(v);
+    b.addNet(big);
+    b.addNet({0, 1});
+    const Hypergraph h = std::move(b).build();
+    const auto edges = cliqueExpansion(h, 8);
+    EXPECT_EQ(edges.size(), 1u);
+    EXPECT_THROW(cliqueExpansion(h, 1), std::invalid_argument);
+}
+
+TEST(StarModel, OneStarPerNet) {
+    HypergraphBuilder b(6);
+    b.addNet({0, 1, 2});
+    b.addNet({3, 4, 5}, 7);
+    const Hypergraph h = std::move(b).build();
+    ModuleId stars = 0;
+    const auto edges = starExpansion(h, stars);
+    EXPECT_EQ(stars, 2);
+    EXPECT_EQ(edges.size(), 6u); // 3 spokes per net
+    for (const auto& e : edges) {
+        EXPECT_GE(e.v, h.numModules()); // spoke target is a virtual star
+        EXPECT_LT(e.v, h.numModules() + stars);
+    }
+}
+
+TEST(StarModel, MinNetSizeFilters) {
+    HypergraphBuilder b(6);
+    b.addNet({0, 1});
+    b.addNet({2, 3, 4, 5});
+    const Hypergraph h = std::move(b).build();
+    ModuleId stars = 0;
+    const auto edges = starExpansion(h, stars, 3); // only the 4-pin net
+    EXPECT_EQ(stars, 1);
+    EXPECT_EQ(edges.size(), 4u);
+    EXPECT_THROW(starExpansion(h, stars, 1), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mlpart

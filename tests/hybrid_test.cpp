@@ -1,0 +1,111 @@
+// Tests for the GMetis-style hybrid genetic/multilevel multi-start.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "genetic/hybrid.h"
+#include "kway/kway_refiner.h"
+#include "refine/fm_refiner.h"
+#include "refine/multistart.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+TEST(Hybrid, ProducesValidBalancedResult) {
+    const Hypergraph h = testing::mediumCircuit(500, 301);
+    HybridConfig cfg;
+    cfg.populationSize = 4;
+    cfg.generations = 4;
+    HybridMultiStart hybrid(cfg, makeFMFactory({}));
+    std::mt19937_64 rng(1);
+    const HybridResult r = hybrid.run(h, rng);
+    EXPECT_EQ(r.cut, testing::bruteForceCut(h, r.partition));
+    EXPECT_EQ(r.cutNetCount, cutNets(h, r.partition));
+    EXPECT_TRUE(BalanceConstraint::forRefinement(h, 2, 0.1).satisfied(r.partition));
+    EXPECT_GE(r.improvements, 0);
+    EXPECT_LE(r.improvements, 4);
+}
+
+TEST(Hybrid, NeverWorseThanItsOwnSeeds) {
+    // The final best can only improve on the initial population best:
+    // children only replace worse members.
+    const Hypergraph h = testing::mediumCircuit(600, 303);
+    HybridConfig cfg;
+    cfg.populationSize = 4;
+    cfg.generations = 6;
+    HybridMultiStart hybrid(cfg, makeFMFactory({}));
+    std::mt19937_64 rng(2);
+    const HybridResult r = hybrid.run(h, rng);
+    EXPECT_LE(static_cast<double>(r.cut), r.initialBest);
+    EXPECT_GE(r.finalAverage, static_cast<double>(r.cut)); // average >= best
+}
+
+TEST(Hybrid, GenerationsImproveOrMatchPlainMultiStart) {
+    // Same total ML-run budget: populationSize + generations runs. The
+    // hybrid's crossover constraint should be at least as good as
+    // independent restarts on average.
+    const Hypergraph h = testing::mediumCircuit(800, 307);
+    const int totalRuns = 10;
+    std::mt19937_64 rng1(3), rng2(3);
+
+    HybridConfig cfg;
+    cfg.populationSize = 4;
+    cfg.generations = totalRuns - cfg.populationSize;
+    HybridMultiStart hybrid(cfg, makeFMFactory({}));
+    const HybridResult hr = hybrid.run(h, rng1);
+
+    MultilevelPartitioner ml(MLConfig{}, makeFMFactory({}));
+    Weight plainBest = 1 << 30;
+    for (int i = 0; i < totalRuns; ++i) plainBest = std::min(plainBest, ml.run(h, rng2).cut);
+
+    EXPECT_LE(hr.cut, static_cast<Weight>(static_cast<double>(plainBest) * 1.15))
+        << "hybrid should be competitive with equal-budget multi-start";
+}
+
+TEST(Hybrid, QuadrisectionWorks) {
+    const Hypergraph h = testing::mediumCircuit(400, 311);
+    HybridConfig cfg;
+    cfg.populationSize = 3;
+    cfg.generations = 3;
+    cfg.ml.k = 4;
+    cfg.ml.coarseningThreshold = 100;
+    HybridMultiStart hybrid(cfg, makeKWayFactory({}));
+    std::mt19937_64 rng(4);
+    const HybridResult r = hybrid.run(h, rng);
+    EXPECT_EQ(r.partition.numParts(), 4);
+    EXPECT_EQ(r.cut, testing::bruteForceCut(h, r.partition));
+}
+
+TEST(Hybrid, RejectsBadConfig) {
+    EXPECT_THROW(HybridMultiStart({}, RefinerFactory{}), std::invalid_argument);
+    HybridConfig bad;
+    bad.populationSize = 1;
+    EXPECT_THROW(HybridMultiStart(bad, makeFMFactory({})), std::invalid_argument);
+    bad = {};
+    bad.generations = -1;
+    EXPECT_THROW(HybridMultiStart(bad, makeFMFactory({})), std::invalid_argument);
+}
+
+TEST(MatchGroups, MLHonorsCallerGroups) {
+    const Hypergraph h = testing::mediumCircuit(300, 313);
+    MLConfig cfg;
+    cfg.matchGroups.assign(static_cast<std::size_t>(h.numModules()), 0);
+    for (ModuleId v = 0; v < h.numModules(); ++v)
+        cfg.matchGroups[static_cast<std::size_t>(v)] = v % 3;
+    MultilevelPartitioner ml(cfg, makeFMFactory({}));
+    std::mt19937_64 rng(5);
+    const MLResult r = ml.run(h, rng);
+    EXPECT_EQ(r.cut, testing::bruteForceCut(h, r.partition));
+    // Group-constrained coarsening has less to merge: coarsest stays
+    // coarser or equal vs unconstrained — just verify it still terminates
+    // with a valid hierarchy.
+    EXPECT_GE(r.levels, 0);
+    // Size mismatch must throw at run().
+    cfg.matchGroups.resize(5);
+    MultilevelPartitioner bad(cfg, makeFMFactory({}));
+    EXPECT_THROW(bad.run(h, rng), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mlpart

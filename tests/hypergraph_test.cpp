@@ -1,0 +1,152 @@
+// Unit tests for the Hypergraph CSR structure and its builder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hypergraph/builder.h"
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/stats.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+TEST(Hypergraph, EmptyByDefault) {
+    Hypergraph h;
+    EXPECT_EQ(h.numModules(), 0);
+    EXPECT_EQ(h.numNets(), 0);
+    EXPECT_EQ(h.numPins(), 0);
+}
+
+TEST(Hypergraph, TinyPathStructure) {
+    const Hypergraph h = testing::tinyPath();
+    EXPECT_EQ(h.numModules(), 6);
+    EXPECT_EQ(h.numNets(), 6);
+    EXPECT_EQ(h.numPins(), 13);
+    EXPECT_EQ(h.netSize(5), 3);
+    EXPECT_EQ(h.degree(0), 2); // nets {0,1} and {0,2,4}
+    EXPECT_EQ(h.degree(2), 3);
+    EXPECT_EQ(h.totalArea(), 6);
+    EXPECT_EQ(h.maxArea(), 1);
+}
+
+TEST(Hypergraph, IncidenceIsConsistent) {
+    const Hypergraph h = testing::mediumCircuit(300);
+    // Every (net, pin) appears in the module's net list and vice versa.
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        for (ModuleId v : h.pins(e)) {
+            const auto nets = h.nets(v);
+            EXPECT_NE(std::find(nets.begin(), nets.end(), e), nets.end())
+                << "net " << e << " missing from module " << v;
+        }
+    }
+    std::int64_t pinSum = 0;
+    for (ModuleId v = 0; v < h.numModules(); ++v) pinSum += h.degree(v);
+    EXPECT_EQ(pinSum, h.numPins());
+}
+
+TEST(Hypergraph, PinsWithinNetAreUniqueAndSorted) {
+    HypergraphBuilder b(4);
+    b.addNet({2, 0, 2, 1, 0}); // duplicates collapse
+    const Hypergraph h = std::move(b).build();
+    ASSERT_EQ(h.numNets(), 1);
+    const auto pins = h.pins(0);
+    ASSERT_EQ(pins.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(pins.begin(), pins.end()));
+}
+
+TEST(Builder, DropsDegenerateNets) {
+    HypergraphBuilder b(3);
+    b.addNet({1, 1, 1}); // collapses to a single pin -> dropped
+    b.addNet({0, 2});
+    const Hypergraph h = std::move(b).build();
+    EXPECT_EQ(h.numNets(), 1);
+    EXPECT_EQ(h.netSize(0), 2);
+}
+
+TEST(Builder, MergesParallelNetsSummingWeights) {
+    HypergraphBuilder b(3);
+    b.addNet({0, 1}, 2);
+    b.addNet({1, 0}, 3); // same pin set
+    b.addNet({1, 2});
+    const Hypergraph h = std::move(b).build();
+    ASSERT_EQ(h.numNets(), 2);
+    // One of the nets must carry weight 5.
+    const Weight w0 = h.netWeight(0), w1 = h.netWeight(1);
+    EXPECT_TRUE((w0 == 5 && w1 == 1) || (w0 == 1 && w1 == 5));
+}
+
+TEST(Builder, ParallelNetMergeCanBeDisabled) {
+    HypergraphBuilder b(3);
+    b.setMergeParallelNets(false);
+    b.addNet({0, 1});
+    b.addNet({0, 1});
+    const Hypergraph h = std::move(b).build();
+    EXPECT_EQ(h.numNets(), 2);
+}
+
+TEST(Builder, AreasAndNames) {
+    HypergraphBuilder b(2);
+    b.setArea(0, 4);
+    b.setArea(1, 7);
+    b.setModuleName(1, "driver");
+    b.addNet({0, 1});
+    const Hypergraph h = std::move(b).build();
+    EXPECT_EQ(h.area(0), 4);
+    EXPECT_EQ(h.totalArea(), 11);
+    EXPECT_EQ(h.maxArea(), 7);
+    EXPECT_TRUE(h.hasModuleNames());
+    EXPECT_EQ(h.moduleName(1), "driver");
+    EXPECT_EQ(h.moduleName(0), "");
+}
+
+TEST(Builder, MaxModuleGainIsWeightedDegree) {
+    HypergraphBuilder b(3);
+    b.addNet({0, 1}, 2);
+    b.addNet({0, 2}, 3);
+    b.addNet({1, 2}, 1);
+    const Hypergraph h = std::move(b).build();
+    EXPECT_EQ(h.maxModuleGain(), 5); // module 0: 2 + 3
+}
+
+TEST(Builder, RejectsBadInput) {
+    EXPECT_THROW(HypergraphBuilder(-1), std::invalid_argument);
+    EXPECT_THROW(HypergraphBuilder(2, -1), std::invalid_argument);
+    HypergraphBuilder b(2);
+    EXPECT_THROW(b.addNet({0, 5}), std::invalid_argument);
+    EXPECT_THROW(b.addNet({0, 1}, 0), std::invalid_argument);
+    EXPECT_THROW(b.setArea(5, 1), std::invalid_argument);
+    EXPECT_THROW(b.setArea(0, -2), std::invalid_argument);
+    EXPECT_THROW(b.setModuleName(9, "x"), std::invalid_argument);
+}
+
+TEST(Stats, TinyPath) {
+    const Hypergraph h = testing::tinyPath();
+    const HypergraphStats s = computeStats(h);
+    EXPECT_EQ(s.numModules, 6);
+    EXPECT_EQ(s.numNets, 6);
+    EXPECT_EQ(s.numPins, 13);
+    EXPECT_EQ(s.maxNetSize, 3);
+    EXPECT_EQ(s.maxDegree, 3);
+    EXPECT_EQ(s.numIsolatedModules, 0);
+    EXPECT_EQ(s.numConnectedComponents, 1);
+}
+
+TEST(Stats, DisconnectedComponentsCounted) {
+    HypergraphBuilder b(5); // {0,1} and {2,3}, module 4 isolated
+    b.addNet({0, 1});
+    b.addNet({2, 3});
+    const Hypergraph h = std::move(b).build();
+    const HypergraphStats s = computeStats(h);
+    EXPECT_EQ(s.numConnectedComponents, 3);
+    EXPECT_EQ(s.numIsolatedModules, 1);
+    const auto labels = connectedComponents(h);
+    EXPECT_EQ(labels[0], labels[1]);
+    EXPECT_EQ(labels[2], labels[3]);
+    EXPECT_NE(labels[0], labels[2]);
+    EXPECT_NE(labels[4], labels[0]);
+}
+
+} // namespace
+} // namespace mlpart

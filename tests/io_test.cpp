@@ -1,0 +1,105 @@
+// Tests for hMETIS .hgr I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hypergraph/io.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+TEST(Io, ReadsPlainFormat) {
+    std::istringstream in("% comment\n3 4\n1 2\n2 3 4\n1 4\n");
+    const Hypergraph h = readHgr(in);
+    EXPECT_EQ(h.numModules(), 4);
+    EXPECT_EQ(h.numNets(), 3);
+    EXPECT_EQ(h.netSize(1), 3);
+    EXPECT_EQ(h.netWeight(0), 1);
+}
+
+TEST(Io, ReadsNetWeights) {
+    std::istringstream in("2 3 1\n5 1 2\n2 2 3\n");
+    const Hypergraph h = readHgr(in);
+    EXPECT_EQ(h.netWeight(0), 5);
+    EXPECT_EQ(h.netWeight(1), 2);
+}
+
+TEST(Io, ReadsModuleWeights) {
+    std::istringstream in("1 3 10\n1 2 3\n4\n5\n6\n");
+    const Hypergraph h = readHgr(in);
+    EXPECT_EQ(h.area(0), 4);
+    EXPECT_EQ(h.area(2), 6);
+    EXPECT_EQ(h.totalArea(), 15);
+}
+
+TEST(Io, ReadsBothWeights) {
+    std::istringstream in("1 2 11\n3 1 2\n7\n9\n");
+    const Hypergraph h = readHgr(in);
+    EXPECT_EQ(h.netWeight(0), 3);
+    EXPECT_EQ(h.area(1), 9);
+}
+
+TEST(Io, RoundTripPreservesStructure) {
+    const Hypergraph h = testing::mediumCircuit(150);
+    std::ostringstream out;
+    writeHgr(h, out);
+    std::istringstream in(out.str());
+    const Hypergraph back = readHgr(in);
+    ASSERT_EQ(back.numModules(), h.numModules());
+    ASSERT_EQ(back.numNets(), h.numNets());
+    ASSERT_EQ(back.numPins(), h.numPins());
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        const auto a = h.pins(e);
+        const auto b = back.pins(e);
+        ASSERT_EQ(a.size(), b.size()) << "net " << e;
+        for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(Io, RoundTripPreservesWeights) {
+    HypergraphBuilder b(3);
+    b.setArea(0, 2);
+    b.setArea(1, 3);
+    b.setArea(2, 4);
+    b.addNet({0, 1}, 7);
+    b.addNet({1, 2});
+    const Hypergraph h = std::move(b).build();
+    std::ostringstream out;
+    writeHgr(h, out);
+    std::istringstream in(out.str());
+    const Hypergraph back = readHgr(in);
+    EXPECT_EQ(back.netWeight(0), 7);
+    EXPECT_EQ(back.area(2), 4);
+}
+
+TEST(Io, RejectsMalformedInput) {
+    {
+        std::istringstream in("");
+        EXPECT_THROW(readHgr(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("abc def\n");
+        EXPECT_THROW(readHgr(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("2 3\n1 2\n"); // truncated net list
+        EXPECT_THROW(readHgr(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("1 3\n1 9\n"); // pin out of range
+        EXPECT_THROW(readHgr(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("1 3 99\n1 2\n"); // unsupported fmt
+        EXPECT_THROW(readHgr(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("1 3 1\n0 1 2\n"); // net weight < 1
+        EXPECT_THROW(readHgr(in), std::runtime_error);
+    }
+    EXPECT_THROW(readHgrFile("/nonexistent/path.hgr"), std::runtime_error);
+}
+
+} // namespace
+} // namespace mlpart

@@ -1,0 +1,91 @@
+// Tests for the Large-Step Markov Chain partitioner.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "kway/kway_refiner.h"
+#include "lsmc/lsmc.h"
+#include "refine/multistart.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+TEST(LSMC, ProducesValidBipartition) {
+    const Hypergraph h = testing::mediumCircuit(300);
+    LSMCConfig cfg;
+    cfg.descents = 5;
+    LSMCPartitioner lsmc(cfg, makeFMFactory({}));
+    std::mt19937_64 rng(1);
+    const LSMCResult r = lsmc.run(h, rng);
+    EXPECT_EQ(r.cut, testing::bruteForceCut(h, r.partition));
+    EXPECT_EQ(r.cutNetCount, cutNets(h, r.partition));
+    EXPECT_TRUE(BalanceConstraint::forRefinement(h, 2, 0.1).satisfied(r.partition));
+}
+
+TEST(LSMC, MoreDescentsNeverWorse) {
+    const Hypergraph h = testing::mediumCircuit(400, 7);
+    LSMCConfig few;
+    few.descents = 1;
+    LSMCConfig many;
+    many.descents = 12;
+    LSMCPartitioner a(few, makeFMFactory({})), b(many, makeFMFactory({}));
+    std::mt19937_64 rng1(3), rng2(3);
+    const Weight cutFew = a.run(h, rng1).cut;
+    const Weight cutMany = b.run(h, rng2).cut;
+    // Identical seed: the first descent matches, later descents only keep
+    // improvements.
+    EXPECT_LE(cutMany, cutFew);
+}
+
+TEST(LSMC, WorksWithClipEngine) {
+    const Hypergraph h = testing::mediumCircuit(300, 11);
+    FMConfig clip;
+    clip.variant = EngineVariant::kCLIP;
+    LSMCConfig cfg;
+    cfg.descents = 4;
+    LSMCPartitioner lsmc(cfg, makeFMFactory(clip));
+    std::mt19937_64 rng(5);
+    const LSMCResult r = lsmc.run(h, rng);
+    EXPECT_EQ(r.cut, testing::bruteForceCut(h, r.partition));
+}
+
+TEST(LSMC, FourWayWithKWayEngine) {
+    const Hypergraph h = testing::mediumCircuit(300, 13);
+    LSMCConfig cfg;
+    cfg.descents = 4;
+    cfg.k = 4;
+    LSMCPartitioner lsmc(cfg, makeKWayFactory({}));
+    std::mt19937_64 rng(7);
+    const LSMCResult r = lsmc.run(h, rng);
+    EXPECT_EQ(r.partition.numParts(), 4);
+    EXPECT_EQ(r.cut, testing::bruteForceCut(h, r.partition));
+    EXPECT_TRUE(BalanceConstraint::forRefinement(h, 4, 0.1).satisfied(r.partition));
+}
+
+TEST(LSMC, AcceptedDescentsAreCounted) {
+    const Hypergraph h = testing::mediumCircuit(500, 17);
+    LSMCConfig cfg;
+    cfg.descents = 15;
+    LSMCPartitioner lsmc(cfg, makeFMFactory({}));
+    std::mt19937_64 rng(9);
+    const LSMCResult r = lsmc.run(h, rng);
+    EXPECT_GE(r.acceptedDescents, 0);
+    EXPECT_LE(r.acceptedDescents, 14);
+}
+
+TEST(LSMC, RejectsBadConfig) {
+    EXPECT_THROW(LSMCPartitioner({}, RefinerFactory{}), std::invalid_argument);
+    LSMCConfig bad;
+    bad.descents = 0;
+    EXPECT_THROW(LSMCPartitioner(bad, makeFMFactory({})), std::invalid_argument);
+    bad = {};
+    bad.kickFraction = 0.0;
+    EXPECT_THROW(LSMCPartitioner(bad, makeFMFactory({})), std::invalid_argument);
+    bad = {};
+    bad.k = 1;
+    EXPECT_THROW(LSMCPartitioner(bad, makeFMFactory({})), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mlpart

@@ -1,0 +1,87 @@
+// Optimality property tests: on instances small enough for exhaustive
+// enumeration, the heuristics must never beat the true optimum (a cut
+// below OPT means the cut accounting is broken) and the multilevel
+// partitioner should usually find it.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/multilevel.h"
+#include "gen/random_hypergraph.h"
+#include "refine/fm_refiner.h"
+#include "refine/multistart.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+// Exhaustive minimum bipartition cut over all balanced assignments.
+Weight bruteForceOptimal(const Hypergraph& h, const BalanceConstraint& bc) {
+    const ModuleId n = h.numModules();
+    Weight best = -1;
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+        std::vector<PartId> assign(static_cast<std::size_t>(n));
+        for (ModuleId v = 0; v < n; ++v) assign[static_cast<std::size_t>(v)] = (mask >> v) & 1u;
+        const Partition p(h, 2, std::move(assign));
+        if (!bc.satisfied(p)) continue;
+        const Weight cut = cutWeight(h, p);
+        if (best < 0 || cut < best) best = cut;
+    }
+    return best;
+}
+
+class OptimalityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalityTest, HeuristicsNeverBeatOptimumAndMLFindsIt) {
+    RandomHypergraphConfig gen;
+    gen.numModules = 12;
+    gen.numNets = 24;
+    gen.seed = GetParam();
+    const Hypergraph h = generateRandomHypergraph(gen);
+    const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+    const Weight opt = bruteForceOptimal(h, bc);
+    ASSERT_GE(opt, 0) << "balanced assignment must exist for unit areas";
+
+    std::mt19937_64 rng(GetParam() * 7 + 1);
+    FMRefiner fm(h, {});
+    Weight fmBest = 1 << 30;
+    for (int run = 0; run < 8; ++run)
+        fmBest = std::min(fmBest, randomStartRefine(h, fm, 0.1, rng));
+    EXPECT_GE(fmBest, opt) << "a heuristic cut below the exhaustive optimum is impossible";
+
+    MLConfig cfg;
+    cfg.coarseningThreshold = 4;
+    MultilevelPartitioner ml(cfg, makeFMFactory({}));
+    Weight mlBest = 1 << 30;
+    for (int run = 0; run < 8; ++run) mlBest = std::min(mlBest, ml.run(h, rng).cut);
+    EXPECT_GE(mlBest, opt);
+    EXPECT_LE(mlBest, opt + 2) << "ML should land at or within 2 of optimum on 12 modules";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityTest, ::testing::Values(1, 2, 3, 4, 5, 6),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+TEST(Optimality, KnownStructuredInstance) {
+    // Two triangles plus one bridge: optimal balanced cut = 1.
+    HypergraphBuilder b(6);
+    b.addNet({0, 1});
+    b.addNet({1, 2});
+    b.addNet({0, 2});
+    b.addNet({3, 4});
+    b.addNet({4, 5});
+    b.addNet({3, 5});
+    b.addNet({2, 3});
+    const Hypergraph h = std::move(b).build();
+    const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+    EXPECT_EQ(bruteForceOptimal(h, bc), 1);
+    std::mt19937_64 rng(9);
+    FMRefiner fm(h, {});
+    Weight best = 1 << 30;
+    for (int run = 0; run < 6; ++run) best = std::min(best, randomStartRefine(h, fm, 0.1, rng));
+    EXPECT_EQ(best, 1);
+}
+
+} // namespace
+} // namespace mlpart

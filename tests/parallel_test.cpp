@@ -1,0 +1,70 @@
+// Tests for the deterministic parallel multi-start driver.
+#include <gtest/gtest.h>
+
+#include "core/parallel_multistart.h"
+#include "refine/fm_refiner.h"
+#include "refine/multistart.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+TEST(ParallelMultiStart, ProducesValidBest) {
+    const Hypergraph h = testing::mediumCircuit(500, 401);
+    MultilevelPartitioner ml(MLConfig{}, makeFMFactory({}));
+    MultiStartConfig cfg;
+    cfg.runs = 8;
+    cfg.threads = 4;
+    const MultiStartOutcome out = parallelMultiStart(h, ml, cfg);
+    EXPECT_EQ(out.bestCut, testing::bruteForceCut(h, out.best));
+    EXPECT_GE(out.bestRun, 0);
+    EXPECT_LT(out.bestRun, 8);
+    EXPECT_EQ(out.cuts.count(), 8);
+    EXPECT_DOUBLE_EQ(out.cuts.min(), static_cast<double>(out.bestCut));
+    EXPECT_TRUE(BalanceConstraint::forRefinement(h, 2, 0.1).satisfied(out.best));
+}
+
+TEST(ParallelMultiStart, DeterministicAcrossThreadCounts) {
+    const Hypergraph h = testing::mediumCircuit(400, 403);
+    MultilevelPartitioner ml(MLConfig{}, makeFMFactory({}));
+    MultiStartConfig one;
+    one.runs = 6;
+    one.threads = 1;
+    one.seed = 42;
+    MultiStartConfig many = one;
+    many.threads = 4;
+    const MultiStartOutcome a = parallelMultiStart(h, ml, one);
+    const MultiStartOutcome b = parallelMultiStart(h, ml, many);
+    EXPECT_EQ(a.bestCut, b.bestCut);
+    EXPECT_EQ(a.bestRun, b.bestRun);
+    EXPECT_DOUBLE_EQ(a.cuts.mean(), b.cuts.mean());
+    EXPECT_DOUBLE_EQ(a.cuts.stddev(), b.cuts.stddev());
+    for (ModuleId v = 0; v < h.numModules(); ++v) EXPECT_EQ(a.best.part(v), b.best.part(v));
+}
+
+TEST(ParallelMultiStart, MoreRunsNeverWorse) {
+    const Hypergraph h = testing::mediumCircuit(400, 407);
+    MultilevelPartitioner ml(MLConfig{}, makeFMFactory({}));
+    MultiStartConfig few;
+    few.runs = 2;
+    MultiStartConfig more;
+    more.runs = 8;
+    // Same seed: run set of `few` is a prefix of `more`'s.
+    const MultiStartOutcome a = parallelMultiStart(h, ml, few);
+    const MultiStartOutcome b = parallelMultiStart(h, ml, more);
+    EXPECT_LE(b.bestCut, a.bestCut);
+}
+
+TEST(ParallelMultiStart, RejectsBadConfig) {
+    const Hypergraph h = testing::tinyPath();
+    MultilevelPartitioner ml(MLConfig{}, makeFMFactory({}));
+    MultiStartConfig bad;
+    bad.runs = 0;
+    EXPECT_THROW(parallelMultiStart(h, ml, bad), std::invalid_argument);
+    bad = {};
+    bad.threads = -1;
+    EXPECT_THROW(parallelMultiStart(h, ml, bad), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mlpart

@@ -1,0 +1,151 @@
+// Unit tests for Partition, BalanceConstraint, and the cut objectives.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hypergraph/partition.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+TEST(Partition, ConstructionAndMoves) {
+    const Hypergraph h = testing::tinyPath();
+    Partition p(h, 2);
+    EXPECT_EQ(p.blockArea(0), 6);
+    EXPECT_EQ(p.blockArea(1), 0);
+    p.move(h, 3, 1);
+    p.move(h, 4, 1);
+    p.move(h, 5, 1);
+    EXPECT_EQ(p.blockArea(0), 3);
+    EXPECT_EQ(p.blockArea(1), 3);
+    EXPECT_EQ(p.blockSize(1), 3);
+    p.move(h, 3, 1); // no-op move to own block
+    EXPECT_EQ(p.blockArea(1), 3);
+}
+
+TEST(Partition, ExplicitAssignmentValidated) {
+    const Hypergraph h = testing::tinyPath();
+    EXPECT_THROW(Partition(h, 2, std::vector<PartId>{0, 1}), std::invalid_argument);
+    EXPECT_THROW(Partition(h, 2, std::vector<PartId>{0, 0, 0, 0, 0, 7}), std::invalid_argument);
+    const Partition p(h, 2, {0, 0, 0, 1, 1, 1});
+    EXPECT_EQ(p.blockArea(0), 3);
+}
+
+TEST(Metrics, CutOfKnownBipartition) {
+    const Hypergraph h = testing::tinyPath();
+    const Partition p(h, 2, {0, 0, 0, 1, 1, 1});
+    EXPECT_EQ(cutWeight(h, p), 2); // nets {2,3} and {0,2,4}
+    EXPECT_EQ(cutNets(h, p), 2);
+    EXPECT_EQ(netSpan(h, p, 0), 1);
+    EXPECT_EQ(netSpan(h, p, 2), 2);
+    // Sum of degrees = sum (span-1): cut nets contribute 1 each here.
+    EXPECT_EQ(sumOfDegrees(h, p), 2);
+}
+
+TEST(Metrics, FourWaySpans) {
+    const Hypergraph h = testing::tinyPath();
+    const Partition p(h, 4, {0, 0, 1, 1, 2, 3});
+    EXPECT_EQ(netSpan(h, p, 5), 3); // {0,2,4} spans blocks 0,1,2
+    EXPECT_EQ(sumOfDegrees(h, p), 0 + 1 + 0 + 1 + 1 + 2);
+    EXPECT_EQ(cutNets(h, p), 4);
+}
+
+TEST(Metrics, MatchesBruteForceOnRandomAssignments) {
+    const Hypergraph h = testing::mediumCircuit(200);
+    std::mt19937_64 rng(3);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<PartId> a(static_cast<std::size_t>(h.numModules()));
+        for (auto& p : a) p = static_cast<PartId>(rng() % 3);
+        const Partition part(h, 3, std::move(a));
+        EXPECT_EQ(cutWeight(h, part), testing::bruteForceCut(h, part));
+    }
+}
+
+TEST(Balance, ToleranceBounds) {
+    const Hypergraph h = testing::tinyPath(); // area 6
+    const auto bc = BalanceConstraint::forTolerance(h, 2, 0.1);
+    EXPECT_EQ(bc.lower(0), 2); // floor(3 * 0.9)
+    EXPECT_EQ(bc.upper(0), 4); // ceil(3 * 1.1)
+    const Partition balanced(h, 2, {0, 0, 0, 1, 1, 1});
+    EXPECT_TRUE(bc.satisfied(balanced));
+    const Partition skewed(h, 2, {0, 0, 0, 0, 0, 1});
+    EXPECT_FALSE(bc.satisfied(skewed));
+}
+
+TEST(Balance, RefinementBoundUsesMaxArea) {
+    HypergraphBuilder b(3);
+    b.setArea(0, 10);
+    b.setArea(1, 1);
+    b.setArea(2, 1);
+    b.addNet({0, 1});
+    b.addNet({1, 2});
+    const Hypergraph h = std::move(b).build();
+    // slack = max(A(v*)=10, r*A=1.2) = 10; target 6 => [0, 16].
+    const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+    EXPECT_EQ(bc.lower(0), 0);
+    EXPECT_EQ(bc.upper(0), 16);
+}
+
+TEST(Balance, AllowsMoveChecksBothSides) {
+    const Hypergraph h = testing::tinyPath();
+    const auto bc = BalanceConstraint::forTolerance(h, 2, 0.1);
+    Partition p(h, 2, {0, 0, 0, 1, 1, 1});
+    // Bounds are [2, 4]; moving one unit from 3|3 gives 2|4 — legal.
+    EXPECT_TRUE(bc.allowsMove(p, 1, 0, 1));
+    p.move(h, 0, 1); // now 2 | 4
+    EXPECT_FALSE(bc.allowsMove(p, 1, 0, 1)); // 1 | 5 violates both bounds
+    EXPECT_TRUE(bc.allowsMove(p, 1, 1, 0));  // back to 3 | 3
+    EXPECT_TRUE(bc.allowsMove(p, 1, 0, 0));  // from == to is always allowed
+}
+
+TEST(Balance, RejectsBadArguments) {
+    const Hypergraph h = testing::tinyPath();
+    EXPECT_THROW(BalanceConstraint::forTolerance(h, 0, 0.1), std::invalid_argument);
+    EXPECT_THROW(BalanceConstraint::forTolerance(h, 2, 1.0), std::invalid_argument);
+    EXPECT_THROW(BalanceConstraint::forTolerance(h, 2, -0.1), std::invalid_argument);
+    EXPECT_THROW(BalanceConstraint({1, 2}, {0}), std::invalid_argument);
+    EXPECT_THROW(BalanceConstraint({3}, {2}), std::invalid_argument);
+}
+
+TEST(RandomPartition, ProducesBalancedBlocks) {
+    const Hypergraph h = testing::mediumCircuit(500);
+    std::mt19937_64 rng(11);
+    for (PartId k : {2, 3, 4}) {
+        const auto bc = BalanceConstraint::forTolerance(h, k, 0.1);
+        const Partition p = randomPartition(h, k, bc, rng);
+        EXPECT_TRUE(bc.satisfied(p)) << "k=" << k;
+    }
+}
+
+TEST(RandomPartition, IsSeedDeterministic) {
+    const Hypergraph h = testing::mediumCircuit(200);
+    const auto bc = BalanceConstraint::forTolerance(h, 2, 0.1);
+    std::mt19937_64 rng1(5), rng2(5);
+    const Partition p1 = randomPartition(h, 2, bc, rng1);
+    const Partition p2 = randomPartition(h, 2, bc, rng2);
+    for (ModuleId v = 0; v < h.numModules(); ++v) EXPECT_EQ(p1.part(v), p2.part(v));
+}
+
+TEST(Rebalance, RepairsOverfullBlocks) {
+    const Hypergraph h = testing::mediumCircuit(300);
+    std::mt19937_64 rng(13);
+    // Everything in block 0: grossly unbalanced.
+    Partition p(h, 2);
+    const auto bc = BalanceConstraint::forTolerance(h, 2, 0.1);
+    EXPECT_FALSE(bc.satisfied(p));
+    const std::int64_t moved = rebalance(h, p, bc, rng);
+    EXPECT_GT(moved, 0);
+    EXPECT_TRUE(bc.satisfied(p));
+}
+
+TEST(Rebalance, NoopWhenAlreadyBalanced) {
+    const Hypergraph h = testing::tinyPath();
+    std::mt19937_64 rng(1);
+    Partition p(h, 2, {0, 0, 0, 1, 1, 1});
+    const auto bc = BalanceConstraint::forTolerance(h, 2, 0.1);
+    EXPECT_EQ(rebalance(h, p, bc, rng), 0);
+}
+
+} // namespace
+} // namespace mlpart

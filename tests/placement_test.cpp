@@ -1,0 +1,194 @@
+// Tests for the quadratic placement substrate and the GORDIAN-like
+// quadrisection baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "gen/grid_generator.h"
+#include "placement/gordian.h"
+#include "placement/linear_system.h"
+#include "placement/quadratic_placer.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+    // A = [[4, -1, 0], [-1, 3, -2], [0, -2, 5]]
+    SparseSymmetricMatrix A(3, {{0, 1, -1.0}, {1, 2, -2.0}}, {4.0, 3.0, 5.0});
+    std::vector<double> x{1.0, 2.0, 3.0}, y(3);
+    A.multiply(x, y);
+    EXPECT_DOUBLE_EQ(y[0], 4.0 * 1 - 1.0 * 2);
+    EXPECT_DOUBLE_EQ(y[1], -1.0 * 1 + 3.0 * 2 - 2.0 * 3);
+    EXPECT_DOUBLE_EQ(y[2], -2.0 * 2 + 5.0 * 3);
+}
+
+TEST(SparseMatrix, AccumulatesDuplicateTriplets) {
+    SparseSymmetricMatrix A(2, {{0, 1, -1.0}, {0, 1, -1.5}}, {3.0, 3.0});
+    std::vector<double> x{1.0, 1.0}, y(2);
+    A.multiply(x, y);
+    EXPECT_DOUBLE_EQ(y[0], 3.0 - 2.5);
+}
+
+TEST(SparseMatrix, RejectsBadTriplets) {
+    EXPECT_THROW(SparseSymmetricMatrix(2, {{0, 0, 1.0}}, {1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(SparseSymmetricMatrix(2, {{0, 5, 1.0}}, {1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(SparseSymmetricMatrix(2, {}, {1.0}), std::invalid_argument);
+}
+
+TEST(CG, SolvesSPDSystemExactly) {
+    // Same A as above, solve A x = b and check residual.
+    SparseSymmetricMatrix A(3, {{0, 1, -1.0}, {1, 2, -2.0}}, {4.0, 3.0, 5.0});
+    const std::vector<double> b{1.0, -2.0, 4.0};
+    std::vector<double> x;
+    const CGResult r = conjugateGradient(A, b, x, 1e-12, 100);
+    EXPECT_TRUE(r.converged);
+    std::vector<double> Ax(3);
+    A.multiply(x, Ax);
+    for (int i = 0; i < 3; ++i) EXPECT_NEAR(Ax[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-8);
+}
+
+TEST(CG, HandlesZeroRhs) {
+    SparseSymmetricMatrix A(2, {{0, 1, -1.0}}, {2.0, 2.0});
+    std::vector<double> x;
+    const CGResult r = conjugateGradient(A, std::vector<double>{0.0, 0.0}, x, 1e-10, 50);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(x[0], 0.0, 1e-9);
+}
+
+TEST(Placer, ChainBetweenTwoPadsSpreadsLinearly) {
+    // Path 0-1-2-3-4 with pads at the ends: the quadratic optimum places
+    // the middle modules at equal spacing.
+    HypergraphBuilder b(5);
+    for (ModuleId v = 0; v + 1 < 5; ++v) b.addNet({v, static_cast<ModuleId>(v + 1)});
+    const Hypergraph h = std::move(b).build();
+    QuadraticPlacer placer(h, {{0, 0.0, 0.0}, {4, 1.0, 0.0}});
+    const PlacementResult r = placer.place();
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[1], 0.25, 1e-5);
+    EXPECT_NEAR(r.x[2], 0.50, 1e-5);
+    EXPECT_NEAR(r.x[3], 0.75, 1e-5);
+    EXPECT_NEAR(r.y[2], 0.0, 1e-5);
+}
+
+TEST(Placer, PadsStayFixed) {
+    const Hypergraph h = testing::mediumCircuit(200);
+    std::mt19937_64 rng(1);
+    auto pads = choosePeripheralPads(h, 16, rng);
+    QuadraticPlacer placer(h, pads);
+    const PlacementResult r = placer.place();
+    for (const auto& p : pads) {
+        EXPECT_DOUBLE_EQ(r.x[static_cast<std::size_t>(p.v)], p.x);
+        EXPECT_DOUBLE_EQ(r.y[static_cast<std::size_t>(p.v)], p.y);
+    }
+    // Free modules end up inside the pad bounding box.
+    for (ModuleId v = 0; v < h.numModules(); ++v) {
+        EXPECT_GE(r.x[static_cast<std::size_t>(v)], -1e-6);
+        EXPECT_LE(r.x[static_cast<std::size_t>(v)], 1.0 + 1e-6);
+        EXPECT_GE(r.y[static_cast<std::size_t>(v)], -1e-6);
+        EXPECT_LE(r.y[static_cast<std::size_t>(v)], 1.0 + 1e-6);
+    }
+}
+
+TEST(Placer, GridPlacementRecoversGeometry) {
+    // Place a grid with pads at the four corners: adjacent cells must end
+    // up near each other (placement respects locality).
+    const GridConfig gc{8, 8, false};
+    const Hypergraph h = generateGrid(gc);
+    std::vector<PadAssignment> pads = {{gridId(gc, 0, 0), 0.0, 0.0},
+                                       {gridId(gc, 7, 0), 1.0, 0.0},
+                                       {gridId(gc, 0, 7), 0.0, 1.0},
+                                       {gridId(gc, 7, 7), 1.0, 1.0}};
+    QuadraticPlacer placer(h, pads);
+    const PlacementResult r = placer.place();
+    EXPECT_TRUE(r.converged);
+    // Cell (4,4) is interior: both coordinates strictly inside.
+    const auto c = static_cast<std::size_t>(gridId(gc, 4, 4));
+    EXPECT_GT(r.x[c], 0.2);
+    EXPECT_LT(r.x[c], 0.8);
+    // x must increase along a row on average.
+    EXPECT_LT(r.x[static_cast<std::size_t>(gridId(gc, 1, 3))],
+              r.x[static_cast<std::size_t>(gridId(gc, 6, 3))]);
+}
+
+TEST(Placer, ReweightingReducesHPWL) {
+    const Hypergraph h = testing::mediumCircuit(300, 31);
+    std::mt19937_64 rng(3);
+    auto pads = choosePeripheralPads(h, 24, rng);
+    PlacerConfig quad;
+    PlacerConfig lin;
+    lin.reweightIterations = 3;
+    const PlacementResult a = QuadraticPlacer(h, pads, quad).place();
+    const PlacementResult b = QuadraticPlacer(h, pads, lin).place();
+    const double hpwlQuad = halfPerimeterWirelength(h, a.x, a.y);
+    const double hpwlLin = halfPerimeterWirelength(h, b.x, b.y);
+    EXPECT_LT(hpwlLin, hpwlQuad * 1.05) << "linear reweighting should not increase HPWL much";
+}
+
+TEST(Placer, RejectsBadInput) {
+    const Hypergraph h = testing::tinyPath();
+    EXPECT_THROW(QuadraticPlacer(h, {}), std::invalid_argument);
+    EXPECT_THROW(QuadraticPlacer(h, {{99, 0.0, 0.0}}), std::invalid_argument);
+    EXPECT_THROW(QuadraticPlacer(h, {{0, 0.0, 0.0}, {0, 1.0, 1.0}}), std::invalid_argument);
+    std::mt19937_64 rng(1);
+    EXPECT_THROW(choosePeripheralPads(h, 0, rng), std::invalid_argument);
+}
+
+TEST(Gordian, ProducesBalancedQuadrisection) {
+    const Hypergraph h = testing::mediumCircuit(400, 37);
+    std::mt19937_64 rng(5);
+    GordianConfig cfg;
+    cfg.padCount = 32;
+    const GordianResult r = gordianQuadrisect(h, cfg, rng);
+    EXPECT_EQ(r.partition.numParts(), 4);
+    EXPECT_EQ(r.cutNetCount, cutNets(h, r.partition));
+    // Area-median splits: every quadrant within ~1 module of n/4 for unit
+    // areas (up to rounding at the two split levels).
+    for (PartId p = 0; p < 4; ++p)
+        EXPECT_NEAR(static_cast<double>(r.partition.blockArea(p)),
+                    static_cast<double>(h.totalArea()) / 4.0, 2.0);
+}
+
+TEST(Gordian, GridQuadrisectionFindsQuadrants) {
+    // With pads consistent with the grid geometry, GORDIAN-style splitting
+    // recovers a near-geometric quadrisection (optimum cut = 2*12 = 24).
+    const GridConfig gc{12, 12, false};
+    const Hypergraph h = generateGrid(gc);
+    std::mt19937_64 rng(7);
+    GordianConfig cfg;
+    // True boundary cells pinned at their geometric positions.
+    for (std::int32_t i = 0; i < 12; i += 2) {
+        const double t = static_cast<double>(i) / 11.0;
+        cfg.pads.push_back({gridId(gc, i, 0), t, 0.0});
+        cfg.pads.push_back({gridId(gc, i, 11), t, 1.0});
+        if (i > 0) {
+            cfg.pads.push_back({gridId(gc, 0, i), 0.0, t});
+            cfg.pads.push_back({gridId(gc, 11, i), 1.0, t});
+        }
+    }
+    const GordianResult r = gordianQuadrisect(h, cfg, rng);
+    EXPECT_LE(r.cutNetCount, 2 * 24); // geometric optimum 24, allow slack
+}
+
+TEST(Gordian, LinearVariantAlsoWorks) {
+    const Hypergraph h = testing::mediumCircuit(300, 41);
+    std::mt19937_64 rng(9);
+    GordianConfig cfg;
+    cfg.placer.reweightIterations = 2; // GORDIAN-L flavour
+    const GordianResult r = gordianQuadrisect(h, cfg, rng);
+    EXPECT_EQ(r.cutNetCount, cutNets(h, r.partition));
+}
+
+TEST(Hpwl, KnownValue) {
+    HypergraphBuilder b(3);
+    b.addNet({0, 1});
+    b.addNet({0, 1, 2});
+    const Hypergraph h = std::move(b).build();
+    const std::vector<double> x{0.0, 1.0, 2.0}, y{0.0, 0.0, 3.0};
+    EXPECT_DOUBLE_EQ(halfPerimeterWirelength(h, x, y), 1.0 + (2.0 + 3.0));
+    EXPECT_THROW((void)halfPerimeterWirelength(h, std::vector<double>{0.0}, y), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mlpart

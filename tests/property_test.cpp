@@ -1,0 +1,195 @@
+// Parameterized property sweeps: the pipeline-level invariants that must
+// hold for every engine, matcher, ratio, and seed combination.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "coarsen/induce.h"
+#include "coarsen/matcher.h"
+#include "core/multilevel.h"
+#include "gen/rent_generator.h"
+#include "hypergraph/io.h"
+#include "kway/kway_refiner.h"
+#include "refine/fm_refiner.h"
+#include "refine/multistart.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+// ---------- induce/project invariant across matcher x ratio ----------
+
+using MatcherRatio = std::tuple<CoarsenerKind, double>;
+
+class InduceProjectProperty : public ::testing::TestWithParam<MatcherRatio> {};
+
+TEST_P(InduceProjectProperty, CutWeightPreservedAndAreasConserved) {
+    const auto [kind, ratio] = GetParam();
+    const Hypergraph h = testing::mediumCircuit(500, 7);
+    std::mt19937_64 rng(11);
+    MatchConfig cfg;
+    cfg.ratio = ratio;
+    const Clustering c = runMatcher(kind, h, cfg, rng);
+    validateClustering(h, c);
+    const Hypergraph coarse = induce(h, c);
+    EXPECT_EQ(coarse.totalArea(), h.totalArea());
+    EXPECT_LE(coarse.numNets(), h.numNets());
+    for (int trial = 0; trial < 4; ++trial) {
+        std::vector<PartId> assign(static_cast<std::size_t>(coarse.numModules()));
+        for (auto& p : assign) p = static_cast<PartId>(rng() % 3);
+        const Partition cp(coarse, 3, std::move(assign));
+        const Partition fp = project(h, c, cp);
+        EXPECT_EQ(cutWeight(coarse, cp), cutWeight(h, fp));
+        EXPECT_EQ(sumOfDegrees(coarse, cp), sumOfDegrees(h, fp));
+        for (PartId b = 0; b < 3; ++b) EXPECT_EQ(cp.blockArea(b), fp.blockArea(b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InduceProjectProperty,
+    ::testing::Combine(::testing::Values(CoarsenerKind::kConnectivityMatch,
+                                         CoarsenerKind::kRandomMatch,
+                                         CoarsenerKind::kHeavyEdgeMatch),
+                       ::testing::Values(1.0, 0.5, 0.25)),
+    [](const ::testing::TestParamInfo<MatcherRatio>& info) {
+        std::string s = toString(std::get<0>(info.param));
+        for (char& ch : s)
+            if (ch == '-') ch = '_';
+        return s + "_r" + std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+// ---------- ML pipeline invariants over a seed sweep ----------
+
+class MLSeedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MLSeedProperty, EveryRunValidBalancedExact) {
+    const int seed = GetParam();
+    const Hypergraph h = testing::mediumCircuit(450, static_cast<std::uint64_t>(seed) + 100);
+    MLConfig cfg;
+    cfg.matchingRatio = seed % 2 == 0 ? 1.0 : 0.5;
+    FMConfig engine;
+    if (seed % 3 == 0) engine.variant = EngineVariant::kCLIP;
+    MultilevelPartitioner ml(cfg, makeFMFactory(engine));
+    std::mt19937_64 rng(static_cast<std::uint64_t>(seed));
+    const MLResult r = ml.run(h, rng);
+    EXPECT_EQ(r.cut, testing::bruteForceCut(h, r.partition));
+    EXPECT_EQ(r.cutNetCount, cutNets(h, r.partition));
+    EXPECT_TRUE(BalanceConstraint::forRefinement(h, 2, 0.1).satisfied(r.partition));
+    EXPECT_GE(r.levels, 1);
+    EXPECT_EQ(r.levelModules.front(), h.numModules());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MLSeedProperty, ::testing::Range(0, 12));
+
+// ---------- single-move cut bound ----------
+
+TEST(CutProperty, SingleMoveBoundedByIncidentWeight) {
+    const Hypergraph h = testing::mediumCircuit(300, 5);
+    std::mt19937_64 rng(3);
+    const auto bc = BalanceConstraint::forTolerance(h, 2, 0.3);
+    Partition p = randomPartition(h, 2, bc, rng);
+    Weight cut = cutWeight(h, p);
+    for (int step = 0; step < 200; ++step) {
+        const ModuleId v = static_cast<ModuleId>(rng() % static_cast<std::uint64_t>(h.numModules()));
+        Weight incident = 0;
+        for (NetId e : h.nets(v)) incident += h.netWeight(e);
+        p.move(h, v, 1 - p.part(v));
+        const Weight newCut = cutWeight(h, p);
+        ASSERT_LE(std::abs(newCut - cut), incident) << "step " << step;
+        cut = newCut;
+    }
+}
+
+// ---------- generator/IO roundtrip across configurations ----------
+
+struct GenParam {
+    ModuleId modules;
+    NetId nets;
+    double mean;
+};
+
+class GenRoundTripProperty : public ::testing::TestWithParam<GenParam> {};
+
+TEST_P(GenRoundTripProperty, HgrRoundTripIsIdentity) {
+    const GenParam gp = GetParam();
+    RentConfig cfg;
+    cfg.numModules = gp.modules;
+    cfg.numNets = gp.nets;
+    cfg.pinsPerNet = gp.mean;
+    cfg.seed = 77;
+    const Hypergraph h = generateRentCircuit(cfg);
+    std::ostringstream out;
+    writeHgr(h, out);
+    std::istringstream in(out.str());
+    const Hypergraph back = readHgr(in);
+    ASSERT_EQ(back.numModules(), h.numModules());
+    ASSERT_EQ(back.numNets(), h.numNets());
+    ASSERT_EQ(back.numPins(), h.numPins());
+    // Cut of an arbitrary partition must be identical on both.
+    std::mt19937_64 rng(5);
+    std::vector<PartId> assign(static_cast<std::size_t>(h.numModules()));
+    for (auto& p : assign) p = static_cast<PartId>(rng() % 2);
+    const Partition pa(h, 2, assign);
+    const Partition pb(back, 2, assign);
+    EXPECT_EQ(cutWeight(h, pa), cutWeight(back, pb));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GenRoundTripProperty,
+                         ::testing::Values(GenParam{64, 80, 2.5}, GenParam{400, 380, 3.0},
+                                           GenParam{1500, 1600, 3.8}, GenParam{300, 900, 2.2}),
+                         [](const ::testing::TestParamInfo<GenParam>& info) {
+                             return "m" + std::to_string(info.param.modules) + "_n" +
+                                    std::to_string(info.param.nets);
+                         });
+
+// ---------- refiner contract across k ----------
+
+class KWayKProperty : public ::testing::TestWithParam<PartId> {};
+
+TEST_P(KWayKProperty, RefineContractHolds) {
+    const PartId k = GetParam();
+    const Hypergraph h = testing::mediumCircuit(350, 31);
+    KWayFMRefiner kway(h, {});
+    const auto startBc = BalanceConstraint::forTolerance(h, k, 0.1);
+    const auto bc = BalanceConstraint::forRefinement(h, k, 0.1);
+    std::mt19937_64 rng(13);
+    Partition p = randomPartition(h, k, startBc, rng);
+    const Weight before = cutWeight(h, p);
+    const Weight after = kway.refine(p, bc, rng);
+    EXPECT_EQ(after, testing::bruteForceCut(h, p));
+    EXPECT_LE(after, before);
+    EXPECT_TRUE(bc.satisfied(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KWayKProperty, ::testing::Values(2, 3, 4, 5, 8),
+                         [](const ::testing::TestParamInfo<PartId>& info) {
+                             return "k" + std::to_string(info.param);
+                         });
+
+// ---------- rebalance always terminates within bounds when feasible ----------
+
+class RebalanceProperty : public ::testing::TestWithParam<PartId> {};
+
+TEST_P(RebalanceProperty, RepairsArbitrarySkew) {
+    const PartId k = GetParam();
+    const Hypergraph h = testing::mediumCircuit(400, 41);
+    std::mt19937_64 rng(17);
+    const auto bc = BalanceConstraint::forTolerance(h, k, 0.1);
+    for (int trial = 0; trial < 3; ++trial) {
+        // Skew: everything into block (trial % k).
+        std::vector<PartId> assign(static_cast<std::size_t>(h.numModules()),
+                                   static_cast<PartId>(trial % k));
+        Partition p(h, k, std::move(assign));
+        rebalance(h, p, bc, rng);
+        EXPECT_TRUE(bc.satisfied(p)) << "k=" << k << " trial=" << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, RebalanceProperty, ::testing::Values(2, 3, 4, 6),
+                         [](const ::testing::TestParamInfo<PartId>& info) {
+                             return "k" + std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace mlpart

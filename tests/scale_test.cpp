@@ -1,0 +1,56 @@
+// Scale smoke tests: the paper's headline includes golem3 (103k modules);
+// these tests exercise the full pipeline at tens of thousands of modules
+// to guard against accidental quadratic behaviour, while staying fast
+// enough for CI (a few seconds in total).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/run_stats.h"
+#include "core/multilevel.h"
+#include "gen/benchmark_suite.h"
+#include "refine/fm_refiner.h"
+#include "refine/multistart.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+TEST(Scale, Golem3StandInGenerates) {
+    // Quarter-scale golem3: ~26k modules, ~36k nets.
+    const Hypergraph h = benchmarkInstance("golem3", 0.25);
+    EXPECT_GT(h.numModules(), 20000);
+    EXPECT_GT(h.numNets(), 30000);
+    EXPECT_GT(h.numPins(), 70000);
+}
+
+TEST(Scale, FlatFMHandles25kModules) {
+    const Hypergraph h = benchmarkInstance("golem3", 0.25);
+    FMRefiner fm(h, {});
+    std::mt19937_64 rng(1);
+    Stopwatch w;
+    Partition p;
+    const Weight cut = randomStartRefine(h, fm, 0.1, rng, &p);
+    EXPECT_GT(cut, 0);
+    EXPECT_EQ(cut, cutWeight(h, p));
+    EXPECT_LT(w.seconds(), 20.0) << "flat FM at 25k modules must stay near-linear";
+}
+
+TEST(Scale, MultilevelHandles25kModules) {
+    const Hypergraph h = benchmarkInstance("golem3", 0.25);
+    MultilevelPartitioner ml(MLConfig{}, makeFMFactory({}));
+    std::mt19937_64 rng(2);
+    Stopwatch w;
+    const MLResult r = ml.run(h, rng);
+    EXPECT_LT(w.seconds(), 30.0);
+    EXPECT_TRUE(BalanceConstraint::forRefinement(h, 2, 0.1).satisfied(r.partition));
+    EXPECT_GE(r.levels, 5);
+    // And the multilevel cut must be far better than a random split.
+    std::mt19937_64 rng2(3);
+    const Partition random =
+        randomPartition(h, 2, BalanceConstraint::forTolerance(h, 2, 0.1), rng2);
+    EXPECT_LT(r.cut * 4, cutWeight(h, random));
+}
+
+} // namespace
+} // namespace mlpart

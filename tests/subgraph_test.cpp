@@ -1,0 +1,136 @@
+// Tests for induced sub-hypergraph extraction and the partition file I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hypergraph/io.h"
+#include "hypergraph/subgraph.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+TEST(Subgraph, ExtractsInducedStructure) {
+    const Hypergraph h = testing::tinyPath(); // nets {0,1},{1,2},{2,3},{3,4},{4,5},{0,2,4}
+    std::vector<char> mask = {1, 1, 1, 0, 0, 0};
+    const SubgraphResult r = extractSubgraph(h, mask);
+    EXPECT_EQ(r.graph.numModules(), 3);
+    ASSERT_EQ(r.toParent.size(), 3u);
+    EXPECT_EQ(r.toParent[0], 0);
+    EXPECT_EQ(r.toParent[2], 2);
+    // Surviving nets: {0,1}, {1,2}, and {0,2} (the restriction of {0,2,4}).
+    EXPECT_EQ(r.graph.numNets(), 3);
+}
+
+TEST(Subgraph, PreservesAreasAndWeights) {
+    HypergraphBuilder b(4);
+    b.setArea(1, 5);
+    b.setArea(2, 7);
+    b.addNet({1, 2}, 3);
+    b.addNet({0, 3});
+    const Hypergraph h = std::move(b).build();
+    const SubgraphResult r = extractSubgraph(h, {0, 1, 1, 0});
+    ASSERT_EQ(r.graph.numModules(), 2);
+    EXPECT_EQ(r.graph.area(0), 5);
+    EXPECT_EQ(r.graph.area(1), 7);
+    ASSERT_EQ(r.graph.numNets(), 1);
+    EXPECT_EQ(r.graph.netWeight(0), 3);
+}
+
+TEST(Subgraph, DropsNetsWithFewerThanTwoInsidePins) {
+    const Hypergraph h = testing::tinyPath();
+    const SubgraphResult r = extractSubgraph(h, {1, 0, 0, 0, 0, 1}); // 0 and 5 unrelated
+    EXPECT_EQ(r.graph.numModules(), 2);
+    EXPECT_EQ(r.graph.numNets(), 0);
+}
+
+TEST(Subgraph, EmptyAndFullMasks) {
+    const Hypergraph h = testing::tinyPath();
+    const SubgraphResult none = extractSubgraph(h, std::vector<char>(6, 0));
+    EXPECT_EQ(none.graph.numModules(), 0);
+    const SubgraphResult all = extractSubgraph(h, std::vector<char>(6, 1));
+    EXPECT_EQ(all.graph.numModules(), h.numModules());
+    EXPECT_EQ(all.graph.numNets(), h.numNets());
+    EXPECT_THROW(extractSubgraph(h, std::vector<char>(3, 1)), std::invalid_argument);
+}
+
+TEST(Subgraph, CutOfSubsetPartitionMatchesParent) {
+    const Hypergraph h = testing::mediumCircuit(300);
+    std::vector<char> mask(static_cast<std::size_t>(h.numModules()), 0);
+    for (ModuleId v = 0; v < h.numModules() / 2; ++v) mask[static_cast<std::size_t>(v)] = 1;
+    const SubgraphResult r = extractSubgraph(h, mask);
+    // Partition the subgraph arbitrarily and lift it: cut inside the
+    // subset must match (nets fully inside the subset).
+    std::vector<PartId> subAssign(static_cast<std::size_t>(r.graph.numModules()));
+    for (std::size_t i = 0; i < subAssign.size(); ++i) subAssign[i] = static_cast<PartId>(i % 2);
+    const Partition subPart(r.graph, 2, subAssign);
+
+    // Lift to the parent: subset modules keep their block, others go to 2.
+    std::vector<PartId> parentAssign(static_cast<std::size_t>(h.numModules()), 2);
+    for (ModuleId sv = 0; sv < r.graph.numModules(); ++sv)
+        parentAssign[static_cast<std::size_t>(r.toParent[static_cast<std::size_t>(sv)])] =
+            subPart.part(sv);
+    const Partition parentPart(h, 3, parentAssign);
+
+    // Every cut net of the subgraph corresponds to a parent net cut
+    // between blocks 0 and 1.
+    Weight subCut = cutWeight(r.graph, subPart);
+    Weight parentZeroOne = 0;
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        bool in0 = false, in1 = false;
+        for (ModuleId v : h.pins(e)) {
+            if (parentPart.part(v) == 0) in0 = true;
+            if (parentPart.part(v) == 1) in1 = true;
+        }
+        if (in0 && in1) parentZeroOne += h.netWeight(e);
+    }
+    EXPECT_EQ(subCut, parentZeroOne);
+}
+
+TEST(PartitionIo, RoundTrip) {
+    const Hypergraph h = testing::tinyPath();
+    const Partition p(h, 3, {0, 1, 2, 2, 1, 0});
+    std::ostringstream out;
+    writePartition(p, out);
+    std::istringstream in(out.str());
+    const Partition back = readPartition(h, in);
+    EXPECT_EQ(back.numParts(), 3);
+    for (ModuleId v = 0; v < h.numModules(); ++v) EXPECT_EQ(back.part(v), p.part(v));
+}
+
+TEST(PartitionIo, ExplicitKAndErrors) {
+    const Hypergraph h = testing::tinyPath();
+    {
+        std::istringstream in("0\n0\n1\n1\n0\n0\n");
+        const Partition p = readPartition(h, in, 4); // force k = 4
+        EXPECT_EQ(p.numParts(), 4);
+        EXPECT_EQ(p.blockSize(3), 0);
+    }
+    {
+        std::istringstream in("0\n1\n"); // truncated
+        EXPECT_THROW(readPartition(h, in), std::runtime_error);
+    }
+    {
+        std::istringstream in("0\n1\nbanana\n0\n1\n0\n");
+        EXPECT_THROW(readPartition(h, in), std::runtime_error);
+    }
+    {
+        std::istringstream in("0\n1\n5\n0\n1\n0\n"); // id 5 >= forced k=2
+        EXPECT_THROW(readPartition(h, in, 2), std::runtime_error);
+    }
+    EXPECT_THROW(readPartitionFile(h, "/nonexistent/p.parts"), std::runtime_error);
+}
+
+TEST(PartitionIo, FileRoundTrip) {
+    const Hypergraph h = testing::mediumCircuit(200);
+    std::vector<PartId> a(static_cast<std::size_t>(h.numModules()));
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<PartId>(i % 4);
+    const Partition p(h, 4, a);
+    const std::string path = ::testing::TempDir() + "mlpart_roundtrip.parts";
+    writePartitionFile(p, path);
+    const Partition back = readPartitionFile(h, path);
+    EXPECT_EQ(cutWeight(h, back), cutWeight(h, p));
+}
+
+} // namespace
+} // namespace mlpart

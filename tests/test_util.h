@@ -1,0 +1,54 @@
+// Shared fixtures and helpers for the mlpart test suite.
+#pragma once
+
+#include <random>
+
+#include "gen/rent_generator.h"
+#include "hypergraph/builder.h"
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/partition.h"
+
+namespace mlpart::testing {
+
+/// The tiny example used throughout the unit tests:
+///
+///   modules 0..5, nets: {0,1}, {1,2}, {2,3}, {3,4}, {4,5}, {0,2,4}
+///
+/// A path with one 3-pin chord; a {0,1,2}|{3,4,5} bipartition cuts nets
+/// {2,3} and {0,2,4}.
+inline Hypergraph tinyPath() {
+    HypergraphBuilder b(6);
+    b.addNet({0, 1});
+    b.addNet({1, 2});
+    b.addNet({2, 3});
+    b.addNet({3, 4});
+    b.addNet({4, 5});
+    b.addNet({0, 2, 4});
+    return std::move(b).build();
+}
+
+/// Deterministic medium Rent's-rule circuit for integration-style tests.
+inline Hypergraph mediumCircuit(ModuleId modules = 600, std::uint64_t seed = 7) {
+    RentConfig cfg;
+    cfg.numModules = modules;
+    cfg.numNets = static_cast<NetId>(modules);
+    cfg.pinsPerNet = 3.0;
+    cfg.seed = seed;
+    return generateRentCircuit(cfg);
+}
+
+/// Exhaustive (non-incremental) cut computation for cross-checking.
+inline Weight bruteForceCut(const Hypergraph& h, const Partition& p) {
+    Weight cut = 0;
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        // k-way: any two pins in different blocks cut the net.
+        const PartId first = p.part(h.pins(e)[0]);
+        bool cutNet = false;
+        for (ModuleId v : h.pins(e))
+            if (p.part(v) != first) { cutNet = true; break; }
+        if (cutNet) cut += h.netWeight(e);
+    }
+    return cut;
+}
+
+} // namespace mlpart::testing

@@ -1,0 +1,114 @@
+// Tests for the top-down quadrisection-driven standard-cell placer.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "gen/grid_generator.h"
+#include "placement/quadratic_placer.h"
+#include "placement/topdown_placer.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+TEST(TopDown, PlacesEveryCellInsideTheChip) {
+    const Hypergraph h = testing::mediumCircuit(500, 3);
+    std::mt19937_64 rng(1);
+    TopDownPlacerConfig cfg;
+    cfg.levels = 3;
+    const TopDownPlacement p = placeTopDown(h, cfg, rng);
+    ASSERT_EQ(p.x.size(), static_cast<std::size_t>(h.numModules()));
+    EXPECT_EQ(p.gridSize, 8);
+    for (ModuleId v = 0; v < h.numModules(); ++v) {
+        EXPECT_GE(p.x[static_cast<std::size_t>(v)], 0.0);
+        EXPECT_LE(p.x[static_cast<std::size_t>(v)], 8.0);
+        EXPECT_GE(p.y[static_cast<std::size_t>(v)], 0.0);
+        EXPECT_LE(p.y[static_cast<std::size_t>(v)], 8.0);
+    }
+    EXPECT_GT(p.hpwl, 0.0);
+}
+
+TEST(TopDown, NoTwoCellsShareASite) {
+    const Hypergraph h = testing::mediumCircuit(300, 5);
+    std::mt19937_64 rng(2);
+    TopDownPlacerConfig cfg;
+    cfg.levels = 2;
+    const TopDownPlacement p = placeTopDown(h, cfg, rng);
+    std::set<std::pair<long, long>> sites;
+    for (ModuleId v = 0; v < h.numModules(); ++v) {
+        // Quantize to thousandths; row packing guarantees distinct x per row.
+        const auto key = std::make_pair(std::lround(p.x[static_cast<std::size_t>(v)] * 1000),
+                                        std::lround(p.y[static_cast<std::size_t>(v)] * 1000));
+        EXPECT_TRUE(sites.insert(key).second) << "overlap at module " << v;
+    }
+}
+
+TEST(TopDown, BeatsRandomPlacementOnHpwl) {
+    const Hypergraph h = testing::mediumCircuit(600, 7);
+    std::mt19937_64 rng(3);
+    TopDownPlacerConfig cfg;
+    const TopDownPlacement p = placeTopDown(h, cfg, rng);
+    // Random placement on the same grid for comparison.
+    std::vector<double> rx(static_cast<std::size_t>(h.numModules()));
+    std::vector<double> ry(rx.size());
+    std::uniform_real_distribution<double> u(0.0, static_cast<double>(p.gridSize));
+    for (std::size_t i = 0; i < rx.size(); ++i) {
+        rx[i] = u(rng);
+        ry[i] = u(rng);
+    }
+    const double randomHpwl = halfPerimeterWirelength(h, rx, ry);
+    EXPECT_LT(p.hpwl, randomHpwl * 0.6) << "cut-driven placement must be far better than random";
+}
+
+TEST(TopDown, MoreSweepsNeverHurt) {
+    const Hypergraph h = testing::mediumCircuit(400, 9);
+    TopDownPlacerConfig none;
+    none.orderingSweeps = 0;
+    none.swapSweeps = 0;
+    TopDownPlacerConfig full;
+    full.orderingSweeps = 4;
+    full.swapSweeps = 3;
+    std::mt19937_64 rng1(4), rng2(4);
+    const TopDownPlacement a = placeTopDown(h, none, rng1);
+    const TopDownPlacement b = placeTopDown(h, full, rng2);
+    EXPECT_LE(b.hpwl, a.hpwl * 1.02) << "detailed placement should not regress HPWL";
+}
+
+TEST(TopDown, GridCircuitRecoversLocality) {
+    // Placing a mesh: neighbours in the netlist should end up close — the
+    // HPWL of an 8x8 grid placed on an 8x8 chip is near the ideal |E|.
+    const Hypergraph h = generateGrid({8, 8, false});
+    std::mt19937_64 rng(5);
+    TopDownPlacerConfig cfg;
+    cfg.levels = 3;
+    cfg.minRegionCells = 2;
+    const TopDownPlacement p = placeTopDown(h, cfg, rng);
+    // 112 2-pin nets; ideal placement HPWL = 112 * 1 = 112; accept 3x.
+    EXPECT_LT(p.hpwl, 3.0 * 112.0);
+}
+
+TEST(TopDown, DeterministicGivenSeed) {
+    const Hypergraph h = testing::mediumCircuit(300, 11);
+    std::mt19937_64 rng1(6), rng2(6);
+    const TopDownPlacement a = placeTopDown(h, {}, rng1);
+    const TopDownPlacement b = placeTopDown(h, {}, rng2);
+    EXPECT_DOUBLE_EQ(a.hpwl, b.hpwl);
+}
+
+TEST(TopDown, RejectsBadConfig) {
+    const Hypergraph h = testing::tinyPath();
+    std::mt19937_64 rng(1);
+    TopDownPlacerConfig bad;
+    bad.levels = 0;
+    EXPECT_THROW(placeTopDown(h, bad, rng), std::invalid_argument);
+    bad = {};
+    bad.levels = 11;
+    EXPECT_THROW(placeTopDown(h, bad, rng), std::invalid_argument);
+    bad = {};
+    bad.swapSweeps = -1;
+    EXPECT_THROW(placeTopDown(h, bad, rng), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mlpart

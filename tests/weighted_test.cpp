@@ -1,0 +1,147 @@
+// Non-unit module areas and net weights through every engine and the full
+// multilevel stack. The paper's experiments use unit areas, but the
+// algorithms are specified for arbitrary areas ("if P^k contains a cluster
+// with two modules with areas 4 and 7, the module corresponding to this
+// cluster will have area 11") — these tests keep that path honest.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "coarsen/induce.h"
+#include "coarsen/matcher.h"
+#include "core/multilevel.h"
+#include "core/recursive_bisection.h"
+#include "gen/rent_generator.h"
+#include "kway/kway_refiner.h"
+#include "refine/fm_refiner.h"
+#include "refine/multistart.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+// A medium circuit with areas 1..8 (deterministic per module) and a few
+// heavy nets.
+Hypergraph weightedCircuit(ModuleId n = 400, std::uint64_t seed = 501) {
+    RentConfig cfg;
+    cfg.numModules = n;
+    cfg.numNets = n;
+    cfg.seed = seed;
+    const Hypergraph base = generateRentCircuit(cfg);
+    HypergraphBuilder b(base.numModules());
+    std::mt19937_64 rng(seed);
+    for (ModuleId v = 0; v < base.numModules(); ++v)
+        b.setArea(v, 1 + static_cast<Area>(rng() % 8));
+    std::vector<ModuleId> pins;
+    for (NetId e = 0; e < base.numNets(); ++e) {
+        pins.assign(base.pins(e).begin(), base.pins(e).end());
+        b.addNet(pins, 1 + static_cast<Weight>(rng() % 4));
+    }
+    return std::move(b).build();
+}
+
+TEST(Weighted, AreasPreservedThroughCoarsening) {
+    const Hypergraph h = weightedCircuit();
+    std::mt19937_64 rng(1);
+    const Clustering c = matchClustering(h, {}, rng);
+    const Hypergraph coarse = induce(h, c);
+    EXPECT_EQ(coarse.totalArea(), h.totalArea());
+    // Every cluster's area is the sum of its members (paper Section III).
+    std::vector<Area> sums(static_cast<std::size_t>(c.numClusters), 0);
+    for (ModuleId v = 0; v < h.numModules(); ++v)
+        sums[static_cast<std::size_t>(c.clusterOf[static_cast<std::size_t>(v)])] += h.area(v);
+    for (ModuleId cl = 0; cl < c.numClusters; ++cl)
+        EXPECT_EQ(coarse.area(cl), sums[static_cast<std::size_t>(cl)]);
+}
+
+TEST(Weighted, FMRespectsAreaBalance) {
+    const Hypergraph h = weightedCircuit();
+    FMRefiner fm(h, {});
+    const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+    std::mt19937_64 rng(2);
+    for (int trial = 0; trial < 3; ++trial) {
+        Partition p = randomPartition(h, 2, BalanceConstraint::forTolerance(h, 2, 0.1), rng);
+        const Weight before = cutWeight(h, p);
+        const Weight after = fm.refine(p, bc, rng);
+        EXPECT_EQ(after, testing::bruteForceCut(h, p));
+        EXPECT_LE(after, before);
+        EXPECT_TRUE(bc.satisfied(p));
+    }
+}
+
+TEST(Weighted, KWayRespectsAreaBalance) {
+    const Hypergraph h = weightedCircuit(350, 503);
+    KWayFMRefiner kway(h, {});
+    const auto bc = BalanceConstraint::forRefinement(h, 4, 0.1);
+    std::mt19937_64 rng(3);
+    Partition p = randomPartition(h, 4, BalanceConstraint::forTolerance(h, 4, 0.1), rng);
+    const Weight after = kway.refine(p, bc, rng);
+    EXPECT_EQ(after, testing::bruteForceCut(h, p));
+    EXPECT_TRUE(bc.satisfied(p));
+}
+
+TEST(Weighted, MultilevelEndToEnd) {
+    const Hypergraph h = weightedCircuit(600, 505);
+    MultilevelPartitioner ml(MLConfig{}, makeFMFactory({}));
+    std::mt19937_64 rng(4);
+    const MLResult r = ml.run(h, rng);
+    EXPECT_EQ(r.cut, testing::bruteForceCut(h, r.partition));
+    // The refinement bound uses THIS level's max area; the final solution
+    // must satisfy the flat-level constraint.
+    EXPECT_TRUE(BalanceConstraint::forRefinement(h, 2, 0.1).satisfied(r.partition));
+    EXPECT_GE(r.levels, 2);
+}
+
+TEST(Weighted, MultilevelBeatsFlatOnWeightedCut) {
+    const Hypergraph h = weightedCircuit(800, 507);
+    MultilevelPartitioner ml(MLConfig{}, makeFMFactory({}));
+    FMRefiner flat(h, {});
+    std::mt19937_64 rng1(5), rng2(5);
+    double mlSum = 0, flatSum = 0;
+    for (int i = 0; i < 5; ++i) {
+        mlSum += static_cast<double>(ml.run(h, rng1).cut);
+        flatSum += static_cast<double>(randomStartRefine(h, flat, 0.1, rng2));
+    }
+    EXPECT_LT(mlSum, flatSum);
+}
+
+TEST(Weighted, MatchPrefersLightPartnersUnderAreaPressure) {
+    // conn() divides by a(v)+a(w): with equal connectivity the lighter
+    // partner must win, keeping cluster areas balanced during coarsening.
+    const Hypergraph h = weightedCircuit(500, 509);
+    std::mt19937_64 rng(6);
+    const Clustering c = matchClustering(h, {}, rng);
+    const Hypergraph coarse = induce(h, c);
+    // Coarse max area should stay well below 2x the flat max times the
+    // worst pairing (16): i.e. no pathological giant clusters.
+    EXPECT_LE(coarse.maxArea(), 16);
+}
+
+TEST(Weighted, HugeModuleDoesNotBreakBalance) {
+    // One module holds ~30% of the total area: the refinement bound's
+    // max(A(v*), r*A) slack must make the instance feasible.
+    HypergraphBuilder b(21);
+    b.setArea(0, 9);
+    for (ModuleId v = 0; v + 1 < 21; ++v) b.addNet({v, static_cast<ModuleId>(v + 1)});
+    const Hypergraph h = std::move(b).build(); // total area 29, max 9
+    FMRefiner fm(h, {});
+    const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+    std::mt19937_64 rng(7);
+    Partition p = randomPartition(h, 2, bc, rng);
+    const Weight cut = fm.refine(p, bc, rng);
+    EXPECT_EQ(cut, testing::bruteForceCut(h, p));
+    EXPECT_TRUE(bc.satisfied(p));
+}
+
+TEST(Weighted, RecursiveBisectionBalancesAreas) {
+    const Hypergraph h = weightedCircuit(500, 511);
+    std::mt19937_64 rng(8);
+    const Partition p = recursiveBisection(h, 4, MLConfig{}, makeFMFactory({}), rng);
+    const double target = static_cast<double>(h.totalArea()) / 4.0;
+    for (PartId b = 0; b < 4; ++b)
+        EXPECT_NEAR(static_cast<double>(p.blockArea(b)), target, target * 0.45)
+            << "block " << b;
+}
+
+} // namespace
+} // namespace mlpart

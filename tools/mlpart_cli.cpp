@@ -1,0 +1,247 @@
+// mlpart — command-line front end for the library.
+//
+//   mlpart stats      <netlist>                      circuit statistics
+//   mlpart partition  <netlist> [options]            k-way ML partitioning
+//   mlpart spectral   <netlist> [options]            spectral bisection
+//   mlpart place      <netlist> [options]            top-down row placement
+//   mlpart convert    <netlist> <out.hgr>            format conversion
+//   mlpart gen        <benchmark|rent> [options]     synthetic circuit
+//
+// Netlist formats are auto-detected by extension: .hgr (hMETIS),
+// .bench (ISCAS-89), .net/.netD (CBL netD; a sibling .are file with the
+// same stem is picked up automatically).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/multilevel.h"
+#include "core/parallel_multistart.h"
+#include "gen/benchmark_suite.h"
+#include "gen/rent_generator.h"
+#include "hypergraph/bench_format.h"
+#include "hypergraph/io.h"
+#include "hypergraph/netd_format.h"
+#include "hypergraph/stats.h"
+#include "kway/kway_refiner.h"
+#include "placement/topdown_placer.h"
+#include "refine/fm_refiner.h"
+#include "refine/multistart.h"
+#include "spectral/spectral.h"
+
+using namespace mlpart;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& msg = "") {
+    if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
+    std::cerr <<
+        "usage: mlpart <command> [args]\n"
+        "  stats     <netlist>\n"
+        "  partition <netlist> [-k K] [-r TOL] [-R RATIO] [--engine fm|clip]\n"
+        "            [--runs N] [--threads T] [--seed S] [-o OUT.parts]\n"
+        "  spectral  <netlist> [-r TOL] [-o OUT.parts]\n"
+        "  place     <netlist> [--levels L] [-o OUT.pl]\n"
+        "  convert   <netlist> <out.hgr>\n"
+        "  gen       <benchmark-name|rent> [--scale S] [--modules N] [--nets M]\n"
+        "            [--seed S] -o OUT.hgr\n"
+        "netlist formats by extension: .hgr, .bench, .net/.netD (+.are)\n";
+    std::exit(2);
+}
+
+Hypergraph loadNetlist(const std::string& path) {
+    const std::filesystem::path p(path);
+    const std::string ext = p.extension().string();
+    if (ext == ".hgr") return readHgrFile(path);
+    if (ext == ".bench") return readBenchFile(path);
+    if (ext == ".net" || ext == ".netD" || ext == ".netd") {
+        std::filesystem::path are = p;
+        are.replace_extension(".are");
+        if (std::filesystem::exists(are)) return readNetDFile(path, are.string());
+        return readNetDFile(path);
+    }
+    throw std::runtime_error("unrecognized netlist extension '" + ext + "' (want .hgr/.bench/.netD)");
+}
+
+// Tiny flag parser: flags with values; positional args collected in order.
+struct Args {
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> flags;
+
+    [[nodiscard]] std::string get(const std::string& key, const std::string& def) const {
+        const auto it = flags.find(key);
+        return it == flags.end() ? def : it->second;
+    }
+    [[nodiscard]] double getD(const std::string& key, double def) const {
+        const auto it = flags.find(key);
+        return it == flags.end() ? def : std::stod(it->second);
+    }
+    [[nodiscard]] long getI(const std::string& key, long def) const {
+        const auto it = flags.find(key);
+        return it == flags.end() ? def : std::stol(it->second);
+    }
+};
+
+Args parseArgs(int argc, char** argv, int start) {
+    Args a;
+    for (int i = start; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.size() >= 2 && arg[0] == '-' && !std::isdigit(static_cast<unsigned char>(arg[1]))) {
+            if (i + 1 >= argc) usage("flag " + arg + " needs a value");
+            a.flags[arg] = argv[++i];
+        } else {
+            a.positional.push_back(arg);
+        }
+    }
+    return a;
+}
+
+int cmdStats(const Args& a) {
+    if (a.positional.empty()) usage("stats: missing netlist");
+    const Hypergraph h = loadNetlist(a.positional[0]);
+    const HypergraphStats s = computeStats(h);
+    std::cout << a.positional[0] << ":\n"
+              << "  modules:    " << s.numModules << "\n"
+              << "  nets:       " << s.numNets << "\n"
+              << "  pins:       " << s.numPins << "\n"
+              << "  avg net:    " << s.avgNetSize << " (max " << s.maxNetSize << ")\n"
+              << "  avg degree: " << s.avgDegree << " (max " << s.maxDegree << ")\n"
+              << "  components: " << s.numConnectedComponents << " (" << s.numIsolatedModules
+              << " isolated modules)\n"
+              << "  total area: " << h.totalArea() << " (max " << h.maxArea() << ")\n";
+    return 0;
+}
+
+int cmdPartition(const Args& a) {
+    if (a.positional.empty()) usage("partition: missing netlist");
+    const Hypergraph h = loadNetlist(a.positional[0]);
+    const PartId k = static_cast<PartId>(a.getI("-k", 2));
+    const double r = a.getD("-r", 0.1);
+    const std::string engine = a.get("--engine", "clip");
+
+    MLConfig cfg;
+    cfg.k = k;
+    cfg.tolerance = r;
+    cfg.matchingRatio = a.getD("-R", 0.5);
+    if (k > 2) cfg.coarseningThreshold = 100;
+
+    RefinerFactory factory;
+    if (k == 2) {
+        FMConfig fm;
+        fm.tolerance = r;
+        if (engine == "clip") fm.variant = EngineVariant::kCLIP;
+        else if (engine != "fm") usage("partition: --engine must be fm or clip");
+        factory = makeFMFactory(fm);
+    } else {
+        KWayConfig kw;
+        kw.tolerance = r;
+        kw.clip = engine == "clip";
+        factory = makeKWayFactory(kw);
+    }
+    MultilevelPartitioner ml(cfg, factory);
+
+    MultiStartConfig ms;
+    ms.runs = static_cast<int>(a.getI("--runs", 10));
+    ms.threads = static_cast<int>(a.getI("--threads", 0));
+    ms.seed = static_cast<std::uint64_t>(a.getI("--seed", 1));
+    const MultiStartOutcome out = parallelMultiStart(h, ml, ms);
+
+    std::cout << k << "-way ML partition (" << engine << " engine, R=" << cfg.matchingRatio
+              << ", " << ms.runs << " runs):\n"
+              << "  min cut:   " << out.bestCut << " (run " << out.bestRun << ")\n"
+              << "  avg cut:   " << out.cuts.mean() << "  std: " << out.cuts.stddev() << "\n"
+              << "  wall time: " << out.seconds << " s\n  block areas:";
+    for (PartId p = 0; p < k; ++p) std::cout << ' ' << out.best.blockArea(p);
+    std::cout << "\n";
+    if (a.flags.count("-o")) {
+        writePartitionFile(out.best, a.get("-o", ""));
+        std::cout << "  wrote " << a.get("-o", "") << "\n";
+    }
+    return 0;
+}
+
+int cmdSpectral(const Args& a) {
+    if (a.positional.empty()) usage("spectral: missing netlist");
+    const Hypergraph h = loadNetlist(a.positional[0]);
+    SpectralConfig cfg;
+    cfg.tolerance = a.getD("-r", 0.1);
+    std::mt19937_64 rng(static_cast<std::uint64_t>(a.getI("--seed", 1)));
+    const SpectralResult r = spectralBisect(h, cfg, rng);
+    std::cout << "spectral bisection: cut " << r.cut << " (" << r.iterations
+              << " power iterations)\n  block areas: " << r.partition.blockArea(0) << " | "
+              << r.partition.blockArea(1) << "\n";
+    if (a.flags.count("-o")) {
+        writePartitionFile(r.partition, a.get("-o", ""));
+        std::cout << "  wrote " << a.get("-o", "") << "\n";
+    }
+    return 0;
+}
+
+int cmdPlace(const Args& a) {
+    if (a.positional.empty()) usage("place: missing netlist");
+    const Hypergraph h = loadNetlist(a.positional[0]);
+    TopDownPlacerConfig cfg;
+    cfg.levels = static_cast<int>(a.getI("--levels", 3));
+    std::mt19937_64 rng(static_cast<std::uint64_t>(a.getI("--seed", 1)));
+    const TopDownPlacement p = placeTopDown(h, cfg, rng);
+    std::cout << "top-down placement: " << p.gridSize << " rows, HPWL " << p.hpwl << "\n";
+    if (a.flags.count("-o")) {
+        std::ofstream out(a.get("-o", ""));
+        if (!out) throw std::runtime_error("cannot open " + a.get("-o", ""));
+        for (ModuleId v = 0; v < h.numModules(); ++v)
+            out << p.x[static_cast<std::size_t>(v)] << ' ' << p.y[static_cast<std::size_t>(v)] << '\n';
+        std::cout << "  wrote " << a.get("-o", "") << "\n";
+    }
+    return 0;
+}
+
+int cmdConvert(const Args& a) {
+    if (a.positional.size() < 2) usage("convert: need <netlist> <out.hgr>");
+    const Hypergraph h = loadNetlist(a.positional[0]);
+    writeHgrFile(h, a.positional[1]);
+    std::cout << "wrote " << a.positional[1] << " (" << h.numModules() << " modules, "
+              << h.numNets() << " nets)\n";
+    return 0;
+}
+
+int cmdGen(const Args& a) {
+    if (a.positional.empty()) usage("gen: need a benchmark name or 'rent'");
+    if (!a.flags.count("-o")) usage("gen: missing -o OUT.hgr");
+    Hypergraph h;
+    if (a.positional[0] == "rent") {
+        RentConfig cfg;
+        cfg.numModules = static_cast<ModuleId>(a.getI("--modules", 2000));
+        cfg.numNets = static_cast<NetId>(a.getI("--nets", cfg.numModules));
+        cfg.pinsPerNet = a.getD("--pins-per-net", 3.0);
+        cfg.seed = static_cast<std::uint64_t>(a.getI("--seed", 1));
+        h = generateRentCircuit(cfg);
+    } else {
+        h = benchmarkInstance(a.positional[0], a.getD("--scale", 1.0));
+    }
+    writeHgrFile(h, a.get("-o", ""));
+    std::cout << "wrote " << a.get("-o", "") << " (" << h.numModules() << " modules, "
+              << h.numNets() << " nets, " << h.numPins() << " pins)\n";
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) usage();
+    const std::string cmd = argv[1];
+    const Args args = parseArgs(argc, argv, 2);
+    try {
+        if (cmd == "stats") return cmdStats(args);
+        if (cmd == "partition") return cmdPartition(args);
+        if (cmd == "spectral") return cmdSpectral(args);
+        if (cmd == "place") return cmdPlace(args);
+        if (cmd == "convert") return cmdConvert(args);
+        if (cmd == "gen") return cmdGen(args);
+        usage("unknown command '" + cmd + "'");
+    } catch (const std::exception& e) {
+        std::cerr << "mlpart " << cmd << ": " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/sanitizers.yml: build with the
+# invariant hooks compiled in under a sanitizer, run the tier-1 suite and
+# a bounded run of the invariant fuzzer.
+#
+#   ci/sanitize.sh            # ASan + UBSan
+#   ci/sanitize.sh thread     # TSan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-address,undefined}"
+case "$mode" in
+  address,undefined) dir=build-asan ;;
+  thread)            dir=build-tsan ;;
+  *) echo "usage: $0 [address,undefined|thread]" >&2; exit 2 ;;
+esac
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+cmake -B "$dir" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DMLPART_CHECK_INVARIANTS=ON \
+  -DMLPART_SANITIZE="$mode"
+cmake --build "$dir" -j "$(nproc)"
+ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+"./$dir/tools/fuzz_invariants" --iterations 50 --seed 1 --modules 220
+echo "sanitize.sh ($mode): all clean"

@@ -1,0 +1,10 @@
+// Umbrella header for the invariant-checking & differential-oracle
+// subsystem. See DESIGN.md §7 for what each verifier guarantees and what
+// it costs.
+#pragma once
+
+#include "check/check_result.h"
+#include "check/verify_gains.h"
+#include "check/verify_hypergraph.h"
+#include "check/verify_levels.h"
+#include "check/verify_partition.h"

@@ -1,0 +1,46 @@
+#include "check/check_result.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace mlpart::check {
+
+void CheckResult::fail(std::string message) {
+    if (violations.size() < kMaxViolations) violations.push_back(std::move(message));
+    else ++suppressed_;
+}
+
+void CheckResult::merge(const CheckResult& other) {
+    factsChecked += other.factsChecked;
+    suppressed_ += other.suppressed_;
+    for (const auto& v : other.violations) {
+        if (violations.size() < kMaxViolations) violations.push_back(v);
+        else ++suppressed_;
+    }
+}
+
+std::string CheckResult::summary(std::size_t maxShown) const {
+    std::ostringstream out;
+    if (ok()) {
+        out << "OK (" << factsChecked << " facts checked)";
+        return out.str();
+    }
+    const std::size_t total = violations.size() + static_cast<std::size_t>(suppressed_);
+    out << total << " violation" << (total == 1 ? "" : "s") << " (" << factsChecked
+        << " facts checked):";
+    for (std::size_t i = 0; i < violations.size() && i < maxShown; ++i)
+        out << "\n  - " << violations[i];
+    if (total > maxShown) out << "\n  ... and " << (total - maxShown) << " more";
+    return out.str();
+}
+
+void enforce(const CheckResult& r, const char* where) {
+    if (r.ok()) return;
+    std::fprintf(stderr, "mlpart invariant violation at %s: %s\n", where,
+                 r.summary().c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace mlpart::check

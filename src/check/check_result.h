@@ -1,0 +1,48 @@
+// Result type and enforcement entry point for the invariant-checking
+// subsystem (src/check).
+//
+// Every verifier returns a CheckResult instead of asserting, so tests can
+// assert on (and print) the exact violations, and deliberately-corrupted
+// states can be checked for *detection* rather than crashing the test
+// binary. The engine hooks compiled in by MLPART_CHECK_INVARIANTS route
+// results through enforce(), which aborts with a full report — under the
+// sanitizer CI that turns a silent heuristic bug into a hard failure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlpart::check {
+
+/// Outcome of one verifier run: a (possibly empty) list of violation
+/// messages plus a count of the facts examined.
+struct CheckResult {
+    std::vector<std::string> violations;
+    std::int64_t factsChecked = 0;
+
+    [[nodiscard]] bool ok() const { return violations.empty(); }
+
+    /// Records a violation. Capped (see kMaxViolations) so a systematic
+    /// corruption does not produce millions of identical lines.
+    void fail(std::string message);
+
+    /// Appends `other`'s violations and fact count to this result.
+    void merge(const CheckResult& other);
+
+    /// Human-readable report: "OK (N facts)" or the first violations.
+    [[nodiscard]] std::string summary(std::size_t maxShown = 8) const;
+
+    /// After this many violations further fail() calls only bump the count.
+    static constexpr std::size_t kMaxViolations = 64;
+
+private:
+    std::int64_t suppressed_ = 0;
+};
+
+/// Hook enforcement: prints `where` plus the report to stderr and aborts
+/// when `r` holds violations; no-op when clean. The hooks behind
+/// MLPART_CHECK_INVARIANTS funnel through here so a corrupted incremental
+/// state stops the run at the first detection point.
+void enforce(const CheckResult& r, const char* where);
+
+} // namespace mlpart::check

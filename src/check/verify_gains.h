@@ -1,0 +1,71 @@
+// Naive gain recomputation and gain-state differential oracles (tentpole
+// verifier 3).
+//
+// The FM engines track gains incrementally (delta rules fired per move);
+// a wrong delta still yields a legal partition, just a worse one, so no
+// output-level test can catch it. These verifiers recompute every tracked
+// gain from nothing but the hypergraph and the current assignment and diff
+// the two. The engines expose their incremental state through small probe
+// structs, so this library depends only on `hypergraph` and the engines
+// can link it without a dependency cycle.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "check/check_result.h"
+#include "hypergraph/partition.h"
+
+namespace mlpart::check {
+
+/// FM bipartition gain of moving `v` to the other side, recomputed from
+/// scratch over the nets marked in `activeNet` (empty = all nets active).
+/// This is the independent oracle for FMRefiner::computeGain and every
+/// delta-update rule feeding the buckets.
+[[nodiscard]] Weight naiveFMGain(const Hypergraph& h, const Partition& part,
+                                 std::span<const char> activeNet, ModuleId v);
+
+/// Sanchis k-way gain of moving `v` to block `to` under the net-cut
+/// (`netCutObjective`) or sum-of-degrees objective, recomputed from
+/// scratch.
+[[nodiscard]] Weight naiveKWayGain(const Hypergraph& h, const Partition& part,
+                                   std::span<const char> activeNet, ModuleId v, PartId to,
+                                   bool netCutObjective);
+
+/// Objective over the active nets, recomputed from scratch: net-cut = sum
+/// of w(e) for active nets spanning >= 2 blocks; otherwise sum of
+/// w(e)*(span-1). Oracle for the engines' running objective counters.
+[[nodiscard]] Weight naiveActiveObjective(const Hypergraph& h, const Partition& part,
+                                          std::span<const char> activeNet, bool netCutObjective);
+
+/// View of a bipartition engine's incremental gain state.
+struct FMGainProbe {
+    /// True when `v` currently sits in the incremental structure.
+    std::function<bool(ModuleId)> tracked;
+    /// The engine's believed true gain of `v` (CLIP distortion already
+    /// undone by the engine); nullopt = unverifiable (e.g. the bucket
+    /// index clamped at the representable range).
+    std::function<std::optional<Weight>(ModuleId)> gain;
+};
+
+/// Diffs every tracked module's believed gain against naiveFMGain().
+[[nodiscard]] CheckResult verifyGainState(const Hypergraph& h, const Partition& part,
+                                          std::span<const char> activeNet, const FMGainProbe& probe);
+
+/// View of the k-way engine's incremental gain state (one gain per
+/// (module, target-block) pair).
+struct KWayGainProbe {
+    PartId k = 0;
+    bool netCutObjective = false;
+    std::function<bool(ModuleId, PartId)> tracked;
+    std::function<std::optional<Weight>(ModuleId, PartId)> gain;
+};
+
+/// Diffs every tracked (module, target) believed gain against
+/// naiveKWayGain().
+[[nodiscard]] CheckResult verifyGainState(const Hypergraph& h, const Partition& part,
+                                          std::span<const char> activeNet,
+                                          const KWayGainProbe& probe);
+
+} // namespace mlpart::check

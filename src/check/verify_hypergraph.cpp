@@ -1,0 +1,120 @@
+#include "check/verify_hypergraph.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mlpart::check {
+
+namespace {
+
+std::string at(const char* kind, std::int64_t id) {
+    return std::string(kind) + " " + std::to_string(id);
+}
+
+} // namespace
+
+CheckResult verifyHypergraph(const Hypergraph& h) {
+    CheckResult r;
+    const ModuleId n = h.numModules();
+    const NetId m = h.numNets();
+
+    // Net -> pin direction: sizes, id range, in-net duplicates. The
+    // duplicate scan uses a per-module epoch stamp so the whole pass stays
+    // O(|pins|).
+    std::vector<NetId> lastSeenInNet(static_cast<std::size_t>(n), kInvalidNet);
+    std::int64_t pinSum = 0;
+    for (NetId e = 0; e < m; ++e) {
+        const auto pins = h.pins(e);
+        r.factsChecked += static_cast<std::int64_t>(pins.size()) + 1;
+        if (pins.size() < 2) r.fail(at("net", e) + ": fewer than 2 pins");
+        if (static_cast<std::int64_t>(pins.size()) != h.netSize(e))
+            r.fail(at("net", e) + ": netSize() disagrees with pins() span");
+        pinSum += static_cast<std::int64_t>(pins.size());
+        for (ModuleId v : pins) {
+            if (v < 0 || v >= n) {
+                r.fail(at("net", e) + ": pin id " + std::to_string(v) + " out of range");
+                continue;
+            }
+            if (lastSeenInNet[static_cast<std::size_t>(v)] == e)
+                r.fail(at("net", e) + ": duplicate pin " + std::to_string(v));
+            lastSeenInNet[static_cast<std::size_t>(v)] = e;
+        }
+    }
+    if (pinSum != h.numPins())
+        r.fail("sum of net sizes " + std::to_string(pinSum) + " != numPins() " +
+               std::to_string(h.numPins()));
+
+    // Module -> net direction plus cross-index agreement. Count per-(net)
+    // appearances from the module side and compare against the pin side.
+    std::vector<ModuleId> lastSeenAtModule(static_cast<std::size_t>(m), kInvalidModule);
+    std::vector<std::int32_t> moduleSideCount(static_cast<std::size_t>(m), 0);
+    std::int64_t degreeSum = 0;
+    for (ModuleId v = 0; v < n; ++v) {
+        const auto nets = h.nets(v);
+        r.factsChecked += static_cast<std::int64_t>(nets.size()) + 1;
+        if (static_cast<std::int64_t>(nets.size()) != h.degree(v))
+            r.fail(at("module", v) + ": degree() disagrees with nets() span");
+        degreeSum += static_cast<std::int64_t>(nets.size());
+        for (NetId e : nets) {
+            if (e < 0 || e >= m) {
+                r.fail(at("module", v) + ": net id " + std::to_string(e) + " out of range");
+                continue;
+            }
+            if (lastSeenAtModule[static_cast<std::size_t>(e)] == v)
+                r.fail(at("module", v) + ": net " + std::to_string(e) +
+                       " listed twice in incidence");
+            lastSeenAtModule[static_cast<std::size_t>(e)] = v;
+            moduleSideCount[static_cast<std::size_t>(e)]++;
+            // Membership in the other direction.
+            const auto pins = h.pins(e);
+            if (std::find(pins.begin(), pins.end(), v) == pins.end())
+                r.fail(at("module", v) + ": lists net " + std::to_string(e) +
+                       " but is not among its pins");
+        }
+    }
+    if (degreeSum != h.numPins())
+        r.fail("sum of degrees " + std::to_string(degreeSum) + " != numPins() " +
+               std::to_string(h.numPins()));
+    for (NetId e = 0; e < m; ++e) {
+        if (moduleSideCount[static_cast<std::size_t>(e)] != h.netSize(e))
+            r.fail(at("net", e) + ": " + std::to_string(h.netSize(e)) +
+                   " pins but appears in " +
+                   std::to_string(moduleSideCount[static_cast<std::size_t>(e)]) +
+                   " module incidence lists");
+    }
+
+    // Scalar aggregates: areas, weights, and the gain bound.
+    Area totalArea = 0;
+    Area maxArea = 0;
+    for (ModuleId v = 0; v < n; ++v) {
+        ++r.factsChecked;
+        const Area a = h.area(v);
+        if (a < 0) r.fail(at("module", v) + ": negative area");
+        totalArea += a;
+        maxArea = std::max(maxArea, a);
+    }
+    if (totalArea != h.totalArea())
+        r.fail("totalArea() " + std::to_string(h.totalArea()) + " != recomputed " +
+               std::to_string(totalArea));
+    if (maxArea != h.maxArea())
+        r.fail("maxArea() " + std::to_string(h.maxArea()) + " != recomputed " +
+               std::to_string(maxArea));
+    for (NetId e = 0; e < m; ++e) {
+        ++r.factsChecked;
+        if (h.netWeight(e) < 1) r.fail(at("net", e) + ": weight < 1");
+    }
+    Weight maxGain = 0;
+    for (ModuleId v = 0; v < n; ++v) {
+        Weight g = 0;
+        for (NetId e : h.nets(v)) g += h.netWeight(e);
+        maxGain = std::max(maxGain, g);
+    }
+    ++r.factsChecked;
+    if (maxGain != h.maxModuleGain())
+        r.fail("maxModuleGain() " + std::to_string(h.maxModuleGain()) + " != recomputed " +
+               std::to_string(maxGain));
+    return r;
+}
+
+} // namespace mlpart::check

@@ -1,0 +1,21 @@
+// CSR pin-storage consistency checks for Hypergraph (tentpole verifier 1).
+#pragma once
+
+#include "check/check_result.h"
+#include "hypergraph/hypergraph.h"
+
+namespace mlpart::check {
+
+/// Verifies the construction invariants of a Hypergraph through its public
+/// CSR accessors:
+///  - every net has >= 2 pins, all pin ids valid, no duplicate pins per net,
+///  - no duplicate nets in any module's incidence list,
+///  - the two incidence directions agree exactly (v in pins(e) iff
+///    e in nets(v)),
+///  - sum of net sizes == numPins() == sum of module degrees,
+///  - areas >= 0 with totalArea()/maxArea() matching a fresh recompute,
+///  - net weights >= 1 and maxModuleGain() matching a fresh recompute.
+/// O(|pins|) time, O(|V| + |E|) scratch.
+[[nodiscard]] CheckResult verifyHypergraph(const Hypergraph& h);
+
+} // namespace mlpart::check

@@ -1,0 +1,70 @@
+#include "check/verify_levels.h"
+
+#include <string>
+#include <vector>
+
+#include "check/verify_partition.h"
+
+namespace mlpart::check {
+
+CheckResult verifyLevels(const Hypergraph& fine, const Hypergraph& coarse,
+                         std::span<const ModuleId> clusterOf, const Partition& coarsePart,
+                         const Partition& finePart) {
+    CheckResult r;
+    if (static_cast<ModuleId>(clusterOf.size()) != fine.numModules()) {
+        r.fail("clustering covers " + std::to_string(clusterOf.size()) + " modules, fine level has " +
+               std::to_string(fine.numModules()));
+        return r;
+    }
+    if (coarsePart.numModules() != coarse.numModules() ||
+        finePart.numModules() != fine.numModules()) {
+        r.fail("partition/hypergraph size mismatch between levels");
+        return r;
+    }
+    if (coarsePart.numParts() != finePart.numParts()) {
+        r.fail("k changed across projection: coarse " + std::to_string(coarsePart.numParts()) +
+               ", fine " + std::to_string(finePart.numParts()));
+        return r;
+    }
+
+    // Block inheritance: fine module v must sit where its cluster sits.
+    for (ModuleId v = 0; v < fine.numModules(); ++v) {
+        ++r.factsChecked;
+        const ModuleId cl = clusterOf[static_cast<std::size_t>(v)];
+        if (cl < 0 || cl >= coarse.numModules()) {
+            r.fail("module " + std::to_string(v) + ": cluster id " + std::to_string(cl) +
+                   " out of coarse range");
+            continue;
+        }
+        if (finePart.part(v) != coarsePart.part(cl))
+            r.fail("module " + std::to_string(v) + ": block " + std::to_string(finePart.part(v)) +
+                   " != its cluster's block " + std::to_string(coarsePart.part(cl)));
+    }
+
+    // Area preservation per block across the level boundary.
+    for (PartId p = 0; p < finePart.numParts(); ++p) {
+        ++r.factsChecked;
+        if (finePart.blockArea(p) != coarsePart.blockArea(p))
+            r.fail("block " + std::to_string(p) + ": fine area " +
+                   std::to_string(finePart.blockArea(p)) + " != coarse area " +
+                   std::to_string(coarsePart.blockArea(p)));
+    }
+
+    // The exact cut-preservation invariant of Definitions 1 and 2.
+    ++r.factsChecked;
+    const Weight coarseCut = cutWeight(coarse, coarsePart);
+    const Weight fineCut = cutWeight(fine, finePart);
+    if (coarseCut != fineCut)
+        r.fail("projected cut " + std::to_string(fineCut) + " != coarse cut " +
+               std::to_string(coarseCut));
+    return r;
+}
+
+CheckResult verifyRebalanced(const Hypergraph& h, const Partition& part,
+                             const BalanceConstraint& bc) {
+    PartitionCheckOptions opt;
+    opt.balance = &bc;
+    return verifyPartition(h, part, opt);
+}
+
+} // namespace mlpart::check

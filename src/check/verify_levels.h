@@ -1,0 +1,35 @@
+// Multilevel projection / rebalancing checks (tentpole verifier 4).
+//
+// The clustering is passed as a plain span (one cluster id per fine
+// module) rather than coarsen's Clustering struct, so this library stays
+// dependency-free above `hypergraph` and the coarsening code itself can
+// link it.
+#pragma once
+
+#include <span>
+
+#include "check/check_result.h"
+#include "hypergraph/partition.h"
+
+namespace mlpart::check {
+
+/// Verifies one Project step of the ML driver (paper Definition 2):
+///  - sizes agree (|clusterOf| == |V_fine|, cluster ids within the coarse
+///    module range, partitions cover their hypergraphs, equal k),
+///  - every fine module inherited its cluster's block,
+///  - per-block areas are preserved level-to-level ("module areas are
+///    preserved", Section III),
+///  - the projected cut equals the coarse cut — Definition 1 guarantees
+///    cutWeight(coarse, P) == cutWeight(fine, project(P)) exactly, so any
+///    difference means Induce or Project is broken.
+[[nodiscard]] CheckResult verifyLevels(const Hypergraph& fine, const Hypergraph& coarse,
+                                       std::span<const ModuleId> clusterOf,
+                                       const Partition& coarsePart, const Partition& finePart);
+
+/// Verifies that rebalancing a projected solution (paper Section III.B)
+/// restored legality: structural partition validity plus every block
+/// within `bc`. Use after a rebalance() that reported success.
+[[nodiscard]] CheckResult verifyRebalanced(const Hypergraph& h, const Partition& part,
+                                           const BalanceConstraint& bc);
+
+} // namespace mlpart::check

@@ -1,0 +1,73 @@
+#include "check/verify_partition.h"
+
+#include <string>
+#include <vector>
+
+namespace mlpart::check {
+
+CheckResult verifyPartition(const Hypergraph& h, const Partition& part,
+                            const PartitionCheckOptions& opt) {
+    CheckResult r;
+    const ModuleId n = h.numModules();
+    const PartId k = part.numParts();
+
+    if (part.numModules() != n) {
+        r.fail("partition covers " + std::to_string(part.numModules()) + " modules, hypergraph has " +
+               std::to_string(n));
+        return r; // everything below indexes by module; stop here
+    }
+    // A default-constructed Partition has k = 0; that is only legal when
+    // there is nothing to assign.
+    ++r.factsChecked;
+    if (k < 1 && n > 0) r.fail("k = " + std::to_string(k) + " with " + std::to_string(n) + " modules");
+
+    std::vector<Area> blockArea(static_cast<std::size_t>(std::max<PartId>(k, 0)), 0);
+    for (ModuleId v = 0; v < n; ++v) {
+        ++r.factsChecked;
+        const PartId p = part.part(v);
+        if (p < 0 || p >= k) {
+            r.fail("module " + std::to_string(v) + ": block " + std::to_string(p) +
+                   " out of range [0, " + std::to_string(k) + ")");
+            continue;
+        }
+        blockArea[static_cast<std::size_t>(p)] += h.area(v);
+    }
+    for (PartId p = 0; p < k; ++p) {
+        ++r.factsChecked;
+        if (part.blockArea(p) != blockArea[static_cast<std::size_t>(p)])
+            r.fail("block " + std::to_string(p) + ": cached area " +
+                   std::to_string(part.blockArea(p)) + " != recomputed " +
+                   std::to_string(blockArea[static_cast<std::size_t>(p)]));
+    }
+
+    if (opt.balance != nullptr) {
+        const BalanceConstraint& bc = *opt.balance;
+        if (bc.numParts() != k) {
+            r.fail("balance constraint arity " + std::to_string(bc.numParts()) + " != k " +
+                   std::to_string(k));
+        } else {
+            for (PartId p = 0; p < k; ++p) {
+                ++r.factsChecked;
+                const Area a = blockArea[static_cast<std::size_t>(p)];
+                if (a < bc.lower(p) || a > bc.upper(p))
+                    r.fail("block " + std::to_string(p) + ": area " + std::to_string(a) +
+                           " outside [" + std::to_string(bc.lower(p)) + ", " +
+                           std::to_string(bc.upper(p)) + "]");
+            }
+        }
+    }
+
+    if (opt.expectedCut.has_value()) {
+        ++r.factsChecked;
+        // Only meaningful when the assignment itself was legal.
+        if (r.ok()) {
+            const Weight scratch = cutWeight(h, part);
+            if (scratch != *opt.expectedCut)
+                r.fail("tracked cut " + std::to_string(*opt.expectedCut) +
+                       " != cut recomputed from scratch " + std::to_string(scratch));
+        }
+    }
+    return r;
+}
+
+} // namespace mlpart::check

@@ -1,0 +1,31 @@
+// Partition legality, balance, and from-scratch cut checks (tentpole
+// verifier 2).
+#pragma once
+
+#include <optional>
+
+#include "check/check_result.h"
+#include "hypergraph/partition.h"
+
+namespace mlpart::check {
+
+/// Optional extras for verifyPartition().
+struct PartitionCheckOptions {
+    /// When set, every block must lie within these bounds (reports the
+    /// offending block, its area, and the violated bound).
+    const BalanceConstraint* balance = nullptr;
+    /// When set, the cut weight recomputed from scratch must equal this
+    /// value — the differential oracle for every incremental cut tracker.
+    std::optional<Weight> expectedCut;
+};
+
+/// Verifies structural legality of `part` against `h`:
+///  - one assignment per module, every part(v) in [0, k),
+///  - cached blockArea(p) equals the per-block area recomputed from
+///    scratch (catches drifted incremental area updates),
+/// plus the optional balance/cut oracles. Handles empty hypergraphs (0
+/// modules / 0 nets) and single-module blocks. O(|pins| + |V| + k).
+[[nodiscard]] CheckResult verifyPartition(const Hypergraph& h, const Partition& part,
+                                          const PartitionCheckOptions& opt = {});
+
+} // namespace mlpart::check

@@ -4,6 +4,13 @@
 
 #include "hypergraph/builder.h"
 
+#if MLPART_CHECK_INVARIANTS
+#include <string>
+
+#include "check/check_result.h"
+#include "check/verify_hypergraph.h"
+#endif
+
 namespace mlpart {
 
 Hypergraph induce(const Hypergraph& h, const Clustering& c) {
@@ -25,7 +32,20 @@ Hypergraph induce(const Hypergraph& h, const Clustering& c) {
             coarsePins.push_back(c.clusterOf[static_cast<std::size_t>(v)]);
         b.addNet(coarsePins, h.netWeight(e));
     }
-    return std::move(b).build();
+    Hypergraph coarse = std::move(b).build();
+#if MLPART_CHECK_INVARIANTS
+    {
+        check::CheckResult r = check::verifyHypergraph(coarse);
+        ++r.factsChecked;
+        // "Module areas are preserved" (paper Section III): Induce must
+        // never create or destroy area.
+        if (coarse.totalArea() != h.totalArea())
+            r.fail("induced total area " + std::to_string(coarse.totalArea()) +
+                   " != fine total area " + std::to_string(h.totalArea()));
+        check::enforce(r, "induce");
+    }
+#endif
+    return coarse;
 }
 
 Partition project(const Hypergraph& fine, const Clustering& c, const Partition& coarse) {

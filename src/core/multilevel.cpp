@@ -7,6 +7,11 @@
 #include "coarsen/induce.h"
 #include "lsmc/lsmc.h"
 
+#if MLPART_CHECK_INVARIANTS
+#include "check/verify_levels.h"
+#include "check/verify_partition.h"
+#endif
+
 namespace mlpart {
 
 MultilevelPartitioner::MultilevelPartitioner(MLConfig cfg, RefinerFactory refinerFactory)
@@ -190,17 +195,56 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
     }
 
     // ---- Uncoarsening phase (steps 7-9) ----
+#if MLPART_CHECK_INVARIANTS
+    {
+        check::PartitionCheckOptions opt;
+        opt.expectedCut = bestCut;
+        check::enforce(check::verifyPartition(hm, best, opt),
+                       "MultilevelPartitioner::coarsestPartition");
+    }
+#endif
     Partition curPart = std::move(best);
     for (int i = m - 1; i >= 0; --i) {
         const Hypergraph& hi = levelGraph(i);
         Partition projected = project(hi, clusterings[static_cast<std::size_t>(i)], curPart);
+#if MLPART_CHECK_INVARIANTS
+        // Definition 2 invariant: projection changes neither the cut nor
+        // any block's area, and every module lands on its cluster's block.
+        check::enforce(check::verifyLevels(hi, levelGraph(i + 1),
+                                           clusterings[static_cast<std::size_t>(i)].clusterOf,
+                                           curPart, projected),
+                       "MultilevelPartitioner::project");
+#endif
         const BalanceConstraint bcI = levelBc(hi);
         // A(v*) can shrink during uncoarsening, so the projected solution
         // may violate the finer constraint; rebalance by random moves
         // (Section III.B).
-        if (!bcI.satisfied(projected)) rebalance(hi, projected, bcI, rng);
+        if (!bcI.satisfied(projected)) {
+            rebalance(hi, projected, bcI, rng);
+#if MLPART_CHECK_INVARIANTS
+            // Rebalance must restore legality whenever it claims success;
+            // when the bounds are genuinely infeasible the driver proceeds
+            // with the least-bad assignment, so only enforce the bounds it
+            // reports as met (the structural part is enforced either way).
+            if (bcI.satisfied(projected)) {
+                check::enforce(check::verifyRebalanced(hi, projected, bcI),
+                               "MultilevelPartitioner::rebalance");
+            } else {
+                check::enforce(check::verifyPartition(hi, projected),
+                               "MultilevelPartitioner::rebalance");
+            }
+#endif
+        }
         auto refiner = factory_(hi, fixedMask(i));
+#if MLPART_CHECK_INVARIANTS
+        const Weight refinedCut = refiner->refine(projected, bcI, rng);
+        check::PartitionCheckOptions opt;
+        opt.expectedCut = refinedCut;
+        check::enforce(check::verifyPartition(hi, projected, opt),
+                       "MultilevelPartitioner::refine");
+#else
         refiner->refine(projected, bcI, rng);
+#endif
         curPart = std::move(projected);
     }
 

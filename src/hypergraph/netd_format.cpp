@@ -105,6 +105,47 @@ Hypergraph readNetDFile(const std::string& path) {
     return readNetD(in);
 }
 
+namespace {
+
+std::string cellName(const Hypergraph& h, ModuleId v) {
+    if (h.hasModuleNames()) return h.moduleName(v);
+    return "a" + std::to_string(v);
+}
+
+} // namespace
+
+void writeNetD(const Hypergraph& h, std::ostream& out) {
+    out << 0 << '\n'
+        << h.numPins() << '\n'
+        << h.numNets() << '\n'
+        << h.numModules() << '\n'
+        << 0 << '\n';
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        bool first = true;
+        for (ModuleId v : h.pins(e)) {
+            out << cellName(h, v) << (first ? " s\n" : " l\n");
+            first = false;
+        }
+    }
+}
+
+void writeAre(const Hypergraph& h, std::ostream& out) {
+    for (ModuleId v = 0; v < h.numModules(); ++v)
+        out << cellName(h, v) << ' ' << h.area(v) << '\n';
+}
+
+void writeNetDFile(const Hypergraph& h, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("writeNetDFile: cannot open " + path);
+    writeNetD(h, out);
+}
+
+void writeAreFile(const Hypergraph& h, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("writeAreFile: cannot open " + path);
+    writeAre(h, out);
+}
+
 Hypergraph readNetDFile(const std::string& netPath, const std::string& arePath) {
     std::ifstream netIn(netPath);
     if (!netIn) throw std::runtime_error("readNetDFile: cannot open " + netPath);

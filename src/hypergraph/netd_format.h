@@ -33,4 +33,18 @@ namespace mlpart {
 [[nodiscard]] Hypergraph readNetD(std::istream& netStream, std::istream& areaStream);
 [[nodiscard]] Hypergraph readNetDFile(const std::string& netPath, const std::string& arePath);
 
+/// Writes `h` in .netD format (padOffset 0; unnamed modules are emitted as
+/// "a<id>"). Net weights have no representation in .netD and are dropped;
+/// modules on no net never appear in the pin list, so a reader
+/// reconstructs them only through the header module count. readNetD
+/// assigns ids by first appearance, so a write/read round trip preserves
+/// the netlist up to the module-name correspondence, not the id order.
+void writeNetD(const Hypergraph& h, std::ostream& out);
+void writeNetDFile(const Hypergraph& h, const std::string& path);
+
+/// Writes the companion .are stream: "<name> <area>" per module, in
+/// module-id order, with the same naming rule as writeNetD.
+void writeAre(const Hypergraph& h, std::ostream& out);
+void writeAreFile(const Hypergraph& h, const std::string& path);
+
 } // namespace mlpart

@@ -2,8 +2,102 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#if MLPART_CHECK_INVARIANTS
+#include "check/check_result.h"
+#include "check/verify_gains.h"
+#endif
 
 namespace mlpart {
+
+#if MLPART_CHECK_INVARIANTS
+namespace {
+constexpr std::int64_t kAuditStride = 64;
+/// Mid-pass audits recompute every tracked (module, target) gain from
+/// scratch; past this size only the per-pass audits run.
+constexpr ModuleId kMidPassAuditLimit = 4096;
+} // namespace
+
+void KWayFMRefiner::auditGainState(const Partition& part, const char* where) const {
+    check::CheckResult r;
+    auto bucketAt = [&](PartId p, PartId q) -> const GainBucketArray& {
+        return *buckets_[static_cast<std::size_t>(p) * static_cast<std::size_t>(k_) +
+                         static_cast<std::size_t>(q)];
+    };
+    for (PartId p = 0; p < k_; ++p) {
+        for (PartId q = 0; q < k_; ++q) {
+            if (p == q) continue;
+            ++r.factsChecked;
+            if (!bucketAt(p, q).checkInvariants())
+                r.fail("bucket (" + std::to_string(p) + " -> " + std::to_string(q) +
+                       ") structure corrupt");
+        }
+    }
+
+    // Per-net block pin counts and spans against the raw assignment.
+    for (NetId e = 0; e < h_.numNets(); ++e) {
+        if (!activeNet_[static_cast<std::size_t>(e)]) continue;
+        std::vector<std::int32_t> scratch(static_cast<std::size_t>(k_), 0);
+        for (ModuleId u : h_.pins(e)) scratch[static_cast<std::size_t>(part.part(u))]++;
+        PartId sp = 0;
+        for (PartId p = 0; p < k_; ++p) {
+            ++r.factsChecked;
+            if (scratch[static_cast<std::size_t>(p)] > 0) ++sp;
+            if (scratch[static_cast<std::size_t>(p)] != count(e, p))
+                r.fail("net " + std::to_string(e) + " block " + std::to_string(p) +
+                       ": tracked pin count " + std::to_string(count(e, p)) +
+                       " != recomputed " + std::to_string(scratch[static_cast<std::size_t>(p)]));
+        }
+        ++r.factsChecked;
+        if (sp != span_[static_cast<std::size_t>(e)])
+            r.fail("net " + std::to_string(e) + ": tracked span " +
+                   std::to_string(span_[static_cast<std::size_t>(e)]) + " != recomputed " +
+                   std::to_string(sp));
+    }
+
+    const bool netCut = cfg_.objective == KWayObjective::kNetCut;
+    check::KWayGainProbe probe;
+    probe.k = k_;
+    probe.netCutObjective = netCut;
+    probe.tracked = [&](ModuleId v, PartId q) {
+        return !locked_[static_cast<std::size_t>(v)] && bucketAt(part.part(v), q).contains(v);
+    };
+    probe.gain = [&](ModuleId v, PartId q) -> std::optional<Weight> {
+        return realGain_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
+                         static_cast<std::size_t>(q)];
+    };
+    r.merge(check::verifyGainState(h_, part, activeNet_, probe));
+
+    // Without CLIP the displayed bucket priority must equal the believed
+    // real gain (modulo index-range clamping).
+    if (!cfg_.clip) {
+        for (ModuleId v = 0; v < h_.numModules(); ++v) {
+            if (locked_[static_cast<std::size_t>(v)]) continue;
+            const PartId p = part.part(v);
+            for (PartId q = 0; q < k_; ++q) {
+                if (q == p || !bucketAt(p, q).contains(v)) continue;
+                ++r.factsChecked;
+                const GainBucketArray& b = bucketAt(p, q);
+                const Weight real = realGain_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
+                                              static_cast<std::size_t>(q)];
+                const Weight expect = std::clamp(real, b.minRepresentableGain(), b.maxRepresentableGain());
+                if (b.gain(v) != expect)
+                    r.fail("module " + std::to_string(v) + " -> " + std::to_string(q) +
+                           ": displayed gain " + std::to_string(b.gain(v)) + " != believed " +
+                           std::to_string(expect));
+            }
+        }
+    }
+
+    ++r.factsChecked;
+    const Weight scratch = check::naiveActiveObjective(h_, part, activeNet_, netCut);
+    if (scratch != curObjective_)
+        r.fail("tracked objective " + std::to_string(curObjective_) + " != naive recompute " +
+               std::to_string(scratch));
+    check::enforce(r, where);
+}
+#endif
 
 KWayFMRefiner::KWayFMRefiner(const Hypergraph& h, KWayConfig cfg) : h_(h), cfg_(std::move(cfg)) {
     if (cfg_.tolerance < 0.0 || cfg_.tolerance >= 1.0)
@@ -176,6 +270,10 @@ Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std:
                 realGain_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
                           static_cast<std::size_t>(q)] = moveGain(v, q, part);
     }
+#if MLPART_CHECK_INVARIANTS
+    auditGainState(part, "KWayFMRefiner::buildBuckets");
+    movesSinceAudit_ = 0;
+#endif
 
     moves_.clear();
     Weight cumGain = 0;
@@ -228,6 +326,12 @@ Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std:
         const PartId from = part.part(bestV);
         const Weight delta = applyMove(bestV, bestTo, part);
         moves_.push_back({bestV, from, bestTo, delta});
+#if MLPART_CHECK_INVARIANTS
+        if (h_.numModules() <= kMidPassAuditLimit && ++movesSinceAudit_ >= kAuditStride) {
+            movesSinceAudit_ = 0;
+            auditGainState(part, "KWayFMRefiner::applyMove");
+        }
+#endif
         cumGain += delta;
         if (cumGain > bestGain) {
             bestGain = cumGain;

@@ -64,6 +64,14 @@ private:
     /// Sanchis level-`depth` lookahead gain for moving v to q (depth >= 2).
     [[nodiscard]] Weight lookaheadGain(ModuleId v, PartId q, int depth, const Partition& part) const;
 
+#if MLPART_CHECK_INVARIANTS
+    /// Invariant hook (src/check): diffs realGain_, the displayed bucket
+    /// gains (non-CLIP), per-net block pin counts/spans, and the running
+    /// objective against naive recomputation; aborts on any mismatch.
+    void auditGainState(const Partition& part, const char* where) const;
+    std::int64_t movesSinceAudit_ = 0;
+#endif
+
     std::vector<char> activeNet_;
     std::vector<std::int32_t> counts_; ///< per (net, block) pin counts
     std::vector<std::int32_t> lockedCounts_; ///< per (net, block) locked pins (lookahead)

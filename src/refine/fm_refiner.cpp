@@ -2,8 +2,56 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#if MLPART_CHECK_INVARIANTS
+#include "check/check_result.h"
+#include "check/verify_gains.h"
+#endif
 
 namespace mlpart {
+
+#if MLPART_CHECK_INVARIANTS
+namespace {
+/// Audit cadence inside a pass: dense enough that a corrupted delta-gain
+/// update is caught within the pass that produced it, sparse enough that
+/// Debug runs stay usable.
+constexpr std::int64_t kAuditStride = 64;
+/// Each mid-pass audit recomputes every tracked gain from scratch, so on
+/// large instances only the per-pass audits run; small instances (unit
+/// tests, the fuzz driver) keep the dense cadence.
+constexpr ModuleId kMidPassAuditLimit = 4096;
+} // namespace
+
+void FMRefiner::auditGainState(const Partition& part, const char* where) const {
+    check::CheckResult r;
+    for (int s = 0; s < 2; ++s) {
+        ++r.factsChecked;
+        if (!bucket_[s]->checkInvariants())
+            r.fail("gain bucket structure corrupt on side " + std::to_string(s));
+    }
+    check::FMGainProbe probe;
+    probe.tracked = [&](ModuleId v) {
+        return bucket_[part.part(v)]->contains(v);
+    };
+    probe.gain = [&](ModuleId v) -> std::optional<Weight> {
+        const GainBucketArray& b = *bucket_[part.part(v)];
+        const Weight displayed = b.gain(v);
+        // A displayed gain pinned at the index range may have been clamped
+        // on the way in; the believed value is then unrecoverable.
+        if (displayed <= b.minRepresentableGain() || displayed >= b.maxRepresentableGain())
+            return std::nullopt;
+        return displayed + checkBase_[static_cast<std::size_t>(v)];
+    };
+    r.merge(check::verifyGainState(h_, part, activeNet_, probe));
+    ++r.factsChecked;
+    const Weight scratch = check::naiveActiveObjective(h_, part, activeNet_, /*netCut=*/true);
+    if (scratch != curActiveCut_)
+        r.fail("tracked active cut " + std::to_string(curActiveCut_) +
+               " != naive recompute " + std::to_string(scratch));
+    check::enforce(r, where);
+}
+#endif
 
 FMRefiner::FMRefiner(const Hypergraph& h, FMConfig cfg) : h_(h), cfg_(cfg) {
     if (cfg_.tolerance < 0.0 || cfg_.tolerance >= 1.0)
@@ -82,6 +130,11 @@ void FMRefiner::buildBuckets(const Partition& part) {
             dirty_[vi] = 0;
         }
         bucket_[part.part(v)]->insert(v, g);
+#if MLPART_CHECK_INVARIANTS
+        // CLIP zeroes displayed gains at concatenation; remember the true
+        // gain so the audit can undo the distortion.
+        checkBase_[vi] = cfg_.variant == EngineVariant::kCLIP ? g : 0;
+#endif
     }
     if (cfg_.fastPassInit) gainsValid_ = true;
     if (cfg_.variant == EngineVariant::kCLIP) {
@@ -216,12 +269,21 @@ Weight FMRefiner::applyMove(ModuleId v, Partition& part) {
     // with a freshly computed gain (computed after all count updates).
     for (ModuleId u : lazyInsert_) {
         GainBucketArray& b = *bucket_[part.part(u)];
-        if (!b.contains(u) && !locked_[static_cast<std::size_t>(u)]) b.insert(u, computeGain(u, part));
+        if (!b.contains(u) && !locked_[static_cast<std::size_t>(u)]) {
+            b.insert(u, computeGain(u, part));
+#if MLPART_CHECK_INVARIANTS
+            checkBase_[static_cast<std::size_t>(u)] = 0; // displayed gain is the true gain
+#endif
+        }
     }
     // Relaxed locking (Dasdan-Aykanat): a module with budget left rejoins
     // the structure on its new side with a fresh gain.
-    if (!exhausted && !blocked_[static_cast<std::size_t>(v)])
+    if (!exhausted && !blocked_[static_cast<std::size_t>(v)]) {
         bucket_[to]->insert(v, computeGain(v, part));
+#if MLPART_CHECK_INVARIANTS
+        checkBase_[static_cast<std::size_t>(v)] = 0;
+#endif
+    }
     return delta;
 }
 
@@ -248,6 +310,10 @@ void FMRefiner::undoMoves(std::size_t count, Partition& part) {
 
 Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) {
     buildBuckets(part);
+#if MLPART_CHECK_INVARIANTS
+    auditGainState(part, "FMRefiner::buildBuckets");
+    movesSinceAudit_ = 0;
+#endif
     moves_.clear();
     Weight cumGain = 0;
     Weight bestGain = 0;
@@ -261,6 +327,14 @@ Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt1
         const PartId from = part.part(v);
         const Weight delta = applyMove(v, part);
         moves_.push_back({v, from, delta});
+#if MLPART_CHECK_INVARIANTS
+        // Periodic mid-pass audit: delta-gain corruption is only visible
+        // between a move and the next bucket rebuild.
+        if (h_.numModules() <= kMidPassAuditLimit && ++movesSinceAudit_ >= kAuditStride) {
+            movesSinceAudit_ = 0;
+            auditGainState(part, "FMRefiner::applyMove");
+        }
+#endif
         cumGain += delta;
         if (cumGain > bestGain) {
             bestGain = cumGain;
@@ -277,6 +351,10 @@ Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt1
             cumGain = bestGain;
             ++backtracks;
             buildBuckets(part);
+#if MLPART_CHECK_INVARIANTS
+            auditGainState(part, "FMRefiner::cdipBacktrack");
+            movesSinceAudit_ = 0;
+#endif
             continue;
         }
         if (cfg_.earlyExitFraction > 0.0 && moves_.size() > bestIdx) {
@@ -300,6 +378,9 @@ Weight FMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::mt19
     const bool doubled = cfg_.variant == EngineVariant::kCLIP;
     for (int s = 0; s < 2; ++s)
         bucket_[s] = std::make_unique<GainBucketArray>(n, h_.maxModuleGain(), doubled, cfg_.policy);
+#if MLPART_CHECK_INVARIANTS
+    checkBase_.assign(static_cast<std::size_t>(n), 0);
+#endif
 
     if (!bc.satisfied(part)) rebalance(h_, part, bc, rng); // defensive; ML projections are pre-balanced
 
@@ -339,6 +420,10 @@ Weight FMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::mt19
         // Tightened passes can leave the relaxed solution outside the
         // caller's bound: repair and run one exact-tolerance pass.
         rebalance(h_, part, bc, rng);
+        // rebalance() moves modules behind the engine's back: the pin
+        // counts, tracked cut, and any cached pass-start gains are stale.
+        initNetState(part);
+        gainsValid_ = false;
         std::fill(locked_.begin(), locked_.end(), 0);
         if (!cfg_.fixed.empty()) std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_.begin());
         std::fill(moveCount_.begin(), moveCount_.end(), 0);

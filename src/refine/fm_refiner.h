@@ -58,6 +58,14 @@ private:
     /// Level-`depth` Krishnamurthy gain vector entry for v (depth >= 2).
     [[nodiscard]] Weight lookaheadGain(ModuleId v, int depth, const Partition& part) const;
 
+#if MLPART_CHECK_INVARIANTS
+    /// Invariant hook (src/check): diffs every bucketed module's believed
+    /// gain (CLIP distortion undone via checkBase_) and the tracked active
+    /// cut against naive recomputation from the assignment; aborts on any
+    /// mismatch. Compiled out entirely unless MLPART_CHECK_INVARIANTS.
+    void auditGainState(const Partition& part, const char* where) const;
+#endif
+
     const Hypergraph& h_;
     FMConfig cfg_;
 
@@ -72,6 +80,13 @@ private:
     std::vector<char> dirty_;   ///< fastPassInit: gain must be recomputed
     bool gainsValid_ = false;   ///< fastPassInit: gains_ holds last pass's values
     std::unique_ptr<GainBucketArray> bucket_[2];
+#if MLPART_CHECK_INVARIANTS
+    /// Believed true gain minus displayed bucket gain per module (nonzero
+    /// only in CLIP mode, where displayed gains are relative to the
+    /// concatenation point).
+    std::vector<Weight> checkBase_;
+    std::int64_t movesSinceAudit_ = 0;
+#endif
     std::vector<MoveRec> moves_;
     std::vector<ModuleId> lazyInsert_; ///< boundary mode: pending insertions
     Weight curActiveCut_ = 0;

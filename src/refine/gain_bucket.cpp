@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#if MLPART_CHECK_INVARIANTS
+#include "check/check_result.h"
+#endif
+
 namespace mlpart {
 
 const char* toString(BucketPolicy p) {
@@ -108,6 +112,17 @@ void GainBucketArray::clipConcatenate() {
     // Rebuild as a single list in bucket zero: append at tail so that the
     // head of the zero bucket is the module that had the largest gain.
     for (ModuleId v : order) linkAtTail(v, zeroIdx);
+#if MLPART_CHECK_INVARIANTS
+    // The concatenation is a rare whole-structure rewrite; self-checking
+    // here is cheap relative to the rewrite itself.
+    check::CheckResult r;
+    r.factsChecked = 2;
+    if (!checkInvariants()) r.fail("bucket structure corrupt after concatenation");
+    if (size_ != static_cast<ModuleId>(order.size()))
+        r.fail("concatenation lost modules: " + std::to_string(size_) + " of " +
+               std::to_string(order.size()));
+    check::enforce(r, "GainBucketArray::clipConcatenate");
+#endif
 }
 
 void GainBucketArray::clear() {

@@ -1,0 +1,192 @@
+// Tests for the invariant-checking subsystem (src/check): the verifiers
+// must accept healthy states and — more importantly — *detect* every
+// deliberately corrupted state handed to them. Detection is asserted on
+// the returned CheckResult, never through enforce(), so a failing verifier
+// shows up as a readable gtest failure instead of an abort.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "check/check.h"
+#include "coarsen/induce.h"
+#include "gen/grid_generator.h"
+#include "hypergraph/builder.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+using check::CheckResult;
+
+TEST(CheckResult, CapsViolationsAndCountsFacts) {
+    CheckResult r;
+    for (int i = 0; i < 200; ++i) {
+        ++r.factsChecked;
+        r.fail("violation " + std::to_string(i));
+    }
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.violations.size(), CheckResult::kMaxViolations);
+    EXPECT_EQ(r.factsChecked, 200);
+    const std::string s = r.summary();
+    EXPECT_NE(s.find("violation 0"), std::string::npos);
+
+    CheckResult clean;
+    clean.factsChecked = 3;
+    EXPECT_TRUE(clean.ok());
+    EXPECT_NE(clean.summary().find("OK"), std::string::npos);
+
+    CheckResult merged;
+    merged.merge(r);
+    merged.merge(clean);
+    EXPECT_FALSE(merged.ok());
+    EXPECT_EQ(merged.factsChecked, 203);
+}
+
+TEST(VerifyHypergraph, AcceptsHealthyGraphs) {
+    EXPECT_TRUE(check::verifyHypergraph(testing::tinyPath()).ok());
+    EXPECT_TRUE(check::verifyHypergraph(testing::mediumCircuit(200, 3)).ok());
+    EXPECT_TRUE(check::verifyHypergraph(generateGrid({8, 5, true})).ok());
+    EXPECT_TRUE(check::verifyHypergraph(Hypergraph{}).ok()); // empty
+    const CheckResult r = check::verifyHypergraph(testing::tinyPath());
+    EXPECT_GT(r.factsChecked, 0);
+}
+
+TEST(VerifyPartition, EmptyHypergraph) {
+    const Hypergraph h;
+    EXPECT_TRUE(check::verifyPartition(h, Partition{}).ok());
+    EXPECT_TRUE(check::verifyPartition(h, Partition(h, 2)).ok());
+}
+
+TEST(VerifyPartition, SingleModuleBlocks) {
+    // Every module alone in its block: legal, cut = every net.
+    const Hypergraph h = testing::tinyPath();
+    std::vector<PartId> assign;
+    for (ModuleId v = 0; v < h.numModules(); ++v) assign.push_back(v);
+    const Partition p(h, h.numModules(), std::move(assign));
+    check::PartitionCheckOptions opt;
+    opt.expectedCut = cutWeight(h, p);
+    EXPECT_TRUE(check::verifyPartition(h, p, opt).ok());
+}
+
+TEST(VerifyPartition, DetectsWrongExpectedCut) {
+    const Hypergraph h = testing::tinyPath();
+    const Partition p(h, 2, {0, 0, 0, 1, 1, 1});
+    check::PartitionCheckOptions opt;
+    opt.expectedCut = cutWeight(h, p) + 1; // a drifted incremental tracker
+    const CheckResult r = check::verifyPartition(h, p, opt);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(VerifyPartition, DetectsBalanceViolation) {
+    const Hypergraph h = testing::tinyPath();
+    const Partition p(h, 2, {0, 0, 0, 0, 0, 0}); // everything on one side
+    const auto bc = BalanceConstraint::forTolerance(h, 2, 0.1);
+    check::PartitionCheckOptions opt;
+    opt.balance = &bc;
+    EXPECT_FALSE(check::verifyPartition(h, p, opt).ok());
+    EXPECT_TRUE(check::verifyPartition(h, p).ok()); // structurally still fine
+}
+
+TEST(VerifyGainState, FMOracleAcceptsTruthAndDetectsLies) {
+    const Hypergraph h = testing::mediumCircuit(60, 13);
+    std::mt19937_64 rng(2);
+    const Partition p = randomPartition(h, 2, BalanceConstraint::forTolerance(h, 2, 0.2), rng);
+
+    check::FMGainProbe honest;
+    honest.tracked = [](ModuleId) { return true; };
+    honest.gain = [&](ModuleId v) -> std::optional<Weight> {
+        return check::naiveFMGain(h, p, {}, v);
+    };
+    EXPECT_TRUE(check::verifyGainState(h, p, {}, honest).ok());
+
+    // One corrupted entry — exactly what a wrong delta-gain update leaves
+    // behind — must be reported.
+    check::FMGainProbe corrupt = honest;
+    corrupt.gain = [&](ModuleId v) -> std::optional<Weight> {
+        const Weight g = check::naiveFMGain(h, p, {}, v);
+        return v == 7 ? g + 2 : g;
+    };
+    const CheckResult r = check::verifyGainState(h, p, {}, corrupt);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.violations.size(), 1u);
+
+    // nullopt marks a gain as unverifiable (clamped bucket index): skipped.
+    check::FMGainProbe clamped = honest;
+    clamped.gain = [](ModuleId) -> std::optional<Weight> { return std::nullopt; };
+    EXPECT_TRUE(check::verifyGainState(h, p, {}, clamped).ok());
+}
+
+TEST(VerifyGainState, KWayOracleBothObjectives) {
+    const Hypergraph h = testing::mediumCircuit(60, 17);
+    std::mt19937_64 rng(3);
+    const PartId k = 3;
+    const Partition p = randomPartition(h, k, BalanceConstraint::forTolerance(h, k, 0.3), rng);
+
+    for (const bool netCut : {true, false}) {
+        SCOPED_TRACE(netCut ? "net-cut" : "sum-of-degrees");
+        check::KWayGainProbe honest;
+        honest.k = k;
+        honest.netCutObjective = netCut;
+        honest.tracked = [&](ModuleId v, PartId q) { return p.part(v) != q; };
+        honest.gain = [&](ModuleId v, PartId q) -> std::optional<Weight> {
+            return check::naiveKWayGain(h, p, {}, v, q, netCut);
+        };
+        EXPECT_TRUE(check::verifyGainState(h, p, {}, honest).ok());
+
+        check::KWayGainProbe corrupt = honest;
+        corrupt.gain = [&](ModuleId v, PartId q) -> std::optional<Weight> {
+            const Weight g = check::naiveKWayGain(h, p, {}, v, q, netCut);
+            return (v == 5 && q == (p.part(5) + 1) % k) ? g - 3 : g;
+        };
+        EXPECT_FALSE(check::verifyGainState(h, p, {}, corrupt).ok());
+    }
+}
+
+TEST(VerifyGainState, RespectsActiveNetMask) {
+    // A net masked out must contribute to neither the naive gain nor the
+    // naive objective.
+    HypergraphBuilder b(4);
+    b.addNet({0, 1});
+    b.addNet({2, 3});
+    b.addNet({1, 2});
+    const Hypergraph h = std::move(b).build();
+    const Partition p(h, 2, {0, 0, 1, 1});
+    const std::vector<char> mask = {1, 1, 0}; // net {1,2} ignored
+    EXPECT_EQ(check::naiveActiveObjective(h, p, mask, true), 0);
+    EXPECT_EQ(check::naiveActiveObjective(h, p, {}, true), cutWeight(h, p));
+    EXPECT_EQ(check::naiveFMGain(h, p, mask, 1), -1);   // only {0,1} visible
+    EXPECT_EQ(check::naiveFMGain(h, p, {}, 1), 0);      // {1,2} uncut gain +1
+}
+
+TEST(VerifyLevels, AcceptsInduceProjectAndDetectsCorruption) {
+    const Hypergraph fine = testing::tinyPath();
+    Clustering c;
+    c.clusterOf = {0, 0, 1, 1, 2, 2};
+    c.numClusters = 3;
+    const Hypergraph coarse = induce(fine, c);
+    const Partition coarsePart(coarse, 2, {0, 0, 1});
+    Partition finePart = project(fine, c, coarsePart);
+
+    EXPECT_TRUE(check::verifyLevels(fine, coarse, c.clusterOf, coarsePart, finePart).ok());
+
+    // A fine module leaving its cluster's block breaks inheritance, block
+    // areas, and (here) the projected-cut identity all at once.
+    finePart.move(fine, 0, 1);
+    const CheckResult r = check::verifyLevels(fine, coarse, c.clusterOf, coarsePart, finePart);
+    EXPECT_FALSE(r.ok());
+    EXPECT_GE(r.violations.size(), 2u);
+}
+
+TEST(VerifyLevels, RebalancedHelper) {
+    const Hypergraph h = testing::mediumCircuit(80, 29);
+    std::mt19937_64 rng(4);
+    const auto bc = BalanceConstraint::forTolerance(h, 2, 0.2);
+    Partition p = randomPartition(h, 2, bc, rng);
+    ASSERT_TRUE(bc.satisfied(p));
+    EXPECT_TRUE(check::verifyRebalanced(h, p, bc).ok());
+}
+
+} // namespace
+} // namespace mlpart

@@ -4,6 +4,7 @@
 
 #include <random>
 
+#include "check/check.h"
 #include "coarsen/induce.h"
 #include "coarsen/matcher.h"
 #include "core/multilevel.h"
@@ -55,6 +56,37 @@ TEST(EdgeCase, NetlessHypergraph) {
     const MLResult r = ml.run(h, rng);
     EXPECT_EQ(r.cut, 0);
     EXPECT_EQ(r.levels, 0); // no matchable pair anywhere
+}
+
+TEST(EdgeCase, MLSingleModule) {
+    // A one-module netlist: coarsening has nothing to match, the coarsest
+    // "partition" is the input, and the driver must come back with a legal
+    // zero-cut solution instead of tripping on an empty level stack.
+    const Hypergraph h = netless(1);
+    std::mt19937_64 rng(5);
+    MultilevelPartitioner ml(MLConfig{}, makeFMFactory({}));
+    const MLResult r = ml.run(h, rng);
+    EXPECT_EQ(r.cut, 0);
+    ASSERT_EQ(r.partition.numModules(), 1);
+    check::PartitionCheckOptions opt;
+    opt.expectedCut = 0;
+    EXPECT_TRUE(check::verifyPartition(h, r.partition, opt).ok());
+}
+
+TEST(EdgeCase, MLNetlessVerifiedEndToEnd) {
+    // 0-net regression with the full verifier stack on the result.
+    const Hypergraph h = netless(12);
+    std::mt19937_64 rng(6);
+    MLConfig cfg;
+    cfg.vCycles = 2; // exercise the re-coarsening path on the degenerate input
+    MultilevelPartitioner ml(cfg, makeFMFactory({}));
+    const MLResult r = ml.run(h, rng);
+    EXPECT_EQ(r.cut, 0);
+    const auto bc = BalanceConstraint::forRefinement(h, 2, cfg.tolerance);
+    check::PartitionCheckOptions opt;
+    opt.expectedCut = 0;
+    if (bc.satisfied(r.partition)) opt.balance = &bc;
+    EXPECT_TRUE(check::verifyPartition(h, r.partition, opt).ok());
 }
 
 TEST(EdgeCase, AllNetsIgnoredByRefiner) {

@@ -2,11 +2,17 @@
 // netD/are.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "hypergraph/bench_format.h"
+#include "hypergraph/builder.h"
 #include "hypergraph/netd_format.h"
 #include "hypergraph/partition.h"
+#include "test_util.h"
 
 namespace mlpart {
 namespace {
@@ -158,6 +164,87 @@ TEST(NetDFormat, RejectsMalformedInput) {
         EXPECT_THROW(readNetD(net, are), std::runtime_error);
     }
     EXPECT_THROW(readNetDFile("/nonexistent.netD"), std::runtime_error);
+}
+
+// readNetD assigns module ids by first appearance in the pin list, so a
+// write -> read round trip is compared through the module names, not the
+// raw ids.
+void expectNetDRoundTrip(const Hypergraph& h, bool withAreas) {
+    std::ostringstream netOut;
+    writeNetD(h, netOut);
+    Hypergraph back = [&] {
+        std::istringstream netIn(netOut.str());
+        if (!withAreas) return readNetD(netIn);
+        std::ostringstream areOut;
+        writeAre(h, areOut);
+        std::istringstream areIn(areOut.str());
+        return readNetD(netIn, areIn);
+    }();
+
+    // Modules on no net never appear in the pin list and are dropped.
+    std::vector<char> connected(static_cast<std::size_t>(h.numModules()), 0);
+    for (NetId e = 0; e < h.numNets(); ++e)
+        for (ModuleId v : h.pins(e)) connected[static_cast<std::size_t>(v)] = 1;
+    const auto connectedCount = std::count(connected.begin(), connected.end(), 1);
+    ASSERT_EQ(back.numModules(), connectedCount);
+    ASSERT_EQ(back.numNets(), h.numNets());
+    ASSERT_EQ(back.numPins(), h.numPins());
+
+    // Map each reread module to the original id through its name.
+    ASSERT_TRUE(back.hasModuleNames());
+    auto originalId = [&](ModuleId v) {
+        const std::string& name = back.moduleName(v);
+        if (h.hasModuleNames()) {
+            for (ModuleId u = 0; u < h.numModules(); ++u)
+                if (h.moduleName(u) == name) return u;
+            ADD_FAILURE() << "unknown name " << name;
+            return kInvalidModule;
+        }
+        return static_cast<ModuleId>(std::stoi(name.substr(1))); // writer emits a<id>
+    };
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        std::vector<ModuleId> want(h.pins(e).begin(), h.pins(e).end());
+        std::vector<ModuleId> got;
+        for (ModuleId v : back.pins(e)) got.push_back(originalId(v));
+        std::sort(want.begin(), want.end());
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(want, got) << "net " << e;
+    }
+    for (ModuleId v = 0; v < back.numModules(); ++v)
+        EXPECT_EQ(back.area(v), withAreas ? h.area(originalId(v)) : 1) << "module " << v;
+}
+
+TEST(NetDFormat, RoundTripUnitWeights) {
+    expectNetDRoundTrip(mlpart::testing::mediumCircuit(120, 19), /*withAreas=*/false);
+}
+
+TEST(NetDFormat, RoundTripWithAreas) {
+    // Named, non-uniform-area instance exercising the .are companion.
+    HypergraphBuilder b(5);
+    const char* names[] = {"core0", "core1", "core2", "pad_in", "pad_out"};
+    for (ModuleId v = 0; v < 5; ++v) {
+        b.setModuleName(v, names[static_cast<std::size_t>(v)]);
+        b.setArea(v, 2 * v + 1);
+    }
+    b.addNet({0, 1, 2});
+    b.addNet({3, 0});
+    b.addNet({2, 4});
+    b.addNet({1, 3, 4});
+    expectNetDRoundTrip(std::move(b).build(), /*withAreas=*/true);
+}
+
+TEST(NetDFormat, RoundTripGeneratedWithRandomAreas) {
+    const Hypergraph base = mlpart::testing::mediumCircuit(90, 23);
+    HypergraphBuilder b(base.numModules());
+    std::mt19937_64 rng(5);
+    for (ModuleId v = 0; v < base.numModules(); ++v)
+        b.setArea(v, 1 + static_cast<Area>(rng() % 9));
+    std::vector<ModuleId> pins;
+    for (NetId e = 0; e < base.numNets(); ++e) {
+        pins.assign(base.pins(e).begin(), base.pins(e).end());
+        b.addNet(pins);
+    }
+    expectNetDRoundTrip(std::move(b).build(), /*withAreas=*/true);
 }
 
 TEST(NetDFormat, PartitionableEndToEnd) {

@@ -2,6 +2,8 @@
 // bucket organizations of Table II.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <random>
 #include <set>
 
@@ -178,6 +180,114 @@ TEST(GainBucket, HugeWeightsCapTheIndexRange) {
     std::mt19937_64 rng(1);
     EXPECT_EQ(b.selectBest([](ModuleId) { return true; }, rng), 0);
     EXPECT_TRUE(b.checkInvariants());
+}
+
+// Property test: a long random op sequence against a trivial map model.
+// The model mirrors the documented clamping semantics — gains saturate at
+// the representable range on insert and on every adjustment.
+TEST_P(GainBucketPolicyTest, RandomOpsMatchNaiveModel) {
+    for (const bool doubled : {false, true}) {
+        SCOPED_TRACE(doubled ? "doubled" : "plain");
+        constexpr ModuleId kModules = 40;
+        constexpr Weight kMaxGain = 6;
+        GainBucketArray b(kModules, kMaxGain, doubled, GetParam());
+        const Weight range = b.maxRepresentableGain();
+        ASSERT_EQ(range, doubled ? 2 * kMaxGain : kMaxGain);
+        std::map<ModuleId, Weight> model; // module -> displayed (clamped) gain
+        std::mt19937_64 rng(404 + (doubled ? 1 : 0));
+        auto clamped = [&](Weight g) { return std::clamp(g, -range, range); };
+        for (int step = 0; step < 4000; ++step) {
+            const ModuleId v = static_cast<ModuleId>(rng() % kModules);
+            switch (rng() % 8) {
+                case 0:
+                case 1:
+                case 2: { // insert (gains beyond the range exercise clamping)
+                    if (model.count(v)) break;
+                    const Weight g = static_cast<Weight>(rng() % (6 * kMaxGain + 1)) - 3 * kMaxGain;
+                    b.insert(v, g);
+                    model[v] = clamped(g);
+                    break;
+                }
+                case 3: { // remove
+                    if (!model.count(v)) break;
+                    b.remove(v);
+                    model.erase(v);
+                    break;
+                }
+                case 4:
+                case 5: { // adjust
+                    if (!model.count(v)) break;
+                    const Weight d = static_cast<Weight>(rng() % 9) - 4;
+                    b.adjustGain(v, d);
+                    model[v] = clamped(model[v] + d);
+                    break;
+                }
+                case 6: { // selection returns some maximal-gain module
+                    if (model.empty()) break;
+                    const ModuleId sel = b.selectBest([](ModuleId) { return true; }, rng);
+                    ASSERT_NE(sel, kInvalidModule);
+                    Weight best = model.begin()->second;
+                    for (const auto& [u, g] : model) best = std::max(best, g);
+                    ASSERT_EQ(b.gain(sel), best);
+                    break;
+                }
+                default: { // rare whole-structure ops
+                    if (rng() % 16 == 0) {
+                        b.clipConcatenate();
+                        for (auto& [u, g] : model) g = 0;
+                    } else if (rng() % 32 == 0) {
+                        b.clear();
+                        model.clear();
+                    }
+                    break;
+                }
+            }
+            ASSERT_TRUE(b.checkInvariants()) << "step " << step;
+            ASSERT_EQ(b.size(), static_cast<ModuleId>(model.size())) << "step " << step;
+        }
+        // Final exhaustive diff.
+        for (ModuleId v = 0; v < kModules; ++v) {
+            const auto it = model.find(v);
+            ASSERT_EQ(b.contains(v), it != model.end()) << "module " << v;
+            if (it != model.end()) {
+                ASSERT_EQ(b.gain(v), it->second) << "module " << v;
+            }
+        }
+    }
+}
+
+TEST(GainBucket, MaxRangeCapsHugeGainSpans) {
+    // Construction with an absurd max gain saturates the index range at
+    // kMaxRange instead of allocating terabytes of buckets; gains clamp.
+    GainBucketArray b(4, Weight{1} << 40, false, BucketPolicy::kLifo);
+    EXPECT_EQ(b.maxRepresentableGain(), GainBucketArray::kMaxRange);
+    EXPECT_EQ(b.minRepresentableGain(), -GainBucketArray::kMaxRange);
+    b.insert(0, Weight{1} << 39);
+    EXPECT_EQ(b.gain(0), GainBucketArray::kMaxRange);
+    b.insert(1, -(Weight{1} << 39));
+    EXPECT_EQ(b.gain(1), -GainBucketArray::kMaxRange);
+    b.adjustGain(0, 5); // already saturated: stays pinned
+    EXPECT_EQ(b.gain(0), GainBucketArray::kMaxRange);
+    EXPECT_TRUE(b.checkInvariants());
+}
+
+TEST(GainBucket, ClipConcatenateOnDoubledRangeKeepsEveryModule) {
+    // CLIP's doubled range plus concatenation: everything lands in bucket
+    // zero, in descending prior-gain order, with nothing lost.
+    GainBucketArray b(8, 4, true, BucketPolicy::kLifo);
+    for (ModuleId v = 0; v < 8; ++v) b.insert(v, static_cast<Weight>(v % 5) - 2);
+    b.clipConcatenate();
+    EXPECT_EQ(b.size(), 8);
+    EXPECT_EQ(b.maxGain(), 0);
+    Weight prevGain = b.maxRepresentableGain();
+    int seen = 0;
+    for (ModuleId v = b.head(0); v != kInvalidModule; v = b.next(v), ++seen) {
+        const Weight was = static_cast<Weight>(v % 5) - 2;
+        EXPECT_LE(was, prevGain) << "concatenation must order by prior gain";
+        prevGain = was;
+        EXPECT_EQ(b.gain(v), 0);
+    }
+    EXPECT_EQ(seen, 8);
 }
 
 TEST(GainBucket, ClearEmptiesEverything) {

@@ -1,8 +1,11 @@
 // Tests for hMETIS .hgr I/O.
 #include <gtest/gtest.h>
 
+#include <random>
 #include <sstream>
+#include <vector>
 
+#include "hypergraph/builder.h"
 #include "hypergraph/io.h"
 #include "test_util.h"
 
@@ -71,6 +74,38 @@ TEST(Io, RoundTripPreservesWeights) {
     const Hypergraph back = readHgr(in);
     EXPECT_EQ(back.netWeight(0), 7);
     EXPECT_EQ(back.area(2), 4);
+}
+
+TEST(Io, RoundTripGeneratedWeightedCircuit) {
+    // A generated circuit with randomized net weights and areas survives a
+    // write -> read cycle exactly (fmt=11 path).
+    const Hypergraph base = testing::mediumCircuit(130, 31);
+    HypergraphBuilder b(base.numModules());
+    std::mt19937_64 rng(9);
+    for (ModuleId v = 0; v < base.numModules(); ++v)
+        b.setArea(v, 1 + static_cast<Area>(rng() % 7));
+    std::vector<ModuleId> pins;
+    for (NetId e = 0; e < base.numNets(); ++e) {
+        pins.assign(base.pins(e).begin(), base.pins(e).end());
+        b.addNet(pins, 1 + static_cast<Weight>(rng() % 5));
+    }
+    const Hypergraph h = std::move(b).build();
+
+    std::ostringstream out;
+    writeHgr(h, out);
+    std::istringstream in(out.str());
+    const Hypergraph back = readHgr(in);
+    ASSERT_EQ(back.numModules(), h.numModules());
+    ASSERT_EQ(back.numNets(), h.numNets());
+    ASSERT_EQ(back.numPins(), h.numPins());
+    for (ModuleId v = 0; v < h.numModules(); ++v) EXPECT_EQ(back.area(v), h.area(v));
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        EXPECT_EQ(back.netWeight(e), h.netWeight(e));
+        const auto a = h.pins(e);
+        const auto c = back.pins(e);
+        ASSERT_EQ(a.size(), c.size()) << "net " << e;
+        for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], c[i]);
+    }
 }
 
 TEST(Io, RejectsMalformedInput) {

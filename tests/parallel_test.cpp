@@ -25,21 +25,28 @@ TEST(ParallelMultiStart, ProducesValidBest) {
 }
 
 TEST(ParallelMultiStart, DeterministicAcrossThreadCounts) {
+    // Thread count is an execution resource, never an input: 1, 2, and 8
+    // threads must yield bit-identical outcomes — same winning run, same
+    // cut, and the same assignment module for module.
     const Hypergraph h = testing::mediumCircuit(400, 403);
     MultilevelPartitioner ml(MLConfig{}, makeFMFactory({}));
-    MultiStartConfig one;
-    one.runs = 6;
-    one.threads = 1;
-    one.seed = 42;
-    MultiStartConfig many = one;
-    many.threads = 4;
-    const MultiStartOutcome a = parallelMultiStart(h, ml, one);
-    const MultiStartOutcome b = parallelMultiStart(h, ml, many);
-    EXPECT_EQ(a.bestCut, b.bestCut);
-    EXPECT_EQ(a.bestRun, b.bestRun);
-    EXPECT_DOUBLE_EQ(a.cuts.mean(), b.cuts.mean());
-    EXPECT_DOUBLE_EQ(a.cuts.stddev(), b.cuts.stddev());
-    for (ModuleId v = 0; v < h.numModules(); ++v) EXPECT_EQ(a.best.part(v), b.best.part(v));
+    MultiStartConfig base;
+    base.runs = 6;
+    base.threads = 1;
+    base.seed = 42;
+    const MultiStartOutcome ref = parallelMultiStart(h, ml, base);
+    for (int threads : {2, 8}) {
+        SCOPED_TRACE(threads);
+        MultiStartConfig cfg = base;
+        cfg.threads = threads;
+        const MultiStartOutcome out = parallelMultiStart(h, ml, cfg);
+        EXPECT_EQ(ref.bestCut, out.bestCut);
+        EXPECT_EQ(ref.bestRun, out.bestRun);
+        EXPECT_DOUBLE_EQ(ref.cuts.mean(), out.cuts.mean());
+        EXPECT_DOUBLE_EQ(ref.cuts.stddev(), out.cuts.stddev());
+        ASSERT_EQ(ref.best.numParts(), out.best.numParts());
+        for (ModuleId v = 0; v < h.numModules(); ++v) EXPECT_EQ(ref.best.part(v), out.best.part(v));
+    }
 }
 
 TEST(ParallelMultiStart, MoreRunsNeverWorse) {

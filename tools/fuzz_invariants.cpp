@@ -1,0 +1,194 @@
+// Deterministic invariant fuzzer: random circuits from the src/gen
+// generators pushed through randomly configured flat and multilevel
+// partitioning runs, with the src/check verifiers applied to every result.
+//
+// In a build with MLPART_CHECK_INVARIANTS=ON the engines additionally
+// self-audit after every bucket build and every few dozen moves, so a run
+// of this driver exercises the differential gain oracles over thousands of
+// incremental updates. The driver is deterministic given --seed: every
+// random decision flows from one std::mt19937_64.
+//
+// Usage: fuzz_invariants [--iterations N] [--seed S] [--modules M] [--verbose]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+
+#include "check/check.h"
+#include "core/multilevel.h"
+#include "gen/grid_generator.h"
+#include "gen/random_hypergraph.h"
+#include "gen/rent_generator.h"
+#include "hypergraph/partition.h"
+#include "kway/kway_refiner.h"
+#include "refine/fm_refiner.h"
+#include "refine/multistart.h"
+
+namespace {
+
+using namespace mlpart;
+
+struct Options {
+    int iterations = 50;
+    std::uint64_t seed = 1;
+    ModuleId modules = 220; ///< upper bound on instance size
+    bool verbose = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--iterations N] [--seed S] [--modules M] [--verbose]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options parseArgs(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (a == "--iterations") opt.iterations = std::atoi(value());
+        else if (a == "--seed") opt.seed = std::strtoull(value(), nullptr, 10);
+        else if (a == "--modules") opt.modules = std::atoi(value());
+        else if (a == "--verbose") opt.verbose = true;
+        else usage(argv[0]);
+    }
+    if (opt.iterations < 1 || opt.modules < 16) usage(argv[0]);
+    return opt;
+}
+
+/// Random circuit from one of the three generators; always verified
+/// before use so a generator bug cannot masquerade as an engine bug.
+Hypergraph makeCircuit(ModuleId maxModules, std::mt19937_64& rng, std::string& label) {
+    const int kind = static_cast<int>(rng() % 3);
+    std::uniform_int_distribution<ModuleId> sizeDist(16, maxModules);
+    Hypergraph h;
+    if (kind == 0) {
+        RentConfig cfg;
+        cfg.numModules = sizeDist(rng);
+        cfg.numNets = cfg.numModules + static_cast<NetId>(rng() % cfg.numModules);
+        cfg.rentExponent = 0.55 + 0.15 * std::uniform_real_distribution<>(0, 1)(rng);
+        cfg.seed = rng();
+        label = "rent(" + std::to_string(cfg.numModules) + ")";
+        h = generateRentCircuit(cfg);
+    } else if (kind == 1) {
+        RandomHypergraphConfig cfg;
+        cfg.numModules = sizeDist(rng);
+        cfg.numNets = cfg.numModules + static_cast<NetId>(rng() % cfg.numModules);
+        cfg.seed = rng();
+        label = "random(" + std::to_string(cfg.numModules) + ")";
+        h = generateRandomHypergraph(cfg);
+    } else {
+        GridConfig cfg;
+        cfg.width = 4 + static_cast<std::int32_t>(rng() % 12);
+        cfg.height = 4 + static_cast<std::int32_t>(rng() % 12);
+        cfg.rowNets = (rng() & 1) != 0;
+        label = "grid(" + std::to_string(cfg.width) + "x" + std::to_string(cfg.height) + ")";
+        h = generateGrid(cfg);
+    }
+    check::enforce(check::verifyHypergraph(h), "fuzz_invariants generator");
+    return h;
+}
+
+FMConfig randomFMConfig(std::mt19937_64& rng) {
+    FMConfig cfg;
+    cfg.variant = (rng() & 1) ? EngineVariant::kCLIP : EngineVariant::kFM;
+    const BucketPolicy policies[] = {BucketPolicy::kLifo, BucketPolicy::kFifo,
+                                     BucketPolicy::kRandom};
+    cfg.policy = policies[rng() % 3];
+    cfg.lookahead = static_cast<int>(rng() % 3); // 0, 1, 2
+    cfg.cdip = (rng() % 4) == 0;
+    cfg.boundaryInit = (rng() % 3) == 0;
+    cfg.fastPassInit = (rng() & 1) != 0;
+    cfg.movesPerPass = 1 + static_cast<int>(rng() % 2);
+    if ((rng() % 3) == 0) cfg.tightenStart = 0.3;
+    if ((rng() % 4) == 0) cfg.earlyExitFraction = 0.25;
+    return cfg;
+}
+
+KWayConfig randomKWayConfig(std::mt19937_64& rng) {
+    KWayConfig cfg;
+    cfg.objective = (rng() & 1) ? KWayObjective::kSumOfDegrees : KWayObjective::kNetCut;
+    const BucketPolicy policies[] = {BucketPolicy::kLifo, BucketPolicy::kFifo,
+                                     BucketPolicy::kRandom};
+    cfg.policy = policies[rng() % 3];
+    cfg.clip = (rng() & 1) != 0;
+    cfg.lookahead = static_cast<int>(rng() % 3);
+    return cfg;
+}
+
+/// Verify a finished solution: structure always; balance when the engine
+/// achieved it; the reported cut against a from-scratch recomputation.
+void verifyResult(const Hypergraph& h, const Partition& p, const BalanceConstraint& bc,
+                  Weight reportedCut, const char* where) {
+    check::PartitionCheckOptions opts;
+    opts.expectedCut = reportedCut;
+    if (bc.satisfied(p)) opts.balance = &bc;
+    check::enforce(check::verifyPartition(h, p, opts), where);
+}
+
+void fuzzFlatBipartition(const Hypergraph& h, std::mt19937_64& rng) {
+    const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+    Partition p = randomPartition(h, 2, bc, rng);
+    FMRefiner fm(h, randomFMConfig(rng));
+    const Weight cut = fm.refine(p, bc, rng);
+    verifyResult(h, p, bc, cut, "fuzz flat bipartition");
+}
+
+void fuzzFlatKWay(const Hypergraph& h, std::mt19937_64& rng) {
+    const PartId k = 3 + static_cast<PartId>(rng() % 2);
+    const auto bc = BalanceConstraint::forRefinement(h, k, 0.1);
+    Partition p = randomPartition(h, k, bc, rng);
+    KWayFMRefiner kw(h, randomKWayConfig(rng));
+    const Weight cut = kw.refine(p, bc, rng);
+    verifyResult(h, p, bc, cut, "fuzz flat k-way");
+}
+
+void fuzzMultilevel(const Hypergraph& h, std::mt19937_64& rng) {
+    MLConfig cfg;
+    cfg.k = (rng() % 3 == 0) ? 4 : 2;
+    const double ratios[] = {1.0, 0.5, 0.33};
+    cfg.matchingRatio = ratios[rng() % 3];
+    cfg.coarseningThreshold = cfg.k == 2 ? 35 : 100;
+    cfg.vCycles = 1 + static_cast<int>(rng() % 2);
+    cfg.coarsestStarts = 1 + static_cast<int>(rng() % 2);
+    const CoarsenerKind kinds[] = {CoarsenerKind::kConnectivityMatch,
+                                   CoarsenerKind::kRandomMatch,
+                                   CoarsenerKind::kHeavyEdgeMatch};
+    cfg.coarsener = kinds[rng() % 3];
+    RefinerFactory factory = cfg.k == 2 ? makeFMFactory(randomFMConfig(rng))
+                                        : makeKWayFactory(randomKWayConfig(rng));
+    MultilevelPartitioner ml(cfg, std::move(factory));
+    const MLResult res = ml.run(h, rng);
+    const auto bc = BalanceConstraint::forRefinement(h, cfg.k, cfg.tolerance);
+    verifyResult(h, res.partition, bc, res.cut, "fuzz multilevel");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parseArgs(argc, argv);
+    std::mt19937_64 rng(opt.seed);
+    for (int it = 0; it < opt.iterations; ++it) {
+        std::string label;
+        const Hypergraph h = makeCircuit(opt.modules, rng, label);
+        const int mode = static_cast<int>(rng() % 3);
+        if (opt.verbose)
+            std::fprintf(stderr, "iter %d: %s mode=%s\n", it, label.c_str(),
+                         mode == 0 ? "flat2" : mode == 1 ? "flatK" : "ml");
+        switch (mode) {
+            case 0: fuzzFlatBipartition(h, rng); break;
+            case 1: fuzzFlatKWay(h, rng); break;
+            default: fuzzMultilevel(h, rng); break;
+        }
+    }
+    std::printf("fuzz_invariants: %d iterations clean (seed %llu)\n", opt.iterations,
+                static_cast<unsigned long long>(opt.seed));
+    return 0;
+}

@@ -27,4 +27,5 @@ cmake -B "$dir" -S . \
 cmake --build "$dir" -j "$(nproc)"
 ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
 "./$dir/tools/fuzz_invariants" --iterations 50 --seed 1 --modules 220
+"./$dir/tools/fuzz_invariants" --iterations 40 --seed 3 --modules 160 --inject
 echo "sanitize.sh ($mode): all clean"

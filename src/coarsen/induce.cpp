@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "hypergraph/builder.h"
+#include "robust/fault_injector.h"
 
 #if MLPART_CHECK_INVARIANTS
 #include <string>
@@ -14,6 +15,7 @@
 namespace mlpart {
 
 Hypergraph induce(const Hypergraph& h, const Clustering& c) {
+    MLPART_FAULT_SITE("coarsen.induce");
     validateClustering(h, c);
     HypergraphBuilder b(c.numClusters, 0);
 
@@ -49,6 +51,7 @@ Hypergraph induce(const Hypergraph& h, const Clustering& c) {
 }
 
 Partition project(const Hypergraph& fine, const Clustering& c, const Partition& coarse) {
+    MLPART_FAULT_SITE("uncoarsen.project");
     validateClustering(fine, c);
     std::vector<PartId> assignment(static_cast<std::size_t>(fine.numModules()));
     for (ModuleId v = 0; v < fine.numModules(); ++v)

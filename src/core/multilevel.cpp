@@ -6,6 +6,7 @@
 
 #include "coarsen/induce.h"
 #include "lsmc/lsmc.h"
+#include "robust/fault_injector.h"
 
 #if MLPART_CHECK_INVARIANTS
 #include "check/verify_levels.h"
@@ -74,7 +75,8 @@ Partition initialPartition(const Hypergraph& h, PartId k, const std::vector<Part
 } // namespace
 
 Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64& rng,
-                                          const Partition* warm, MLResult* info) const {
+                                          const Partition* warm, MLResult* info,
+                                          const robust::Deadline& deadline) const {
     // ---- Coarsening phase (Figure 2, steps 1-5) ----
     std::vector<Hypergraph> coarse;             // coarse[i] = H_{i+1}
     std::vector<Clustering> clusterings;        // clusterings[i]: H_i -> H_{i+1}
@@ -93,8 +95,11 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
 
     const Hypergraph* cur = &h0;
     int netLimit = cfg_.matchNetSizeLimit;
+    // An expired budget stops coarsening: fewer levels just means less
+    // refinement opportunity, never an invalid result.
     while (cur->numModules() > cfg_.coarseningThreshold &&
-           static_cast<int>(coarse.size()) < cfg_.maxLevels) {
+           static_cast<int>(coarse.size()) < cfg_.maxLevels && !deadline.expired()) {
+        MLPART_FAULT_SITE("coarsen.match");
         MatchConfig mc;
         mc.ratio = cfg_.matchingRatio;
         mc.maxNetSize = netLimit;
@@ -160,7 +165,9 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
                    : BalanceConstraint::forTargets(hl, cfg_.targetFractions, cfg_.tolerance);
     };
     const BalanceConstraint bcM = levelBc(hm);
+    MLPART_FAULT_SITE("ml.initial");
     auto coarsestRefiner = factory_(hm, fixedMask(m));
+    coarsestRefiner->setDeadline(deadline);
     Partition best(hm, cfg_.k);
     Weight bestCut = 0;
     if (warm != nullptr) {
@@ -171,6 +178,9 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
         best = std::move(cand);
     } else {
         for (int s = 0; s < cfg_.coarsestStarts; ++s) {
+            // Start 0 always runs (the valid-result guarantee); extra
+            // starts are optional work skipped once the budget is gone.
+            if (s > 0 && deadline.expired()) break;
             Partition cand = initialPartition(hm, cfg_.k, preassign[static_cast<std::size_t>(m)],
                                               cfg_.targetFractions, bcM, rng);
             const Weight cut = coarsestRefiner->refine(cand, bcM, rng);
@@ -180,7 +190,7 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
             }
         }
         // "Spend more CPU at the top levels ... using LSMC" (Section V).
-        if (cfg_.coarsestLSMCDescents > 0 && cfg_.preassignment.empty()) {
+        if (cfg_.coarsestLSMCDescents > 0 && cfg_.preassignment.empty() && !deadline.expired()) {
             LSMCConfig lc;
             lc.descents = cfg_.coarsestLSMCDescents;
             lc.tolerance = cfg_.tolerance;
@@ -235,16 +245,21 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
             }
 #endif
         }
-        auto refiner = factory_(hi, fixedMask(i));
+        // Refinement is optional work once the budget is gone; the project
+        // and rebalance steps above are mandatory for a valid result.
+        if (!deadline.expired()) {
+            auto refiner = factory_(hi, fixedMask(i));
+            refiner->setDeadline(deadline);
 #if MLPART_CHECK_INVARIANTS
-        const Weight refinedCut = refiner->refine(projected, bcI, rng);
-        check::PartitionCheckOptions opt;
-        opt.expectedCut = refinedCut;
-        check::enforce(check::verifyPartition(hi, projected, opt),
-                       "MultilevelPartitioner::refine");
+            const Weight refinedCut = refiner->refine(projected, bcI, rng);
+            check::PartitionCheckOptions opt;
+            opt.expectedCut = refinedCut;
+            check::enforce(check::verifyPartition(hi, projected, opt),
+                           "MultilevelPartitioner::refine");
 #else
-        refiner->refine(projected, bcI, rng);
+            refiner->refine(projected, bcI, rng);
 #endif
+        }
         curPart = std::move(projected);
     }
 
@@ -258,15 +273,21 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
 }
 
 MLResult MultilevelPartitioner::run(const Hypergraph& h0, std::mt19937_64& rng) const {
+    return run(h0, rng, robust::Deadline::never());
+}
+
+MLResult MultilevelPartitioner::run(const Hypergraph& h0, std::mt19937_64& rng,
+                                    const robust::Deadline& deadline) const {
     if (!cfg_.preassignment.empty() &&
         cfg_.preassignment.size() != static_cast<std::size_t>(h0.numModules()))
         throw std::invalid_argument("MultilevelPartitioner: preassignment size mismatch");
 
     MLResult result{Partition(h0, cfg_.k), 0, 0, 0, {}};
-    Partition bestPart = runCycle(h0, rng, nullptr, &result);
+    Partition bestPart = runCycle(h0, rng, nullptr, &result, deadline);
     Weight bestCut = cutWeight(h0, bestPart);
     for (int cycle = 1; cycle < cfg_.vCycles; ++cycle) {
-        Partition next = runCycle(h0, rng, &bestPart, nullptr);
+        if (deadline.expired()) break;
+        Partition next = runCycle(h0, rng, &bestPart, nullptr, deadline);
         const Weight cut = cutWeight(h0, next);
         if (cut <= bestCut) { // refinement never accepted if it worsened the cut
             bestPart = std::move(next);

@@ -19,6 +19,7 @@
 #include "coarsen/matcher.h"
 #include "hypergraph/partition.h"
 #include "refine/refiner.h"
+#include "robust/deadline.h"
 
 namespace mlpart {
 
@@ -90,6 +91,13 @@ public:
     /// One full V-cycle; deterministic given the rng state.
     [[nodiscard]] MLResult run(const Hypergraph& h0, std::mt19937_64& rng) const;
 
+    /// As above under a cooperative wall-clock budget. When the deadline
+    /// expires the driver stops coarsening, skips remaining refinement, and
+    /// finishes the mandatory project + rebalance steps so the returned
+    /// partition is always valid and balanced — the best found so far.
+    [[nodiscard]] MLResult run(const Hypergraph& h0, std::mt19937_64& rng,
+                               const robust::Deadline& deadline) const;
+
     [[nodiscard]] const MLConfig& config() const { return cfg_; }
 
 private:
@@ -98,7 +106,8 @@ private:
     /// seeds the coarsest-level refinement. `info` (nullable) receives the
     /// level statistics.
     [[nodiscard]] Partition runCycle(const Hypergraph& h0, std::mt19937_64& rng,
-                                     const Partition* warm, MLResult* info) const;
+                                     const Partition* warm, MLResult* info,
+                                     const robust::Deadline& deadline) const;
 
     MLConfig cfg_;
     RefinerFactory factory_;

@@ -6,39 +6,101 @@
 #include <thread>
 #include <vector>
 
+#include "check/verify_partition.h"
+#include "robust/fault_injector.h"
+#include "robust/status.h"
+
 namespace mlpart {
+
+namespace {
+
+// Retry streams must depend on (seed, run, attempt) alone so failures and
+// their reseeded retries are reproducible for any thread count. Attempt 0
+// keeps the historical (seed, run) formula — determinism tests pin it.
+std::uint64_t streamSeed(std::uint64_t seed, int run, int attempt) {
+    if (attempt == 0) return seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(run);
+    std::uint64_t x = seed ^ (0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(run) + 1));
+    x ^= 0x94d049bb133111ebULL * static_cast<std::uint64_t>(attempt);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return x;
+}
+
+} // namespace
 
 MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartitioner& ml,
                                      const MultiStartConfig& cfg) {
     if (cfg.runs < 1) throw std::invalid_argument("parallelMultiStart: runs must be >= 1");
     if (cfg.threads < 0) throw std::invalid_argument("parallelMultiStart: threads must be >= 0");
+    if (cfg.maxRetries < 0)
+        throw std::invalid_argument("parallelMultiStart: maxRetries must be >= 0");
     unsigned threads = cfg.threads > 0 ? static_cast<unsigned>(cfg.threads)
                                        : std::max(1u, std::thread::hardware_concurrency());
     threads = std::min<unsigned>(threads, static_cast<unsigned>(cfg.runs));
 
+    robust::Deadline deadline = cfg.deadline;
+    if (cfg.timeoutSeconds > 0)
+        deadline = robust::Deadline::earlier(deadline, robust::Deadline::after(cfg.timeoutSeconds));
+
     Stopwatch watch;
-    std::vector<Weight> cuts(static_cast<std::size_t>(cfg.runs), 0);
+    std::vector<robust::StartRecord> records(static_cast<std::size_t>(cfg.runs));
     std::mutex bestMutex;
     Partition best(h, ml.config().k);
     Weight bestCut = 0;
     int bestRun = -1;
+    std::atomic<bool> deadlineHit{false};
 
     std::atomic<int> next{0};
     auto worker = [&]() {
         while (true) {
             const int run = next.fetch_add(1);
             if (run >= cfg.runs) break;
-            // Per-run stream derived from (seed, run) only: scheduling
-            // cannot influence any run's result.
-            std::mt19937_64 rng(cfg.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(run));
-            MLResult r = ml.run(h, rng);
-            cuts[static_cast<std::size_t>(run)] = r.cut;
-            std::lock_guard<std::mutex> lock(bestMutex);
-            // Deterministic winner: lowest cut, then lowest run index.
-            if (bestRun == -1 || r.cut < bestCut || (r.cut == bestCut && run < bestRun)) {
-                best = std::move(r.partition);
-                bestCut = r.cut;
-                bestRun = run;
+            robust::StartRecord& rec = records[static_cast<std::size_t>(run)];
+            // Run 0 always executes so a deadline alone can never empty
+            // the result set; later runs are skipped once it expires.
+            if (run > 0 && deadline.expired()) {
+                rec.status = robust::StartStatus::kSkippedDeadline;
+                deadlineHit.store(true, std::memory_order_relaxed);
+                continue;
+            }
+            for (int attempt = 0; attempt <= cfg.maxRetries; ++attempt) {
+                rec.attempts = attempt + 1;
+                try {
+                    MLPART_FAULT_SITE("multistart.start");
+                    // Per-run stream derived from (seed, run, attempt)
+                    // only: scheduling cannot influence any run's result.
+                    std::mt19937_64 rng(streamSeed(cfg.seed, run, attempt));
+                    MLResult r = ml.run(h, rng, deadline);
+                    if (cfg.verifyResults) {
+                        check::PartitionCheckOptions opt;
+                        opt.expectedCut = r.cut;
+                        const check::CheckResult chk =
+                            check::verifyPartition(h, r.partition, opt);
+                        if (!chk.ok())
+                            throw robust::Error(robust::StatusCode::kInternal,
+                                                "start " + std::to_string(run) +
+                                                    " produced an invalid partition: " +
+                                                    chk.summary());
+                    }
+                    rec.status = attempt == 0 ? robust::StartStatus::kOk
+                                              : robust::StartStatus::kRetriedOk;
+                    rec.cut = r.cut;
+                    std::lock_guard<std::mutex> lock(bestMutex);
+                    // Deterministic winner: lowest cut, then lowest run index.
+                    if (bestRun == -1 || r.cut < bestCut || (r.cut == bestCut && run < bestRun)) {
+                        best = std::move(r.partition);
+                        bestCut = r.cut;
+                        bestRun = run;
+                    }
+                    break;
+                } catch (const std::exception& e) {
+                    rec.status = robust::StartStatus::kFailed;
+                    rec.error = robust::statusOf(e);
+                    // Retry (reseeded) unless attempts are spent or the
+                    // budget is gone — a deadline failure will only repeat.
+                    if (attempt >= cfg.maxRetries || deadline.expired()) break;
+                }
             }
         }
     };
@@ -48,8 +110,16 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
 
-    MultiStartOutcome out{std::move(best), bestCut, bestRun, {}, watch.seconds()};
-    for (Weight c : cuts) out.cuts.add(static_cast<double>(c));
+    MultiStartOutcome out{std::move(best), bestCut, bestRun, {}, watch.seconds(), {}};
+    out.report.starts = std::move(records);
+    out.report.deadlineHit = deadlineHit.load(std::memory_order_relaxed) || deadline.expired();
+    for (const robust::StartRecord& rec : out.report.starts)
+        if (rec.status == robust::StartStatus::kOk ||
+            rec.status == robust::StartStatus::kRetriedOk)
+            out.cuts.add(static_cast<double>(rec.cut));
+    if (bestRun < 0)
+        throw robust::Error(robust::StatusCode::kAllStartsFailed,
+                            "parallelMultiStart: every start failed — " + out.report.summary());
     return out;
 }
 

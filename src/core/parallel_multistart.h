@@ -4,12 +4,20 @@
 // Each run i derives its RNG stream from (seed, i) alone, and the winner
 // is the lowest cut with the lowest run index breaking ties — so results
 // are bit-identical for any thread count, including 1.
+//
+// Fault tolerance (DESIGN.md §8): every start runs isolated. A start that
+// throws or produces an invalid partition is retried once with a reseeded
+// RNG; if it fails again it is dropped and the surviving starts are
+// salvaged. A wall-clock budget skips not-yet-started runs once expired
+// (run 0 always executes, so a deadline alone never empties the result).
 #pragma once
 
 #include <cstdint>
 
 #include "analysis/run_stats.h"
 #include "core/multilevel.h"
+#include "robust/deadline.h"
+#include "robust/run_report.h"
 
 namespace mlpart {
 
@@ -17,19 +25,39 @@ struct MultiStartConfig {
     int runs = 100;     ///< the paper's protocol
     int threads = 0;    ///< 0 = hardware concurrency
     std::uint64_t seed = 1;
+    /// Wall-clock budget in seconds; 0 = unlimited. Combined (earliest
+    /// wins) with `deadline` below.
+    double timeoutSeconds = 0.0;
+    /// Externally supplied deadline (e.g. CLI --timeout + SIGINT flag).
+    robust::Deadline deadline;
+    /// Retries per failed start (reseeded RNG). 0 disables retry.
+    int maxRetries = 1;
+    /// Verify every start's partition (balance + cut recomputation) and
+    /// treat violations as start failures. Cheap relative to a V-cycle.
+    bool verifyResults = true;
 };
 
 struct MultiStartOutcome {
     Partition best;
     Weight bestCut = 0;
-    int bestRun = -1;    ///< index of the winning run
-    RunStats cuts;       ///< min/avg/std over all runs (the table columns)
+    int bestRun = -1;    ///< index of the winning run, -1 = none succeeded
+    RunStats cuts;       ///< min/avg/std over the *successful* runs
     double seconds = 0.0;
+    robust::RunReport report;  ///< per-start status, retries, failures
+
+    /// True when at least one start produced a valid partition.
+    [[nodiscard]] bool ok() const { return bestRun >= 0; }
 };
 
 /// Runs `cfg.runs` independent ML V-cycles in parallel and returns the
 /// best result plus the cut statistics. Deterministic for fixed
-/// (partitioner config, seed, runs) regardless of `threads`.
+/// (partitioner config, seed, runs) regardless of `threads`, including
+/// which starts fail and retry under fault injection (retry streams are
+/// derived from (seed, run, attempt) alone).
+///
+/// Throws robust::Error(kAllStartsFailed) only when *zero* starts
+/// succeed; any other failure pattern is reported in `report` while the
+/// surviving best partition is returned.
 [[nodiscard]] MultiStartOutcome parallelMultiStart(const Hypergraph& h,
                                                    const MultilevelPartitioner& ml,
                                                    const MultiStartConfig& cfg);

@@ -1,5 +1,6 @@
 #include "core/recursive_bisection.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -9,11 +10,41 @@ namespace mlpart {
 
 namespace {
 
+// Deadline salvage: split `members` into left/right greedily by area
+// (largest first onto the side furthest below its target), skipping the
+// ML machinery entirely. Quality is poor but the split is area-balanced
+// in proportion to kLeft : kRight, so downstream blocks stay feasible.
+void greedySplit(const Hypergraph& h, const std::vector<ModuleId>& members, PartId kLeft,
+                 PartId kRight, std::vector<ModuleId>& left, std::vector<ModuleId>& right) {
+    std::vector<ModuleId> order = members;
+    std::sort(order.begin(), order.end(), [&](ModuleId a, ModuleId b) {
+        if (h.area(a) != h.area(b)) return h.area(a) > h.area(b);
+        return a < b;
+    });
+    Area total = 0;
+    for (ModuleId v : members) total += h.area(v);
+    const double targetLeft =
+        static_cast<double>(total) * static_cast<double>(kLeft) / static_cast<double>(kLeft + kRight);
+    Area areaLeft = 0;
+    for (ModuleId v : order) {
+        if (static_cast<double>(areaLeft) < targetLeft) {
+            left.push_back(v);
+            areaLeft += h.area(v);
+        } else {
+            right.push_back(v);
+        }
+    }
+    // Never hand an empty side a nonzero block count.
+    if (left.empty() && !right.empty()) { left.push_back(right.back()); right.pop_back(); }
+    if (right.empty() && !left.empty()) { right.push_back(left.back()); left.pop_back(); }
+}
+
 // Assigns blocks [firstBlock, firstBlock + k) to the modules listed in
 // `members` (ids of `h`), writing into `out`.
 void bisectRange(const Hypergraph& h, const std::vector<ModuleId>& members, PartId k,
                  PartId firstBlock, const MLConfig& cfg, const RefinerFactory& factory,
-                 std::mt19937_64& rng, std::vector<PartId>& out) {
+                 std::mt19937_64& rng, const robust::Deadline& deadline,
+                 std::vector<PartId>& out) {
     if (k == 1) {
         for (ModuleId v : members) out[static_cast<std::size_t>(v)] = firstBlock;
         return;
@@ -23,38 +54,48 @@ void bisectRange(const Hypergraph& h, const std::vector<ModuleId>& members, Part
     const PartId kLeft = (k + 1) / 2;
     const PartId kRight = k - kLeft;
 
-    std::vector<char> mask(static_cast<std::size_t>(h.numModules()), 0);
-    for (ModuleId v : members) mask[static_cast<std::size_t>(v)] = 1;
-    const SubgraphResult sub = extractSubgraph(h, mask);
-
-    MLConfig split = cfg;
-    split.k = 2;
-    split.preassignment.clear();
-    split.targetFractions = {static_cast<double>(kLeft) / static_cast<double>(k),
-                             static_cast<double>(kRight) / static_cast<double>(k)};
-    MultilevelPartitioner ml(split, factory);
-    const MLResult r = ml.run(sub.graph, rng);
-
     std::vector<ModuleId> left, right;
-    for (ModuleId sv = 0; sv < sub.graph.numModules(); ++sv) {
-        const ModuleId parent = sub.toParent[static_cast<std::size_t>(sv)];
-        if (r.partition.part(sv) == 0) left.push_back(parent);
-        else right.push_back(parent);
+    if (deadline.expired()) {
+        greedySplit(h, members, kLeft, kRight, left, right);
+    } else {
+        std::vector<char> mask(static_cast<std::size_t>(h.numModules()), 0);
+        for (ModuleId v : members) mask[static_cast<std::size_t>(v)] = 1;
+        const SubgraphResult sub = extractSubgraph(h, mask);
+
+        MLConfig split = cfg;
+        split.k = 2;
+        split.preassignment.clear();
+        split.targetFractions = {static_cast<double>(kLeft) / static_cast<double>(k),
+                                 static_cast<double>(kRight) / static_cast<double>(k)};
+        MultilevelPartitioner ml(split, factory);
+        const MLResult r = ml.run(sub.graph, rng, deadline);
+
+        for (ModuleId sv = 0; sv < sub.graph.numModules(); ++sv) {
+            const ModuleId parent = sub.toParent[static_cast<std::size_t>(sv)];
+            if (r.partition.part(sv) == 0) left.push_back(parent);
+            else right.push_back(parent);
+        }
     }
-    bisectRange(h, left, kLeft, firstBlock, cfg, factory, rng, out);
-    bisectRange(h, right, kRight, firstBlock + kLeft, cfg, factory, rng, out);
+    bisectRange(h, left, kLeft, firstBlock, cfg, factory, rng, deadline, out);
+    bisectRange(h, right, kRight, firstBlock + kLeft, cfg, factory, rng, deadline, out);
 }
 
 } // namespace
 
 Partition recursiveBisection(const Hypergraph& h, PartId k, const MLConfig& cfg,
                              const RefinerFactory& factory, std::mt19937_64& rng) {
+    return recursiveBisection(h, k, cfg, factory, rng, robust::Deadline::never());
+}
+
+Partition recursiveBisection(const Hypergraph& h, PartId k, const MLConfig& cfg,
+                             const RefinerFactory& factory, std::mt19937_64& rng,
+                             const robust::Deadline& deadline) {
     if (k < 2) throw std::invalid_argument("recursiveBisection: k must be >= 2");
     if (!factory) throw std::invalid_argument("recursiveBisection: null refiner factory");
     std::vector<PartId> assign(static_cast<std::size_t>(h.numModules()), 0);
     std::vector<ModuleId> all(static_cast<std::size_t>(h.numModules()));
     for (ModuleId v = 0; v < h.numModules(); ++v) all[static_cast<std::size_t>(v)] = v;
-    bisectRange(h, all, k, 0, cfg, factory, rng, assign);
+    bisectRange(h, all, k, 0, cfg, factory, rng, deadline, assign);
     return {h, k, std::move(assign)};
 }
 

@@ -23,4 +23,12 @@ namespace mlpart {
 [[nodiscard]] Partition recursiveBisection(const Hypergraph& h, PartId k, const MLConfig& cfg,
                                            const RefinerFactory& factory, std::mt19937_64& rng);
 
+/// As above under a cooperative wall-clock budget. Splits started before
+/// the deadline run ML as usual (with the deadline threaded through);
+/// once it expires remaining splits fall back to a greedy area-balanced
+/// assignment so the result is always a complete k-way partition.
+[[nodiscard]] Partition recursiveBisection(const Hypergraph& h, PartId k, const MLConfig& cfg,
+                                           const RefinerFactory& factory, std::mt19937_64& rng,
+                                           const robust::Deadline& deadline);
+
 } // namespace mlpart

@@ -4,15 +4,19 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
 #include "hypergraph/builder.h"
+#include "robust/status.h"
 
 namespace mlpart {
 
 namespace {
+
+[[noreturn]] void parseError(const std::string& message) {
+    throw robust::Error(robust::StatusCode::kParseError, message);
+}
 
 std::string strip(const std::string& s) {
     std::size_t b = s.find_first_not_of(" \t\r");
@@ -26,7 +30,7 @@ std::vector<std::string> parseArgs(const std::string& call, const std::string& c
     const std::size_t open = call.find('(');
     const std::size_t close = call.rfind(')');
     if (open == std::string::npos || close == std::string::npos || close < open)
-        throw std::runtime_error("readBench: malformed gate expression '" + context + "'");
+        parseError("readBench: malformed gate expression '" + context + "'");
     std::vector<std::string> args;
     std::string arg;
     for (std::size_t i = open + 1; i < close; ++i) {
@@ -40,7 +44,7 @@ std::vector<std::string> parseArgs(const std::string& call, const std::string& c
     arg = strip(arg);
     if (!arg.empty()) args.push_back(arg);
     for (const auto& a : args)
-        if (a.empty()) throw std::runtime_error("readBench: empty operand in '" + context + "'");
+        if (a.empty()) parseError("readBench: empty operand in '" + context + "'");
     return args;
 }
 
@@ -58,7 +62,7 @@ Hypergraph readBench(std::istream& in) {
 
     auto defineModule = [&](const std::string& name) -> ModuleId {
         auto [it, inserted] = moduleOf.emplace(name, static_cast<ModuleId>(moduleNames.size()));
-        if (!inserted) throw std::runtime_error("readBench: duplicate definition of '" + name + "'");
+        if (!inserted) parseError("readBench: duplicate definition of '" + name + "'");
         moduleNames.push_back(name);
         return it->second;
     };
@@ -76,7 +80,7 @@ Hypergraph readBench(std::istream& in) {
                        [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
         if (upper.rfind("INPUT", 0) == 0) {
             const auto args = parseArgs(line, line);
-            if (args.size() != 1) throw std::runtime_error("readBench: INPUT takes one signal");
+            if (args.size() != 1) parseError("readBench: INPUT takes one signal");
             const ModuleId m = defineModule(args[0]);
             signals[args[0]].driver = m;
             signals[args[0]].isInput = true;
@@ -84,15 +88,15 @@ Hypergraph readBench(std::istream& in) {
         }
         if (upper.rfind("OUTPUT", 0) == 0) {
             const auto args = parseArgs(line, line);
-            if (args.size() != 1) throw std::runtime_error("readBench: OUTPUT takes one signal");
+            if (args.size() != 1) parseError("readBench: OUTPUT takes one signal");
             outputs.push_back(args[0]); // outputs only checked for existence at the end
             continue;
         }
         const std::size_t eq = line.find('=');
         if (eq == std::string::npos)
-            throw std::runtime_error("readBench: unrecognized line '" + line + "'");
+            parseError("readBench: unrecognized line '" + line + "'");
         const std::string target = strip(line.substr(0, eq));
-        if (target.empty()) throw std::runtime_error("readBench: missing target in '" + line + "'");
+        if (target.empty()) parseError("readBench: missing target in '" + line + "'");
         const ModuleId m = defineModule(target);
         signals[target].driver = m;
         for (const std::string& operand : parseArgs(line.substr(eq + 1), line))
@@ -101,10 +105,10 @@ Hypergraph readBench(std::istream& in) {
 
     for (const std::string& out : outputs)
         if (signals.find(out) == signals.end() || signals[out].driver == kInvalidModule)
-            throw std::runtime_error("readBench: OUTPUT '" + out + "' is never driven");
+            parseError("readBench: OUTPUT '" + out + "' is never driven");
     for (const auto& [name, sig] : signals)
         if (sig.driver == kInvalidModule)
-            throw std::runtime_error("readBench: signal '" + name + "' used but never driven");
+            parseError("readBench: signal '" + name + "' used but never driven");
 
     HypergraphBuilder b(static_cast<ModuleId>(moduleNames.size()));
     for (std::size_t i = 0; i < moduleNames.size(); ++i)
@@ -121,7 +125,7 @@ Hypergraph readBench(std::istream& in) {
 
 Hypergraph readBenchFile(const std::string& path) {
     std::ifstream in(path);
-    if (!in) throw std::runtime_error("readBenchFile: cannot open " + path);
+    if (!in) parseError("readBenchFile: cannot open " + path);
     return readBench(in);
 }
 

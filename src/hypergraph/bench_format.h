@@ -21,7 +21,7 @@
 
 namespace mlpart {
 
-/// Parses a .bench stream. Throws std::runtime_error on malformed input
+/// Parses a .bench stream. Throws robust::Error (kParseError) on malformed input
 /// (undriven non-input signals, duplicate definitions, syntax errors).
 [[nodiscard]] Hypergraph readBench(std::istream& in);
 [[nodiscard]] Hypergraph readBenchFile(const std::string& path);

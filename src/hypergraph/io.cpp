@@ -1,15 +1,24 @@
 #include "hypergraph/io.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <vector>
 
 #include "hypergraph/builder.h"
+#include "robust/status.h"
 
 namespace mlpart {
 
 namespace {
+
+[[noreturn]] void parseError(const std::string& message) {
+    throw robust::Error(robust::StatusCode::kParseError, message);
+}
+
+// Absolute ceiling on any declared count: ModuleId/NetId are 32-bit and
+// pin bookkeeping multiplies counts, so ids near INT32_MAX would overflow.
+constexpr std::int64_t kMaxDeclaredCount = std::int64_t{1} << 30;
 
 // Reads the next non-comment, non-empty line; returns false on EOF.
 bool nextLine(std::istream& in, std::string& line) {
@@ -22,44 +31,66 @@ bool nextLine(std::istream& in, std::string& line) {
     return false;
 }
 
+// Returns the size of `path` in bytes, or -1 when it cannot be determined
+// (the reader then skips the plausibility caps, not the absolute ones).
+std::int64_t fileSizeHint(const std::string& path) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) return -1;
+    return static_cast<std::int64_t>(size);
+}
+
 } // namespace
 
-Hypergraph readHgr(std::istream& in) {
+Hypergraph readHgr(std::istream& in, std::int64_t sizeHint) {
     std::string line;
-    if (!nextLine(in, line)) throw std::runtime_error("readHgr: empty input");
+    if (!nextLine(in, line)) parseError("readHgr: empty input");
     std::istringstream header(line);
     std::int64_t numNets = 0, numModules = 0;
     int fmt = 0;
-    if (!(header >> numNets >> numModules)) throw std::runtime_error("readHgr: malformed header");
+    if (!(header >> numNets >> numModules)) parseError("readHgr: malformed header");
     header >> fmt; // optional
-    if (numNets < 0 || numModules < 0) throw std::runtime_error("readHgr: negative counts");
-    if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11) throw std::runtime_error("readHgr: unsupported fmt code");
+    if (numNets < 0 || numModules < 0) parseError("readHgr: negative counts");
+    if (numNets > kMaxDeclaredCount || numModules > kMaxDeclaredCount)
+        parseError("readHgr: header count exceeds the 2^30 limit");
+    if (sizeHint >= 0) {
+        // Every net needs its own line (>= 2 bytes); every module weight
+        // line likewise. Reject headers no file of this size could back
+        // *before* the builder allocates per-module storage.
+        if (numNets > sizeHint / 2 + 16)
+            parseError("readHgr: header declares " + std::to_string(numNets) +
+                       " nets, implausible for a " + std::to_string(sizeHint) + "-byte file");
+        if (numModules > 8 * sizeHint + 1024)
+            parseError("readHgr: header declares " + std::to_string(numModules) +
+                       " modules, implausible for a " + std::to_string(sizeHint) + "-byte file");
+    }
+    if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11) parseError("readHgr: unsupported fmt code");
     const bool netWeights = (fmt == 1 || fmt == 11);
     const bool moduleWeights = (fmt == 10 || fmt == 11);
 
     HypergraphBuilder b(static_cast<ModuleId>(numModules));
     std::vector<ModuleId> pins;
     for (std::int64_t e = 0; e < numNets; ++e) {
-        if (!nextLine(in, line)) throw std::runtime_error("readHgr: truncated net list");
+        if (!nextLine(in, line)) parseError("readHgr: truncated net list");
         std::istringstream ls(line);
         Weight w = 1;
-        if (netWeights && !(ls >> w)) throw std::runtime_error("readHgr: missing net weight");
-        if (w < 1) throw std::runtime_error("readHgr: net weight must be >= 1");
+        if (netWeights && !(ls >> w)) parseError("readHgr: missing net weight");
+        if (w < 1) parseError("readHgr: net weight must be >= 1");
         pins.clear();
         std::int64_t id = 0;
         while (ls >> id) {
-            if (id < 1 || id > numModules) throw std::runtime_error("readHgr: pin id out of range");
+            if (id < 1 || id > numModules) parseError("readHgr: pin id out of range");
             pins.push_back(static_cast<ModuleId>(id - 1));
         }
-        if (pins.empty()) throw std::runtime_error("readHgr: net with no pins");
+        if (pins.empty()) parseError("readHgr: net with no pins");
         b.addNet(pins, w);
     }
     if (moduleWeights) {
         for (std::int64_t v = 0; v < numModules; ++v) {
-            if (!nextLine(in, line)) throw std::runtime_error("readHgr: truncated module weights");
+            if (!nextLine(in, line)) parseError("readHgr: truncated module weights");
             std::istringstream ls(line);
             Area a = 0;
-            if (!(ls >> a)) throw std::runtime_error("readHgr: malformed module weight");
+            if (!(ls >> a)) parseError("readHgr: malformed module weight");
             b.setArea(static_cast<ModuleId>(v), a);
         }
     }
@@ -68,8 +99,8 @@ Hypergraph readHgr(std::istream& in) {
 
 Hypergraph readHgrFile(const std::string& path) {
     std::ifstream in(path);
-    if (!in) throw std::runtime_error("readHgrFile: cannot open " + path);
-    return readHgr(in);
+    if (!in) parseError("readHgrFile: cannot open " + path);
+    return readHgr(in, fileSizeHint(path));
 }
 
 void writeHgr(const Hypergraph& h, std::ostream& out) {
@@ -100,7 +131,7 @@ void writeHgr(const Hypergraph& h, std::ostream& out) {
 
 void writeHgrFile(const Hypergraph& h, const std::string& path) {
     std::ofstream out(path);
-    if (!out) throw std::runtime_error("writeHgrFile: cannot open " + path);
+    if (!out) throw robust::Error(robust::StatusCode::kUsage, "writeHgrFile: cannot open " + path);
     writeHgr(h, out);
 }
 
@@ -110,7 +141,8 @@ void writePartition(const Partition& part, std::ostream& out) {
 
 void writePartitionFile(const Partition& part, const std::string& path) {
     std::ofstream out(path);
-    if (!out) throw std::runtime_error("writePartitionFile: cannot open " + path);
+    if (!out)
+        throw robust::Error(robust::StatusCode::kUsage, "writePartitionFile: cannot open " + path);
     writePartition(part, out);
 }
 
@@ -122,20 +154,20 @@ Partition readPartition(const Hypergraph& h, std::istream& in, PartId k) {
     while (static_cast<ModuleId>(assign.size()) < h.numModules() && nextLine(in, line)) {
         std::istringstream ls(line);
         PartId p = 0;
-        if (!(ls >> p) || p < 0) throw std::runtime_error("readPartition: malformed block id");
+        if (!(ls >> p) || p < 0) parseError("readPartition: malformed block id");
         maxSeen = std::max(maxSeen, p);
         assign.push_back(p);
     }
     if (static_cast<ModuleId>(assign.size()) != h.numModules())
-        throw std::runtime_error("readPartition: truncated partition file");
+        parseError("readPartition: truncated partition file");
     const PartId effectiveK = k > 0 ? k : maxSeen + 1;
-    if (maxSeen >= effectiveK) throw std::runtime_error("readPartition: block id exceeds k");
+    if (maxSeen >= effectiveK) parseError("readPartition: block id exceeds k");
     return {h, effectiveK, std::move(assign)};
 }
 
 Partition readPartitionFile(const Hypergraph& h, const std::string& path, PartId k) {
     std::ifstream in(path);
-    if (!in) throw std::runtime_error("readPartitionFile: cannot open " + path);
+    if (!in) parseError("readPartitionFile: cannot open " + path);
     return readPartition(h, in, k);
 }
 

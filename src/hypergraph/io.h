@@ -13,6 +13,7 @@
 // instead of the synthetic stand-ins.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -21,9 +22,17 @@
 
 namespace mlpart {
 
-/// Parses an .hgr stream. Throws std::runtime_error on malformed input.
-[[nodiscard]] Hypergraph readHgr(std::istream& in);
-/// Parses an .hgr file by path. Throws std::runtime_error if unreadable.
+/// Parses an .hgr stream. Throws robust::Error with StatusCode::kParseError
+/// (a std::runtime_error) on malformed input.
+///
+/// `sizeHint` is the input size in bytes when known (readHgrFile passes the
+/// file size): header counts implying more nets/modules than a file of that
+/// size could possibly describe are rejected *before* any allocation, so a
+/// hostile header cannot trigger a multi-gigabyte reserve. Counts are
+/// always capped at 2^30 regardless of the hint (ModuleId/NetId are
+/// 32-bit). Pass -1 (default) when the size is unknown.
+[[nodiscard]] Hypergraph readHgr(std::istream& in, std::int64_t sizeHint = -1);
+/// Parses an .hgr file by path. Throws robust::Error if unreadable.
 [[nodiscard]] Hypergraph readHgrFile(const std::string& path);
 
 /// Writes `h` in .hgr format. Net weights are emitted (fmt=1) when any net
@@ -39,7 +48,7 @@ void writePartitionFile(const Partition& part, const std::string& path);
 
 /// Reads an hMETIS-format partition for `h` (one block id per module
 /// line); k is inferred as max id + 1 unless `k` > 0 forces it. Throws
-/// std::runtime_error on malformed or truncated input.
+/// robust::Error (kParseError) on malformed or truncated input.
 [[nodiscard]] Partition readPartition(const Hypergraph& h, std::istream& in, PartId k = 0);
 [[nodiscard]] Partition readPartitionFile(const Hypergraph& h, const std::string& path, PartId k = 0);
 

@@ -1,16 +1,31 @@
 #include "hypergraph/netd_format.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
 #include "hypergraph/builder.h"
+#include "robust/status.h"
 
 namespace mlpart {
 
 namespace {
+
+[[noreturn]] void parseError(const std::string& message) {
+    throw robust::Error(robust::StatusCode::kParseError, message);
+}
+
+// ModuleId/NetId are 32-bit; counts beyond this would overflow ids.
+constexpr std::int64_t kMaxDeclaredCount = std::int64_t{1} << 30;
+
+std::int64_t fileSizeHint(const std::string& path) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) return -1;
+    return static_cast<std::int64_t>(size);
+}
 
 struct ParsedNetD {
     std::vector<std::string> names;
@@ -18,18 +33,26 @@ struct ParsedNetD {
     std::unordered_map<std::string, ModuleId> idOf;
 };
 
-ParsedNetD parseNetDBody(std::istream& in) {
+ParsedNetD parseNetDBody(std::istream& in, std::int64_t sizeHint) {
     std::int64_t magic = 0, numPins = 0, numNets = 0, numModules = 0, padOffset = 0;
     if (!(in >> magic >> numPins >> numNets >> numModules >> padOffset))
-        throw std::runtime_error("readNetD: malformed header");
+        parseError("readNetD: malformed header");
     if (numPins < 0 || numNets < 0 || numModules < 1)
-        throw std::runtime_error("readNetD: nonsensical header counts");
+        parseError("readNetD: nonsensical header counts");
+    if (numPins > kMaxDeclaredCount || numNets > kMaxDeclaredCount ||
+        numModules > kMaxDeclaredCount)
+        parseError("readNetD: header count exceeds the 2^30 limit");
+    // Every pin takes a "<name> <s|l>" record of at least 4 bytes; reject
+    // headers no file of this size could back before parsing the body.
+    if (sizeHint >= 0 && numPins > sizeHint / 3 + 16)
+        parseError("readNetD: header declares " + std::to_string(numPins) +
+                   " pins, implausible for a " + std::to_string(sizeHint) + "-byte file");
 
     ParsedNetD parsed;
     std::string name, flag, direction;
     std::int64_t pinsSeen = 0;
     while (in >> name >> flag) {
-        if (flag != "s" && flag != "l") throw std::runtime_error("readNetD: pin flag must be 's' or 'l'");
+        if (flag != "s" && flag != "l") parseError("readNetD: pin flag must be 's' or 'l'");
         // Optional direction letter (I/O/B) may follow on the same line.
         const auto peekPos = in.tellg();
         if (in >> direction) {
@@ -42,18 +65,18 @@ ParsedNetD parseNetDBody(std::istream& in) {
         auto [it, inserted] = parsed.idOf.emplace(name, static_cast<ModuleId>(parsed.names.size()));
         if (inserted) parsed.names.push_back(name);
         if (flag == "s") parsed.nets.emplace_back();
-        if (parsed.nets.empty()) throw std::runtime_error("readNetD: first pin must start a net");
+        if (parsed.nets.empty()) parseError("readNetD: first pin must start a net");
         parsed.nets.back().push_back(it->second);
         ++pinsSeen;
     }
     if (pinsSeen != numPins)
-        throw std::runtime_error("readNetD: header declares " + std::to_string(numPins) +
-                                 " pins, file contains " + std::to_string(pinsSeen));
+        parseError("readNetD: header declares " + std::to_string(numPins) +
+                   " pins, file contains " + std::to_string(pinsSeen));
     if (static_cast<std::int64_t>(parsed.nets.size()) != numNets)
-        throw std::runtime_error("readNetD: header declares " + std::to_string(numNets) +
-                                 " nets, file contains " + std::to_string(parsed.nets.size()));
+        parseError("readNetD: header declares " + std::to_string(numNets) +
+                   " nets, file contains " + std::to_string(parsed.nets.size()));
     if (static_cast<std::int64_t>(parsed.names.size()) > numModules)
-        throw std::runtime_error("readNetD: more distinct cell names than header modules");
+        parseError("readNetD: more distinct cell names than header modules");
     return parsed;
 }
 
@@ -66,7 +89,7 @@ Hypergraph buildFrom(const ParsedNetD& parsed,
         for (const auto& [name, area] : *areas) {
             const auto it = parsed.idOf.find(name);
             if (it == parsed.idOf.end())
-                throw std::runtime_error("readNetD: .are names unknown cell '" + name + "'");
+                parseError("readNetD: .are names unknown cell '" + name + "'");
             b.setArea(it->second, area);
         }
     }
@@ -80,7 +103,7 @@ std::unordered_map<std::string, Area> parseAre(std::istream& in) {
     std::string name;
     Area area = 0;
     while (in >> name >> area) {
-        if (area < 0) throw std::runtime_error("readNetD: negative area for '" + name + "'");
+        if (area < 0) parseError("readNetD: negative area for '" + name + "'");
         areas[name] = area;
     }
     return areas;
@@ -88,21 +111,21 @@ std::unordered_map<std::string, Area> parseAre(std::istream& in) {
 
 } // namespace
 
-Hypergraph readNetD(std::istream& in) {
-    const ParsedNetD parsed = parseNetDBody(in);
+Hypergraph readNetD(std::istream& in, std::int64_t sizeHint) {
+    const ParsedNetD parsed = parseNetDBody(in, sizeHint);
     return buildFrom(parsed, nullptr);
 }
 
-Hypergraph readNetD(std::istream& netStream, std::istream& areaStream) {
-    const ParsedNetD parsed = parseNetDBody(netStream);
+Hypergraph readNetD(std::istream& netStream, std::istream& areaStream, std::int64_t sizeHint) {
+    const ParsedNetD parsed = parseNetDBody(netStream, sizeHint);
     const auto areas = parseAre(areaStream);
     return buildFrom(parsed, &areas);
 }
 
 Hypergraph readNetDFile(const std::string& path) {
     std::ifstream in(path);
-    if (!in) throw std::runtime_error("readNetDFile: cannot open " + path);
-    return readNetD(in);
+    if (!in) parseError("readNetDFile: cannot open " + path);
+    return readNetD(in, fileSizeHint(path));
 }
 
 namespace {
@@ -136,22 +159,22 @@ void writeAre(const Hypergraph& h, std::ostream& out) {
 
 void writeNetDFile(const Hypergraph& h, const std::string& path) {
     std::ofstream out(path);
-    if (!out) throw std::runtime_error("writeNetDFile: cannot open " + path);
+    if (!out) throw robust::Error(robust::StatusCode::kUsage, "writeNetDFile: cannot open " + path);
     writeNetD(h, out);
 }
 
 void writeAreFile(const Hypergraph& h, const std::string& path) {
     std::ofstream out(path);
-    if (!out) throw std::runtime_error("writeAreFile: cannot open " + path);
+    if (!out) throw robust::Error(robust::StatusCode::kUsage, "writeAreFile: cannot open " + path);
     writeAre(h, out);
 }
 
 Hypergraph readNetDFile(const std::string& netPath, const std::string& arePath) {
     std::ifstream netIn(netPath);
-    if (!netIn) throw std::runtime_error("readNetDFile: cannot open " + netPath);
+    if (!netIn) parseError("readNetDFile: cannot open " + netPath);
     std::ifstream areIn(arePath);
-    if (!areIn) throw std::runtime_error("readNetDFile: cannot open " + arePath);
-    return readNetD(netIn, areIn);
+    if (!areIn) parseError("readNetDFile: cannot open " + arePath);
+    return readNetD(netIn, areIn, fileSizeHint(netPath));
 }
 
 } // namespace mlpart

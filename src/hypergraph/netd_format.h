@@ -16,6 +16,7 @@
 // .are layout: "<name> <area>" per line.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -23,14 +24,21 @@
 
 namespace mlpart {
 
-/// Parses a .netD stream (areas default to 1). Throws std::runtime_error
-/// on malformed input or counts that do not match the header.
-[[nodiscard]] Hypergraph readNetD(std::istream& in);
+/// Parses a .netD stream (areas default to 1). Throws robust::Error with
+/// StatusCode::kParseError (a std::runtime_error) on malformed input or
+/// counts that do not match the header.
+///
+/// `sizeHint` is the input size in bytes when known (readNetDFile passes
+/// the file size): a header pin count no file of that size could back is
+/// rejected up front, and all counts are capped at 2^30 regardless
+/// (ModuleId/NetId are 32-bit). Pass -1 (default) when unknown.
+[[nodiscard]] Hypergraph readNetD(std::istream& in, std::int64_t sizeHint = -1);
 [[nodiscard]] Hypergraph readNetDFile(const std::string& path);
 
 /// Parses a .netD plus its companion .are stream (module areas).
 /// Names present in the .are stream but not the netlist are an error.
-[[nodiscard]] Hypergraph readNetD(std::istream& netStream, std::istream& areaStream);
+[[nodiscard]] Hypergraph readNetD(std::istream& netStream, std::istream& areaStream,
+                                  std::int64_t sizeHint = -1);
 [[nodiscard]] Hypergraph readNetDFile(const std::string& netPath, const std::string& arePath);
 
 /// Writes `h` in .netD format (padOffset 0; unnamed modules are emitted as

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "robust/fault_injector.h"
+
 #if MLPART_CHECK_INVARIANTS
 #include "check/check_result.h"
 #include "check/verify_gains.h"
@@ -259,6 +261,7 @@ void KWayFMRefiner::undoMoves(std::size_t n, Partition& part) {
 }
 
 Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) {
+    MLPART_FAULT_SITE("refine.kway.pass");
     buildBuckets(part);
     // Cache the real gains the buckets were built with (for CLIP deltas).
     realGain_.assign(static_cast<std::size_t>(h_.numModules()) * static_cast<std::size_t>(k_), 0);
@@ -279,7 +282,14 @@ Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std:
     Weight cumGain = 0;
     Weight bestGain = 0;
     std::size_t bestIdx = 0;
+    std::int64_t untilDeadlineCheck = 0;
     while (true) {
+        // Cooperative budget: bail between moves; the best-prefix rollback
+        // below keeps the partition valid regardless of where we stop.
+        if (!deadline_.unlimited() && --untilDeadlineCheck <= 0) {
+            if (deadline_.expired()) break;
+            untilDeadlineCheck = 64;
+        }
         ModuleId bestV = kInvalidModule;
         PartId bestTo = kInvalidPart;
         Weight bestDisplayed = 0;
@@ -365,6 +375,7 @@ Weight KWayFMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::
 
     lastPassCount_ = 0;
     for (int pass = 0; pass < cfg_.maxPasses; ++pass) {
+        if (!deadline_.unlimited() && deadline_.expired()) break;
         // Pre-assigned (fixed) modules stay locked through every pass.
         if (cfg_.fixed.empty()) std::fill(locked_.begin(), locked_.end(), 0);
         else std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_.begin());

@@ -28,6 +28,7 @@ public:
     Weight refine(Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) override;
 
     [[nodiscard]] int lastPassCount() const override { return lastPassCount_; }
+    void setDeadline(const robust::Deadline& deadline) override { deadline_ = deadline; }
     /// Final value of the configured objective after the last refine().
     [[nodiscard]] Weight lastObjective() const { return curObjective_; }
 
@@ -60,6 +61,7 @@ private:
     const Hypergraph& h_;
     KWayConfig cfg_;
     PartId k_ = 0;
+    robust::Deadline deadline_;
 
     /// Sanchis level-`depth` lookahead gain for moving v to q (depth >= 2).
     [[nodiscard]] Weight lookaheadGain(ModuleId v, PartId q, int depth, const Partition& part) const;

@@ -4,12 +4,21 @@
 #include <stdexcept>
 #include <string>
 
+#include "robust/fault_injector.h"
+
 #if MLPART_CHECK_INVARIANTS
 #include "check/check_result.h"
 #include "check/verify_gains.h"
 #endif
 
 namespace mlpart {
+
+namespace {
+/// Deadline poll cadence inside a pass: a clock read every this many
+/// selected moves. Coarse enough to be free, fine enough that a pass
+/// overshoots an expired budget by at most a few dozen moves.
+constexpr std::int64_t kDeadlineStride = 64;
+} // namespace
 
 #if MLPART_CHECK_INVARIANTS
 namespace {
@@ -309,6 +318,7 @@ void FMRefiner::undoMoves(std::size_t count, Partition& part) {
 }
 
 Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) {
+    MLPART_FAULT_SITE("refine.fm.pass");
     buildBuckets(part);
 #if MLPART_CHECK_INVARIANTS
     auditGainState(part, "FMRefiner::buildBuckets");
@@ -321,7 +331,14 @@ Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt1
     int backtracks = 0;
     const std::size_t movable = static_cast<std::size_t>(bucket_[0]->size() + bucket_[1]->size());
 
+    std::int64_t untilDeadlineCheck = 0;
     while (true) {
+        // Cooperative budget: bail between moves; the best-prefix rollback
+        // below keeps the partition valid regardless of where we stop.
+        if (!deadline_.unlimited() && --untilDeadlineCheck <= 0) {
+            if (deadline_.expired()) break;
+            untilDeadlineCheck = kDeadlineStride;
+        }
         const ModuleId v = selectMove(part, bc, rng);
         if (v == kInvalidModule) break;
         const PartId from = part.part(v);
@@ -393,6 +410,7 @@ Weight FMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::mt19
     lastPassCount_ = 0;
     lastMoveCount_ = 0;
     for (int pass = 0; pass < cfg_.maxPasses; ++pass) {
+        if (!deadline_.unlimited() && deadline_.expired()) break;
         // Pre-assigned (fixed) modules stay locked through every pass.
         if (cfg_.fixed.empty()) std::fill(locked_.begin(), locked_.end(), 0);
         else std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_.begin());

@@ -30,6 +30,7 @@ public:
     Weight refine(Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) override;
 
     [[nodiscard]] int lastPassCount() const override { return lastPassCount_; }
+    void setDeadline(const robust::Deadline& deadline) override { deadline_ = deadline; }
     /// Accepted (not rolled back) moves across all passes of the last run.
     [[nodiscard]] std::int64_t lastMoveCount() const { return lastMoveCount_; }
     /// Nets skipped during refinement because they exceed maxNetSize.
@@ -68,6 +69,7 @@ private:
 
     const Hypergraph& h_;
     FMConfig cfg_;
+    robust::Deadline deadline_;
 
     // Per-refine() working state.
     std::vector<char> activeNet_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "hypergraph/partition.h"
+#include "robust/deadline.h"
 
 namespace mlpart {
 
@@ -25,6 +26,12 @@ public:
 
     /// Number of passes executed by the most recent refine() call.
     [[nodiscard]] virtual int lastPassCount() const = 0;
+
+    /// Cooperative wall-clock budget for subsequent refine() calls. An
+    /// expired deadline makes refine() roll back to the best accepted move
+    /// prefix and return early — the partition stays valid and balanced.
+    /// Engines that ignore deadlines simply run to completion.
+    virtual void setDeadline(const robust::Deadline& deadline) { (void)deadline; }
 };
 
 /// Creates a refiner bound to a hypergraph; used by the multilevel driver

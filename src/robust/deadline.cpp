@@ -1,0 +1,38 @@
+#include "robust/deadline.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mlpart::robust {
+
+Deadline Deadline::after(double seconds) {
+    if (seconds < 0.0) seconds = 0.0;
+    return at(clock::now() + std::chrono::duration_cast<clock::duration>(
+                                 std::chrono::duration<double>(seconds)));
+}
+
+Deadline Deadline::at(clock::time_point t) {
+    Deadline d;
+    d.timed_ = true;
+    d.end_ = t;
+    return d;
+}
+
+double Deadline::remainingSeconds() const {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) return 0.0;
+    if (!timed_) return std::numeric_limits<double>::infinity();
+    const double s = std::chrono::duration<double>(end_ - clock::now()).count();
+    return s > 0.0 ? s : 0.0;
+}
+
+Deadline Deadline::earlier(const Deadline& a, const Deadline& b) {
+    Deadline d;
+    d.timed_ = a.timed_ || b.timed_;
+    if (a.timed_ && b.timed_) d.end_ = std::min(a.end_, b.end_);
+    else if (a.timed_) d.end_ = a.end_;
+    else d.end_ = b.end_;
+    d.cancel_ = a.cancel_ != nullptr ? a.cancel_ : b.cancel_;
+    return d;
+}
+
+} // namespace mlpart::robust

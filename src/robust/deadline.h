@@ -1,0 +1,57 @@
+// Cooperative wall-clock budget (deadline) for the execution stack.
+//
+// A Deadline is a cheap copyable value checked at phase boundaries (level
+// transitions, V-cycle starts, multi-start claims) and inside refinement
+// pass loops (every few dozen moves). Expiry never aborts: each layer
+// finishes the minimum work needed to keep its result *valid* (roll back
+// to the best move prefix, project + rebalance remaining levels) and
+// returns the best solution found so far. See DESIGN.md §8 for the exact
+// per-layer semantics.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace mlpart::robust {
+
+class Deadline {
+public:
+    using clock = std::chrono::steady_clock;
+
+    /// Default-constructed deadlines never expire and cost one branch to
+    /// check (no clock read).
+    Deadline() = default;
+
+    [[nodiscard]] static Deadline never() { return {}; }
+    /// Expires `seconds` of wall-clock time after the call.
+    [[nodiscard]] static Deadline after(double seconds);
+    [[nodiscard]] static Deadline at(clock::time_point t);
+
+    /// Also trips when *flag becomes true — the CLI binds its SIGINT /
+    /// SIGTERM flag here so an interrupt behaves exactly like an expired
+    /// budget (best-so-far salvage included). The flag must outlive every
+    /// copy of this deadline.
+    void bindCancelFlag(const std::atomic<bool>* flag) { cancel_ = flag; }
+
+    /// No time bound and no cancel flag: expired() is constant false.
+    [[nodiscard]] bool unlimited() const { return !timed_ && cancel_ == nullptr; }
+
+    [[nodiscard]] bool expired() const {
+        if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) return true;
+        return timed_ && clock::now() >= end_;
+    }
+
+    /// Seconds left; +infinity when untimed, 0 when already expired.
+    [[nodiscard]] double remainingSeconds() const;
+
+    /// The tighter of two deadlines. A cancel flag is inherited from `a`
+    /// when present, else from `b`.
+    [[nodiscard]] static Deadline earlier(const Deadline& a, const Deadline& b);
+
+private:
+    bool timed_ = false;
+    clock::time_point end_{};
+    const std::atomic<bool>* cancel_ = nullptr;
+};
+
+} // namespace mlpart::robust

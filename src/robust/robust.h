@@ -1,0 +1,9 @@
+// Umbrella header for the fault-tolerant execution layer. See DESIGN.md §8
+// for the fault model, deadline semantics, site naming scheme, and the
+// CLI exit-code table.
+#pragma once
+
+#include "robust/deadline.h"
+#include "robust/fault_injector.h"
+#include "robust/run_report.h"
+#include "robust/status.h"

@@ -1,0 +1,45 @@
+#include "robust/run_report.h"
+
+namespace mlpart::robust {
+
+const char* startStatusName(StartStatus s) {
+    switch (s) {
+        case StartStatus::kOk: return "ok";
+        case StartStatus::kRetriedOk: return "ok-after-retry";
+        case StartStatus::kFailed: return "failed";
+        case StartStatus::kSkippedDeadline: return "skipped-deadline";
+    }
+    return "unknown";
+}
+
+namespace {
+int countIf(const std::vector<StartRecord>& starts, StartStatus s) {
+    int n = 0;
+    for (const StartRecord& r : starts)
+        if (r.status == s) ++n;
+    return n;
+}
+} // namespace
+
+int RunReport::succeeded() const {
+    return countIf(starts, StartStatus::kOk) + countIf(starts, StartStatus::kRetriedOk);
+}
+int RunReport::retried() const { return countIf(starts, StartStatus::kRetriedOk); }
+int RunReport::failed() const { return countIf(starts, StartStatus::kFailed); }
+int RunReport::skipped() const { return countIf(starts, StartStatus::kSkippedDeadline); }
+
+std::string RunReport::summary() const {
+    std::string s = std::to_string(starts.size()) + " starts: " +
+                    std::to_string(succeeded()) + " ok";
+    if (retried() > 0) s += " (" + std::to_string(retried()) + " after retry)";
+    if (failed() > 0) s += ", " + std::to_string(failed()) + " failed";
+    if (skipped() > 0) s += ", " + std::to_string(skipped()) + " skipped (deadline)";
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+        if (starts[i].status != StartStatus::kFailed) continue;
+        s += "\n  start " + std::to_string(i) + " failed after " +
+             std::to_string(starts[i].attempts) + " attempt(s): " + starts[i].error.toString();
+    }
+    return s;
+}
+
+} // namespace mlpart::robust

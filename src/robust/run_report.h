@@ -1,0 +1,48 @@
+// Structured run report for partial-result (best-so-far) semantics.
+//
+// parallelMultiStart fills one StartRecord per requested start so callers
+// can see exactly what happened to every run: finished cleanly, finished
+// after a reseeded retry, died after all attempts, or was never started
+// because the deadline had passed. The CLI prints summary() when anything
+// was lost; tests assert on the individual records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "robust/status.h"
+
+namespace mlpart::robust {
+
+enum class StartStatus {
+    kOk,              ///< first attempt produced a verified result
+    kRetriedOk,       ///< a reseeded retry produced a verified result
+    kFailed,          ///< every attempt threw or failed verification
+    kSkippedDeadline, ///< never started: deadline already expired
+};
+
+[[nodiscard]] const char* startStatusName(StartStatus s);
+
+struct StartRecord {
+    StartStatus status = StartStatus::kSkippedDeadline;
+    std::int64_t cut = 0;   ///< final cut weight (valid for ok/retried)
+    int attempts = 0;       ///< attempts actually made
+    Status error;           ///< last failure (valid for failed / retried)
+};
+
+struct RunReport {
+    std::vector<StartRecord> starts; ///< indexed by run id
+    bool deadlineHit = false;        ///< budget expired before all starts ran
+
+    [[nodiscard]] int succeeded() const;
+    [[nodiscard]] int retried() const;  ///< succeeded on a retry attempt
+    [[nodiscard]] int failed() const;
+    [[nodiscard]] int skipped() const;
+
+    /// One line per interesting event plus a counts header, e.g.
+    ///   "8 starts: 6 ok (1 after retry), 1 failed, 1 skipped (deadline)".
+    [[nodiscard]] std::string summary() const;
+};
+
+} // namespace mlpart::robust

@@ -1,0 +1,56 @@
+#include "robust/status.h"
+
+#include <new>
+
+namespace mlpart::robust {
+
+const char* statusCodeName(StatusCode code) {
+    switch (code) {
+        case StatusCode::kOk: return "OK";
+        case StatusCode::kUsage: return "USAGE";
+        case StatusCode::kParseError: return "PARSE_ERROR";
+        case StatusCode::kInfeasible: return "INFEASIBLE";
+        case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+        case StatusCode::kAllStartsFailed: return "ALL_STARTS_FAILED";
+        case StatusCode::kInjectedFault: return "INJECTED_FAULT";
+        case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+        case StatusCode::kInterrupted: return "INTERRUPTED";
+        case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+int exitCodeFor(StatusCode code) {
+    switch (code) {
+        case StatusCode::kOk: return 0;
+        case StatusCode::kUsage: return 2;
+        case StatusCode::kParseError: return 3;
+        case StatusCode::kInfeasible: return 4;
+        case StatusCode::kDeadlineExceeded: return 5;
+        case StatusCode::kAllStartsFailed: return 6;
+        case StatusCode::kResourceExhausted: return 7;
+        case StatusCode::kInterrupted: return 130; // 128 + SIGINT, the shell convention
+        case StatusCode::kInjectedFault:
+        case StatusCode::kInternal: return 1;
+    }
+    return 1;
+}
+
+std::string Status::toString() const {
+    if (ok()) return "OK";
+    std::string s = statusCodeName(code);
+    if (!message.empty()) {
+        s += ": ";
+        s += message;
+    }
+    return s;
+}
+
+Status statusOf(const std::exception& e) {
+    if (const auto* err = dynamic_cast<const Error*>(&e)) return err->status();
+    if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr)
+        return {StatusCode::kResourceExhausted, "allocation failure"};
+    return {StatusCode::kInternal, e.what()};
+}
+
+} // namespace mlpart::robust

@@ -1,0 +1,72 @@
+// Error taxonomy for the fault-tolerant execution layer (src/robust).
+//
+// Library code distinguishes *outcomes* (a Status value attached to a run
+// report) from *control flow* (an Error exception thrown across an API
+// boundary). Error derives from std::runtime_error so existing callers
+// that catch the standard hierarchy keep working; new callers switch on
+// code() instead of parsing what() strings. The CLI maps every code to a
+// distinct process exit code (see exitCodeFor and DESIGN.md §8).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mlpart::robust {
+
+/// Canonical failure classes. Keep this list small: a code is only worth
+/// adding when some caller would *act differently* on it.
+enum class StatusCode {
+    kOk = 0,
+    kUsage,              ///< bad command line / bad API call shape
+    kParseError,         ///< malformed or hostile input file
+    kInfeasible,         ///< balance constraint cannot be met
+    kDeadlineExceeded,   ///< cooperative budget ran out (result may be partial)
+    kAllStartsFailed,    ///< every multi-start worker died; nothing to salvage
+    kInjectedFault,      ///< deterministic fault-injection site fired
+    kResourceExhausted,  ///< allocation failure (real or simulated)
+    kInterrupted,        ///< SIGINT/SIGTERM; best-so-far was emitted
+    kInternal,           ///< invariant violation or unclassified exception
+};
+
+/// Stable upper-case identifier, e.g. "PARSE_ERROR".
+[[nodiscard]] const char* statusCodeName(StatusCode code);
+
+/// Process exit code for the CLI: 0 ok, 2 usage, 3 parse error,
+/// 4 infeasible, 5 deadline, 6 all starts failed, 7 resource exhausted,
+/// 130 interrupted, 1 everything else.
+[[nodiscard]] int exitCodeFor(StatusCode code);
+
+/// Value-type outcome: a code plus a human-readable message. Used in run
+/// reports where a failure must be recorded without unwinding the stack.
+struct Status {
+    StatusCode code = StatusCode::kOk;
+    std::string message;
+
+    [[nodiscard]] bool ok() const { return code == StatusCode::kOk; }
+    [[nodiscard]] std::string toString() const;
+
+    [[nodiscard]] static Status okStatus() { return {}; }
+    [[nodiscard]] static Status error(StatusCode c, std::string msg) {
+        return {c, std::move(msg)};
+    }
+};
+
+/// Exception carrying a StatusCode across API boundaries. Derives from
+/// std::runtime_error so legacy catch sites continue to work.
+class Error : public std::runtime_error {
+public:
+    Error(StatusCode code, const std::string& message)
+        : std::runtime_error(message), code_(code) {}
+
+    [[nodiscard]] StatusCode code() const { return code_; }
+    [[nodiscard]] Status status() const { return {code_, what()}; }
+
+private:
+    StatusCode code_;
+};
+
+/// Classifies a caught exception into a Status: Error keeps its code,
+/// std::bad_alloc maps to kResourceExhausted, anything else to kInternal.
+[[nodiscard]] Status statusOf(const std::exception& e);
+
+} // namespace mlpart::robust

@@ -8,17 +8,26 @@
 // incremental updates. The driver is deterministic given --seed: every
 // random decision flows from one std::mt19937_64.
 //
-// Usage: fuzz_invariants [--iterations N] [--seed S] [--modules M] [--verbose]
+// With --inject, every iteration additionally arms the deterministic
+// fault injector (random seed/probability/kind, all sites) and asserts
+// that the run either completes with a verified partition or fails with a
+// *structured* error (robust::Error or std::bad_alloc) — any other escape
+// or crash is a robustness bug.
+//
+// Usage: fuzz_invariants [--iterations N] [--seed S] [--modules M]
+//                        [--inject] [--verbose]
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <random>
 #include <string>
 
 #include "check/check.h"
 #include "core/multilevel.h"
+#include "core/parallel_multistart.h"
 #include "gen/grid_generator.h"
 #include "gen/random_hypergraph.h"
 #include "gen/rent_generator.h"
@@ -26,6 +35,8 @@
 #include "kway/kway_refiner.h"
 #include "refine/fm_refiner.h"
 #include "refine/multistart.h"
+#include "robust/fault_injector.h"
+#include "robust/status.h"
 
 namespace {
 
@@ -35,12 +46,13 @@ struct Options {
     int iterations = 50;
     std::uint64_t seed = 1;
     ModuleId modules = 220; ///< upper bound on instance size
+    bool inject = false;    ///< randomly arm the fault injector per iteration
     bool verbose = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--iterations N] [--seed S] [--modules M] [--verbose]\n",
+                 "usage: %s [--iterations N] [--seed S] [--modules M] [--inject] [--verbose]\n",
                  argv0);
     std::exit(2);
 }
@@ -56,6 +68,7 @@ Options parseArgs(int argc, char** argv) {
         if (a == "--iterations") opt.iterations = std::atoi(value());
         else if (a == "--seed") opt.seed = std::strtoull(value(), nullptr, 10);
         else if (a == "--modules") opt.modules = std::atoi(value());
+        else if (a == "--inject") opt.inject = true;
         else if (a == "--verbose") opt.verbose = true;
         else usage(argv[0]);
     }
@@ -170,25 +183,76 @@ void fuzzMultilevel(const Hypergraph& h, std::mt19937_64& rng) {
     verifyResult(h, res.partition, bc, res.cut, "fuzz multilevel");
 }
 
+/// Multi-start with per-start isolation: under injection the driver must
+/// salvage a verified best-so-far result or throw kAllStartsFailed — the
+/// caller decides which outcomes are acceptable.
+void fuzzMultiStart(const Hypergraph& h, std::mt19937_64& rng) {
+    MLConfig cfg;
+    cfg.matchingRatio = 0.5;
+    MultilevelPartitioner ml(cfg, makeFMFactory(randomFMConfig(rng)));
+    MultiStartConfig ms;
+    ms.runs = 2 + static_cast<int>(rng() % 4);
+    ms.threads = 1 + static_cast<int>(rng() % 3);
+    ms.seed = rng();
+    const MultiStartOutcome out = parallelMultiStart(h, ml, ms);
+    const auto bc = BalanceConstraint::forRefinement(h, 2, cfg.tolerance);
+    verifyResult(h, out.best, bc, out.bestCut, "fuzz multistart");
+}
+
+/// Random injection schedule for one iteration, derived from `rng` alone.
+robust::FaultPlan randomFaultPlan(std::mt19937_64& rng) {
+    robust::FaultPlan plan;
+    plan.seed = rng();
+    plan.probability = 0.02 + 0.18 * std::uniform_real_distribution<>(0, 1)(rng);
+    plan.kind = (rng() % 4 == 0) ? robust::FaultKind::kBadAlloc : robust::FaultKind::kThrow;
+    return plan; // all sites eligible
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
     const Options opt = parseArgs(argc, argv);
+    robust::FaultInjector& injector = robust::FaultInjector::instance();
+    injector.armFromEnv(); // environment spec wins until the first --inject re-arm
     std::mt19937_64 rng(opt.seed);
+    int faulted = 0;
     for (int it = 0; it < opt.iterations; ++it) {
         std::string label;
         const Hypergraph h = makeCircuit(opt.modules, rng, label);
-        const int mode = static_cast<int>(rng() % 3);
+        const int mode = static_cast<int>(rng() % 4);
+        if (opt.inject) injector.arm(randomFaultPlan(rng));
         if (opt.verbose)
             std::fprintf(stderr, "iter %d: %s mode=%s\n", it, label.c_str(),
-                         mode == 0 ? "flat2" : mode == 1 ? "flatK" : "ml");
-        switch (mode) {
-            case 0: fuzzFlatBipartition(h, rng); break;
-            case 1: fuzzFlatKWay(h, rng); break;
-            default: fuzzMultilevel(h, rng); break;
+                         mode == 0   ? "flat2"
+                         : mode == 1 ? "flatK"
+                         : mode == 2 ? "ml"
+                                     : "multistart");
+        try {
+            switch (mode) {
+                case 0: fuzzFlatBipartition(h, rng); break;
+                case 1: fuzzFlatKWay(h, rng); break;
+                case 2: fuzzMultilevel(h, rng); break;
+                default: fuzzMultiStart(h, rng); break;
+            }
+        } catch (const robust::Error& e) {
+            // Structured failure — the only acceptable way to not finish.
+            // Anything else (foreign exception, abort, sanitizer report)
+            // escapes and fails the run.
+            ++faulted;
+            if (opt.verbose)
+                std::fprintf(stderr, "iter %d: structured failure: %s\n", it, e.what());
+        } catch (const std::bad_alloc&) {
+            ++faulted; // simulated allocation failure surfaced intact
+            if (opt.verbose) std::fprintf(stderr, "iter %d: bad_alloc surfaced\n", it);
         }
+        if (opt.inject) injector.disarm();
     }
-    std::printf("fuzz_invariants: %d iterations clean (seed %llu)\n", opt.iterations,
-                static_cast<unsigned long long>(opt.seed));
+    if (opt.inject)
+        std::printf("fuzz_invariants: %d iterations clean under injection "
+                    "(%d structured failures, seed %llu)\n",
+                    opt.iterations, faulted, static_cast<unsigned long long>(opt.seed));
+    else
+        std::printf("fuzz_invariants: %d iterations clean (seed %llu)\n", opt.iterations,
+                    static_cast<unsigned long long>(opt.seed));
     return 0;
 }

@@ -4,16 +4,24 @@
 //   mlpart partition  <netlist> [options]            k-way ML partitioning
 //   mlpart spectral   <netlist> [options]            spectral bisection
 //   mlpart place      <netlist> [options]            top-down row placement
-//   mlpart convert    <netlist> <out.hgr>            format conversion
+//   mlpart convert    <netlist> <out.hgr|out.netD>   format conversion
 //   mlpart gen        <benchmark|rent> [options]     synthetic circuit
 //
 // Netlist formats are auto-detected by extension: .hgr (hMETIS),
 // .bench (ISCAS-89), .net/.netD (CBL netD; a sibling .are file with the
 // same stem is picked up automatically).
+//
+// Exit codes (DESIGN.md §8): 0 success, 2 usage, 3 parse error,
+// 4 infeasible constraint, 5 deadline exceeded (best-so-far emitted),
+// 6 all multi-start workers failed, 7 out of memory, 130 interrupted
+// (best-so-far emitted), 1 anything else.
+#include <atomic>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -29,11 +37,30 @@
 #include "placement/topdown_placer.h"
 #include "refine/fm_refiner.h"
 #include "refine/multistart.h"
+#include "robust/fault_injector.h"
+#include "robust/status.h"
 #include "spectral/spectral.h"
 
 using namespace mlpart;
 
 namespace {
+
+// Set by the SIGINT/SIGTERM handler; every deadline binds it, so an
+// interrupt behaves like an expired budget: workers wind down, the best
+// partition found so far is emitted, and the process exits 130.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void onSignal(int) { g_interrupted.store(true, std::memory_order_relaxed); }
+
+// Failure context for the top-level handler: which phase was running on
+// which input when the exception surfaced.
+std::string g_phase = "starting up";
+std::string g_input;
+
+void setPhase(const std::string& phase, const std::string& input = "") {
+    g_phase = phase;
+    if (!input.empty()) g_input = input;
+}
 
 [[noreturn]] void usage(const std::string& msg = "") {
     if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
@@ -41,17 +68,22 @@ namespace {
         "usage: mlpart <command> [args]\n"
         "  stats     <netlist>\n"
         "  partition <netlist> [-k K] [-r TOL] [-R RATIO] [--engine fm|clip]\n"
-        "            [--runs N] [--threads T] [--seed S] [-o OUT.parts]\n"
+        "            [--runs N] [--threads T] [--seed S] [--timeout SEC]\n"
+        "            [-o OUT.parts]\n"
         "  spectral  <netlist> [-r TOL] [-o OUT.parts]\n"
         "  place     <netlist> [--levels L] [-o OUT.pl]\n"
-        "  convert   <netlist> <out.hgr>\n"
+        "  convert   <netlist> <out.hgr|out.netD>\n"
         "  gen       <benchmark-name|rent> [--scale S] [--modules N] [--nets M]\n"
         "            [--seed S] -o OUT.hgr\n"
-        "netlist formats by extension: .hgr, .bench, .net/.netD (+.are)\n";
-    std::exit(2);
+        "netlist formats by extension: .hgr, .bench, .net/.netD (+.are)\n"
+        "exit codes: 0 ok, 2 usage, 3 parse error, 4 infeasible, 5 deadline\n"
+        "            (best-so-far emitted), 6 all starts failed, 7 out of\n"
+        "            memory, 130 interrupted (best-so-far emitted)\n";
+    std::exit(robust::exitCodeFor(robust::StatusCode::kUsage));
 }
 
 Hypergraph loadNetlist(const std::string& path) {
+    setPhase("loading netlist", path);
     const std::filesystem::path p(path);
     const std::string ext = p.extension().string();
     if (ext == ".hgr") return readHgrFile(path);
@@ -62,7 +94,8 @@ Hypergraph loadNetlist(const std::string& path) {
         if (std::filesystem::exists(are)) return readNetDFile(path, are.string());
         return readNetDFile(path);
     }
-    throw std::runtime_error("unrecognized netlist extension '" + ext + "' (want .hgr/.bench/.netD)");
+    throw robust::Error(robust::StatusCode::kUsage,
+                        "unrecognized netlist extension '" + ext + "' (want .hgr/.bench/.netD)");
 }
 
 // Tiny flag parser: flags with values; positional args collected in order.
@@ -120,6 +153,14 @@ int cmdPartition(const Args& a) {
     const PartId k = static_cast<PartId>(a.getI("-k", 2));
     const double r = a.getD("-r", 0.1);
     const std::string engine = a.get("--engine", "clip");
+    const double timeout = a.getD("--timeout", 0.0);
+    setPhase("validating constraints");
+    if (k < 2) usage("partition: -k must be >= 2");
+    if (timeout < 0) usage("partition: --timeout must be >= 0");
+    if (k > h.numModules())
+        throw robust::Error(robust::StatusCode::kInfeasible,
+                            "cannot split " + std::to_string(h.numModules()) +
+                                " modules into " + std::to_string(k) + " non-empty blocks");
 
     MLConfig cfg;
     cfg.k = k;
@@ -146,8 +187,12 @@ int cmdPartition(const Args& a) {
     ms.runs = static_cast<int>(a.getI("--runs", 10));
     ms.threads = static_cast<int>(a.getI("--threads", 0));
     ms.seed = static_cast<std::uint64_t>(a.getI("--seed", 1));
+    ms.timeoutSeconds = timeout;
+    ms.deadline.bindCancelFlag(&g_interrupted);
+    setPhase("partitioning");
     const MultiStartOutcome out = parallelMultiStart(h, ml, ms);
 
+    setPhase("writing results");
     std::cout << k << "-way ML partition (" << engine << " engine, R=" << cfg.matchingRatio
               << ", " << ms.runs << " runs):\n"
               << "  min cut:   " << out.bestCut << " (run " << out.bestRun << ")\n"
@@ -155,9 +200,19 @@ int cmdPartition(const Args& a) {
               << "  wall time: " << out.seconds << " s\n  block areas:";
     for (PartId p = 0; p < k; ++p) std::cout << ' ' << out.best.blockArea(p);
     std::cout << "\n";
+    if (out.report.failed() > 0 || out.report.skipped() > 0 || out.report.retried() > 0)
+        std::cout << "  " << out.report.summary() << "\n";
     if (a.flags.count("-o")) {
         writePartitionFile(out.best, a.get("-o", ""));
         std::cout << "  wrote " << a.get("-o", "") << "\n";
+    }
+    if (g_interrupted.load(std::memory_order_relaxed)) {
+        std::cout << "  interrupted: best-so-far result emitted\n";
+        return robust::exitCodeFor(robust::StatusCode::kInterrupted);
+    }
+    if (out.report.deadlineHit) {
+        std::cout << "  deadline exceeded: best-so-far result emitted\n";
+        return robust::exitCodeFor(robust::StatusCode::kDeadlineExceeded);
     }
     return 0;
 }
@@ -168,6 +223,7 @@ int cmdSpectral(const Args& a) {
     SpectralConfig cfg;
     cfg.tolerance = a.getD("-r", 0.1);
     std::mt19937_64 rng(static_cast<std::uint64_t>(a.getI("--seed", 1)));
+    setPhase("spectral bisection");
     const SpectralResult r = spectralBisect(h, cfg, rng);
     std::cout << "spectral bisection: cut " << r.cut << " (" << r.iterations
               << " power iterations)\n  block areas: " << r.partition.blockArea(0) << " | "
@@ -185,6 +241,7 @@ int cmdPlace(const Args& a) {
     TopDownPlacerConfig cfg;
     cfg.levels = static_cast<int>(a.getI("--levels", 3));
     std::mt19937_64 rng(static_cast<std::uint64_t>(a.getI("--seed", 1)));
+    setPhase("top-down placement");
     const TopDownPlacement p = placeTopDown(h, cfg, rng);
     std::cout << "top-down placement: " << p.gridSize << " rows, HPWL " << p.hpwl << "\n";
     if (a.flags.count("-o")) {
@@ -198,9 +255,22 @@ int cmdPlace(const Args& a) {
 }
 
 int cmdConvert(const Args& a) {
-    if (a.positional.size() < 2) usage("convert: need <netlist> <out.hgr>");
+    if (a.positional.size() < 2) usage("convert: need <netlist> <out.hgr|out.netD>");
     const Hypergraph h = loadNetlist(a.positional[0]);
-    writeHgrFile(h, a.positional[1]);
+    const std::filesystem::path outPath(a.positional[1]);
+    const std::string ext = outPath.extension().string();
+    setPhase("writing", a.positional[1]);
+    if (ext == ".hgr") {
+        writeHgrFile(h, a.positional[1]);
+    } else if (ext == ".net" || ext == ".netD" || ext == ".netd") {
+        writeNetDFile(h, a.positional[1]);
+        std::filesystem::path are = outPath;
+        are.replace_extension(".are");
+        writeAreFile(h, are.string());
+    } else {
+        throw robust::Error(robust::StatusCode::kUsage,
+                            "unrecognized output extension '" + ext + "' (want .hgr/.netD)");
+    }
     std::cout << "wrote " << a.positional[1] << " (" << h.numModules() << " modules, "
               << h.numNets() << " nets)\n";
     return 0;
@@ -209,6 +279,7 @@ int cmdConvert(const Args& a) {
 int cmdGen(const Args& a) {
     if (a.positional.empty()) usage("gen: need a benchmark name or 'rent'");
     if (!a.flags.count("-o")) usage("gen: missing -o OUT.hgr");
+    setPhase("generating", a.positional[0]);
     Hypergraph h;
     if (a.positional[0] == "rent") {
         RentConfig cfg;
@@ -232,7 +303,11 @@ int main(int argc, char** argv) {
     if (argc < 2) usage();
     const std::string cmd = argv[1];
     const Args args = parseArgs(argc, argv, 2);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
     try {
+        // Opt-in deterministic fault injection (testing aid; DESIGN.md §8).
+        robust::FaultInjector::instance().armFromEnv();
         if (cmd == "stats") return cmdStats(args);
         if (cmd == "partition") return cmdPartition(args);
         if (cmd == "spectral") return cmdSpectral(args);
@@ -240,8 +315,18 @@ int main(int argc, char** argv) {
         if (cmd == "convert") return cmdConvert(args);
         if (cmd == "gen") return cmdGen(args);
         usage("unknown command '" + cmd + "'");
+    } catch (const robust::Error& e) {
+        std::cerr << "mlpart " << cmd << ": while " << g_phase
+                  << (g_input.empty() ? "" : " on '" + g_input + "'") << ": "
+                  << robust::statusCodeName(e.code()) << ": " << e.what() << "\n";
+        return robust::exitCodeFor(e.code());
+    } catch (const std::bad_alloc&) {
+        std::cerr << "mlpart " << cmd << ": while " << g_phase
+                  << (g_input.empty() ? "" : " on '" + g_input + "'") << ": out of memory\n";
+        return robust::exitCodeFor(robust::StatusCode::kResourceExhausted);
     } catch (const std::exception& e) {
-        std::cerr << "mlpart " << cmd << ": " << e.what() << "\n";
-        return 1;
+        std::cerr << "mlpart " << cmd << ": while " << g_phase
+                  << (g_input.empty() ? "" : " on '" + g_input + "'") << ": " << e.what() << "\n";
+        return robust::exitCodeFor(robust::StatusCode::kInternal);
     }
 }

@@ -117,4 +117,51 @@ CheckResult verifyHypergraph(const Hypergraph& h) {
     return r;
 }
 
+CheckResult verifyIdenticalHypergraphs(const Hypergraph& got, const Hypergraph& want) {
+    CheckResult r;
+    r.factsChecked += 3;
+    if (got.numModules() != want.numModules())
+        r.fail("numModules " + std::to_string(got.numModules()) + " != " +
+               std::to_string(want.numModules()));
+    if (got.numNets() != want.numNets())
+        r.fail("numNets " + std::to_string(got.numNets()) + " != " +
+               std::to_string(want.numNets()));
+    if (got.numPins() != want.numPins())
+        r.fail("numPins " + std::to_string(got.numPins()) + " != " +
+               std::to_string(want.numPins()));
+    if (!r.ok()) return r; // spans below would index out of range
+
+    for (NetId e = 0; e < want.numNets(); ++e) {
+        r.factsChecked += 2;
+        const auto gp = got.pins(e);
+        const auto wp = want.pins(e);
+        if (gp.size() != wp.size() || !std::equal(gp.begin(), gp.end(), wp.begin()))
+            r.fail(at("net", e) + ": pin list differs");
+        if (got.netWeight(e) != want.netWeight(e))
+            r.fail(at("net", e) + ": weight " + std::to_string(got.netWeight(e)) + " != " +
+                   std::to_string(want.netWeight(e)));
+    }
+    for (ModuleId v = 0; v < want.numModules(); ++v) {
+        r.factsChecked += 2;
+        const auto gn = got.nets(v);
+        const auto wn = want.nets(v);
+        if (gn.size() != wn.size() || !std::equal(gn.begin(), gn.end(), wn.begin()))
+            r.fail(at("module", v) + ": incidence list differs");
+        if (got.area(v) != want.area(v))
+            r.fail(at("module", v) + ": area " + std::to_string(got.area(v)) + " != " +
+                   std::to_string(want.area(v)));
+    }
+    r.factsChecked += 3;
+    if (got.totalArea() != want.totalArea())
+        r.fail("totalArea " + std::to_string(got.totalArea()) + " != " +
+               std::to_string(want.totalArea()));
+    if (got.maxArea() != want.maxArea())
+        r.fail("maxArea " + std::to_string(got.maxArea()) + " != " +
+               std::to_string(want.maxArea()));
+    if (got.maxModuleGain() != want.maxModuleGain())
+        r.fail("maxModuleGain " + std::to_string(got.maxModuleGain()) + " != " +
+               std::to_string(want.maxModuleGain()));
+    return r;
+}
+
 } // namespace mlpart::check

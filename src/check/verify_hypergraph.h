@@ -18,4 +18,13 @@ namespace mlpart::check {
 /// O(|pins|) time, O(|V| + |E|) scratch.
 [[nodiscard]] CheckResult verifyHypergraph(const Hypergraph& h);
 
+/// Differential oracle: verifies `got` is bit-identical to `want` through
+/// the public CSR accessors — module/net/pin counts, per-net pin spans
+/// (order included), per-net weights, per-module incidence spans (order
+/// included), areas, and all cached statistics. Equality of every span in
+/// order implies the underlying offset and flat arrays match byte for
+/// byte. Used to pin the coarsening kernel to the HypergraphBuilder path.
+[[nodiscard]] CheckResult verifyIdenticalHypergraphs(const Hypergraph& got,
+                                                     const Hypergraph& want);
+
 } // namespace mlpart::check

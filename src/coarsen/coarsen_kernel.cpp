@@ -1,0 +1,199 @@
+#include "coarsen/coarsen_kernel.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hypergraph/assemble.h"
+#include "robust/fault_injector.h"
+
+#if MLPART_CHECK_INVARIANTS
+#include <string>
+
+#include "check/check_result.h"
+#include "check/verify_hypergraph.h"
+#include "coarsen/induce.h"
+#endif
+
+namespace mlpart {
+
+namespace {
+
+// FNV-1a over a sorted pin list. Only used to *group* candidate duplicate
+// nets — merging always compares the full pin lists, so the result is
+// independent of the hash function (and of the builder path's hash).
+std::uint64_t fingerprintPins(const ModuleId* pins, std::int64_t count) {
+    std::uint64_t fp = 1469598103934665603ULL;
+    for (std::int64_t i = 0; i < count; ++i) {
+        fp ^= static_cast<std::uint64_t>(pins[i]) + 0x9e3779b97f4a7c15ULL;
+        fp *= 1099511628211ULL;
+    }
+    return fp;
+}
+
+} // namespace
+
+Hypergraph induceInto(const Hypergraph& h, const Clustering& c, CoarsenWorkspace& ws) {
+    MLPART_FAULT_SITE("coarsen.induce");
+    validateClustering(h, c);
+    const ModuleId nc = c.numClusters;
+    const std::size_t ncSz = static_cast<std::size_t>(nc);
+    const NetId m = h.numNets();
+    const ModuleId* clusterOf = c.clusterOf.data();
+
+    // Cluster areas are the sums of member areas (owned by the result).
+    std::vector<Area> areas(ncSz, 0);
+    for (ModuleId v = 0; v < h.numModules(); ++v)
+        areas[static_cast<std::size_t>(clusterOf[v])] += h.area(v);
+
+    // Pass 1 — tentative nets: map each fine net through the clustering,
+    // dedup pins with a per-cluster stamp of the current net id (instead
+    // of sort+unique over the mapped pins), drop |e*| < 2 nets.
+    ws.pinStamp.assign(ncSz, kInvalidNet);
+    ws.tentOffsets.clear();
+    ws.tentOffsets.push_back(0);
+    ws.tentPins.clear();
+    ws.tentWeights.clear();
+    NetId* stamp = ws.pinStamp.data();
+    for (NetId e = 0; e < m; ++e) {
+        const std::size_t before = ws.tentPins.size();
+        for (ModuleId v : h.pins(e)) {
+            const ModuleId cl = clusterOf[v];
+            if (stamp[cl] != e) {
+                stamp[cl] = e;
+                ws.tentPins.push_back(cl);
+            }
+        }
+        if (ws.tentPins.size() - before >= 2) {
+            ws.tentOffsets.push_back(static_cast<std::int64_t>(ws.tentPins.size()));
+            ws.tentWeights.push_back(h.netWeight(e));
+        } else {
+            ws.tentPins.resize(before); // degenerate: connects < 2 clusters
+        }
+    }
+    const NetId tentCount = static_cast<NetId>(ws.tentWeights.size());
+
+    // Pass 2 — sort-free CSR emission. Two counting sweeps produce every
+    // tentative net's pin list in ascending cluster order: first a
+    // cluster -> tentative-net incidence (net ids ascend within each
+    // cluster because nets are visited in order), then a walk over
+    // clusters in increasing id appending each cluster to its nets.
+    ws.clusterOffsets.assign(ncSz + 1, 0);
+    for (ModuleId cl : ws.tentPins) ws.clusterOffsets[static_cast<std::size_t>(cl) + 1]++;
+    for (std::size_t i = 1; i <= ncSz; ++i) ws.clusterOffsets[i] += ws.clusterOffsets[i - 1];
+    ws.clusterNets.resize(ws.tentPins.size());
+    for (NetId t = 0; t < tentCount; ++t) {
+        for (std::int64_t p = ws.tentOffsets[t]; p < ws.tentOffsets[t + 1]; ++p) {
+            const std::size_t cl = static_cast<std::size_t>(ws.tentPins[static_cast<std::size_t>(p)]);
+            ws.clusterNets[static_cast<std::size_t>(ws.clusterOffsets[cl]++)] = t;
+        }
+    }
+    // clusterOffsets[cl] now marks the *end* of cluster cl's range (the
+    // fill advanced each cursor across its own range exactly).
+    ws.netCursor.assign(ws.tentOffsets.begin(), ws.tentOffsets.end() - 1);
+    ws.tentPinsSorted.resize(ws.tentPins.size());
+    {
+        std::int64_t start = 0;
+        for (std::size_t cl = 0; cl < ncSz; ++cl) {
+            const std::int64_t end = ws.clusterOffsets[cl];
+            for (std::int64_t i = start; i < end; ++i) {
+                const NetId t = ws.clusterNets[static_cast<std::size_t>(i)];
+                ws.tentPinsSorted[static_cast<std::size_t>(ws.netCursor[static_cast<std::size_t>(t)]++)] =
+                    static_cast<ModuleId>(cl);
+            }
+            start = end;
+        }
+    }
+
+    // Pass 3 — parallel-net merging via one sorted fingerprint pass.
+    // Sorting (fingerprint, net id) pairs groups candidate duplicates;
+    // within a group the ascending net-id walk merges every net into the
+    // lowest-id net with an equal pin list, exactly like the builder's
+    // hash-bucket scan (first kept candidate wins, weights sum).
+    ws.fingerprints.resize(static_cast<std::size_t>(tentCount));
+    for (NetId t = 0; t < tentCount; ++t)
+        ws.fingerprints[static_cast<std::size_t>(t)] =
+            fingerprintPins(ws.tentPinsSorted.data() + ws.tentOffsets[t],
+                            ws.tentOffsets[t + 1] - ws.tentOffsets[t]);
+    ws.order.resize(static_cast<std::size_t>(tentCount));
+    std::iota(ws.order.begin(), ws.order.end(), 0);
+    std::sort(ws.order.begin(), ws.order.end(), [&](NetId a, NetId b) {
+        const std::uint64_t fa = ws.fingerprints[static_cast<std::size_t>(a)];
+        const std::uint64_t fb = ws.fingerprints[static_cast<std::size_t>(b)];
+        return fa != fb ? fa < fb : a < b;
+    });
+    ws.repOf.resize(static_cast<std::size_t>(tentCount));
+    auto pinsEqual = [&](NetId a, NetId b) {
+        const std::int64_t sa = ws.tentOffsets[a + 1] - ws.tentOffsets[a];
+        const std::int64_t sb = ws.tentOffsets[b + 1] - ws.tentOffsets[b];
+        if (sa != sb) return false;
+        return std::equal(ws.tentPinsSorted.begin() + ws.tentOffsets[a],
+                          ws.tentPinsSorted.begin() + ws.tentOffsets[a + 1],
+                          ws.tentPinsSorted.begin() + ws.tentOffsets[b]);
+    };
+    for (std::size_t i = 0; i < ws.order.size();) {
+        std::size_t j = i;
+        const std::uint64_t fp = ws.fingerprints[static_cast<std::size_t>(ws.order[i])];
+        while (j < ws.order.size() && ws.fingerprints[static_cast<std::size_t>(ws.order[j])] == fp) ++j;
+        for (std::size_t g = i; g < j; ++g) {
+            const NetId t = ws.order[g];
+            ws.repOf[static_cast<std::size_t>(t)] = t;
+            for (std::size_t g2 = i; g2 < g; ++g2) {
+                const NetId r = ws.order[g2];
+                if (ws.repOf[static_cast<std::size_t>(r)] != r) continue; // merged away
+                if (pinsEqual(t, r)) {
+                    ws.repOf[static_cast<std::size_t>(t)] = r;
+                    ws.tentWeights[static_cast<std::size_t>(r)] +=
+                        ws.tentWeights[static_cast<std::size_t>(t)];
+                    break;
+                }
+            }
+        }
+        i = j;
+    }
+
+    // Emission — kept nets in first-occurrence (ascending tentative id)
+    // order, into exactly-sized arrays owned by the result.
+    NetId keptCount = 0;
+    std::int64_t keptPinCount = 0;
+    for (NetId t = 0; t < tentCount; ++t) {
+        if (ws.repOf[static_cast<std::size_t>(t)] != t) continue;
+        ++keptCount;
+        keptPinCount += ws.tentOffsets[t + 1] - ws.tentOffsets[t];
+    }
+    std::vector<std::int64_t> netPinOffsets;
+    netPinOffsets.reserve(static_cast<std::size_t>(keptCount) + 1);
+    netPinOffsets.push_back(0);
+    std::vector<ModuleId> netPins;
+    netPins.reserve(static_cast<std::size_t>(keptPinCount));
+    std::vector<Weight> netWeights;
+    netWeights.reserve(static_cast<std::size_t>(keptCount));
+    for (NetId t = 0; t < tentCount; ++t) {
+        if (ws.repOf[static_cast<std::size_t>(t)] != t) continue;
+        netPins.insert(netPins.end(), ws.tentPinsSorted.begin() + ws.tentOffsets[t],
+                       ws.tentPinsSorted.begin() + ws.tentOffsets[t + 1]);
+        netPinOffsets.push_back(static_cast<std::int64_t>(netPins.size()));
+        netWeights.push_back(ws.tentWeights[static_cast<std::size_t>(t)]);
+    }
+    Hypergraph coarse = HypergraphAssembler::assemble(std::move(netPinOffsets),
+                                                      std::move(netPins),
+                                                      std::move(netWeights),
+                                                      std::move(areas), {});
+#if MLPART_CHECK_INVARIANTS
+    {
+        check::CheckResult r = check::verifyHypergraph(coarse);
+        ++r.factsChecked;
+        // "Module areas are preserved" (paper Section III): Induce must
+        // never create or destroy area.
+        if (coarse.totalArea() != h.totalArea())
+            r.fail("induced total area " + std::to_string(coarse.totalArea()) +
+                   " != fine total area " + std::to_string(h.totalArea()));
+        // Differential oracle: the kernel must reproduce the legacy
+        // builder path byte for byte.
+        r.merge(check::verifyIdenticalHypergraphs(coarse, induceReference(h, c)));
+        check::enforce(r, "induce");
+    }
+#endif
+    return coarse;
+}
+
+} // namespace mlpart

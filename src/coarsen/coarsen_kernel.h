@@ -1,0 +1,59 @@
+// Allocation-free coarsening kernel (the hot half of the V-cycle).
+//
+// induce() originally detoured through HypergraphBuilder::build(): one
+// scratch.assign + std::sort per fine net, then an FNV hash into a
+// std::unordered_map<uint64, vector<NetId>> for parallel-net merging —
+// O(pins log deg) comparisons and O(nets) node allocations per level.
+// This kernel produces a bit-identical coarse hypergraph with
+//  - cluster-stamp dedup of mapped pins (no per-net sort of fine pins),
+//  - sort-free CSR emission: a counting pass over cluster ids emits every
+//    coarse net's pin list already in ascending order,
+//  - parallel-net merging via one sorted fingerprint pass (sorting net
+//    ids, which is cheap, instead of pin lists, which is not),
+// with every scratch buffer owned by a CoarsenWorkspace that the caller
+// keeps alive for the whole V-cycle — after the first level no scratch
+// allocation happens on the hot path. Only the arrays owned by the
+// returned Hypergraph itself are freshly allocated (they outlive the
+// call by design).
+//
+// Bit-identical means: netPinOffsets, netPins, netWeights, module-net CSR,
+// areas, and all cached statistics equal the legacy builder path's output
+// exactly. src/check's differential oracle (verifyIdenticalHypergraphs)
+// guards this in every checked build, and tests/coarsen_kernel_test pins
+// it across the gen suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coarsen/clustering.h"
+#include "hypergraph/hypergraph.h"
+
+namespace mlpart {
+
+/// Scratch buffers for induceInto(), reused across levels, cycles, and
+/// starts. Default-constructed empty; every buffer is (re)sized by
+/// assign/resize inside the kernel, so capacity only ever grows — one
+/// warm-up V-cycle leaves the workspace allocation-free for all smaller
+/// or equal levels that follow.
+struct CoarsenWorkspace {
+    std::vector<NetId> pinStamp;           ///< per cluster: last net that touched it
+    std::vector<std::int64_t> tentOffsets; ///< tentative-net pin CSR offsets
+    std::vector<ModuleId> tentPins;        ///< tentative pins, first-seen order
+    std::vector<ModuleId> tentPinsSorted;  ///< tentative pins, ascending per net
+    std::vector<Weight> tentWeights;       ///< tentative-net weights (merge sums here)
+    std::vector<std::int64_t> clusterOffsets; ///< cluster -> tentative-net CSR
+    std::vector<NetId> clusterNets;
+    std::vector<std::int64_t> netCursor;   ///< per tentative net: emission cursor
+    std::vector<std::uint64_t> fingerprints; ///< per tentative net: pin-list hash
+    std::vector<NetId> order;              ///< net ids sorted by (fingerprint, id)
+    std::vector<NetId> repOf;              ///< per tentative net: merge representative
+};
+
+/// Definition 1 coarsening through the dedicated kernel: the coarse
+/// hypergraph induced by `c`, bit-identical to the HypergraphBuilder
+/// path. `ws` supplies all scratch storage.
+[[nodiscard]] Hypergraph induceInto(const Hypergraph& h, const Clustering& c,
+                                    CoarsenWorkspace& ws);
+
+} // namespace mlpart

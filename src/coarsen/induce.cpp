@@ -2,20 +2,18 @@
 
 #include <vector>
 
+#include "coarsen/coarsen_kernel.h"
 #include "hypergraph/builder.h"
 #include "robust/fault_injector.h"
-
-#if MLPART_CHECK_INVARIANTS
-#include <string>
-
-#include "check/check_result.h"
-#include "check/verify_hypergraph.h"
-#endif
 
 namespace mlpart {
 
 Hypergraph induce(const Hypergraph& h, const Clustering& c) {
-    MLPART_FAULT_SITE("coarsen.induce");
+    CoarsenWorkspace ws;
+    return induceInto(h, c, ws);
+}
+
+Hypergraph induceReference(const Hypergraph& h, const Clustering& c) {
     validateClustering(h, c);
     HypergraphBuilder b(c.numClusters, 0);
 
@@ -34,20 +32,7 @@ Hypergraph induce(const Hypergraph& h, const Clustering& c) {
             coarsePins.push_back(c.clusterOf[static_cast<std::size_t>(v)]);
         b.addNet(coarsePins, h.netWeight(e));
     }
-    Hypergraph coarse = std::move(b).build();
-#if MLPART_CHECK_INVARIANTS
-    {
-        check::CheckResult r = check::verifyHypergraph(coarse);
-        ++r.factsChecked;
-        // "Module areas are preserved" (paper Section III): Induce must
-        // never create or destroy area.
-        if (coarse.totalArea() != h.totalArea())
-            r.fail("induced total area " + std::to_string(coarse.totalArea()) +
-                   " != fine total area " + std::to_string(h.totalArea()));
-        check::enforce(r, "induce");
-    }
-#endif
-    return coarse;
+    return std::move(b).build();
 }
 
 Partition project(const Hypergraph& fine, const Clustering& c, const Partition& coarse) {

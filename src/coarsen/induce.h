@@ -17,6 +17,15 @@ namespace mlpart {
 /// holds exactly and is property-tested.
 [[nodiscard]] Hypergraph induce(const Hypergraph& h, const Clustering& c);
 
+/// The original builder-based Induce: maps every net through the
+/// clustering and lets HypergraphBuilder::build() normalize (per-net
+/// sort + unique, degenerate-net drop, hash-bucket parallel-net merge).
+/// Kept as the differential oracle for the coarsening kernel — checked
+/// builds compare induceInto()'s output against it on every level, and
+/// tests/coarsen_kernel_test pins the two byte-for-byte across the gen
+/// suite. Not called on the Release hot path.
+[[nodiscard]] Hypergraph induceReference(const Hypergraph& h, const Clustering& c);
+
 /// Definition 2: projects a partition of the coarse hypergraph back onto
 /// the fine one (every module inherits its cluster's block).
 [[nodiscard]] Partition project(const Hypergraph& fine, const Clustering& c, const Partition& coarse);

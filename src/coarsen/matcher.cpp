@@ -1,6 +1,7 @@
 #include "coarsen/matcher.h"
 
 #include <algorithm>
+#include <cassert>
 #include <numeric>
 #include <stdexcept>
 
@@ -59,17 +60,20 @@ Clustering matchSkeleton(const Hypergraph& h, const MatchConfig& cfg, std::mt199
             nMatch += 2;
         }
     }
-    // Steps 8-10: remaining unmatched modules become singletons.
+    // Steps 8-10: remaining modules become singletons. This single sweep is
+    // exhaustive: perm is a permutation, entries before j were assigned in
+    // the main loop, and entries from j on are assigned here — whether the
+    // loop above stopped on the ratio bound or ran out of modules.
     for (; j < perm.size(); ++j) {
         const ModuleId v = perm[j];
         if (c.clusterOf[static_cast<std::size_t>(v)] == kInvalidModule)
             c.clusterOf[static_cast<std::size_t>(v)] = k++;
     }
-    // Modules skipped because the ratio bound hit first.
-    for (ModuleId v = 0; v < n; ++v)
-        if (c.clusterOf[static_cast<std::size_t>(v)] == kInvalidModule)
-            c.clusterOf[static_cast<std::size_t>(v)] = k++;
     c.numClusters = k;
+    for (ModuleId v = 0; v < n; ++v) {
+        assert(c.clusterOf[static_cast<std::size_t>(v)] >= 0 &&
+               c.clusterOf[static_cast<std::size_t>(v)] < k && "cluster ids must be dense");
+    }
     return c;
 }
 

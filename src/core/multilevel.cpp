@@ -1,6 +1,7 @@
 #include "core/multilevel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 
@@ -74,10 +75,34 @@ Partition initialPartition(const Hypergraph& h, PartId k, const std::vector<Part
 
 } // namespace
 
+namespace {
+
+/// Phase stopwatch: accumulates elapsed seconds into a slot (when one is
+/// given) on stop() or destruction.
+class PhaseTimer {
+public:
+    explicit PhaseTimer(double* slot) : slot_(slot), start_(Clock::now()) {}
+    ~PhaseTimer() { stop(); }
+    void stop() {
+        if (slot_ == nullptr) return;
+        *slot_ += std::chrono::duration<double>(Clock::now() - start_).count();
+        slot_ = nullptr;
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    double* slot_;
+    Clock::time_point start_;
+};
+
+} // namespace
+
 Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64& rng,
                                           const Partition* warm, MLResult* info,
-                                          const robust::Deadline& deadline) const {
+                                          const robust::Deadline& deadline, MLWorkspace& ws,
+                                          MLTimings* timings) const {
     // ---- Coarsening phase (Figure 2, steps 1-5) ----
+    PhaseTimer coarsenTimer(timings != nullptr ? &timings->coarsenSec : nullptr);
     std::vector<Hypergraph> coarse;             // coarse[i] = H_{i+1}
     std::vector<Clustering> clusterings;        // clusterings[i]: H_i -> H_{i+1}
     std::vector<std::vector<PartId>> preassign; // per level
@@ -120,7 +145,7 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
             }
             break;
         }
-        coarse.push_back(induce(*cur, c));
+        coarse.push_back(induceInto(*cur, c, ws.coarsen));
 
         // Thread the pre-assignment down: pre-assigned modules are singleton
         // clusters (excluded from matching), so the mapping is one-to-one.
@@ -144,6 +169,7 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
         cur = &coarse.back();
     }
     const int m = static_cast<int>(coarse.size());
+    coarsenTimer.stop();
 
     auto levelGraph = [&](int i) -> const Hypergraph& {
         return i == 0 ? h0 : coarse[static_cast<std::size_t>(i - 1)];
@@ -158,6 +184,7 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
     };
 
     // ---- Initial partitioning of H_m (step 6) ----
+    PhaseTimer initialTimer(timings != nullptr ? &timings->initialSec : nullptr);
     const Hypergraph& hm = levelGraph(m);
     auto levelBc = [&](const Hypergraph& hl) {
         return cfg_.targetFractions.empty()
@@ -168,6 +195,7 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
     MLPART_FAULT_SITE("ml.initial");
     auto coarsestRefiner = factory_(hm, fixedMask(m));
     coarsestRefiner->setDeadline(deadline);
+    coarsestRefiner->setWorkspace(&ws.refine);
     Partition best(hm, cfg_.k);
     Weight bestCut = 0;
     if (warm != nullptr) {
@@ -204,7 +232,10 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
         }
     }
 
+    initialTimer.stop();
+
     // ---- Uncoarsening phase (steps 7-9) ----
+    PhaseTimer refineTimer(timings != nullptr ? &timings->refineSec : nullptr);
 #if MLPART_CHECK_INVARIANTS
     {
         check::PartitionCheckOptions opt;
@@ -250,6 +281,7 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
         if (!deadline.expired()) {
             auto refiner = factory_(hi, fixedMask(i));
             refiner->setDeadline(deadline);
+            refiner->setWorkspace(&ws.refine);
 #if MLPART_CHECK_INVARIANTS
             const Weight refinedCut = refiner->refine(projected, bcI, rng);
             check::PartitionCheckOptions opt;
@@ -278,16 +310,22 @@ MLResult MultilevelPartitioner::run(const Hypergraph& h0, std::mt19937_64& rng) 
 
 MLResult MultilevelPartitioner::run(const Hypergraph& h0, std::mt19937_64& rng,
                                     const robust::Deadline& deadline) const {
+    MLWorkspace ws;
+    return run(h0, rng, deadline, ws);
+}
+
+MLResult MultilevelPartitioner::run(const Hypergraph& h0, std::mt19937_64& rng,
+                                    const robust::Deadline& deadline, MLWorkspace& ws) const {
     if (!cfg_.preassignment.empty() &&
         cfg_.preassignment.size() != static_cast<std::size_t>(h0.numModules()))
         throw std::invalid_argument("MultilevelPartitioner: preassignment size mismatch");
 
     MLResult result{Partition(h0, cfg_.k), 0, 0, 0, {}};
-    Partition bestPart = runCycle(h0, rng, nullptr, &result, deadline);
+    Partition bestPart = runCycle(h0, rng, nullptr, &result, deadline, ws, &result.timings);
     Weight bestCut = cutWeight(h0, bestPart);
     for (int cycle = 1; cycle < cfg_.vCycles; ++cycle) {
         if (deadline.expired()) break;
-        Partition next = runCycle(h0, rng, &bestPart, nullptr, deadline);
+        Partition next = runCycle(h0, rng, &bestPart, nullptr, deadline, ws, &result.timings);
         const Weight cut = cutWeight(h0, next);
         if (cut <= bestCut) { // refinement never accepted if it worsened the cut
             bestPart = std::move(next);

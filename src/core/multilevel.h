@@ -16,12 +16,33 @@
 #include <random>
 #include <vector>
 
+#include "coarsen/coarsen_kernel.h"
 #include "coarsen/matcher.h"
 #include "hypergraph/partition.h"
 #include "refine/refiner.h"
+#include "refine/workspace.h"
 #include "robust/deadline.h"
 
 namespace mlpart {
+
+/// Pooled scratch for a whole V-cycle (coarsening kernel + refinement
+/// engines). Create one per worker thread and pass it to run(): buffer
+/// capacity then persists across levels, cycles, and runs, leaving the
+/// hot path allocation-free after the first (largest) level.
+struct MLWorkspace {
+    CoarsenWorkspace coarsen;
+    refine::Workspace refine;
+};
+
+/// Wall-clock seconds per V-cycle phase, accumulated over all cycles of a
+/// run() call. coarsen covers matching + induce, initial the coarsest-level
+/// partitioning (and its refinement), refine the uncoarsening sweep
+/// (project + rebalance + per-level refinement).
+struct MLTimings {
+    double coarsenSec = 0.0;
+    double initialSec = 0.0;
+    double refineSec = 0.0;
+};
 
 struct MLConfig {
     /// Coarsening threshold T: stop coarsening once |V_i| <= T (paper uses
@@ -81,6 +102,7 @@ struct MLResult {
     std::int64_t cutNetCount = 0;   ///< unweighted cut nets (tables report this)
     int levels = 0;                 ///< m, number of coarsening levels used
     std::vector<ModuleId> levelModules; ///< |V_i| for i = 0..m
+    MLTimings timings;              ///< per-phase wall time of this run
 };
 
 /// The ML driver. Construct once, run many times (multi-start).
@@ -98,16 +120,24 @@ public:
     [[nodiscard]] MLResult run(const Hypergraph& h0, std::mt19937_64& rng,
                                const robust::Deadline& deadline) const;
 
+    /// As above with caller-pooled scratch: `ws` supplies every coarsening
+    /// and refinement buffer and must outlive the call. Reusing one
+    /// workspace across runs (multi-start) makes the steady-state V-cycle
+    /// allocation count O(levels) instead of O(levels x modules).
+    [[nodiscard]] MLResult run(const Hypergraph& h0, std::mt19937_64& rng,
+                               const robust::Deadline& deadline, MLWorkspace& ws) const;
+
     [[nodiscard]] const MLConfig& config() const { return cfg_; }
 
 private:
     /// One V-cycle. `warm` (nullable) is an incumbent solution: coarsening
     /// is then restricted to same-block matches and the projected incumbent
     /// seeds the coarsest-level refinement. `info` (nullable) receives the
-    /// level statistics.
+    /// level statistics; `timings` (nullable) accumulates phase wall time.
     [[nodiscard]] Partition runCycle(const Hypergraph& h0, std::mt19937_64& rng,
                                      const Partition* warm, MLResult* info,
-                                     const robust::Deadline& deadline) const;
+                                     const robust::Deadline& deadline, MLWorkspace& ws,
+                                     MLTimings* timings) const;
 
     MLConfig cfg_;
     RefinerFactory factory_;

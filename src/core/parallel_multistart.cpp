@@ -53,6 +53,10 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
 
     std::atomic<int> next{0};
     auto worker = [&]() {
+        // One pooled workspace per worker thread: buffer capacity persists
+        // across all runs this thread claims, so only the first (largest)
+        // level of its first run pays the scratch allocations.
+        MLWorkspace ws;
         while (true) {
             const int run = next.fetch_add(1);
             if (run >= cfg.runs) break;
@@ -71,7 +75,7 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
                     // Per-run stream derived from (seed, run, attempt)
                     // only: scheduling cannot influence any run's result.
                     std::mt19937_64 rng(streamSeed(cfg.seed, run, attempt));
-                    MLResult r = ml.run(h, rng, deadline);
+                    MLResult r = ml.run(h, rng, deadline, ws);
                     if (cfg.verifyResults) {
                         check::PartitionCheckOptions opt;
                         opt.expectedCut = r.cut;

@@ -1,0 +1,50 @@
+#include "hypergraph/assemble.h"
+
+#include <algorithm>
+
+namespace mlpart {
+
+Hypergraph HypergraphAssembler::assemble(std::vector<std::int64_t> netPinOffsets,
+                                         std::vector<ModuleId> netPins,
+                                         std::vector<Weight> netWeights,
+                                         std::vector<Area> areas,
+                                         std::vector<std::string> moduleNames) {
+    Hypergraph h;
+    h.netPinOffsets_ = std::move(netPinOffsets);
+    h.netPins_ = std::move(netPins);
+    h.netWeights_ = std::move(netWeights);
+    h.areas_ = std::move(areas);
+    h.moduleNames_ = std::move(moduleNames);
+
+    // Build the module -> nets CSR by counting then filling.
+    const std::size_t nMod = h.areas_.size();
+    h.moduleNetOffsets_.assign(nMod + 1, 0);
+    for (ModuleId v : h.netPins_) h.moduleNetOffsets_[static_cast<std::size_t>(v) + 1]++;
+    for (std::size_t i = 1; i <= nMod; ++i) h.moduleNetOffsets_[i] += h.moduleNetOffsets_[i - 1];
+    h.moduleNets_.resize(h.netPins_.size());
+    {
+        std::vector<std::int64_t> cursor(h.moduleNetOffsets_.begin(), h.moduleNetOffsets_.end() - 1);
+        const NetId kept = static_cast<NetId>(h.netWeights_.size());
+        for (NetId e = 0; e < kept; ++e) {
+            for (std::int64_t p = h.netPinOffsets_[e]; p < h.netPinOffsets_[e + 1]; ++p) {
+                h.moduleNets_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(h.netPins_[static_cast<std::size_t>(p)])]++)] = e;
+            }
+        }
+    }
+
+    h.totalArea_ = 0;
+    h.maxArea_ = 0;
+    for (Area a : h.areas_) {
+        h.totalArea_ += a;
+        h.maxArea_ = std::max(h.maxArea_, a);
+    }
+    h.maxModuleGain_ = 0;
+    for (ModuleId v = 0; v < static_cast<ModuleId>(nMod); ++v) {
+        Weight sum = 0;
+        for (NetId e : h.nets(v)) sum += h.netWeight(e);
+        h.maxModuleGain_ = std::max(h.maxModuleGain_, sum);
+    }
+    return h;
+}
+
+} // namespace mlpart

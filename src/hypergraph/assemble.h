@@ -1,0 +1,34 @@
+// Final assembly of an immutable Hypergraph from a pre-validated net CSR.
+//
+// Both construction paths — the general-purpose HypergraphBuilder and the
+// allocation-free coarsening kernel (coarsen/coarsen_kernel.h) — normalize
+// nets differently but finish identically: the module -> net CSR is filled
+// by counting and the cached area/gain statistics are recomputed. Sharing
+// that tail here is what makes the kernel's output bit-identical to the
+// builder's by construction rather than by coincidence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/types.h"
+
+namespace mlpart {
+
+/// Friend of Hypergraph: turns a normalized net CSR into a finished
+/// immutable instance. Preconditions (the callers establish them; nothing
+/// is re-checked here): pins sorted ascending and distinct within every
+/// net, every net has >= 2 pins, all pin ids in [0, areas.size()),
+/// weights >= 1, areas >= 0, netPinOffsets.front() == 0 and
+/// netPinOffsets.back() == netPins.size().
+class HypergraphAssembler {
+public:
+    [[nodiscard]] static Hypergraph assemble(std::vector<std::int64_t> netPinOffsets,
+                                             std::vector<ModuleId> netPins,
+                                             std::vector<Weight> netWeights,
+                                             std::vector<Area> areas,
+                                             std::vector<std::string> moduleNames);
+};
+
+} // namespace mlpart

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "hypergraph/assemble.h"
+
 namespace mlpart {
 
 HypergraphBuilder::HypergraphBuilder(ModuleId numModules, Area defaultArea)
@@ -56,7 +58,6 @@ std::uint64_t hashPins(std::span<const ModuleId> pins) {
 } // namespace
 
 Hypergraph HypergraphBuilder::build() && {
-    Hypergraph h;
     const NetId rawNets = numNetsAdded();
 
     // Normalize each net: sort pins, strip duplicates, drop size<2 nets.
@@ -100,41 +101,9 @@ Hypergraph HypergraphBuilder::build() && {
         keptWeights.push_back(netWeights_[static_cast<std::size_t>(e)]);
     }
 
-    h.netPinOffsets_ = std::move(keptOffsets);
-    h.netPins_ = std::move(keptPins);
-    h.netWeights_ = std::move(keptWeights);
-    h.areas_ = std::move(areas_);
-    h.moduleNames_ = std::move(names_);
-
-    // Build the module -> nets CSR by counting then filling.
-    const std::size_t nMod = static_cast<std::size_t>(numModules_);
-    h.moduleNetOffsets_.assign(nMod + 1, 0);
-    for (ModuleId v : h.netPins_) h.moduleNetOffsets_[static_cast<std::size_t>(v) + 1]++;
-    for (std::size_t i = 1; i <= nMod; ++i) h.moduleNetOffsets_[i] += h.moduleNetOffsets_[i - 1];
-    h.moduleNets_.resize(h.netPins_.size());
-    {
-        std::vector<std::int64_t> cursor(h.moduleNetOffsets_.begin(), h.moduleNetOffsets_.end() - 1);
-        const NetId kept = static_cast<NetId>(h.netWeights_.size());
-        for (NetId e = 0; e < kept; ++e) {
-            for (std::int64_t p = h.netPinOffsets_[e]; p < h.netPinOffsets_[e + 1]; ++p) {
-                h.moduleNets_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(h.netPins_[static_cast<std::size_t>(p)])]++)] = e;
-            }
-        }
-    }
-
-    h.totalArea_ = 0;
-    h.maxArea_ = 0;
-    for (Area a : h.areas_) {
-        h.totalArea_ += a;
-        h.maxArea_ = std::max(h.maxArea_, a);
-    }
-    h.maxModuleGain_ = 0;
-    for (ModuleId v = 0; v < numModules_; ++v) {
-        Weight sum = 0;
-        for (NetId e : h.nets(v)) sum += h.netWeight(e);
-        h.maxModuleGain_ = std::max(h.maxModuleGain_, sum);
-    }
-    return h;
+    return HypergraphAssembler::assemble(std::move(keptOffsets), std::move(keptPins),
+                                         std::move(keptWeights), std::move(areas_),
+                                         std::move(names_));
 }
 
 } // namespace mlpart

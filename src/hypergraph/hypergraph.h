@@ -15,6 +15,7 @@
 namespace mlpart {
 
 class HypergraphBuilder;
+class HypergraphAssembler;
 
 /// Immutable netlist hypergraph H(V, E).
 ///
@@ -67,6 +68,7 @@ public:
 
 private:
     friend class HypergraphBuilder;
+    friend class HypergraphAssembler;
 
     std::vector<std::int64_t> netPinOffsets_;    // size numNets()+1
     std::vector<ModuleId> netPins_;              // size numPins()

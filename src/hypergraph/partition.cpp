@@ -26,14 +26,6 @@ Partition::Partition(const Hypergraph& h, PartId k, std::vector<PartId> assignme
     }
 }
 
-void Partition::move(const Hypergraph& h, ModuleId v, PartId to) {
-    PartId& cur = part_[static_cast<std::size_t>(v)];
-    if (cur == to) return;
-    blockArea_[static_cast<std::size_t>(cur)] -= h.area(v);
-    blockArea_[static_cast<std::size_t>(to)] += h.area(v);
-    cur = to;
-}
-
 ModuleId Partition::blockSize(PartId p) const {
     return static_cast<ModuleId>(std::count(part_.begin(), part_.end(), p));
 }
@@ -99,11 +91,6 @@ bool BalanceConstraint::satisfied(const Partition& part) const {
         if (a < lower(p) || a > upper(p)) return false;
     }
     return true;
-}
-
-bool BalanceConstraint::allowsMove(const Partition& part, Area a, PartId from, PartId to) const {
-    if (from == to) return true;
-    return part.blockArea(from) - a >= lower(from) && part.blockArea(to) + a <= upper(to);
 }
 
 PartId netSpan(const Hypergraph& h, const Partition& part, NetId e) {

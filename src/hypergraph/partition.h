@@ -29,8 +29,16 @@ public:
     [[nodiscard]] std::span<const PartId> assignment() const { return part_; }
 
     /// Moves module `v` to block `to`, updating cached block areas.
-    /// The caller supplies the hypergraph for the area lookup.
-    void move(const Hypergraph& h, ModuleId v, PartId to);
+    /// The caller supplies the hypergraph for the area lookup. Defined
+    /// inline: this sits on the FM inner loop (once per applied move).
+    void move(const Hypergraph& h, ModuleId v, PartId to) {
+        PartId& cur = part_[static_cast<std::size_t>(v)];
+        if (cur == to) return;
+        const Area a = h.area(v);
+        blockArea_[static_cast<std::size_t>(cur)] -= a;
+        blockArea_[static_cast<std::size_t>(to)] += a;
+        cur = to;
+    }
 
     /// Number of modules in block `p` (O(n); for reporting/tests).
     [[nodiscard]] ModuleId blockSize(PartId p) const;
@@ -79,7 +87,14 @@ public:
     [[nodiscard]] bool satisfied(const Partition& part) const;
     /// True when moving a module of area `a` from `from` to `to` keeps both
     /// affected blocks within bounds.
-    [[nodiscard]] bool allowsMove(const Partition& part, Area a, PartId from, PartId to) const;
+    /// Defined inline: selectBest() evaluates this once per scanned
+    /// candidate, and inlining lets the compiler hoist the loop-invariant
+    /// block-area headroom out of the scan.
+    [[nodiscard]] bool allowsMove(const Partition& part, Area a, PartId from, PartId to) const {
+        if (from == to) return true;
+        return part.blockArea(from) - a >= lower_[static_cast<std::size_t>(from)] &&
+               part.blockArea(to) + a <= upper_[static_cast<std::size_t>(to)];
+    }
 
 private:
     std::vector<Area> lower_, upper_;

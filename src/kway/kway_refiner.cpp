@@ -1,6 +1,7 @@
 #include "kway/kway_refiner.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -24,8 +25,7 @@ constexpr ModuleId kMidPassAuditLimit = 4096;
 void KWayFMRefiner::auditGainState(const Partition& part, const char* where) const {
     check::CheckResult r;
     auto bucketAt = [&](PartId p, PartId q) -> const GainBucketArray& {
-        return *buckets_[static_cast<std::size_t>(p) * static_cast<std::size_t>(k_) +
-                         static_cast<std::size_t>(q)];
+        return bucket(p, q);
     };
     for (PartId p = 0; p < k_; ++p) {
         for (PartId q = 0; q < k_; ++q) {
@@ -69,7 +69,7 @@ void KWayFMRefiner::auditGainState(const Partition& part, const char* where) con
         return realGain_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
                          static_cast<std::size_t>(q)];
     };
-    r.merge(check::verifyGainState(h_, part, activeNet_, probe));
+    r.merge(check::verifyGainState(h_, part, ws_->kActiveNet, probe));
 
     // Without CLIP the displayed bucket priority must equal the believed
     // real gain (modulo index-range clamping).
@@ -93,7 +93,7 @@ void KWayFMRefiner::auditGainState(const Partition& part, const char* where) con
     }
 
     ++r.factsChecked;
-    const Weight scratch = check::naiveActiveObjective(h_, part, activeNet_, netCut);
+    const Weight scratch = check::naiveActiveObjective(h_, part, ws_->kActiveNet, netCut);
     if (scratch != curObjective_)
         r.fail("tracked objective " + std::to_string(curObjective_) + " != naive recompute " +
                std::to_string(scratch));
@@ -109,14 +109,29 @@ KWayFMRefiner::KWayFMRefiner(const Hypergraph& h, KWayConfig cfg) : h_(h), cfg_(
         throw std::invalid_argument("KWayFMRefiner: fixed mask size mismatch");
     if (cfg_.lookahead < 0 || cfg_.lookahead > 8)
         throw std::invalid_argument("KWayFMRefiner: lookahead depth out of range");
+    minArea_ = std::numeric_limits<Area>::max();
+    for (ModuleId v = 0; v < h_.numModules(); ++v) minArea_ = std::min(minArea_, h_.area(v));
+}
+
+refine::Workspace& KWayFMRefiner::ensureWorkspace() {
+    if (ws_ != nullptr) return *ws_;
+    if (!owned_) owned_ = std::make_unique<refine::Workspace>();
+    ws_ = owned_.get();
+    return *ws_;
 }
 
 void KWayFMRefiner::initNetState(const Partition& part) {
+    refine::Workspace& ws = *ws_;
     const NetId m = h_.numNets();
-    activeNet_.assign(static_cast<std::size_t>(m), 0);
-    counts_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(k_), 0);
-    lockedCounts_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(k_), 0);
-    span_.assign(static_cast<std::size_t>(m), 0);
+    const std::size_t mSz = static_cast<std::size_t>(m);
+    ws.kActiveNet.assign(mSz, 0);
+    ws.kCounts.assign(mSz * static_cast<std::size_t>(k_), 0);
+    ws.kLockedCounts.assign(mSz * static_cast<std::size_t>(k_), 0);
+    ws.kSpan.assign(mSz, 0);
+    activeNet_ = ws.kActiveNet.data();
+    counts_ = ws.kCounts.data();
+    lockedCounts_ = ws.kLockedCounts.data();
+    span_ = ws.kSpan.data();
     curObjective_ = 0;
     for (NetId e = 0; e < m; ++e) {
         if (h_.netSize(e) > cfg_.maxNetSize) continue;
@@ -171,8 +186,9 @@ Weight KWayFMRefiner::lookaheadGain(ModuleId v, PartId q, int depth, const Parti
 }
 
 void KWayFMRefiner::buildBuckets(const Partition& part) {
-    for (auto& b : buckets_)
-        if (b) b->clear();
+    for (PartId p = 0; p < k_; ++p)
+        for (PartId q = 0; q < k_; ++q)
+            if (p != q) bucket(p, q).clear();
     const ModuleId n = h_.numModules();
     for (ModuleId v = 0; v < n; ++v) {
         if (locked_[static_cast<std::size_t>(v)]) continue;
@@ -183,8 +199,9 @@ void KWayFMRefiner::buildBuckets(const Partition& part) {
         }
     }
     if (cfg_.clip)
-        for (auto& b : buckets_)
-            if (b) b->clipConcatenate();
+        for (PartId p = 0; p < k_; ++p)
+            for (PartId q = 0; q < k_; ++q)
+                if (p != q) bucket(p, q).clipConcatenate();
 }
 
 void KWayFMRefiner::refreshModuleGains(ModuleId v, const Partition& part) {
@@ -242,9 +259,10 @@ Weight KWayFMRefiner::applyMove(ModuleId v, PartId to, Partition& part) {
 }
 
 void KWayFMRefiner::undoMoves(std::size_t n, Partition& part) {
+    std::vector<refine::KWayMove>& moves = ws_->kMoves;
     for (std::size_t i = 0; i < n; ++i) {
-        const MoveRec rec = moves_.back();
-        moves_.pop_back();
+        const refine::KWayMove rec = moves.back();
+        moves.pop_back();
         for (NetId e : h_.nets(rec.v)) {
             const std::size_t ei = static_cast<std::size_t>(e);
             if (!activeNet_[ei]) continue;
@@ -264,7 +282,8 @@ Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std:
     MLPART_FAULT_SITE("refine.kway.pass");
     buildBuckets(part);
     // Cache the real gains the buckets were built with (for CLIP deltas).
-    realGain_.assign(static_cast<std::size_t>(h_.numModules()) * static_cast<std::size_t>(k_), 0);
+    ws_->kRealGain.assign(static_cast<std::size_t>(h_.numModules()) * static_cast<std::size_t>(k_), 0);
+    realGain_ = ws_->kRealGain.data();
     for (ModuleId v = 0; v < h_.numModules(); ++v) {
         if (locked_[static_cast<std::size_t>(v)]) continue;
         const PartId p = part.part(v);
@@ -278,7 +297,8 @@ Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std:
     movesSinceAudit_ = 0;
 #endif
 
-    moves_.clear();
+    std::vector<refine::KWayMove>& moves = ws_->kMoves;
+    moves.clear();
     Weight cumGain = 0;
     Weight bestGain = 0;
     std::size_t bestIdx = 0;
@@ -294,11 +314,26 @@ Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std:
         PartId bestTo = kInvalidPart;
         Weight bestDisplayed = 0;
         for (PartId p = 0; p < k_; ++p) {
+            const Area headroomFrom = part.blockArea(p) - bc.lower(p);
             for (PartId q = 0; q < k_; ++q) {
                 if (p == q) continue;
                 GainBucketArray& b = bucket(p, q);
-                auto feasible = [&](ModuleId v) { return bc.allowsMove(part, h_.area(v), p, q); };
-                const ModuleId v = b.selectBest(feasible, rng);
+                // Feasibility of (p -> q) is just area(v) <= headroom, so
+                // the two extremes skip the candidate scan: headroom below
+                // the smallest module area means nothing is movable (and
+                // consumes no rng draw under any policy), headroom at or
+                // above A(v*) means everything is (LIFO/FIFO: the top
+                // bucket's head wins outright).
+                const Area headroom = std::min(headroomFrom, bc.upper(q) - part.blockArea(q));
+                ModuleId v;
+                if (headroom < minArea_) {
+                    v = kInvalidModule;
+                } else if (headroom >= h_.maxArea() && b.policy() != BucketPolicy::kRandom) {
+                    v = b.top();
+                } else {
+                    auto feasible = [&](ModuleId u) { return bc.allowsMove(part, h_.area(u), p, q); };
+                    v = b.selectBest(feasible, rng);
+                }
                 if (v == kInvalidModule) continue;
                 const Weight g = b.gain(v);
                 if (bestV == kInvalidModule || g > bestDisplayed) {
@@ -311,31 +346,38 @@ Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std:
         if (bestV == kInvalidModule) break;
         if (cfg_.lookahead >= 2) {
             // Tie-break equal-displayed-gain candidates of the winning
-            // bucket by their level-2..k lookahead vectors.
+            // bucket by their level-2..k lookahead vectors. Depth is capped
+            // at 8, so the vectors fit in fixed scratch — no allocation.
             const PartId p = part.part(bestV);
             GainBucketArray& b = bucket(p, bestTo);
+            const int len = cfg_.lookahead - 1;
             int examined = 0;
             ModuleId best = bestV;
-            std::vector<Weight> bestVecL;
+            Weight bestVecL[8];
+            Weight vec[8];
+            bool haveBest = false;
             for (ModuleId v = b.head(bestDisplayed); v != kInvalidModule && examined < cfg_.lookaheadWidth;
                  v = b.next(v)) {
                 if (!bc.allowsMove(part, h_.area(v), p, bestTo)) continue;
                 ++examined;
-                std::vector<Weight> vec;
                 for (int d = 2; d <= cfg_.lookahead; ++d)
-                    vec.push_back(lookaheadGain(v, bestTo, d, part));
-                if (bestVecL.empty() && v == best) { bestVecL = std::move(vec); continue; }
-                if (bestVecL.empty() || std::lexicographical_compare(bestVecL.begin(), bestVecL.end(),
-                                                                     vec.begin(), vec.end())) {
+                    vec[d - 2] = lookaheadGain(v, bestTo, d, part);
+                if (!haveBest && v == best) {
+                    std::copy(vec, vec + len, bestVecL);
+                    haveBest = true;
+                    continue;
+                }
+                if (!haveBest || std::lexicographical_compare(bestVecL, bestVecL + len, vec, vec + len)) {
                     best = v;
-                    bestVecL = std::move(vec);
+                    std::copy(vec, vec + len, bestVecL);
+                    haveBest = true;
                 }
             }
             bestV = best;
         }
         const PartId from = part.part(bestV);
         const Weight delta = applyMove(bestV, bestTo, part);
-        moves_.push_back({bestV, from, bestTo, delta});
+        moves.push_back({bestV, from, bestTo, delta});
 #if MLPART_CHECK_INVARIANTS
         if (h_.numModules() <= kMidPassAuditLimit && ++movesSinceAudit_ >= kAuditStride) {
             movesSinceAudit_ = 0;
@@ -345,10 +387,10 @@ Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std:
         cumGain += delta;
         if (cumGain > bestGain) {
             bestGain = cumGain;
-            bestIdx = moves_.size();
+            bestIdx = moves.size();
         }
     }
-    undoMoves(moves_.size() - bestIdx, part);
+    undoMoves(moves.size() - bestIdx, part);
     return bestGain;
 }
 
@@ -357,18 +399,19 @@ Weight KWayFMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::
     if (k_ < 2) throw std::invalid_argument("KWayFMRefiner: requires k >= 2");
     if (bc.numParts() != k_) throw std::invalid_argument("KWayFMRefiner: constraint arity mismatch");
 
+    refine::Workspace& ws = ensureWorkspace();
     const ModuleId n = h_.numModules();
-    locked_.assign(static_cast<std::size_t>(n), 0);
-    touched_.assign(static_cast<std::size_t>(n), 0);
+    const std::size_t nSz = static_cast<std::size_t>(n);
+    ws.kLocked.assign(nSz, 0);
+    ws.kTouched.assign(nSz, 0);
+    locked_ = ws.kLocked.data();
+    touched_ = ws.kTouched.data();
     epoch_ = 0;
-    buckets_.clear();
-    buckets_.resize(static_cast<std::size_t>(k_) * static_cast<std::size_t>(k_));
+    ws.kBuckets.resize(static_cast<std::size_t>(k_) * static_cast<std::size_t>(k_));
+    buckets_ = ws.kBuckets.data();
     for (PartId p = 0; p < k_; ++p)
         for (PartId q = 0; q < k_; ++q)
-            if (p != q)
-                buckets_[static_cast<std::size_t>(p) * static_cast<std::size_t>(k_) +
-                         static_cast<std::size_t>(q)] =
-                    std::make_unique<GainBucketArray>(n, h_.maxModuleGain(), cfg_.clip, cfg_.policy);
+            if (p != q) bucket(p, q).reset(n, h_.maxModuleGain(), cfg_.clip, cfg_.policy);
 
     if (!bc.satisfied(part)) rebalance(h_, part, bc, rng);
     initNetState(part);
@@ -377,8 +420,8 @@ Weight KWayFMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::
     for (int pass = 0; pass < cfg_.maxPasses; ++pass) {
         if (!deadline_.unlimited() && deadline_.expired()) break;
         // Pre-assigned (fixed) modules stay locked through every pass.
-        if (cfg_.fixed.empty()) std::fill(locked_.begin(), locked_.end(), 0);
-        else std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_.begin());
+        if (cfg_.fixed.empty()) std::fill(locked_, locked_ + nSz, 0);
+        else std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_);
         const Weight gain = runPass(part, bc, rng);
         ++lastPassCount_;
         if (gain <= 0) break;

@@ -15,6 +15,7 @@
 
 #include "kway/kway_config.h"
 #include "refine/refiner.h"
+#include "refine/workspace.h"
 
 namespace mlpart {
 
@@ -29,16 +30,11 @@ public:
 
     [[nodiscard]] int lastPassCount() const override { return lastPassCount_; }
     void setDeadline(const robust::Deadline& deadline) override { deadline_ = deadline; }
+    void setWorkspace(refine::Workspace* ws) override { ws_ = ws; }
     /// Final value of the configured objective after the last refine().
     [[nodiscard]] Weight lastObjective() const { return curObjective_; }
 
 private:
-    struct MoveRec {
-        ModuleId v;
-        PartId from, to;
-        Weight delta;
-    };
-
     [[nodiscard]] std::int32_t& count(NetId e, PartId p) {
         return counts_[static_cast<std::size_t>(e) * static_cast<std::size_t>(k_) + static_cast<std::size_t>(p)];
     }
@@ -46,7 +42,10 @@ private:
         return counts_[static_cast<std::size_t>(e) * static_cast<std::size_t>(k_) + static_cast<std::size_t>(p)];
     }
     [[nodiscard]] GainBucketArray& bucket(PartId p, PartId q) {
-        return *buckets_[static_cast<std::size_t>(p) * static_cast<std::size_t>(k_) + static_cast<std::size_t>(q)];
+        return buckets_[static_cast<std::size_t>(p) * static_cast<std::size_t>(k_) + static_cast<std::size_t>(q)];
+    }
+    [[nodiscard]] const GainBucketArray& bucket(PartId p, PartId q) const {
+        return buckets_[static_cast<std::size_t>(p) * static_cast<std::size_t>(k_) + static_cast<std::size_t>(q)];
     }
 
     void initNetState(const Partition& part);
@@ -62,6 +61,7 @@ private:
     KWayConfig cfg_;
     PartId k_ = 0;
     robust::Deadline deadline_;
+    Area minArea_ = 0; ///< smallest module area; no-feasible-move scan shortcut
 
     /// Sanchis level-`depth` lookahead gain for moving v to q (depth >= 2).
     [[nodiscard]] Weight lookaheadGain(ModuleId v, PartId q, int depth, const Partition& part) const;
@@ -74,16 +74,23 @@ private:
     std::int64_t movesSinceAudit_ = 0;
 #endif
 
-    std::vector<char> activeNet_;
-    std::vector<std::int32_t> counts_; ///< per (net, block) pin counts
-    std::vector<std::int32_t> lockedCounts_; ///< per (net, block) locked pins (lookahead)
-    std::vector<PartId> span_;         ///< per net: number of non-empty blocks
-    std::vector<char> locked_;
-    std::vector<std::unique_ptr<GainBucketArray>> buckets_; ///< k*k, diagonal unused
-    std::vector<Weight> realGain_;         ///< per (module, target): true gain backing the (possibly CLIP-distorted) bucket priority
-    std::vector<std::uint64_t> touched_;   ///< per module: epoch of last gain refresh
+    /// Pooled workspace resolution: the externally supplied one, else a
+    /// lazily created private fallback (standalone use).
+    [[nodiscard]] refine::Workspace& ensureWorkspace();
+
+    // Per-refine() working state lives in the workspace; these are cursors
+    // into its buffers, refreshed whenever the buffers are (re)assigned.
+    refine::Workspace* ws_ = nullptr;
+    std::unique_ptr<refine::Workspace> owned_; ///< fallback when none is set
+    char* activeNet_ = nullptr;
+    std::int32_t* counts_ = nullptr;       ///< per (net, block) pin counts
+    std::int32_t* lockedCounts_ = nullptr; ///< per (net, block) locked pins (lookahead)
+    PartId* span_ = nullptr;               ///< per net: number of non-empty blocks
+    char* locked_ = nullptr;
+    GainBucketArray* buckets_ = nullptr; ///< k*k, diagonal unused
+    Weight* realGain_ = nullptr;         ///< per (module, target): true gain backing the (possibly CLIP-distorted) bucket priority
+    std::uint64_t* touched_ = nullptr;   ///< per module: epoch of last gain refresh
     std::uint64_t epoch_ = 0;
-    std::vector<MoveRec> moves_;
     Weight curObjective_ = 0;
     int lastPassCount_ = 0;
 };

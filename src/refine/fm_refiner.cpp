@@ -1,6 +1,7 @@
 #include "refine/fm_refiner.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -52,9 +53,9 @@ void FMRefiner::auditGainState(const Partition& part, const char* where) const {
             return std::nullopt;
         return displayed + checkBase_[static_cast<std::size_t>(v)];
     };
-    r.merge(check::verifyGainState(h_, part, activeNet_, probe));
+    r.merge(check::verifyGainState(h_, part, ws_->activeNet, probe));
     ++r.factsChecked;
-    const Weight scratch = check::naiveActiveObjective(h_, part, activeNet_, /*netCut=*/true);
+    const Weight scratch = check::naiveActiveObjective(h_, part, ws_->activeNet, /*netCut=*/true);
     if (scratch != curActiveCut_)
         r.fail("tracked active cut " + std::to_string(curActiveCut_) +
                " != naive recompute " + std::to_string(scratch));
@@ -76,15 +77,28 @@ FMRefiner::FMRefiner(const Hypergraph& h, FMConfig cfg) : h_(h), cfg_(cfg) {
     if (cfg_.tightenStart > 0.0 && cfg_.tightenStart < cfg_.tolerance)
         throw std::invalid_argument("FMRefiner: tightenStart must be >= tolerance");
     if (cfg_.tightenPasses < 1) throw std::invalid_argument("FMRefiner: tightenPasses must be >= 1");
+    trackLockedPins_ = cfg_.lookahead >= 2; // lockedPc_ feeds only lookaheadGain()
+    minArea_ = std::numeric_limits<Area>::max();
+    for (ModuleId v = 0; v < h_.numModules(); ++v) minArea_ = std::min(minArea_, h_.area(v));
+}
+
+refine::Workspace& FMRefiner::ensureWorkspace() {
+    if (ws_ != nullptr) return *ws_;
+    if (!owned_) owned_ = std::make_unique<refine::Workspace>();
+    ws_ = owned_.get();
+    return *ws_;
 }
 
 void FMRefiner::initNetState(const Partition& part) {
+    refine::Workspace& ws = *ws_;
     const NetId m = h_.numNets();
-    activeNet_.assign(static_cast<std::size_t>(m), 0);
-    pc_[0].assign(static_cast<std::size_t>(m), 0);
-    pc_[1].assign(static_cast<std::size_t>(m), 0);
-    lockedPc_[0].assign(static_cast<std::size_t>(m), 0);
-    lockedPc_[1].assign(static_cast<std::size_t>(m), 0);
+    const std::size_t mSz = static_cast<std::size_t>(m);
+    ws.activeNet.assign(mSz, 0);
+    ws.pc.assign(2 * mSz, 0);
+    ws.lockedPc.assign(2 * mSz, 0);
+    activeNet_ = ws.activeNet.data();
+    pc_ = ws.pc.data();
+    lockedPc_ = ws.lockedPc.data();
     ignoredNets_ = 0;
     curActiveCut_ = 0;
     for (NetId e = 0; e < m; ++e) {
@@ -92,21 +106,22 @@ void FMRefiner::initNetState(const Partition& part) {
             ++ignoredNets_; // reinstated when measuring final quality
             continue;
         }
-        activeNet_[static_cast<std::size_t>(e)] = 1;
-        for (ModuleId v : h_.pins(e)) pc_[part.part(v)][static_cast<std::size_t>(e)]++;
-        if (pc_[0][static_cast<std::size_t>(e)] > 0 && pc_[1][static_cast<std::size_t>(e)] > 0)
-            curActiveCut_ += h_.netWeight(e);
+        const std::size_t ei = static_cast<std::size_t>(e);
+        activeNet_[ei] = 1;
+        for (ModuleId v : h_.pins(e)) pc_[2 * ei + static_cast<std::size_t>(part.part(v))]++;
+        if (pc_[2 * ei] > 0 && pc_[2 * ei + 1] > 0) curActiveCut_ += h_.netWeight(e);
     }
 }
 
 Weight FMRefiner::computeGain(ModuleId v, const Partition& part) const {
-    const PartId s = part.part(v);
-    const PartId t = 1 - s;
+    const std::size_t s = static_cast<std::size_t>(part.part(v));
+    const std::size_t t = 1 - s;
     Weight g = 0;
     for (NetId e : h_.nets(v)) {
-        if (!activeNet_[static_cast<std::size_t>(e)]) continue;
-        if (pc_[s][static_cast<std::size_t>(e)] == 1) g += h_.netWeight(e);
-        else if (pc_[t][static_cast<std::size_t>(e)] == 0) g -= h_.netWeight(e);
+        const std::size_t ei = static_cast<std::size_t>(e);
+        if (!activeNet_[ei]) continue;
+        if (pc_[2 * ei + s] == 1) g += h_.netWeight(e);
+        else if (pc_[2 * ei + t] == 0) g -= h_.netWeight(e);
     }
     return g;
 }
@@ -114,8 +129,9 @@ Weight FMRefiner::computeGain(ModuleId v, const Partition& part) const {
 bool FMRefiner::isBoundary(ModuleId v, const Partition& part) const {
     (void)part;
     for (NetId e : h_.nets(v)) {
-        if (!activeNet_[static_cast<std::size_t>(e)]) continue;
-        if (pc_[0][static_cast<std::size_t>(e)] > 0 && pc_[1][static_cast<std::size_t>(e)] > 0) return true;
+        const std::size_t ei = static_cast<std::size_t>(e);
+        if (!activeNet_[ei]) continue;
+        if (pc_[2 * ei] > 0 && pc_[2 * ei + 1] > 0) return true;
     }
     return false;
 }
@@ -155,16 +171,16 @@ void FMRefiner::buildBuckets(const Partition& part) {
 Weight FMRefiner::lookaheadGain(ModuleId v, int depth, const Partition& part) const {
     // Krishnamurthy level-r gain: a net can still be freed from side x at
     // level r if it has no locked pins on x and exactly r free pins there.
-    const PartId s = part.part(v);
-    const PartId t = 1 - s;
+    const std::size_t s = static_cast<std::size_t>(part.part(v));
+    const std::size_t t = 1 - s;
     Weight g = 0;
     for (NetId e : h_.nets(v)) {
         const std::size_t ei = static_cast<std::size_t>(e);
         if (!activeNet_[ei]) continue;
-        const std::int32_t freeS = pc_[s][ei] - lockedPc_[s][ei];
-        const std::int32_t freeT = pc_[t][ei] - lockedPc_[t][ei];
-        if (lockedPc_[s][ei] == 0 && freeS == depth) g += h_.netWeight(e);
-        if (lockedPc_[t][ei] == 0 && freeT == depth - 1) g -= h_.netWeight(e);
+        const std::int32_t freeS = pc_[2 * ei + s] - lockedPc_[2 * ei + s];
+        const std::int32_t freeT = pc_[2 * ei + t] - lockedPc_[2 * ei + t];
+        if (lockedPc_[2 * ei + s] == 0 && freeS == depth) g += h_.netWeight(e);
+        if (lockedPc_[2 * ei + t] == 0 && freeT == depth - 1) g -= h_.netWeight(e);
     }
     return g;
 }
@@ -174,8 +190,27 @@ ModuleId FMRefiner::selectMove(const Partition& part, const BalanceConstraint& b
     for (int s = 0; s < 2; ++s) {
         const PartId from = s;
         const PartId to = 1 - s;
-        auto feasible = [&](ModuleId v) { return bc.allowsMove(part, h_.area(v), from, to); };
-        cand[s] = bucket_[s]->selectBest(feasible, rng);
+        // Under the paper's refinement bound the slack is at least
+        // max(A(v*), r*A(V)), so most selections happen with enough
+        // headroom on both sides that *every* module is feasible; the
+        // highest bucket's head is then the scan's answer, O(1). RANDOM
+        // policy still scans — its rng draws depend on the enumeration.
+        // A move of v from `from` is feasible iff area(v) <= headroom, so
+        // two extremes dispense with the candidate scan outright:
+        // headroom >= A(v*) means everything is feasible (the answer is
+        // the top bucket's head), and headroom < min module area means
+        // nothing is — the late-pass state where `from` sits at its lower
+        // bound, which would otherwise walk the whole bucket per select.
+        const Area headroom = std::min(part.blockArea(from) - bc.lower(from),
+                                       bc.upper(to) - part.blockArea(to));
+        if (headroom < minArea_) {
+            cand[s] = kInvalidModule; // no feasible module; no rng draw even under RANDOM
+        } else if (headroom >= h_.maxArea() && bucket_[s]->policy() != BucketPolicy::kRandom) {
+            cand[s] = bucket_[s]->top();
+        } else {
+            auto feasible = [&](ModuleId v) { return bc.allowsMove(part, h_.area(v), from, to); };
+            cand[s] = bucket_[s]->selectBest(feasible, rng);
+        }
     }
     if (cand[0] == kInvalidModule) return cand[1];
     if (cand[1] == kInvalidModule) return cand[0];
@@ -189,25 +224,32 @@ ModuleId FMRefiner::selectMove(const Partition& part, const BalanceConstraint& b
     if (cfg_.lookahead >= 2) {
         // Scan the winning bucket for equal-displayed-gain feasible
         // candidates and break ties lexicographically on level-2..k gains.
+        // Lookahead depth is capped at 8, so the gain vectors fit in
+        // fixed-size scratch — no per-candidate allocation.
         const GainBucketArray& b = *bucket_[side];
         const Weight topGain = b.gain(chosen);
         const PartId from = side;
         const PartId to = 1 - side;
+        const int len = cfg_.lookahead - 1;
         int examined = 0;
         ModuleId best = chosen;
-        std::vector<Weight> bestVec;
+        Weight bestVec[8];
+        Weight vec[8];
+        bool haveBest = false;
         for (ModuleId v = b.head(topGain); v != kInvalidModule && examined < cfg_.lookaheadWidth;
              v = b.next(v)) {
             if (!bc.allowsMove(part, h_.area(v), from, to)) continue;
             ++examined;
-            std::vector<Weight> vec;
-            vec.reserve(static_cast<std::size_t>(cfg_.lookahead - 1));
-            for (int d = 2; d <= cfg_.lookahead; ++d) vec.push_back(lookaheadGain(v, d, part));
-            if (bestVec.empty() && v == best) { bestVec = std::move(vec); continue; }
-            if (bestVec.empty() || std::lexicographical_compare(bestVec.begin(), bestVec.end(),
-                                                                vec.begin(), vec.end())) {
+            for (int d = 2; d <= cfg_.lookahead; ++d) vec[d - 2] = lookaheadGain(v, d, part);
+            if (!haveBest && v == best) {
+                std::copy(vec, vec + len, bestVec);
+                haveBest = true;
+                continue;
+            }
+            if (!haveBest || std::lexicographical_compare(bestVec, bestVec + len, vec, vec + len)) {
                 best = v;
-                bestVec = std::move(vec);
+                std::copy(vec, vec + len, bestVec);
+                haveBest = true;
             }
         }
         chosen = best;
@@ -218,54 +260,54 @@ ModuleId FMRefiner::selectMove(const Partition& part, const BalanceConstraint& b
 Weight FMRefiner::applyMove(ModuleId v, Partition& part) {
     const PartId from = part.part(v);
     const PartId to = 1 - from;
+    const std::size_t fromS = static_cast<std::size_t>(from);
+    const std::size_t toS = static_cast<std::size_t>(to);
 
-    // True cut delta, measured from pin counts before the move.
+    std::vector<ModuleId>& lazyInsert = ws_->lazyInsert;
+    lazyInsert.clear();
+    if (cfg_.fastPassInit) dirty_[static_cast<std::size_t>(v)] = 1;
+    auto adjust = [&](ModuleId u, Weight d) {
+        if (u == v) return; // register compare first; the flag loads miss cache
+        if (locked_[static_cast<std::size_t>(u)] || blocked_[static_cast<std::size_t>(u)]) return;
+        if (bucket_[part.part(u)]->contains(u)) bucket_[part.part(u)]->adjustGain(u, d);
+        else if (cfg_.boundaryInit) lazyInsert.push_back(u); // now near the cut; full gain after updates
+    };
+
+    if (bucket_[from]->contains(v)) bucket_[from]->remove(v);
+    // One traversal of v's nets does everything per net: measure the true
+    // cut delta from the pre-move pin counts, mark neighbourhoods dirty
+    // (fastPassInit), and apply the standard FM delta-gain rules around
+    // the count updates.
     Weight delta = 0;
     for (NetId e : h_.nets(v)) {
         const std::size_t ei = static_cast<std::size_t>(e);
         if (!activeNet_[ei]) continue;
-        if (pc_[to][ei] == 0) delta -= h_.netWeight(e);      // net becomes cut
-        else if (pc_[from][ei] == 1) delta += h_.netWeight(e); // net becomes uncut
-    }
-
-    lazyInsert_.clear();
-    if (cfg_.fastPassInit) {
-        // The move perturbs pin counts of v's nets: everyone on them needs
-        // a fresh gain at the next pass start.
-        dirty_[static_cast<std::size_t>(v)] = 1;
-        for (NetId e : h_.nets(v)) {
-            if (!activeNet_[static_cast<std::size_t>(e)]) continue;
+        if (cfg_.fastPassInit)
             for (ModuleId u : h_.pins(e)) dirty_[static_cast<std::size_t>(u)] = 1;
+        const std::int32_t pcTo = pc_[2 * ei + toS];
+        const std::int32_t pcFrom = pc_[2 * ei + fromS];
+        // Interior nets (2+ pins on both sides before and after the move)
+        // trigger no rule; skip even the weight load for them.
+        if (pcTo <= 1 || pcFrom <= 2) {
+            const Weight w = h_.netWeight(e);
+            if (pcTo == 0) delta -= w;             // net becomes cut
+            else if (pcFrom == 1) delta += w;      // net becomes uncut
+            if (pcTo == 0) {
+                for (ModuleId u : h_.pins(e)) adjust(u, +w);
+            } else if (pcTo == 1) {
+                for (ModuleId u : h_.pins(e))
+                    if (u != v && part.part(u) == to) adjust(u, -w);
+            }
+            if (pcFrom == 1) {
+                for (ModuleId u : h_.pins(e)) adjust(u, -w);
+            } else if (pcFrom == 2) {
+                for (ModuleId u : h_.pins(e))
+                    if (part.part(u) == from) adjust(u, +w);
+            }
         }
-    }
-    auto adjust = [&](ModuleId u, Weight d) {
-        if (locked_[static_cast<std::size_t>(u)] || blocked_[static_cast<std::size_t>(u)]) return;
-        if (u == v) return;
-        if (bucket_[part.part(u)]->contains(u)) bucket_[part.part(u)]->adjustGain(u, d);
-        else if (cfg_.boundaryInit) lazyInsert_.push_back(u); // now near the cut; full gain after updates
-    };
-
-    if (bucket_[from]->contains(v)) bucket_[from]->remove(v);
-    for (NetId e : h_.nets(v)) {
-        const std::size_t ei = static_cast<std::size_t>(e);
-        if (!activeNet_[ei]) continue;
-        const Weight w = h_.netWeight(e);
-        // Standard FM delta-gain rules, applied around the count updates.
-        if (pc_[to][ei] == 0) {
-            for (ModuleId u : h_.pins(e)) adjust(u, +w);
-        } else if (pc_[to][ei] == 1) {
-            for (ModuleId u : h_.pins(e))
-                if (u != v && part.part(u) == to) adjust(u, -w);
-        }
-        pc_[from][ei]--;
-        pc_[to][ei]++;
-        if (pc_[from][ei] == 0) {
-            for (ModuleId u : h_.pins(e)) adjust(u, -w);
-        } else if (pc_[from][ei] == 1) {
-            for (ModuleId u : h_.pins(e))
-                if (part.part(u) == from) adjust(u, +w);
-        }
-        lockedPc_[to][ei]++; // v locks on the target side
+        pc_[2 * ei + fromS] = pcFrom - 1;
+        pc_[2 * ei + toS] = pcTo + 1;
+        if (trackLockedPins_) lockedPc_[2 * ei + toS]++; // v locks on the target side
     }
     part.move(h_, v, to);
     moveCount_[static_cast<std::size_t>(v)]++;
@@ -276,7 +318,7 @@ Weight FMRefiner::applyMove(ModuleId v, Partition& part) {
 
     // Boundary mode: modules that just became boundary enter the structure
     // with a freshly computed gain (computed after all count updates).
-    for (ModuleId u : lazyInsert_) {
+    for (ModuleId u : lazyInsert) {
         GainBucketArray& b = *bucket_[part.part(u)];
         if (!b.contains(u) && !locked_[static_cast<std::size_t>(u)]) {
             b.insert(u, computeGain(u, part));
@@ -297,16 +339,18 @@ Weight FMRefiner::applyMove(ModuleId v, Partition& part) {
 }
 
 void FMRefiner::undoMoves(std::size_t count, Partition& part) {
+    std::vector<refine::FMMove>& moves = ws_->moves;
     for (std::size_t i = 0; i < count; ++i) {
-        const MoveRec rec = moves_.back();
-        moves_.pop_back();
-        const PartId cur = part.part(rec.v);
+        const refine::FMMove rec = moves.back();
+        moves.pop_back();
+        const std::size_t cur = static_cast<std::size_t>(part.part(rec.v));
+        const std::size_t back = static_cast<std::size_t>(rec.from);
         for (NetId e : h_.nets(rec.v)) {
             const std::size_t ei = static_cast<std::size_t>(e);
             if (!activeNet_[ei]) continue;
-            pc_[cur][ei]--;
-            pc_[rec.from][ei]++;
-            lockedPc_[cur][ei]--;
+            pc_[2 * ei + cur]--;
+            pc_[2 * ei + back]++;
+            if (trackLockedPins_) lockedPc_[2 * ei + cur]--;
             if (cfg_.fastPassInit)
                 for (ModuleId u : h_.pins(e)) dirty_[static_cast<std::size_t>(u)] = 1;
         }
@@ -324,7 +368,8 @@ Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt1
     auditGainState(part, "FMRefiner::buildBuckets");
     movesSinceAudit_ = 0;
 #endif
-    moves_.clear();
+    std::vector<refine::FMMove>& moves = ws_->moves;
+    moves.clear();
     Weight cumGain = 0;
     Weight bestGain = 0;
     std::size_t bestIdx = 0;
@@ -343,7 +388,7 @@ Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt1
         if (v == kInvalidModule) break;
         const PartId from = part.part(v);
         const Weight delta = applyMove(v, part);
-        moves_.push_back({v, from, delta});
+        moves.push_back({v, from, delta});
 #if MLPART_CHECK_INVARIANTS
         // Periodic mid-pass audit: delta-gain corruption is only visible
         // between a move and the next bucket rebuild.
@@ -355,15 +400,15 @@ Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt1
         cumGain += delta;
         if (cumGain > bestGain) {
             bestGain = cumGain;
-            bestIdx = moves_.size();
+            bestIdx = moves.size();
         }
 
         if (cfg_.cdip && backtracks < cfg_.cdipMaxBacktracks &&
-            bestGain - cumGain >= cfg_.cdipThreshold && moves_.size() > bestIdx) {
+            bestGain - cumGain >= cfg_.cdipThreshold && moves.size() > bestIdx) {
             // Reverse the unprofitable tail and try a different sequence,
             // excluding the module that started it (Dutt-Deng CDIP idea).
-            const ModuleId firstBad = moves_[bestIdx].v;
-            undoMoves(moves_.size() - bestIdx, part);
+            const ModuleId firstBad = moves[bestIdx].v;
+            undoMoves(moves.size() - bestIdx, part);
             blocked_[static_cast<std::size_t>(firstBad)] = 1;
             cumGain = bestGain;
             ++backtracks;
@@ -374,50 +419,59 @@ Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt1
 #endif
             continue;
         }
-        if (cfg_.earlyExitFraction > 0.0 && moves_.size() > bestIdx) {
-            const double sinceBest = static_cast<double>(moves_.size() - bestIdx);
+        if (cfg_.earlyExitFraction > 0.0 && moves.size() > bestIdx) {
+            const double sinceBest = static_cast<double>(moves.size() - bestIdx);
             if (sinceBest > cfg_.earlyExitFraction * static_cast<double>(std::max<std::size_t>(movable, 1)))
                 break;
         }
     }
     // Keep only the best prefix of the pass.
-    undoMoves(moves_.size() - bestIdx, part);
+    undoMoves(moves.size() - bestIdx, part);
     lastMoveCount_ += static_cast<std::int64_t>(bestIdx);
     return bestGain;
 }
 
 Weight FMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) {
     if (part.numParts() != 2) throw std::invalid_argument("FMRefiner: requires a bipartition");
+    refine::Workspace& ws = ensureWorkspace();
     const ModuleId n = h_.numModules();
-    locked_.assign(static_cast<std::size_t>(n), 0);
-    moveCount_.assign(static_cast<std::size_t>(n), 0);
-    blocked_.assign(static_cast<std::size_t>(n), 0);
+    const std::size_t nSz = static_cast<std::size_t>(n);
+    ws.locked.assign(nSz, 0);
+    ws.moveCount.assign(nSz, 0);
+    ws.blocked.assign(nSz, 0);
+    locked_ = ws.locked.data();
+    moveCount_ = ws.moveCount.data();
+    blocked_ = ws.blocked.data();
     const bool doubled = cfg_.variant == EngineVariant::kCLIP;
-    for (int s = 0; s < 2; ++s)
-        bucket_[s] = std::make_unique<GainBucketArray>(n, h_.maxModuleGain(), doubled, cfg_.policy);
+    for (int s = 0; s < 2; ++s) {
+        ws.bucket[s].reset(n, h_.maxModuleGain(), doubled, cfg_.policy);
+        bucket_[s] = &ws.bucket[s];
+    }
 #if MLPART_CHECK_INVARIANTS
-    checkBase_.assign(static_cast<std::size_t>(n), 0);
+    checkBase_.assign(nSz, 0);
 #endif
 
     if (!bc.satisfied(part)) rebalance(h_, part, bc, rng); // defensive; ML projections are pre-balanced
 
     initNetState(part);
     if (cfg_.fastPassInit) {
-        gains_.assign(static_cast<std::size_t>(n), 0);
-        dirty_.assign(static_cast<std::size_t>(n), 0);
+        ws.gains.assign(nSz, 0);
+        ws.dirty.assign(nSz, 0);
+        gains_ = ws.gains.data();
+        dirty_ = ws.dirty.data();
         gainsValid_ = false;
     }
+    const std::size_t lockedPcLen = 2 * static_cast<std::size_t>(h_.numNets());
     lastPassCount_ = 0;
     lastMoveCount_ = 0;
     for (int pass = 0; pass < cfg_.maxPasses; ++pass) {
         if (!deadline_.unlimited() && deadline_.expired()) break;
         // Pre-assigned (fixed) modules stay locked through every pass.
-        if (cfg_.fixed.empty()) std::fill(locked_.begin(), locked_.end(), 0);
-        else std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_.begin());
-        std::fill(moveCount_.begin(), moveCount_.end(), 0);
-        std::fill(blocked_.begin(), blocked_.end(), 0);
-        std::fill(lockedPc_[0].begin(), lockedPc_[0].end(), 0);
-        std::fill(lockedPc_[1].begin(), lockedPc_[1].end(), 0);
+        if (cfg_.fixed.empty()) std::fill(locked_, locked_ + nSz, 0);
+        else std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_);
+        std::fill(moveCount_, moveCount_ + nSz, 0);
+        std::fill(blocked_, blocked_ + nSz, 0);
+        if (trackLockedPins_) std::fill(lockedPc_, lockedPc_ + lockedPcLen, 0);
         // Shin-Kim tightening: early passes run under a relaxed tolerance
         // shrinking linearly to the target; late passes use the caller's
         // constraint verbatim.
@@ -442,12 +496,11 @@ Weight FMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::mt19
         // counts, tracked cut, and any cached pass-start gains are stale.
         initNetState(part);
         gainsValid_ = false;
-        std::fill(locked_.begin(), locked_.end(), 0);
-        if (!cfg_.fixed.empty()) std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_.begin());
-        std::fill(moveCount_.begin(), moveCount_.end(), 0);
-        std::fill(blocked_.begin(), blocked_.end(), 0);
-        std::fill(lockedPc_[0].begin(), lockedPc_[0].end(), 0);
-        std::fill(lockedPc_[1].begin(), lockedPc_[1].end(), 0);
+        std::fill(locked_, locked_ + nSz, 0);
+        if (!cfg_.fixed.empty()) std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_);
+        std::fill(moveCount_, moveCount_ + nSz, 0);
+        std::fill(blocked_, blocked_ + nSz, 0);
+        if (trackLockedPins_) std::fill(lockedPc_, lockedPc_ + lockedPcLen, 0);
         runPass(part, bc, rng);
         ++lastPassCount_;
     }

@@ -17,6 +17,7 @@
 #include "refine/fm_config.h"
 #include "refine/gain_bucket.h"
 #include "refine/refiner.h"
+#include "refine/workspace.h"
 
 namespace mlpart {
 
@@ -31,6 +32,7 @@ public:
 
     [[nodiscard]] int lastPassCount() const override { return lastPassCount_; }
     void setDeadline(const robust::Deadline& deadline) override { deadline_ = deadline; }
+    void setWorkspace(refine::Workspace* ws) override { ws_ = ws; }
     /// Accepted (not rolled back) moves across all passes of the last run.
     [[nodiscard]] std::int64_t lastMoveCount() const { return lastMoveCount_; }
     /// Nets skipped during refinement because they exceed maxNetSize.
@@ -38,12 +40,6 @@ public:
     [[nodiscard]] const FMConfig& config() const { return cfg_; }
 
 private:
-    struct MoveRec {
-        ModuleId v;
-        PartId from;
-        Weight delta; ///< true active-cut reduction of this move
-    };
-
     void initNetState(const Partition& part);
     [[nodiscard]] Weight computeGain(ModuleId v, const Partition& part) const;
     [[nodiscard]] bool isBoundary(ModuleId v, const Partition& part) const;
@@ -67,21 +63,31 @@ private:
     void auditGainState(const Partition& part, const char* where) const;
 #endif
 
+    /// Pooled workspace resolution: the externally supplied one, else a
+    /// lazily created private fallback (standalone use).
+    [[nodiscard]] refine::Workspace& ensureWorkspace();
+
     const Hypergraph& h_;
     FMConfig cfg_;
     robust::Deadline deadline_;
+    Area minArea_ = 0; ///< smallest module area; selectMove's no-feasible-move shortcut
+    bool trackLockedPins_ = false; ///< maintain lockedPc_ (only lookahead >= 2 reads it)
 
-    // Per-refine() working state.
-    std::vector<char> activeNet_;
-    std::vector<std::int32_t> pc_[2];       ///< active-net pin counts per side
-    std::vector<std::int32_t> lockedPc_[2]; ///< locked pins per side (lookahead)
-    std::vector<char> locked_;
-    std::vector<std::int32_t> moveCount_; ///< per-pass moves (relaxed locking)
-    std::vector<char> blocked_; ///< CDIP: excluded for the rest of the pass
-    std::vector<Weight> gains_; ///< fastPassInit: cached per-module gains
-    std::vector<char> dirty_;   ///< fastPassInit: gain must be recomputed
-    bool gainsValid_ = false;   ///< fastPassInit: gains_ holds last pass's values
-    std::unique_ptr<GainBucketArray> bucket_[2];
+    // Per-refine() working state lives in the workspace; these are cursors
+    // into its buffers, refreshed whenever the buffers are (re)assigned.
+    // Pin counts are interleaved: pc_[2e + side].
+    refine::Workspace* ws_ = nullptr;
+    std::unique_ptr<refine::Workspace> owned_; ///< fallback when none is set
+    char* activeNet_ = nullptr;
+    std::int32_t* pc_ = nullptr;       ///< active-net pin counts, [2e + side]
+    std::int32_t* lockedPc_ = nullptr; ///< locked pins (lookahead), [2e + side]
+    char* locked_ = nullptr;
+    std::int32_t* moveCount_ = nullptr; ///< per-pass moves (relaxed locking)
+    char* blocked_ = nullptr; ///< CDIP: excluded for the rest of the pass
+    Weight* gains_ = nullptr; ///< fastPassInit: cached per-module gains
+    char* dirty_ = nullptr;   ///< fastPassInit: gain must be recomputed
+    bool gainsValid_ = false; ///< fastPassInit: gains_ holds last pass's values
+    GainBucketArray* bucket_[2] = {nullptr, nullptr};
 #if MLPART_CHECK_INVARIANTS
     /// Believed true gain minus displayed bucket gain per module (nonzero
     /// only in CLIP mode, where displayed gains are relative to the
@@ -89,8 +95,6 @@ private:
     std::vector<Weight> checkBase_;
     std::int64_t movesSinceAudit_ = 0;
 #endif
-    std::vector<MoveRec> moves_;
-    std::vector<ModuleId> lazyInsert_; ///< boundary mode: pending insertions
     Weight curActiveCut_ = 0;
     NetId ignoredNets_ = 0;
     int lastPassCount_ = 0;

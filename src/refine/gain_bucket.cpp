@@ -18,95 +18,38 @@ const char* toString(BucketPolicy p) {
     return "?";
 }
 
-GainBucketArray::GainBucketArray(ModuleId numModules, Weight maxGain, bool doubledRange, BucketPolicy policy)
-    : policy_(policy),
-      range_(std::min(kMaxRange, std::max<Weight>(1, maxGain)) * (doubledRange ? 2 : 1)) {
+GainBucketArray::GainBucketArray(ModuleId numModules, Weight maxGain, bool doubledRange, BucketPolicy policy) {
+    reset(numModules, maxGain, doubledRange, policy);
+}
+
+void GainBucketArray::reset(ModuleId numModules, Weight maxGain, bool doubledRange, BucketPolicy policy) {
     if (numModules < 0) throw std::invalid_argument("GainBucketArray: negative module count");
+    policy_ = policy;
+    range_ = std::min(kMaxRange, std::max<Weight>(1, maxGain)) * (doubledRange ? 2 : 1);
     const std::size_t nBuckets = static_cast<std::size_t>(2 * range_ + 1);
     heads_.assign(nBuckets, kInvalidModule);
     tails_.assign(nBuckets, kInvalidModule);
-    counts_.assign(nBuckets, 0);
-    prev_.assign(static_cast<std::size_t>(numModules), kInvalidModule);
-    next_.assign(static_cast<std::size_t>(numModules), kInvalidModule);
-    bucketOf_.assign(static_cast<std::size_t>(numModules), kNone);
+    nodes_.assign(static_cast<std::size_t>(numModules), Node{kInvalidModule, kInvalidModule, kNone});
+    maxIdx_ = -1;
+    size_ = 0;
 }
 
-void GainBucketArray::linkAtHead(ModuleId v, Weight idx) {
-    const std::size_t b = static_cast<std::size_t>(idx);
-    const ModuleId h = heads_[b];
-    prev_[static_cast<std::size_t>(v)] = kInvalidModule;
-    next_[static_cast<std::size_t>(v)] = h;
-    if (h != kInvalidModule) prev_[static_cast<std::size_t>(h)] = v;
-    heads_[b] = v;
-    if (tails_[b] == kInvalidModule) tails_[b] = v;
-    counts_[b]++;
-    bucketOf_[static_cast<std::size_t>(v)] = idx;
-    maxIdx_ = std::max(maxIdx_, idx);
-    ++size_;
-}
 
-void GainBucketArray::linkAtTail(ModuleId v, Weight idx) {
-    const std::size_t b = static_cast<std::size_t>(idx);
-    const ModuleId t = tails_[b];
-    next_[static_cast<std::size_t>(v)] = kInvalidModule;
-    prev_[static_cast<std::size_t>(v)] = t;
-    if (t != kInvalidModule) next_[static_cast<std::size_t>(t)] = v;
-    tails_[b] = v;
-    if (heads_[b] == kInvalidModule) heads_[b] = v;
-    counts_[b]++;
-    bucketOf_[static_cast<std::size_t>(v)] = idx;
-    maxIdx_ = std::max(maxIdx_, idx);
-    ++size_;
-}
 
-void GainBucketArray::unlink(ModuleId v) {
-    const Weight idx = bucketOf_[static_cast<std::size_t>(v)];
-    const std::size_t b = static_cast<std::size_t>(idx);
-    const ModuleId p = prev_[static_cast<std::size_t>(v)];
-    const ModuleId n = next_[static_cast<std::size_t>(v)];
-    if (p != kInvalidModule) next_[static_cast<std::size_t>(p)] = n;
-    else heads_[b] = n;
-    if (n != kInvalidModule) prev_[static_cast<std::size_t>(n)] = p;
-    else tails_[b] = p;
-    counts_[b]--;
-    bucketOf_[static_cast<std::size_t>(v)] = kNone;
-    --size_;
-    // Lower the max pointer past now-empty buckets.
-    while (maxIdx_ >= 0 && heads_[static_cast<std::size_t>(maxIdx_)] == kInvalidModule) --maxIdx_;
-}
 
-void GainBucketArray::insertAtIndex(ModuleId v, Weight idx) {
-    if (policy_ == BucketPolicy::kFifo) linkAtTail(v, idx);
-    else linkAtHead(v, idx); // LIFO and RANDOM: head insertion (RANDOM's
-                             // selection is what randomizes)
-}
 
-void GainBucketArray::insert(ModuleId v, Weight gain) {
-    if (contains(v)) throw std::invalid_argument("GainBucketArray::insert: module already present");
-    const Weight idx = std::clamp<Weight>(gain, -range_, range_) + range_;
-    insertAtIndex(v, idx);
-}
 
-void GainBucketArray::remove(ModuleId v) {
-    if (!contains(v)) throw std::invalid_argument("GainBucketArray::remove: module not present");
-    unlink(v);
-}
 
-void GainBucketArray::adjustGain(ModuleId v, Weight delta) {
-    if (!contains(v)) throw std::invalid_argument("GainBucketArray::adjustGain: module not present");
-    const Weight g = gain(v) + delta;
-    unlink(v);
-    insertAtIndex(v, std::clamp<Weight>(g, -range_, range_) + range_);
-}
 
 void GainBucketArray::clipConcatenate() {
     const Weight zeroIdx = range_;
     // Collect modules highest bucket first, preserving in-bucket order.
-    std::vector<ModuleId> order;
+    std::vector<ModuleId>& order = clipOrder_;
+    order.clear();
     order.reserve(static_cast<std::size_t>(size_));
-    for (Weight idx = static_cast<Weight>(heads_.size()) - 1; idx >= 0; --idx)
+    for (Weight idx = maxIdx_; idx >= 0; --idx)
         for (ModuleId v = heads_[static_cast<std::size_t>(idx)]; v != kInvalidModule;
-             v = next_[static_cast<std::size_t>(v)])
+             v = nodes_[static_cast<std::size_t>(v)].next)
             order.push_back(v);
     clear();
     // Rebuild as a single list in bucket zero: append at tail so that the
@@ -128,8 +71,7 @@ void GainBucketArray::clipConcatenate() {
 void GainBucketArray::clear() {
     std::fill(heads_.begin(), heads_.end(), kInvalidModule);
     std::fill(tails_.begin(), tails_.end(), kInvalidModule);
-    std::fill(counts_.begin(), counts_.end(), 0);
-    std::fill(bucketOf_.begin(), bucketOf_.end(), kNone);
+    for (Node& n : nodes_) n.bucket = kNone;
     maxIdx_ = -1;
     size_ = 0;
 }
@@ -140,14 +82,13 @@ bool GainBucketArray::checkInvariants() const {
     for (std::size_t b = 0; b < heads_.size(); ++b) {
         ModuleId count = 0;
         ModuleId prev = kInvalidModule;
-        for (ModuleId v = heads_[b]; v != kInvalidModule; v = next_[static_cast<std::size_t>(v)]) {
-            if (bucketOf_[static_cast<std::size_t>(v)] != static_cast<Weight>(b)) return false;
-            if (prev_[static_cast<std::size_t>(v)] != prev) return false;
+        for (ModuleId v = heads_[b]; v != kInvalidModule; v = nodes_[static_cast<std::size_t>(v)].next) {
+            if (nodes_[static_cast<std::size_t>(v)].bucket != static_cast<ModuleId>(b)) return false;
+            if (nodes_[static_cast<std::size_t>(v)].prev != prev) return false;
             prev = v;
             ++count;
         }
         if (tails_[b] != prev) return false;
-        if (counts_[b] != count) return false;
         if (count > 0) maxSeen = static_cast<Weight>(b);
         total += count;
     }

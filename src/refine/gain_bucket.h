@@ -13,8 +13,10 @@
 // range must be doubled, which the constructor's `doubledRange` does).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 #include "hypergraph/types.h"
@@ -41,17 +43,44 @@ public:
     /// weights); `doubledRange` doubles the index range for CLIP.
     GainBucketArray(ModuleId numModules, Weight maxGain, bool doubledRange, BucketPolicy policy);
 
+    /// Empty structure over zero modules; reset() before use. Exists so a
+    /// pooled workspace can hold bucket arrays by value.
+    GainBucketArray() = default;
+
+    /// Reinitializes to exactly the state the four-argument constructor
+    /// produces, reusing existing capacity — the pooled equivalent of
+    /// constructing a fresh structure.
+    void reset(ModuleId numModules, Weight maxGain, bool doubledRange, BucketPolicy policy);
+
+    // insert/remove/adjustGain are defined inline: they run once (or, for
+    // adjustGain, several times) per FM move and the list splices are a
+    // handful of loads/stores that the engines' inner loops want inlined.
+
     /// Inserts `v` with the given gain; `v` must not be present.
-    void insert(ModuleId v, Weight gain);
+    void insert(ModuleId v, Weight gain) {
+        if (contains(v)) throw std::invalid_argument("GainBucketArray::insert: module already present");
+        const Weight idx = std::clamp<Weight>(gain, -range_, range_) + range_;
+        insertAtIndex(v, idx);
+    }
     /// Removes `v`; it must be present.
-    void remove(ModuleId v);
+    void remove(ModuleId v) {
+        if (!contains(v)) throw std::invalid_argument("GainBucketArray::remove: module not present");
+        unlink(v);
+    }
     /// Adds `delta` to the gain of present module `v` (re-bucketing it
     /// according to the policy). Gains are clamped to the index range.
-    void adjustGain(ModuleId v, Weight delta);
+    void adjustGain(ModuleId v, Weight delta) {
+        if (!contains(v)) throw std::invalid_argument("GainBucketArray::adjustGain: module not present");
+        const Weight g = gain(v) + delta;
+        unlink(v);
+        insertAtIndex(v, std::clamp<Weight>(g, -range_, range_) + range_);
+    }
 
-    [[nodiscard]] bool contains(ModuleId v) const { return bucketOf_[static_cast<std::size_t>(v)] != kNone; }
+    [[nodiscard]] bool contains(ModuleId v) const { return nodes_[static_cast<std::size_t>(v)].bucket != kNone; }
     /// Current gain of present module `v`.
-    [[nodiscard]] Weight gain(ModuleId v) const { return bucketOf_[static_cast<std::size_t>(v)] - range_; }
+    [[nodiscard]] Weight gain(ModuleId v) const {
+        return static_cast<Weight>(nodes_[static_cast<std::size_t>(v)].bucket) - range_;
+    }
     [[nodiscard]] bool empty() const { return size_ == 0; }
     [[nodiscard]] ModuleId size() const { return size_; }
     [[nodiscard]] BucketPolicy policy() const { return policy_; }
@@ -62,10 +91,21 @@ public:
 
     /// Head of the list for gain `g` (kInvalidModule when empty).
     [[nodiscard]] ModuleId head(Weight g) const { return heads_[static_cast<std::size_t>(g + range_)]; }
+    /// Head of the highest non-empty bucket (kInvalidModule when empty) —
+    /// exactly what selectBest() returns under LIFO/FIFO when every
+    /// module is feasible, without the per-candidate scan.
+    [[nodiscard]] ModuleId top() const {
+        return maxIdx_ >= 0 ? heads_[static_cast<std::size_t>(maxIdx_)] : kInvalidModule;
+    }
     /// Next module after `v` in its bucket list (kInvalidModule at end).
-    [[nodiscard]] ModuleId next(ModuleId v) const { return next_[static_cast<std::size_t>(v)]; }
-    /// Number of modules in the bucket for gain `g`.
-    [[nodiscard]] ModuleId bucketSize(Weight g) const { return counts_[static_cast<std::size_t>(g + range_)]; }
+    [[nodiscard]] ModuleId next(ModuleId v) const { return nodes_[static_cast<std::size_t>(v)].next; }
+    /// Number of modules in the bucket for gain `g` (O(length): counts are
+    /// not maintained — nothing on the hot path needs them).
+    [[nodiscard]] ModuleId bucketSize(Weight g) const {
+        ModuleId n = 0;
+        for (ModuleId v = head(g); v != kInvalidModule; v = next(v)) ++n;
+        return n;
+    }
 
     /// Highest-gain module satisfying `feasible`, honouring the policy
     /// within the winning bucket (RANDOM picks uniformly among feasible
@@ -79,7 +119,7 @@ public:
             if (policy_ == BucketPolicy::kRandom) {
                 ModuleId chosen = kInvalidModule;
                 std::int64_t seen = 0;
-                for (ModuleId v = h; v != kInvalidModule; v = next_[static_cast<std::size_t>(v)]) {
+                for (ModuleId v = h; v != kInvalidModule; v = nodes_[static_cast<std::size_t>(v)].next) {
                     if (!feasible(v)) continue;
                     ++seen;
                     // Reservoir sampling keeps the pick uniform in one scan.
@@ -87,7 +127,7 @@ public:
                 }
                 if (chosen != kInvalidModule) return chosen;
             } else {
-                for (ModuleId v = h; v != kInvalidModule; v = next_[static_cast<std::size_t>(v)])
+                for (ModuleId v = h; v != kInvalidModule; v = nodes_[static_cast<std::size_t>(v)].next)
                     if (feasible(v)) return v;
             }
         }
@@ -107,20 +147,69 @@ public:
     [[nodiscard]] bool checkInvariants() const;
 
 private:
-    void linkAtHead(ModuleId v, Weight idx);
-    void linkAtTail(ModuleId v, Weight idx);
-    void unlink(ModuleId v);
-    void insertAtIndex(ModuleId v, Weight idx);
+    /// Per-module list state, packed so one cache line covers everything a
+    /// link/unlink touches about a module. Bucket indices fit ModuleId:
+    /// the range cap bounds them by 4*kMaxRange + 1.
+    struct Node {
+        ModuleId prev;
+        ModuleId next;
+        ModuleId bucket; ///< bucket index or kNone
+    };
 
-    static constexpr Weight kNone = -1;
+    void linkAtHead(ModuleId v, Weight idx) {
+        const std::size_t b = static_cast<std::size_t>(idx);
+        const ModuleId h = heads_[b];
+        Node& nv = nodes_[static_cast<std::size_t>(v)];
+        nv.prev = kInvalidModule;
+        nv.next = h;
+        nv.bucket = static_cast<ModuleId>(idx);
+        if (h != kInvalidModule) nodes_[static_cast<std::size_t>(h)].prev = v;
+        heads_[b] = v;
+        if (tails_[b] == kInvalidModule) tails_[b] = v;
+        maxIdx_ = std::max(maxIdx_, idx);
+        ++size_;
+    }
+    void linkAtTail(ModuleId v, Weight idx) {
+        const std::size_t b = static_cast<std::size_t>(idx);
+        const ModuleId t = tails_[b];
+        Node& nv = nodes_[static_cast<std::size_t>(v)];
+        nv.next = kInvalidModule;
+        nv.prev = t;
+        nv.bucket = static_cast<ModuleId>(idx);
+        if (t != kInvalidModule) nodes_[static_cast<std::size_t>(t)].next = v;
+        tails_[b] = v;
+        if (heads_[b] == kInvalidModule) heads_[b] = v;
+        maxIdx_ = std::max(maxIdx_, idx);
+        ++size_;
+    }
+    void unlink(ModuleId v) {
+        Node& nv = nodes_[static_cast<std::size_t>(v)];
+        const std::size_t b = static_cast<std::size_t>(nv.bucket);
+        const ModuleId p = nv.prev;
+        const ModuleId n = nv.next;
+        if (p != kInvalidModule) nodes_[static_cast<std::size_t>(p)].next = n;
+        else heads_[b] = n;
+        if (n != kInvalidModule) nodes_[static_cast<std::size_t>(n)].prev = p;
+        else tails_[b] = p;
+        nv.bucket = kNone;
+        --size_;
+        // Lower the max pointer past now-empty buckets.
+        while (maxIdx_ >= 0 && heads_[static_cast<std::size_t>(maxIdx_)] == kInvalidModule) --maxIdx_;
+    }
+    void insertAtIndex(ModuleId v, Weight idx) {
+        if (policy_ == BucketPolicy::kFifo) linkAtTail(v, idx);
+        else linkAtHead(v, idx); // LIFO and RANDOM: head insertion (RANDOM's
+                                 // selection is what randomizes)
+    }
 
-    BucketPolicy policy_;
-    Weight range_;                ///< gains live in [-range_, +range_]
+    static constexpr ModuleId kNone = -1;
+
+    BucketPolicy policy_ = BucketPolicy::kLifo;
+    Weight range_ = 0;            ///< gains live in [-range_, +range_]
     std::vector<ModuleId> heads_; ///< per bucket index
     std::vector<ModuleId> tails_;
-    std::vector<ModuleId> counts_;
-    std::vector<ModuleId> prev_, next_; ///< per module
-    std::vector<Weight> bucketOf_;      ///< bucket index or kNone
+    std::vector<Node> nodes_;           ///< per module
+    std::vector<ModuleId> clipOrder_;   ///< clipConcatenate scratch (pooled)
     Weight maxIdx_ = -1;                ///< highest non-empty bucket index
     ModuleId size_ = 0;
 };

@@ -13,6 +13,10 @@
 
 namespace mlpart {
 
+namespace refine {
+struct Workspace; // refine/workspace.h
+} // namespace refine
+
 /// A refiner improves a partition in place via local moves and returns the
 /// resulting (exact, all-nets) cut weight.
 class Refiner {
@@ -32,6 +36,13 @@ public:
     /// prefix and return early — the partition stays valid and balanced.
     /// Engines that ignore deadlines simply run to completion.
     virtual void setDeadline(const robust::Deadline& deadline) { (void)deadline; }
+
+    /// Pools this engine's per-refine() scratch buffers in `ws` (which must
+    /// outlive the refiner). The multilevel driver keeps one workspace per
+    /// V-cycle so the per-level engines resize instead of reallocating.
+    /// Engines without pooled state ignore the call; passing nullptr (or
+    /// never calling) makes the engine use private storage.
+    virtual void setWorkspace(refine::Workspace* ws) { (void)ws; }
 };
 
 /// Creates a refiner bound to a hypergraph; used by the multilevel driver

@@ -1,0 +1,70 @@
+// Pooled working storage for the refinement engines.
+//
+// FMRefiner and KWayFMRefiner are constructed per hierarchy level by the
+// multilevel driver, so any buffer owned by the refiner object itself is
+// reallocated O(levels) times per V-cycle — and the per-module/per-net
+// buffers made that O(levels x modules) heap traffic. A Workspace owns
+// every such buffer and outlives the refiners: the driver keeps one per
+// V-cycle (one per worker thread under parallelMultiStart) and hands it to
+// each refiner via Refiner::setWorkspace(). Buffers are only ever
+// assign()/resize()'d, so capacity grows monotonically — after the first
+// (largest) level of the first cycle the hot path performs no scratch
+// allocation at all.
+//
+// Engines that are never given a workspace lazily create a private one, so
+// standalone use (flat FM tests, LSMC, recursive bisection) is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/types.h"
+#include "refine/gain_bucket.h"
+
+namespace mlpart::refine {
+
+/// One accepted/attempted move of the bipartition engine.
+struct FMMove {
+    ModuleId v;
+    PartId from;
+    Weight delta; ///< true active-cut reduction of this move
+};
+
+/// One move of the k-way engine.
+struct KWayMove {
+    ModuleId v;
+    PartId from, to;
+    Weight delta;
+};
+
+struct Workspace {
+    // --- Bipartition FM (FMRefiner) ---
+    std::vector<char> activeNet;
+    /// Active-net pin counts per side, interleaved as [2e + side] so both
+    /// sides of a net share a cache line (the engines always touch them in
+    /// pairs).
+    std::vector<std::int32_t> pc;
+    std::vector<std::int32_t> lockedPc; ///< interleaved like pc
+    std::vector<char> locked;
+    std::vector<std::int32_t> moveCount;
+    std::vector<char> blocked;
+    std::vector<Weight> gains;
+    std::vector<char> dirty;
+    std::vector<FMMove> moves;
+    std::vector<ModuleId> lazyInsert;
+    GainBucketArray bucket[2];
+
+    // --- k-way FM (KWayFMRefiner) --- kept separate from the 2-way pools
+    // so a driver that alternates engine kinds does not thrash either set.
+    std::vector<char> kActiveNet;
+    std::vector<std::int32_t> kCounts;       ///< per (net, block), row-major
+    std::vector<std::int32_t> kLockedCounts; ///< per (net, block)
+    std::vector<PartId> kSpan;
+    std::vector<char> kLocked;
+    std::vector<Weight> kRealGain; ///< per (module, target block)
+    std::vector<std::uint64_t> kTouched;
+    std::vector<KWayMove> kMoves;
+    std::vector<GainBucketArray> kBuckets; ///< k*k, diagonal unused
+};
+
+} // namespace mlpart::refine

@@ -1,0 +1,164 @@
+// Differential tests pinning the coarsening kernel (induceInto) to the
+// legacy HypergraphBuilder path (induceReference), plus the V-cycle
+// allocation-discipline check: after one warm-up run, a whole V-cycle
+// through pooled workspaces allocates O(levels) times, not
+// O(levels x modules).
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "check/verify_hypergraph.h"
+#include "coarsen/coarsen_kernel.h"
+#include "coarsen/induce.h"
+#include "coarsen/matcher.h"
+#include "core/multilevel.h"
+#include "gen/benchmark_suite.h"
+#include "refine/multistart.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+// ---- counting allocator -------------------------------------------------
+// Global new/delete overrides: every heap allocation in the test binary
+// bumps the counter. Only the deltas sampled around the code under test
+// matter; gtest's own allocations outside those windows are irrelevant.
+std::atomic<std::int64_t> g_allocCount{0};
+
+std::int64_t allocationsSinceStart() { return g_allocCount.load(std::memory_order_relaxed); }
+
+} // namespace
+} // namespace mlpart
+
+void* operator new(std::size_t size) {
+    mlpart::g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    mlpart::g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace mlpart {
+namespace {
+
+/// Coarsens `h` level by level with the given matcher, comparing the
+/// kernel's output against the builder path on every level.
+void compareAllLevels(Hypergraph h, CoarsenerKind kind, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    CoarsenWorkspace ws;
+    int guard = 0;
+    while (h.numModules() > 35 && guard++ < 64) {
+        MatchConfig mc;
+        mc.ratio = 0.5;
+        // Two independent rng streams would diverge; clone the matcher's
+        // clustering for both induce paths instead.
+        const Clustering c = runMatcher(kind, h, mc, rng);
+        if (c.numClusters == h.numModules()) break; // no progress (tiny inputs)
+        const Hypergraph got = induceInto(h, c, ws);
+        const Hypergraph want = induceReference(h, c);
+        const check::CheckResult r = check::verifyIdenticalHypergraphs(got, want);
+        ASSERT_TRUE(r.ok()) << r.summary();
+        EXPECT_GT(r.factsChecked, 0);
+        h = got;
+    }
+}
+
+TEST(CoarsenKernelDifferential, GenSuiteAcrossSeeds) {
+    // A spread of Table I synthetics (scaled) x seeds 1..5, connectivity
+    // matching — the production configuration.
+    for (const char* name : {"balu", "primary1", "struct", "test05", "primary2"}) {
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            SCOPED_TRACE(::testing::Message() << name << " seed " << seed);
+            compareAllLevels(benchmarkInstance(name, 0.5), CoarsenerKind::kConnectivityMatch, seed);
+        }
+    }
+}
+
+TEST(CoarsenKernelDifferential, AlternateMatchers) {
+    // Random and heavy-edge matchings produce differently-shaped
+    // clusterings (more singletons / heavier clusters); the kernel must
+    // stay bit-identical under them too.
+    for (const CoarsenerKind kind : {CoarsenerKind::kRandomMatch, CoarsenerKind::kHeavyEdgeMatch}) {
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            SCOPED_TRACE(::testing::Message() << static_cast<int>(kind) << " seed " << seed);
+            compareAllLevels(benchmarkInstance("primary1", 0.5), kind, seed);
+        }
+    }
+}
+
+TEST(CoarsenKernelDifferential, DegenerateClusterings) {
+    const Hypergraph h = testing::tinyPath();
+    CoarsenWorkspace ws;
+
+    // Identity clustering: coarse == fine.
+    Clustering ident;
+    ident.numClusters = h.numModules();
+    for (ModuleId v = 0; v < h.numModules(); ++v) ident.clusterOf.push_back(v);
+    auto r = check::verifyIdenticalHypergraphs(induceInto(h, ident, ws), induceReference(h, ident));
+    EXPECT_TRUE(r.ok()) << r.summary();
+
+    // Everything in one cluster: all nets vanish.
+    Clustering one;
+    one.numClusters = 1;
+    one.clusterOf.assign(static_cast<std::size_t>(h.numModules()), 0);
+    const Hypergraph coarse = induceInto(h, one, ws);
+    EXPECT_EQ(coarse.numModules(), 1);
+    EXPECT_EQ(coarse.numNets(), 0);
+    r = check::verifyIdenticalHypergraphs(coarse, induceReference(h, one));
+    EXPECT_TRUE(r.ok()) << r.summary();
+
+    // Pairs that force parallel coarse nets ({0,1}{1,2} -> both {A,B}).
+    Clustering pairs;
+    pairs.numClusters = 3;
+    pairs.clusterOf = {0, 0, 1, 1, 2, 2};
+    r = check::verifyIdenticalHypergraphs(induceInto(h, pairs, ws), induceReference(h, pairs));
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(VCycleAllocationDiscipline, WarmRunsAllocateOLevels) {
+#if MLPART_CHECK_INVARIANTS
+    // The checked build's differential oracle re-runs the builder-path
+    // induce (and allocates audit state) on every level, so the
+    // production-build allocation bound does not apply.
+    GTEST_SKIP() << "allocation discipline is asserted in non-checked builds only";
+#endif
+    const Hypergraph h = testing::mediumCircuit(4000, 11);
+
+    MLConfig cfg;
+    cfg.matchingRatio = 0.5;
+    FMConfig fm;
+    fm.variant = EngineVariant::kCLIP;
+    const MultilevelPartitioner ml(cfg, makeFMFactory(fm));
+
+    MLWorkspace ws;
+    std::mt19937_64 rng(1);
+    const MLResult warm = ml.run(h, rng, robust::Deadline{}, ws); // sizes every pooled buffer
+    ASSERT_GT(warm.levels, 3);
+
+    const std::int64_t before = allocationsSinceStart();
+    const MLResult second = ml.run(h, rng, robust::Deadline{}, ws);
+    const std::int64_t warmAllocs = allocationsSinceStart() - before;
+
+    // O(levels), not O(levels x modules): per level the driver may create
+    // a handful of transient owners (the returned Hypergraph's arrays, the
+    // per-level partition, refiner construction) — a generous constant per
+    // level plus slack for the returned MLResult, but nowhere near the
+    // module count. The pre-pooling driver spent tens of thousands of
+    // allocations here.
+    const std::int64_t perLevelBudget = 48;
+    EXPECT_LT(warmAllocs, 128 + perLevelBudget * static_cast<std::int64_t>(second.levels))
+        << "warm V-cycle allocated " << warmAllocs << " times over " << second.levels
+        << " levels";
+    EXPECT_LT(warmAllocs, static_cast<std::int64_t>(h.numModules()));
+}
+
+} // namespace
+} // namespace mlpart

@@ -26,6 +26,10 @@
 #include <string>
 
 #include "check/check.h"
+#include "check/verify_hypergraph.h"
+#include "coarsen/coarsen_kernel.h"
+#include "coarsen/induce.h"
+#include "coarsen/matcher.h"
 #include "core/multilevel.h"
 #include "core/parallel_multistart.h"
 #include "gen/grid_generator.h"
@@ -199,6 +203,30 @@ void fuzzMultiStart(const Hypergraph& h, std::mt19937_64& rng) {
     verifyResult(h, out.best, bc, out.bestCut, "fuzz multistart");
 }
 
+/// Differential oracle for the coarsening kernel: coarsen level by level
+/// with a random matcher/ratio and pin induceInto()'s output to the
+/// legacy builder path (induceReference) on every level.
+void fuzzCoarsenDifferential(const Hypergraph& h0, std::mt19937_64& rng) {
+    const CoarsenerKind kinds[] = {CoarsenerKind::kConnectivityMatch,
+                                   CoarsenerKind::kRandomMatch,
+                                   CoarsenerKind::kHeavyEdgeMatch};
+    const CoarsenerKind kind = kinds[rng() % 3];
+    const double ratios[] = {1.0, 0.5, 0.33};
+    MatchConfig mc;
+    mc.ratio = ratios[rng() % 3];
+    CoarsenWorkspace ws;
+    Hypergraph h = h0;
+    int guard = 0;
+    while (h.numModules() > 35 && guard++ < 64) {
+        const Clustering c = runMatcher(kind, h, mc, rng);
+        if (c.numClusters == h.numModules()) break;
+        Hypergraph got = induceInto(h, c, ws);
+        check::enforce(check::verifyIdenticalHypergraphs(got, induceReference(h, c)),
+                       "fuzz coarsen differential");
+        h = std::move(got);
+    }
+}
+
 /// Random injection schedule for one iteration, derived from `rng` alone.
 robust::FaultPlan randomFaultPlan(std::mt19937_64& rng) {
     robust::FaultPlan plan;
@@ -219,20 +247,22 @@ int main(int argc, char** argv) {
     for (int it = 0; it < opt.iterations; ++it) {
         std::string label;
         const Hypergraph h = makeCircuit(opt.modules, rng, label);
-        const int mode = static_cast<int>(rng() % 4);
+        const int mode = static_cast<int>(rng() % 5);
         if (opt.inject) injector.arm(randomFaultPlan(rng));
         if (opt.verbose)
             std::fprintf(stderr, "iter %d: %s mode=%s\n", it, label.c_str(),
                          mode == 0   ? "flat2"
                          : mode == 1 ? "flatK"
                          : mode == 2 ? "ml"
-                                     : "multistart");
+                         : mode == 3 ? "multistart"
+                                     : "coarsen-diff");
         try {
             switch (mode) {
                 case 0: fuzzFlatBipartition(h, rng); break;
                 case 1: fuzzFlatKWay(h, rng); break;
                 case 2: fuzzMultilevel(h, rng); break;
-                default: fuzzMultiStart(h, rng); break;
+                case 3: fuzzMultiStart(h, rng); break;
+                default: fuzzCoarsenDifferential(h, rng); break;
             }
         } catch (const robust::Error& e) {
             // Structured failure — the only acceptable way to not finish.

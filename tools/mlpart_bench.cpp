@@ -1,0 +1,319 @@
+// mlpart_bench — machine-readable perf harness for the ML V-cycle.
+//
+// Runs the Table I synthetic suite (src/gen/benchmark_suite) and/or .hgr
+// files through the paper's default ML configuration (k=2, R=0.5, r=0.1,
+// CLIP engine — the same defaults as `mlpart partition`, so cuts are
+// directly comparable), and reports per-phase wall time (coarsen /
+// initial / refine, from MLResult::timings), end-to-end wall time, peak
+// RSS, levels, and cut statistics. Results go to BENCH_ML.json so every
+// PR leaves a perf trajectory point behind.
+//
+//   mlpart_bench [instances...] [options]
+//     instances       Table I names (e.g. golem3) or *.hgr paths;
+//                     default: the quick synthetic subset
+//     --quick         3 small instances (CI perf-smoke configuration)
+//     --full          all 23 Table I circuits
+//     --runs N        multi-start runs per instance (default 3)
+//     --seed S        base seed; run i uses the same per-run seed stream
+//                     as parallelMultiStart, so cuts match the CLI
+//     --threads T     worker threads (default 1; runs are distributed
+//                     round-robin, per-run seeds — and thus cuts — do not
+//                     depend on T)
+//     --engine E      fm | clip (default clip)
+//     --scale X       synthetic-instance scale in (0,1] (default 1)
+//     -o FILE         output JSON (default BENCH_ML.json)
+//     --compare FILE  baseline JSON: exit 1 if any shared instance's
+//                     wall_sec regressed more than --max-regression
+//     --max-regression PCT   allowed slowdown vs baseline (default 25)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <sys/resource.h>
+#include <thread>
+#include <vector>
+
+#include "analysis/run_stats.h"
+#include "gen/benchmark_suite.h"
+#include "hypergraph/io.h"
+#include "hypergraph/stats.h"
+#include "core/multilevel.h"
+#include "refine/multistart.h"
+
+namespace {
+
+using namespace mlpart;
+
+/// Peak resident set size in KiB: VmHWM from /proc/self/status where
+/// available (Linux), getrusage otherwise.
+long peakRssKb() {
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            long kb = 0;
+            std::sscanf(line.c_str(), "VmHWM: %ld", &kb);
+            return kb;
+        }
+    }
+    rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss; // KiB on Linux
+}
+
+struct InstanceResult {
+    std::string name;
+    std::string source; ///< "synthetic" or "file"
+    ModuleId modules = 0;
+    NetId nets = 0;
+    std::int64_t pins = 0;
+    int runs = 0;
+    int levels = 0;        ///< levels of the best run
+    Weight bestCut = 0;
+    double avgCut = 0.0;
+    double coarsenSec = 0.0; ///< summed over all runs
+    double initialSec = 0.0;
+    double refineSec = 0.0;
+    double wallSec = 0.0; ///< end-to-end, all runs
+    long peakRssKb = 0;   ///< process high-water mark after this instance
+};
+
+struct Options {
+    std::vector<std::string> instances;
+    int runs = 3;
+    std::uint64_t seed = 1;
+    int threads = 1;
+    std::string engine = "clip";
+    double scale = 1.0;
+    std::string out = "BENCH_ML.json";
+    std::string compare;
+    double maxRegressionPct = 25.0;
+};
+
+[[noreturn]] void usage(const std::string& msg = "") {
+    if (!msg.empty()) std::cerr << "error: " << msg << "\n";
+    std::cerr << "usage: mlpart_bench [instances...] [--quick|--full] [--runs N] [--seed S]\n"
+                 "                    [--threads T] [--engine fm|clip] [--scale X]\n"
+                 "                    [-o FILE] [--compare BASELINE.json] [--max-regression PCT]\n";
+    std::exit(2);
+}
+
+Options parseOptions(int argc, char** argv) {
+    Options o;
+    bool quick = false, full = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) usage("flag " + arg + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--quick") quick = true;
+        else if (arg == "--full") full = true;
+        else if (arg == "--runs") o.runs = std::stoi(value());
+        else if (arg == "--seed") o.seed = std::stoull(value());
+        else if (arg == "--threads") o.threads = std::stoi(value());
+        else if (arg == "--engine") o.engine = value();
+        else if (arg == "--scale") o.scale = std::stod(value());
+        else if (arg == "-o" || arg == "--out") o.out = value();
+        else if (arg == "--compare") o.compare = value();
+        else if (arg == "--max-regression") o.maxRegressionPct = std::stod(value());
+        else if (!arg.empty() && arg[0] == '-') usage("unknown flag " + arg);
+        else o.instances.push_back(arg);
+    }
+    if (quick && full) usage("--quick and --full are mutually exclusive");
+    if (o.runs < 1) usage("--runs must be >= 1");
+    if (o.threads < 1) usage("--threads must be >= 1");
+    if (o.engine != "fm" && o.engine != "clip") usage("--engine must be fm or clip");
+    if (o.instances.empty()) {
+        if (quick) o.instances = {"balu", "primary1", "struct"};
+        else if (full) o.instances = fullSuite();
+        else o.instances = quickSuite();
+    }
+    return o;
+}
+
+/// One instance through `runs` V-cycles with per-run seeds identical to
+/// parallelMultiStart's first attempt, distributed over `threads` workers
+/// (each with its own pooled MLWorkspace, mirroring the production driver).
+InstanceResult benchInstance(const std::string& name, const Hypergraph& h, const Options& o) {
+    MLConfig cfg;
+    cfg.matchingRatio = 0.5;
+    cfg.tolerance = 0.1;
+    FMConfig fm;
+    fm.tolerance = cfg.tolerance;
+    if (o.engine == "clip") fm.variant = EngineVariant::kCLIP;
+    MultilevelPartitioner ml(cfg, makeFMFactory(fm));
+
+    const HypergraphStats stats = computeStats(h);
+    InstanceResult r;
+    r.name = name;
+    r.modules = stats.numModules;
+    r.nets = stats.numNets;
+    r.pins = stats.numPins;
+    r.runs = o.runs;
+
+    std::vector<MLResult> results(static_cast<std::size_t>(o.runs));
+    const int threads = std::min(o.threads, o.runs);
+    Stopwatch watch;
+    auto worker = [&](int t) {
+        MLWorkspace ws;
+        for (int i = t; i < o.runs; i += threads) {
+            std::mt19937_64 rng(o.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(i));
+            results[static_cast<std::size_t>(i)] = ml.run(h, rng, robust::Deadline{}, ws);
+        }
+    };
+    if (threads == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+        for (auto& th : pool) th.join();
+    }
+    r.wallSec = watch.seconds();
+
+    r.bestCut = results[0].cut;
+    r.levels = results[0].levels;
+    double sum = 0.0;
+    for (const MLResult& res : results) {
+        sum += static_cast<double>(res.cut);
+        if (res.cut < r.bestCut) {
+            r.bestCut = res.cut;
+            r.levels = res.levels;
+        }
+        r.coarsenSec += res.timings.coarsenSec;
+        r.initialSec += res.timings.initialSec;
+        r.refineSec += res.timings.refineSec;
+    }
+    r.avgCut = sum / static_cast<double>(o.runs);
+    r.peakRssKb = peakRssKb();
+    return r;
+}
+
+void writeJson(const std::string& path, const Options& o, const std::vector<InstanceResult>& rs) {
+    std::ostringstream j;
+    j.precision(6);
+    j << std::fixed;
+    j << "{\n"
+      << "  \"schema\": \"mlpart-bench-v1\",\n"
+      << "  \"engine\": \"" << o.engine << "\",\n"
+      << "  \"seed\": " << o.seed << ",\n"
+      << "  \"threads\": " << o.threads << ",\n"
+      << "  \"runs\": " << o.runs << ",\n"
+      << "  \"instances\": [\n";
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        const InstanceResult& r = rs[i];
+        j << "    {\n"
+          << "      \"instance\": \"" << r.name << "\",\n"
+          << "      \"source\": \"" << r.source << "\",\n"
+          << "      \"modules\": " << r.modules << ",\n"
+          << "      \"nets\": " << r.nets << ",\n"
+          << "      \"pins\": " << r.pins << ",\n"
+          << "      \"runs\": " << r.runs << ",\n"
+          << "      \"levels\": " << r.levels << ",\n"
+          << "      \"best_cut\": " << r.bestCut << ",\n"
+          << "      \"avg_cut\": " << r.avgCut << ",\n"
+          << "      \"coarsen_sec\": " << r.coarsenSec << ",\n"
+          << "      \"initial_sec\": " << r.initialSec << ",\n"
+          << "      \"refine_sec\": " << r.refineSec << ",\n"
+          << "      \"wall_sec\": " << r.wallSec << ",\n"
+          << "      \"peak_rss_kb\": " << r.peakRssKb << "\n"
+          << "    }" << (i + 1 < rs.size() ? "," : "") << "\n";
+    }
+    j << "  ]\n}\n";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "error: cannot write " << path << "\n";
+        std::exit(1);
+    }
+    out << j.str();
+}
+
+/// Minimal scan of a previous BENCH_ML.json: instance -> wall_sec. Only
+/// the two keys this harness itself emits are recognized, which is all
+/// the regression gate needs.
+std::map<std::string, double> readBaselineWalls(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "error: cannot read baseline " << path << "\n";
+        std::exit(1);
+    }
+    std::map<std::string, double> walls;
+    std::string line, current;
+    while (std::getline(in, line)) {
+        const auto grab = [&](const char* key) -> std::string {
+            const std::size_t k = line.find(key);
+            if (k == std::string::npos) return {};
+            std::size_t v = line.find(':', k);
+            if (v == std::string::npos) return {};
+            std::string rest = line.substr(v + 1);
+            rest.erase(std::remove_if(rest.begin(), rest.end(),
+                                      [](char c) { return c == '"' || c == ',' || c == ' '; }),
+                       rest.end());
+            return rest;
+        };
+        if (std::string v = grab("\"instance\""); !v.empty()) current = v;
+        if (std::string v = grab("\"wall_sec\""); !v.empty() && !current.empty())
+            walls[current] = std::stod(v);
+    }
+    return walls;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const Options o = parseOptions(argc, argv);
+
+    std::vector<InstanceResult> results;
+    for (const std::string& inst : o.instances) {
+        const bool isFile = inst.find(".hgr") != std::string::npos ||
+                            std::filesystem::exists(inst);
+        Hypergraph h = isFile ? readHgrFile(inst) : benchmarkInstance(inst, o.scale);
+        const std::string name =
+            isFile ? std::filesystem::path(inst).stem().string() : inst;
+        std::cout << name << " (" << h.numModules() << " modules, " << h.numNets()
+                  << " nets): " << std::flush;
+        InstanceResult r = benchInstance(name, h, o);
+        r.source = isFile ? "file" : "synthetic";
+        results.push_back(r);
+        std::printf("cut %lld (avg %.1f), %.3fs wall [coarsen %.3f, initial %.3f, refine %.3f], rss %ld KiB\n",
+                    static_cast<long long>(r.bestCut), r.avgCut, r.wallSec, r.coarsenSec,
+                    r.initialSec, r.refineSec, r.peakRssKb);
+    }
+
+    writeJson(o.out, o, results);
+    std::cout << "wrote " << o.out << "\n";
+
+    if (!o.compare.empty()) {
+        const std::map<std::string, double> base = readBaselineWalls(o.compare);
+        bool regressed = false;
+        int compared = 0;
+        for (const InstanceResult& r : results) {
+            const auto it = base.find(r.name);
+            if (it == base.end()) continue;
+            ++compared;
+            const double allowed = it->second * (1.0 + o.maxRegressionPct / 100.0);
+            if (r.wallSec > allowed) {
+                std::printf("REGRESSION %s: %.3fs vs baseline %.3fs (> +%.0f%%)\n", r.name.c_str(),
+                            r.wallSec, it->second, o.maxRegressionPct);
+                regressed = true;
+            } else {
+                std::printf("ok %s: %.3fs vs baseline %.3fs\n", r.name.c_str(), r.wallSec,
+                            it->second);
+            }
+        }
+        if (compared == 0) {
+            std::cerr << "error: baseline " << o.compare << " shares no instances with this run\n";
+            return 1;
+        }
+        if (regressed) return 1;
+        std::cout << "perf gate passed (" << compared << " instances, max regression "
+                  << o.maxRegressionPct << "%)\n";
+    }
+    return 0;
+}

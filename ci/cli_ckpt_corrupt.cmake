@@ -1,0 +1,15 @@
+# ctest helper for cli_ckpt_corrupt: stage a corrupt checkpoint fixture at
+# a scratch path (the committed fixture must stay pristine), then resume
+# from it. The CLI must fall back to a fresh run and exit 0; ctest pins
+# the fallback diagnostic via PASS_REGULAR_EXPRESSION.
+# Variables: CLI, HGR, FIXTURE, OUT.
+execute_process(COMMAND ${CMAKE_COMMAND} -E copy ${FIXTURE} ${OUT}
+  RESULT_VARIABLE copy_rc)
+if(NOT copy_rc EQUAL 0)
+  message(FATAL_ERROR "failed to stage fixture ${FIXTURE} -> ${OUT}")
+endif()
+execute_process(COMMAND ${CLI} partition ${HGR} --runs 3 --checkpoint ${OUT} --resume
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "resume from a corrupt checkpoint must exit 0, got ${run_rc}")
+endif()

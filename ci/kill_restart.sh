@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Kill-restart harness (DESIGN.md §10): SIGKILL a checkpointed CLI run at
+# randomized delays, resume it, and assert the final cut is bit-identical
+# to a run that was never interrupted. Also proves a corrupt checkpoint
+# degrades to a clean fresh-start fallback. Run it against a sanitizer
+# build directory to catch lifetime bugs on the crash/resume paths.
+#
+#   ci/kill_restart.sh [build-dir] [iterations]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+iterations="${2:-6}"
+cli="$build/tools/mlpart"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+[ -x "$cli" ] || { echo "kill_restart.sh: $cli not built" >&2; exit 2; }
+
+"$cli" gen rent --modules 400 --nets 430 --seed 5 -o "$work/kr.hgr"
+
+run_cut() { # run_cut <extra args...> -> prints the final best cut
+    "$cli" partition "$work/kr.hgr" --runs 8 --seed 9 --threads 2 "$@" |
+        sed -n 's/.*min cut: *\([0-9][0-9]*\).*/\1/p' | head -1
+}
+
+oracle="$(run_cut)"
+[ -n "$oracle" ] || { echo "kill_restart.sh: no oracle cut parsed" >&2; exit 2; }
+echo "oracle cut: $oracle"
+
+for i in $(seq 1 "$iterations"); do
+    ckpt="$work/kr_$i.ckpt"
+    # Deterministic spread of kill points, from "barely started" to "almost
+    # done"; each iteration crashes a fresh run, then one or more resumed
+    # runs, before letting the final resume finish.
+    for delay_ms in 5 $((10 * i)) $((25 * i)); do
+        "$cli" partition "$work/kr.hgr" --runs 8 --seed 9 --threads 2 \
+            --checkpoint "$ckpt" --resume >/dev/null 2>&1 &
+        pid=$!
+        sleep "$(printf '0.%03d' "$delay_ms")"
+        kill -KILL "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    resumed="$(run_cut --checkpoint "$ckpt" --resume)"
+    if [ "$resumed" != "$oracle" ]; then
+        echo "kill_restart.sh: iteration $i diverged: resumed cut $resumed != oracle $oracle" >&2
+        exit 1
+    fi
+    echo "iteration $i: resumed cut $resumed == oracle"
+done
+
+# Corrupt-checkpoint fallback: a damaged file must yield a fresh run with
+# the oracle cut and exit 0 — never a crash.
+cp tests/data/corrupt/bitflip_section.ckpt "$work/bad.ckpt"
+fallback="$(run_cut --checkpoint "$work/bad.ckpt" --resume)"
+if [ "$fallback" != "$oracle" ]; then
+    echo "kill_restart.sh: corrupt fallback diverged: $fallback != $oracle" >&2
+    exit 1
+fi
+
+echo "kill_restart.sh: $iterations kill/resume iterations bit-identical"

@@ -28,4 +28,6 @@ cmake --build "$dir" -j "$(nproc)"
 ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
 "./$dir/tools/fuzz_invariants" --iterations 50 --seed 1 --modules 220
 "./$dir/tools/fuzz_invariants" --iterations 40 --seed 3 --modules 160 --inject
+"./$dir/tools/fuzz_invariants" --iterations 10 --seed 5 --modules 150 --checkpoint
+ci/kill_restart.sh "$dir" 6
 echo "sanitize.sh ($mode): all clean"

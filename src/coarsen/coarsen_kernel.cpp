@@ -5,6 +5,7 @@
 
 #include "hypergraph/assemble.h"
 #include "robust/fault_injector.h"
+#include "robust/memory_governor.h"
 
 #if MLPART_CHECK_INVARIANTS
 #include <string>
@@ -34,6 +35,14 @@ std::uint64_t fingerprintPins(const ModuleId* pins, std::int64_t count) {
 
 Hypergraph induceInto(const Hypergraph& h, const Clustering& c, CoarsenWorkspace& ws) {
     MLPART_FAULT_SITE("coarsen.induce");
+    // Workspace allocation path is memory-governed: the tentative-net
+    // scratch for this level is bounded by the fine level's pin count, so
+    // a level that alone overflows a --mem-limit budget fails here as a
+    // contained allocation failure instead of growing until the OOM
+    // killer fires. Single relaxed load when no limit is set.
+    robust::MemoryGovernor::instance().guardTransient(
+        static_cast<std::uint64_t>(h.numPins()) * 24 +
+        static_cast<std::uint64_t>(h.numModules()) * 16);
     validateClustering(h, c);
     const ModuleId nc = c.numClusters;
     const std::size_t ncSz = static_cast<std::size_t>(nc);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
 #include "coarsen/induce.h"
 #include "lsmc/lsmc.h"
+#include "robust/checkpoint.h"
 #include "robust/fault_injector.h"
 
 #if MLPART_CHECK_INVARIANTS
@@ -336,6 +338,36 @@ MLResult MultilevelPartitioner::run(const Hypergraph& h0, std::mt19937_64& rng,
     result.cut = bestCut;
     result.cutNetCount = cutNets(h0, result.partition);
     return result;
+}
+
+std::uint64_t configFingerprint(const MLConfig& cfg) {
+    using robust::hashCombine;
+    const auto hashDouble = [](std::uint64_t h, double d) {
+        // Hash the bit pattern, not the value: any representable change in
+        // a tuning parameter must change the fingerprint.
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &d, sizeof bits);
+        return hashCombine(h, bits);
+    };
+    std::uint64_t f = hashCombine(0x4d4c4346u /* "MLCF" */,
+                                  static_cast<std::uint64_t>(cfg.coarseningThreshold));
+    f = hashDouble(f, cfg.matchingRatio);
+    f = hashDouble(f, cfg.tolerance);
+    f = hashCombine(f, static_cast<std::uint64_t>(cfg.k));
+    f = hashCombine(f, static_cast<std::uint64_t>(cfg.coarsener));
+    f = hashCombine(f, static_cast<std::uint64_t>(cfg.matchNetSizeLimit));
+    f = hashCombine(f, cfg.adaptiveNetLimit ? 1u : 0u);
+    f = hashCombine(f, static_cast<std::uint64_t>(cfg.maxLevels));
+    f = hashCombine(f, static_cast<std::uint64_t>(cfg.coarsestStarts));
+    f = hashCombine(f, static_cast<std::uint64_t>(cfg.coarsestLSMCDescents));
+    f = hashCombine(f, static_cast<std::uint64_t>(cfg.vCycles));
+    f = hashCombine(f, static_cast<std::uint64_t>(cfg.preassignment.size()));
+    for (const PartId p : cfg.preassignment) f = hashCombine(f, static_cast<std::uint64_t>(p));
+    f = hashCombine(f, static_cast<std::uint64_t>(cfg.targetFractions.size()));
+    for (const double d : cfg.targetFractions) f = hashDouble(f, d);
+    f = hashCombine(f, static_cast<std::uint64_t>(cfg.matchGroups.size()));
+    for (const PartId g : cfg.matchGroups) f = hashCombine(f, static_cast<std::uint64_t>(g));
+    return f == 0 ? 1 : f;
 }
 
 } // namespace mlpart

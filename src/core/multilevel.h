@@ -96,6 +96,12 @@ struct MLConfig {
     std::vector<PartId> matchGroups;
 };
 
+/// Stable hash of every MLConfig field that influences results — the
+/// configuration component of the checkpoint fingerprint (DESIGN.md §10).
+/// Two configs that could produce different partitions must hash
+/// differently; keep in sync with the MLConfig field list.
+[[nodiscard]] std::uint64_t configFingerprint(const MLConfig& cfg);
+
 struct MLResult {
     Partition partition;            ///< refined partition of H_0
     Weight cut = 0;                 ///< exact cut weight on H_0

@@ -4,10 +4,15 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "check/verify_partition.h"
+#include "hypergraph/io.h"
+#include "hypergraph/stats.h"
+#include "robust/checkpoint.h"
 #include "robust/fault_injector.h"
+#include "robust/memory_governor.h"
 #include "robust/status.h"
 
 namespace mlpart {
@@ -27,6 +32,23 @@ std::uint64_t streamSeed(std::uint64_t seed, int run, int attempt) {
     return x;
 }
 
+// The fingerprint binds a checkpoint to everything that determines the
+// run's results: the instance, the ML configuration, the multi-start
+// protocol, and the caller's salt (engine choice). Resuming under any
+// other combination must be rejected as stale, not silently blended.
+std::uint64_t runFingerprint(const Hypergraph& h, const MultilevelPartitioner& ml,
+                             const MultiStartConfig& cfg) {
+    using robust::hashCombine;
+    std::uint64_t f = hypergraphFingerprint(h);
+    f = hashCombine(f, configFingerprint(ml.config()));
+    f = hashCombine(f, cfg.seed);
+    f = hashCombine(f, static_cast<std::uint64_t>(cfg.runs));
+    f = hashCombine(f, static_cast<std::uint64_t>(cfg.maxRetries));
+    f = hashCombine(f, cfg.verifyResults ? 1u : 0u);
+    f = hashCombine(f, cfg.fingerprintSalt);
+    return f == 0 ? 1 : f;
+}
+
 } // namespace
 
 MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartitioner& ml,
@@ -35,9 +57,23 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
     if (cfg.threads < 0) throw std::invalid_argument("parallelMultiStart: threads must be >= 0");
     if (cfg.maxRetries < 0)
         throw std::invalid_argument("parallelMultiStart: maxRetries must be >= 0");
+    if (cfg.checkpointEvery < 1)
+        throw std::invalid_argument("parallelMultiStart: checkpointEvery must be >= 1");
+    if (cfg.resume && cfg.checkpointPath.empty())
+        throw std::invalid_argument("parallelMultiStart: resume requires a checkpoint path");
     unsigned threads = cfg.threads > 0 ? static_cast<unsigned>(cfg.threads)
                                        : std::max(1u, std::thread::hardware_concurrency());
     threads = std::min<unsigned>(threads, static_cast<unsigned>(cfg.runs));
+
+    // Memory governance: refuse upfront if a single start cannot fit the
+    // budget, and clamp the worker count so the sum of concurrent per-start
+    // reservations never exceeds it. Clamping (instead of letting late
+    // reservations fail) keeps results deterministic — which starts run is
+    // never decided by an allocation race.
+    const std::uint64_t perStartBytes = robust::MemoryGovernor::estimateStartBytes(
+        h.numModules(), h.numNets(), h.numPins(), ml.config().k);
+    threads = static_cast<unsigned>(
+        robust::MemoryGovernor::instance().clampThreads(static_cast<int>(threads), perStartBytes));
 
     robust::Deadline deadline = cfg.deadline;
     if (cfg.timeoutSeconds > 0)
@@ -45,33 +81,138 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
 
     Stopwatch watch;
     std::vector<robust::StartRecord> records(static_cast<std::size_t>(cfg.runs));
-    std::mutex bestMutex;
+    // done[i] — record i is final and safe to persist / skip on resume.
+    // Written under stateMutex so checkpoint snapshots are consistent.
+    std::vector<char> done(static_cast<std::size_t>(cfg.runs), 0);
+    std::mutex stateMutex;
     Partition best(h, ml.config().k);
     Weight bestCut = 0;
     int bestRun = -1;
     std::atomic<bool> deadlineHit{false};
 
+    const bool checkpointing = !cfg.checkpointPath.empty();
+    const std::uint64_t fingerprint = checkpointing ? runFingerprint(h, ml, cfg) : 0;
+    int resumedStarts = 0;
+    robust::Status resumeStatus;
+    robust::Status checkpointStatus;
+
+    if (checkpointing && cfg.resume) {
+        try {
+            robust::CheckpointState st = robust::loadCheckpoint(cfg.checkpointPath, fingerprint);
+            if (st.runs != cfg.runs)
+                throw robust::Error(robust::StatusCode::kParseError,
+                                    "checkpoint: run count mismatch");
+            // Validate *everything* before committing anything, so a bad
+            // checkpoint leaves the fresh-start state untouched.
+            Partition restoredBest(h, ml.config().k);
+            if (st.bestRun >= 0) {
+                restoredBest = decodePartitionBinary(h, st.bestBlob.data(), st.bestBlob.size());
+                check::PartitionCheckOptions opt;
+                opt.expectedCut = st.bestCut;
+                const check::CheckResult chk = check::verifyPartition(h, restoredBest, opt);
+                if (!chk.ok())
+                    throw robust::Error(robust::StatusCode::kParseError,
+                                        "checkpoint: restored best partition invalid: " +
+                                            chk.summary());
+            }
+            for (const robust::CheckpointStart& d : st.done) {
+                records[static_cast<std::size_t>(d.run)] = d.record;
+                done[static_cast<std::size_t>(d.run)] = 1;
+            }
+            resumedStarts = static_cast<int>(st.done.size());
+            if (st.bestRun >= 0) {
+                best = std::move(restoredBest);
+                bestCut = st.bestCut;
+                bestRun = st.bestRun;
+            }
+        } catch (const robust::Error& e) {
+            // Corrupt / missing / stale checkpoints degrade to a fresh
+            // run; anything else (e.g. kResourceExhausted) is a real
+            // failure and propagates.
+            if (e.code() != robust::StatusCode::kParseError) throw;
+            resumeStatus = e.status();
+        }
+    }
+
+    // Checkpoint writes: snapshot under stateMutex (cheap — records plus
+    // one partition encode), then serialize + write the file under a
+    // separate IO mutex so workers are never blocked on fsync. The
+    // monotonic done-count guard drops snapshots that raced behind a
+    // newer one, so the file on disk never goes backwards.
+    std::mutex ckptIoMutex;
+    std::int64_t lastWrittenDone = -1;
+    auto writeCheckpoint = [&](bool finalWrite) {
+        if (!checkpointing) return;
+        robust::CheckpointState st;
+        st.fingerprint = fingerprint;
+        st.seed = cfg.seed;
+        st.runs = cfg.runs;
+        {
+            std::lock_guard<std::mutex> lock(stateMutex);
+            for (int i = 0; i < cfg.runs; ++i)
+                if (done[static_cast<std::size_t>(i)])
+                    st.done.push_back({i, records[static_cast<std::size_t>(i)]});
+            if (bestRun >= 0) {
+                st.bestRun = bestRun;
+                st.bestCut = bestCut;
+                st.bestBlob = encodePartitionBinary(best);
+            }
+        }
+        std::lock_guard<std::mutex> io(ckptIoMutex);
+        const auto snapshotDone = static_cast<std::int64_t>(st.done.size());
+        if (!finalWrite && snapshotDone <= lastWrittenDone) return;
+        const robust::Status s = robust::saveCheckpoint(cfg.checkpointPath, st);
+        if (s.ok()) {
+            lastWrittenDone = snapshotDone;
+        } else {
+            std::lock_guard<std::mutex> lock(stateMutex);
+            checkpointStatus = s;
+        }
+    };
+
     std::atomic<int> next{0};
+    std::atomic<int> completedSinceCkpt{0};
+    // Snapshot before the pool spawns: workers must not read the shared
+    // bestRun without the lock, and the guarantee they need ("a result
+    // exists even if the deadline already expired") is a property of the
+    // restored state, not of the live incumbent.
+    const bool restoredResultExists = bestRun >= 0;
     auto worker = [&]() {
         // One pooled workspace per worker thread: buffer capacity persists
         // across all runs this thread claims, so only the first (largest)
         // level of its first run pays the scratch allocations.
+        //
+        // Exception-safety audit (per-start isolation): the workspace is
+        // declared *outside* the retry loop and owns every scratch buffer
+        // by value (vectors), so a throw mid-V-cycle — injected fault,
+        // bad_alloc from the governor, verification failure — unwinds
+        // through `ws` without leaking and without destroying it; the
+        // engines re-initialise every buffer they touch at the start of
+        // each run, so a half-mutated workspace is safe to reuse for the
+        // retry and for later runs.
         MLWorkspace ws;
         while (true) {
             const int run = next.fetch_add(1);
             if (run >= cfg.runs) break;
             robust::StartRecord& rec = records[static_cast<std::size_t>(run)];
+            if (done[static_cast<std::size_t>(run)]) continue; // restored from checkpoint
             // Run 0 always executes so a deadline alone can never empty
             // the result set; later runs are skipped once it expires.
-            if (run > 0 && deadline.expired()) {
+            // (On resume, a restored run 0 already guarantees that.)
+            if ((run > 0 || restoredResultExists) && deadline.expired()) {
                 rec.status = robust::StartStatus::kSkippedDeadline;
                 deadlineHit.store(true, std::memory_order_relaxed);
                 continue;
             }
+            bool finalized = false;
             for (int attempt = 0; attempt <= cfg.maxRetries; ++attempt) {
                 rec.attempts = attempt + 1;
                 try {
                     MLPART_FAULT_SITE("multistart.start");
+                    // Reserved for the whole attempt, released on any exit
+                    // (including throw) when the guard leaves scope.
+                    const robust::MemoryGovernor::Reservation reservation =
+                        robust::MemoryGovernor::instance().reserve(perStartBytes);
                     // Per-run stream derived from (seed, run, attempt)
                     // only: scheduling cannot influence any run's result.
                     std::mt19937_64 rng(streamSeed(cfg.seed, run, attempt));
@@ -90,22 +231,36 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
                     rec.status = attempt == 0 ? robust::StartStatus::kOk
                                               : robust::StartStatus::kRetriedOk;
                     rec.cut = r.cut;
-                    std::lock_guard<std::mutex> lock(bestMutex);
-                    // Deterministic winner: lowest cut, then lowest run index.
-                    if (bestRun == -1 || r.cut < bestCut || (r.cut == bestCut && run < bestRun)) {
-                        best = std::move(r.partition);
-                        bestCut = r.cut;
-                        bestRun = run;
+                    {
+                        std::lock_guard<std::mutex> lock(stateMutex);
+                        // Deterministic winner: lowest cut, then lowest run
+                        // index.
+                        if (bestRun == -1 || r.cut < bestCut ||
+                            (r.cut == bestCut && run < bestRun)) {
+                            best = std::move(r.partition);
+                            bestCut = r.cut;
+                            bestRun = run;
+                        }
+                        done[static_cast<std::size_t>(run)] = 1;
                     }
+                    finalized = true;
                     break;
                 } catch (const std::exception& e) {
                     rec.status = robust::StartStatus::kFailed;
                     rec.error = robust::statusOf(e);
                     // Retry (reseeded) unless attempts are spent or the
                     // budget is gone — a deadline failure will only repeat.
-                    if (attempt >= cfg.maxRetries || deadline.expired()) break;
+                    if (attempt >= cfg.maxRetries || deadline.expired()) {
+                        std::lock_guard<std::mutex> lock(stateMutex);
+                        done[static_cast<std::size_t>(run)] = 1;
+                        finalized = true;
+                        break;
+                    }
                 }
             }
+            if (finalized && checkpointing &&
+                completedSinceCkpt.fetch_add(1) % cfg.checkpointEvery == cfg.checkpointEvery - 1)
+                writeCheckpoint(false);
         }
     };
 
@@ -114,9 +269,17 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
 
+    // One final write after the join: resuming a *finished* run then
+    // costs zero re-partitioning (and the cadence above may have left the
+    // last < checkpointEvery starts unpersisted).
+    writeCheckpoint(true);
+
     MultiStartOutcome out{std::move(best), bestCut, bestRun, {}, watch.seconds(), {}};
     out.report.starts = std::move(records);
     out.report.deadlineHit = deadlineHit.load(std::memory_order_relaxed) || deadline.expired();
+    out.resumedStarts = resumedStarts;
+    out.resumeStatus = std::move(resumeStatus);
+    out.checkpointStatus = std::move(checkpointStatus);
     for (const robust::StartRecord& rec : out.report.starts)
         if (rec.status == robust::StartStatus::kOk ||
             rec.status == robust::StartStatus::kRetriedOk)

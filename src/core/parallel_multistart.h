@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "analysis/run_stats.h"
 #include "core/multilevel.h"
@@ -35,6 +36,25 @@ struct MultiStartConfig {
     /// Verify every start's partition (balance + cut recomputation) and
     /// treat violations as start failures. Cheap relative to a V-cycle.
     bool verifyResults = true;
+    /// Checkpoint file path; empty disables checkpointing. Progress is
+    /// written crash-consistently (temp file + fsync + atomic rename,
+    /// DESIGN.md §10) every `checkpointEvery` completed starts and once
+    /// more after the last start, so a killed run loses at most
+    /// checkpointEvery-1 finished starts.
+    std::string checkpointPath;
+    /// Completed starts between checkpoint writes (>= 1).
+    int checkpointEvery = 1;
+    /// Load `checkpointPath` before running: starts it records are
+    /// restored instead of re-run and the final result is bit-identical
+    /// to an uninterrupted run. A missing, corrupt, or stale checkpoint
+    /// falls back to a fresh run (recorded in
+    /// MultiStartOutcome::resumeStatus) — it is never fatal.
+    bool resume = false;
+    /// Extra caller entropy folded into the checkpoint fingerprint. The
+    /// refinement engine hides behind an opaque RefinerFactory, so the
+    /// library cannot fingerprint it; callers hash their engine choice
+    /// (and any other result-affecting knobs) here.
+    std::uint64_t fingerprintSalt = 0;
 };
 
 struct MultiStartOutcome {
@@ -44,6 +64,14 @@ struct MultiStartOutcome {
     RunStats cuts;       ///< min/avg/std over the *successful* runs
     double seconds = 0.0;
     robust::RunReport report;  ///< per-start status, retries, failures
+    int resumedStarts = 0;     ///< starts restored from the checkpoint
+    /// Non-ok when a requested resume fell back to a fresh run (missing /
+    /// corrupt / stale checkpoint — carries the parse error).
+    robust::Status resumeStatus;
+    /// Non-ok when a checkpoint write failed (e.g. injected torn write);
+    /// the run itself still completes — losing a checkpoint only costs
+    /// future resume work, never the current result.
+    robust::Status checkpointStatus;
 
     /// True when at least one start produced a valid partition.
     [[nodiscard]] bool ok() const { return bestRun >= 0; }

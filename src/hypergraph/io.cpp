@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hypergraph/builder.h"
+#include "robust/memory_governor.h"
 #include "robust/status.h"
 
 namespace mlpart {
@@ -67,6 +68,12 @@ Hypergraph readHgr(std::istream& in, std::int64_t sizeHint) {
     if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11) parseError("readHgr: unsupported fmt code");
     const bool netWeights = (fmt == 1 || fmt == 11);
     const bool moduleWeights = (fmt == 10 || fmt == 11);
+
+    // Builder allocation path is memory-governed: an instance whose
+    // per-module/per-net storage alone exceeds a --mem-limit budget fails
+    // here as an allocation failure (exit 7), not later as an OOM kill.
+    robust::MemoryGovernor::instance().guardTransient(
+        static_cast<std::uint64_t>(numModules) * 24 + static_cast<std::uint64_t>(numNets) * 16);
 
     HypergraphBuilder b(static_cast<ModuleId>(numModules));
     std::vector<ModuleId> pins;
@@ -169,6 +176,45 @@ Partition readPartitionFile(const Hypergraph& h, const std::string& path, PartId
     std::ifstream in(path);
     if (!in) parseError("readPartitionFile: cannot open " + path);
     return readPartition(h, in, k);
+}
+
+std::vector<std::uint8_t> encodePartitionBinary(const Partition& part) {
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(8 + 4 * static_cast<std::size_t>(part.numModules()));
+    const auto put32 = [&bytes](std::uint32_t v) {
+        for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    put32(static_cast<std::uint32_t>(part.numParts()));
+    put32(static_cast<std::uint32_t>(part.numModules()));
+    for (const PartId p : part.assignment()) put32(static_cast<std::uint32_t>(p));
+    return bytes;
+}
+
+Partition decodePartitionBinary(const Hypergraph& h, const std::uint8_t* data, std::size_t size) {
+    std::size_t pos = 0;
+    const auto get32 = [&]() -> std::uint32_t {
+        if (size - pos < 4) parseError("decodePartitionBinary: truncated blob");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+        return v;
+    };
+    const auto k = static_cast<std::int64_t>(get32());
+    const auto n = static_cast<std::int64_t>(get32());
+    if (k < 1 || k > (std::int64_t{1} << 30))
+        parseError("decodePartitionBinary: nonsensical block count " + std::to_string(k));
+    if (n != h.numModules())
+        parseError("decodePartitionBinary: blob is for " + std::to_string(n) +
+                   " modules, hypergraph has " + std::to_string(h.numModules()));
+    if (size - pos != 4 * static_cast<std::size_t>(n))
+        parseError("decodePartitionBinary: blob length mismatch");
+    std::vector<PartId> assign(static_cast<std::size_t>(n));
+    for (std::int64_t v = 0; v < n; ++v) {
+        const std::uint32_t p = get32();
+        if (p >= static_cast<std::uint32_t>(k))
+            parseError("decodePartitionBinary: block id out of range");
+        assign[static_cast<std::size_t>(v)] = static_cast<PartId>(p);
+    }
+    return {h, static_cast<PartId>(k), std::move(assign)};
 }
 
 } // namespace mlpart

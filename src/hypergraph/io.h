@@ -52,4 +52,16 @@ void writePartitionFile(const Partition& part, const std::string& path);
 [[nodiscard]] Partition readPartition(const Hypergraph& h, std::istream& in, PartId k = 0);
 [[nodiscard]] Partition readPartitionFile(const Hypergraph& h, const std::string& path, PartId k = 0);
 
+/// Compact little-endian binary encoding of a partition (k, module count,
+/// one block id per module). Used as the opaque best-partition blob of
+/// the checkpoint layer (robust/checkpoint.h), which CRC-frames it.
+[[nodiscard]] std::vector<std::uint8_t> encodePartitionBinary(const Partition& part);
+
+/// Decodes encodePartitionBinary output against `h`, validating the
+/// module count and every block id. Throws robust::Error (kParseError) on
+/// any mismatch — a checkpoint claiming a partition for a different
+/// instance must be rejected, never trusted.
+[[nodiscard]] Partition decodePartitionBinary(const Hypergraph& h, const std::uint8_t* data,
+                                              std::size_t size);
+
 } // namespace mlpart

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "robust/checkpoint.h"
+
 namespace mlpart {
 
 std::vector<std::int32_t> connectedComponents(const Hypergraph& h) {
@@ -56,6 +58,22 @@ std::string formatStatsRow(const std::string& name, const HypergraphStats& s) {
     std::ostringstream os;
     os << name << '\t' << s.numModules << '\t' << s.numNets << '\t' << s.numPins;
     return os.str();
+}
+
+std::uint64_t hypergraphFingerprint(const Hypergraph& h) {
+    using robust::hashCombine;
+    std::uint64_t f = hashCombine(0x4d4c5041u /* "MLPA" */, static_cast<std::uint64_t>(h.numModules()));
+    f = hashCombine(f, static_cast<std::uint64_t>(h.numNets()));
+    f = hashCombine(f, static_cast<std::uint64_t>(h.numPins()));
+    for (NetId e = 0; e < h.numNets(); ++e) {
+        f = hashCombine(f, static_cast<std::uint64_t>(h.netWeight(e)));
+        for (const ModuleId v : h.pins(e)) f = hashCombine(f, static_cast<std::uint64_t>(v));
+    }
+    for (ModuleId v = 0; v < h.numModules(); ++v)
+        f = hashCombine(f, static_cast<std::uint64_t>(h.area(v)));
+    // Reserve 0 as "no fingerprint" so loadCheckpoint's expected-value
+    // check can treat 0 as "don't verify".
+    return f == 0 ? 1 : f;
 }
 
 } // namespace mlpart

@@ -32,4 +32,12 @@ struct HypergraphStats {
 /// One-line Table-I style summary: "name  modules nets pins".
 [[nodiscard]] std::string formatStatsRow(const std::string& name, const HypergraphStats& s);
 
+/// Order-sensitive structural hash of the full hypergraph (counts, CSR
+/// pin lists, areas, net weights). Two hypergraphs that could produce
+/// different partitioning results hash differently; used as the instance
+/// component of the checkpoint config fingerprint (DESIGN.md §10), so it
+/// must stay stable across releases — change it only with a checkpoint
+/// format version bump.
+[[nodiscard]] std::uint64_t hypergraphFingerprint(const Hypergraph& h);
+
 } // namespace mlpart

@@ -1,0 +1,404 @@
+#include "robust/checkpoint.h"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "robust/fault_injector.h"
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace mlpart::robust {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4B434C4DU; // "MLCK" little-endian
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 24;       // magic+version+fingerprint+count+crc
+constexpr std::size_t kSectionHeaderSize = 16; // tag + len + crc
+
+// Section tags. Meta and records are mandatory; best is present only when
+// at least one persisted start succeeded.
+constexpr std::uint32_t kTagMeta = 1;
+constexpr std::uint32_t kTagRecords = 2;
+constexpr std::uint32_t kTagBest = 3;
+
+// Any checkpoint bigger than this is hostile or damaged: even a 2^30
+// module partition blob stays under it, and the loader must never let a
+// forged length field drive a huge allocation.
+constexpr std::uint64_t kMaxCheckpointBytes = std::uint64_t{1} << 33;
+
+[[noreturn]] void corrupt(const std::string& message) {
+    throw Error(StatusCode::kParseError, "checkpoint: " + message);
+}
+
+// ------------------------------------------------------------ byte codec
+
+struct ByteWriter {
+    std::vector<std::uint8_t> bytes;
+
+    void u8(std::uint8_t v) { bytes.push_back(v); }
+    void u32(std::uint32_t v) {
+        for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    void u64(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void raw(const void* data, std::size_t n) {
+        const auto* p = static_cast<const std::uint8_t*>(data);
+        bytes.insert(bytes.end(), p, p + n);
+    }
+};
+
+struct ByteReader {
+    const std::uint8_t* data;
+    std::size_t size;
+    std::size_t pos = 0;
+
+    [[nodiscard]] std::size_t remaining() const { return size - pos; }
+    void need(std::size_t n) const {
+        if (n > remaining()) corrupt("truncated (wanted " + std::to_string(n) + " more bytes, " +
+                                     std::to_string(remaining()) + " left)");
+    }
+    std::uint8_t u8() {
+        need(1);
+        return data[pos++];
+    }
+    std::uint32_t u32() {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+        return v;
+    }
+    std::uint64_t u64() {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data[pos++]) << (8 * i);
+        return v;
+    }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    std::string str(std::size_t n) {
+        need(n);
+        std::string s(reinterpret_cast<const char*>(data + pos), n);
+        pos += n;
+        return s;
+    }
+};
+
+void appendSection(ByteWriter& out, std::uint32_t tag, const std::vector<std::uint8_t>& payload) {
+    out.u32(tag);
+    out.u64(payload.size());
+    out.u32(crc32(payload.data(), payload.size()));
+    out.raw(payload.data(), payload.size());
+}
+
+std::uint8_t encodeStartStatus(StartStatus s) { return static_cast<std::uint8_t>(s); }
+
+StartStatus decodeStartStatus(std::uint8_t v) {
+    if (v > static_cast<std::uint8_t>(StartStatus::kSkippedDeadline))
+        corrupt("invalid start status " + std::to_string(v));
+    return static_cast<StartStatus>(v);
+}
+
+StatusCode decodeStatusCode(std::uint8_t v) {
+    if (v > static_cast<std::uint8_t>(StatusCode::kInternal))
+        corrupt("invalid status code " + std::to_string(v));
+    return static_cast<StatusCode>(v);
+}
+
+// ------------------------------------------------- platform file plumbing
+
+// Writes `bytes` to `path` directly (no temp file, no fsync). Used only
+// by the injected torn-write path, which exists to manufacture exactly
+// the partial files the production path's atomic rename rules out.
+void writeRawUnsafe(const std::string& path, const std::uint8_t* data, std::size_t n) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data), static_cast<std::streamsize>(n));
+}
+
+#if !defined(_WIN32)
+Status writeAtomic(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return Status::error(StatusCode::kInternal,
+                             "checkpoint: cannot open " + tmp + ": " + std::strerror(errno));
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            const int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return Status::error(StatusCode::kInternal,
+                                 "checkpoint: write to " + tmp + " failed: " + std::strerror(err));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    // Order matters for crash consistency: data must be durable before the
+    // rename makes it visible, and the rename must be durable before the
+    // caller believes the checkpoint exists.
+    if (::fsync(fd) != 0) {
+        const int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return Status::error(StatusCode::kInternal,
+                             "checkpoint: fsync " + tmp + " failed: " + std::strerror(err));
+    }
+    ::close(fd);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        return Status::error(StatusCode::kInternal, "checkpoint: rename to " + path +
+                                                        " failed: " + std::strerror(err));
+    }
+    std::string dir = std::filesystem::path(path).parent_path().string();
+    if (dir.empty()) dir = ".";
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd); // best effort: the rename itself is already atomic
+        ::close(dfd);
+    }
+    return Status::okStatus();
+}
+#else
+Status writeAtomic(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) return Status::error(StatusCode::kInternal, "checkpoint: cannot open " + tmp);
+        out.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out) return Status::error(StatusCode::kInternal, "checkpoint: write failed: " + tmp);
+    }
+    std::remove(path.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        return Status::error(StatusCode::kInternal, "checkpoint: rename to " + path + " failed");
+    return Status::okStatus();
+}
+#endif
+
+} // namespace
+
+// --------------------------------------------------------------- hashing
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t c = seed ^ 0xFFFFFFFFU;
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < size; ++i) c = table[(c ^ p[i]) & 0xFFU] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFU;
+}
+
+std::uint64_t hashCombine(std::uint64_t h, std::uint64_t v) {
+    std::uint64_t x = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+// ----------------------------------------------------------- serializing
+
+std::vector<std::uint8_t> serializeCheckpoint(const CheckpointState& state) {
+    ByteWriter meta;
+    meta.u64(state.seed);
+    meta.i32(state.runs);
+
+    ByteWriter records;
+    records.i32(static_cast<std::int32_t>(state.done.size()));
+    for (const CheckpointStart& d : state.done) {
+        records.i32(d.run);
+        records.u8(encodeStartStatus(d.record.status));
+        records.i32(d.record.attempts);
+        records.i64(d.record.cut);
+        records.u8(static_cast<std::uint8_t>(d.record.error.code));
+        records.u32(static_cast<std::uint32_t>(d.record.error.message.size()));
+        records.raw(d.record.error.message.data(), d.record.error.message.size());
+    }
+
+    const bool hasBest = state.bestRun >= 0;
+    ByteWriter best;
+    if (hasBest) {
+        best.i32(state.bestRun);
+        best.i64(state.bestCut);
+        best.u64(state.bestBlob.size());
+        best.raw(state.bestBlob.data(), state.bestBlob.size());
+    }
+
+    ByteWriter out;
+    out.u32(kMagic);
+    out.u32(kVersion);
+    out.u64(state.fingerprint);
+    out.u32(hasBest ? 3 : 2);
+    out.u32(crc32(out.bytes.data(), out.bytes.size()));
+    appendSection(out, kTagMeta, meta.bytes);
+    appendSection(out, kTagRecords, records.bytes);
+    if (hasBest) appendSection(out, kTagBest, best.bytes);
+    return std::move(out.bytes);
+}
+
+CheckpointState parseCheckpoint(const std::uint8_t* data, std::size_t size,
+                                std::uint64_t expectedFingerprint) {
+    ByteReader in{data, size};
+    if (size < kHeaderSize) corrupt("file too short for a header");
+    if (in.u32() != kMagic) corrupt("bad magic (not a checkpoint file)");
+    const std::uint32_t version = in.u32();
+    if (version != kVersion)
+        corrupt("unsupported version " + std::to_string(version) + " (want " +
+                std::to_string(kVersion) + ")");
+    CheckpointState state;
+    state.fingerprint = in.u64();
+    const std::uint32_t sectionCount = in.u32();
+    const std::uint32_t headerCrc = in.u32();
+    if (headerCrc != crc32(data, kHeaderSize - 4)) corrupt("header CRC mismatch");
+    if (expectedFingerprint != 0 && state.fingerprint != expectedFingerprint)
+        corrupt("stale config fingerprint (checkpoint was written by a different "
+                "instance/configuration/seed)");
+    if (sectionCount < 2 || sectionCount > 3)
+        corrupt("invalid section count " + std::to_string(sectionCount));
+
+    bool sawMeta = false, sawRecords = false, sawBest = false;
+    for (std::uint32_t s = 0; s < sectionCount; ++s) {
+        in.need(kSectionHeaderSize);
+        const std::uint32_t tag = in.u32();
+        const std::uint64_t len = in.u64();
+        const std::uint32_t payloadCrc = in.u32();
+        if (len > in.remaining())
+            corrupt("section " + std::to_string(tag) + " truncated (declares " +
+                    std::to_string(len) + " bytes, " + std::to_string(in.remaining()) + " left)");
+        ByteReader payload{data + in.pos, static_cast<std::size_t>(len)};
+        if (payloadCrc != crc32(payload.data, payload.size))
+            corrupt("section " + std::to_string(tag) + " CRC mismatch (bit rot or torn write)");
+        in.pos += static_cast<std::size_t>(len);
+
+        if (tag == kTagMeta) {
+            if (sawMeta) corrupt("duplicate meta section");
+            sawMeta = true;
+            state.seed = payload.u64();
+            state.runs = payload.i32();
+            if (state.runs < 1) corrupt("nonsensical run count " + std::to_string(state.runs));
+        } else if (tag == kTagRecords) {
+            if (sawRecords) corrupt("duplicate records section");
+            sawRecords = true;
+            const std::int32_t count = payload.i32();
+            if (count < 0 || static_cast<std::uint64_t>(count) > len)
+                corrupt("nonsensical record count " + std::to_string(count));
+            state.done.reserve(static_cast<std::size_t>(count));
+            for (std::int32_t i = 0; i < count; ++i) {
+                CheckpointStart d;
+                d.run = payload.i32();
+                d.record.status = decodeStartStatus(payload.u8());
+                d.record.attempts = payload.i32();
+                d.record.cut = payload.i64();
+                d.record.error.code = decodeStatusCode(payload.u8());
+                const std::uint32_t msgLen = payload.u32();
+                d.record.error.message = payload.str(msgLen);
+                if (d.record.status == StartStatus::kSkippedDeadline)
+                    corrupt("persisted record for a start that never ran");
+                if (d.record.attempts < 1) corrupt("persisted record with no attempts");
+                state.done.push_back(std::move(d));
+            }
+            if (payload.remaining() != 0) corrupt("trailing bytes in records section");
+        } else if (tag == kTagBest) {
+            if (sawBest) corrupt("duplicate best section");
+            sawBest = true;
+            state.bestRun = payload.i32();
+            state.bestCut = payload.i64();
+            const std::uint64_t blobLen = payload.u64();
+            if (blobLen != payload.remaining())
+                corrupt("best-partition blob length mismatch");
+            state.bestBlob.assign(payload.data + payload.pos,
+                                  payload.data + payload.pos + blobLen);
+        } else {
+            corrupt("unknown section tag " + std::to_string(tag));
+        }
+    }
+    if (in.remaining() != 0) corrupt("trailing bytes after final section");
+    if (!sawMeta || !sawRecords) corrupt("missing mandatory section");
+
+    // Cross-field validation: record indices must be unique and in range;
+    // the best pointer must agree with a persisted successful record.
+    std::vector<char> seen(static_cast<std::size_t>(state.runs), 0);
+    for (const CheckpointStart& d : state.done) {
+        if (d.run < 0 || d.run >= state.runs)
+            corrupt("record run index " + std::to_string(d.run) + " out of range");
+        if (seen[static_cast<std::size_t>(d.run)]++)
+            corrupt("duplicate record for run " + std::to_string(d.run));
+    }
+    if (sawBest) {
+        if (state.bestRun < 0 || state.bestRun >= state.runs)
+            corrupt("best run index out of range");
+        bool matched = false;
+        for (const CheckpointStart& d : state.done)
+            if (d.run == state.bestRun) {
+                if (d.record.status != StartStatus::kOk &&
+                    d.record.status != StartStatus::kRetriedOk)
+                    corrupt("best run is recorded as failed");
+                if (d.record.cut != state.bestCut) corrupt("best cut disagrees with its record");
+                matched = true;
+            }
+        if (!matched) corrupt("best run has no persisted record");
+    }
+    return state;
+}
+
+// ------------------------------------------------------------- file layer
+
+Status saveCheckpoint(const std::string& path, const CheckpointState& state) {
+    try {
+        MLPART_FAULT_SITE("checkpoint.write");
+    } catch (const std::exception& e) {
+        // An injected failure here models "the write never happened" (disk
+        // full, EIO): the run continues, only durability is lost.
+        return Status::error(statusOf(e).code, "checkpoint write to " + path + " skipped: " +
+                                                   statusOf(e).message);
+    }
+    const std::vector<std::uint8_t> bytes = serializeCheckpoint(state);
+    try {
+        MLPART_FAULT_SITE("checkpoint.torn");
+    } catch (const std::exception& e) {
+        // Deliberately bypass the atomic path and leave a half-written file
+        // at the destination — the exact artifact a kernel crash mid-write
+        // could produce on a filesystem without data journaling. The next
+        // load must reject it cleanly and fall back to a fresh start.
+        writeRawUnsafe(path, bytes.data(), bytes.size() / 2);
+        return Status::error(statusOf(e).code, "torn checkpoint write injected at " + path);
+    }
+    return writeAtomic(path, bytes);
+}
+
+CheckpointState loadCheckpoint(const std::string& path, std::uint64_t expectedFingerprint) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) corrupt("cannot open " + path);
+    const std::streamoff size = in.tellg();
+    if (size < 0) corrupt("cannot determine size of " + path);
+    if (static_cast<std::uint64_t>(size) > kMaxCheckpointBytes)
+        corrupt(path + " is implausibly large for a checkpoint");
+    in.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!in) corrupt("short read from " + path);
+    return parseCheckpoint(bytes.data(), bytes.size(), expectedFingerprint);
+}
+
+} // namespace mlpart::robust

@@ -43,6 +43,9 @@ const std::vector<std::string>& FaultInjector::knownSites() {
         "refine.fm.pass",    // FMRefiner::runPass entry
         "refine.kway.pass",  // KWayFMRefiner::runPass entry
         "multistart.start",  // parallelMultiStart worker, before a start
+        "govern.reserve",    // MemoryGovernor::reserve (arm kind=alloc for OOM)
+        "checkpoint.write",  // saveCheckpoint entry: the write is skipped
+        "checkpoint.torn",   // saveCheckpoint body: a torn file is left behind
     };
     return sites;
 }

@@ -1,0 +1,70 @@
+#include "robust/memory_governor.h"
+
+#include <algorithm>
+#include <new>
+#include <string>
+
+#include "robust/fault_injector.h"
+#include "robust/status.h"
+
+namespace mlpart::robust {
+
+MemoryGovernor& MemoryGovernor::instance() {
+    static MemoryGovernor governor;
+    return governor;
+}
+
+std::uint64_t MemoryGovernor::estimateStartBytes(std::int64_t modules, std::int64_t nets,
+                                                 std::int64_t pins, std::int32_t k) {
+    const std::uint64_t m = static_cast<std::uint64_t>(std::max<std::int64_t>(modules, 0));
+    const std::uint64_t n = static_cast<std::uint64_t>(std::max<std::int64_t>(nets, 0));
+    const std::uint64_t p = static_cast<std::uint64_t>(std::max<std::int64_t>(pins, 0));
+    const std::uint64_t kk = static_cast<std::uint64_t>(std::max<std::int32_t>(k, 2));
+    // Level-0 CSR: both incidence directions (4 B ids) + 8 B offsets,
+    // areas, and weights. The hierarchy is a geometric sum over levels
+    // (matching at worst halves |V| slowly with R < 1); 3x level 0 covers
+    // it together with the kernel's tentative-net scratch.
+    const std::uint64_t level0 = 16 * p + 16 * m + 16 * n;
+    // Pooled refinement workspace: per-module gain/lock/move arrays plus
+    // per-(net, side) counts; the k-way engine scales counts by k.
+    const std::uint64_t workspace = 80 * m + 24 * n * std::min<std::uint64_t>(kk, 8);
+    return 3 * level0 + workspace + (std::uint64_t{4} << 20);
+}
+
+void MemoryGovernor::Reservation::release() {
+    if (owner_ != nullptr && bytes_ > 0)
+        owner_->inUse_.fetch_sub(bytes_, std::memory_order_relaxed);
+    owner_ = nullptr;
+    bytes_ = 0;
+}
+
+MemoryGovernor::Reservation MemoryGovernor::reserve(std::uint64_t bytes) {
+    MLPART_FAULT_SITE("govern.reserve");
+    const std::uint64_t limit = limit_.load(std::memory_order_relaxed);
+    std::uint64_t cur = inUse_.load(std::memory_order_relaxed);
+    for (;;) {
+        if (limit != 0 && cur + bytes > limit) throw std::bad_alloc();
+        if (inUse_.compare_exchange_weak(cur, cur + bytes, std::memory_order_relaxed)) break;
+    }
+    return Reservation(this, bytes);
+}
+
+void MemoryGovernor::guardTransient(std::uint64_t bytes) const {
+    const std::uint64_t limit = limit_.load(std::memory_order_relaxed);
+    if (limit != 0 && bytes > limit) throw std::bad_alloc();
+}
+
+int MemoryGovernor::clampThreads(int threads, std::uint64_t perStartBytes) const {
+    const std::uint64_t limit = limit_.load(std::memory_order_relaxed);
+    if (limit == 0 || perStartBytes == 0) return threads;
+    if (perStartBytes > limit)
+        throw Error(StatusCode::kResourceExhausted,
+                    "memory governor: one start needs an estimated " +
+                        std::to_string(perStartBytes) + " bytes, over the " +
+                        std::to_string(limit) + "-byte limit — refusing to start");
+    const std::uint64_t fit = limit / perStartBytes;
+    return std::max(1, std::min<int>(threads, static_cast<int>(
+                                                  std::min<std::uint64_t>(fit, 1 << 20))));
+}
+
+} // namespace mlpart::robust

@@ -1,0 +1,119 @@
+// Memory governance for multi-start runs.
+//
+// Production schedulers kill jobs that exceed their memory allocation, so
+// an optional byte budget (--mem-limit) is enforced *cooperatively* at
+// three points, from coarse to fine (DESIGN.md §10):
+//
+//   1. Upfront feasibility: parallelMultiStart estimates the bytes one
+//      start needs from the hypergraph size and throws
+//      Error(kResourceExhausted) before any work when even a single start
+//      cannot fit — failing in 1 ms instead of being OOM-killed after an
+//      hour.
+//   2. Concurrency clamping: the worker count is reduced so the sum of
+//      concurrent per-start reservations never exceeds the budget. This
+//      keeps budget pressure from becoming a scheduling race: with a
+//      clamped pool, reservations cannot fail spuriously, so results stay
+//      bit-identical for any thread count.
+//   3. Per-start reservation + transient guards: each start reserves its
+//      estimate (RAII) and deep allocation paths (reader, coarsening
+//      kernel) guard single transient allocations against the whole
+//      budget. Violations throw std::bad_alloc — the same exception a
+//      real allocation failure produces — which the per-start isolation
+//      layer contains as kResourceExhausted (retry once, then drop,
+//      salvaging the surviving starts).
+//
+// The "govern.reserve" fault-injection site sits inside reserve(), so
+// tests drive the containment path deterministically (kind=alloc) without
+// actually exhausting memory.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mlpart::robust {
+
+class MemoryGovernor {
+public:
+    /// Process-wide instance, like FaultInjector: the budget is a property
+    /// of the process (one --mem-limit), not of any one run.
+    [[nodiscard]] static MemoryGovernor& instance();
+
+    /// Sets the byte budget; 0 = unlimited (the default).
+    void setLimitBytes(std::uint64_t bytes) { limit_.store(bytes, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t limitBytes() const {
+        return limit_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t inUseBytes() const {
+        return inUse_.load(std::memory_order_relaxed);
+    }
+
+    /// Order-of-magnitude estimate of the bytes one ML start needs for an
+    /// instance of this size: level-0 CSR storage, the coarsening
+    /// hierarchy (geometric sum bounded by a constant multiple of level
+    /// 0), and the pooled refinement workspace. Deliberately conservative
+    /// — governance wants "will this obviously not fit", not an allocator.
+    [[nodiscard]] static std::uint64_t estimateStartBytes(std::int64_t modules,
+                                                          std::int64_t nets, std::int64_t pins,
+                                                          std::int32_t k);
+
+    /// RAII charge against the budget; releases on destruction.
+    class Reservation {
+    public:
+        Reservation() = default;
+        Reservation(Reservation&& other) noexcept
+            : owner_(other.owner_), bytes_(other.bytes_) {
+            other.owner_ = nullptr;
+            other.bytes_ = 0;
+        }
+        Reservation& operator=(Reservation&& other) noexcept {
+            if (this != &other) {
+                release();
+                owner_ = other.owner_;
+                bytes_ = other.bytes_;
+                other.owner_ = nullptr;
+                other.bytes_ = 0;
+            }
+            return *this;
+        }
+        Reservation(const Reservation&) = delete;
+        Reservation& operator=(const Reservation&) = delete;
+        ~Reservation() { release(); }
+
+        [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+    private:
+        friend class MemoryGovernor;
+        Reservation(MemoryGovernor* owner, std::uint64_t bytes) : owner_(owner), bytes_(bytes) {}
+        void release();
+
+        MemoryGovernor* owner_ = nullptr;
+        std::uint64_t bytes_ = 0;
+    };
+
+    /// Charges `bytes` against the budget. Visits the "govern.reserve"
+    /// fault site first, then throws std::bad_alloc when the charge would
+    /// exceed a nonzero limit — indistinguishable from a real allocation
+    /// failure, so every caller exercises the same containment path.
+    [[nodiscard]] Reservation reserve(std::uint64_t bytes);
+
+    /// Guards one transient allocation (reader buffers, coarse-level CSR
+    /// emission): throws std::bad_alloc when a *single* allocation of
+    /// `bytes` exceeds the whole budget. Checked against the limit alone,
+    /// not the running total, so concurrent starts whose reservations
+    /// already account for this memory cannot fail spuriously.
+    void guardTransient(std::uint64_t bytes) const;
+
+    /// Largest worker count whose concurrent reservations fit the budget:
+    /// min(threads, limit / perStartBytes), at least 1. Throws
+    /// Error(kResourceExhausted) when even one start cannot fit. With no
+    /// limit set, returns `threads` unchanged.
+    [[nodiscard]] int clampThreads(int threads, std::uint64_t perStartBytes) const;
+
+private:
+    MemoryGovernor() = default;
+
+    std::atomic<std::uint64_t> limit_{0};
+    std::atomic<std::uint64_t> inUse_{0};
+};
+
+} // namespace mlpart::robust

@@ -3,7 +3,9 @@
 // CLI exit-code table.
 #pragma once
 
+#include "robust/checkpoint.h"
 #include "robust/deadline.h"
 #include "robust/fault_injector.h"
+#include "robust/memory_governor.h"
 #include "robust/run_report.h"
 #include "robust/status.h"

@@ -11,6 +11,7 @@
 #include "hypergraph/bench_format.h"
 #include "hypergraph/io.h"
 #include "hypergraph/netd_format.h"
+#include "robust/checkpoint.h"
 #include "robust/status.h"
 
 namespace mlpart {
@@ -71,6 +72,51 @@ TEST(CorruptCorpus, EveryFixtureRejectedWithParseError) {
                 << "actual message: " << e.what();
         }
         EXPECT_TRUE(threw) << "fixture was accepted instead of rejected";
+    }
+}
+
+// Damaged binary checkpoints: every class of corruption — torn write,
+// bit rot, wrong version, foreign file, damaged header — must surface as
+// a clean Error(kParseError) from loadCheckpoint, which the resume path
+// turns into a fresh-start fallback. A crash here would turn "lost a
+// checkpoint" into "lost the whole run".
+const CorruptCase kCheckpointCases[] = {
+    {"truncated.ckpt", "truncated"},
+    {"bitflip_section.ckpt", "CRC mismatch (bit rot or torn write)"},
+    {"wrong_version.ckpt", "unsupported version"},
+    {"bad_magic.ckpt", "bad magic"},
+    {"header_crc.ckpt", "header CRC mismatch"},
+    {"too_short.ckpt", "too short"},
+};
+
+TEST(CorruptCorpus, EveryCheckpointFixtureRejectedWithParseError) {
+    for (const CorruptCase& c : kCheckpointCases) {
+        SCOPED_TRACE(c.file);
+        bool threw = false;
+        try {
+            (void)robust::loadCheckpoint(corruptPath(c.file));
+        } catch (const robust::Error& e) {
+            threw = true;
+            EXPECT_EQ(e.code(), robust::StatusCode::kParseError);
+            EXPECT_NE(std::string(e.what()).find(c.expectedSubstring), std::string::npos)
+                << "actual message: " << e.what();
+        }
+        EXPECT_TRUE(threw) << "fixture was accepted instead of rejected";
+    }
+}
+
+// The base fixture is intact; what is stale is the caller's expectation.
+// 0 means "don't verify" and must accept the same file.
+TEST(CorruptCorpus, StaleCheckpointFingerprintRejected) {
+    const std::string path = corruptPath("valid_base.ckpt");
+    EXPECT_NO_THROW((void)robust::loadCheckpoint(path));
+    EXPECT_NO_THROW((void)robust::loadCheckpoint(path, 0x1122334455667788ULL));
+    try {
+        (void)robust::loadCheckpoint(path, 0xDEADBEEFULL);
+        FAIL() << "stale fingerprint was accepted";
+    } catch (const robust::Error& e) {
+        EXPECT_EQ(e.code(), robust::StatusCode::kParseError);
+        EXPECT_NE(std::string(e.what()).find("stale config fingerprint"), std::string::npos);
     }
 }
 

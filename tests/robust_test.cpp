@@ -292,18 +292,31 @@ TEST(Salvage, EverySiteInjectionIsSurvivedByRetryOrDrop) {
         }
         MultilevelPartitioner ml(cfg, factory);
 
+        // Checkpoint sites only exist when checkpointing is on, and a
+        // checkpoint fault must cost durability only — no start is lost.
+        const bool checkpointSite = site.rfind("checkpoint.", 0) == 0;
+        MultiStartConfig ms = smallMultiStart();
+        if (checkpointSite) ms.checkpointPath = ::testing::TempDir() + "mlpart_salvage.ckpt";
+
         FaultPlan plan;
         plan.site = site;
         plan.fireAtHit = 1;
         plan.maxFires = 1;
         FaultInjector::instance().arm(plan);
-        const MultiStartOutcome out = parallelMultiStart(h, ml, smallMultiStart());
+        const MultiStartOutcome out = parallelMultiStart(h, ml, ms);
         FaultInjector::instance().disarm();
 
         EXPECT_GE(FaultInjector::instance().fires(), 1) << "site never fired";
         EXPECT_TRUE(out.ok());
-        EXPECT_EQ(out.report.retried() + out.report.failed(), 1)
-            << "exactly one start should have been hit: " << out.report.summary();
+        if (checkpointSite) {
+            EXPECT_EQ(out.report.retried() + out.report.failed(), 0)
+                << "a checkpoint fault must not cost any start: " << out.report.summary();
+            EXPECT_FALSE(out.checkpointStatus.ok())
+                << "the injected write failure should be reported";
+        } else {
+            EXPECT_EQ(out.report.retried() + out.report.failed(), 1)
+                << "exactly one start should have been hit: " << out.report.summary();
+        }
         expectValid(h, out.best, out.bestCut);
         EXPECT_TRUE(
             BalanceConstraint::forRefinement(h, cfg.k, cfg.tolerance).satisfied(out.best));

@@ -14,9 +14,17 @@
 // *structured* error (robust::Error or std::bad_alloc) — any other escape
 // or crash is a robustness bug.
 //
+// With --checkpoint, each iteration instead runs the crash-equivalence
+// protocol: an uninterrupted multi-start is the oracle; a forked child
+// runs the same work with checkpointing enabled and is SIGKILLed at a
+// random delay; the parent then resumes from whatever checkpoint the
+// child left behind (possibly none) and asserts the final result is
+// bit-identical to the oracle.
+//
 // Usage: fuzz_invariants [--iterations N] [--seed S] [--modules M]
-//                        [--inject] [--verbose]
+//                        [--inject] [--checkpoint] [--verbose]
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +32,12 @@
 #include <new>
 #include <random>
 #include <string>
+
+#if !defined(_WIN32)
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "check/check.h"
 #include "check/verify_hypergraph.h"
@@ -51,12 +65,14 @@ struct Options {
     std::uint64_t seed = 1;
     ModuleId modules = 220; ///< upper bound on instance size
     bool inject = false;    ///< randomly arm the fault injector per iteration
+    bool checkpoint = false; ///< kill-point / resume equivalence protocol
     bool verbose = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--iterations N] [--seed S] [--modules M] [--inject] [--verbose]\n",
+                 "usage: %s [--iterations N] [--seed S] [--modules M] [--inject] "
+                 "[--checkpoint] [--verbose]\n",
                  argv0);
     std::exit(2);
 }
@@ -73,6 +89,7 @@ Options parseArgs(int argc, char** argv) {
         else if (a == "--seed") opt.seed = std::strtoull(value(), nullptr, 10);
         else if (a == "--modules") opt.modules = std::atoi(value());
         else if (a == "--inject") opt.inject = true;
+        else if (a == "--checkpoint") opt.checkpoint = true;
         else if (a == "--verbose") opt.verbose = true;
         else usage(argv[0]);
     }
@@ -227,6 +244,70 @@ void fuzzCoarsenDifferential(const Hypergraph& h0, std::mt19937_64& rng) {
     }
 }
 
+#if !defined(_WIN32)
+/// Crash-equivalence protocol: oracle run, SIGKILLed checkpointed child,
+/// resume, bit-identical comparison. Exits 1 on any divergence.
+void fuzzCheckpointKill(const Hypergraph& h, std::mt19937_64& rng, const Options& opt, int it) {
+    MLConfig cfg;
+    cfg.matchingRatio = 0.5;
+    MultilevelPartitioner ml(cfg, makeFMFactory(randomFMConfig(rng)));
+    MultiStartConfig ms;
+    ms.runs = 3 + static_cast<int>(rng() % 6);
+    ms.threads = 1 + static_cast<int>(rng() % 3);
+    ms.seed = rng();
+    const MultiStartOutcome oracle = parallelMultiStart(h, ml, ms);
+
+    const std::string path = "/tmp/mlpart_fuzz_ckpt_" +
+                             std::to_string(static_cast<long>(::getpid())) + ".ckpt";
+    std::remove(path.c_str());
+    MultiStartConfig cp = ms;
+    cp.checkpointPath = path;
+    cp.checkpointEvery = 1 + static_cast<int>(rng() % 2);
+    const unsigned delayUs = static_cast<unsigned>(rng() % 20000);
+
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        // The child is pure scratch: it partitions with checkpointing on
+        // until the parent kills it. A child that finishes first simply
+        // leaves a complete checkpoint — also a valid kill point.
+        try {
+            (void)parallelMultiStart(h, ml, cp);
+        } catch (...) {
+        }
+        ::_exit(0);
+    }
+    if (pid < 0) {
+        std::perror("fuzz_invariants: fork");
+        std::exit(1);
+    }
+    ::usleep(delayUs);
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+
+    cp.resume = true;
+    const MultiStartOutcome resumed = parallelMultiStart(h, ml, cp);
+    if (opt.verbose)
+        std::fprintf(stderr,
+                     "iter %d: killed after %u us, resumed %d starts%s, cut %lld (oracle %lld)\n",
+                     it, delayUs, resumed.resumedStarts,
+                     resumed.resumeStatus.ok() ? "" : " [fresh fallback]",
+                     static_cast<long long>(resumed.bestCut),
+                     static_cast<long long>(oracle.bestCut));
+    const auto ra = resumed.best.assignment();
+    const auto oa = oracle.best.assignment();
+    if (resumed.bestCut != oracle.bestCut || resumed.bestRun != oracle.bestRun ||
+        !std::equal(ra.begin(), ra.end(), oa.begin(), oa.end())) {
+        std::fprintf(stderr,
+                     "fuzz_invariants: iter %d: resume diverged from the uninterrupted oracle "
+                     "(cut %lld/run %d vs cut %lld/run %d)\n",
+                     it, static_cast<long long>(resumed.bestCut), resumed.bestRun,
+                     static_cast<long long>(oracle.bestCut), oracle.bestRun);
+        std::exit(1);
+    }
+    std::remove(path.c_str());
+}
+#endif
+
 /// Random injection schedule for one iteration, derived from `rng` alone.
 robust::FaultPlan randomFaultPlan(std::mt19937_64& rng) {
     robust::FaultPlan plan;
@@ -244,6 +325,22 @@ int main(int argc, char** argv) {
     injector.armFromEnv(); // environment spec wins until the first --inject re-arm
     std::mt19937_64 rng(opt.seed);
     int faulted = 0;
+    if (opt.checkpoint) {
+#if defined(_WIN32)
+        std::fprintf(stderr, "fuzz_invariants: --checkpoint needs fork(); not supported here\n");
+        return 2;
+#else
+        for (int it = 0; it < opt.iterations; ++it) {
+            std::string label;
+            const Hypergraph h = makeCircuit(opt.modules, rng, label);
+            if (opt.verbose) std::fprintf(stderr, "iter %d: %s mode=checkpoint\n", it, label.c_str());
+            fuzzCheckpointKill(h, rng, opt, it);
+        }
+        std::printf("fuzz_invariants: %d kill/resume iterations bit-identical (seed %llu)\n",
+                    opt.iterations, static_cast<unsigned long long>(opt.seed));
+        return 0;
+#endif
+    }
     for (int it = 0; it < opt.iterations; ++it) {
         std::string label;
         const Hypergraph h = makeCircuit(opt.modules, rng, label);

@@ -23,8 +23,13 @@
 //     --scale X       synthetic-instance scale in (0,1] (default 1)
 //     -o FILE         output JSON (default BENCH_ML.json)
 //     --compare FILE  baseline JSON: exit 1 if any shared instance's
-//                     wall_sec regressed more than --max-regression
+//                     wall_sec regressed more than --max-regression, or
+//                     its peak_rss_kb more than --max-rss-regression
 //     --max-regression PCT   allowed slowdown vs baseline (default 25)
+//     --max-rss-regression PCT  allowed peak-RSS growth vs baseline
+//                     (default 50; RSS is a process-wide high-water mark,
+//                     so it is gated separately and more loosely than
+//                     wall time)
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -94,13 +99,15 @@ struct Options {
     std::string out = "BENCH_ML.json";
     std::string compare;
     double maxRegressionPct = 25.0;
+    double maxRssRegressionPct = 50.0;
 };
 
 [[noreturn]] void usage(const std::string& msg = "") {
     if (!msg.empty()) std::cerr << "error: " << msg << "\n";
     std::cerr << "usage: mlpart_bench [instances...] [--quick|--full] [--runs N] [--seed S]\n"
                  "                    [--threads T] [--engine fm|clip] [--scale X]\n"
-                 "                    [-o FILE] [--compare BASELINE.json] [--max-regression PCT]\n";
+                 "                    [-o FILE] [--compare BASELINE.json] [--max-regression PCT]\n"
+                 "                    [--max-rss-regression PCT]\n";
     std::exit(2);
 }
 
@@ -123,6 +130,7 @@ Options parseOptions(int argc, char** argv) {
         else if (arg == "-o" || arg == "--out") o.out = value();
         else if (arg == "--compare") o.compare = value();
         else if (arg == "--max-regression") o.maxRegressionPct = std::stod(value());
+        else if (arg == "--max-rss-regression") o.maxRssRegressionPct = std::stod(value());
         else if (!arg.empty() && arg[0] == '-') usage("unknown flag " + arg);
         else o.instances.push_back(arg);
     }
@@ -234,16 +242,23 @@ void writeJson(const std::string& path, const Options& o, const std::vector<Inst
     out << j.str();
 }
 
-/// Minimal scan of a previous BENCH_ML.json: instance -> wall_sec. Only
-/// the two keys this harness itself emits are recognized, which is all
-/// the regression gate needs.
-std::map<std::string, double> readBaselineWalls(const std::string& path) {
+struct BaselineEntry {
+    double wallSec = -1.0;
+    long peakRssKb = -1; ///< -1 = absent (pre-RSS-gate baseline file)
+};
+
+/// Minimal scan of a previous BENCH_ML.json: instance -> {wall_sec,
+/// peak_rss_kb}. Only keys this harness itself emits are recognized,
+/// which is all the regression gate needs. Baselines written before the
+/// RSS gate existed simply lack peak_rss_kb; those instances skip the
+/// RSS check rather than failing it.
+std::map<std::string, BaselineEntry> readBaseline(const std::string& path) {
     std::ifstream in(path);
     if (!in) {
         std::cerr << "error: cannot read baseline " << path << "\n";
         std::exit(1);
     }
-    std::map<std::string, double> walls;
+    std::map<std::string, BaselineEntry> entries;
     std::string line, current;
     while (std::getline(in, line)) {
         const auto grab = [&](const char* key) -> std::string {
@@ -259,9 +274,11 @@ std::map<std::string, double> readBaselineWalls(const std::string& path) {
         };
         if (std::string v = grab("\"instance\""); !v.empty()) current = v;
         if (std::string v = grab("\"wall_sec\""); !v.empty() && !current.empty())
-            walls[current] = std::stod(v);
+            entries[current].wallSec = std::stod(v);
+        if (std::string v = grab("\"peak_rss_kb\""); !v.empty() && !current.empty())
+            entries[current].peakRssKb = std::stol(v);
     }
-    return walls;
+    return entries;
 }
 
 } // namespace
@@ -290,21 +307,34 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << o.out << "\n";
 
     if (!o.compare.empty()) {
-        const std::map<std::string, double> base = readBaselineWalls(o.compare);
+        const std::map<std::string, BaselineEntry> base = readBaseline(o.compare);
         bool regressed = false;
         int compared = 0;
         for (const InstanceResult& r : results) {
             const auto it = base.find(r.name);
-            if (it == base.end()) continue;
+            if (it == base.end() || it->second.wallSec < 0) continue;
             ++compared;
-            const double allowed = it->second * (1.0 + o.maxRegressionPct / 100.0);
+            const double allowed = it->second.wallSec * (1.0 + o.maxRegressionPct / 100.0);
             if (r.wallSec > allowed) {
                 std::printf("REGRESSION %s: %.3fs vs baseline %.3fs (> +%.0f%%)\n", r.name.c_str(),
-                            r.wallSec, it->second, o.maxRegressionPct);
+                            r.wallSec, it->second.wallSec, o.maxRegressionPct);
                 regressed = true;
             } else {
                 std::printf("ok %s: %.3fs vs baseline %.3fs\n", r.name.c_str(), r.wallSec,
-                            it->second);
+                            it->second.wallSec);
+            }
+            if (it->second.peakRssKb >= 0) {
+                const double allowedRss = static_cast<double>(it->second.peakRssKb) *
+                                          (1.0 + o.maxRssRegressionPct / 100.0);
+                if (static_cast<double>(r.peakRssKb) > allowedRss) {
+                    std::printf("RSS REGRESSION %s: %ld KiB vs baseline %ld KiB (> +%.0f%%)\n",
+                                r.name.c_str(), r.peakRssKb, it->second.peakRssKb,
+                                o.maxRssRegressionPct);
+                    regressed = true;
+                } else {
+                    std::printf("ok %s rss: %ld KiB vs baseline %ld KiB\n", r.name.c_str(),
+                                r.peakRssKb, it->second.peakRssKb);
+                }
             }
         }
         if (compared == 0) {
@@ -313,7 +343,8 @@ int main(int argc, char** argv) {
         }
         if (regressed) return 1;
         std::cout << "perf gate passed (" << compared << " instances, max regression "
-                  << o.maxRegressionPct << "%)\n";
+                  << o.maxRegressionPct << "%, max rss regression " << o.maxRssRegressionPct
+                  << "%)\n";
     }
     return 0;
 }

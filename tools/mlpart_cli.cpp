@@ -16,6 +16,7 @@
 // 6 all multi-start workers failed, 7 out of memory, 130 interrupted
 // (best-so-far emitted), 1 anything else.
 #include <atomic>
+#include <cctype>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
@@ -37,7 +38,9 @@
 #include "placement/topdown_placer.h"
 #include "refine/fm_refiner.h"
 #include "refine/multistart.h"
+#include "robust/checkpoint.h"
 #include "robust/fault_injector.h"
+#include "robust/memory_governor.h"
 #include "robust/status.h"
 #include "spectral/spectral.h"
 
@@ -69,7 +72,8 @@ void setPhase(const std::string& phase, const std::string& input = "") {
         "  stats     <netlist>\n"
         "  partition <netlist> [-k K] [-r TOL] [-R RATIO] [--engine fm|clip]\n"
         "            [--runs N] [--threads T] [--seed S] [--timeout SEC]\n"
-        "            [-o OUT.parts]\n"
+        "            [--checkpoint FILE [--checkpoint-every N] [--resume]]\n"
+        "            [--mem-limit BYTES[k|m|g]] [-o OUT.parts]\n"
         "  spectral  <netlist> [-r TOL] [-o OUT.parts]\n"
         "  place     <netlist> [--levels L] [-o OUT.pl]\n"
         "  convert   <netlist> <out.hgr|out.netD>\n"
@@ -117,11 +121,38 @@ struct Args {
     }
 };
 
+// "--mem-limit 512m" style byte counts: a decimal count with an optional
+// binary k/m/g suffix. 0 = unlimited.
+std::uint64_t parseByteSize(const std::string& s) {
+    std::size_t pos = 0;
+    unsigned long long v = 0;
+    try {
+        v = std::stoull(s, &pos);
+    } catch (const std::exception&) {
+        usage("--mem-limit: malformed byte count '" + s + "'");
+    }
+    std::uint64_t mult = 1;
+    if (pos < s.size()) {
+        if (pos + 1 != s.size()) usage("--mem-limit: malformed byte count '" + s + "'");
+        switch (std::tolower(static_cast<unsigned char>(s[pos]))) {
+            case 'k': mult = std::uint64_t{1} << 10; break;
+            case 'm': mult = std::uint64_t{1} << 20; break;
+            case 'g': mult = std::uint64_t{1} << 30; break;
+            default: usage("--mem-limit: unknown suffix '" + s.substr(pos) + "' (want k/m/g)");
+        }
+    }
+    return static_cast<std::uint64_t>(v) * mult;
+}
+
 Args parseArgs(int argc, char** argv, int start) {
     Args a;
     for (int i = start; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.size() >= 2 && arg[0] == '-' && !std::isdigit(static_cast<unsigned char>(arg[1]))) {
+            if (arg == "--resume") { // the only valueless flag
+                a.flags[arg] = "1";
+                continue;
+            }
             if (i + 1 >= argc) usage("flag " + arg + " needs a value");
             a.flags[arg] = argv[++i];
         } else {
@@ -149,6 +180,10 @@ int cmdStats(const Args& a) {
 
 int cmdPartition(const Args& a) {
     if (a.positional.empty()) usage("partition: missing netlist");
+    // The budget must govern the *reader's* allocations too, so it is set
+    // before the netlist is touched.
+    if (a.flags.count("--mem-limit"))
+        robust::MemoryGovernor::instance().setLimitBytes(parseByteSize(a.get("--mem-limit", "")));
     const Hypergraph h = loadNetlist(a.positional[0]);
     const PartId k = static_cast<PartId>(a.getI("-k", 2));
     const double r = a.getD("-r", 0.1);
@@ -189,6 +224,20 @@ int cmdPartition(const Args& a) {
     ms.seed = static_cast<std::uint64_t>(a.getI("--seed", 1));
     ms.timeoutSeconds = timeout;
     ms.deadline.bindCancelFlag(&g_interrupted);
+    ms.checkpointPath = a.get("--checkpoint", "");
+    ms.checkpointEvery = static_cast<int>(a.getI("--checkpoint-every", 1));
+    ms.resume = a.flags.count("--resume") > 0;
+    if (ms.resume && ms.checkpointPath.empty())
+        usage("partition: --resume requires --checkpoint FILE");
+    if (ms.checkpointEvery < 1) usage("partition: --checkpoint-every must be >= 1");
+    if (!ms.checkpointPath.empty()) {
+        // The library fingerprints the instance + MLConfig + protocol; the
+        // engine choice is opaque to it (a factory), so fold it in here.
+        std::uint64_t salt = 0x454e47u; // "ENG"
+        for (const char c : engine)
+            salt = robust::hashCombine(salt, static_cast<std::uint8_t>(c));
+        ms.fingerprintSalt = salt;
+    }
     setPhase("partitioning");
     const MultiStartOutcome out = parallelMultiStart(h, ml, ms);
 
@@ -202,6 +251,15 @@ int cmdPartition(const Args& a) {
     std::cout << "\n";
     if (out.report.failed() > 0 || out.report.skipped() > 0 || out.report.retried() > 0)
         std::cout << "  " << out.report.summary() << "\n";
+    if (ms.resume) {
+        if (out.resumeStatus.ok())
+            std::cout << "  resumed: " << out.resumedStarts << " starts restored from "
+                      << ms.checkpointPath << "\n";
+        else
+            std::cout << "  resume fallback (fresh run): " << out.resumeStatus.message << "\n";
+    }
+    if (!out.checkpointStatus.ok())
+        std::cout << "  checkpoint warning: " << out.checkpointStatus.message << "\n";
     if (a.flags.count("-o")) {
         writePartitionFile(out.best, a.get("-o", ""));
         std::cout << "  wrote " << a.get("-o", "") << "\n";

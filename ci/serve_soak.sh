@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Soak harness for mlpart_serve (DESIGN.md §11): run the service for a
+# while under a mixed-priority job stream with the serve.* fault sites
+# armed per-job — crash-once, crash-always, hang-until-watchdog, torn
+# result pipe — and prove the supervisor itself never dies: every request
+# gets exactly one response, the process survives to the end, and a
+# SIGTERM then drains it cleanly to exit 0. Run it against a sanitizer
+# build directory to catch lifetime bugs on the containment paths.
+#
+#   ci/serve_soak.sh [build-dir] [duration-seconds]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+duration="${2:-60}"
+serve="$build/tools/mlpart_serve"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+[ -x "$serve" ] || { echo "serve_soak.sh: $serve not built" >&2; exit 2; }
+
+hgr='6 8\n1 2\n3 4\n5 6\n7 8\n2 3\n6 7\n'
+
+mkfifo "$work/in"
+"$serve" --workers 2 --queue 32 --grace 1 --drain-grace 0.2 \
+    <"$work/in" >"$work/out.ndjson" 2>"$work/err.log" &
+pid=$!
+exec 3>"$work/in"
+
+# Mixed stream: clean jobs, crash-once (retried), crash-always, hangs
+# bounded by the watchdog, torn result frames — across four priorities.
+sent=0
+start=$SECONDS
+while [ $((SECONDS - start)) -lt "$duration" ]; do
+    sent=$((sent + 1))
+    prio=$((sent % 4))
+    extra=""
+    if [ $((sent % 5)) -eq 0 ]; then
+        extra=',"fault":"site=serve.worker_crash,at=1","fault_attempts":1'
+    elif [ $((sent % 7)) -eq 0 ]; then
+        extra=',"fault":"site=serve.worker_crash,at=1"'
+    elif [ $((sent % 11)) -eq 0 ]; then
+        extra=',"fault":"site=serve.worker_hang,at=1","deadline":0.4'
+    elif [ $((sent % 13)) -eq 0 ]; then
+        extra=',"fault":"site=serve.pipe,at=1","fault_attempts":1'
+    fi
+    printf '{"op":"partition","id":"soak-%d","hgr":"%s","runs":50,"priority":%d%s}\n' \
+        "$sent" "$hgr" "$prio" "$extra" >&3
+    sleep 0.1
+done
+
+# Zero supervisor deaths: the one service process is still alive after
+# the whole fault barrage.
+kill -0 "$pid" || { echo "serve_soak.sh: supervisor died mid-soak" >&2; exit 1; }
+
+kill -TERM "$pid"
+exec 3>&-
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "serve_soak.sh: SIGTERM drain exited $rc, want 0" >&2
+    tail -5 "$work/err.log" >&2 || true
+    exit 1
+fi
+
+responses=$(grep -c '"event":"result"' "$work/out.ndjson" || true)
+echo "serve_soak.sh: sent $sent jobs, got $responses responses"
+if [ "$responses" -ne "$sent" ]; then
+    echo "serve_soak.sh: one-request/one-response broken ($responses != $sent)" >&2
+    exit 1
+fi
+grep -q '"event":"drained"' "$work/out.ndjson" ||
+    { echo "serve_soak.sh: no drained event after SIGTERM" >&2; exit 1; }
+
+# The fault mix must actually have exercised the containment machinery.
+grep -q '"status":"OK"' "$work/out.ndjson" ||
+    { echo "serve_soak.sh: no job succeeded" >&2; exit 1; }
+grep -q '"retried":true' "$work/out.ndjson" ||
+    { echo "serve_soak.sh: no crash-once job was retried" >&2; exit 1; }
+grep -q '"status":"WORKER_CRASHED"' "$work/out.ndjson" ||
+    { echo "serve_soak.sh: no persistent crash was classified" >&2; exit 1; }
+grep -q '"watchdog_killed":true' "$work/out.ndjson" ||
+    { echo "serve_soak.sh: no hung worker was watchdog-killed" >&2; exit 1; }
+
+if grep -q "ERROR: .*Sanitizer" "$work/err.log"; then
+    echo "serve_soak.sh: sanitizer report in the supervisor" >&2
+    tail -20 "$work/err.log" >&2
+    exit 1
+fi
+
+echo "serve_soak.sh: ${duration}s soak clean — supervisor survived, drain exited 0"

@@ -48,6 +48,36 @@ struct CoarsenWorkspace {
     std::vector<std::uint64_t> fingerprints; ///< per tentative net: pin-list hash
     std::vector<NetId> order;              ///< net ids sorted by (fingerprint, id)
     std::vector<NetId> repOf;              ///< per tentative net: merge representative
+
+    /// Releases every scratch buffer back to the allocator (see
+    /// refine::Workspace::shrinkToFit for the long-lived-host rationale).
+    void shrinkToFit() {
+        std::vector<NetId>().swap(pinStamp);
+        std::vector<std::int64_t>().swap(tentOffsets);
+        std::vector<ModuleId>().swap(tentPins);
+        std::vector<ModuleId>().swap(tentPinsSorted);
+        std::vector<Weight>().swap(tentWeights);
+        std::vector<std::int64_t>().swap(clusterOffsets);
+        std::vector<NetId>().swap(clusterNets);
+        std::vector<std::int64_t>().swap(netCursor);
+        std::vector<std::uint64_t>().swap(fingerprints);
+        std::vector<NetId>().swap(order);
+        std::vector<NetId>().swap(repOf);
+    }
+
+    /// Bytes of heap capacity currently held.
+    [[nodiscard]] std::size_t capacityBytes() const {
+        return pinStamp.capacity() * sizeof(NetId) +
+               tentOffsets.capacity() * sizeof(std::int64_t) +
+               tentPins.capacity() * sizeof(ModuleId) +
+               tentPinsSorted.capacity() * sizeof(ModuleId) +
+               tentWeights.capacity() * sizeof(Weight) +
+               clusterOffsets.capacity() * sizeof(std::int64_t) +
+               clusterNets.capacity() * sizeof(NetId) +
+               netCursor.capacity() * sizeof(std::int64_t) +
+               fingerprints.capacity() * sizeof(std::uint64_t) +
+               order.capacity() * sizeof(NetId) + repOf.capacity() * sizeof(NetId);
+    }
 };
 
 /// Definition 1 coarsening through the dedicated kernel: the coarse

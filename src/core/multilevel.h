@@ -32,6 +32,21 @@ namespace mlpart {
 struct MLWorkspace {
     CoarsenWorkspace coarsen;
     refine::Workspace refine;
+
+    /// Returns all pooled capacity to the allocator. A long-lived service
+    /// calls this (via core/workspace_pool.h) between jobs of very
+    /// different sizes so one huge instance does not pin its high-water
+    /// footprint for the rest of the process lifetime (ROADMAP
+    /// "governor-aware workspace pools").
+    void shrinkToFit() {
+        coarsen.shrinkToFit();
+        refine.shrinkToFit();
+    }
+
+    /// Bytes of heap capacity currently held by all pooled buffers.
+    [[nodiscard]] std::size_t capacityBytes() const {
+        return coarsen.capacityBytes() + refine.capacityBytes();
+    }
 };
 
 /// Wall-clock seconds per V-cycle phase, accumulated over all cycles of a

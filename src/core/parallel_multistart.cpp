@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "check/verify_partition.h"
+#include "core/workspace_pool.h"
 #include "hypergraph/io.h"
 #include "hypergraph/stats.h"
 #include "robust/checkpoint.h"
@@ -190,7 +191,13 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
         // engines re-initialise every buffer they touch at the start of
         // each run, so a half-mutated workspace is safe to reuse for the
         // retry and for later runs.
-        MLWorkspace ws;
+        //
+        // The workspace is leased from the process-wide pool: across
+        // *calls* (a long-lived service running many jobs) the warmed
+        // capacity is reused for same-sized instances and shrunk when the
+        // workload steps down a size bucket (workspace_pool.h).
+        WorkspacePool::Lease lease = WorkspacePool::instance().acquire(h.numModules());
+        MLWorkspace& ws = *lease;
         while (true) {
             const int run = next.fetch_add(1);
             if (run >= cfg.runs) break;

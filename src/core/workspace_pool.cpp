@@ -1,0 +1,90 @@
+#include "core/workspace_pool.h"
+
+#include <algorithm>
+
+namespace mlpart {
+
+WorkspacePool& WorkspacePool::instance() {
+    static WorkspacePool pool;
+    return pool;
+}
+
+int WorkspacePool::bucketFor(ModuleId modules) {
+    // log2 bucket: jobs within a factor of two share warmed workspaces;
+    // a bucket step means capacities genuinely differ.
+    int b = 0;
+    for (ModuleId n = std::max<ModuleId>(modules, 1); n > 1; n >>= 1) ++b;
+    return b;
+}
+
+WorkspacePool::Lease WorkspacePool::acquire(ModuleId modules) {
+    const int want = bucketFor(modules);
+    std::unique_ptr<MLWorkspace> ws;
+    int bucket = want;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Prefer the smallest pooled bucket >= want (already warm, least
+        // oversized), else the largest below (partial warmth, will grow).
+        std::size_t pick = idle_.size();
+        for (std::size_t i = 0; i < idle_.size(); ++i) {
+            if (pick == idle_.size()) { pick = i; continue; }
+            const bool iUp = idle_[i].bucket >= want, pUp = idle_[pick].bucket >= want;
+            if (iUp != pUp ? iUp
+                           : (iUp ? idle_[i].bucket < idle_[pick].bucket
+                                  : idle_[i].bucket > idle_[pick].bucket))
+                pick = i;
+        }
+        if (pick < idle_.size()) {
+            ws = std::move(idle_[pick].ws);
+            bucket = idle_[pick].bucket;
+            idle_.erase(idle_.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+    }
+    if (!ws) {
+        ws = std::make_unique<MLWorkspace>();
+    } else if (bucket > want) {
+        // Warmed on a larger instance class: return the high-water
+        // capacity to the allocator instead of carrying it into a stream
+        // of small jobs. The next run re-warms at the right size.
+        ws->shrinkToFit();
+        bucket = want;
+    }
+    return Lease(this, std::move(ws), std::max(bucket, want));
+}
+
+void WorkspacePool::put(std::unique_ptr<MLWorkspace> ws, int bucket) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (idle_.size() >= maxIdle_) return; // excess is freed here
+    idle_.push_back(Entry{std::move(ws), bucket});
+}
+
+void WorkspacePool::Lease::release() {
+    if (pool_ != nullptr && ws_ != nullptr) pool_->put(std::move(ws_), bucket_);
+    pool_ = nullptr;
+    ws_.reset();
+}
+
+void WorkspacePool::trim() {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.clear();
+}
+
+std::size_t WorkspacePool::pooledCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_.size();
+}
+
+std::size_t WorkspacePool::pooledCapacityBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const Entry& e : idle_) n += e.ws->capacityBytes();
+    return n;
+}
+
+void WorkspacePool::setMaxIdle(std::size_t maxIdle) {
+    std::lock_guard<std::mutex> lock(mu_);
+    maxIdle_ = maxIdle;
+    if (idle_.size() > maxIdle_) idle_.resize(maxIdle_);
+}
+
+} // namespace mlpart

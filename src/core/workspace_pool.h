@@ -1,0 +1,111 @@
+// Instance-size-keyed pooling of MLWorkspace (ROADMAP "governor-aware
+// workspace pools").
+//
+// parallelMultiStart keeps one MLWorkspace per worker thread so the hot
+// path is allocation-free after warm-up — but before this pool, each call
+// constructed its workspaces from scratch (cold caches every job) and a
+// library embedder running many jobs back to back either paid the warm-up
+// per job or held the high-water capacity of the largest job forever.
+//
+// The pool closes both gaps for a long-lived host (the mlpart_serve
+// supervisor, or any embedder):
+//   - acquire(modules) hands back a previously warmed workspace when one
+//     is pooled, so a steady stream of same-sized jobs never re-allocates;
+//   - each pooled entry remembers the size bucket (log2 of the module
+//     count) it was warmed at; acquiring for a *smaller* bucket shrinks
+//     the entry first, so memory spent on one huge job is returned to the
+//     allocator as soon as the workload moves back to normal-sized jobs
+//     instead of being pinned until process exit.
+//
+// Workspace contents never influence results (the engines re-initialize
+// every buffer they touch per run), so pooling is invisible to the
+// bit-identical determinism guarantees.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/multilevel.h"
+
+namespace mlpart {
+
+class WorkspacePool {
+public:
+    /// Process-wide pool (workspaces are a property of the process, like
+    /// the memory governor's budget).
+    [[nodiscard]] static WorkspacePool& instance();
+
+    /// RAII lease: returns the workspace to the pool on destruction.
+    class Lease {
+    public:
+        Lease() = default;
+        Lease(Lease&& other) noexcept : pool_(other.pool_), ws_(std::move(other.ws_)),
+                                        bucket_(other.bucket_) {
+            other.pool_ = nullptr;
+        }
+        Lease& operator=(Lease&& other) noexcept {
+            if (this != &other) {
+                release();
+                pool_ = other.pool_;
+                ws_ = std::move(other.ws_);
+                bucket_ = other.bucket_;
+                other.pool_ = nullptr;
+            }
+            return *this;
+        }
+        Lease(const Lease&) = delete;
+        Lease& operator=(const Lease&) = delete;
+        ~Lease() { release(); }
+
+        [[nodiscard]] MLWorkspace& operator*() { return *ws_; }
+        [[nodiscard]] MLWorkspace* operator->() { return ws_.get(); }
+        [[nodiscard]] MLWorkspace* get() { return ws_.get(); }
+
+    private:
+        friend class WorkspacePool;
+        Lease(WorkspacePool* pool, std::unique_ptr<MLWorkspace> ws, int bucket)
+            : pool_(pool), ws_(std::move(ws)), bucket_(bucket) {}
+        void release();
+
+        WorkspacePool* pool_ = nullptr;
+        std::unique_ptr<MLWorkspace> ws_;
+        int bucket_ = 0;
+    };
+
+    /// Leases a workspace suitable for an instance of `modules` modules.
+    /// Prefers a pooled entry warmed at the same size bucket; an entry
+    /// warmed at a larger bucket is shrunk before reuse so its high-water
+    /// capacity is returned to the allocator now, not at process exit.
+    [[nodiscard]] Lease acquire(ModuleId modules);
+
+    /// Drops every pooled workspace (graceful-drain hook: a draining
+    /// service wants its memory back even though the process lives on).
+    void trim();
+
+    /// Telemetry for the service `status` endpoint and tests.
+    [[nodiscard]] std::size_t pooledCount() const;
+    [[nodiscard]] std::size_t pooledCapacityBytes() const;
+
+    /// Caps how many idle workspaces are retained (default 8; the excess
+    /// is freed on release). Exposed for tests.
+    void setMaxIdle(std::size_t maxIdle);
+
+private:
+    WorkspacePool() = default;
+
+    struct Entry {
+        std::unique_ptr<MLWorkspace> ws;
+        int bucket = 0; ///< max log2(modules) this workspace was warmed at
+    };
+
+    static int bucketFor(ModuleId modules);
+    void put(std::unique_ptr<MLWorkspace> ws, int bucket);
+
+    mutable std::mutex mu_;
+    std::vector<Entry> idle_;
+    std::size_t maxIdle_ = 8;
+};
+
+} // namespace mlpart

@@ -142,6 +142,27 @@ public:
     /// Removes all modules.
     void clear();
 
+    /// Releases every owned buffer back to the allocator, leaving the
+    /// default-constructed state. A pooled workspace calls this when a
+    /// long-lived host wants high-water memory returned between jobs;
+    /// reset() rebuilds from scratch on next use.
+    void shrinkToFit() {
+        std::vector<ModuleId>().swap(heads_);
+        std::vector<ModuleId>().swap(tails_);
+        std::vector<Node>().swap(nodes_);
+        std::vector<ModuleId>().swap(clipOrder_);
+        policy_ = BucketPolicy::kLifo;
+        range_ = 0;
+        maxIdx_ = -1;
+        size_ = 0;
+    }
+
+    /// Bytes of heap capacity currently held (memory-governance telemetry).
+    [[nodiscard]] std::size_t capacityBytes() const {
+        return heads_.capacity() * sizeof(ModuleId) + tails_.capacity() * sizeof(ModuleId) +
+               nodes_.capacity() * sizeof(Node) + clipOrder_.capacity() * sizeof(ModuleId);
+    }
+
     /// Internal consistency check for tests: list links, counts, and max
     /// pointer all agree. O(n + buckets).
     [[nodiscard]] bool checkInvariants() const;

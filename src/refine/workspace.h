@@ -37,6 +37,20 @@ struct KWayMove {
     Weight delta;
 };
 
+namespace detail {
+
+template <typename T>
+void releaseVector(std::vector<T>& v) {
+    std::vector<T>().swap(v); // clear() keeps capacity; swap releases it
+}
+
+template <typename T>
+[[nodiscard]] std::size_t vectorCapacityBytes(const std::vector<T>& v) {
+    return v.capacity() * sizeof(T);
+}
+
+} // namespace detail
+
 struct Workspace {
     // --- Bipartition FM (FMRefiner) ---
     std::vector<char> activeNet;
@@ -65,6 +79,55 @@ struct Workspace {
     std::vector<std::uint64_t> kTouched;
     std::vector<KWayMove> kMoves;
     std::vector<GainBucketArray> kBuckets; ///< k*k, diagonal unused
+
+    /// Releases every pooled buffer back to the allocator. Capacity
+    /// otherwise only ever grows, which is exactly right mid-run but wrong
+    /// for a long-lived host: after one golem3-class job the workspace
+    /// would pin its high-water footprint forever. The engines re-init
+    /// every buffer per run, so a shrunk workspace is simply a cold one.
+    void shrinkToFit() {
+        using detail::releaseVector;
+        releaseVector(activeNet);
+        releaseVector(pc);
+        releaseVector(lockedPc);
+        releaseVector(locked);
+        releaseVector(moveCount);
+        releaseVector(blocked);
+        releaseVector(gains);
+        releaseVector(dirty);
+        releaseVector(moves);
+        releaseVector(lazyInsert);
+        bucket[0].shrinkToFit();
+        bucket[1].shrinkToFit();
+        releaseVector(kActiveNet);
+        releaseVector(kCounts);
+        releaseVector(kLockedCounts);
+        releaseVector(kSpan);
+        releaseVector(kLocked);
+        releaseVector(kRealGain);
+        releaseVector(kTouched);
+        releaseVector(kMoves);
+        for (GainBucketArray& b : kBuckets) b.shrinkToFit();
+        releaseVector(kBuckets);
+    }
+
+    /// Bytes of heap capacity currently held across every pooled buffer.
+    [[nodiscard]] std::size_t capacityBytes() const {
+        using detail::vectorCapacityBytes;
+        std::size_t n = vectorCapacityBytes(activeNet) + vectorCapacityBytes(pc) +
+                        vectorCapacityBytes(lockedPc) + vectorCapacityBytes(locked) +
+                        vectorCapacityBytes(moveCount) + vectorCapacityBytes(blocked) +
+                        vectorCapacityBytes(gains) + vectorCapacityBytes(dirty) +
+                        vectorCapacityBytes(moves) + vectorCapacityBytes(lazyInsert) +
+                        bucket[0].capacityBytes() + bucket[1].capacityBytes() +
+                        vectorCapacityBytes(kActiveNet) + vectorCapacityBytes(kCounts) +
+                        vectorCapacityBytes(kLockedCounts) + vectorCapacityBytes(kSpan) +
+                        vectorCapacityBytes(kLocked) + vectorCapacityBytes(kRealGain) +
+                        vectorCapacityBytes(kTouched) + vectorCapacityBytes(kMoves) +
+                        vectorCapacityBytes(kBuckets);
+        for (const GainBucketArray& b : kBuckets) n += b.capacityBytes();
+        return n;
+    }
 };
 
 } // namespace mlpart::refine

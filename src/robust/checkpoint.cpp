@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "robust/fault_injector.h"
+#include "robust/wire.h"
 
 #if defined(_WIN32)
 #include <io.h>
@@ -112,7 +113,7 @@ StartStatus decodeStartStatus(std::uint8_t v) {
 }
 
 StatusCode decodeStatusCode(std::uint8_t v) {
-    if (v > static_cast<std::uint8_t>(StatusCode::kInternal))
+    if (v > static_cast<std::uint8_t>(kMaxStatusCode))
         corrupt("invalid status code " + std::to_string(v));
     return static_cast<StatusCode>(v);
 }
@@ -388,16 +389,22 @@ Status saveCheckpoint(const std::string& path, const CheckpointState& state) {
 }
 
 CheckpointState loadCheckpoint(const std::string& path, std::uint64_t expectedFingerprint) {
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    if (!in) corrupt("cannot open " + path);
-    const std::streamoff size = in.tellg();
-    if (size < 0) corrupt("cannot determine size of " + path);
-    if (static_cast<std::uint64_t>(size) > kMaxCheckpointBytes)
+    // EINTR-safe fd read (wire.h): the long-lived service installs signal
+    // handlers without SA_RESTART, so stream reads in the same process can
+    // come back short mid-checkpoint — the retry loop makes a signal storm
+    // indistinguishable from a quiet load.
+    std::vector<std::uint8_t> bytes;
+    try {
+        bytes = readFileBytes(path);
+    } catch (const Error& e) {
+        corrupt(std::string(e.what()));
+    }
+    // A zero-byte file is what a crash between open(O_TRUNC) and the first
+    // write leaves behind on non-atomic writers; name it precisely instead
+    // of reporting a generic short header.
+    if (bytes.empty()) corrupt("empty checkpoint file (zero bytes): " + path);
+    if (bytes.size() > kMaxCheckpointBytes)
         corrupt(path + " is implausibly large for a checkpoint");
-    in.seekg(0);
-    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-    in.read(reinterpret_cast<char*>(bytes.data()), size);
-    if (!in) corrupt("short read from " + path);
     return parseCheckpoint(bytes.data(), bytes.size(), expectedFingerprint);
 }
 

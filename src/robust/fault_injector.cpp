@@ -46,6 +46,10 @@ const std::vector<std::string>& FaultInjector::knownSites() {
         "govern.reserve",    // MemoryGovernor::reserve (arm kind=alloc for OOM)
         "checkpoint.write",  // saveCheckpoint entry: the write is skipped
         "checkpoint.torn",   // saveCheckpoint body: a torn file is left behind
+        "serve.fork",        // supervisor, before fork(): spawn failure
+        "serve.worker_crash",// worker child, before the job: raises SIGSEGV
+        "serve.worker_hang", // worker child, before the job: hangs forever
+        "serve.pipe",        // worker child, result write: torn frame
     };
     return sites;
 }
@@ -108,8 +112,12 @@ std::int64_t FaultInjector::visits(const std::string& site) const {
 bool FaultInjector::armFromEnv() {
     const char* spec = std::getenv("MLPART_FAULT_INJECTION");
     if (spec == nullptr || *spec == '\0') return false;
+    armFromSpec(spec);
+    return true;
+}
+
+void FaultInjector::armFromSpec(const std::string& s) {
     FaultPlan plan;
-    std::string s(spec);
     std::size_t pos = 0;
     while (pos < s.size()) {
         std::size_t comma = s.find(',', pos);
@@ -147,7 +155,6 @@ bool FaultInjector::armFromEnv() {
         }
     }
     arm(plan);
-    return true;
 }
 
 } // namespace mlpart::robust

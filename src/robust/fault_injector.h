@@ -69,6 +69,12 @@ public:
     /// at=3,max=1". Unknown keys are a usage error (throws Error).
     bool armFromEnv();
 
+    /// Arms from a spec string in the same format. The service's per-job
+    /// `fault` field goes through here inside the worker fork, so a test
+    /// can crash one specific job deterministically regardless of how the
+    /// supervisor schedules it.
+    void armFromSpec(const std::string& spec);
+
     /// The canonical list of site names compiled into the engines; tests
     /// iterate this to prove every recovery path fires.
     [[nodiscard]] static const std::vector<std::string>& knownSites();

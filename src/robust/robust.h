@@ -9,3 +9,4 @@
 #include "robust/memory_governor.h"
 #include "robust/run_report.h"
 #include "robust/status.h"
+#include "robust/wire.h"

@@ -16,6 +16,8 @@ const char* statusCodeName(StatusCode code) {
         case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
         case StatusCode::kInterrupted: return "INTERRUPTED";
         case StatusCode::kInternal: return "INTERNAL";
+        case StatusCode::kWorkerCrashed: return "WORKER_CRASHED";
+        case StatusCode::kRejected: return "REJECTED";
     }
     return "UNKNOWN";
 }
@@ -29,11 +31,29 @@ int exitCodeFor(StatusCode code) {
         case StatusCode::kDeadlineExceeded: return 5;
         case StatusCode::kAllStartsFailed: return 6;
         case StatusCode::kResourceExhausted: return 7;
+        case StatusCode::kWorkerCrashed: return 8;
+        case StatusCode::kRejected: return 9;
         case StatusCode::kInterrupted: return 130; // 128 + SIGINT, the shell convention
         case StatusCode::kInjectedFault:
         case StatusCode::kInternal: return 1;
     }
     return 1;
+}
+
+StatusCode statusForExitCode(int exitCode) {
+    switch (exitCode) {
+        case 0: return StatusCode::kOk;
+        case 2: return StatusCode::kUsage;
+        case 3: return StatusCode::kParseError;
+        case 4: return StatusCode::kInfeasible;
+        case 5: return StatusCode::kDeadlineExceeded;
+        case 6: return StatusCode::kAllStartsFailed;
+        case 7: return StatusCode::kResourceExhausted;
+        case 8: return StatusCode::kWorkerCrashed;
+        case 9: return StatusCode::kRejected;
+        case 130: return StatusCode::kInterrupted;
+        default: return StatusCode::kInternal;
+    }
 }
 
 std::string Status::toString() const {

@@ -26,15 +26,31 @@ enum class StatusCode {
     kResourceExhausted,  ///< allocation failure (real or simulated)
     kInterrupted,        ///< SIGINT/SIGTERM; best-so-far was emitted
     kInternal,           ///< invariant violation or unclassified exception
+    // Service codes (DESIGN.md §11). Appended after kInternal so the
+    // numeric values persisted by the checkpoint format stay stable.
+    kWorkerCrashed,      ///< supervised worker died on a signal / torn result
+    kRejected,           ///< admission control refused the job (queue / drain)
 };
+
+/// The last enumerator — checkpoint/wire decoders validate stored bytes
+/// against this. Keep in sync when extending StatusCode.
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kRejected;
 
 /// Stable upper-case identifier, e.g. "PARSE_ERROR".
 [[nodiscard]] const char* statusCodeName(StatusCode code);
 
 /// Process exit code for the CLI: 0 ok, 2 usage, 3 parse error,
 /// 4 infeasible, 5 deadline, 6 all starts failed, 7 resource exhausted,
-/// 130 interrupted, 1 everything else.
+/// 8 worker crashed, 9 rejected, 130 interrupted, 1 everything else.
 [[nodiscard]] int exitCodeFor(StatusCode code);
+
+/// Inverse of exitCodeFor: classifies a worker's process exit code back
+/// into a StatusCode. Total — unknown codes map to kInternal. The only
+/// non-round-tripping code is kInjectedFault, which shares exit code 1
+/// with kInternal (the supervisor cannot tell them apart from an exit
+/// status alone; the framed result carries the precise code when the
+/// worker managed to write one).
+[[nodiscard]] StatusCode statusForExitCode(int exitCode);
 
 /// Value-type outcome: a code plus a human-readable message. Used in run
 /// reports where a failure must be recorded without unwinding the stack.

@@ -1,0 +1,157 @@
+#include "serve/job.h"
+
+#include <set>
+
+#include "robust/wire.h"
+
+namespace mlpart::serve {
+
+namespace {
+
+using robust::Error;
+using robust::StatusCode;
+
+constexpr std::uint32_t kOutcomeVersion = 1;
+
+[[noreturn]] void badRequest(const std::string& message) {
+    throw Error(StatusCode::kUsage, "job: " + message);
+}
+
+} // namespace
+
+JobRequest parseJobRequest(const std::string& line) {
+    const JsonObject o = parseJsonObject(line);
+
+    // Reject unknown keys loudly: a typo'd "prioritty" silently defaulting
+    // to 0 is exactly the kind of bug a service protocol must not have.
+    static const std::set<std::string> kKnown = {
+        "op",       "id",      "instance", "hgr",     "k",        "tolerance",
+        "ratio",    "engine",  "runs",     "threads", "seed",     "deadline",
+        "priority", "checkpoint", "resume", "out",    "fault",    "fault_attempts",
+    };
+    for (const auto& [key, value] : o)
+        if (kKnown.count(key) == 0) badRequest("unknown field \"" + key + "\"");
+
+    JobRequest r;
+    const std::string op = getString(o, "op", "partition");
+    if (op == "partition") r.op = JobOp::kPartition;
+    else if (op == "status") r.op = JobOp::kStatus;
+    else if (op == "drain") r.op = JobOp::kDrain;
+    else badRequest("unknown op \"" + op + "\" (want partition/status/drain)");
+
+    r.id = getString(o, "id", "");
+    if (r.op != JobOp::kPartition) return r;
+
+    r.instance = getString(o, "instance", "");
+    r.inlineHgr = getString(o, "hgr", "");
+    if (r.instance.empty() == r.inlineHgr.empty())
+        badRequest("exactly one of \"instance\" (path) or \"hgr\" (inline) is required");
+
+    r.k = static_cast<std::int32_t>(getInt(o, "k", 2));
+    r.tolerance = getNumber(o, "tolerance", 0.1);
+    r.matchingRatio = getNumber(o, "ratio", 0.5);
+    r.engine = getString(o, "engine", "clip");
+    r.runs = static_cast<std::int32_t>(getInt(o, "runs", 4));
+    r.threads = static_cast<std::int32_t>(getInt(o, "threads", 1));
+    r.seed = static_cast<std::uint64_t>(getInt(o, "seed", 1));
+    r.deadlineSeconds = getNumber(o, "deadline", 0.0);
+    r.priority = static_cast<std::int32_t>(getInt(o, "priority", 0));
+    r.checkpointPath = getString(o, "checkpoint", "");
+    r.resume = getBool(o, "resume", false);
+    r.outPath = getString(o, "out", "");
+    r.faultSpec = getString(o, "fault", "");
+    r.faultAttempts = static_cast<std::int32_t>(getInt(o, "fault_attempts", 1 << 30));
+
+    if (r.k < 2) badRequest("k must be >= 2");
+    if (r.runs < 1) badRequest("runs must be >= 1");
+    if (r.threads < 1) badRequest("threads must be >= 1");
+    if (r.tolerance < 0 || r.tolerance >= 1) badRequest("tolerance must be in [0, 1)");
+    if (r.matchingRatio <= 0 || r.matchingRatio > 1) badRequest("ratio must be in (0, 1]");
+    if (r.deadlineSeconds < 0) badRequest("deadline must be >= 0");
+    if (r.engine != "fm" && r.engine != "clip") badRequest("engine must be fm or clip");
+    if (r.resume && r.checkpointPath.empty()) badRequest("resume requires checkpoint");
+    return r;
+}
+
+std::vector<std::uint8_t> encodeJobOutcome(const JobOutcome& o) {
+    robust::WireWriter w;
+    w.u32(kOutcomeVersion);
+    w.u8(static_cast<std::uint8_t>(o.status.code));
+    w.str(o.status.message);
+    w.i64(o.cut);
+    w.i32(o.runsOk);
+    w.i32(o.runsRetried);
+    w.i32(o.runsFailed);
+    w.i32(o.runsSkipped);
+    w.f64(o.seconds);
+    w.u32(o.partitionCrc);
+    w.u8(o.deadlineHit ? 1 : 0);
+    w.u8(o.checkpointSaved ? 1 : 0);
+    return std::move(w.bytes);
+}
+
+JobOutcome decodeJobOutcome(const std::uint8_t* data, std::size_t size) {
+    robust::WireReader in{data, size};
+    const std::uint32_t version = in.u32();
+    if (version != kOutcomeVersion)
+        throw Error(StatusCode::kParseError,
+                    "job outcome: unsupported version " + std::to_string(version));
+    JobOutcome o;
+    const std::uint8_t code = in.u8();
+    if (code > static_cast<std::uint8_t>(robust::kMaxStatusCode))
+        throw Error(StatusCode::kParseError,
+                    "job outcome: invalid status code " + std::to_string(code));
+    o.status.code = static_cast<StatusCode>(code);
+    o.status.message = in.str();
+    o.cut = in.i64();
+    o.runsOk = in.i32();
+    o.runsRetried = in.i32();
+    o.runsFailed = in.i32();
+    o.runsSkipped = in.i32();
+    o.seconds = in.f64();
+    o.partitionCrc = in.u32();
+    o.deadlineHit = in.u8() != 0;
+    o.checkpointSaved = in.u8() != 0;
+    if (in.remaining() != 0)
+        throw Error(StatusCode::kParseError, "job outcome: trailing bytes");
+    return o;
+}
+
+std::string jobResultJson(const JobResult& r) {
+    JsonWriter w;
+    w.field("event", "result")
+        .field("id", r.id)
+        .field("status", robust::statusCodeName(r.outcome.status.code))
+        .field("exit", robust::exitCodeFor(r.outcome.status.code))
+        .field("ok", r.outcome.status.ok())
+        .field("cut", r.outcome.cut)
+        .field("attempts", r.attempts)
+        .field("crashes", r.crashes)
+        .field("retried", r.retried)
+        .field("watchdog_killed", r.watchdogKilled)
+        .field("runs_ok", r.outcome.runsOk)
+        .field("runs_retried", r.outcome.runsRetried)
+        .field("runs_failed", r.outcome.runsFailed)
+        .field("runs_skipped", r.outcome.runsSkipped)
+        .field("deadline_hit", r.outcome.deadlineHit)
+        .field("checkpoint_saved", r.outcome.checkpointSaved)
+        .field("part_crc", static_cast<std::int64_t>(r.outcome.partitionCrc))
+        .field("seconds", r.outcome.seconds)
+        .field("queue_seconds", r.queueSeconds);
+    if (!r.outcome.status.message.empty()) w.field("message", r.outcome.status.message);
+    return w.str();
+}
+
+std::string jobSummaryJson(const JobResult& r) {
+    JsonWriter w;
+    w.field("id", r.id)
+        .field("status", robust::statusCodeName(r.outcome.status.code))
+        .field("cut", r.outcome.cut)
+        .field("attempts", r.attempts)
+        .field("crashes", r.crashes)
+        .field("runs_ok", r.outcome.runsOk)
+        .field("runs_failed", r.outcome.runsFailed);
+    return w.str();
+}
+
+} // namespace mlpart::serve

@@ -1,0 +1,98 @@
+// Job schema of the partitioning service (DESIGN.md §11).
+//
+// A JobRequest arrives as one NDJSON line ({"op":"partition", ...}); the
+// service answers every accepted or rejected job with exactly one
+// JobResult line — the one-request/one-response invariant the soak test
+// counts on. Between the two sits the process boundary: the supervised
+// worker serializes a JobOutcome (the part computed inside the fork) over
+// a CRC-framed pipe (robust/wire.h), and the supervisor merges it with
+// what only it can know (attempts, crashes, watchdog kills) into the
+// final JobResult.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "robust/status.h"
+#include "serve/json.h"
+
+namespace mlpart::serve {
+
+/// Request operations. Anything else on the wire is rejected per line.
+enum class JobOp {
+    kPartition, ///< run a supervised partitioning job
+    kStatus,    ///< report queue depth, governor headroom, recent jobs
+    kDrain,     ///< same as SIGTERM: finish in-flight, reject queued + new
+};
+
+struct JobRequest {
+    JobOp op = JobOp::kPartition;
+    std::string id;          ///< caller's correlation id (assigned when empty)
+    std::string instance;    ///< netlist path (.hgr/.bench/.netD) …
+    std::string inlineHgr;   ///< … or inline .hgr text ("hgr" field)
+    std::int32_t k = 2;
+    double tolerance = 0.1;
+    double matchingRatio = 0.5;
+    std::string engine = "clip"; ///< "fm" | "clip"
+    std::int32_t runs = 4;
+    std::int32_t threads = 1;    ///< worker-internal multi-start threads
+    std::uint64_t seed = 1;
+    double deadlineSeconds = 0;  ///< per-attempt budget; 0 = service default
+    std::int32_t priority = 0;   ///< higher = more urgent (shed order)
+    std::string checkpointPath;  ///< PR 4 checkpoint file; "" disables
+    bool resume = false;         ///< resume from checkpointPath when present
+    std::string outPath;         ///< write the best partition here ("" = don't)
+    /// Deterministic per-job fault spec (MLPART_FAULT_INJECTION syntax),
+    /// armed inside the worker fork only — the containment tests' handle.
+    std::string faultSpec;
+    /// Attempts on which faultSpec is armed: attempt index < faultAttempts.
+    /// 1 = first attempt only (retry then succeeds); big = every attempt.
+    std::int32_t faultAttempts = 1 << 30;
+};
+
+/// Parses one request line. Throws robust::Error(kParseError/kUsage) on
+/// malformed JSON, unknown op, unknown keys, or out-of-range values.
+[[nodiscard]] JobRequest parseJobRequest(const std::string& line);
+
+/// What the worker computes inside the fork — everything the parent
+/// cannot reconstruct from the exit status.
+struct JobOutcome {
+    robust::Status status;        ///< job-level classification
+    std::int64_t cut = -1;
+    std::int32_t runsOk = 0;
+    std::int32_t runsRetried = 0; ///< starts that needed an in-worker retry
+    std::int32_t runsFailed = 0;
+    std::int32_t runsSkipped = 0;
+    double seconds = 0;
+    /// CRC32 of the encoded best partition: lets tests assert bit-identical
+    /// results across worker counts without shipping the blob itself.
+    std::uint32_t partitionCrc = 0;
+    bool deadlineHit = false;
+    bool checkpointSaved = false;
+};
+
+/// Pipe codec for JobOutcome (framed by robust/wire.h at the call site).
+[[nodiscard]] std::vector<std::uint8_t> encodeJobOutcome(const JobOutcome& o);
+/// Throws robust::Error(kParseError) on damage the frame CRC cannot see
+/// (version-skewed or truncated payload).
+[[nodiscard]] JobOutcome decodeJobOutcome(const std::uint8_t* data, std::size_t size);
+
+/// Final per-job record: outcome + supervision history. One NDJSON line.
+struct JobResult {
+    std::string id;
+    JobOutcome outcome;
+    std::int32_t attempts = 0;  ///< worker processes spawned for this job
+    std::int32_t crashes = 0;   ///< of those, died on a signal / torn frame
+    bool watchdogKilled = false;
+    bool retried = false;       ///< a reseeded second worker produced the result
+    double queueSeconds = 0;    ///< admission → dispatch latency
+};
+
+/// Renders the one-line NDJSON response ({"event":"result", ...}).
+[[nodiscard]] std::string jobResultJson(const JobResult& r);
+
+/// Renders a compact summary object for the status endpoint's jobs array.
+[[nodiscard]] std::string jobSummaryJson(const JobResult& r);
+
+} // namespace mlpart::serve

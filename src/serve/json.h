@@ -1,0 +1,74 @@
+// Minimal flat-JSON support for the NDJSON job protocol (DESIGN.md §11).
+//
+// The service speaks newline-delimited JSON: one request object per line
+// in, one response object per line out, and `mlpart --log-json` emits the
+// same shape — so service logs and CLI logs share a schema and one
+// toolchain parses both. The schema is deliberately flat (string, number,
+// bool, null values only); nothing in the job protocol needs nesting on
+// input, so the parser rejects it and stays small enough to audit against
+// hostile input byte by byte. Output may embed pre-rendered arrays via
+// JsonWriter::raw().
+//
+// Parse errors throw robust::Error(kParseError) — a malformed request
+// line costs that request a rejection response, never the service.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mlpart::serve {
+
+/// One parsed JSON scalar.
+struct JsonValue {
+    enum class Kind { kString, kNumber, kBool, kNull };
+    Kind kind = Kind::kNull;
+    std::string str; ///< valid for kString
+    double num = 0;  ///< valid for kNumber
+    bool boolean = false; ///< valid for kBool
+};
+
+/// Key → value map of one flat JSON object. std::map keeps iteration
+/// deterministic (error messages, tests).
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parses one complete flat JSON object, e.g. a request line. Throws
+/// robust::Error(kParseError) on malformed syntax, nested containers,
+/// duplicate keys, or trailing garbage.
+[[nodiscard]] JsonObject parseJsonObject(const std::string& text);
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+/// Builds one JSON object, field by field, for NDJSON emission.
+class JsonWriter {
+public:
+    JsonWriter& field(const std::string& key, const std::string& value);
+    JsonWriter& field(const std::string& key, const char* value);
+    JsonWriter& field(const std::string& key, double value);
+    JsonWriter& field(const std::string& key, std::int64_t value);
+    JsonWriter& field(const std::string& key, int value) {
+        return field(key, static_cast<std::int64_t>(value));
+    }
+    JsonWriter& field(const std::string& key, bool value);
+    /// Embeds `rawJson` verbatim as the value (caller-built array/object).
+    JsonWriter& raw(const std::string& key, const std::string& rawJson);
+
+    /// Returns the completed object, e.g. {"a":1,"b":"x"}.
+    [[nodiscard]] std::string str() const { return body_.empty() ? "{}" : "{" + body_ + "}"; }
+
+private:
+    void key(const std::string& k);
+    std::string body_;
+};
+
+// Typed accessors with defaults — the request schema is all-optional
+// except where the caller checks explicitly. Type mismatches throw
+// robust::Error(kParseError) naming the key.
+[[nodiscard]] std::string getString(const JsonObject& o, const std::string& key,
+                                    const std::string& def);
+[[nodiscard]] double getNumber(const JsonObject& o, const std::string& key, double def);
+[[nodiscard]] std::int64_t getInt(const JsonObject& o, const std::string& key, std::int64_t def);
+[[nodiscard]] bool getBool(const JsonObject& o, const std::string& key, bool def);
+
+} // namespace mlpart::serve

@@ -1,0 +1,295 @@
+#include "serve/service.h"
+
+#if !defined(_WIN32)
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "robust/memory_governor.h"
+#include "robust/status.h"
+
+namespace mlpart::serve {
+
+namespace {
+
+using robust::Error;
+using robust::StatusCode;
+
+std::int64_t nowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// First data line of an .hgr header: "numNets numModules [fmt]".
+bool parseHgrHeader(const std::string& text, std::int64_t& nets, std::int64_t& modules) {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::size_t i = 0;
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+        if (i >= line.size() || line[i] == '%') continue;
+        std::istringstream fields(line);
+        return static_cast<bool>(fields >> nets >> modules) && nets >= 0 && modules > 0;
+    }
+    return false;
+}
+
+} // namespace
+
+std::uint64_t Service::estimateJobBytes(const JobRequest& req) {
+    std::int64_t nets = 0;
+    std::int64_t modules = 0;
+    std::uint64_t bytes = 0;
+    if (!req.inlineHgr.empty()) {
+        bytes = req.inlineHgr.size();
+        if (!parseHgrHeader(req.inlineHgr, nets, modules)) return 0;
+    } else {
+        const std::filesystem::path p(req.instance);
+        if (p.extension() != ".hgr") return 0; // other formats: admit, worker classifies
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(p, ec);
+        if (ec) return 0; // missing file: the worker reports the real error
+        bytes = size;
+        std::ifstream in(req.instance);
+        if (!in) return 0;
+        std::string head(4096, '\0');
+        in.read(head.data(), static_cast<std::streamsize>(head.size()));
+        head.resize(static_cast<std::size_t>(in.gcount()));
+        if (!parseHgrHeader(head, nets, modules)) return 0;
+    }
+    // Pins are not in the header; an .hgr pin token averages a handful of
+    // bytes, so bytes/6 is a serviceable order-of-magnitude stand-in.
+    const std::int64_t pins =
+        std::max<std::int64_t>(2 * nets, static_cast<std::int64_t>(bytes / 6));
+    const std::uint64_t perStart =
+        robust::MemoryGovernor::estimateStartBytes(modules, nets, pins, req.k);
+    const int concurrent = std::max(1, std::min(req.threads, req.runs));
+    return perStart * static_cast<std::uint64_t>(concurrent);
+}
+
+Service::Service(ServiceConfig cfg, Emit emit) : cfg_(cfg), emit_(std::move(emit)) {
+    if (cfg_.workers < 1) cfg_.workers = 1;
+    if (cfg_.queueLimit < 1) cfg_.queueLimit = 1;
+    if (cfg_.historyLimit < 1) cfg_.historyLimit = 1;
+    if (cfg_.memLimitBytes > 0)
+        robust::MemoryGovernor::instance().setLimitBytes(cfg_.memLimitBytes);
+    dispatchers_.reserve(static_cast<std::size_t>(cfg_.workers));
+    for (int i = 0; i < cfg_.workers; ++i)
+        dispatchers_.emplace_back([this] { dispatcherLoop(); });
+}
+
+Service::~Service() { stop(); }
+
+void Service::emitLine(const std::string& line) {
+    std::lock_guard<std::mutex> lock(emitMu_);
+    if (emit_) emit_(line);
+}
+
+void Service::emitRejected(const JobRequest& req, const std::string& why,
+                           robust::StatusCode code) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++rejected_;
+    }
+    JobResult r;
+    r.id = req.id;
+    r.outcome.status = {code, why};
+    emitLine(jobResultJson(r));
+}
+
+std::size_t Service::lowestPriorityIndex() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+        const bool lower = queue_[i].req.priority < queue_[best].req.priority;
+        const bool tieNewer = queue_[i].req.priority == queue_[best].req.priority &&
+                              queue_[i].seq > queue_[best].seq;
+        if (lower || tieNewer) best = i;
+    }
+    return best;
+}
+
+void Service::admit(JobRequest req) {
+    const std::uint64_t estimate = estimateJobBytes(req);
+    const std::uint64_t limit = robust::MemoryGovernor::instance().limitBytes();
+    JobRequest shedJob;
+    bool didShed = false;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (req.id.empty()) req.id = "job-" + std::to_string(nextSeq_);
+        if (draining_ || stopping_) {
+            lock.unlock();
+            emitRejected(req, "service is draining; job rejected");
+            return;
+        }
+        if (limit > 0 && estimate > limit) {
+            lock.unlock();
+            emitRejected(req,
+                         "admission: estimated " + std::to_string(estimate) +
+                             " bytes exceeds the " + std::to_string(limit) + "-byte budget",
+                         StatusCode::kResourceExhausted);
+            return;
+        }
+        if (queue_.size() >= static_cast<std::size_t>(cfg_.queueLimit)) {
+            const std::size_t idx = lowestPriorityIndex();
+            if (queue_[idx].req.priority < req.priority) {
+                shedJob = std::move(queue_[idx].req);
+                queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+                ++shed_;
+                didShed = true;
+            } else {
+                lock.unlock();
+                emitRejected(req, "queue full (" + std::to_string(cfg_.queueLimit) +
+                                      " jobs); no lower-priority job to shed");
+                return;
+            }
+        }
+        queue_.push_back(Queued{std::move(req), nextSeq_++, nowNs()});
+        cv_.notify_one();
+    }
+    if (didShed)
+        emitRejected(shedJob, "shed from a full queue by a higher-priority arrival");
+}
+
+void Service::handleLine(const std::string& line) {
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= line.size()) return; // blank line: ignore
+
+    JobRequest req;
+    try {
+        req = parseJobRequest(line);
+    } catch (const Error& e) {
+        JobResult r;
+        r.outcome.status = e.status();
+        emitLine(jobResultJson(r));
+        return;
+    }
+    switch (req.op) {
+        case JobOp::kStatus:
+            emitLine(statusJson());
+            return;
+        case JobOp::kDrain: {
+            JsonWriter w;
+            w.field("event", "draining").field("id", req.id);
+            emitLine(w.str());
+            drain();
+            return;
+        }
+        case JobOp::kPartition:
+            admit(std::move(req));
+            return;
+    }
+}
+
+void Service::drain() {
+    std::vector<Queued> dropped;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (draining_) return;
+        draining_ = true;
+        // Order matters: supervisors read softKillAtNs only after seeing
+        // draining == true.
+        drainState_.softKillAtNs.store(
+            nowNs() + static_cast<std::int64_t>(cfg_.drainGraceSeconds * 1e9),
+            std::memory_order_relaxed);
+        drainState_.draining.store(true, std::memory_order_release);
+        dropped.swap(queue_);
+    }
+    for (const Queued& q : dropped)
+        emitRejected(q.req, "drained before execution; job rejected");
+}
+
+void Service::stop() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_) return;
+        stopping_ = true;
+        cv_.notify_all();
+    }
+    for (std::thread& t : dispatchers_)
+        if (t.joinable()) t.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+}
+
+bool Service::draining() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return draining_;
+}
+
+int Service::completedJobs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return completed_;
+}
+
+std::string Service::statusJson() {
+    auto& governor = robust::MemoryGovernor::instance();
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string jobs = "[";
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+        if (i > 0) jobs += ',';
+        jobs += jobSummaryJson(history_[i]);
+    }
+    jobs += ']';
+    JsonWriter w;
+    w.field("event", "status")
+        .field("queue_depth", static_cast<std::int64_t>(queue_.size()))
+        .field("active", active_)
+        .field("completed", completed_)
+        .field("rejected", rejected_)
+        .field("shed", shed_)
+        .field("draining", draining_)
+        .field("workers", cfg_.workers)
+        .field("mem_limit", static_cast<std::int64_t>(governor.limitBytes()))
+        .field("mem_in_use", static_cast<std::int64_t>(governor.inUseBytes()))
+        .raw("jobs", jobs);
+    return w.str();
+}
+
+void Service::dispatcherLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_) return;
+            continue;
+        }
+        // Highest priority first; FIFO within a priority level.
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < queue_.size(); ++i) {
+            const bool higher = queue_[i].req.priority > queue_[best].req.priority;
+            const bool tieOlder = queue_[i].req.priority == queue_[best].req.priority &&
+                                  queue_[i].seq < queue_[best].seq;
+            if (higher || tieOlder) best = i;
+        }
+        Queued q = std::move(queue_[best]);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+        ++active_;
+        lock.unlock();
+
+        const double queueSeconds =
+            static_cast<double>(nowNs() - q.enqueuedNs) / 1e9;
+        SupervisorConfig sc;
+        sc.graceSeconds = cfg_.graceSeconds;
+        sc.defaultDeadlineSeconds = cfg_.defaultDeadlineSeconds;
+        JobResult r = superviseJob(q.req, sc, &drainState_);
+        r.queueSeconds = queueSeconds;
+        emitLine(jobResultJson(r));
+
+        lock.lock();
+        --active_;
+        ++completed_;
+        history_.push_back(std::move(r));
+        while (history_.size() > static_cast<std::size_t>(cfg_.historyLimit))
+            history_.pop_front();
+    }
+}
+
+} // namespace mlpart::serve
+
+#endif // !_WIN32

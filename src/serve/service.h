@@ -1,0 +1,124 @@
+// The long-lived partitioning service (DESIGN.md §11).
+//
+// One Service owns a bounded priority queue, N dispatcher threads (each
+// running at most one fork-isolated worker at a time via superviseJob),
+// and the drain state machine. Requests enter as NDJSON lines through
+// handleLine(); every response leaves through the emit callback as one
+// NDJSON line — the transport (stdin/stdout, unix socket) lives in the
+// tool, not here, so tests drive the service as a plain object.
+//
+// Admission control happens before a job touches the queue: an upfront
+// MemoryGovernor estimate rejects jobs that obviously cannot fit the
+// budget, and a full queue sheds the lowest-priority queued job when a
+// strictly higher-priority one arrives (otherwise the newcomer bounces).
+// Draining — by SIGTERM in the tool or an {"op":"drain"} request —
+// rejects everything queued and new with kRejected, lets in-flight jobs
+// wind down cooperatively (SIGTERM → best-so-far + checkpoint after the
+// drain grace), and stop() joins once they have.
+#pragma once
+
+#if !defined(_WIN32)
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job.h"
+#include "serve/supervisor.h"
+
+namespace mlpart::serve {
+
+struct ServiceConfig {
+    int workers = 1;           ///< concurrent supervised jobs
+    int queueLimit = 16;       ///< queued (not yet dispatched) jobs
+    double defaultDeadlineSeconds = 0; ///< for requests without one
+    double graceSeconds = 2.0;         ///< watchdog slack past a deadline
+    double drainGraceSeconds = 0.5;    ///< drain → SIGTERM delay for in-flight jobs
+    int historyLimit = 32;             ///< recent results kept for "status"
+    std::uint64_t memLimitBytes = 0;   ///< 0 = unlimited (mirrors --mem-limit)
+};
+
+class Service {
+public:
+    /// `emit` receives every response line (no trailing newline); it is
+    /// called under an internal mutex, one whole line at a time, from
+    /// both the request thread and the dispatcher threads.
+    using Emit = std::function<void(const std::string& line)>;
+
+    Service(ServiceConfig cfg, Emit emit);
+    ~Service();
+
+    Service(const Service&) = delete;
+    Service& operator=(const Service&) = delete;
+
+    /// Parses and dispatches one request line. Malformed lines and
+    /// rejected jobs are answered with an error/result line; this never
+    /// throws on bad input.
+    void handleLine(const std::string& line);
+
+    /// Begins a graceful drain: queued jobs are rejected now, new jobs at
+    /// arrival, in-flight jobs get drainGraceSeconds before their worker
+    /// is asked (SIGTERM) to emit best-so-far and checkpoint. Idempotent.
+    void drain();
+
+    /// Stops accepting and joins every dispatcher. Without a prior
+    /// drain() the queue is *finished*, not rejected — the EOF path: no
+    /// more requests are coming, but the accepted ones still owe a
+    /// response. After stop() the service accepts nothing. Idempotent.
+    void stop();
+
+    [[nodiscard]] bool draining() const;
+    [[nodiscard]] int completedJobs() const;
+
+    /// The "status" response body (also emitted for {"op":"status"}).
+    [[nodiscard]] std::string statusJson();
+
+    /// Upfront per-start byte estimate for admission control: peeks the
+    /// .hgr header (inline or on disk) for module/net counts, estimates
+    /// pins from the byte size, and defers to MemoryGovernor. Returns 0
+    /// (admit; the worker will classify properly) when the instance
+    /// cannot be peeked. Exposed for tests.
+    [[nodiscard]] static std::uint64_t estimateJobBytes(const JobRequest& req);
+
+private:
+    struct Queued {
+        JobRequest req;
+        std::int64_t seq = 0;
+        std::int64_t enqueuedNs = 0;
+    };
+
+    void dispatcherLoop();
+    void admit(JobRequest req);
+    void emitLine(const std::string& line);
+    void emitRejected(const JobRequest& req, const std::string& why,
+                      robust::StatusCode code = robust::StatusCode::kRejected);
+    [[nodiscard]] std::size_t lowestPriorityIndex() const; ///< caller holds mu_
+
+    ServiceConfig cfg_;
+    Emit emit_;
+    std::mutex emitMu_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<Queued> queue_;
+    std::deque<JobResult> history_;
+    std::vector<std::thread> dispatchers_;
+    DrainState drainState_;
+    std::int64_t nextSeq_ = 0;
+    int active_ = 0;
+    int completed_ = 0;
+    int rejected_ = 0;
+    int shed_ = 0;
+    bool draining_ = false;
+    bool stopping_ = false;
+    bool stopped_ = false;
+};
+
+} // namespace mlpart::serve
+
+#endif // !_WIN32

@@ -1,0 +1,202 @@
+#include "serve/supervisor.h"
+
+#if !defined(_WIN32)
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "robust/checkpoint.h" // hashCombine
+#include "robust/fault_injector.h"
+#include "robust/wire.h"
+#include "serve/worker.h"
+
+namespace mlpart::serve {
+
+namespace {
+
+using robust::Error;
+using robust::StatusCode;
+
+std::int64_t nowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+constexpr std::int64_t kNoKill = std::int64_t{1} << 62;
+
+struct Attempt {
+    JobOutcome outcome;
+    bool crashed = false;       ///< signal death / torn frame (not watchdog)
+    bool watchdogKilled = false;
+};
+
+/// One fork + supervise cycle. Absorbs every worker failure mode into a
+/// classified Attempt; throws only for parent-side faults (serve.fork).
+Attempt runAttempt(const JobRequest& req, int attempt, const SupervisorConfig& cfg,
+                   const DrainState* drain) {
+    Attempt a;
+
+    MLPART_FAULT_SITE("serve.fork"); // injected spawn failure
+
+    int fds[2];
+    if (pipe(fds) != 0)
+        throw Error(StatusCode::kInternal,
+                    std::string("supervisor: pipe: ") + std::strerror(errno));
+
+    const pid_t pid = fork();
+    if (pid < 0) {
+        const int err = errno;
+        close(fds[0]);
+        close(fds[1]);
+        throw Error(StatusCode::kInternal,
+                    std::string("supervisor: fork: ") + std::strerror(err));
+    }
+    if (pid == 0) {
+        close(fds[0]);
+        workerChildMain(req, attempt, fds[1]); // never returns
+    }
+    close(fds[1]);
+
+    // Watchdog: the worker gets its cooperative deadline plus grace, then
+    // SIGKILL. Deadline-less jobs run unbounded until a drain bounds them.
+    const double deadline =
+        req.deadlineSeconds > 0 ? req.deadlineSeconds : cfg.defaultDeadlineSeconds;
+    const std::int64_t graceNs = static_cast<std::int64_t>(cfg.graceSeconds * 1e9);
+    std::int64_t hardKillAt =
+        deadline > 0 ? nowNs() + static_cast<std::int64_t>(deadline * 1e9) + graceNs : kNoKill;
+    bool sigtermSent = false;
+
+    // Read the pipe to EOF concurrently with the watchdog: a worker that
+    // fills the 64 KiB pipe buffer and then wedges must still die on time.
+    std::vector<std::uint8_t> buf;
+    bool eof = false;
+    while (!eof) {
+        const std::int64_t now = nowNs();
+        if (drain != nullptr && drain->draining.load(std::memory_order_relaxed) &&
+            !sigtermSent &&
+            now >= drain->softKillAtNs.load(std::memory_order_relaxed)) {
+            // Drain wind-down: ask nicely once, then bound the wait.
+            kill(pid, SIGTERM);
+            sigtermSent = true;
+            if (now + graceNs < hardKillAt) hardKillAt = now + graceNs;
+        }
+        if (!a.watchdogKilled && now >= hardKillAt) {
+            kill(pid, SIGKILL);
+            a.watchdogKilled = true;
+        }
+        struct pollfd pfd {};
+        pfd.fd = fds[0];
+        pfd.events = POLLIN;
+        const int rc = poll(&pfd, 1, 50);
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            break; // poll failure: fall through to reap + classify
+        }
+        if (rc == 0) continue;
+        std::uint8_t chunk[4096];
+        const ssize_t n = read(fds[0], chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (n == 0) {
+            eof = true;
+            break;
+        }
+        buf.insert(buf.end(), chunk, chunk + n);
+    }
+    close(fds[0]);
+
+    int wstatus = 0;
+    while (waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {}
+
+    // Classification order: a complete, CRC-valid frame is the worker's
+    // own word and wins; otherwise the corpse speaks.
+    std::string frameError;
+    try {
+        const std::vector<std::uint8_t> payload = robust::parseFrame(buf.data(), buf.size());
+        a.outcome = decodeJobOutcome(payload.data(), payload.size());
+        return a;
+    } catch (const Error& e) {
+        frameError = e.what();
+    }
+
+    if (a.watchdogKilled) {
+        a.outcome.status = {StatusCode::kDeadlineExceeded,
+                            "watchdog killed worker past deadline+grace (" + frameError + ")"};
+        return a;
+    }
+    if (WIFSIGNALED(wstatus)) {
+        a.crashed = true;
+        a.outcome.status = {StatusCode::kWorkerCrashed,
+                            "worker killed by signal " + std::to_string(WTERMSIG(wstatus)) +
+                                " (" + frameError + ")"};
+        return a;
+    }
+    const int exitCode = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : 1;
+    a.crashed = true; // exited, but its result frame is missing or torn
+    a.outcome.status = {robust::statusForExitCode(exitCode),
+                        "worker exited " + std::to_string(exitCode) +
+                            " without a valid result frame (" + frameError + ")"};
+    return a;
+}
+
+} // namespace
+
+bool isRetryableJobFailure(StatusCode code) {
+    switch (code) {
+        case StatusCode::kWorkerCrashed:
+        case StatusCode::kInternal:
+        case StatusCode::kInjectedFault:
+        case StatusCode::kResourceExhausted:
+        case StatusCode::kAllStartsFailed:
+            return true;
+        default:
+            return false;
+    }
+}
+
+std::uint64_t reseedForAttempt(std::uint64_t seed, int attempt) {
+    if (attempt == 0) return seed;
+    return robust::hashCombine(seed, 0x52455452ULL + static_cast<std::uint64_t>(attempt));
+}
+
+JobResult superviseJob(const JobRequest& req, const SupervisorConfig& cfg,
+                       const DrainState* drain) {
+    JobResult res;
+    res.id = req.id;
+    const int maxAttempts = cfg.maxAttempts < 1 ? 1 : cfg.maxAttempts;
+    for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+        JobRequest r = req;
+        r.seed = reseedForAttempt(req.seed, attempt);
+        Attempt a;
+        try {
+            a = runAttempt(r, attempt, cfg, drain);
+        } catch (const Error& e) {
+            a.outcome.status = e.status();
+        } catch (const std::exception& e) {
+            a.outcome.status = {StatusCode::kInternal, e.what()};
+        }
+        ++res.attempts;
+        if (a.crashed) ++res.crashes;
+        if (a.watchdogKilled) res.watchdogKilled = true;
+        res.outcome = a.outcome;
+        if (!isRetryableJobFailure(a.outcome.status.code)) break;
+    }
+    res.retried = res.attempts > 1;
+    return res;
+}
+
+} // namespace mlpart::serve
+
+#endif // !_WIN32

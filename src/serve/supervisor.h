@@ -1,0 +1,60 @@
+// Supervisor side of the fork boundary (DESIGN.md §11).
+//
+// superviseJob() runs one job in a fork-isolated worker and absorbs every
+// way that worker can die: clean exit with a framed result, SIGSEGV
+// mid-run, a torn final write, an infinite loop. The parent reads the
+// result pipe with a poll loop (concurrently with the watchdog, so a
+// worker that fills the pipe and then hangs still gets killed), reaps the
+// corpse, classifies it through the Status taxonomy, retries retryable
+// failures exactly once with a derived reseed, and always returns a
+// JobResult — a supervisor never throws because of anything a worker did.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "serve/job.h"
+
+#if !defined(_WIN32)
+
+namespace mlpart::serve {
+
+struct SupervisorConfig {
+    /// Seconds past the job's cooperative deadline before the watchdog
+    /// SIGKILLs the worker. The deadline is the worker's chance to wind
+    /// down and emit best-so-far; the grace is how long the supervisor
+    /// believes it.
+    double graceSeconds = 2.0;
+    /// Applied when a request carries no deadline of its own. 0 = no
+    /// watchdog for deadline-less jobs (drain still bounds them).
+    double defaultDeadlineSeconds = 0.0;
+    /// Worker processes per job: 1 + retries. 2 = the retry-once policy.
+    int maxAttempts = 2;
+};
+
+/// Drain coordination between the service and every in-flight supervisor.
+/// When `draining` flips, each supervisor SIGTERMs its worker once
+/// `softKillAtNs` (steady-clock) passes — the cooperative wind-down — and
+/// hard-kills `graceSeconds` later if the worker still won't exit.
+struct DrainState {
+    std::atomic<bool> draining{false};
+    std::atomic<std::int64_t> softKillAtNs{0};
+};
+
+/// Runs `req` under supervision. `drain` may be null (no drain channel).
+/// Every failure mode comes back as a classified JobResult.
+[[nodiscard]] JobResult superviseJob(const JobRequest& req, const SupervisorConfig& cfg,
+                                     const DrainState* drain = nullptr);
+
+/// Retry policy: true for failures where a fresh worker with a reseeded
+/// RNG has a chance (crash, torn frame, injected fault, OOM, all starts
+/// failed); false where it provably does not (usage, parse, infeasible)
+/// or where the first result must stand (ok, deadline, interrupted).
+[[nodiscard]] bool isRetryableJobFailure(robust::StatusCode code);
+
+/// The reseed for attempt `attempt` (attempt 0 keeps the request's seed).
+[[nodiscard]] std::uint64_t reseedForAttempt(std::uint64_t seed, int attempt);
+
+} // namespace mlpart::serve
+
+#endif // !_WIN32

@@ -1,0 +1,200 @@
+#include "serve/worker.h"
+
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "core/multilevel.h"
+#include "core/parallel_multistart.h"
+#include "hypergraph/bench_format.h"
+#include "hypergraph/io.h"
+#include "hypergraph/netd_format.h"
+#include "kway/kway_refiner.h"
+#include "refine/fm_refiner.h"
+#include "refine/multistart.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injector.h"
+#include "robust/status.h"
+#include "robust/wire.h"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace mlpart::serve {
+
+namespace {
+
+using robust::Error;
+using robust::StatusCode;
+
+Hypergraph loadInstance(const JobRequest& req) {
+    if (!req.inlineHgr.empty()) {
+        std::istringstream in(req.inlineHgr);
+        return readHgr(in, static_cast<std::int64_t>(req.inlineHgr.size()));
+    }
+    const std::filesystem::path p(req.instance);
+    const std::string ext = p.extension().string();
+    if (ext == ".hgr") return readHgrFile(req.instance);
+    if (ext == ".bench") return readBenchFile(req.instance);
+    if (ext == ".net" || ext == ".netD" || ext == ".netd") {
+        std::filesystem::path are = p;
+        are.replace_extension(".are");
+        if (std::filesystem::exists(are)) return readNetDFile(req.instance, are.string());
+        return readNetDFile(req.instance);
+    }
+    throw Error(StatusCode::kUsage,
+                "unrecognized netlist extension '" + ext + "' (want .hgr/.bench/.netD)");
+}
+
+std::uint64_t engineSalt(const std::string& engine) {
+    std::uint64_t salt = 0x454e47u; // "ENG" — must match the mlpart CLI
+    for (const char c : engine)
+        salt = robust::hashCombine(salt, static_cast<std::uint8_t>(c));
+    return salt;
+}
+
+} // namespace
+
+JobOutcome executeJob(const JobRequest& req, const std::atomic<bool>* cancel) {
+    JobOutcome out;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        const Hypergraph h = loadInstance(req);
+        const PartId k = static_cast<PartId>(req.k);
+        if (k > h.numModules())
+            throw Error(StatusCode::kInfeasible,
+                        "cannot split " + std::to_string(h.numModules()) + " modules into " +
+                            std::to_string(req.k) + " non-empty blocks");
+
+        MLConfig cfg;
+        cfg.k = k;
+        cfg.tolerance = req.tolerance;
+        cfg.matchingRatio = req.matchingRatio;
+        if (k > 2) cfg.coarseningThreshold = 100;
+
+        RefinerFactory factory;
+        if (k == 2) {
+            FMConfig fm;
+            fm.tolerance = req.tolerance;
+            if (req.engine == "clip") fm.variant = EngineVariant::kCLIP;
+            factory = makeFMFactory(fm);
+        } else {
+            KWayConfig kw;
+            kw.tolerance = req.tolerance;
+            kw.clip = req.engine == "clip";
+            factory = makeKWayFactory(kw);
+        }
+        MultilevelPartitioner ml(cfg, factory);
+
+        MultiStartConfig ms;
+        ms.runs = req.runs;
+        ms.threads = req.threads;
+        ms.seed = req.seed;
+        ms.timeoutSeconds = req.deadlineSeconds;
+        if (cancel != nullptr)
+            ms.deadline.bindCancelFlag(const_cast<std::atomic<bool>*>(cancel));
+        ms.checkpointPath = req.checkpointPath;
+        ms.resume = req.resume;
+        if (!ms.checkpointPath.empty()) ms.fingerprintSalt = engineSalt(req.engine);
+
+        const MultiStartOutcome r = parallelMultiStart(h, ml, ms);
+
+        out.cut = static_cast<std::int64_t>(r.bestCut);
+        out.runsOk = static_cast<std::int32_t>(r.report.succeeded());
+        out.runsRetried = static_cast<std::int32_t>(r.report.retried());
+        out.runsFailed = static_cast<std::int32_t>(r.report.failed());
+        out.runsSkipped = static_cast<std::int32_t>(r.report.skipped());
+        out.deadlineHit = r.report.deadlineHit;
+        out.checkpointSaved = !ms.checkpointPath.empty() && r.checkpointStatus.ok();
+        const std::vector<std::uint8_t> blob = encodePartitionBinary(r.best);
+        out.partitionCrc = robust::crc32(blob.data(), blob.size());
+        if (!req.outPath.empty()) writePartitionFile(r.best, req.outPath);
+
+        if (cancel != nullptr && cancel->load(std::memory_order_relaxed))
+            out.status = {StatusCode::kInterrupted, "drained: best-so-far result emitted"};
+        else if (r.report.deadlineHit)
+            out.status = {StatusCode::kDeadlineExceeded, "deadline: best-so-far result emitted"};
+        else
+            out.status = robust::Status::okStatus();
+    } catch (const Error& e) {
+        out.status = {e.code(), e.what()};
+    } catch (const std::bad_alloc&) {
+        out.status = {StatusCode::kResourceExhausted, "out of memory"};
+    } catch (const std::exception& e) {
+        out.status = {StatusCode::kInternal, e.what()};
+    }
+    out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return out;
+}
+
+#if !defined(_WIN32)
+
+namespace {
+
+std::atomic<bool> g_workerCancel{false};
+
+extern "C" void onWorkerTerm(int) { g_workerCancel.store(true, std::memory_order_relaxed); }
+
+} // namespace
+
+void workerChildMain(const JobRequest& req, int attempt, int resultFd) {
+    // SIGTERM is the drain signal: wind down cooperatively, emit
+    // best-so-far, keep the checkpoint. SIGINT stays default — the
+    // supervisor never sends it to a worker.
+    std::signal(SIGTERM, onWorkerTerm);
+    g_workerCancel.store(false, std::memory_order_relaxed);
+
+    // The per-job fault spec overrides whatever arming the parent's
+    // environment left behind, but only on the attempts it targets —
+    // that is how a test says "crash attempt 0, succeed on the retry".
+    if (!req.faultSpec.empty()) {
+        if (attempt < req.faultAttempts)
+            robust::FaultInjector::instance().armFromSpec(req.faultSpec);
+        else
+            robust::FaultInjector::instance().disarm();
+    }
+
+    // Containment-test sites. A fired crash site becomes a real SIGSEGV
+    // (default disposition restored first, so sanitizer handlers do not
+    // turn the signal death into a plain exit), a fired hang site blocks
+    // forever — only the supervisor's watchdog can end it.
+    try {
+        MLPART_FAULT_SITE("serve.worker_crash");
+    } catch (...) {
+        std::signal(SIGSEGV, SIG_DFL);
+        std::raise(SIGSEGV);
+        _exit(robust::exitCodeFor(StatusCode::kInternal)); // unreachable
+    }
+    try {
+        MLPART_FAULT_SITE("serve.worker_hang");
+    } catch (...) {
+        for (;;) pause();
+    }
+
+    JobOutcome out;
+    try {
+        out = executeJob(req, &g_workerCancel);
+    } catch (...) {
+        out.status = {StatusCode::kInternal, "worker: unexpected exception"};
+    }
+
+    const std::vector<std::uint8_t> frame = robust::buildFrame(encodeJobOutcome(out));
+    try {
+        MLPART_FAULT_SITE("serve.pipe");
+    } catch (...) {
+        // Torn write: half a frame, then die. The parent's CRC framing
+        // must classify this as a parse error, never hang or mis-decode.
+        (void)robust::writeFull(resultFd, frame.data(), frame.size() / 2);
+        _exit(robust::exitCodeFor(StatusCode::kInternal));
+    }
+    robust::Status ws = robust::writeFull(resultFd, frame.data(), frame.size());
+    if (!ws.ok()) _exit(robust::exitCodeFor(StatusCode::kInternal));
+    _exit(robust::exitCodeFor(out.status.code));
+}
+
+#endif // !_WIN32
+
+} // namespace mlpart::serve

@@ -1,0 +1,35 @@
+// Worker side of the supervised fork (DESIGN.md §11).
+//
+// executeJob() is the pure library path — request in, outcome out, no
+// process machinery — shared by the worker child and the unit tests that
+// want to exercise job semantics without forking. workerChildMain() is
+// what actually runs inside the fork: it installs the SIGTERM→cancel
+// handler, arms the request's deterministic fault spec (the containment
+// tests' handle), visits the serve.worker_crash / serve.worker_hang /
+// serve.pipe sites, frames the outcome onto the result pipe, and always
+// leaves via _exit() — a worker never returns into the parent's stack.
+#pragma once
+
+#include <atomic>
+
+#include "serve/job.h"
+
+namespace mlpart::serve {
+
+/// Runs the partitioning job in the current process and classifies every
+/// failure into JobOutcome::status — this function does not throw. A
+/// non-null `cancel` flag is bound to the run's deadline so an external
+/// signal (drain) winds the job down cooperatively: the in-flight start
+/// finishes, the rest are skipped, best-so-far + checkpoint are kept.
+[[nodiscard]] JobOutcome executeJob(const JobRequest& req, const std::atomic<bool>* cancel);
+
+#if !defined(_WIN32)
+/// Child entry after fork(): executes `req` (attempt index `attempt`,
+/// used for the retry reseed and fault-spec arming) and writes one
+/// CRC-framed JobOutcome to `resultFd`. Never returns; exits via _exit
+/// with exitCodeFor(outcome.status.code) so the parent can classify even
+/// a torn or missing frame.
+[[noreturn]] void workerChildMain(const JobRequest& req, int attempt, int resultFd);
+#endif
+
+} // namespace mlpart::serve

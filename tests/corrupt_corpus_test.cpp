@@ -81,6 +81,7 @@ TEST(CorruptCorpus, EveryFixtureRejectedWithParseError) {
 // turns into a fresh-start fallback. A crash here would turn "lost a
 // checkpoint" into "lost the whole run".
 const CorruptCase kCheckpointCases[] = {
+    {"zero_byte.ckpt", "empty checkpoint file (zero bytes)"},
     {"truncated.ckpt", "truncated"},
     {"bitflip_section.ckpt", "CRC mismatch (bit rot or torn write)"},
     {"wrong_version.ckpt", "unsupported version"},

@@ -1,0 +1,502 @@
+// Tests for the supervised partitioning service (DESIGN.md §11): the
+// NDJSON job schema, the CRC-framed worker result protocol, fork-isolated
+// crash containment with retry, watchdog kills, admission control /
+// load-shedding, and graceful drain. The serve.* fault sites that
+// robust_test skips are exercised here.
+#include <gtest/gtest.h>
+
+#if !defined(_WIN32)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "robust/fault_injector.h"
+#include "robust/memory_governor.h"
+#include "robust/status.h"
+#include "robust/wire.h"
+#include "serve/job.h"
+#include "serve/json.h"
+#include "serve/service.h"
+#include "serve/supervisor.h"
+#include "serve/worker.h"
+
+namespace mlpart::serve {
+namespace {
+
+using robust::Error;
+using robust::StatusCode;
+
+// A tiny inline hMETIS instance: 6 nets over 8 modules. Inline keeps the
+// tests free of filesystem fixtures and exercises the "hgr" request path.
+const char* kTinyHgr = "6 8\n1 2\n3 4\n5 6\n7 8\n2 3\n6 7\n";
+
+std::string tinyJob(const std::string& id, const std::string& extra = "") {
+    return "{\"op\":\"partition\",\"id\":\"" + id +
+           "\",\"hgr\":\"6 8\\n1 2\\n3 4\\n5 6\\n7 8\\n2 3\\n6 7\\n\",\"runs\":2" +
+           (extra.empty() ? "" : "," + extra) + "}";
+}
+
+JobRequest tinyRequest(const std::string& id) {
+    JobRequest r;
+    r.id = id;
+    r.inlineHgr = kTinyHgr;
+    r.runs = 2;
+    return r;
+}
+
+// Collects every emitted line; the service calls emit from its
+// dispatcher threads, hence the lock.
+struct Capture {
+    std::mutex mu;
+    std::vector<std::string> lines;
+
+    Service::Emit sink() {
+        return [this](const std::string& line) {
+            std::lock_guard<std::mutex> lock(mu);
+            lines.push_back(line);
+        };
+    }
+    [[nodiscard]] std::vector<std::string> snapshot() {
+        std::lock_guard<std::mutex> lock(mu);
+        return lines;
+    }
+    /// The (single) line whose "id" field is `id`; fails the test if absent.
+    [[nodiscard]] std::string lineFor(const std::string& id) {
+        const std::string needle = "\"id\":\"" + id + "\"";
+        std::lock_guard<std::mutex> lock(mu);
+        for (const std::string& l : lines)
+            if (l.find(needle) != std::string::npos) return l;
+        ADD_FAILURE() << "no response line for id=" << id;
+        return "";
+    }
+};
+
+// --------------------------------------------------------------- JSON
+
+TEST(ServeJson, ParsesFlatObjects) {
+    const JsonObject o = parseJsonObject(
+        R"({"s":"a\"b\\c\nA","n":2.5,"i":-7,"b":true,"z":null})");
+    EXPECT_EQ(getString(o, "s", ""), "a\"b\\c\nA");
+    EXPECT_DOUBLE_EQ(getNumber(o, "n", 0), 2.5);
+    EXPECT_EQ(getInt(o, "i", 0), -7);
+    EXPECT_TRUE(getBool(o, "b", false));
+    EXPECT_EQ(getString(o, "z", "dflt"), "dflt"); // null reads as absent
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+    EXPECT_THROW((void)parseJsonObject(""), Error);
+    EXPECT_THROW((void)parseJsonObject("{\"a\":1,}"), Error);
+    EXPECT_THROW((void)parseJsonObject("{\"a\":1} x"), Error);
+    EXPECT_THROW((void)parseJsonObject("{\"a\":{\"n\":1}}"), Error);  // nested
+    EXPECT_THROW((void)parseJsonObject("{\"a\":[1]}"), Error);        // nested
+    EXPECT_THROW((void)parseJsonObject("{\"a\":1,\"a\":2}"), Error);  // dup key
+    EXPECT_THROW((void)parseJsonObject("{\"a\":inf}"), Error);
+    EXPECT_THROW((void)parseJsonObject("{\"a\":\"\x01\"}"), Error);   // raw ctrl
+}
+
+TEST(ServeJson, WriterRoundTripsThroughParser) {
+    JsonWriter w;
+    w.field("s", "tab\there \"q\"").field("n", 1.25).field("i", std::int64_t{-3})
+        .field("b", false);
+    const JsonObject o = parseJsonObject(w.str());
+    EXPECT_EQ(getString(o, "s", ""), "tab\there \"q\"");
+    EXPECT_DOUBLE_EQ(getNumber(o, "n", 0), 1.25);
+    EXPECT_EQ(getInt(o, "i", 0), -3);
+    EXPECT_FALSE(getBool(o, "b", true));
+}
+
+// ------------------------------------------------------------ requests
+
+TEST(ServeJob, ParsesRequestWithDefaults) {
+    const JobRequest r = parseJobRequest(tinyJob("j1"));
+    EXPECT_EQ(r.id, "j1");
+    EXPECT_EQ(r.inlineHgr, kTinyHgr);
+    EXPECT_EQ(r.k, 2);
+    EXPECT_EQ(r.runs, 2);
+    EXPECT_EQ(r.engine, "clip");
+    EXPECT_EQ(r.priority, 0);
+}
+
+TEST(ServeJob, RejectsBadRequests) {
+    // Unknown keys are rejected loudly: a typo must not default silently.
+    EXPECT_THROW((void)parseJobRequest(tinyJob("x", "\"prioritty\":3")), Error);
+    // Exactly one of instance / hgr.
+    EXPECT_THROW((void)parseJobRequest("{\"op\":\"partition\",\"id\":\"x\"}"), Error);
+    EXPECT_THROW((void)parseJobRequest(
+                     "{\"op\":\"partition\",\"instance\":\"a.hgr\",\"hgr\":\"1 2\\n\"}"),
+                 Error);
+    EXPECT_THROW((void)parseJobRequest(tinyJob("x", "\"k\":1")), Error);
+    EXPECT_THROW((void)parseJobRequest(tinyJob("x", "\"engine\":\"magic\"")), Error);
+    EXPECT_THROW((void)parseJobRequest(tinyJob("x", "\"resume\":true")), Error);
+    EXPECT_THROW((void)parseJobRequest("{\"op\":\"teleport\"}"), Error);
+}
+
+// ------------------------------------------------- result frame protocol
+
+TEST(ServeWire, OutcomeSurvivesTheFrameRoundTrip) {
+    JobOutcome o;
+    o.status = {StatusCode::kDeadlineExceeded, "best-so-far"};
+    o.cut = 42;
+    o.runsOk = 3;
+    o.runsSkipped = 7;
+    o.seconds = 1.5;
+    o.partitionCrc = 0xDEADBEEF;
+    o.deadlineHit = true;
+    const std::vector<std::uint8_t> frame = robust::buildFrame(encodeJobOutcome(o));
+    const std::vector<std::uint8_t> payload = robust::parseFrame(frame.data(), frame.size());
+    const JobOutcome back = decodeJobOutcome(payload.data(), payload.size());
+    EXPECT_EQ(back.status.code, StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(back.status.message, "best-so-far");
+    EXPECT_EQ(back.cut, 42);
+    EXPECT_EQ(back.runsOk, 3);
+    EXPECT_EQ(back.runsSkipped, 7);
+    EXPECT_EQ(back.partitionCrc, 0xDEADBEEFu);
+    EXPECT_TRUE(back.deadlineHit);
+}
+
+TEST(ServeWire, EveryTornPrefixIsAParseErrorNeverGarbage) {
+    JobOutcome o;
+    o.status = {StatusCode::kOk, ""};
+    o.cut = 7;
+    const std::vector<std::uint8_t> frame = robust::buildFrame(encodeJobOutcome(o));
+    // A worker can die after writing any prefix; all of them must classify.
+    for (std::size_t n = 0; n < frame.size(); ++n) {
+        try {
+            (void)robust::parseFrame(frame.data(), n);
+            FAIL() << "torn prefix of " << n << " bytes parsed as a frame";
+        } catch (const Error& e) {
+            EXPECT_EQ(e.code(), StatusCode::kParseError) << "prefix " << n;
+        }
+    }
+}
+
+TEST(ServeWire, CorruptionAndTrailingBytesAreParseErrors) {
+    const std::vector<std::uint8_t> frame =
+        robust::buildFrame(encodeJobOutcome(JobOutcome{}));
+    std::vector<std::uint8_t> flipped = frame;
+    flipped.back() ^= 0x40; // payload corruption the length check passes
+    EXPECT_THROW((void)robust::parseFrame(flipped.data(), flipped.size()), Error);
+    std::vector<std::uint8_t> trailing = frame;
+    trailing.push_back(0);
+    EXPECT_THROW((void)robust::parseFrame(trailing.data(), trailing.size()), Error);
+}
+
+// --------------------------------------------------- in-process worker
+
+TEST(ServeWorker, ExecutesAJobInProcess) {
+    const JobOutcome o = executeJob(tinyRequest("t"), nullptr);
+    ASSERT_TRUE(o.status.ok()) << o.status.message;
+    EXPECT_GE(o.cut, 0);
+    EXPECT_EQ(o.runsOk, 2);
+    EXPECT_NE(o.partitionCrc, 0u);
+}
+
+TEST(ServeWorker, ClassifiesInfeasibleAndParseErrors) {
+    JobRequest infeasible = tinyRequest("i");
+    infeasible.k = 100;
+    EXPECT_EQ(executeJob(infeasible, nullptr).status.code, StatusCode::kInfeasible);
+    JobRequest garbage = tinyRequest("g");
+    garbage.inlineHgr = "not a header\n";
+    EXPECT_EQ(executeJob(garbage, nullptr).status.code, StatusCode::kParseError);
+}
+
+// ------------------------------------------------------- supervision
+
+TEST(ServeSupervisor, CleanJobRunsOnce) {
+    const JobResult r = superviseJob(tinyRequest("clean"), SupervisorConfig{});
+    ASSERT_TRUE(r.outcome.status.ok()) << r.outcome.status.message;
+    EXPECT_EQ(r.attempts, 1);
+    EXPECT_EQ(r.crashes, 0);
+    EXPECT_FALSE(r.retried);
+}
+
+TEST(ServeSupervisor, Sigsegv0MidJobIsContainedAndRetried) {
+    JobRequest req = tinyRequest("crash-once");
+    req.faultSpec = "site=serve.worker_crash,at=1";
+    req.faultAttempts = 1; // crash attempt 0 only; the retry runs clean
+    const JobResult r = superviseJob(req, SupervisorConfig{});
+    ASSERT_TRUE(r.outcome.status.ok()) << r.outcome.status.message;
+    EXPECT_EQ(r.attempts, 2);
+    EXPECT_EQ(r.crashes, 1);
+    EXPECT_TRUE(r.retried);
+    EXPECT_NE(r.outcome.partitionCrc, 0u);
+}
+
+TEST(ServeSupervisor, PersistentCrashClassifiesAfterOneRetry) {
+    JobRequest req = tinyRequest("crash-always");
+    req.faultSpec = "site=serve.worker_crash,at=1"; // every attempt re-arms
+    const JobResult r = superviseJob(req, SupervisorConfig{});
+    EXPECT_EQ(r.outcome.status.code, StatusCode::kWorkerCrashed);
+    EXPECT_EQ(r.attempts, 2); // retried once, then classified — never looping
+    EXPECT_EQ(r.crashes, 2);
+}
+
+TEST(ServeSupervisor, TornResultFrameDegradesToRetryNotGarbage) {
+    JobRequest req = tinyRequest("torn");
+    req.faultSpec = "site=serve.pipe,at=1";
+    req.faultAttempts = 1;
+    const JobResult r = superviseJob(req, SupervisorConfig{});
+    ASSERT_TRUE(r.outcome.status.ok()) << r.outcome.status.message;
+    EXPECT_EQ(r.attempts, 2);
+    EXPECT_EQ(r.crashes, 1); // the torn attempt counts as a crash
+}
+
+TEST(ServeSupervisor, WatchdogKillsHungWorkerWithinDeadlinePlusGrace) {
+    JobRequest req = tinyRequest("hang");
+    req.faultSpec = "site=serve.worker_hang,at=1";
+    req.deadlineSeconds = 0.2;
+    SupervisorConfig cfg;
+    cfg.graceSeconds = 0.2;
+    const auto t0 = std::chrono::steady_clock::now();
+    const JobResult r = superviseJob(req, cfg);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    EXPECT_EQ(r.outcome.status.code, StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(r.watchdogKilled);
+    EXPECT_EQ(r.attempts, 1); // deadline outcomes are final, not retried
+    // Killed within deadline+grace plus scheduling slack — not hung forever.
+    EXPECT_LT(seconds, 5.0);
+}
+
+TEST(ServeSupervisor, InjectedForkFailureIsRetried) {
+    robust::FaultPlan plan;
+    plan.site = "serve.fork";
+    plan.fireAtHit = 1;
+    robust::FaultInjector::instance().arm(plan);
+    const JobResult r = superviseJob(tinyRequest("forkfail"), SupervisorConfig{});
+    EXPECT_GE(robust::FaultInjector::instance().fires(), 1);
+    robust::FaultInjector::instance().disarm();
+    ASSERT_TRUE(r.outcome.status.ok()) << r.outcome.status.message;
+    EXPECT_EQ(r.attempts, 2);
+    EXPECT_TRUE(r.retried);
+}
+
+TEST(ServeSupervisor, RetryPolicyMatchesTheTaxonomy) {
+    EXPECT_TRUE(isRetryableJobFailure(StatusCode::kWorkerCrashed));
+    EXPECT_TRUE(isRetryableJobFailure(StatusCode::kInternal));
+    EXPECT_TRUE(isRetryableJobFailure(StatusCode::kInjectedFault));
+    EXPECT_TRUE(isRetryableJobFailure(StatusCode::kResourceExhausted));
+    EXPECT_TRUE(isRetryableJobFailure(StatusCode::kAllStartsFailed));
+    EXPECT_FALSE(isRetryableJobFailure(StatusCode::kOk));
+    EXPECT_FALSE(isRetryableJobFailure(StatusCode::kUsage));
+    EXPECT_FALSE(isRetryableJobFailure(StatusCode::kParseError));
+    EXPECT_FALSE(isRetryableJobFailure(StatusCode::kInfeasible));
+    EXPECT_FALSE(isRetryableJobFailure(StatusCode::kDeadlineExceeded));
+    EXPECT_FALSE(isRetryableJobFailure(StatusCode::kInterrupted));
+    EXPECT_FALSE(isRetryableJobFailure(StatusCode::kRejected));
+    EXPECT_EQ(reseedForAttempt(7, 0), 7u);
+    EXPECT_NE(reseedForAttempt(7, 1), 7u);
+    EXPECT_NE(reseedForAttempt(7, 1), reseedForAttempt(7, 2));
+}
+
+// ---------------------------------------------------------- the service
+
+TEST(ServeService, CrashContainmentIsBitIdenticalAcrossWorkerCounts) {
+    // A mixed batch: clean jobs plus jobs whose first attempt SIGSEGVs /
+    // tears its frame. Per-job fault specs arm inside the worker fork, so
+    // the attempt pattern — and therefore every surviving result — is a
+    // function of the request alone, not of scheduling. The service must
+    // survive all of it (the supervisor never dies) and produce the same
+    // cut + partition CRC for every job id at every worker count.
+    const std::vector<std::string> jobs = {
+        tinyJob("clean-1", "\"seed\":11"),
+        tinyJob("clean-2", "\"seed\":12"),
+        tinyJob("crash-1",
+                "\"seed\":13,\"fault\":\"site=serve.worker_crash,at=1\",\"fault_attempts\":1"),
+        tinyJob("torn-1",
+                "\"seed\":14,\"fault\":\"site=serve.pipe,at=1\",\"fault_attempts\":1"),
+        tinyJob("dead-1", "\"seed\":15,\"fault\":\"site=serve.worker_crash,at=1\""),
+        tinyJob("clean-3", "\"seed\":16"),
+    };
+    std::map<std::string, std::map<std::string, std::string>> byWorkers;
+    for (const int workers : {1, 2, 8}) {
+        Capture cap;
+        ServiceConfig cfg;
+        cfg.workers = workers;
+        {
+            Service service(cfg, cap.sink());
+            for (const std::string& j : jobs) service.handleLine(j);
+            service.stop();
+        }
+        std::map<std::string, std::string> results;
+        for (const std::string& j : jobs) {
+            const std::string id = parseJobRequest(j).id;
+            const std::string line = cap.lineFor(id);
+            const JsonObject o = parseJsonObject(line);
+            results[id] = getString(o, "status", "?") + "/cut=" +
+                          std::to_string(getInt(o, "cut", -2)) + "/crc=" +
+                          std::to_string(getInt(o, "part_crc", -2)) + "/attempts=" +
+                          std::to_string(getInt(o, "attempts", -2));
+        }
+        byWorkers[std::to_string(workers)] = results;
+        // Spot-check the containment semantics once.
+        const JsonObject crash = parseJsonObject(cap.lineFor("crash-1"));
+        EXPECT_EQ(getInt(crash, "attempts", 0), 2);
+        EXPECT_EQ(getInt(crash, "crashes", 0), 1);
+        EXPECT_EQ(getString(crash, "status", ""), "OK");
+        const JsonObject dead = parseJsonObject(cap.lineFor("dead-1"));
+        EXPECT_EQ(getString(dead, "status", ""), "WORKER_CRASHED");
+        EXPECT_EQ(getInt(dead, "attempts", 0), 2);
+    }
+    EXPECT_EQ(byWorkers.at("1"), byWorkers.at("2"));
+    EXPECT_EQ(byWorkers.at("1"), byWorkers.at("8"));
+}
+
+TEST(ServeService, ShedsLowestPriorityWhenTheQueueOverflows) {
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.queueLimit = 1;
+    Service service(cfg, cap.sink());
+    // Occupy the single dispatcher with a worker that hangs until its
+    // watchdog fires, making queue occupancy deterministic.
+    service.handleLine(tinyJob(
+        "blocker", "\"fault\":\"site=serve.worker_hang,at=1\",\"deadline\":1.5"));
+    // Wait until the blocker was dispatched (queue drained into active).
+    for (int i = 0; i < 200; ++i) {
+        if (service.statusJson().find("\"active\":1") != std::string::npos) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    service.handleLine(tinyJob("low", "\"priority\":1"));
+    service.handleLine(tinyJob("high", "\"priority\":5"));   // sheds "low"
+    service.handleLine(tinyJob("late", "\"priority\":1"));   // bounces: queue full
+    service.stop();
+
+    EXPECT_NE(cap.lineFor("low").find("\"status\":\"REJECTED\""), std::string::npos);
+    EXPECT_NE(cap.lineFor("low").find("shed"), std::string::npos);
+    EXPECT_NE(cap.lineFor("late").find("\"status\":\"REJECTED\""), std::string::npos);
+    EXPECT_NE(cap.lineFor("late").find("queue full"), std::string::npos);
+    EXPECT_NE(cap.lineFor("high").find("\"status\":\"OK\""), std::string::npos);
+    EXPECT_NE(cap.lineFor("blocker").find("\"watchdog_killed\":true"), std::string::npos);
+}
+
+TEST(ServeService, AdmissionRejectsJobsThatCannotFitTheMemoryBudget) {
+    auto& governor = robust::MemoryGovernor::instance();
+    const std::uint64_t savedLimit = governor.limitBytes();
+    EXPECT_GT(Service::estimateJobBytes(tinyRequest("e")), 0u);
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.memLimitBytes = 1; // nothing fits a one-byte budget
+    {
+        Service service(cfg, cap.sink());
+        service.handleLine(tinyJob("toobig"));
+        service.stop();
+    }
+    governor.setLimitBytes(savedLimit); // the governor is process-global
+    EXPECT_NE(cap.lineFor("toobig").find("\"status\":\"RESOURCE_EXHAUSTED\""),
+              std::string::npos);
+}
+
+TEST(ServeService, DrainRejectsQueuedFinishesInFlightAndBoundsHungWorkers) {
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.drainGraceSeconds = 0.1;
+    cfg.graceSeconds = 0.3;
+    Service service(cfg, cap.sink());
+    // In-flight: a worker that ignores SIGTERM (it hangs before installing
+    // any job logic) — drain must still end it via the hard kill.
+    service.handleLine(tinyJob("stuck", "\"fault\":\"site=serve.worker_hang,at=1\""));
+    for (int i = 0; i < 200; ++i) {
+        if (service.statusJson().find("\"active\":1") != std::string::npos) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    service.handleLine(tinyJob("queued"));
+    const auto t0 = std::chrono::steady_clock::now();
+    service.drain();
+    EXPECT_TRUE(service.draining());
+    // New arrivals after the drain get the distinct rejection status.
+    service.handleLine(tinyJob("late"));
+    service.stop();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    EXPECT_NE(cap.lineFor("queued").find("\"status\":\"REJECTED\""), std::string::npos);
+    EXPECT_NE(cap.lineFor("queued").find("drained before execution"), std::string::npos);
+    EXPECT_NE(cap.lineFor("late").find("\"status\":\"REJECTED\""), std::string::npos);
+    EXPECT_NE(cap.lineFor("stuck").find("\"status\":\"DEADLINE_EXCEEDED\""),
+              std::string::npos);
+    EXPECT_LT(seconds, 5.0); // drain-grace + grace + slack, not forever
+}
+
+TEST(ServeService, DrainWindsDownLongJobsToBestSoFarWithCheckpoint) {
+    const std::string ckpt = ::testing::TempDir() + "serve_drain.ckpt";
+    std::remove(ckpt.c_str());
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.drainGraceSeconds = 0.05;
+    cfg.graceSeconds = 5.0; // generous: the worker cooperates, no hard kill
+    Service service(cfg, cap.sink());
+    // Not tinyJob(): that helper already sets "runs", and the strict
+    // parser rejects duplicate keys.
+    service.handleLine(
+        "{\"op\":\"partition\",\"id\":\"long\","
+        "\"hgr\":\"6 8\\n1 2\\n3 4\\n5 6\\n7 8\\n2 3\\n6 7\\n\","
+        "\"runs\":100000,\"checkpoint\":\"" + ckpt + "\",\"seed\":3}");
+    for (int i = 0; i < 200; ++i) {
+        if (service.statusJson().find("\"active\":1") != std::string::npos) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200)); // let starts finish
+    service.drain();
+    service.stop();
+
+    const std::string line = cap.lineFor("long");
+    EXPECT_NE(line.find("\"status\":\"INTERRUPTED\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"checkpoint_saved\":true"), std::string::npos) << line;
+    const JsonObject o = parseJsonObject(line);
+    EXPECT_GT(getInt(o, "runs_ok", 0), 0);       // best-so-far, not nothing
+    EXPECT_GT(getInt(o, "runs_skipped", 0), 0);  // wound down early
+    std::remove(ckpt.c_str());
+}
+
+TEST(ServeService, StatusReportsQueueGovernorAndHistory) {
+    Capture cap;
+    Service service(ServiceConfig{}, cap.sink());
+    service.handleLine(tinyJob("s1"));
+    service.stop();
+    const std::string status = service.statusJson();
+    EXPECT_NE(status.find("\"event\":\"status\""), std::string::npos);
+    EXPECT_NE(status.find("\"completed\":1"), std::string::npos);
+    EXPECT_NE(status.find("\"mem_limit\":"), std::string::npos);
+    EXPECT_NE(status.find("\"id\":\"s1\""), std::string::npos); // history entry
+}
+
+TEST(ServeService, MalformedLinesGetAnErrorResponseNotACrash) {
+    Capture cap;
+    Service service(ServiceConfig{}, cap.sink());
+    service.handleLine("this is not json");
+    service.handleLine("{\"op\":\"partition\"}"); // no instance/hgr
+    service.handleLine("");                       // blank: ignored
+    service.stop();
+    const std::vector<std::string> lines = cap.snapshot();
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("PARSE_ERROR"), std::string::npos);
+    EXPECT_NE(lines[1].find("USAGE"), std::string::npos);
+}
+
+TEST(ServeService, EofStopFinishesTheQueueInsteadOfRejectingIt) {
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    {
+        Service service(cfg, cap.sink());
+        for (int i = 0; i < 4; ++i) service.handleLine(tinyJob("q" + std::to_string(i)));
+        service.stop(); // no drain: accepted jobs still owe a real response
+    }
+    for (int i = 0; i < 4; ++i)
+        EXPECT_NE(cap.lineFor("q" + std::to_string(i)).find("\"status\":\"OK\""),
+                  std::string::npos);
+}
+
+} // namespace
+} // namespace mlpart::serve
+
+#endif // !_WIN32

@@ -1,0 +1,172 @@
+// Tests for MLWorkspace::shrinkToFit and the instance-size-keyed
+// WorkspacePool: the shrink is asserted with the same counting
+// operator-new harness the coarsening-kernel tests use, plus a
+// capacity-accounting check that the shrink actually returned the
+// high-water buffers to the allocator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <random>
+
+#include "core/multilevel.h"
+#include "core/parallel_multistart.h"
+#include "core/workspace_pool.h"
+#include "gen/rent_generator.h"
+#include "refine/fm_refiner.h"
+#include "refine/multistart.h"
+#include "robust/deadline.h"
+
+namespace mlpart {
+namespace {
+
+// ---- counting allocator -------------------------------------------------
+// Global new/delete overrides: every heap allocation in the test binary
+// bumps the counter; only deltas sampled around the code under test matter.
+std::atomic<std::int64_t> g_allocCount{0};
+
+std::int64_t allocationsSinceStart() { return g_allocCount.load(std::memory_order_relaxed); }
+
+} // namespace
+} // namespace mlpart
+
+void* operator new(std::size_t size) {
+    mlpart::g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    mlpart::g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mlpart {
+namespace {
+
+Hypergraph makeInstance(ModuleId modules, std::uint64_t seed) {
+    RentConfig cfg;
+    cfg.numModules = modules;
+    cfg.numNets = modules;
+    cfg.seed = seed;
+    return generateRentCircuit(cfg);
+}
+
+MultilevelPartitioner makePartitioner() {
+    MLConfig cfg;
+    FMConfig fm;
+    return MultilevelPartitioner(cfg, makeFMFactory(fm));
+}
+
+void warmWorkspace(MLWorkspace& ws, const Hypergraph& h) {
+    const MultilevelPartitioner ml = makePartitioner();
+    std::mt19937_64 rng(7);
+    (void)ml.run(h, rng, robust::Deadline(), ws);
+}
+
+TEST(MLWorkspaceShrink, ShrinkToFitReleasesAllCapacity) {
+    const Hypergraph h = makeInstance(1500, 3);
+    MLWorkspace ws;
+    warmWorkspace(ws, h);
+    ASSERT_GT(ws.capacityBytes(), 0u) << "warm-up should have grown the workspace";
+    ws.shrinkToFit();
+    EXPECT_EQ(ws.capacityBytes(), 0u)
+        << "shrinkToFit must return every scratch buffer to the allocator";
+}
+
+TEST(MLWorkspaceShrink, ShrunkWorkspaceStaysUsableAndDeterministic) {
+    const Hypergraph h = makeInstance(800, 4);
+    const MultilevelPartitioner ml = makePartitioner();
+    MLWorkspace ws;
+    std::mt19937_64 rng1(11);
+    const MLResult before = ml.run(h, rng1, robust::Deadline(), ws);
+    ws.shrinkToFit();
+    std::mt19937_64 rng2(11);
+    const MLResult after = ml.run(h, rng2, robust::Deadline(), ws);
+    EXPECT_EQ(before.cut, after.cut)
+        << "workspace contents must not influence results (pooling invariant)";
+}
+
+TEST(WorkspacePool, ReusingAWarmWorkspaceAllocatesNothingInTheWorkspace) {
+    auto& pool = WorkspacePool::instance();
+    pool.trim();
+    const Hypergraph h = makeInstance(1000, 5);
+    {
+        WorkspacePool::Lease lease = pool.acquire(h.numModules());
+        warmWorkspace(*lease, h);
+    } // released warm
+    ASSERT_EQ(pool.pooledCount(), 1u);
+    // Re-acquiring for the same bucket must hand back the warmed entry
+    // without touching the allocator.
+    const std::int64_t before = allocationsSinceStart();
+    WorkspacePool::Lease lease = pool.acquire(h.numModules());
+    const std::int64_t delta = allocationsSinceStart() - before;
+    EXPECT_NE(lease.get(), nullptr);
+    EXPECT_GT(lease->capacityBytes(), 0u) << "expected the warm pooled entry";
+    EXPECT_LE(delta, 2) << "acquire of a pooled same-bucket workspace must not allocate "
+                        << "(got " << delta << " allocations)";
+}
+
+TEST(WorkspacePool, AcquiringSmallerShrinksTheOversizedEntry) {
+    auto& pool = WorkspacePool::instance();
+    pool.trim();
+    const Hypergraph big = makeInstance(4000, 6);
+    {
+        WorkspacePool::Lease lease = pool.acquire(big.numModules());
+        warmWorkspace(*lease, big);
+    }
+    ASSERT_EQ(pool.pooledCount(), 1u);
+    const std::size_t warmBytes = pool.pooledCapacityBytes();
+    ASSERT_GT(warmBytes, 0u);
+    // A much smaller job must not run on (and pin) the big job's
+    // high-water buffers: the pool shrinks the entry before reuse.
+    WorkspacePool::Lease lease = pool.acquire(64);
+    EXPECT_EQ(lease->capacityBytes(), 0u)
+        << "oversized pooled entry must be shrunk before reuse for a smaller bucket";
+}
+
+TEST(WorkspacePool, TrimDropsEverythingAndMaxIdleCapsRetention) {
+    auto& pool = WorkspacePool::instance();
+    pool.trim();
+    EXPECT_EQ(pool.pooledCount(), 0u);
+    EXPECT_EQ(pool.pooledCapacityBytes(), 0u);
+    pool.setMaxIdle(2);
+    {
+        WorkspacePool::Lease a = pool.acquire(100);
+        WorkspacePool::Lease b = pool.acquire(100);
+        WorkspacePool::Lease c = pool.acquire(100);
+        WorkspacePool::Lease d = pool.acquire(100);
+    } // four released, only maxIdle retained
+    EXPECT_EQ(pool.pooledCount(), 2u);
+    pool.setMaxIdle(8); // restore the default for other tests
+    pool.trim();
+}
+
+TEST(WorkspacePool, MultiStartRunsThroughThePool) {
+    auto& pool = WorkspacePool::instance();
+    pool.trim();
+    const Hypergraph h = makeInstance(600, 8);
+    MLConfig cfg;
+    FMConfig fm;
+    const MultilevelPartitioner ml(cfg, makeFMFactory(fm));
+    MultiStartConfig ms;
+    ms.runs = 3;
+    ms.threads = 1;
+    ms.seed = 9;
+    const MultiStartOutcome first = parallelMultiStart(h, ml, ms);
+    ASSERT_TRUE(first.ok());
+    EXPECT_GE(pool.pooledCount(), 1u) << "multi-start should return its workspace";
+    // A second identical job reuses the pooled workspace and must be
+    // bit-identical — pooling cannot leak state between jobs.
+    const MultiStartOutcome second = parallelMultiStart(h, ml, ms);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(first.bestCut, second.bestCut);
+    EXPECT_EQ(first.bestRun, second.bestRun);
+    pool.trim();
+}
+
+} // namespace
+} // namespace mlpart

@@ -17,6 +17,7 @@
 // (best-so-far emitted), 1 anything else.
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
@@ -41,7 +42,9 @@
 #include "robust/checkpoint.h"
 #include "robust/fault_injector.h"
 #include "robust/memory_governor.h"
+#include "robust/run_report.h"
 #include "robust/status.h"
+#include "serve/json.h"
 #include "spectral/spectral.h"
 
 using namespace mlpart;
@@ -73,7 +76,7 @@ void setPhase(const std::string& phase, const std::string& input = "") {
         "  partition <netlist> [-k K] [-r TOL] [-R RATIO] [--engine fm|clip]\n"
         "            [--runs N] [--threads T] [--seed S] [--timeout SEC]\n"
         "            [--checkpoint FILE [--checkpoint-every N] [--resume]]\n"
-        "            [--mem-limit BYTES[k|m|g]] [-o OUT.parts]\n"
+        "            [--mem-limit BYTES[k|m|g]] [--log-json] [-o OUT.parts]\n"
         "  spectral  <netlist> [-r TOL] [-o OUT.parts]\n"
         "  place     <netlist> [--levels L] [-o OUT.pl]\n"
         "  convert   <netlist> <out.hgr|out.netD>\n"
@@ -149,7 +152,7 @@ Args parseArgs(int argc, char** argv, int start) {
     for (int i = start; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.size() >= 2 && arg[0] == '-' && !std::isdigit(static_cast<unsigned char>(arg[1]))) {
-            if (arg == "--resume") { // the only valueless flag
+            if (arg == "--resume" || arg == "--log-json") { // valueless flags
                 a.flags[arg] = "1";
                 continue;
             }
@@ -178,13 +181,56 @@ int cmdStats(const Args& a) {
     return 0;
 }
 
+// --log-json: one NDJSON line per phase and per start on stderr, reusing
+// the RunReport taxonomy — the same schema family the service speaks, so
+// one log pipeline parses both (DESIGN.md §11).
+void logPhaseJson(bool enabled, const char* phase, double seconds) {
+    if (!enabled) return;
+    serve::JsonWriter w;
+    w.field("event", "phase").field("phase", phase).field("seconds", seconds);
+    std::cerr << w.str() << "\n";
+}
+
+void logReportJson(const robust::RunReport& report, const MultiStartOutcome& out) {
+    for (std::size_t i = 0; i < report.starts.size(); ++i) {
+        const robust::StartRecord& rec = report.starts[i];
+        serve::JsonWriter w;
+        w.field("event", "start")
+            .field("run", static_cast<std::int64_t>(i))
+            .field("status", robust::startStatusName(rec.status))
+            .field("cut", rec.cut)
+            .field("attempts", rec.attempts);
+        if (!rec.error.ok())
+            w.field("error", robust::statusCodeName(rec.error.code))
+                .field("message", rec.error.message);
+        std::cerr << w.str() << "\n";
+    }
+    serve::JsonWriter s;
+    s.field("event", "summary")
+        .field("runs", static_cast<std::int64_t>(report.starts.size()))
+        .field("runs_ok", report.succeeded())
+        .field("runs_retried", report.retried())
+        .field("runs_failed", report.failed())
+        .field("runs_skipped", report.skipped())
+        .field("deadline_hit", report.deadlineHit)
+        .field("min_cut", static_cast<std::int64_t>(out.bestCut))
+        .field("best_run", out.bestRun)
+        .field("avg_cut", out.cuts.mean())
+        .field("seconds", out.seconds);
+    std::cerr << s.str() << "\n";
+}
+
 int cmdPartition(const Args& a) {
     if (a.positional.empty()) usage("partition: missing netlist");
+    const bool logJson = a.flags.count("--log-json") > 0;
     // The budget must govern the *reader's* allocations too, so it is set
     // before the netlist is touched.
     if (a.flags.count("--mem-limit"))
         robust::MemoryGovernor::instance().setLimitBytes(parseByteSize(a.get("--mem-limit", "")));
+    const auto tLoad = std::chrono::steady_clock::now();
     const Hypergraph h = loadNetlist(a.positional[0]);
+    logPhaseJson(logJson, "load",
+                 std::chrono::duration<double>(std::chrono::steady_clock::now() - tLoad).count());
     const PartId k = static_cast<PartId>(a.getI("-k", 2));
     const double r = a.getD("-r", 0.1);
     const std::string engine = a.get("--engine", "clip");
@@ -240,6 +286,8 @@ int cmdPartition(const Args& a) {
     }
     setPhase("partitioning");
     const MultiStartOutcome out = parallelMultiStart(h, ml, ms);
+    logPhaseJson(logJson, "partition", out.seconds);
+    if (logJson) logReportJson(out.report, out);
 
     setPhase("writing results");
     std::cout << k << "-way ML partition (" << engine << " engine, R=" << cfg.matchingRatio

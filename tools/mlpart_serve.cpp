@@ -1,0 +1,270 @@
+// mlpart_serve — long-lived supervised partitioning service (DESIGN.md §11).
+//
+//   mlpart_serve [--workers N] [--queue N] [--deadline SEC] [--grace SEC]
+//                [--drain-grace SEC] [--history N] [--mem-limit BYTES[k|m|g]]
+//                [--socket PATH]
+//
+// Reads one NDJSON job request per line from stdin (or, with --socket,
+// from clients of a unix stream socket) and answers every request with
+// exactly one NDJSON line on stdout (or the client's connection). Jobs
+// run in fork-isolated workers: a SIGSEGV, simulated OOM, or runaway loop
+// inside a job kills that worker, never the service. SIGTERM (or an
+// {"op":"drain"} request) drains gracefully: queued jobs are rejected,
+// in-flight jobs wind down to best-so-far + checkpoint, then exit 0.
+#if defined(_WIN32)
+#include <cstdio>
+int main() {
+    std::fprintf(stderr, "mlpart_serve: POSIX-only (fork-based worker isolation)\n");
+    return 1;
+}
+#else
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "robust/fault_injector.h"
+#include "robust/status.h"
+#include "robust/wire.h"
+#include "serve/service.h"
+
+using namespace mlpart;
+
+namespace {
+
+std::atomic<bool> g_drain{false};
+
+extern "C" void onSignal(int) { g_drain.store(true, std::memory_order_relaxed); }
+
+[[noreturn]] void usage(const std::string& msg = "") {
+    if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
+    std::cerr <<
+        "usage: mlpart_serve [options]\n"
+        "  --workers N        concurrent supervised jobs (default 1)\n"
+        "  --queue N          queued-job bound; overflow sheds by priority (default 16)\n"
+        "  --deadline SEC     default per-job deadline; 0 = none (default 0)\n"
+        "  --grace SEC        watchdog slack past a deadline (default 2)\n"
+        "  --drain-grace SEC  drain -> SIGTERM delay for in-flight jobs (default 0.5)\n"
+        "  --history N        recent results kept for \"status\" (default 32)\n"
+        "  --mem-limit BYTES  admission + governor budget, k/m/g suffix ok (default off)\n"
+        "  --socket PATH      serve a unix stream socket instead of stdin/stdout\n"
+        "requests: one JSON object per line; see DESIGN.md §11 for fields\n"
+        "exit: 0 after a clean drain (SIGTERM / {\"op\":\"drain\"} / EOF)\n";
+    std::exit(robust::exitCodeFor(robust::StatusCode::kUsage));
+}
+
+std::uint64_t parseByteSize(const std::string& s) {
+    std::size_t pos = 0;
+    unsigned long long v = 0;
+    try {
+        v = std::stoull(s, &pos);
+    } catch (const std::exception&) {
+        usage("--mem-limit: malformed byte count '" + s + "'");
+    }
+    std::uint64_t mult = 1;
+    if (pos < s.size()) {
+        if (pos + 1 != s.size()) usage("--mem-limit: malformed byte count '" + s + "'");
+        switch (std::tolower(static_cast<unsigned char>(s[pos]))) {
+            case 'k': mult = std::uint64_t{1} << 10; break;
+            case 'm': mult = std::uint64_t{1} << 20; break;
+            case 'g': mult = std::uint64_t{1} << 30; break;
+            default: usage("--mem-limit: unknown suffix '" + s.substr(pos) + "'");
+        }
+    }
+    return static_cast<std::uint64_t>(v) * mult;
+}
+
+// Signal-aware line reader over a raw fd: poll + read so SIGTERM wakes a
+// blocked service immediately (EINTR) instead of after the next request.
+// Returns false on EOF or when the drain flag is set with no queued line.
+class LineReader {
+public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    bool next(std::string& line) {
+        for (;;) {
+            const std::size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                line = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            if (eof_) {
+                if (buf_.empty()) return false;
+                line.swap(buf_);
+                buf_.clear();
+                return true;
+            }
+            if (g_drain.load(std::memory_order_relaxed)) return false;
+            struct pollfd pfd {};
+            pfd.fd = fd_;
+            pfd.events = POLLIN;
+            const int rc = poll(&pfd, 1, 200);
+            if (rc < 0) {
+                if (errno == EINTR) continue;
+                return false;
+            }
+            if (rc == 0) continue;
+            char chunk[4096];
+            const ssize_t n = read(fd_, chunk, sizeof(chunk));
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                return false;
+            }
+            if (n == 0) {
+                eof_ = true;
+                continue;
+            }
+            buf_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+private:
+    int fd_;
+    std::string buf_;
+    bool eof_ = false;
+};
+
+// Response sink: socket mode swaps the client connection in and out from
+// the accept loop while dispatcher threads emit concurrently, so the
+// target lives behind its own mutex. Falls back to stdout.
+class Sink {
+public:
+    void set(serve::Service::Emit fn) {
+        std::lock_guard<std::mutex> lock(mu_);
+        fn_ = std::move(fn);
+    }
+    void write(const std::string& line) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (fn_) fn_(line);
+        else std::cout << line << "\n" << std::flush;
+    }
+
+private:
+    std::mutex mu_;
+    serve::Service::Emit fn_;
+};
+
+int serveFd(serve::Service& service, int inFd) {
+    LineReader reader(inFd);
+    std::string line;
+    while (!service.draining() && reader.next(line)) service.handleLine(line);
+    return 0;
+}
+
+int serveSocket(serve::Service& service, Sink& sink, const std::string& path) {
+    const int listenFd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0) {
+        std::cerr << "mlpart_serve: socket: " << std::strerror(errno) << "\n";
+        return 1;
+    }
+    struct sockaddr_un addr {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        std::cerr << "mlpart_serve: socket path too long\n";
+        return 1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    unlink(path.c_str());
+    if (bind(listenFd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        listen(listenFd, 8) < 0) {
+        std::cerr << "mlpart_serve: bind/listen " << path << ": " << std::strerror(errno) << "\n";
+        close(listenFd);
+        return 1;
+    }
+    std::cerr << "mlpart_serve: listening on " << path << "\n";
+
+    while (!g_drain.load(std::memory_order_relaxed) && !service.draining()) {
+        struct pollfd pfd {};
+        pfd.fd = listenFd;
+        pfd.events = POLLIN;
+        const int rc = poll(&pfd, 1, 200);
+        if (rc < 0 && errno != EINTR) break;
+        if (rc <= 0) continue;
+        const int clientFd = accept(listenFd, nullptr, nullptr);
+        if (clientFd < 0) continue;
+        // One client at a time: responses for this client's jobs go to its
+        // connection; results finishing after disconnect fall back to
+        // stdout (dropped lines would break one-request/one-response).
+        sink.set([clientFd](const std::string& l) {
+            const std::string out = l + "\n";
+            if (!robust::writeFull(clientFd, out.data(), out.size()).ok())
+                std::cout << out << std::flush;
+        });
+        serveFd(service, clientFd);
+        sink.set(nullptr);
+        close(clientFd);
+    }
+    close(listenFd);
+    unlink(path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    serve::ServiceConfig cfg;
+    std::string socketPath;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) usage("flag " + arg + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--workers") cfg.workers = std::stoi(value());
+        else if (arg == "--queue") cfg.queueLimit = std::stoi(value());
+        else if (arg == "--deadline") cfg.defaultDeadlineSeconds = std::stod(value());
+        else if (arg == "--grace") cfg.graceSeconds = std::stod(value());
+        else if (arg == "--drain-grace") cfg.drainGraceSeconds = std::stod(value());
+        else if (arg == "--history") cfg.historyLimit = std::stoi(value());
+        else if (arg == "--mem-limit") cfg.memLimitBytes = parseByteSize(value());
+        else if (arg == "--socket") socketPath = value();
+        else if (arg == "--help" || arg == "-h") usage();
+        else usage("unknown flag '" + arg + "'");
+    }
+
+    // Non-SA_RESTART handlers on purpose: a drain signal must interrupt
+    // the blocking reads (the robust/wire helpers retry EINTR everywhere
+    // it is not a cancellation point).
+    struct sigaction sa {};
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    robust::FaultInjector::instance().armFromEnv();
+
+    // The per-client sink (socket mode) falls back to stdout.
+    Sink sink;
+    serve::Service service(cfg, [&sink](const std::string& line) { sink.write(line); });
+
+    int rc = 0;
+    if (socketPath.empty()) rc = serveFd(service, STDIN_FILENO);
+    else rc = serveSocket(service, sink, socketPath);
+
+    // EOF, SIGTERM, or an in-band drain all end here with exit 0. The
+    // difference: a drain (signal / request) rejects whatever is still
+    // queued, while plain EOF finishes the queue — every accepted job
+    // gets its response either way.
+    if (g_drain.load(std::memory_order_relaxed)) service.drain();
+    service.stop();
+    serve::JsonWriter w;
+    w.field("event", "drained").field("completed", service.completedJobs());
+    std::cout << w.str() << "\n" << std::flush;
+    return rc;
+}
+
+#endif // _WIN32

@@ -6,6 +6,7 @@
 #include "hypergraph/assemble.h"
 #include "robust/fault_injector.h"
 #include "robust/memory_governor.h"
+#include "robust/thread_pool.h"
 
 #if MLPART_CHECK_INVARIANTS
 #include <string>
@@ -31,9 +32,14 @@ std::uint64_t fingerprintPins(const ModuleId* pins, std::int64_t count) {
     return fp;
 }
 
+/// Fine nets per chunk of the parallel tentative-net passes. Fixed: chunk
+/// boundaries depend only on the net count, never on the thread count.
+constexpr std::int64_t kNetChunk = 256;
+
 } // namespace
 
-Hypergraph induceInto(const Hypergraph& h, const Clustering& c, CoarsenWorkspace& ws) {
+Hypergraph induceInto(const Hypergraph& h, const Clustering& c, CoarsenWorkspace& ws,
+                      robust::ThreadPool* pool) {
     MLPART_FAULT_SITE("coarsen.induce");
     // Workspace allocation path is memory-governed: the tentative-net
     // scratch for this level is bounded by the fine level's pin count, so
@@ -54,6 +60,78 @@ Hypergraph induceInto(const Hypergraph& h, const Clustering& c, CoarsenWorkspace
     for (ModuleId v = 0; v < h.numModules(); ++v)
         areas[static_cast<std::size_t>(clusterOf[v])] += h.area(v);
 
+    const bool runParallel = pool != nullptr && pool->threads() > 1;
+    NetId tentCount = 0;
+    if (runParallel) {
+        // Parallel tentative-net construction: two passes over fixed net
+        // chunks separated by one serial prefix scan. Pass A counts each
+        // fine net's deduped mapped pins (per-worker stamp arrays — which
+        // worker handles a chunk is unobservable); the scan assigns
+        // tentative ids and exact offsets; pass B fills each kept net's
+        // span, sorts it ascending, and fingerprints it. Sorting per net
+        // replaces the serial path's cluster-order counting sweep and
+        // yields the identical ascending pin lists, so everything
+        // downstream (merge, emission) is byte-for-byte unchanged.
+        const int workers = pool->threads();
+        if (static_cast<int>(ws.threadStamp.size()) < workers)
+            ws.threadStamp.resize(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w) ws.threadStamp[static_cast<std::size_t>(w)].assign(ncSz, -1);
+        ws.finePinCount.assign(static_cast<std::size_t>(m), 0);
+        const std::int64_t chunks = robust::ThreadPool::chunkCount(m, kNetChunk);
+        pool->forChunks(chunks, [&](int worker, std::int64_t chunk) {
+            std::int64_t* stamp = ws.threadStamp[static_cast<std::size_t>(worker)].data();
+            const NetId lo = static_cast<NetId>(chunk * kNetChunk);
+            const NetId hiN = std::min<NetId>(m, static_cast<NetId>(lo + kNetChunk));
+            for (NetId e = lo; e < hiN; ++e) {
+                ModuleId count = 0;
+                for (ModuleId v : h.pins(e)) {
+                    const std::size_t cl = static_cast<std::size_t>(clusterOf[v]);
+                    if (stamp[cl] != e) {
+                        stamp[cl] = e;
+                        ++count;
+                    }
+                }
+                ws.finePinCount[static_cast<std::size_t>(e)] = count;
+            }
+        });
+        ws.fineTent.assign(static_cast<std::size_t>(m), kInvalidNet);
+        ws.tentOffsets.clear();
+        ws.tentOffsets.push_back(0);
+        ws.tentWeights.clear();
+        for (NetId e = 0; e < m; ++e) {
+            const ModuleId count = ws.finePinCount[static_cast<std::size_t>(e)];
+            if (count < 2) continue; // degenerate: connects < 2 clusters
+            ws.fineTent[static_cast<std::size_t>(e)] = static_cast<NetId>(ws.tentWeights.size());
+            ws.tentOffsets.push_back(ws.tentOffsets.back() + count);
+            ws.tentWeights.push_back(h.netWeight(e));
+        }
+        tentCount = static_cast<NetId>(ws.tentWeights.size());
+        ws.tentPinsSorted.resize(static_cast<std::size_t>(ws.tentOffsets.back()));
+        ws.fingerprints.resize(static_cast<std::size_t>(tentCount));
+        pool->forChunks(chunks, [&](int worker, std::int64_t chunk) {
+            std::int64_t* stamp = ws.threadStamp[static_cast<std::size_t>(worker)].data();
+            const NetId lo = static_cast<NetId>(chunk * kNetChunk);
+            const NetId hiN = std::min<NetId>(m, static_cast<NetId>(lo + kNetChunk));
+            for (NetId e = lo; e < hiN; ++e) {
+                const NetId t = ws.fineTent[static_cast<std::size_t>(e)];
+                if (t == kInvalidNet) continue;
+                // Stamp marker m+e: distinct from every pass-A marker, so
+                // the stamp arrays need no reset between passes.
+                const std::int64_t marker = static_cast<std::int64_t>(m) + e;
+                ModuleId* out = ws.tentPinsSorted.data() + ws.tentOffsets[t];
+                std::int64_t filled = 0;
+                for (ModuleId v : h.pins(e)) {
+                    const std::size_t cl = static_cast<std::size_t>(clusterOf[v]);
+                    if (stamp[cl] != marker) {
+                        stamp[cl] = marker;
+                        out[filled++] = static_cast<ModuleId>(cl);
+                    }
+                }
+                std::sort(out, out + filled);
+                ws.fingerprints[static_cast<std::size_t>(t)] = fingerprintPins(out, filled);
+            }
+        });
+    } else {
     // Pass 1 — tentative nets: map each fine net through the clustering,
     // dedup pins with a per-cluster stamp of the current net id (instead
     // of sort+unique over the mapped pins), drop |e*| < 2 nets.
@@ -79,7 +157,7 @@ Hypergraph induceInto(const Hypergraph& h, const Clustering& c, CoarsenWorkspace
             ws.tentPins.resize(before); // degenerate: connects < 2 clusters
         }
     }
-    const NetId tentCount = static_cast<NetId>(ws.tentWeights.size());
+    tentCount = static_cast<NetId>(ws.tentWeights.size());
 
     // Pass 2 — sort-free CSR emission. Two counting sweeps produce every
     // tentative net's pin list in ascending cluster order: first a
@@ -113,16 +191,18 @@ Hypergraph induceInto(const Hypergraph& h, const Clustering& c, CoarsenWorkspace
         }
     }
 
-    // Pass 3 — parallel-net merging via one sorted fingerprint pass.
-    // Sorting (fingerprint, net id) pairs groups candidate duplicates;
-    // within a group the ascending net-id walk merges every net into the
-    // lowest-id net with an equal pin list, exactly like the builder's
-    // hash-bucket scan (first kept candidate wins, weights sum).
     ws.fingerprints.resize(static_cast<std::size_t>(tentCount));
     for (NetId t = 0; t < tentCount; ++t)
         ws.fingerprints[static_cast<std::size_t>(t)] =
             fingerprintPins(ws.tentPinsSorted.data() + ws.tentOffsets[t],
                             ws.tentOffsets[t + 1] - ws.tentOffsets[t]);
+    } // serial path
+
+    // Pass 3 — parallel-net merging via one sorted fingerprint pass.
+    // Sorting (fingerprint, net id) pairs groups candidate duplicates;
+    // within a group the ascending net-id walk merges every net into the
+    // lowest-id net with an equal pin list, exactly like the builder's
+    // hash-bucket scan (first kept candidate wins, weights sum).
     ws.order.resize(static_cast<std::size_t>(tentCount));
     std::iota(ws.order.begin(), ws.order.end(), 0);
     std::sort(ws.order.begin(), ws.order.end(), [&](NetId a, NetId b) {

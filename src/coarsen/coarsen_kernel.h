@@ -29,6 +29,10 @@
 #include "coarsen/clustering.h"
 #include "hypergraph/hypergraph.h"
 
+namespace mlpart::robust {
+class ThreadPool; // robust/thread_pool.h
+} // namespace mlpart::robust
+
 namespace mlpart {
 
 /// Scratch buffers for induceInto(), reused across levels, cycles, and
@@ -48,6 +52,10 @@ struct CoarsenWorkspace {
     std::vector<std::uint64_t> fingerprints; ///< per tentative net: pin-list hash
     std::vector<NetId> order;              ///< net ids sorted by (fingerprint, id)
     std::vector<NetId> repOf;              ///< per tentative net: merge representative
+    // Parallel-path scratch (used only when induceInto runs on a pool):
+    std::vector<ModuleId> finePinCount;    ///< per fine net: deduped mapped-pin count
+    std::vector<NetId> fineTent;           ///< per fine net: tentative id (kInvalidNet = dropped)
+    std::vector<std::vector<std::int64_t>> threadStamp; ///< per worker: cluster stamp array
 
     /// Releases every scratch buffer back to the allocator (see
     /// refine::Workspace::shrinkToFit for the long-lived-host rationale).
@@ -63,27 +71,41 @@ struct CoarsenWorkspace {
         std::vector<std::uint64_t>().swap(fingerprints);
         std::vector<NetId>().swap(order);
         std::vector<NetId>().swap(repOf);
+        std::vector<ModuleId>().swap(finePinCount);
+        std::vector<NetId>().swap(fineTent);
+        std::vector<std::vector<std::int64_t>>().swap(threadStamp);
     }
 
     /// Bytes of heap capacity currently held.
     [[nodiscard]] std::size_t capacityBytes() const {
-        return pinStamp.capacity() * sizeof(NetId) +
-               tentOffsets.capacity() * sizeof(std::int64_t) +
-               tentPins.capacity() * sizeof(ModuleId) +
-               tentPinsSorted.capacity() * sizeof(ModuleId) +
-               tentWeights.capacity() * sizeof(Weight) +
-               clusterOffsets.capacity() * sizeof(std::int64_t) +
-               clusterNets.capacity() * sizeof(NetId) +
-               netCursor.capacity() * sizeof(std::int64_t) +
-               fingerprints.capacity() * sizeof(std::uint64_t) +
-               order.capacity() * sizeof(NetId) + repOf.capacity() * sizeof(NetId);
+        std::size_t n = pinStamp.capacity() * sizeof(NetId) +
+                        tentOffsets.capacity() * sizeof(std::int64_t) +
+                        tentPins.capacity() * sizeof(ModuleId) +
+                        tentPinsSorted.capacity() * sizeof(ModuleId) +
+                        tentWeights.capacity() * sizeof(Weight) +
+                        clusterOffsets.capacity() * sizeof(std::int64_t) +
+                        clusterNets.capacity() * sizeof(NetId) +
+                        netCursor.capacity() * sizeof(std::int64_t) +
+                        fingerprints.capacity() * sizeof(std::uint64_t) +
+                        order.capacity() * sizeof(NetId) + repOf.capacity() * sizeof(NetId) +
+                        finePinCount.capacity() * sizeof(ModuleId) +
+                        fineTent.capacity() * sizeof(NetId) +
+                        threadStamp.capacity() * sizeof(std::vector<std::int64_t>);
+        for (const auto& row : threadStamp) n += row.capacity() * sizeof(std::int64_t);
+        return n;
     }
 };
 
 /// Definition 1 coarsening through the dedicated kernel: the coarse
 /// hypergraph induced by `c`, bit-identical to the HypergraphBuilder
-/// path. `ws` supplies all scratch storage.
+/// path. `ws` supplies all scratch storage. When `pool` is non-null and
+/// has more than one thread, the tentative-net construction (pin dedup,
+/// per-net pin sorting, fingerprinting) runs in parallel over fixed
+/// net chunks — the output stays bit-identical to the serial path for
+/// every thread count, because each net's span and fingerprint are
+/// chunk-confined and the merge/emission pass is unchanged.
 [[nodiscard]] Hypergraph induceInto(const Hypergraph& h, const Clustering& c,
-                                    CoarsenWorkspace& ws);
+                                    CoarsenWorkspace& ws,
+                                    robust::ThreadPool* pool = nullptr);
 
 } // namespace mlpart

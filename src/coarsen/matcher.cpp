@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "robust/thread_pool.h"
+
 namespace mlpart {
 
 namespace {
@@ -184,6 +186,160 @@ Clustering runMatcher(CoarsenerKind kind, const Hypergraph& h, const MatchConfig
         case CoarsenerKind::kHeavyEdgeMatch: return heavyEdgeMatching(h, cfg, rng);
     }
     throw std::invalid_argument("runMatcher: unknown coarsener kind");
+}
+
+namespace {
+
+/// Modules per proposal chunk. Fixed (input-size-only decomposition): the
+/// chunk boundaries must not depend on the thread count.
+constexpr std::int64_t kMatchChunk = 1024;
+
+/// Symmetric pair hash (splitmix64 over the unordered pair + seed): the
+/// seeded randomness of the parallel matcher. Symmetry matters — mutual
+/// proposals only happen when both endpoints rank the pair identically.
+std::uint64_t pairHash(std::uint64_t seed, ModuleId a, ModuleId b) {
+    if (a > b) std::swap(a, b);
+    std::uint64_t x = seed ^ (static_cast<std::uint64_t>(a) << 32) ^
+                      (static_cast<std::uint64_t>(b) + 0x9e3779b97f4a7c15ULL);
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// One module's proposal: the eligible unmatched neighbour maximizing
+/// (rating, pairHash, -id). `conn`/`touched` are this worker's scratch.
+ModuleId proposeFor(const Hypergraph& h, const MatchConfig& cfg, CoarsenerKind kind,
+                    std::uint64_t seed, const ModuleId* mate, ModuleId v,
+                    std::vector<double>& conn, std::vector<ModuleId>& touched) {
+    touched.clear();
+    const bool hashRating = kind == CoarsenerKind::kRandomMatch;
+    for (NetId e : h.nets(v)) {
+        if (h.netSize(e) > cfg.maxNetSize) continue;
+        const double perNet = static_cast<double>(h.netWeight(e)) /
+                              static_cast<double>(h.netSize(e) - 1);
+        for (ModuleId w : h.pins(e)) {
+            if (w == v) continue;
+            if (mate[static_cast<std::size_t>(w)] != kInvalidModule) continue;
+            if (isExcluded(cfg, w)) continue;
+            if (blockMismatch(cfg, v, w)) continue;
+            if (conn[static_cast<std::size_t>(w)] == 0.0) touched.push_back(w);
+            conn[static_cast<std::size_t>(w)] += perNet;
+        }
+    }
+    ModuleId best = kInvalidModule;
+    double bestScore = 0.0;
+    std::uint64_t bestHash = 0;
+    for (ModuleId w : touched) {
+        double score;
+        if (hashRating) {
+            // Chaco-analogue: the rating IS the seeded hash, so the pick is
+            // uniform-ish among neighbours yet reproducible in any order.
+            score = 1.0;
+        } else if (kind == CoarsenerKind::kConnectivityMatch) {
+            score = conn[static_cast<std::size_t>(w)] /
+                    static_cast<double>(h.area(v) + h.area(w));
+        } else {
+            score = conn[static_cast<std::size_t>(w)];
+        }
+        conn[static_cast<std::size_t>(w)] = 0.0; // cheap reinitialization via touched
+        const std::uint64_t hash = pairHash(seed, v, w);
+        const bool better = best == kInvalidModule || score > bestScore ||
+                            (score == bestScore &&
+                             (hash > bestHash || (hash == bestHash && w < best)));
+        if (better) {
+            best = w;
+            bestScore = score;
+            bestHash = hash;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+Clustering matchParallel(CoarsenerKind kind, const Hypergraph& h, const MatchConfig& cfg,
+                         std::uint64_t seed, robust::ThreadPool& pool, MatchWorkspace& ws) {
+    checkConfig(h, cfg);
+    const ModuleId n = h.numModules();
+    const std::size_t nSz = static_cast<std::size_t>(n);
+    const int workers = pool.threads();
+
+    ws.mate.assign(nSz, kInvalidModule);
+    ws.proposal.assign(nSz, kInvalidModule);
+    if (static_cast<int>(ws.conn.size()) < workers) ws.conn.resize(static_cast<std::size_t>(workers));
+    if (static_cast<int>(ws.touched.size()) < workers)
+        ws.touched.resize(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        ws.conn[static_cast<std::size_t>(w)].assign(nSz, 0.0);
+        ws.touched[static_cast<std::size_t>(w)].clear();
+    }
+
+    ModuleId* mate = ws.mate.data();
+    ModuleId* proposal = ws.proposal.data();
+    const std::int64_t chunks = robust::ThreadPool::chunkCount(n, kMatchChunk);
+
+    std::int64_t nMatch = 0;
+    // Bounded by n/2 matches total, but in practice a handful of rounds
+    // reaches the ratio — the bound only guards a degenerate no-progress
+    // loop that the matched-nothing break already exits.
+    const int maxRounds = 64;
+    for (int round = 0; round < maxRounds; ++round) {
+        if (static_cast<double>(nMatch) >= cfg.ratio * static_cast<double>(n)) break;
+        // Propose: parallel over fixed chunks; reads mate[] frozen at the
+        // round boundary, writes proposal[v] only — chunk-slot confined.
+        pool.forChunks(chunks, [&](int worker, std::int64_t chunk) {
+            std::vector<double>& conn = ws.conn[static_cast<std::size_t>(worker)];
+            std::vector<ModuleId>& touched = ws.touched[static_cast<std::size_t>(worker)];
+            const ModuleId lo = static_cast<ModuleId>(chunk * kMatchChunk);
+            const ModuleId hi = std::min<ModuleId>(n, static_cast<ModuleId>(lo + kMatchChunk));
+            for (ModuleId v = lo; v < hi; ++v) {
+                if (mate[static_cast<std::size_t>(v)] != kInvalidModule || isExcluded(cfg, v)) {
+                    proposal[static_cast<std::size_t>(v)] = kInvalidModule;
+                    continue;
+                }
+                proposal[static_cast<std::size_t>(v)] =
+                    proposeFor(h, cfg, kind, seed, mate, v, conn, touched);
+            }
+        });
+        // Commit: mutual proposals match. Only the lower endpoint writes
+        // both mate slots, so writes never race and the outcome is the set
+        // of locally-maximal eligible pairs — order-independent.
+        pool.forChunks(chunks, [&](int, std::int64_t chunk) {
+            const ModuleId lo = static_cast<ModuleId>(chunk * kMatchChunk);
+            const ModuleId hi = std::min<ModuleId>(n, static_cast<ModuleId>(lo + kMatchChunk));
+            for (ModuleId v = lo; v < hi; ++v) {
+                const ModuleId w = proposal[static_cast<std::size_t>(v)];
+                if (w == kInvalidModule || w <= v) continue;
+                if (proposal[static_cast<std::size_t>(w)] != v) continue;
+                mate[static_cast<std::size_t>(v)] = w;
+                mate[static_cast<std::size_t>(w)] = v;
+            }
+        });
+        std::int64_t matched = 0;
+        for (ModuleId v = 0; v < n; ++v)
+            if (mate[static_cast<std::size_t>(v)] != kInvalidModule) ++matched;
+        if (matched == nMatch) break; // no eligible pair left
+        nMatch = matched;
+        // The seed advances per round so a pair rejected on a tie one
+        // round is not retried with the identical coin forever.
+        seed = seed * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15;
+    }
+
+    // Deterministic dense cluster ids: ascending sweep, pairs take the
+    // lower endpoint's slot, everything unmatched closes out singleton.
+    Clustering c;
+    c.clusterOf.assign(nSz, kInvalidModule);
+    ModuleId k = 0;
+    for (ModuleId v = 0; v < n; ++v) {
+        if (c.clusterOf[static_cast<std::size_t>(v)] != kInvalidModule) continue;
+        const ModuleId cluster = k++;
+        c.clusterOf[static_cast<std::size_t>(v)] = cluster;
+        const ModuleId w = mate[static_cast<std::size_t>(v)];
+        if (w != kInvalidModule) c.clusterOf[static_cast<std::size_t>(w)] = cluster;
+    }
+    c.numClusters = k;
+    return c;
 }
 
 } // namespace mlpart

@@ -14,7 +14,9 @@
 // ablation baselines.
 #pragma once
 
+#include <cstdint>
 #include <random>
+#include <vector>
 
 #include "coarsen/clustering.h"
 
@@ -55,5 +57,59 @@ enum class CoarsenerKind { kConnectivityMatch, kRandomMatch, kHeavyEdgeMatch };
 /// Dispatch helper.
 [[nodiscard]] Clustering runMatcher(CoarsenerKind kind, const Hypergraph& h, const MatchConfig& cfg,
                                     std::mt19937_64& rng);
+
+/// Pooled scratch for the deterministic parallel matcher. The per-worker
+/// rows (conn accumulator + touched list) are sized to the pool's thread
+/// count; everything else is per-module. Capacity only ever grows, so one
+/// warm V-cycle leaves matchParallel allocation-free (the same discipline
+/// as CoarsenWorkspace).
+struct MatchWorkspace {
+    std::vector<ModuleId> proposal;   ///< per module: proposed mate this round
+    std::vector<ModuleId> mate;       ///< per module: committed mate (kInvalidModule = none)
+    std::vector<std::vector<double>> conn;      ///< per worker: conn accumulator
+    std::vector<std::vector<ModuleId>> touched; ///< per worker: touched-neighbour set
+
+    void shrinkToFit() {
+        std::vector<ModuleId>().swap(proposal);
+        std::vector<ModuleId>().swap(mate);
+        std::vector<std::vector<double>>().swap(conn);
+        std::vector<std::vector<ModuleId>>().swap(touched);
+    }
+
+    [[nodiscard]] std::size_t capacityBytes() const {
+        std::size_t n = proposal.capacity() * sizeof(ModuleId) +
+                        mate.capacity() * sizeof(ModuleId) +
+                        conn.capacity() * sizeof(std::vector<double>) +
+                        touched.capacity() * sizeof(std::vector<ModuleId>);
+        for (const auto& row : conn) n += row.capacity() * sizeof(double);
+        for (const auto& row : touched) n += row.capacity() * sizeof(ModuleId);
+        return n;
+    }
+};
+
+} // namespace mlpart
+
+namespace mlpart::robust {
+class ThreadPool; // robust/thread_pool.h
+} // namespace mlpart::robust
+
+namespace mlpart {
+
+/// Deterministic round-based parallel matching (KaHyPar deterministic-mode
+/// style). Unlike the sequential matchers above — whose greedy visit order
+/// and per-candidate rng draws cannot be reproduced concurrently — this is
+/// a synchronous proposal algorithm: each round every unmatched module
+/// proposes its best eligible neighbour under the matcher's rating
+/// (connectivity, heavy-edge, or seeded-hash for kRandomMatch) with the
+/// fixed (rating, pair-hash, lower-id) tie-break, and mutual proposals
+/// match. Proposals are computed in parallel from state frozen at the
+/// round boundary and written to per-module slots, so the result is
+/// bit-identical for every thread count (including 1). Rounds stop at the
+/// matching ratio (checked per round, so the ratio is honoured at round
+/// granularity) or when a round matches nothing. Cluster ids are assigned
+/// by one ascending-module-id sweep — dense and deterministic.
+[[nodiscard]] Clustering matchParallel(CoarsenerKind kind, const Hypergraph& h,
+                                       const MatchConfig& cfg, std::uint64_t seed,
+                                       robust::ThreadPool& pool, MatchWorkspace& ws);
 
 } // namespace mlpart

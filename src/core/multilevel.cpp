@@ -8,6 +8,7 @@
 
 #include "coarsen/induce.h"
 #include "lsmc/lsmc.h"
+#include "refine/prop_refiner.h"
 #include "robust/checkpoint.h"
 #include "robust/fault_injector.h"
 
@@ -36,6 +37,10 @@ MultilevelPartitioner::MultilevelPartitioner(MLConfig cfg, RefinerFactory refine
     if (!cfg_.targetFractions.empty() &&
         cfg_.targetFractions.size() != static_cast<std::size_t>(cfg_.k))
         throw std::invalid_argument("MultilevelPartitioner: targetFractions size must equal k");
+    if (cfg_.vcycleThreads < 0 || cfg_.vcycleThreads > 512)
+        throw std::invalid_argument("MultilevelPartitioner: vcycleThreads must be in [0, 512]");
+    if (cfg_.prePassMinModules < 2)
+        throw std::invalid_argument("MultilevelPartitioner: prePassMinModules must be >= 2");
 }
 
 namespace {
@@ -120,6 +125,12 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
         warmBlocks = cfg_.matchGroups;
     }
 
+    // Parallel mode (vcycleThreads > 0): the deterministic synchronous
+    // algorithms on the workspace's persistent pool. The serial legacy
+    // path stays byte-identical when off (pool == nullptr everywhere).
+    robust::ThreadPool* pool =
+        cfg_.vcycleThreads > 0 ? &ws.ensurePool(cfg_.vcycleThreads) : nullptr;
+
     const Hypergraph* cur = &h0;
     int netLimit = cfg_.matchNetSizeLimit;
     // An expired budget stops coarsening: fewer levels just means less
@@ -137,7 +148,9 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
             for (std::size_t v = 0; v < pre.size(); ++v)
                 if (pre[v] != kInvalidPart) mc.excluded[v] = 1;
         }
-        Clustering c = runMatcher(cfg_.coarsener, *cur, mc, rng);
+        Clustering c = pool != nullptr
+                           ? matchParallel(cfg_.coarsener, *cur, mc, rng(), *pool, ws.match)
+                           : runMatcher(cfg_.coarsener, *cur, mc, rng);
         if (c.numClusters >= cur->numModules()) {
             // No pair matched — on very coarse netlists this usually means
             // every remaining net exceeds the matching net-size limit.
@@ -147,7 +160,7 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
             }
             break;
         }
-        coarse.push_back(induceInto(*cur, c, ws.coarsen));
+        coarse.push_back(induceInto(*cur, c, ws.coarsen, pool));
 
         // Thread the pre-assignment down: pre-assigned modules are singleton
         // clusters (excluded from matching), so the mapping is one-to-one.
@@ -281,6 +294,18 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
         // Refinement is optional work once the budget is gone; the project
         // and rebalance steps above are mandatory for a valid result.
         if (!deadline.expired()) {
+            // Parallel mode, large bipartition levels: the deterministic
+            // LP-style pre-pass harvests the easy gains concurrently, then
+            // hands off to the serial engine below (which keeps the final
+            // say at every level).
+            if (pool != nullptr && cfg_.k == 2 && hi.numModules() >= cfg_.prePassMinModules) {
+                const std::vector<char> fixed = fixedMask(i);
+                (void)parallelPrePass(hi, projected, bcI, fixed, *pool, ws.refine);
+#if MLPART_CHECK_INVARIANTS
+                check::enforce(check::verifyPartition(hi, projected),
+                               "MultilevelPartitioner::parallelPrePass");
+#endif
+            }
             auto refiner = factory_(hi, fixedMask(i));
             refiner->setDeadline(deadline);
             refiner->setWorkspace(&ws.refine);
@@ -367,6 +392,15 @@ std::uint64_t configFingerprint(const MLConfig& cfg) {
     for (const double d : cfg.targetFractions) f = hashDouble(f, d);
     f = hashCombine(f, static_cast<std::uint64_t>(cfg.matchGroups.size()));
     for (const PartId g : cfg.matchGroups) f = hashCombine(f, static_cast<std::uint64_t>(g));
+    // Parallel mode runs different (deterministic) algorithms, so it is a
+    // result-relevant config change — but the thread *count* is not: any
+    // vcycleThreads >= 1 produces identical results, and hashing the count
+    // would spuriously invalidate checkpoints between machines. Folding
+    // only when on also preserves every legacy fingerprint.
+    if (cfg.vcycleThreads > 0) {
+        f = hashCombine(f, 0x50415221ull /* "PAR!" */);
+        f = hashCombine(f, static_cast<std::uint64_t>(cfg.prePassMinModules));
+    }
     return f == 0 ? 1 : f;
 }
 

@@ -13,6 +13,7 @@
 // corresponding factory.
 #pragma once
 
+#include <memory>
 #include <random>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "refine/refiner.h"
 #include "refine/workspace.h"
 #include "robust/deadline.h"
+#include "robust/thread_pool.h"
 
 namespace mlpart {
 
@@ -32,21 +34,38 @@ namespace mlpart {
 struct MLWorkspace {
     CoarsenWorkspace coarsen;
     refine::Workspace refine;
+    MatchWorkspace match;
+
+    /// The workspace's persistent thread pool for the deterministic
+    /// parallel V-cycle (MLConfig::vcycleThreads > 0). Created on first
+    /// use and kept across runs so multi-start never re-spawns threads;
+    /// recreated only when the requested count changes.
+    [[nodiscard]] robust::ThreadPool& ensurePool(int threads) {
+        if (pool_ == nullptr || pool_->threads() != threads)
+            pool_ = std::make_unique<robust::ThreadPool>(threads);
+        return *pool_;
+    }
 
     /// Returns all pooled capacity to the allocator. A long-lived service
     /// calls this (via core/workspace_pool.h) between jobs of very
     /// different sizes so one huge instance does not pin its high-water
     /// footprint for the rest of the process lifetime (ROADMAP
-    /// "governor-aware workspace pools").
+    /// "governor-aware workspace pools"). Parked pool threads are released
+    /// too — they are part of the idle footprint.
     void shrinkToFit() {
         coarsen.shrinkToFit();
         refine.shrinkToFit();
+        match.shrinkToFit();
+        pool_.reset();
     }
 
     /// Bytes of heap capacity currently held by all pooled buffers.
     [[nodiscard]] std::size_t capacityBytes() const {
-        return coarsen.capacityBytes() + refine.capacityBytes();
+        return coarsen.capacityBytes() + refine.capacityBytes() + match.capacityBytes();
     }
+
+private:
+    std::unique_ptr<robust::ThreadPool> pool_;
 };
 
 /// Wall-clock seconds per V-cycle phase, accumulated over all cycles of a
@@ -109,6 +128,17 @@ struct MLConfig {
     /// the GMetis idea of inheriting clustering constraints from good
     /// solutions. Empty = unconstrained.
     std::vector<PartId> matchGroups;
+    /// Deterministic in-process parallelism for the V-cycle. 0 (default)
+    /// = the legacy serial algorithms, byte-identical to prior releases.
+    /// >= 1 switches to the synchronous parallel algorithms (round-based
+    /// matching, chunked coarsening, LP pre-pass) whose results are
+    /// bit-identical for EVERY value >= 1 — the thread count is an
+    /// execution resource, never an input (DESIGN.md §12).
+    int vcycleThreads = 0;
+    /// Parallel mode only, k = 2 only: levels with at least this many
+    /// modules get the deterministic LP-style refinement pre-pass before
+    /// serial FM; smaller levels go straight to FM.
+    ModuleId prePassMinModules = 4096;
 };
 
 /// Stable hash of every MLConfig field that influences results — the

@@ -443,8 +443,14 @@ Weight FMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::mt19
     moveCount_ = ws.moveCount.data();
     blocked_ = ws.blocked.data();
     const bool doubled = cfg_.variant == EngineVariant::kCLIP;
+    // Both sides' bucket lists bump-allocate from one arena: size it for
+    // both *before* binding either (a resize after the first bind would
+    // move the storage out from under it).
+    const std::size_t listSlots = GainBucketArray::listSlotsFor(h_.maxModuleGain(), doubled);
+    if (ws.bucketArena.size() < 2 * listSlots) ws.bucketArena.resize(2 * listSlots);
     for (int s = 0; s < 2; ++s) {
-        ws.bucket[s].reset(n, h_.maxModuleGain(), doubled, cfg_.policy);
+        ws.bucket[s].reset(n, h_.maxModuleGain(), doubled, cfg_.policy, ws.bucketArena,
+                           static_cast<std::size_t>(s) * listSlots);
         bucket_[s] = &ws.bucket[s];
     }
 #if MLPART_CHECK_INVARIANTS

@@ -26,10 +26,32 @@ void GainBucketArray::reset(ModuleId numModules, Weight maxGain, bool doubledRan
     if (numModules < 0) throw std::invalid_argument("GainBucketArray: negative module count");
     policy_ = policy;
     range_ = std::min(kMaxRange, std::max<Weight>(1, maxGain)) * (doubledRange ? 2 : 1);
-    const std::size_t nBuckets = static_cast<std::size_t>(2 * range_ + 1);
-    heads_.assign(nBuckets, kInvalidModule);
-    tails_.assign(nBuckets, kInvalidModule);
+    nBuckets_ = static_cast<std::size_t>(2 * range_ + 1);
+    ownedLists_.resize(2 * nBuckets_);
+    heads_ = ownedLists_.data();
+    tails_ = heads_ + nBuckets_;
+    initBound(numModules, policy);
+}
+
+void GainBucketArray::reset(ModuleId numModules, Weight maxGain, bool doubledRange,
+                            BucketPolicy policy, std::vector<ModuleId>& arena, std::size_t offset) {
+    if (numModules < 0) throw std::invalid_argument("GainBucketArray: negative module count");
+    policy_ = policy;
+    range_ = std::min(kMaxRange, std::max<Weight>(1, maxGain)) * (doubledRange ? 2 : 1);
+    nBuckets_ = static_cast<std::size_t>(2 * range_ + 1);
+    if (arena.size() < offset + 2 * nBuckets_)
+        throw std::invalid_argument("GainBucketArray: arena too small for bucket lists");
+    heads_ = arena.data() + offset;
+    tails_ = heads_ + nBuckets_;
+    initBound(numModules, policy);
+}
+
+void GainBucketArray::initBound(ModuleId numModules, BucketPolicy policy) {
+    policy_ = policy;
+    std::fill(heads_, heads_ + nBuckets_, kInvalidModule);
+    std::fill(tails_, tails_ + nBuckets_, kInvalidModule);
     nodes_.assign(static_cast<std::size_t>(numModules), Node{kInvalidModule, kInvalidModule, kNone});
+    gainOf_.assign(static_cast<std::size_t>(numModules), 0);
     maxIdx_ = -1;
     size_ = 0;
 }
@@ -69,8 +91,8 @@ void GainBucketArray::clipConcatenate() {
 }
 
 void GainBucketArray::clear() {
-    std::fill(heads_.begin(), heads_.end(), kInvalidModule);
-    std::fill(tails_.begin(), tails_.end(), kInvalidModule);
+    std::fill(heads_, heads_ + nBuckets_, kInvalidModule);
+    std::fill(tails_, tails_ + nBuckets_, kInvalidModule);
     for (Node& n : nodes_) n.bucket = kNone;
     maxIdx_ = -1;
     size_ = 0;
@@ -79,12 +101,15 @@ void GainBucketArray::clear() {
 bool GainBucketArray::checkInvariants() const {
     ModuleId total = 0;
     Weight maxSeen = -1;
-    for (std::size_t b = 0; b < heads_.size(); ++b) {
+    for (std::size_t b = 0; b < nBuckets_; ++b) {
         ModuleId count = 0;
         ModuleId prev = kInvalidModule;
         for (ModuleId v = heads_[b]; v != kInvalidModule; v = nodes_[static_cast<std::size_t>(v)].next) {
             if (nodes_[static_cast<std::size_t>(v)].bucket != static_cast<ModuleId>(b)) return false;
             if (nodes_[static_cast<std::size_t>(v)].prev != prev) return false;
+            // The flat gain array is the bucket index in gain space; any
+            // divergence means a link path forgot to mirror it.
+            if (gainOf_[static_cast<std::size_t>(v)] != static_cast<Weight>(b) - range_) return false;
             prev = v;
             ++count;
         }

@@ -11,6 +11,13 @@
 // clipConcatenate(): all buckets are concatenated in descending-gain order
 // into the zero bucket, after which gains evolve relatively (the index
 // range must be doubled, which the constructor's `doubledRange` does).
+//
+// Storage layout: gains are a flat per-module array (gainOf_), so the
+// engines' hot paths (applyMove's neighbour updates, buildBuckets) read
+// and write a dense Weight array instead of chasing the node's bucket
+// index — and the head/tail lists can be *bound* to a caller-owned arena
+// (refine::Workspace::bucketArena) so both sides' bucket structures for a
+// level come from one bump allocation instead of four vector grows.
 #pragma once
 
 #include <algorithm>
@@ -47,10 +54,27 @@ public:
     /// pooled workspace can hold bucket arrays by value.
     GainBucketArray() = default;
 
+    /// Head/tail slots this configuration needs: 2 * (2*range + 1). The
+    /// arena-binding reset() consumes exactly this many ModuleId slots.
+    [[nodiscard]] static std::size_t listSlotsFor(Weight maxGain, bool doubledRange) {
+        const Weight range =
+            std::min(kMaxRange, std::max<Weight>(1, maxGain)) * (doubledRange ? 2 : 1);
+        return 2 * static_cast<std::size_t>(2 * range + 1);
+    }
+
     /// Reinitializes to exactly the state the four-argument constructor
     /// produces, reusing existing capacity — the pooled equivalent of
-    /// constructing a fresh structure.
+    /// constructing a fresh structure. Head/tail lists live in owned
+    /// storage.
     void reset(ModuleId numModules, Weight maxGain, bool doubledRange, BucketPolicy policy);
+
+    /// Like reset(), but bump-allocates the head/tail lists from
+    /// `arena[offset ...]` instead of owned storage: the caller provides
+    /// listSlotsFor(maxGain, doubledRange) slots. The arena must be sized
+    /// for *all* structures bound to it before the first bind — a later
+    /// resize would move the storage out from under every bound array.
+    void reset(ModuleId numModules, Weight maxGain, bool doubledRange, BucketPolicy policy,
+               std::vector<ModuleId>& arena, std::size_t offset);
 
     // insert/remove/adjustGain are defined inline: they run once (or, for
     // adjustGain, several times) per FM move and the list splices are a
@@ -71,16 +95,14 @@ public:
     /// according to the policy). Gains are clamped to the index range.
     void adjustGain(ModuleId v, Weight delta) {
         if (!contains(v)) throw std::invalid_argument("GainBucketArray::adjustGain: module not present");
-        const Weight g = gain(v) + delta;
+        const Weight g = gainOf_[static_cast<std::size_t>(v)] + delta;
         unlink(v);
         insertAtIndex(v, std::clamp<Weight>(g, -range_, range_) + range_);
     }
 
     [[nodiscard]] bool contains(ModuleId v) const { return nodes_[static_cast<std::size_t>(v)].bucket != kNone; }
-    /// Current gain of present module `v`.
-    [[nodiscard]] Weight gain(ModuleId v) const {
-        return static_cast<Weight>(nodes_[static_cast<std::size_t>(v)].bucket) - range_;
-    }
+    /// Current (clamped) gain of present module `v` — one dense-array load.
+    [[nodiscard]] Weight gain(ModuleId v) const { return gainOf_[static_cast<std::size_t>(v)]; }
     [[nodiscard]] bool empty() const { return size_ == 0; }
     [[nodiscard]] ModuleId size() const { return size_; }
     [[nodiscard]] BucketPolicy policy() const { return policy_; }
@@ -145,12 +167,16 @@ public:
     /// Releases every owned buffer back to the allocator, leaving the
     /// default-constructed state. A pooled workspace calls this when a
     /// long-lived host wants high-water memory returned between jobs;
-    /// reset() rebuilds from scratch on next use.
+    /// reset() rebuilds from scratch on next use. Arena-bound list storage
+    /// belongs to the caller's arena and is simply unbound here.
     void shrinkToFit() {
-        std::vector<ModuleId>().swap(heads_);
-        std::vector<ModuleId>().swap(tails_);
+        std::vector<ModuleId>().swap(ownedLists_);
         std::vector<Node>().swap(nodes_);
+        std::vector<Weight>().swap(gainOf_);
         std::vector<ModuleId>().swap(clipOrder_);
+        heads_ = nullptr;
+        tails_ = nullptr;
+        nBuckets_ = 0;
         policy_ = BucketPolicy::kLifo;
         range_ = 0;
         maxIdx_ = -1;
@@ -158,13 +184,14 @@ public:
     }
 
     /// Bytes of heap capacity currently held (memory-governance telemetry).
+    /// Arena-bound list slots are counted by the arena's owner, not here.
     [[nodiscard]] std::size_t capacityBytes() const {
-        return heads_.capacity() * sizeof(ModuleId) + tails_.capacity() * sizeof(ModuleId) +
-               nodes_.capacity() * sizeof(Node) + clipOrder_.capacity() * sizeof(ModuleId);
+        return ownedLists_.capacity() * sizeof(ModuleId) + nodes_.capacity() * sizeof(Node) +
+               gainOf_.capacity() * sizeof(Weight) + clipOrder_.capacity() * sizeof(ModuleId);
     }
 
-    /// Internal consistency check for tests: list links, counts, and max
-    /// pointer all agree. O(n + buckets).
+    /// Internal consistency check for tests: list links, counts, flat
+    /// gains, and max pointer all agree. O(n + buckets).
     [[nodiscard]] bool checkInvariants() const;
 
 private:
@@ -177,6 +204,10 @@ private:
         ModuleId bucket; ///< bucket index or kNone
     };
 
+    /// Shared tail of both reset() overloads once heads_/tails_ point at
+    /// valid storage of nBuckets_ slots each.
+    void initBound(ModuleId numModules, BucketPolicy policy);
+
     void linkAtHead(ModuleId v, Weight idx) {
         const std::size_t b = static_cast<std::size_t>(idx);
         const ModuleId h = heads_[b];
@@ -184,6 +215,7 @@ private:
         nv.prev = kInvalidModule;
         nv.next = h;
         nv.bucket = static_cast<ModuleId>(idx);
+        gainOf_[static_cast<std::size_t>(v)] = idx - range_;
         if (h != kInvalidModule) nodes_[static_cast<std::size_t>(h)].prev = v;
         heads_[b] = v;
         if (tails_[b] == kInvalidModule) tails_[b] = v;
@@ -197,6 +229,7 @@ private:
         nv.next = kInvalidModule;
         nv.prev = t;
         nv.bucket = static_cast<ModuleId>(idx);
+        gainOf_[static_cast<std::size_t>(v)] = idx - range_;
         if (t != kInvalidModule) nodes_[static_cast<std::size_t>(t)].next = v;
         tails_[b] = v;
         if (heads_[b] == kInvalidModule) heads_[b] = v;
@@ -227,9 +260,12 @@ private:
 
     BucketPolicy policy_ = BucketPolicy::kLifo;
     Weight range_ = 0;            ///< gains live in [-range_, +range_]
-    std::vector<ModuleId> heads_; ///< per bucket index
-    std::vector<ModuleId> tails_;
+    ModuleId* heads_ = nullptr;   ///< nBuckets_ slots (owned or arena-bound)
+    ModuleId* tails_ = nullptr;   ///< nBuckets_ slots, directly after heads_
+    std::size_t nBuckets_ = 0;
+    std::vector<ModuleId> ownedLists_;  ///< backing store for the owned reset()
     std::vector<Node> nodes_;           ///< per module
+    std::vector<Weight> gainOf_;        ///< per module: clamped gain (flat array)
     std::vector<ModuleId> clipOrder_;   ///< clipConcatenate scratch (pooled)
     Weight maxIdx_ = -1;                ///< highest non-empty bucket index
     ModuleId size_ = 0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "refine/workspace.h"
+#include "robust/thread_pool.h"
+
 namespace mlpart {
 
 PropRefiner::PropRefiner(const Hypergraph& h, PropConfig cfg) : h_(h), cfg_(cfg) {
@@ -168,6 +171,111 @@ Weight PropRefiner::refine(Partition& part, const BalanceConstraint& bc, std::mt
         if (gain <= 0) break;
     }
     return cutWeight(h_, part);
+}
+
+namespace {
+
+/// Items (modules or nets) per chunk of the pre-pass parallel loops.
+/// Fixed: chunk boundaries depend only on the input size.
+constexpr std::int64_t kPrePassChunk = 2048;
+
+} // namespace
+
+Weight parallelPrePass(const Hypergraph& h, Partition& part, const BalanceConstraint& bc,
+                       const std::vector<char>& fixedMask, robust::ThreadPool& pool,
+                       refine::Workspace& ws, const PrePassConfig& cfg) {
+    if (part.numParts() != 2) throw std::invalid_argument("parallelPrePass: requires a bipartition");
+    if (!fixedMask.empty() && fixedMask.size() != static_cast<std::size_t>(h.numModules()))
+        throw std::invalid_argument("parallelPrePass: fixed mask size mismatch");
+    if (cfg.rounds < 1) throw std::invalid_argument("parallelPrePass: rounds must be >= 1");
+    if (cfg.maxNetSize < 2) throw std::invalid_argument("parallelPrePass: maxNetSize must be >= 2");
+
+    const ModuleId n = h.numModules();
+    const NetId m = h.numNets();
+    ws.activeNet.assign(static_cast<std::size_t>(m), 0);
+    ws.pc.assign(2 * static_cast<std::size_t>(m), 0);
+    // Pin-count init: each net's activeNet flag and [2e], [2e+1] slots are
+    // written only by the chunk that owns net e.
+    pool.forChunks(robust::ThreadPool::chunkCount(m, kPrePassChunk),
+                   [&](int, std::int64_t chunk) {
+                       const NetId lo = static_cast<NetId>(chunk * kPrePassChunk);
+                       const NetId hiN = std::min<NetId>(m, static_cast<NetId>(lo + kPrePassChunk));
+                       for (NetId e = lo; e < hiN; ++e) {
+                           if (h.netSize(e) > cfg.maxNetSize) continue;
+                           const std::size_t ei = static_cast<std::size_t>(e);
+                           ws.activeNet[ei] = 1;
+                           for (ModuleId v : h.pins(e))
+                               ws.pc[2 * ei + static_cast<std::size_t>(part.part(v))]++;
+                       }
+                   });
+
+    ws.gains.assign(static_cast<std::size_t>(n), 0);
+    Weight total = 0;
+    for (int round = 0; round < cfg.rounds; ++round) {
+        // Score: immediate FM gain of every free module, from pin counts
+        // and the assignment frozen at the round boundary. Writes only
+        // ws.gains[v] for owned v.
+        pool.forChunks(robust::ThreadPool::chunkCount(n, kPrePassChunk),
+                       [&](int, std::int64_t chunk) {
+                           const ModuleId lo = static_cast<ModuleId>(chunk * kPrePassChunk);
+                           const ModuleId hiM =
+                               std::min<ModuleId>(n, static_cast<ModuleId>(lo + kPrePassChunk));
+                           for (ModuleId v = lo; v < hiM; ++v) {
+                               if (!fixedMask.empty() && fixedMask[static_cast<std::size_t>(v)]) {
+                                   ws.gains[static_cast<std::size_t>(v)] = 0;
+                                   continue;
+                               }
+                               const std::size_t s = static_cast<std::size_t>(part.part(v));
+                               const std::size_t t = 1 - s;
+                               Weight g = 0;
+                               for (NetId e : h.nets(v)) {
+                                   const std::size_t ei = static_cast<std::size_t>(e);
+                                   if (!ws.activeNet[ei]) continue;
+                                   if (ws.pc[2 * ei + s] == 1) g += h.netWeight(e);
+                                   else if (ws.pc[2 * ei + t] == 0) g -= h.netWeight(e);
+                               }
+                               ws.gains[static_cast<std::size_t>(v)] = g;
+                           }
+                       });
+        // Apply: serial, fixed (gain desc, id asc) order. The frozen score
+        // is only a candidate filter — each move's delta is recomputed
+        // against the live counts, so earlier moves in the same round
+        // cannot turn an application into a cut regression.
+        ws.lazyInsert.clear();
+        for (ModuleId v = 0; v < n; ++v)
+            if (ws.gains[static_cast<std::size_t>(v)] > 0) ws.lazyInsert.push_back(v);
+        std::sort(ws.lazyInsert.begin(), ws.lazyInsert.end(), [&](ModuleId a, ModuleId b) {
+            const Weight ga = ws.gains[static_cast<std::size_t>(a)];
+            const Weight gb = ws.gains[static_cast<std::size_t>(b)];
+            return ga != gb ? ga > gb : a < b;
+        });
+        std::int64_t applied = 0;
+        for (ModuleId v : ws.lazyInsert) {
+            const std::size_t s = static_cast<std::size_t>(part.part(v));
+            const std::size_t t = 1 - s;
+            Weight g = 0;
+            for (NetId e : h.nets(v)) {
+                const std::size_t ei = static_cast<std::size_t>(e);
+                if (!ws.activeNet[ei]) continue;
+                if (ws.pc[2 * ei + s] == 1) g += h.netWeight(e);
+                else if (ws.pc[2 * ei + t] == 0) g -= h.netWeight(e);
+            }
+            if (g <= 0) continue;
+            if (!bc.allowsMove(part, h.area(v), static_cast<PartId>(s), static_cast<PartId>(t)))
+                continue;
+            for (NetId e : h.nets(v)) {
+                const std::size_t ei = static_cast<std::size_t>(e);
+                if (!ws.activeNet[ei]) continue;
+                ws.pc[2 * ei + s]--;
+                ws.pc[2 * ei + t]++;
+            }
+            part.move(h, v, static_cast<PartId>(t));
+            total += g;
+            ++applied;
+        }
+        if (applied == 0) break;
+    }
+    return total;
 }
 
 } // namespace mlpart

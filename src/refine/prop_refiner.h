@@ -23,6 +23,14 @@
 
 #include "refine/refiner.h"
 
+namespace mlpart::refine {
+struct Workspace; // refine/workspace.h
+} // namespace mlpart::refine
+
+namespace mlpart::robust {
+class ThreadPool; // robust/thread_pool.h
+} // namespace mlpart::robust
+
 namespace mlpart {
 
 struct PropConfig {
@@ -75,5 +83,29 @@ private:
     Weight curActiveCut_ = 0;
     int lastPassCount_ = 0;
 };
+
+/// Tuning for parallelPrePass(). The round count is fixed (not
+/// convergence-timed) so the pass's move sequence depends only on the
+/// input, never on scheduling.
+struct PrePassConfig {
+    int rounds = 4;        ///< synchronous score/apply rounds
+    int maxNetSize = 200;  ///< nets larger than this are ignored
+};
+
+/// Deterministic label-propagation-style parallel refinement pre-pass for
+/// the coarse levels of the parallel V-cycle (bipartitions only). Each
+/// round scores every free module's immediate FM gain *in parallel* from
+/// pin counts frozen at the round boundary (chunk-confined writes into
+/// ws.gains), then applies the positive-gain candidates *serially* in
+/// (gain desc, id asc) order, recomputing each move's live delta and
+/// honouring `bc` — so the result is bit-identical for every thread
+/// count. It is a cheap cut reducer on levels too large for serial FM to
+/// start from scratch; FM still runs afterwards and keeps the final say.
+/// Returns the total cut reduction achieved.
+[[nodiscard]] Weight parallelPrePass(const Hypergraph& h, Partition& part,
+                                     const BalanceConstraint& bc,
+                                     const std::vector<char>& fixedMask,
+                                     robust::ThreadPool& pool, refine::Workspace& ws,
+                                     const PrePassConfig& cfg = {});
 
 } // namespace mlpart

@@ -67,6 +67,11 @@ struct Workspace {
     std::vector<FMMove> moves;
     std::vector<ModuleId> lazyInsert;
     GainBucketArray bucket[2];
+    /// Backing store for both sides' bucket head/tail lists: FMRefiner
+    /// sizes it once per level, then bump-binds bucket[0] and bucket[1]
+    /// at disjoint offsets — one allocation (amortized zero when warm)
+    /// instead of four per level.
+    std::vector<ModuleId> bucketArena;
 
     // --- k-way FM (KWayFMRefiner) --- kept separate from the 2-way pools
     // so a driver that alternates engine kinds does not thrash either set.
@@ -99,6 +104,7 @@ struct Workspace {
         releaseVector(lazyInsert);
         bucket[0].shrinkToFit();
         bucket[1].shrinkToFit();
+        releaseVector(bucketArena);
         releaseVector(kActiveNet);
         releaseVector(kCounts);
         releaseVector(kLockedCounts);
@@ -120,6 +126,7 @@ struct Workspace {
                         vectorCapacityBytes(gains) + vectorCapacityBytes(dirty) +
                         vectorCapacityBytes(moves) + vectorCapacityBytes(lazyInsert) +
                         bucket[0].capacityBytes() + bucket[1].capacityBytes() +
+                        vectorCapacityBytes(bucketArena) +
                         vectorCapacityBytes(kActiveNet) + vectorCapacityBytes(kCounts) +
                         vectorCapacityBytes(kLockedCounts) + vectorCapacityBytes(kSpan) +
                         vectorCapacityBytes(kLocked) + vectorCapacityBytes(kRealGain) +

@@ -1,0 +1,112 @@
+#include "robust/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace mlpart::robust {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+    if (threads < 1 || threads > 512)
+        throw std::invalid_argument("ThreadPool: threads must be in [1, 512]");
+    workers_.reserve(static_cast<std::size_t>(threads - 1));
+    for (int w = 1; w < threads; ++w) workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::workerLoop(int worker) {
+    std::uint64_t seen = 0;
+    while (true) {
+        Task task;
+        void* ctx;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_) return;
+            seen = generation_;
+            task = task_;
+            ctx = ctx_;
+        }
+        try {
+            task(ctx, worker);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!firstError_) firstError_ = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--running_ == 0) done_.notify_one();
+    }
+}
+
+void ThreadPool::runOnWorkers(Task task, void* ctx) {
+    if (threads_ == 1) {
+        task(ctx, 0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        task_ = task;
+        ctx_ = ctx;
+        firstError_ = nullptr;
+        running_ = threads_ - 1;
+        ++generation_;
+    }
+    wake_.notify_all();
+    std::exception_ptr callerError;
+    try {
+        task(ctx, 0);
+    } catch (...) {
+        callerError = std::current_exception();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&] { return running_ == 0; });
+    if (callerError) std::rethrow_exception(callerError);
+    if (firstError_) {
+        std::exception_ptr e = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+namespace {
+
+/// Shared state of one forChunks() dispatch; lives on the caller's stack.
+struct ChunkJob {
+    std::atomic<std::int64_t> cursor{0};
+    std::int64_t count = 0;
+    ThreadPool::ChunkFn fn = nullptr;
+    void* ctx = nullptr;
+};
+
+} // namespace
+
+void ThreadPool::forChunks(std::int64_t numChunks, ChunkFn fn, void* ctx) {
+    if (numChunks <= 0) return;
+    if (threads_ == 1) {
+        for (std::int64_t c = 0; c < numChunks; ++c) fn(ctx, 0, c);
+        return;
+    }
+    ChunkJob job;
+    job.count = numChunks;
+    job.fn = fn;
+    job.ctx = ctx;
+    runOnWorkers(
+        [](void* raw, int worker) {
+            ChunkJob& j = *static_cast<ChunkJob*>(raw);
+            while (true) {
+                const std::int64_t c = j.cursor.fetch_add(1, std::memory_order_relaxed);
+                if (c >= j.count) return;
+                j.fn(j.ctx, worker, c);
+            }
+        },
+        &job);
+}
+
+} // namespace mlpart::robust

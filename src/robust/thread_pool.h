@@ -1,0 +1,97 @@
+// Persistent worker pool for the deterministic parallel V-cycle.
+//
+// Design rules (DESIGN.md §12):
+//  - Thread count is an execution resource, never an input: every parallel
+//    construct built on this pool must produce bit-identical results for
+//    any thread count, including 1. The pool enforces the enabling half of
+//    that contract — work decomposition (chunk count, chunk boundaries) is
+//    chosen by the caller from the *input size only*, and chunks write to
+//    disjoint, chunk-indexed output slots; which worker executes a chunk
+//    is then unobservable.
+//  - No allocation per dispatch: workers are spawned once at construction
+//    and parked on a condition variable; a dispatch stores a plain
+//    function pointer + context pointer and bumps a generation counter.
+//    Lambdas passed to the template helpers live on the caller's stack.
+//    This keeps the warm V-cycle allocation-free (tests/parallel_vcycle
+//    counts operator new around whole parallel runs).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlpart::robust {
+
+/// Fixed-size pool of `threads - 1` parked workers; the calling thread
+/// participates as worker 0, so `threads == 1` spawns nothing and every
+/// "parallel" construct degenerates to a plain serial loop.
+class ThreadPool {
+public:
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] int threads() const { return threads_; }
+
+    /// Runs `task(ctx, worker)` once per worker index in [0, threads),
+    /// concurrently; worker 0 is the calling thread. Returns after all
+    /// workers finish (a full barrier). Exceptions thrown by `task` on any
+    /// worker are rethrown on the caller (first one wins).
+    using Task = void (*)(void* ctx, int worker);
+    void runOnWorkers(Task task, void* ctx);
+
+    /// Template sugar: f(int worker). The callable lives on the caller's
+    /// stack — no allocation.
+    template <typename F>
+    void runOnWorkers(F&& f) {
+        runOnWorkers([](void* ctx, int worker) { (*static_cast<F*>(ctx))(worker); },
+                     static_cast<void*>(&f));
+    }
+
+    /// Deterministic parallel-for: runs `fn(ctx, worker, chunk)` for every
+    /// chunk in [0, numChunks). Chunks are claimed dynamically (shared
+    /// cursor), so `fn` MUST confine its writes to chunk-indexed state
+    /// (plus worker-indexed scratch); under that contract the result is
+    /// independent of the thread count and of the claim order.
+    using ChunkFn = void (*)(void* ctx, int worker, std::int64_t chunk);
+    void forChunks(std::int64_t numChunks, ChunkFn fn, void* ctx);
+
+    template <typename F>
+    void forChunks(std::int64_t numChunks, F&& f) {
+        forChunks(numChunks,
+                  [](void* ctx, int worker, std::int64_t chunk) {
+                      (*static_cast<F*>(ctx))(worker, chunk);
+                  },
+                  static_cast<void*>(&f));
+    }
+
+    /// Canonical chunk decomposition: ceil(items / chunkSize) chunks of
+    /// `chunkSize` items each (last one ragged). Both numbers depend only
+    /// on the input size, never on threads() — the determinism contract.
+    [[nodiscard]] static std::int64_t chunkCount(std::int64_t items, std::int64_t chunkSize) {
+        return items <= 0 ? 0 : (items + chunkSize - 1) / chunkSize;
+    }
+
+private:
+    void workerLoop(int worker);
+    void dispatch(Task task, void* ctx);
+
+    const int threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::uint64_t generation_ = 0;
+    int running_ = 0;
+    bool stop_ = false;
+    Task task_ = nullptr;
+    void* ctx_ = nullptr;
+    std::exception_ptr firstError_;
+};
+
+} // namespace mlpart::robust

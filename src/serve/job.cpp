@@ -28,6 +28,7 @@ JobRequest parseJobRequest(const std::string& line) {
         "op",       "id",      "instance", "hgr",     "k",        "tolerance",
         "ratio",    "engine",  "runs",     "threads", "seed",     "deadline",
         "priority", "checkpoint", "resume", "out",    "fault",    "fault_attempts",
+        "vcycle_threads",
     };
     for (const auto& [key, value] : o)
         if (kKnown.count(key) == 0) badRequest("unknown field \"" + key + "\"");
@@ -53,6 +54,7 @@ JobRequest parseJobRequest(const std::string& line) {
     r.engine = getString(o, "engine", "clip");
     r.runs = static_cast<std::int32_t>(getInt(o, "runs", 4));
     r.threads = static_cast<std::int32_t>(getInt(o, "threads", 1));
+    r.vcycleThreads = static_cast<std::int32_t>(getInt(o, "vcycle_threads", 0));
     r.seed = static_cast<std::uint64_t>(getInt(o, "seed", 1));
     r.deadlineSeconds = getNumber(o, "deadline", 0.0);
     r.priority = static_cast<std::int32_t>(getInt(o, "priority", 0));
@@ -65,6 +67,8 @@ JobRequest parseJobRequest(const std::string& line) {
     if (r.k < 2) badRequest("k must be >= 2");
     if (r.runs < 1) badRequest("runs must be >= 1");
     if (r.threads < 1) badRequest("threads must be >= 1");
+    if (r.vcycleThreads < 0 || r.vcycleThreads > 512)
+        badRequest("vcycle_threads must be in [0, 512]");
     if (r.tolerance < 0 || r.tolerance >= 1) badRequest("tolerance must be in [0, 1)");
     if (r.matchingRatio <= 0 || r.matchingRatio > 1) badRequest("ratio must be in (0, 1]");
     if (r.deadlineSeconds < 0) badRequest("deadline must be >= 0");

@@ -37,6 +37,10 @@ struct JobRequest {
     std::string engine = "clip"; ///< "fm" | "clip"
     std::int32_t runs = 4;
     std::int32_t threads = 1;    ///< worker-internal multi-start threads
+    /// Deterministic parallel V-cycle threads per start (MLConfig::
+    /// vcycleThreads): 0 = legacy serial path, >= 1 bit-identical for
+    /// every value.
+    std::int32_t vcycleThreads = 0;
     std::uint64_t seed = 1;
     double deadlineSeconds = 0;  ///< per-attempt budget; 0 = service default
     std::int32_t priority = 0;   ///< higher = more urgent (shed order)

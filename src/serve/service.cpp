@@ -39,33 +39,62 @@ bool parseHgrHeader(const std::string& text, std::int64_t& nets, std::int64_t& m
     return false;
 }
 
+/// .netD/.net header: "magic numPins numNets numModules padOffset" — five
+/// whitespace-separated integers, possibly spread over several lines. The
+/// header declares pins exactly, so the admission estimate needs no
+/// byte-count heuristic for this format.
+bool parseNetDHeader(const std::string& text, std::int64_t& pins, std::int64_t& nets,
+                     std::int64_t& modules) {
+    std::istringstream in(text);
+    std::int64_t magic = 0, padOffset = 0;
+    return static_cast<bool>(in >> magic >> pins >> nets >> modules >> padOffset) &&
+           pins >= 0 && nets >= 0 && modules > 0;
+}
+
 } // namespace
 
 std::uint64_t Service::estimateJobBytes(const JobRequest& req) {
     std::int64_t nets = 0;
     std::int64_t modules = 0;
+    std::int64_t pins = -1; // < 0: derive from the byte-size heuristic below
     std::uint64_t bytes = 0;
     if (!req.inlineHgr.empty()) {
         bytes = req.inlineHgr.size();
         if (!parseHgrHeader(req.inlineHgr, nets, modules)) return 0;
     } else {
         const std::filesystem::path p(req.instance);
-        if (p.extension() != ".hgr") return 0; // other formats: admit, worker classifies
+        const std::string ext = p.extension().string();
         std::error_code ec;
         const auto size = std::filesystem::file_size(p, ec);
         if (ec) return 0; // missing file: the worker reports the real error
         bytes = size;
-        std::ifstream in(req.instance);
-        if (!in) return 0;
-        std::string head(4096, '\0');
-        in.read(head.data(), static_cast<std::streamsize>(head.size()));
-        head.resize(static_cast<std::size_t>(in.gcount()));
-        if (!parseHgrHeader(head, nets, modules)) return 0;
+        if (ext == ".hgr" || ext == ".net" || ext == ".netD" || ext == ".netd") {
+            std::ifstream in(req.instance);
+            if (!in) return 0;
+            std::string head(4096, '\0');
+            in.read(head.data(), static_cast<std::streamsize>(head.size()));
+            head.resize(static_cast<std::size_t>(in.gcount()));
+            if (ext == ".hgr") {
+                if (!parseHgrHeader(head, nets, modules)) return 0;
+            } else {
+                if (!parseNetDHeader(head, pins, nets, modules)) return 0;
+            }
+        } else if (ext == ".bench") {
+            // No counted header: one gate line averages a few dozen bytes
+            // (name, type, fanin list), so size-based estimates are the
+            // best a pre-parse admission check can do. Huge .bench files
+            // must still hit the governor before a worker loads them.
+            modules = std::max<std::int64_t>(1, static_cast<std::int64_t>(bytes / 24));
+            nets = modules;
+        } else {
+            return 0; // unknown format: admit, the worker classifies it
+        }
     }
-    // Pins are not in the header; an .hgr pin token averages a handful of
-    // bytes, so bytes/6 is a serviceable order-of-magnitude stand-in.
-    const std::int64_t pins =
-        std::max<std::int64_t>(2 * nets, static_cast<std::int64_t>(bytes / 6));
+    // Pins are not in the .hgr/.bench headers; a pin token averages a
+    // handful of bytes, so bytes/6 is a serviceable order-of-magnitude
+    // stand-in. .netD declares pins exactly.
+    if (pins < 0)
+        pins = std::max<std::int64_t>(2 * nets, static_cast<std::int64_t>(bytes / 6));
     const std::uint64_t perStart =
         robust::MemoryGovernor::estimateStartBytes(modules, nets, pins, req.k);
     const int concurrent = std::max(1, std::min(req.threads, req.runs));

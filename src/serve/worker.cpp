@@ -74,6 +74,7 @@ JobOutcome executeJob(const JobRequest& req, const std::atomic<bool>* cancel) {
         cfg.tolerance = req.tolerance;
         cfg.matchingRatio = req.matchingRatio;
         if (k > 2) cfg.coarseningThreshold = 100;
+        cfg.vcycleThreads = req.vcycleThreads;
 
         RefinerFactory factory;
         if (k == 2) {

@@ -290,6 +290,105 @@ TEST(GainBucket, ClipConcatenateOnDoubledRangeKeepsEveryModule) {
     EXPECT_EQ(seen, 8);
 }
 
+// The arena-bound binding (FMRefiner bump-allocates both sides' bucket
+// heads/tails from one refine::Workspace arena) must be observationally
+// identical to the owning form: drive both with the same random op stream
+// and diff every observable after every step.
+TEST_P(GainBucketPolicyTest, ArenaBoundMatchesOwnedUnderRandomOps) {
+    constexpr ModuleId kModules = 32;
+    constexpr Weight kMaxGain = 5;
+    for (const bool doubled : {false, true}) {
+        SCOPED_TRACE(doubled ? "doubled" : "plain");
+        GainBucketArray owned(kModules, kMaxGain, doubled, GetParam());
+
+        const std::size_t slots = GainBucketArray::listSlotsFor(kMaxGain, doubled);
+        // Bind at a nonzero offset, as the refiner does for side 1.
+        std::vector<ModuleId> arena(2 * slots, ModuleId{0});
+        GainBucketArray bound;
+        bound.reset(kModules, kMaxGain, doubled, GetParam(), arena, slots);
+
+        std::mt19937_64 rng(1234 + (doubled ? 1 : 0));
+        for (int step = 0; step < 3000; ++step) {
+            const ModuleId v = static_cast<ModuleId>(rng() % kModules);
+            switch (rng() % 6) {
+                case 0:
+                case 1: {
+                    if (owned.contains(v)) break;
+                    const Weight g = static_cast<Weight>(rng() % (4 * kMaxGain + 1)) - 2 * kMaxGain;
+                    owned.insert(v, g);
+                    bound.insert(v, g);
+                    break;
+                }
+                case 2: {
+                    if (!owned.contains(v)) break;
+                    owned.remove(v);
+                    bound.remove(v);
+                    break;
+                }
+                case 3:
+                case 4: {
+                    if (!owned.contains(v)) break;
+                    const Weight d = static_cast<Weight>(rng() % 7) - 3;
+                    owned.adjustGain(v, d);
+                    bound.adjustGain(v, d);
+                    break;
+                }
+                default: {
+                    if (rng() % 16 == 0) {
+                        owned.clipConcatenate();
+                        bound.clipConcatenate();
+                    }
+                    break;
+                }
+            }
+            ASSERT_EQ(bound.size(), owned.size()) << "step " << step;
+            ASSERT_EQ(bound.maxGain(), owned.maxGain()) << "step " << step;
+            ASSERT_TRUE(bound.checkInvariants()) << "step " << step;
+        }
+        for (ModuleId v = 0; v < kModules; ++v) {
+            ASSERT_EQ(bound.contains(v), owned.contains(v)) << "module " << v;
+            if (owned.contains(v)) ASSERT_EQ(bound.gain(v), owned.gain(v)) << "module " << v;
+        }
+        // Selection walks the bound lists identically (deterministic for
+        // LIFO/FIFO; the random policy draws from the same rng state).
+        std::mt19937_64 selA(7), selB(7);
+        auto all = [](ModuleId) { return true; };
+        for (int i = 0; i < 10 && !owned.empty(); ++i) {
+            const ModuleId a = owned.selectBest(all, selA);
+            const ModuleId b = bound.selectBest(all, selB);
+            ASSERT_EQ(b, a);
+            owned.remove(a);
+            bound.remove(b);
+        }
+    }
+}
+
+TEST(GainBucket, ArenaRebindReusesCapacityAcrossSizes) {
+    // The refiner re-binds every level: same arena, different module
+    // counts and gain ranges. State must fully reset on each bind.
+    std::vector<ModuleId> arena;
+    GainBucketArray b;
+    for (const Weight maxGain : {3, 7, 2}) {
+        const std::size_t slots = GainBucketArray::listSlotsFor(maxGain, false);
+        if (arena.size() < slots) arena.resize(slots);
+        b.reset(10, maxGain, false, BucketPolicy::kLifo, arena, 0);
+        EXPECT_TRUE(b.empty());
+        b.insert(4, maxGain);
+        EXPECT_EQ(b.gain(4), std::min(maxGain, b.maxRepresentableGain()));
+        EXPECT_TRUE(b.checkInvariants());
+    }
+}
+
+TEST(GainBucket, ArenaTooSmallThrows) {
+    std::vector<ModuleId> arena(4);
+    GainBucketArray b;
+    EXPECT_THROW(b.reset(8, 10, true, BucketPolicy::kLifo, arena, 0), std::invalid_argument);
+    // Large enough arena but an offset that pushes past the end:
+    const std::size_t slots = GainBucketArray::listSlotsFor(3, false);
+    arena.assign(slots, ModuleId{0});
+    EXPECT_THROW(b.reset(8, 3, false, BucketPolicy::kLifo, arena, 1), std::invalid_argument);
+}
+
 TEST(GainBucket, ClearEmptiesEverything) {
     GainBucketArray b(4, 3, false, BucketPolicy::kFifo);
     b.insert(0, 1);

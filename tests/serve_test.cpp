@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
@@ -121,6 +123,13 @@ TEST(ServeJob, ParsesRequestWithDefaults) {
     EXPECT_EQ(r.runs, 2);
     EXPECT_EQ(r.engine, "clip");
     EXPECT_EQ(r.priority, 0);
+    EXPECT_EQ(r.vcycleThreads, 0); // parallel V-cycle is opt-in per job
+}
+
+TEST(ServeJob, ParsesAndValidatesVcycleThreads) {
+    EXPECT_EQ(parseJobRequest(tinyJob("v", "\"vcycle_threads\":4")).vcycleThreads, 4);
+    EXPECT_THROW((void)parseJobRequest(tinyJob("v", "\"vcycle_threads\":-1")), Error);
+    EXPECT_THROW((void)parseJobRequest(tinyJob("v", "\"vcycle_threads\":513")), Error);
 }
 
 TEST(ServeJob, RejectsBadRequests) {
@@ -391,6 +400,53 @@ TEST(ServeService, AdmissionRejectsJobsThatCannotFitTheMemoryBudget) {
     governor.setLimitBytes(savedLimit); // the governor is process-global
     EXPECT_NE(cap.lineFor("toobig").find("\"status\":\"RESOURCE_EXHAUSTED\""),
               std::string::npos);
+}
+
+// Admission control must see through every on-disk format, not just .hgr:
+// a .netD header declares its counts exactly, and a huge .bench file's
+// size bounds it from below. Before the format-aware estimate, such jobs
+// sailed past admission (estimate 0) and only failed inside a worker that
+// had already swallowed the memory.
+TEST(ServeService, AdmissionEstimatesNetDAndBenchInstances) {
+    const std::string netd = ::testing::TempDir() + "serve_admission_huge.netD";
+    {
+        std::ofstream out(netd);
+        // magic numPins numNets numModules padOffset — a billion-pin design.
+        out << "0 1000000000 400000000 400000000 0\na1 s\n";
+    }
+    JobRequest netdReq = tinyRequest("netd");
+    netdReq.inlineHgr.clear();
+    netdReq.instance = netd;
+    EXPECT_GT(Service::estimateJobBytes(netdReq), std::uint64_t{1} << 33);
+
+    const std::string bench = ::testing::TempDir() + "serve_admission.bench";
+    {
+        std::ofstream out(bench);
+        for (int i = 0; i < 64; ++i) out << "G" << i << " = NAND(G" << i + 1 << ", G" << i + 2 << ")\n";
+    }
+    JobRequest benchReq = tinyRequest("bench");
+    benchReq.inlineHgr.clear();
+    benchReq.instance = bench;
+    EXPECT_GT(Service::estimateJobBytes(benchReq), 0u);
+
+    // End to end: the declared-huge .netD must be rejected at admission —
+    // no worker fork, just the one-line RESOURCE_EXHAUSTED response.
+    auto& governor = robust::MemoryGovernor::instance();
+    const std::uint64_t savedLimit = governor.limitBytes();
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.memLimitBytes = 16u << 20; // plenty for the service, never a billion pins
+    {
+        Service service(cfg, cap.sink());
+        service.handleLine("{\"op\":\"partition\",\"id\":\"huge\",\"instance\":\"" + netd +
+                           "\"}");
+        service.stop();
+    }
+    governor.setLimitBytes(savedLimit);
+    EXPECT_NE(cap.lineFor("huge").find("\"status\":\"RESOURCE_EXHAUSTED\""),
+              std::string::npos);
+    std::remove(netd.c_str());
+    std::remove(bench.c_str());
 }
 
 TEST(ServeService, DrainRejectsQueuedFinishesInFlightAndBoundsHungWorkers) {

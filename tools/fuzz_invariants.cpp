@@ -21,8 +21,14 @@
 // child left behind (possibly none) and asserts the final result is
 // bit-identical to the oracle.
 //
+// With --parallel, each iteration instead runs the thread-determinism
+// differential: one random multilevel configuration in deterministic
+// parallel mode, executed at vcycleThreads=1 (the oracle) and at a random
+// thread count in [2, 8]; the cut AND the full per-module assignment must
+// be bit-identical, or the run fails.
+//
 // Usage: fuzz_invariants [--iterations N] [--seed S] [--modules M]
-//                        [--inject] [--checkpoint] [--verbose]
+//                        [--inject] [--checkpoint] [--parallel] [--verbose]
 
 #include <algorithm>
 #include <cstdint>
@@ -66,13 +72,14 @@ struct Options {
     ModuleId modules = 220; ///< upper bound on instance size
     bool inject = false;    ///< randomly arm the fault injector per iteration
     bool checkpoint = false; ///< kill-point / resume equivalence protocol
+    bool parallel = false;   ///< thread-determinism differential mode
     bool verbose = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--iterations N] [--seed S] [--modules M] [--inject] "
-                 "[--checkpoint] [--verbose]\n",
+                 "[--checkpoint] [--parallel] [--verbose]\n",
                  argv0);
     std::exit(2);
 }
@@ -90,6 +97,7 @@ Options parseArgs(int argc, char** argv) {
         else if (a == "--modules") opt.modules = std::atoi(value());
         else if (a == "--inject") opt.inject = true;
         else if (a == "--checkpoint") opt.checkpoint = true;
+        else if (a == "--parallel") opt.parallel = true;
         else if (a == "--verbose") opt.verbose = true;
         else usage(argv[0]);
     }
@@ -244,6 +252,56 @@ void fuzzCoarsenDifferential(const Hypergraph& h0, std::mt19937_64& rng) {
     }
 }
 
+/// Thread-determinism differential: the same deterministic-parallel
+/// configuration and seed at vcycleThreads=1 (oracle) and at a random
+/// thread count must produce bit-identical partitions. Exits 1 on any
+/// divergence — determinism is a hard bar, not a statistic.
+void fuzzParallelDifferential(const Hypergraph& h, std::mt19937_64& rng, const Options& opt,
+                              int it) {
+    MLConfig cfg;
+    cfg.k = 2;
+    const double ratios[] = {1.0, 0.5, 0.33};
+    cfg.matchingRatio = ratios[rng() % 3];
+    const CoarsenerKind kinds[] = {CoarsenerKind::kConnectivityMatch,
+                                   CoarsenerKind::kRandomMatch,
+                                   CoarsenerKind::kHeavyEdgeMatch};
+    cfg.coarsener = kinds[rng() % 3];
+    cfg.vCycles = 1 + static_cast<int>(rng() % 2);
+    cfg.coarsestStarts = 1 + static_cast<int>(rng() % 2);
+    // Tiny threshold so the pre-pass actually runs on fuzz-sized circuits.
+    cfg.prePassMinModules = 64;
+    const FMConfig fm = randomFMConfig(rng);
+    const std::uint64_t runSeed = rng();
+    const int threads = 2 + static_cast<int>(rng() % 7); // [2, 8]
+
+    cfg.vcycleThreads = 1;
+    MultilevelPartitioner oracleMl(cfg, makeFMFactory(fm));
+    std::mt19937_64 rng1(runSeed);
+    const MLResult oracle = oracleMl.run(h, rng1);
+
+    cfg.vcycleThreads = threads;
+    MultilevelPartitioner parMl(cfg, makeFMFactory(fm));
+    std::mt19937_64 rngT(runSeed);
+    const MLResult got = parMl.run(h, rngT);
+
+    if (opt.verbose)
+        std::fprintf(stderr, "iter %d: threads=%d cut %lld (oracle %lld)\n", it, threads,
+                     static_cast<long long>(got.cut), static_cast<long long>(oracle.cut));
+    const auto ga = got.partition.assignment();
+    const auto oa = oracle.partition.assignment();
+    if (got.cut != oracle.cut || got.levels != oracle.levels ||
+        !std::equal(ga.begin(), ga.end(), oa.begin(), oa.end())) {
+        std::fprintf(stderr,
+                     "fuzz_invariants: iter %d: vcycleThreads=%d diverged from the "
+                     "single-thread oracle (cut %lld/%d levels vs %lld/%d levels)\n",
+                     it, threads, static_cast<long long>(got.cut), got.levels,
+                     static_cast<long long>(oracle.cut), oracle.levels);
+        std::exit(1);
+    }
+    const auto bc = BalanceConstraint::forRefinement(h, cfg.k, cfg.tolerance);
+    verifyResult(h, got.partition, bc, got.cut, "fuzz parallel differential");
+}
+
 #if !defined(_WIN32)
 /// Crash-equivalence protocol: oracle run, SIGKILLed checkpointed child,
 /// resume, bit-identical comparison. Exits 1 on any divergence.
@@ -325,6 +383,17 @@ int main(int argc, char** argv) {
     injector.armFromEnv(); // environment spec wins until the first --inject re-arm
     std::mt19937_64 rng(opt.seed);
     int faulted = 0;
+    if (opt.parallel) {
+        for (int it = 0; it < opt.iterations; ++it) {
+            std::string label;
+            const Hypergraph h = makeCircuit(opt.modules, rng, label);
+            if (opt.verbose) std::fprintf(stderr, "iter %d: %s mode=parallel\n", it, label.c_str());
+            fuzzParallelDifferential(h, rng, opt, it);
+        }
+        std::printf("fuzz_invariants: %d parallel iterations deterministic (seed %llu)\n",
+                    opt.iterations, static_cast<unsigned long long>(opt.seed));
+        return 0;
+    }
     if (opt.checkpoint) {
 #if defined(_WIN32)
         std::fprintf(stderr, "fuzz_invariants: --checkpoint needs fork(); not supported here\n");

@@ -19,6 +19,14 @@
 //     --threads T     worker threads (default 1; runs are distributed
 //                     round-robin, per-run seeds — and thus cuts — do not
 //                     depend on T)
+//     --vcycle-threads T  deterministic intra-V-cycle parallelism (default
+//                     0 = legacy serial algorithms; cuts are identical for
+//                     every T >= 1)
+//     --vcycle-sweep "1,2,4"  additionally re-run every instance with each
+//                     listed --vcycle-threads value, emitting extra rows
+//                     named <instance>@vtT. Sweep rows never exist in the
+//                     baseline, so the regression gate still judges only
+//                     the primary rows.
 //     --engine E      fm | clip (default clip)
 //     --scale X       synthetic-instance scale in (0,1] (default 1)
 //     -o FILE         output JSON (default BENCH_ML.json)
@@ -94,6 +102,8 @@ struct Options {
     int runs = 3;
     std::uint64_t seed = 1;
     int threads = 1;
+    int vcycleThreads = 0;
+    std::vector<int> vcycleSweep;
     std::string engine = "clip";
     double scale = 1.0;
     std::string out = "BENCH_ML.json";
@@ -105,7 +115,8 @@ struct Options {
 [[noreturn]] void usage(const std::string& msg = "") {
     if (!msg.empty()) std::cerr << "error: " << msg << "\n";
     std::cerr << "usage: mlpart_bench [instances...] [--quick|--full] [--runs N] [--seed S]\n"
-                 "                    [--threads T] [--engine fm|clip] [--scale X]\n"
+                 "                    [--threads T] [--vcycle-threads T] [--vcycle-sweep \"1,2,4\"]\n"
+                 "                    [--engine fm|clip] [--scale X]\n"
                  "                    [-o FILE] [--compare BASELINE.json] [--max-regression PCT]\n"
                  "                    [--max-rss-regression PCT]\n";
     std::exit(2);
@@ -125,6 +136,13 @@ Options parseOptions(int argc, char** argv) {
         else if (arg == "--runs") o.runs = std::stoi(value());
         else if (arg == "--seed") o.seed = std::stoull(value());
         else if (arg == "--threads") o.threads = std::stoi(value());
+        else if (arg == "--vcycle-threads") o.vcycleThreads = std::stoi(value());
+        else if (arg == "--vcycle-sweep") {
+            std::stringstream ss(value());
+            std::string tok;
+            while (std::getline(ss, tok, ','))
+                if (!tok.empty()) o.vcycleSweep.push_back(std::stoi(tok));
+        }
         else if (arg == "--engine") o.engine = value();
         else if (arg == "--scale") o.scale = std::stod(value());
         else if (arg == "-o" || arg == "--out") o.out = value();
@@ -137,6 +155,9 @@ Options parseOptions(int argc, char** argv) {
     if (quick && full) usage("--quick and --full are mutually exclusive");
     if (o.runs < 1) usage("--runs must be >= 1");
     if (o.threads < 1) usage("--threads must be >= 1");
+    if (o.vcycleThreads < 0) usage("--vcycle-threads must be >= 0");
+    for (const int t : o.vcycleSweep)
+        if (t < 1) usage("--vcycle-sweep values must be >= 1");
     if (o.engine != "fm" && o.engine != "clip") usage("--engine must be fm or clip");
     if (o.instances.empty()) {
         if (quick) o.instances = {"balu", "primary1", "struct"};
@@ -149,10 +170,12 @@ Options parseOptions(int argc, char** argv) {
 /// One instance through `runs` V-cycles with per-run seeds identical to
 /// parallelMultiStart's first attempt, distributed over `threads` workers
 /// (each with its own pooled MLWorkspace, mirroring the production driver).
-InstanceResult benchInstance(const std::string& name, const Hypergraph& h, const Options& o) {
+InstanceResult benchInstance(const std::string& name, const Hypergraph& h, const Options& o,
+                             int vcycleThreads) {
     MLConfig cfg;
     cfg.matchingRatio = 0.5;
     cfg.tolerance = 0.1;
+    cfg.vcycleThreads = vcycleThreads;
     FMConfig fm;
     fm.tolerance = cfg.tolerance;
     if (o.engine == "clip") fm.variant = EngineVariant::kCLIP;
@@ -212,6 +235,7 @@ void writeJson(const std::string& path, const Options& o, const std::vector<Inst
       << "  \"engine\": \"" << o.engine << "\",\n"
       << "  \"seed\": " << o.seed << ",\n"
       << "  \"threads\": " << o.threads << ",\n"
+      << "  \"vcycle_threads\": " << o.vcycleThreads << ",\n"
       << "  \"runs\": " << o.runs << ",\n"
       << "  \"instances\": [\n";
     for (std::size_t i = 0; i < rs.size(); ++i) {
@@ -295,12 +319,37 @@ int main(int argc, char** argv) {
             isFile ? std::filesystem::path(inst).stem().string() : inst;
         std::cout << name << " (" << h.numModules() << " modules, " << h.numNets()
                   << " nets): " << std::flush;
-        InstanceResult r = benchInstance(name, h, o);
+        InstanceResult r = benchInstance(name, h, o, o.vcycleThreads);
         r.source = isFile ? "file" : "synthetic";
         results.push_back(r);
         std::printf("cut %lld (avg %.1f), %.3fs wall [coarsen %.3f, initial %.3f, refine %.3f], rss %ld KiB\n",
                     static_cast<long long>(r.bestCut), r.avgCut, r.wallSec, r.coarsenSec,
                     r.initialSec, r.refineSec, r.peakRssKb);
+        // Thread-scaling sweep rows: same instance under each requested
+        // deterministic thread count. Cuts must agree across the sweep
+        // (determinism hard bar); a mismatch fails the whole bench run.
+        for (const int t : o.vcycleSweep) {
+            const std::string sweepName = name + "@vt" + std::to_string(t);
+            std::cout << sweepName << ": " << std::flush;
+            InstanceResult sr = benchInstance(sweepName, h, o, t);
+            sr.source = r.source;
+            std::printf("cut %lld, %.3fs wall\n", static_cast<long long>(sr.bestCut), sr.wallSec);
+            if (!o.vcycleSweep.empty() && t != o.vcycleSweep.front()) {
+                const std::string firstName = name + "@vt" + std::to_string(o.vcycleSweep.front());
+                for (const InstanceResult& prev : results) {
+                    if (prev.name != firstName) continue;
+                    if (prev.bestCut != sr.bestCut || prev.avgCut != sr.avgCut) {
+                        std::fprintf(stderr,
+                                     "DETERMINISM VIOLATION %s: cut %lld/%.1f != %s cut %lld/%.1f\n",
+                                     sweepName.c_str(), static_cast<long long>(sr.bestCut),
+                                     sr.avgCut, firstName.c_str(),
+                                     static_cast<long long>(prev.bestCut), prev.avgCut);
+                        return 1;
+                    }
+                }
+            }
+            results.push_back(sr);
+        }
     }
 
     writeJson(o.out, o, results);

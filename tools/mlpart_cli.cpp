@@ -74,7 +74,8 @@ void setPhase(const std::string& phase, const std::string& input = "") {
         "usage: mlpart <command> [args]\n"
         "  stats     <netlist>\n"
         "  partition <netlist> [-k K] [-r TOL] [-R RATIO] [--engine fm|clip]\n"
-        "            [--runs N] [--threads T] [--seed S] [--timeout SEC]\n"
+        "            [--runs N] [--threads T] [--vcycle-threads T] [--seed S]\n"
+        "            [--timeout SEC]\n"
         "            [--checkpoint FILE [--checkpoint-every N] [--resume]]\n"
         "            [--mem-limit BYTES[k|m|g]] [--log-json] [-o OUT.parts]\n"
         "  spectral  <netlist> [-r TOL] [-o OUT.parts]\n"
@@ -248,6 +249,10 @@ int cmdPartition(const Args& a) {
     cfg.tolerance = r;
     cfg.matchingRatio = a.getD("-R", 0.5);
     if (k > 2) cfg.coarseningThreshold = 100;
+    // Deterministic intra-V-cycle parallelism: results are bit-identical
+    // for every count >= 1 (0 = the legacy serial algorithms).
+    cfg.vcycleThreads = static_cast<int>(a.getI("--vcycle-threads", 0));
+    if (cfg.vcycleThreads < 0) usage("partition: --vcycle-threads must be >= 0");
 
     RefinerFactory factory;
     if (k == 2) {

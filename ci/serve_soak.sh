@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
-# Soak harness for mlpart_serve (DESIGN.md §11): run the service for a
-# while under a mixed-priority job stream with the serve.* fault sites
-# armed per-job — crash-once, crash-always, hang-until-watchdog, torn
-# result pipe — and prove the supervisor itself never dies: every request
-# gets exactly one response, the process survives to the end, and a
-# SIGTERM then drains it cleanly to exit 0. Run it against a sanitizer
-# build directory to catch lifetime bugs on the containment paths.
+# Soak harness for mlpart_serve (DESIGN.md §11, §13), two phases:
+#
+#   1. stdin mode: a mixed-priority job stream with the serve.* fault
+#      sites armed per-job — crash-once, crash-always, hang-until-
+#      watchdog, torn result pipe — proving the supervisor never dies,
+#      every request gets exactly one response, and SIGTERM drains to
+#      exit 0.
+#   2. socket mode: N concurrent clients against --socket --pool --cache
+#      with the same fault mix plus cancellations, repeat jobs that must
+#      hit the result cache, and clients that disconnect abruptly with
+#      jobs in flight. Every surviving request gets exactly one result,
+#      crashes recycle pool workers, and the drain still exits 0.
+#
+# Run it against a sanitizer build directory to catch lifetime bugs on
+# the containment paths.
 #
 #   ci/serve_soak.sh [build-dir] [duration-seconds]
 set -euo pipefail
@@ -20,7 +28,13 @@ trap 'rm -rf "$work"' EXIT
 
 [ -x "$serve" ] || { echo "serve_soak.sh: $serve not built" >&2; exit 2; }
 
+phase=$((duration / 2))
+[ "$phase" -lt 10 ] && phase=10
+
 hgr='6 8\n1 2\n3 4\n5 6\n7 8\n2 3\n6 7\n'
+
+# ---------------------------------------------------------------- phase 1
+# Single stdin client, fault barrage, strict one-request/one-response.
 
 mkfifo "$work/in"
 "$serve" --workers 2 --queue 32 --grace 1 --drain-grace 0.2 \
@@ -28,11 +42,9 @@ mkfifo "$work/in"
 pid=$!
 exec 3>"$work/in"
 
-# Mixed stream: clean jobs, crash-once (retried), crash-always, hangs
-# bounded by the watchdog, torn result frames — across four priorities.
 sent=0
 start=$SECONDS
-while [ $((SECONDS - start)) -lt "$duration" ]; do
+while [ $((SECONDS - start)) -lt "$phase" ]; do
     sent=$((sent + 1))
     prio=$((sent % 4))
     extra=""
@@ -65,7 +77,7 @@ if [ "$rc" -ne 0 ]; then
 fi
 
 responses=$(grep -c '"event":"result"' "$work/out.ndjson" || true)
-echo "serve_soak.sh: sent $sent jobs, got $responses responses"
+echo "serve_soak.sh: stdin phase sent $sent jobs, got $responses responses"
 if [ "$responses" -ne "$sent" ]; then
     echo "serve_soak.sh: one-request/one-response broken ($responses != $sent)" >&2
     exit 1
@@ -89,4 +101,214 @@ if grep -q "ERROR: .*Sanitizer" "$work/err.log"; then
     exit 1
 fi
 
-echo "serve_soak.sh: ${duration}s soak clean — supervisor survived, drain exited 0"
+# ---------------------------------------------------------------- phase 2
+# Concurrent socket clients against the pooled, cached front end.
+
+sock="$work/serve.sock"
+"$serve" --socket "$sock" --workers 4 --pool --cache 64 --queue 64 \
+    --grace 1 --drain-grace 0.2 --max-line 64k \
+    >"$work/sock_out.ndjson" 2>"$work/sock_err.log" &
+pid=$!
+for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "serve_soak.sh: socket never appeared" >&2; exit 1; }
+
+cat >"$work/clients.py" <<'PYEOF'
+"""Multi-client soak driver: N job-stream clients with faults and
+cancellations, one cache-probing client, and two clients that vanish
+abruptly with work in flight. Fails loudly on any lost or duplicated
+response."""
+import json
+import socket
+import sys
+import threading
+import time
+
+SOCK, DURATION = sys.argv[1], float(sys.argv[2])
+HGR = "6 8\n1 2\n3 4\n5 6\n7 8\n2 3\n6 7\n"
+
+failures = []
+flock = threading.Lock()
+tally = {"ok": 0, "cancelled": 0, "crashed": 0, "cached": 0, "rejected": 0}
+
+
+def fail(msg):
+    with flock:
+        failures.append(msg)
+
+
+def note(key):
+    with flock:
+        tally[key] += 1
+
+
+def connect():
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    # Per-read silence bound, not a total budget: sized for a 2-core CI
+    # runner draining a full queue of faulty jobs under ASan backoffs.
+    s.settimeout(300)
+    s.connect(SOCK)
+    return s
+
+
+def job(jid, seed, **extra):
+    req = {"op": "partition", "id": jid, "hgr": HGR, "runs": 20, "seed": seed}
+    req.update(extra)
+    return (json.dumps(req) + "\n").encode()
+
+
+def stream_client(n):
+    """Mixed-priority faults + cancels; every request must get exactly
+    one result line by EOF."""
+    try:
+        s = connect()
+        f = s.makefile("rb")
+        sent = {}
+        deadline = time.time() + DURATION
+        seq = 0
+        while time.time() < deadline:
+            seq += 1
+            jid = "c%d-%d" % (n, seq)
+            extra = {"priority": seq % 4}
+            m = seq % 10
+            if m == 0:
+                extra.update(fault="site=serve.worker_crash,at=1", fault_attempts=1)
+            elif m == 1:
+                extra["fault"] = "site=serve.worker_crash,at=1"
+            elif m == 2:
+                extra.update(fault="site=serve.worker_hang,at=1", deadline=0.4)
+            elif m == 3:
+                extra.update(fault="site=serve.pipe,at=1", fault_attempts=1)
+            s.sendall(job(jid, seed=1000 * n + seq, **extra))
+            sent[jid] = 0
+            if m == 4:
+                s.sendall((json.dumps({"op": "cancel", "id": jid}) + "\n").encode())
+            time.sleep(0.05)
+        s.shutdown(socket.SHUT_WR)
+        for raw in f:
+            obj = json.loads(raw)
+            if obj.get("event") != "result":
+                continue
+            jid = obj.get("id")
+            if jid not in sent:
+                fail("client %d: response for foreign id %s" % (n, jid))
+                continue
+            sent[jid] += 1
+            st = obj.get("status")
+            if st == "OK":
+                note("ok")
+            elif st == "CANCELLED":
+                note("cancelled")
+            elif st == "WORKER_CRASHED":
+                note("crashed")
+            elif st == "REJECTED":
+                note("rejected")
+        for jid, count in sent.items():
+            if count != 1:
+                fail("client %d: id %s got %d results, want 1" % (n, jid, count))
+        s.close()
+    except Exception as exc:  # noqa: BLE001 - soak driver reports, not raises
+        fail("client %d: %r" % (n, exc))
+
+
+def cache_client():
+    """Sequential repeats of one cacheable request: after the cold run,
+    every repeat must be answered from the cache, bit-identical."""
+    try:
+        s = connect()
+        f = s.makefile("rb")
+        first = None
+        for i in range(6):
+            jid = "warm-%d" % i
+            # Priority above the stream mix (0-3): a full queue sheds a
+            # stream job for the warm arrival instead of rejecting it.
+            s.sendall(job(jid, seed=7777, priority=5))
+            for raw in f:
+                obj = json.loads(raw)
+                if obj.get("event") == "result" and obj.get("id") == jid:
+                    if obj.get("status") != "OK":
+                        fail("warm job %s: status %s" % (jid, obj.get("status")))
+                    if first is None:
+                        first = (obj.get("cut"), obj.get("part_crc"))
+                    elif (obj.get("cut"), obj.get("part_crc")) != first:
+                        fail("warm job %s: cache replay not bit-identical" % jid)
+                    if i > 0 and not obj.get("cached"):
+                        fail("warm job %s: expected a cache hit" % jid)
+                    if obj.get("cached"):
+                        note("cached")
+                    break
+        s.sendall(b'{"op":"status"}\n')
+        for raw in f:
+            obj = json.loads(raw)
+            if obj.get("event") == "status":
+                if not obj.get("pool"):
+                    fail("status: pool not reported active")
+                if not obj.get("pool_workers"):
+                    fail("status: no per-worker pool stats")
+                break
+        s.shutdown(socket.SHUT_WR)
+        for _ in f:
+            pass
+        s.close()
+    except Exception as exc:  # noqa: BLE001
+        fail("cache client: %r" % exc)
+
+
+def dropper(n):
+    """Submits a long job, then vanishes without reading: the server
+    must orphan the work and keep serving everyone else."""
+    try:
+        s = connect()
+        s.sendall(job("drop-%d" % n, seed=5000 + n, runs=100000))
+        time.sleep(0.5)
+        s.close()
+    except Exception as exc:  # noqa: BLE001
+        fail("dropper %d: %r" % (n, exc))
+
+
+threads = [threading.Thread(target=stream_client, args=(n,)) for n in range(4)]
+threads.append(threading.Thread(target=cache_client))
+threads += [threading.Thread(target=dropper, args=(n,)) for n in range(2)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+
+print("serve_soak clients:", json.dumps(tally))
+if tally["ok"] == 0:
+    failures.append("no streamed job succeeded")
+if tally["cancelled"] == 0:
+    failures.append("no cancellation resolved to CANCELLED")
+if tally["crashed"] == 0:
+    failures.append("no persistent crash was classified")
+if tally["cached"] < 5:
+    failures.append("cache hits %d < 5" % tally["cached"])
+for msg in failures:
+    print("serve_soak FAIL:", msg, file=sys.stderr)
+sys.exit(1 if failures else 0)
+PYEOF
+
+if ! python3 "$work/clients.py" "$sock" "$phase"; then
+    echo "serve_soak.sh: multi-client phase failed" >&2
+    kill -KILL "$pid" 2>/dev/null || true
+    exit 1
+fi
+
+kill -0 "$pid" || { echo "serve_soak.sh: supervisor died in socket phase" >&2; exit 1; }
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "serve_soak.sh: socket-mode drain exited $rc, want 0" >&2
+    tail -5 "$work/sock_err.log" >&2 || true
+    exit 1
+fi
+grep -q '"event":"drained"' "$work/sock_out.ndjson" ||
+    { echo "serve_soak.sh: no drained event after socket-mode SIGTERM" >&2; exit 1; }
+
+if grep -q "ERROR: .*Sanitizer" "$work/sock_err.log"; then
+    echo "serve_soak.sh: sanitizer report in the socket-mode supervisor" >&2
+    tail -20 "$work/sock_err.log" >&2
+    exit 1
+fi
+
+echo "serve_soak.sh: ${duration}s soak clean — both phases survived, drains exited 0"

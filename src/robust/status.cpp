@@ -18,6 +18,7 @@ const char* statusCodeName(StatusCode code) {
         case StatusCode::kInternal: return "INTERNAL";
         case StatusCode::kWorkerCrashed: return "WORKER_CRASHED";
         case StatusCode::kRejected: return "REJECTED";
+        case StatusCode::kCancelled: return "CANCELLED";
     }
     return "UNKNOWN";
 }
@@ -33,6 +34,7 @@ int exitCodeFor(StatusCode code) {
         case StatusCode::kResourceExhausted: return 7;
         case StatusCode::kWorkerCrashed: return 8;
         case StatusCode::kRejected: return 9;
+        case StatusCode::kCancelled: return 10;
         case StatusCode::kInterrupted: return 130; // 128 + SIGINT, the shell convention
         case StatusCode::kInjectedFault:
         case StatusCode::kInternal: return 1;
@@ -51,6 +53,7 @@ StatusCode statusForExitCode(int exitCode) {
         case 7: return StatusCode::kResourceExhausted;
         case 8: return StatusCode::kWorkerCrashed;
         case 9: return StatusCode::kRejected;
+        case 10: return StatusCode::kCancelled;
         case 130: return StatusCode::kInterrupted;
         default: return StatusCode::kInternal;
     }

@@ -30,18 +30,20 @@ enum class StatusCode {
     // numeric values persisted by the checkpoint format stay stable.
     kWorkerCrashed,      ///< supervised worker died on a signal / torn result
     kRejected,           ///< admission control refused the job (queue / drain)
+    kCancelled,          ///< caller cancelled the job; best-so-far may be attached
 };
 
 /// The last enumerator — checkpoint/wire decoders validate stored bytes
 /// against this. Keep in sync when extending StatusCode.
-inline constexpr StatusCode kMaxStatusCode = StatusCode::kRejected;
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kCancelled;
 
 /// Stable upper-case identifier, e.g. "PARSE_ERROR".
 [[nodiscard]] const char* statusCodeName(StatusCode code);
 
 /// Process exit code for the CLI: 0 ok, 2 usage, 3 parse error,
 /// 4 infeasible, 5 deadline, 6 all starts failed, 7 resource exhausted,
-/// 8 worker crashed, 9 rejected, 130 interrupted, 1 everything else.
+/// 8 worker crashed, 9 rejected, 10 cancelled, 130 interrupted,
+/// 1 everything else.
 [[nodiscard]] int exitCodeFor(StatusCode code);
 
 /// Inverse of exitCodeFor: classifies a worker's process exit code back

@@ -1,0 +1,329 @@
+#include "serve/front_end.h"
+
+#if !defined(_WIN32)
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include "robust/wire.h"
+
+namespace mlpart::serve {
+
+namespace {
+
+using robust::Status;
+using robust::StatusCode;
+
+void setNonBlocking(int fd) {
+    const int flags = fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) (void)fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// The one PARSE_ERROR response an oversized request line is owed.
+std::string oversizedLineResponse(std::size_t cap) {
+    JobResult r;
+    r.outcome.status = {StatusCode::kParseError,
+                        "request line exceeds " + std::to_string(cap) +
+                            " bytes; line discarded"};
+    return jobResultJson(r);
+}
+
+} // namespace
+
+FrontEnd::FrontEnd(Service& service, FrontEndConfig cfg)
+    : service_(service), cfg_(std::move(cfg)) {
+    if (cfg_.maxLineBytes < 1024) cfg_.maxLineBytes = 1024;
+    if (cfg_.backlog < 1) cfg_.backlog = 1;
+    // A client that disconnects mid-response must cost an EPIPE, never a
+    // process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+FrontEnd::~FrontEnd() {
+    for (const auto& c : conns_)
+        if (c->fd >= 0) close(c->fd);
+    conns_.clear();
+    if (listenFd_ >= 0) {
+        close(listenFd_);
+        unlink(cfg_.socketPath.c_str());
+    }
+    if (wakeRead_ >= 0) close(wakeRead_);
+    if (wakeWrite_ >= 0) close(wakeWrite_);
+}
+
+Status FrontEnd::listen() {
+    int wakeFds[2];
+    if (pipe(wakeFds) != 0)
+        return {StatusCode::kInternal, std::string("pipe: ") + std::strerror(errno)};
+    wakeRead_ = wakeFds[0];
+    wakeWrite_ = wakeFds[1];
+    setNonBlocking(wakeRead_);
+    setNonBlocking(wakeWrite_);
+
+    listenFd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return {StatusCode::kInternal, std::string("socket: ") + std::strerror(errno)};
+    struct sockaddr_un addr {};
+    addr.sun_family = AF_UNIX;
+    if (cfg_.socketPath.size() >= sizeof(addr.sun_path))
+        return {StatusCode::kUsage, "socket path too long: " + cfg_.socketPath};
+    std::strncpy(addr.sun_path, cfg_.socketPath.c_str(), sizeof(addr.sun_path) - 1);
+    unlink(cfg_.socketPath.c_str());
+    if (bind(listenFd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(listenFd_, cfg_.backlog) < 0)
+        return {StatusCode::kInternal,
+                "bind/listen " + cfg_.socketPath + ": " + std::strerror(errno)};
+    setNonBlocking(listenFd_);
+    return Status::okStatus();
+}
+
+void FrontEnd::wake() {
+    const char b = 1;
+    // A full pipe already guarantees a pending wakeup.
+    while (write(wakeWrite_, &b, 1) < 0 && errno == EINTR) {}
+}
+
+void FrontEnd::enqueue(const std::shared_ptr<Conn>& c, const std::string& line) {
+    {
+        std::lock_guard<std::mutex> lock(c->wmu);
+        c->wq.push_back(line + "\n");
+    }
+    wake();
+}
+
+bool FrontEnd::anyPendingWrites() {
+    for (const auto& c : conns_) {
+        std::lock_guard<std::mutex> lock(c->wmu);
+        if (!c->wq.empty()) return true;
+    }
+    return false;
+}
+
+void FrontEnd::acceptNew() {
+    for (;;) {
+        const int fd = accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            return; // EAGAIN (drained) or transient accept failure
+        }
+        setNonBlocking(fd);
+        auto c = std::make_shared<Conn>();
+        c->fd = fd;
+        std::weak_ptr<Conn> weak = c;
+        // Dispatcher threads deliver responses here; the queue plus the
+        // self-pipe keeps them off the socket and off this thread's state.
+        c->token = service_.registerClient([this, weak](const std::string& line) {
+            const std::shared_ptr<Conn> conn = weak.lock();
+            if (conn) enqueue(conn, line);
+        });
+        conns_.push_back(std::move(c));
+        ++accepted_;
+    }
+}
+
+void FrontEnd::readConn(const std::shared_ptr<Conn>& c) {
+    for (;;) {
+        char chunk[4096];
+        const ssize_t n = read(c->fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            closeConn(c, /*severClient=*/true);
+            return;
+        }
+        if (n == 0) {
+            // Half-close: the final unterminated line still counts as a
+            // request; the connection finishes once its responses flush.
+            if (!c->discarding && !c->rbuf.empty())
+                service_.handleLine(c->rbuf, c->token);
+            c->rbuf.clear();
+            c->readClosed = true;
+            return;
+        }
+        std::size_t start = 0;
+        const std::size_t len = static_cast<std::size_t>(n);
+        if (c->discarding) {
+            const char* nl =
+                static_cast<const char*>(std::memchr(chunk, '\n', len));
+            if (nl == nullptr) continue; // still inside the oversized line
+            start = static_cast<std::size_t>(nl - chunk) + 1;
+            c->discarding = false;
+        }
+        c->rbuf.append(chunk + start, len - start);
+        std::size_t nl;
+        while (!c->discarding && (nl = c->rbuf.find('\n')) != std::string::npos) {
+            const std::string line = c->rbuf.substr(0, nl);
+            c->rbuf.erase(0, nl + 1);
+            service_.handleLine(line, c->token);
+        }
+        if (!c->discarding && c->rbuf.size() > cfg_.maxLineBytes) {
+            // One response for the oversized request, then resynchronise
+            // at the next newline. The connection survives.
+            enqueue(c, oversizedLineResponse(cfg_.maxLineBytes));
+            c->rbuf.clear();
+            c->discarding = true;
+        }
+    }
+}
+
+bool FrontEnd::flushConn(const std::shared_ptr<Conn>& c) {
+    for (;;) {
+        struct iovec iov[8];
+        int iovCount = 0;
+        {
+            std::lock_guard<std::mutex> lock(c->wmu);
+            std::size_t off = c->woff;
+            for (const std::string& s : c->wq) {
+                if (iovCount == 8) break;
+                iov[iovCount].iov_base = const_cast<char*>(s.data()) + off;
+                iov[iovCount].iov_len = s.size() - off;
+                ++iovCount;
+                off = 0;
+            }
+        }
+        if (iovCount == 0) return true;
+        const ssize_t n = writev(c->fd, iov, iovCount);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return true; // socket full
+            closeConn(c, /*severClient=*/true);
+            return false;
+        }
+        std::lock_guard<std::mutex> lock(c->wmu);
+        std::size_t left = static_cast<std::size_t>(n);
+        while (left > 0 && !c->wq.empty()) {
+            const std::size_t remain = c->wq.front().size() - c->woff;
+            if (left >= remain) {
+                left -= remain;
+                c->wq.pop_front();
+                c->woff = 0;
+            } else {
+                c->woff += left;
+                left = 0;
+            }
+        }
+    }
+}
+
+void FrontEnd::closeConn(const std::shared_ptr<Conn>& c, bool severClient) {
+    if (severClient) service_.disconnectClient(c->token);
+    if (c->fd >= 0) close(c->fd);
+    c->fd = -1;
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), c), conns_.end());
+}
+
+void FrontEnd::pollOnce(int timeoutMs, bool accepting) {
+    std::vector<struct pollfd> pfds;
+    std::vector<std::shared_ptr<Conn>> order;
+    pfds.reserve(conns_.size() + 2);
+    {
+        struct pollfd p {};
+        p.fd = wakeRead_;
+        p.events = POLLIN;
+        pfds.push_back(p);
+    }
+    if (accepting && listenFd_ >= 0) {
+        struct pollfd p {};
+        p.fd = listenFd_;
+        p.events = POLLIN;
+        pfds.push_back(p);
+    }
+    for (const auto& c : conns_) {
+        short events = c->readClosed ? 0 : POLLIN;
+        {
+            std::lock_guard<std::mutex> lock(c->wmu);
+            if (!c->wq.empty()) events |= POLLOUT;
+        }
+        struct pollfd p {};
+        p.fd = c->fd;
+        p.events = events;
+        pfds.push_back(p);
+        order.push_back(c);
+    }
+
+    const int rc = poll(pfds.data(), pfds.size(), timeoutMs);
+    if (rc < 0 && errno != EINTR) return;
+
+    if (rc > 0) {
+        std::size_t idx = 0;
+        if (pfds[idx].revents & POLLIN) {
+            char sink[256];
+            while (read(wakeRead_, sink, sizeof(sink)) > 0) {}
+        }
+        ++idx;
+        if (accepting && listenFd_ >= 0) {
+            if (pfds[idx].revents & POLLIN) acceptNew();
+            ++idx;
+        }
+        for (std::size_t i = 0; i < order.size(); ++i, ++idx) {
+            const std::shared_ptr<Conn>& c = order[i];
+            if (c->fd < 0) continue; // closed earlier this sweep
+            const short re = pfds[idx].revents;
+            if (re & POLLOUT) {
+                if (!flushConn(c)) continue;
+            }
+            if (re & (POLLIN | POLLHUP | POLLERR)) readConn(c);
+            // POLLHUP means the peer closed both directions (an abrupt
+            // close(), not a polite shutdown(SHUT_WR) half-close, which
+            // shows up as a plain EOF). Nobody is left to read responses:
+            // sever now so the client's jobs are cancelled/orphaned
+            // instead of running to completion for a dead socket.
+            if (c->fd >= 0 && (re & (POLLHUP | POLLERR)))
+                closeConn(c, /*severClient=*/true);
+        }
+    }
+
+    // Half-closed connections finish once the service owes them nothing
+    // and their write queue is dry.
+    std::vector<std::shared_ptr<Conn>> finished;
+    for (const auto& c : conns_) {
+        if (!c->readClosed) continue;
+        bool dry;
+        {
+            std::lock_guard<std::mutex> lock(c->wmu);
+            dry = c->wq.empty();
+        }
+        if (dry && service_.clientIdle(c->token)) finished.push_back(c);
+    }
+    for (const auto& c : finished) closeConn(c, /*severClient=*/true);
+}
+
+void FrontEnd::run(const std::atomic<bool>& shutdown) {
+    while (!shutdown.load(std::memory_order_relaxed) && !service_.draining())
+        pollOnce(200, /*accepting=*/true);
+
+    // Shutdown sequence: no new clients, reject what is queued, then keep
+    // the loop pumping so in-flight jobs can deliver their final
+    // responses while the dispatchers wind down and join.
+    if (listenFd_ >= 0) {
+        close(listenFd_);
+        listenFd_ = -1;
+        unlink(cfg_.socketPath.c_str());
+    }
+    service_.drain();
+    std::atomic<bool> stopped{false};
+    std::thread stopper([this, &stopped] {
+        service_.stop();
+        stopped.store(true, std::memory_order_release);
+        wake();
+    });
+    while (!stopped.load(std::memory_order_acquire)) pollOnce(50, /*accepting=*/false);
+    stopper.join();
+    while (!conns_.empty() && anyPendingWrites()) pollOnce(50, /*accepting=*/false);
+    // Whatever is left is fully flushed or dead; close it all.
+    while (!conns_.empty()) closeConn(conns_.front(), /*severClient=*/true);
+}
+
+} // namespace mlpart::serve
+
+#endif // !_WIN32

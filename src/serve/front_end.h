@@ -1,0 +1,97 @@
+// Multi-client unix-socket front end (DESIGN.md §13).
+//
+// One poll(2) loop owns the listening socket and every client
+// connection: accepts are level-triggered, reads assemble NDJSON request
+// lines with a hard per-line byte cap (an oversized line costs that
+// request one PARSE_ERROR response and a resynchronising discard to the
+// next newline — never the connection, never the service), and writes
+// drain per-connection queues via writev with EINTR/EAGAIN retry, so a
+// slow reader back-pressures only itself. Dispatcher threads never touch
+// a socket: they append to the connection's write queue through the
+// Service's per-client emit and wake the poll loop through a self-pipe.
+//
+// Disconnects are containment events, not errors: the client's queued
+// jobs are dropped, in-flight jobs auto-cancelled, late results
+// suppressed (Service::disconnectClient), and the fd reclaimed. A client
+// that half-closes (shutdown(SHUT_WR)) still receives every response it
+// is owed before the connection finishes.
+#pragma once
+
+#if !defined(_WIN32)
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "robust/status.h"
+#include "serve/service.h"
+
+namespace mlpart::serve {
+
+struct FrontEndConfig {
+    std::string socketPath;
+    std::size_t maxLineBytes = 1 << 20; ///< request-line cap (inline .hgr fits)
+    int backlog = 16;
+};
+
+class FrontEnd {
+public:
+    FrontEnd(Service& service, FrontEndConfig cfg);
+    ~FrontEnd();
+
+    FrontEnd(const FrontEnd&) = delete;
+    FrontEnd& operator=(const FrontEnd&) = delete;
+
+    /// Binds and listens on cfg.socketPath (unlinking a stale socket
+    /// first). Returns a non-ok Status instead of throwing — the tool
+    /// turns it into a usage-style exit.
+    [[nodiscard]] robust::Status listen();
+
+    /// Serves until `shutdown` flips or the service starts draining, then
+    /// runs the shutdown sequence: close the listener, drain the service
+    /// (rejecting queued jobs), keep flushing in-flight responses while
+    /// the dispatchers wind down, and close every connection only after
+    /// its write queue is empty. Call after a successful listen().
+    void run(const std::atomic<bool>& shutdown);
+
+    /// Connections accepted over the lifetime (tests, status logging).
+    [[nodiscard]] int connectionsAccepted() const { return accepted_; }
+
+private:
+    struct Conn {
+        int fd = -1;
+        std::uint64_t token = 0;   ///< Service client token
+        std::string rbuf;
+        bool discarding = false;   ///< swallowing an oversized line to its newline
+        bool readClosed = false;   ///< EOF seen; flush-then-finish
+        std::mutex wmu;
+        std::deque<std::string> wq; ///< whole lines, '\n' included
+        std::size_t woff = 0;       ///< bytes of wq.front() already written
+    };
+
+    void pollOnce(int timeoutMs, bool accepting);
+    void acceptNew();
+    void readConn(const std::shared_ptr<Conn>& c);
+    /// Returns false when the connection died mid-write.
+    bool flushConn(const std::shared_ptr<Conn>& c);
+    void enqueue(const std::shared_ptr<Conn>& c, const std::string& line);
+    void closeConn(const std::shared_ptr<Conn>& c, bool severClient);
+    void wake();
+    [[nodiscard]] bool anyPendingWrites();
+
+    Service& service_;
+    FrontEndConfig cfg_;
+    int listenFd_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    std::vector<std::shared_ptr<Conn>> conns_; ///< poll-thread only
+    int accepted_ = 0;
+};
+
+} // namespace mlpart::serve
+
+#endif // !_WIN32

@@ -1,7 +1,10 @@
 #include "serve/job.h"
 
+#include <cstring>
+#include <filesystem>
 #include <set>
 
+#include "robust/checkpoint.h" // crc32, hashCombine
 #include "robust/wire.h"
 
 namespace mlpart::serve {
@@ -12,6 +15,11 @@ using robust::Error;
 using robust::StatusCode;
 
 constexpr std::uint32_t kOutcomeVersion = 1;
+constexpr std::uint32_t kRequestVersion = 1;
+
+/// Instance files above this size are never fingerprinted (and therefore
+/// never cached): hashing them at admission would stall the front end.
+constexpr std::uint64_t kMaxFingerprintBytes = 64ull << 20;
 
 [[noreturn]] void badRequest(const std::string& message) {
     throw Error(StatusCode::kUsage, "job: " + message);
@@ -38,9 +46,12 @@ JobRequest parseJobRequest(const std::string& line) {
     if (op == "partition") r.op = JobOp::kPartition;
     else if (op == "status") r.op = JobOp::kStatus;
     else if (op == "drain") r.op = JobOp::kDrain;
-    else badRequest("unknown op \"" + op + "\" (want partition/status/drain)");
+    else if (op == "cancel") r.op = JobOp::kCancel;
+    else badRequest("unknown op \"" + op + "\" (want partition/status/drain/cancel)");
 
     r.id = getString(o, "id", "");
+    if (r.op == JobOp::kCancel && r.id.empty())
+        badRequest("cancel requires the \"id\" of the job to cancel");
     if (r.op != JobOp::kPartition) return r;
 
     r.instance = getString(o, "instance", "");
@@ -121,6 +132,110 @@ JobOutcome decodeJobOutcome(const std::uint8_t* data, std::size_t size) {
     return o;
 }
 
+std::vector<std::uint8_t> encodeJobRequest(const JobRequest& r, std::int32_t attempt) {
+    robust::WireWriter w;
+    w.u32(kRequestVersion);
+    w.i32(attempt);
+    w.str(r.id);
+    w.str(r.instance);
+    w.str(r.inlineHgr);
+    w.i32(r.k);
+    w.f64(r.tolerance);
+    w.f64(r.matchingRatio);
+    w.str(r.engine);
+    w.i32(r.runs);
+    w.i32(r.threads);
+    w.i32(r.vcycleThreads);
+    w.u64(r.seed);
+    w.f64(r.deadlineSeconds);
+    w.i32(r.priority);
+    w.str(r.checkpointPath);
+    w.u8(r.resume ? 1 : 0);
+    w.str(r.outPath);
+    w.str(r.faultSpec);
+    w.i32(r.faultAttempts);
+    return std::move(w.bytes);
+}
+
+JobRequest decodeJobRequest(const std::uint8_t* data, std::size_t size,
+                            std::int32_t& attempt) {
+    robust::WireReader in{data, size};
+    const std::uint32_t version = in.u32();
+    if (version != kRequestVersion)
+        throw Error(StatusCode::kParseError,
+                    "job request: unsupported version " + std::to_string(version));
+    JobRequest r;
+    attempt = in.i32();
+    r.id = in.str();
+    r.instance = in.str();
+    r.inlineHgr = in.str();
+    r.k = in.i32();
+    r.tolerance = in.f64();
+    r.matchingRatio = in.f64();
+    r.engine = in.str();
+    r.runs = in.i32();
+    r.threads = in.i32();
+    r.vcycleThreads = in.i32();
+    r.seed = in.u64();
+    r.deadlineSeconds = in.f64();
+    r.priority = in.i32();
+    r.checkpointPath = in.str();
+    r.resume = in.u8() != 0;
+    r.outPath = in.str();
+    r.faultSpec = in.str();
+    r.faultAttempts = in.i32();
+    if (in.remaining() != 0)
+        throw Error(StatusCode::kParseError, "job request: trailing bytes");
+    return r;
+}
+
+bool cacheableRequest(const JobRequest& r) {
+    return r.op == JobOp::kPartition && r.faultSpec.empty() &&
+           r.checkpointPath.empty() && !r.resume && r.outPath.empty();
+}
+
+std::uint64_t requestFingerprint(const JobRequest& r) {
+    using robust::hashCombine;
+    // Content fingerprint of the instance: raw bytes, never a parse — the
+    // front end must not interpret hostile input in the supervisor.
+    std::uint64_t content = 0;
+    if (!r.inlineHgr.empty()) {
+        content = hashCombine(
+            robust::crc32(r.inlineHgr.data(), r.inlineHgr.size()),
+            static_cast<std::uint64_t>(r.inlineHgr.size()));
+    } else {
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(std::filesystem::path(r.instance), ec);
+        if (ec || size == 0 || size > kMaxFingerprintBytes) return 0;
+        std::vector<std::uint8_t> bytes;
+        try {
+            bytes = robust::readFileBytes(r.instance);
+        } catch (const Error&) {
+            return 0;
+        }
+        content = hashCombine(robust::crc32(bytes.data(), bytes.size()),
+                              static_cast<std::uint64_t>(bytes.size()));
+    }
+    std::uint64_t f = content == 0 ? 1 : content;
+    f = hashCombine(f, static_cast<std::uint64_t>(r.k));
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(double));
+    std::memcpy(&bits, &r.tolerance, sizeof(bits));
+    f = hashCombine(f, bits);
+    std::memcpy(&bits, &r.matchingRatio, sizeof(bits));
+    f = hashCombine(f, bits);
+    std::uint64_t engineSalt = 0x454e47u;
+    for (const char c : r.engine)
+        engineSalt = hashCombine(engineSalt, static_cast<std::uint8_t>(c));
+    f = hashCombine(f, engineSalt);
+    f = hashCombine(f, static_cast<std::uint64_t>(r.runs));
+    f = hashCombine(f, r.seed);
+    // Parallel-mode marker only: results are bit-identical for every
+    // vcycle thread count >= 1, so the count itself must not split keys.
+    f = hashCombine(f, r.vcycleThreads > 0 ? 1u : 0u);
+    return f == 0 ? 1 : f;
+}
+
 std::string jobResultJson(const JobResult& r) {
     JsonWriter w;
     w.field("event", "result")
@@ -132,6 +247,7 @@ std::string jobResultJson(const JobResult& r) {
         .field("attempts", r.attempts)
         .field("crashes", r.crashes)
         .field("retried", r.retried)
+        .field("cached", r.cached)
         .field("watchdog_killed", r.watchdogKilled)
         .field("runs_ok", r.outcome.runsOk)
         .field("runs_retried", r.outcome.runsRetried)

@@ -24,6 +24,7 @@ enum class JobOp {
     kPartition, ///< run a supervised partitioning job
     kStatus,    ///< report queue depth, governor headroom, recent jobs
     kDrain,     ///< same as SIGTERM: finish in-flight, reject queued + new
+    kCancel,    ///< drop a queued job / wind down an in-flight one by id
 };
 
 struct JobRequest {
@@ -82,6 +83,29 @@ struct JobOutcome {
 /// (version-skewed or truncated payload).
 [[nodiscard]] JobOutcome decodeJobOutcome(const std::uint8_t* data, std::size_t size);
 
+/// Pipe codec for dispatching a job (plus its attempt index, which drives
+/// the retry reseed and fault-spec arming) to a pre-forked pool worker.
+/// Framed by robust/wire.h exactly like the outcome on the way back.
+[[nodiscard]] std::vector<std::uint8_t> encodeJobRequest(const JobRequest& r,
+                                                         std::int32_t attempt);
+/// Throws robust::Error(kParseError) on version skew or truncation.
+[[nodiscard]] JobRequest decodeJobRequest(const std::uint8_t* data, std::size_t size,
+                                          std::int32_t& attempt);
+
+/// True when a request's result may be served from / inserted into the
+/// result cache: a plain partition job with no side effects (checkpoint,
+/// resume, out file) and no armed fault spec.
+[[nodiscard]] bool cacheableRequest(const JobRequest& r);
+
+/// Result-cache key: folds a content fingerprint of the instance (inline
+/// text, or the raw bytes of the on-disk file) with every knob that
+/// determines the result — k, tolerance, ratio, engine, runs, seed, and
+/// the parallel-V-cycle mode marker (vcycle_threads > 0, never the thread
+/// count: results are bit-identical for every count >= 1). Returns 0 when
+/// the request cannot be fingerprinted (missing or oversized instance
+/// file) — callers must treat 0 as "never cache".
+[[nodiscard]] std::uint64_t requestFingerprint(const JobRequest& r);
+
 /// Final per-job record: outcome + supervision history. One NDJSON line.
 struct JobResult {
     std::string id;
@@ -90,6 +114,7 @@ struct JobResult {
     std::int32_t crashes = 0;   ///< of those, died on a signal / torn frame
     bool watchdogKilled = false;
     bool retried = false;       ///< a reseeded second worker produced the result
+    bool cached = false;        ///< answered from the result cache, no worker ran
     double queueSeconds = 0;    ///< admission → dispatch latency
 };
 

@@ -1,0 +1,55 @@
+#include "serve/result_cache.h"
+
+namespace mlpart::serve {
+
+bool ResultCache::lookup(std::uint64_t fingerprint, JobOutcome& out) {
+    if (fingerprint == 0 || maxEntries_ <= 0) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(fingerprint);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    out = it->second->outcome;
+    ++stats_.hits;
+    return true;
+}
+
+void ResultCache::insert(std::uint64_t fingerprint, const JobOutcome& outcome) {
+    if (fingerprint == 0 || maxEntries_ <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(fingerprint);
+    if (it != index_.end()) {
+        it->second->outcome = outcome;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{fingerprint, outcome});
+    index_[fingerprint] = lru_.begin();
+    ++stats_.insertions;
+    while (index_.size() > static_cast<std::size_t>(maxEntries_)) {
+        index_.erase(lru_.back().fingerprint);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+void ResultCache::invalidate(std::uint64_t fingerprint) {
+    if (fingerprint == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(fingerprint);
+    if (it == index_.end()) return;
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.invalidations;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s = stats_;
+    s.entries = static_cast<std::int64_t>(index_.size());
+    return s;
+}
+
+} // namespace mlpart::serve

@@ -1,0 +1,66 @@
+// Bounded result cache for the serve front end (DESIGN.md §13).
+//
+// Keyed by requestFingerprint() — (instance content, k, tolerance bits,
+// ratio bits, engine, runs, seed, parallel-mode marker) — which is only
+// non-zero for requests whose result is a pure function of that key:
+// no fault spec, no checkpoint/resume, no out-file side effect. Because
+// the engine is bit-deterministic (PR 6), a hit replays the exact cut and
+// partition CRC a cold run would produce; the tests assert that
+// bit-identity, not just "same status".
+//
+// LRU with a fixed entry budget. Fault-armed jobs explicitly invalidate
+// their key (the fault may have poisoned what a concurrent cold run
+// inserted). Thread-safe; every dispatcher and the admission path share
+// one instance.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "serve/job.h"
+
+namespace mlpart::serve {
+
+class ResultCache {
+public:
+    /// `maxEntries` <= 0 disables the cache (lookups miss, inserts drop).
+    explicit ResultCache(int maxEntries) : maxEntries_(maxEntries) {}
+
+    struct Stats {
+        std::int64_t entries = 0;
+        std::int64_t hits = 0;
+        std::int64_t misses = 0;
+        std::int64_t insertions = 0;
+        std::int64_t evictions = 0;
+        std::int64_t invalidations = 0;
+    };
+
+    /// On a hit, copies the cached outcome into `out` and refreshes the
+    /// entry's recency. Fingerprint 0 (uncacheable) always misses.
+    [[nodiscard]] bool lookup(std::uint64_t fingerprint, JobOutcome& out);
+
+    /// Inserts or refreshes `fingerprint`, evicting the least recently
+    /// used entry past the budget. Fingerprint 0 is ignored.
+    void insert(std::uint64_t fingerprint, const JobOutcome& outcome);
+
+    /// Drops `fingerprint` if present (fault-armed job touching this key).
+    void invalidate(std::uint64_t fingerprint);
+
+    [[nodiscard]] Stats stats() const;
+
+private:
+    struct Entry {
+        std::uint64_t fingerprint;
+        JobOutcome outcome;
+    };
+
+    const int maxEntries_;
+    mutable std::mutex mu_;
+    std::list<Entry> lru_; // front = most recent
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+    Stats stats_;
+};
+
+} // namespace mlpart::serve

@@ -25,6 +25,13 @@ std::int64_t nowNs() {
         .count();
 }
 
+/// In-flight registry key. Job ids are only unique per client (two
+/// tenants may both submit "job-1"), so cancel routing is scoped by the
+/// client token.
+std::string inflightKey(std::uint64_t client, const std::string& id) {
+    return std::to_string(client) + ":" + id;
+}
+
 /// First data line of an .hgr header: "numNets numModules [fmt]".
 bool parseHgrHeader(const std::string& text, std::int64_t& nets, std::int64_t& modules) {
     std::istringstream in(text);
@@ -107,20 +114,68 @@ Service::Service(ServiceConfig cfg, Emit emit) : cfg_(cfg), emit_(std::move(emit
     if (cfg_.historyLimit < 1) cfg_.historyLimit = 1;
     if (cfg_.memLimitBytes > 0)
         robust::MemoryGovernor::instance().setLimitBytes(cfg_.memLimitBytes);
+    if (cfg_.usePool) {
+        WorkerPoolConfig pc;
+        pc.slots = cfg_.workers;
+        pc.backoffBaseSeconds = cfg_.poolBackoffBaseSeconds;
+        pc.backoffCapSeconds = cfg_.poolBackoffCapSeconds;
+        pool_ = std::make_unique<WorkerPool>(pc);
+    }
+    if (cfg_.cacheEntries > 0) cache_ = std::make_unique<ResultCache>(cfg_.cacheEntries);
     dispatchers_.reserve(static_cast<std::size_t>(cfg_.workers));
     for (int i = 0; i < cfg_.workers; ++i)
-        dispatchers_.emplace_back([this] { dispatcherLoop(); });
+        dispatchers_.emplace_back([this, i] { dispatcherLoop(i); });
 }
 
 Service::~Service() { stop(); }
 
-void Service::emitLine(const std::string& line) {
+std::uint64_t Service::registerClient(Emit emit) {
+    std::uint64_t token;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        token = nextClient_++;
+    }
     std::lock_guard<std::mutex> lock(emitMu_);
-    if (emit_) emit_(line);
+    clients_[token] = std::move(emit);
+    return token;
 }
 
-void Service::emitRejected(const JobRequest& req, const std::string& why,
-                           robust::StatusCode code) {
+void Service::disconnectClient(std::uint64_t client) {
+    if (client == 0) return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Queued jobs die silently: nobody is listening for their result.
+        const auto isOrphan = [client](const Queued& q) { return q.client == client; };
+        const auto first = std::remove_if(queue_.begin(), queue_.end(), isOrphan);
+        orphaned_.fetch_add(queue_.end() - first, std::memory_order_relaxed);
+        queue_.erase(first, queue_.end());
+        // In-flight jobs are auto-cancelled; their workers wind down and
+        // the (suppressed) result frees the slot.
+        for (auto& [key, f] : inflight_)
+            if (f.client == client) f.cancel->store(true, std::memory_order_release);
+        clientLoad_.erase(client);
+    }
+    std::lock_guard<std::mutex> lock(emitMu_);
+    clients_.erase(client);
+}
+
+void Service::emitTo(std::uint64_t client, const std::string& line) {
+    std::lock_guard<std::mutex> lock(emitMu_);
+    if (client == 0) {
+        if (emit_) emit_(line);
+        return;
+    }
+    const auto it = clients_.find(client);
+    if (it == clients_.end()) {
+        // The client disconnected after this response was produced.
+        orphaned_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (it->second) it->second(line);
+}
+
+void Service::emitRejected(const JobRequest& req, std::uint64_t client,
+                           const std::string& why, robust::StatusCode code) {
     {
         std::lock_guard<std::mutex> lock(mu_);
         ++rejected_;
@@ -128,7 +183,7 @@ void Service::emitRejected(const JobRequest& req, const std::string& why,
     JobResult r;
     r.id = req.id;
     r.outcome.status = {code, why};
-    emitLine(jobResultJson(r));
+    emitTo(client, jobResultJson(r));
 }
 
 std::size_t Service::lowestPriorityIndex() const {
@@ -142,49 +197,145 @@ std::size_t Service::lowestPriorityIndex() const {
     return best;
 }
 
-void Service::admit(JobRequest req) {
+void Service::recordResult(JobResult r) {
+    history_.push_back(std::move(r));
+    while (history_.size() > static_cast<std::size_t>(cfg_.historyLimit))
+        history_.pop_front();
+}
+
+void Service::decrementLoadLocked(std::uint64_t client) {
+    const auto it = clientLoad_.find(client);
+    if (it == clientLoad_.end()) return;
+    if (--it->second <= 0) clientLoad_.erase(it);
+}
+
+bool Service::clientIdle(std::uint64_t client) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return clientLoad_.count(client) == 0;
+}
+
+void Service::admit(JobRequest req, std::uint64_t client) {
     const std::uint64_t estimate = estimateJobBytes(req);
     const std::uint64_t limit = robust::MemoryGovernor::instance().limitBytes();
+    // Fingerprinting reads the instance (bounded, raw bytes) — do it
+    // outside mu_. A fault-armed job invalidates its key up front: the
+    // faults it is about to inject must not leave a stale cached answer
+    // for the clean request that follows.
+    const bool cacheable = cacheableRequest(req);
+    std::uint64_t fingerprint = 0;
+    if (cache_ && (cacheable || (req.op == JobOp::kPartition && !req.faultSpec.empty())))
+        fingerprint = requestFingerprint(req);
+    if (cache_ && !req.faultSpec.empty() && fingerprint != 0)
+        cache_->invalidate(fingerprint);
+
     JobRequest shedJob;
+    std::uint64_t shedClient = 0;
     bool didShed = false;
     {
         std::unique_lock<std::mutex> lock(mu_);
         if (req.id.empty()) req.id = "job-" + std::to_string(nextSeq_);
         if (draining_ || stopping_) {
             lock.unlock();
-            emitRejected(req, "service is draining; job rejected");
+            emitRejected(req, client, "service is draining; job rejected");
             return;
         }
         if (limit > 0 && estimate > limit) {
             lock.unlock();
-            emitRejected(req,
+            emitRejected(req, client,
                          "admission: estimated " + std::to_string(estimate) +
                              " bytes exceeds the " + std::to_string(limit) + "-byte budget",
                          StatusCode::kResourceExhausted);
             return;
         }
+        if (cfg_.perClientInFlight > 0 &&
+            clientLoad_[client] >= cfg_.perClientInFlight) {
+            lock.unlock();
+            emitRejected(req, client,
+                         "per-client limit (" + std::to_string(cfg_.perClientInFlight) +
+                             " jobs queued or running) reached");
+            return;
+        }
+        // Result cache: a hit answers at admission, bit-identical to the
+        // cold run that populated it, without touching queue or workers.
+        if (cacheable && fingerprint != 0) {
+            JobOutcome hit;
+            if (cache_ && cache_->lookup(fingerprint, hit)) {
+                JobResult r;
+                r.id = req.id;
+                r.outcome = hit;
+                r.cached = true;
+                ++completed_;
+                recordResult(r);
+                lock.unlock();
+                emitTo(client, jobResultJson(r));
+                return;
+            }
+        }
         if (queue_.size() >= static_cast<std::size_t>(cfg_.queueLimit)) {
             const std::size_t idx = lowestPriorityIndex();
             if (queue_[idx].req.priority < req.priority) {
                 shedJob = std::move(queue_[idx].req);
+                shedClient = queue_[idx].client;
+                decrementLoadLocked(shedClient);
                 queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
                 ++shed_;
                 didShed = true;
             } else {
                 lock.unlock();
-                emitRejected(req, "queue full (" + std::to_string(cfg_.queueLimit) +
-                                      " jobs); no lower-priority job to shed");
+                emitRejected(req, client,
+                             "queue full (" + std::to_string(cfg_.queueLimit) +
+                                 " jobs); no lower-priority job to shed");
                 return;
             }
         }
-        queue_.push_back(Queued{std::move(req), nextSeq_++, nowNs()});
+        Queued q;
+        q.req = std::move(req);
+        q.seq = nextSeq_++;
+        q.enqueuedNs = nowNs();
+        q.client = client;
+        q.fingerprint = cacheable ? fingerprint : 0;
+        q.cancel = std::make_shared<std::atomic<bool>>(false);
+        queue_.push_back(std::move(q));
+        ++clientLoad_[client];
         cv_.notify_one();
     }
     if (didShed)
-        emitRejected(shedJob, "shed from a full queue by a higher-priority arrival");
+        emitRejected(shedJob, shedClient, "shed from a full queue by a higher-priority arrival");
 }
 
-void Service::handleLine(const std::string& line) {
+std::string Service::cancelJob(const std::string& id, std::uint64_t client) {
+    JobResult dropped;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            if (queue_[i].req.id != id || queue_[i].client != client) continue;
+            queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+            decrementLoadLocked(client);
+            ++cancelled_;
+            dropped.id = id;
+            dropped.outcome.status = {StatusCode::kCancelled,
+                                      "cancelled while queued; never dispatched"};
+            recordResult(dropped);
+            break;
+        }
+        if (dropped.id.empty()) {
+            const auto it = inflight_.find(inflightKey(client, id));
+            if (it == inflight_.end()) return "unknown";
+            // The dispatcher owns the response; the supervisor winds the
+            // worker down and reclassifies every non-OK outcome to
+            // CANCELLED (an already-complete OK result stands).
+            it->second.cancel->store(true, std::memory_order_release);
+            return "inflight";
+        }
+    }
+    // The cancelled job's one-and-only response.
+    emitTo(client, jobResultJson(dropped));
+    return "queued";
+}
+
+void Service::handleLine(const std::string& line) { handleLine(line, 0); }
+
+void Service::handleLine(const std::string& line, std::uint64_t client) {
     std::size_t i = 0;
     while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
     if (i >= line.size()) return; // blank line: ignore
@@ -195,22 +346,29 @@ void Service::handleLine(const std::string& line) {
     } catch (const Error& e) {
         JobResult r;
         r.outcome.status = e.status();
-        emitLine(jobResultJson(r));
+        emitTo(client, jobResultJson(r));
         return;
     }
     switch (req.op) {
         case JobOp::kStatus:
-            emitLine(statusJson());
+            emitTo(client, statusJson());
             return;
         case JobOp::kDrain: {
             JsonWriter w;
             w.field("event", "draining").field("id", req.id);
-            emitLine(w.str());
+            emitTo(client, w.str());
             drain();
             return;
         }
+        case JobOp::kCancel: {
+            const std::string outcome = cancelJob(req.id, client);
+            JsonWriter w;
+            w.field("event", "cancel").field("id", req.id).field("outcome", outcome);
+            emitTo(client, w.str());
+            return;
+        }
         case JobOp::kPartition:
-            admit(std::move(req));
+            admit(std::move(req), client);
             return;
     }
 }
@@ -228,9 +386,10 @@ void Service::drain() {
             std::memory_order_relaxed);
         drainState_.draining.store(true, std::memory_order_release);
         dropped.swap(queue_);
+        for (const Queued& q : dropped) decrementLoadLocked(q.client);
     }
     for (const Queued& q : dropped)
-        emitRejected(q.req, "drained before execution; job rejected");
+        emitRejected(q.req, q.client, "drained before execution; job rejected");
 }
 
 void Service::stop() {
@@ -242,6 +401,7 @@ void Service::stop() {
     }
     for (std::thread& t : dispatchers_)
         if (t.joinable()) t.join();
+    if (pool_) pool_->shutdown();
     std::lock_guard<std::mutex> lock(mu_);
     stopped_ = true;
 }
@@ -258,6 +418,42 @@ int Service::completedJobs() const {
 
 std::string Service::statusJson() {
     auto& governor = robust::MemoryGovernor::instance();
+    std::size_t clientCount = 0;
+    {
+        std::lock_guard<std::mutex> lock(emitMu_);
+        clientCount = clients_.size();
+    }
+    std::string poolWorkers = "[";
+    std::int64_t respawnTotal = 0;
+    if (pool_) {
+        const std::vector<WorkerSlotStats> slots = pool_->stats();
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (i > 0) poolWorkers += ',';
+            JsonWriter sw;
+            sw.field("jobs_served", slots[i].jobsServed)
+                .field("crashes", slots[i].crashes)
+                .field("respawns", slots[i].respawns)
+                .field("consecutive_failures", slots[i].consecutiveFailures)
+                .field("backoff_active", slots[i].backoffActive)
+                .field("alive", slots[i].alive);
+            poolWorkers += sw.str();
+        }
+        respawnTotal = pool_->respawnTotal();
+    }
+    poolWorkers += ']';
+    JsonWriter cw;
+    if (cache_) {
+        const ResultCache::Stats cs = cache_->stats();
+        cw.field("entries", cs.entries)
+            .field("hits", cs.hits)
+            .field("misses", cs.misses)
+            .field("insertions", cs.insertions)
+            .field("evictions", cs.evictions)
+            .field("invalidations", cs.invalidations);
+    } else {
+        cw.field("entries", std::int64_t{0}).field("hits", std::int64_t{0});
+    }
+
     std::lock_guard<std::mutex> lock(mu_);
     std::string jobs = "[";
     for (std::size_t i = 0; i < history_.size(); ++i) {
@@ -272,15 +468,22 @@ std::string Service::statusJson() {
         .field("completed", completed_)
         .field("rejected", rejected_)
         .field("shed", shed_)
+        .field("cancelled", cancelled_)
+        .field("orphaned", orphaned_.load(std::memory_order_relaxed))
+        .field("clients", static_cast<std::int64_t>(clientCount))
         .field("draining", draining_)
         .field("workers", cfg_.workers)
+        .field("pool", pool_ != nullptr)
+        .field("respawn_total", respawnTotal)
         .field("mem_limit", static_cast<std::int64_t>(governor.limitBytes()))
         .field("mem_in_use", static_cast<std::int64_t>(governor.inUseBytes()))
+        .raw("pool_workers", poolWorkers)
+        .raw("cache", cw.str())
         .raw("jobs", jobs);
     return w.str();
 }
 
-void Service::dispatcherLoop() {
+void Service::dispatcherLoop(int slot) {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
         cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -299,23 +502,37 @@ void Service::dispatcherLoop() {
         Queued q = std::move(queue_[best]);
         queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
         ++active_;
+        inflight_[inflightKey(q.client, q.req.id)] = InFlight{q.cancel, q.client};
         lock.unlock();
 
         const double queueSeconds =
             static_cast<double>(nowNs() - q.enqueuedNs) / 1e9;
-        SupervisorConfig sc;
-        sc.graceSeconds = cfg_.graceSeconds;
-        sc.defaultDeadlineSeconds = cfg_.defaultDeadlineSeconds;
-        JobResult r = superviseJob(q.req, sc, &drainState_);
+        JobResult r;
+        if (q.cancel->load(std::memory_order_acquire)) {
+            // Cancelled between dequeue and fork: never run at all.
+            r.id = q.req.id;
+            r.outcome.status = {StatusCode::kCancelled,
+                                "cancelled before dispatch; never run"};
+        } else {
+            SupervisorConfig sc;
+            sc.graceSeconds = cfg_.graceSeconds;
+            sc.defaultDeadlineSeconds = cfg_.defaultDeadlineSeconds;
+            r = superviseJob(q.req, sc, &drainState_, q.cancel.get(), pool_.get(), slot);
+        }
         r.queueSeconds = queueSeconds;
-        emitLine(jobResultJson(r));
+        if (cache_ && q.fingerprint != 0 && !r.cached && r.outcome.status.ok() &&
+            !r.outcome.deadlineHit)
+            cache_->insert(q.fingerprint, r.outcome);
+        emitTo(q.client, jobResultJson(r));
 
         lock.lock();
+        const auto it = inflight_.find(inflightKey(q.client, q.req.id));
+        if (it != inflight_.end() && it->second.cancel == q.cancel) inflight_.erase(it);
+        decrementLoadLocked(q.client);
         --active_;
         ++completed_;
-        history_.push_back(std::move(r));
-        while (history_.size() > static_cast<std::size_t>(cfg_.historyLimit))
-            history_.pop_front();
+        if (r.outcome.status.code == StatusCode::kCancelled) ++cancelled_;
+        recordResult(std::move(r));
     }
 }
 

@@ -18,6 +18,7 @@
 #include "robust/fault_injector.h"
 #include "robust/wire.h"
 #include "serve/worker.h"
+#include "serve/worker_pool.h"
 
 namespace mlpart::serve {
 
@@ -34,16 +35,10 @@ std::int64_t nowNs() {
 
 constexpr std::int64_t kNoKill = std::int64_t{1} << 62;
 
-struct Attempt {
-    JobOutcome outcome;
-    bool crashed = false;       ///< signal death / torn frame (not watchdog)
-    bool watchdogKilled = false;
-};
-
 /// One fork + supervise cycle. Absorbs every worker failure mode into a
 /// classified Attempt; throws only for parent-side faults (serve.fork).
 Attempt runAttempt(const JobRequest& req, int attempt, const SupervisorConfig& cfg,
-                   const DrainState* drain) {
+                   const DrainState* drain, const std::atomic<bool>* cancel) {
     Attempt a;
 
     MLPART_FAULT_SITE("serve.fork"); // injected spawn failure
@@ -62,7 +57,9 @@ Attempt runAttempt(const JobRequest& req, int attempt, const SupervisorConfig& c
                     std::string("supervisor: fork: ") + std::strerror(err));
     }
     if (pid == 0) {
-        close(fds[0]);
+        // Shed every inherited fd (client sockets, the listen socket, pool
+        // pipes) so a job in flight never pins another connection open.
+        closeInheritedFds({fds[1]});
         workerChildMain(req, attempt, fds[1]); // never returns
     }
     close(fds[1]);
@@ -82,6 +79,14 @@ Attempt runAttempt(const JobRequest& req, int attempt, const SupervisorConfig& c
     bool eof = false;
     while (!eof) {
         const std::int64_t now = nowNs();
+        if (cancel != nullptr && !sigtermSent &&
+            cancel->load(std::memory_order_relaxed)) {
+            // Cancellation: same cooperative wind-down as a drain, but
+            // per-job — SIGTERM once, then bound the wait by the grace.
+            kill(pid, SIGTERM);
+            sigtermSent = true;
+            if (now + graceNs < hardKillAt) hardKillAt = now + graceNs;
+        }
         if (drain != nullptr && drain->draining.load(std::memory_order_relaxed) &&
             !sigtermSent &&
             now >= drain->softKillAtNs.load(std::memory_order_relaxed)) {
@@ -172,7 +177,8 @@ std::uint64_t reseedForAttempt(std::uint64_t seed, int attempt) {
 }
 
 JobResult superviseJob(const JobRequest& req, const SupervisorConfig& cfg,
-                       const DrainState* drain) {
+                       const DrainState* drain, const std::atomic<bool>* cancel,
+                       WorkerPool* pool, int slot) {
     JobResult res;
     res.id = req.id;
     const int maxAttempts = cfg.maxAttempts < 1 ? 1 : cfg.maxAttempts;
@@ -181,7 +187,8 @@ JobResult superviseJob(const JobRequest& req, const SupervisorConfig& cfg,
         r.seed = reseedForAttempt(req.seed, attempt);
         Attempt a;
         try {
-            a = runAttempt(r, attempt, cfg, drain);
+            a = pool != nullptr ? pool->runAttempt(slot, r, attempt, cfg, drain, cancel)
+                                : runAttempt(r, attempt, cfg, drain, cancel);
         } catch (const Error& e) {
             a.outcome.status = e.status();
         } catch (const std::exception& e) {
@@ -191,6 +198,19 @@ JobResult superviseJob(const JobRequest& req, const SupervisorConfig& cfg,
         if (a.crashed) ++res.crashes;
         if (a.watchdogKilled) res.watchdogKilled = true;
         res.outcome = a.outcome;
+        if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+            // Cancel/complete race, resolved deterministically: a clean OK
+            // result means the job completed before the cancel landed and
+            // stands as-is; anything else (cooperative wind-down, a kill,
+            // even a coincidental crash) becomes the one CANCELLED
+            // response. Never retried — the caller no longer wants it.
+            if (!a.outcome.status.ok())
+                res.outcome.status = {StatusCode::kCancelled,
+                                      "cancelled: " + (a.outcome.status.message.empty()
+                                                           ? std::string("job wound down")
+                                                           : a.outcome.status.message)};
+            break;
+        }
         if (!isRetryableJobFailure(a.outcome.status.code)) break;
     }
     res.retried = res.attempts > 1;

@@ -41,10 +41,29 @@ struct DrainState {
     std::atomic<std::int64_t> softKillAtNs{0};
 };
 
+/// One supervised worker execution, before the retry policy is applied.
+/// Produced by the fork-per-job path and by WorkerPool::runAttempt.
+struct Attempt {
+    JobOutcome outcome;
+    bool crashed = false;       ///< signal death / torn frame (not watchdog)
+    bool watchdogKilled = false;
+};
+
+class WorkerPool;
+
 /// Runs `req` under supervision. `drain` may be null (no drain channel).
-/// Every failure mode comes back as a classified JobResult.
+/// A non-null `cancel` flag is the per-job cancellation channel: when it
+/// flips, the worker is SIGTERMed once (cooperative wind-down, same as a
+/// drain), hard-killed after the grace, never retried, and every non-OK
+/// outcome is reclassified kCancelled — a completed OK result stands, so
+/// the cancel/complete race is deterministic either way. With a non-null
+/// `pool`, attempts dispatch to pre-forked pool worker `slot` instead of
+/// forking per job. Every failure mode comes back as a classified
+/// JobResult.
 [[nodiscard]] JobResult superviseJob(const JobRequest& req, const SupervisorConfig& cfg,
-                                     const DrainState* drain = nullptr);
+                                     const DrainState* drain = nullptr,
+                                     const std::atomic<bool>* cancel = nullptr,
+                                     WorkerPool* pool = nullptr, int slot = 0);
 
 /// Retry policy: true for failures where a fresh worker with a reseeded
 /// RNG has a chance (crash, torn frame, injected fault, OOM, all starts

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <csignal>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <string>
@@ -21,6 +22,11 @@
 
 #if !defined(_WIN32)
 #include <unistd.h>
+#if defined(__linux__)
+#include <sys/syscall.h>
+#endif
+#include <limits>
+#include <utility>
 #endif
 
 namespace mlpart::serve {
@@ -141,11 +147,17 @@ extern "C" void onWorkerTerm(int) { g_workerCancel.store(true, std::memory_order
 
 } // namespace
 
-void workerChildMain(const JobRequest& req, int attempt, int resultFd) {
-    // SIGTERM is the drain signal: wind down cooperatively, emit
-    // best-so-far, keep the checkpoint. SIGINT stays default — the
-    // supervisor never sends it to a worker.
-    std::signal(SIGTERM, onWorkerTerm);
+namespace {
+
+/// The shared per-job body of both child modes: re-arm fault injection,
+/// visit the containment sites, execute, frame the outcome onto
+/// `resultFd`. Returns the outcome's status code; _exits directly on a
+/// torn-write fault or a dead result pipe. `rearmEnvWhenSpecEmpty` is the
+/// pooled-worker discipline — re-arming resets the injector's hit
+/// counters, so job N+1 sees the same fault determinism a fresh fork
+/// would, instead of counters accumulated across the worker's lifetime.
+StatusCode serveOneJob(const JobRequest& req, int attempt, int resultFd,
+                       bool rearmEnvWhenSpecEmpty) {
     g_workerCancel.store(false, std::memory_order_relaxed);
 
     // The per-job fault spec overrides whatever arming the parent's
@@ -156,6 +168,13 @@ void workerChildMain(const JobRequest& req, int attempt, int resultFd) {
             robust::FaultInjector::instance().armFromSpec(req.faultSpec);
         else
             robust::FaultInjector::instance().disarm();
+    } else if (rearmEnvWhenSpecEmpty) {
+        robust::FaultInjector::instance().disarm();
+        try {
+            (void)robust::FaultInjector::instance().armFromEnv();
+        } catch (...) {
+            // A bad env spec must not kill the worker between jobs.
+        }
     }
 
     // Containment-test sites. A fired crash site becomes a real SIGSEGV
@@ -193,7 +212,104 @@ void workerChildMain(const JobRequest& req, int attempt, int resultFd) {
     }
     robust::Status ws = robust::writeFull(resultFd, frame.data(), frame.size());
     if (!ws.ok()) _exit(robust::exitCodeFor(StatusCode::kInternal));
-    _exit(robust::exitCodeFor(out.status.code));
+    return out.status.code;
+}
+
+/// Job-pipe frames carry inline netlists, so the sanity cap is generous;
+/// anything beyond it is not a request the parent would ever send.
+constexpr std::uint64_t kMaxRequestFrameBytes = 1ull << 30;
+
+std::uint64_t loadLe64(const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+}
+
+/// Closes [first, last] without enumerating a potentially huge fd table:
+/// one close_range(2) syscall where the kernel has it, a bounded loop
+/// otherwise.
+void closeFdSpan(int first, int last) {
+    if (first > last) return;
+#if defined(__linux__) && defined(SYS_close_range)
+    const unsigned long lastArg =
+        last == std::numeric_limits<int>::max() ? ~0ul : static_cast<unsigned long>(last);
+    if (syscall(SYS_close_range, static_cast<unsigned long>(first), lastArg, 0ul) == 0)
+        return;
+#endif
+    long maxFd = sysconf(_SC_OPEN_MAX);
+    if (maxFd < 0 || maxFd > 65536) maxFd = 65536;
+    if (last >= maxFd) last = static_cast<int>(maxFd) - 1;
+    for (int fd = first; fd <= last; ++fd) close(fd);
+}
+
+} // namespace
+
+void closeInheritedFds(std::initializer_list<int> keep) {
+    // Tiny fixed-size sort: this runs in a freshly forked child of a
+    // multithreaded parent, so stay off the heap.
+    int kept[8];
+    int n = 0;
+    for (const int fd : keep)
+        if (fd > 2 && n < 8) kept[n++] = fd;
+    for (int i = 1; i < n; ++i)
+        for (int j = i; j > 0 && kept[j] < kept[j - 1]; --j)
+            std::swap(kept[j], kept[j - 1]);
+    int next = 3;
+    for (int i = 0; i < n; ++i) {
+        closeFdSpan(next, kept[i] - 1);
+        next = kept[i] + 1;
+    }
+    closeFdSpan(next, std::numeric_limits<int>::max());
+}
+
+void workerChildMain(const JobRequest& req, int attempt, int resultFd) {
+    // SIGTERM is the drain signal: wind down cooperatively, emit
+    // best-so-far, keep the checkpoint. SIGINT stays default — the
+    // supervisor never sends it to a worker.
+    std::signal(SIGTERM, onWorkerTerm);
+    _exit(robust::exitCodeFor(serveOneJob(req, attempt, resultFd,
+                                          /*rearmEnvWhenSpecEmpty=*/false)));
+}
+
+void workerPoolMain(int jobFd, int resultFd) {
+    std::signal(SIGTERM, onWorkerTerm);
+    for (;;) {
+        std::uint8_t header[robust::kFrameHeaderBytes];
+        std::size_t got = 0;
+        try {
+            got = robust::readFull(jobFd, header, sizeof(header));
+        } catch (...) {
+            _exit(robust::exitCodeFor(StatusCode::kInternal));
+        }
+        if (got == 0) _exit(0); // EOF between jobs: clean pool shutdown
+        if (got < sizeof(header)) _exit(robust::exitCodeFor(StatusCode::kParseError));
+        if (header[0] != 'M' || header[1] != 'L' || header[2] != 'W' || header[3] != 'F')
+            _exit(robust::exitCodeFor(StatusCode::kParseError));
+        const std::uint64_t payloadLen = loadLe64(header + 4);
+        if (payloadLen > kMaxRequestFrameBytes)
+            _exit(robust::exitCodeFor(StatusCode::kParseError));
+
+        std::vector<std::uint8_t> frame(sizeof(header) + payloadLen);
+        std::memcpy(frame.data(), header, sizeof(header));
+        try {
+            if (robust::readFull(jobFd, frame.data() + sizeof(header), payloadLen) !=
+                payloadLen)
+                _exit(robust::exitCodeFor(StatusCode::kParseError));
+        } catch (...) {
+            _exit(robust::exitCodeFor(StatusCode::kInternal));
+        }
+
+        JobRequest req;
+        std::int32_t attempt = 0;
+        try {
+            const std::vector<std::uint8_t> payload =
+                robust::parseFrame(frame.data(), frame.size());
+            req = decodeJobRequest(payload.data(), payload.size(), attempt);
+        } catch (...) {
+            _exit(robust::exitCodeFor(StatusCode::kParseError));
+        }
+        (void)serveOneJob(req, attempt, resultFd, /*rearmEnvWhenSpecEmpty=*/true);
+    }
 }
 
 #endif // !_WIN32

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <initializer_list>
 
 #include "serve/job.h"
 
@@ -24,12 +25,31 @@ namespace mlpart::serve {
 [[nodiscard]] JobOutcome executeJob(const JobRequest& req, const std::atomic<bool>* cancel);
 
 #if !defined(_WIN32)
+/// Post-fork hygiene, called first thing in every worker child: closes
+/// every inherited descriptor except std{in,out,err} and `keep` (the
+/// child's own pipe ends). Workers never exec, so FD_CLOEXEC cannot do
+/// this. Without it a long-lived pool worker holds duplicates of client
+/// sockets, sibling pipes, and the listen socket — a client whose
+/// connection the front end closed would then never see EOF, and a
+/// rebound socket path could still have a live listener in a child.
+void closeInheritedFds(std::initializer_list<int> keep);
+
 /// Child entry after fork(): executes `req` (attempt index `attempt`,
 /// used for the retry reseed and fault-spec arming) and writes one
 /// CRC-framed JobOutcome to `resultFd`. Never returns; exits via _exit
 /// with exitCodeFor(outcome.status.code) so the parent can classify even
 /// a torn or missing frame.
 [[noreturn]] void workerChildMain(const JobRequest& req, int attempt, int resultFd);
+
+/// Child entry for a pre-forked pool worker (DESIGN.md §13): loops
+/// reading CRC-framed JobRequests from `jobFd` and answering each with
+/// one CRC-framed JobOutcome on `resultFd`. Per job it clears the cancel
+/// flag and re-arms fault injection from the request spec (or the
+/// environment when the spec is empty), so a long-lived worker reproduces
+/// the fork-per-job fault determinism exactly. EOF on `jobFd` is the
+/// clean shutdown signal (_exit(0)); any framing damage on the job pipe
+/// is fatal to the worker, never guessed around. Never returns.
+[[noreturn]] void workerPoolMain(int jobFd, int resultFd);
 #endif
 
 } // namespace mlpart::serve

@@ -90,7 +90,7 @@ TEST(Status, ExitCodeMappingIsExhaustiveAndRoundTrips) {
         else
             EXPECT_EQ(back, code) << "exit " << exitCode << " does not round-trip";
     }
-    EXPECT_EQ(enumerators, 12); // update alongside StatusCode + kMaxStatusCode
+    EXPECT_EQ(enumerators, 13); // update alongside StatusCode + kMaxStatusCode
     // Every code except the documented kInjectedFault/kInternal collision
     // owns a distinct exit code.
     EXPECT_EQ(seenExitCodes.size(), static_cast<std::size_t>(enumerators - 1));
@@ -98,11 +98,13 @@ TEST(Status, ExitCodeMappingIsExhaustiveAndRoundTrips) {
     // (persisted checkpoint bytes depend on the enumerator order).
     EXPECT_EQ(robust::exitCodeFor(StatusCode::kWorkerCrashed), 8);
     EXPECT_EQ(robust::exitCodeFor(StatusCode::kRejected), 9);
+    EXPECT_EQ(robust::exitCodeFor(StatusCode::kCancelled), 10);
     EXPECT_STREQ(robust::statusCodeName(StatusCode::kWorkerCrashed), "WORKER_CRASHED");
     EXPECT_STREQ(robust::statusCodeName(StatusCode::kRejected), "REJECTED");
+    EXPECT_STREQ(robust::statusCodeName(StatusCode::kCancelled), "CANCELLED");
     // Unknown exit codes (a worker killed mid-_exit, a shell 127) are
     // total-mapped to kInternal, never UB or a throw.
-    for (const int garbage : {10, 42, 126, 127, 128, 255, -1})
+    for (const int garbage : {42, 126, 127, 128, 255, -1})
         EXPECT_EQ(robust::statusForExitCode(garbage), StatusCode::kInternal);
 }
 

@@ -7,10 +7,19 @@
 
 #if !defined(_WIN32)
 
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -22,8 +31,10 @@
 #include "robust/memory_governor.h"
 #include "robust/status.h"
 #include "robust/wire.h"
+#include "serve/front_end.h"
 #include "serve/job.h"
 #include "serve/json.h"
+#include "serve/result_cache.h"
 #include "serve/service.h"
 #include "serve/supervisor.h"
 #include "serve/worker.h"
@@ -77,7 +88,63 @@ struct Capture {
         ADD_FAILURE() << "no response line for id=" << id;
         return "";
     }
+    /// Like lineFor, but only "result" lines — cancel acks share the id.
+    [[nodiscard]] std::string resultFor(const std::string& id) {
+        const std::string needle = "\"id\":\"" + id + "\"";
+        std::lock_guard<std::mutex> lock(mu);
+        for (const std::string& l : lines)
+            if (l.find(needle) != std::string::npos &&
+                l.find("\"event\":\"result\"") != std::string::npos)
+                return l;
+        ADD_FAILURE() << "no result line for id=" << id;
+        return "";
+    }
+    [[nodiscard]] int countFor(const std::string& id) {
+        const std::string needle = "\"id\":\"" + id + "\"";
+        std::lock_guard<std::mutex> lock(mu);
+        int n = 0;
+        for (const std::string& l : lines)
+            if (l.find(needle) != std::string::npos &&
+                l.find("\"event\":\"result\"") != std::string::npos)
+                ++n;
+        return n;
+    }
+    /// Waits until some captured line contains `needle`.
+    [[nodiscard]] bool waitFor(const std::string& needle, int timeoutMs = 20000) {
+        for (int i = 0; i < timeoutMs / 10; ++i) {
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                for (const std::string& l : lines)
+                    if (l.find(needle) != std::string::npos) return true;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        return false;
+    }
 };
+
+/// Pulls one top-level integer field out of a status line. The status
+/// JSON nests arrays (pool_workers, jobs), which the flat request parser
+/// rejects by design, so tests read it with a targeted scan instead.
+std::int64_t statusInt(const std::string& json, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t pos = json.find(needle);
+    if (pos == std::string::npos) {
+        ADD_FAILURE() << "status has no field " << key << ": " << json;
+        return -1;
+    }
+    return std::stoll(json.substr(pos + needle.size()));
+}
+
+/// Waits until the service reports one active (dispatched) job.
+void waitForActive(Service& service, int active = 1) {
+    const std::string needle = "\"active\":" + std::to_string(active);
+    for (int i = 0; i < 2000; ++i) {
+        if (service.statusJson().find(needle) != std::string::npos) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "service never reached active=" << active;
+}
 
 // --------------------------------------------------------------- JSON
 
@@ -550,6 +617,545 @@ TEST(ServeService, EofStopFinishesTheQueueInsteadOfRejectingIt) {
     for (int i = 0; i < 4; ++i)
         EXPECT_NE(cap.lineFor("q" + std::to_string(i)).find("\"status\":\"OK\""),
                   std::string::npos);
+}
+
+// ---------------------------------------------------------- cancellation
+
+TEST(ServeCancel, QueuedJobDiesWithOneCancelledResponse) {
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    Service service(cfg, cap.sink());
+    // Pin the one dispatcher so "victim" stays queued deterministically.
+    service.handleLine(tinyJob(
+        "blocker", "\"fault\":\"site=serve.worker_hang,at=1\",\"deadline\":1.0"));
+    waitForActive(service);
+    service.handleLine(tinyJob("victim"));
+    service.handleLine("{\"op\":\"cancel\",\"id\":\"victim\"}");
+    service.handleLine("{\"op\":\"cancel\",\"id\":\"no-such-job\"}");
+    service.stop();
+
+    EXPECT_NE(cap.lineFor("no-such-job").find("\"outcome\":\"unknown\""),
+              std::string::npos);
+    // The cancel gets its ack; the job gets its one CANCELLED result.
+    const std::vector<std::string> lines = cap.snapshot();
+    bool sawAck = false;
+    for (const std::string& l : lines)
+        if (l.find("\"event\":\"cancel\"") != std::string::npos &&
+            l.find("\"id\":\"victim\"") != std::string::npos)
+            sawAck = l.find("\"outcome\":\"queued\"") != std::string::npos;
+    EXPECT_TRUE(sawAck);
+    const std::string result = cap.resultFor("victim");
+    EXPECT_NE(result.find("\"status\":\"CANCELLED\""), std::string::npos) << result;
+    EXPECT_NE(result.find("\"exit\":10"), std::string::npos) << result;
+    EXPECT_EQ(cap.countFor("victim"), 1); // never lost, never duplicated
+}
+
+TEST(ServeCancel, InFlightJobWindsDownToCancelledAndIsNeverRetried) {
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    Service service(cfg, cap.sink());
+    // A job long enough to be mid-run when the cancel lands; the worker
+    // cooperates with SIGTERM (wind down, emit best-so-far).
+    service.handleLine(
+        "{\"op\":\"partition\",\"id\":\"long\","
+        "\"hgr\":\"6 8\\n1 2\\n3 4\\n5 6\\n7 8\\n2 3\\n6 7\\n\","
+        "\"runs\":100000,\"seed\":5}");
+    waitForActive(service);
+    service.handleLine("{\"op\":\"cancel\",\"id\":\"long\"}");
+    const auto t0 = std::chrono::steady_clock::now();
+    service.stop();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    bool sawAck = false;
+    for (const std::string& l : cap.snapshot())
+        if (l.find("\"event\":\"cancel\"") != std::string::npos &&
+            l.find("\"id\":\"long\"") != std::string::npos)
+            sawAck = l.find("\"outcome\":\"inflight\"") != std::string::npos;
+    EXPECT_TRUE(sawAck);
+    const std::string result = cap.resultFor("long");
+    EXPECT_NE(result.find("\"status\":\"CANCELLED\""), std::string::npos) << result;
+    const JsonObject o = parseJsonObject(result);
+    EXPECT_EQ(getInt(o, "attempts", 0), 1); // cancelled jobs are never retried
+    EXPECT_EQ(cap.countFor("long"), 1);
+    EXPECT_LT(seconds, 10.0); // wound down, not run to completion
+}
+
+TEST(ServeCancel, CancelAfterCompletionIsUnknownAndTheOkResultStands) {
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    Service service(cfg, cap.sink());
+    service.handleLine(tinyJob("fast", "\"seed\":31"));
+    ASSERT_TRUE(cap.waitFor("\"id\":\"fast\""));
+    // The complete side of the cancel/complete race: the job is done, the
+    // cancel finds nothing, the OK result is already emitted and final.
+    service.handleLine("{\"op\":\"cancel\",\"id\":\"fast\"}");
+    service.stop();
+    EXPECT_NE(cap.resultFor("fast").find("\"status\":\"OK\""), std::string::npos);
+    EXPECT_EQ(cap.countFor("fast"), 1);
+    bool sawUnknown = false;
+    for (const std::string& l : cap.snapshot())
+        if (l.find("\"event\":\"cancel\"") != std::string::npos)
+            sawUnknown = l.find("\"outcome\":\"unknown\"") != std::string::npos;
+    EXPECT_TRUE(sawUnknown);
+}
+
+TEST(ServeCancel, CancellingAHungWorkerStillResolvesToCancelled) {
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.graceSeconds = 0.3; // bound the SIGTERM-ignoring worker's wind-down
+    Service service(cfg, cap.sink());
+    service.handleLine(tinyJob("stuck", "\"fault\":\"site=serve.worker_hang,at=1\""));
+    waitForActive(service);
+    service.handleLine("{\"op\":\"cancel\",\"id\":\"stuck\"}");
+    service.stop();
+    // The worker ignored SIGTERM, the watchdog hard-killed it, and the
+    // classification still lands on the one deterministic CANCELLED.
+    const std::string result = cap.resultFor("stuck");
+    EXPECT_NE(result.find("\"status\":\"CANCELLED\""), std::string::npos) << result;
+    EXPECT_EQ(cap.countFor("stuck"), 1);
+}
+
+// ------------------------------------------------------------ worker pool
+
+TEST(ServePool, PoolResultsAreBitIdenticalToForkPerJobAcrossWorkerCounts) {
+    // The same mixed batch the fork-per-job determinism test uses: clean
+    // jobs plus first-attempt crashes and torn frames. Pooled workers
+    // re-arm the per-job fault spec per request, so attempt patterns —
+    // and cut + partition CRC — must match fork-per-job exactly, at every
+    // pool width.
+    const std::vector<std::string> jobs = {
+        tinyJob("p-clean-1", "\"seed\":11"),
+        tinyJob("p-clean-2", "\"seed\":12"),
+        tinyJob("p-crash-1",
+                "\"seed\":13,\"fault\":\"site=serve.worker_crash,at=1\",\"fault_attempts\":1"),
+        tinyJob("p-torn-1",
+                "\"seed\":14,\"fault\":\"site=serve.pipe,at=1\",\"fault_attempts\":1"),
+        tinyJob("p-dead-1", "\"seed\":15,\"fault\":\"site=serve.worker_crash,at=1\""),
+        tinyJob("p-clean-3", "\"seed\":16"),
+    };
+    std::map<std::string, std::map<std::string, std::string>> byConfig;
+    for (const int workers : {0, 1, 2, 8}) { // 0 = fork-per-job reference
+        Capture cap;
+        ServiceConfig cfg;
+        cfg.workers = workers == 0 ? 1 : workers;
+        cfg.usePool = workers != 0;
+        cfg.poolBackoffBaseSeconds = 0.01; // keep the crash jobs quick
+        {
+            Service service(cfg, cap.sink());
+            for (const std::string& j : jobs) service.handleLine(j);
+            service.stop();
+        }
+        std::map<std::string, std::string> results;
+        for (const std::string& j : jobs) {
+            const std::string id = parseJobRequest(j).id;
+            const JsonObject o = parseJsonObject(cap.resultFor(id));
+            results[id] = getString(o, "status", "?") + "/cut=" +
+                          std::to_string(getInt(o, "cut", -2)) + "/crc=" +
+                          std::to_string(getInt(o, "part_crc", -2)) + "/attempts=" +
+                          std::to_string(getInt(o, "attempts", -2));
+        }
+        byConfig[workers == 0 ? "fork" : "pool" + std::to_string(workers)] = results;
+    }
+    EXPECT_EQ(byConfig.at("fork"), byConfig.at("pool1"));
+    EXPECT_EQ(byConfig.at("fork"), byConfig.at("pool2"));
+    EXPECT_EQ(byConfig.at("fork"), byConfig.at("pool8"));
+}
+
+TEST(ServePool, CrashedWorkerIsReapedRespawnedAndAccounted) {
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.usePool = true;
+    cfg.poolBackoffBaseSeconds = 0.01;
+    Service service(cfg, cap.sink());
+    service.handleLine(tinyJob("die", "\"fault\":\"site=serve.worker_crash,at=1\""));
+    service.handleLine(tinyJob("ok-after", "\"seed\":9"));
+    ASSERT_TRUE(cap.waitFor("\"id\":\"ok-after\""));
+    const std::string status = service.statusJson();
+    service.stop();
+
+    EXPECT_NE(cap.resultFor("die").find("\"status\":\"WORKER_CRASHED\""),
+              std::string::npos);
+    EXPECT_NE(cap.resultFor("ok-after").find("\"status\":\"OK\""), std::string::npos);
+    // The crash-always job burned two workers (attempt + retry); the
+    // clean job proves the slot recovered. Stats must say so.
+    EXPECT_NE(status.find("\"pool\":true"), std::string::npos) << status;
+    EXPECT_GE(statusInt(status, "respawn_total"), 2);
+    EXPECT_NE(status.find("\"crashes\":2"), std::string::npos) << status;
+}
+
+TEST(ServePool, FlappingWorkerBacksOffExponentiallyAndRecovers) {
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.usePool = true;
+    cfg.poolBackoffBaseSeconds = 0.05;
+    cfg.poolBackoffCapSeconds = 0.2;
+    Service service(cfg, cap.sink());
+    // Two crash-always jobs: four consecutive worker deaths on one slot.
+    service.handleLine(tinyJob("flap-1", "\"fault\":\"site=serve.worker_crash,at=1\""));
+    service.handleLine(tinyJob("flap-2", "\"fault\":\"site=serve.worker_crash,at=1\""));
+    const auto t0 = std::chrono::steady_clock::now();
+    ASSERT_TRUE(cap.waitFor("\"id\":\"flap-2\""));
+    const double flapSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const std::string flapping = service.statusJson();
+    // A clean job then resets the slot's failure streak.
+    service.handleLine(tinyJob("calm", "\"seed\":4"));
+    ASSERT_TRUE(cap.waitFor("\"id\":\"calm\""));
+    const std::string calmed = service.statusJson();
+    service.stop();
+
+    EXPECT_NE(flapping.find("\"consecutive_failures\":4"), std::string::npos) << flapping;
+    EXPECT_GE(statusInt(flapping, "respawn_total"), 3);
+    // Backoff made the flapping slower than free respawning: deaths 2..4
+    // waited ~0.05/0.1/0.2s (minus the first job's instant spawn).
+    (void)flapSeconds; // lower-bounding wall clock is flaky under load; the
+                       // consecutive_failures counter is the real assertion
+    EXPECT_NE(calmed.find("\"consecutive_failures\":0"), std::string::npos) << calmed;
+    EXPECT_NE(cap.resultFor("calm").find("\"status\":\"OK\""), std::string::npos);
+}
+
+TEST(ServePool, PoolShutdownLeavesNoLiveWorkers) {
+    ServiceConfig cfg;
+    cfg.workers = 4;
+    cfg.usePool = true;
+    Capture cap;
+    std::vector<std::string> ids;
+    for (int i = 0; i < 8; ++i) {
+        std::string id = "w";
+        id += std::to_string(i);
+        ids.push_back(std::move(id));
+    }
+    {
+        Service service(cfg, cap.sink());
+        for (int i = 0; i < 8; ++i)
+            service.handleLine(tinyJob(ids[i], "\"seed\":" + std::to_string(100 + i)));
+        service.stop();
+    }
+    for (const std::string& id : ids)
+        EXPECT_NE(cap.resultFor(id).find("\"status\":\"OK\""), std::string::npos);
+    // Every pooled child was reaped by shutdown: no zombies to collect.
+    EXPECT_EQ(waitpid(-1, nullptr, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD);
+}
+
+// ------------------------------------------------------------ result cache
+
+TEST(ServeCache, LruEvictsAndCountsExactly) {
+    ResultCache cache(2);
+    JobOutcome o;
+    o.cut = 1;
+    cache.insert(10, o);
+    cache.insert(20, o);
+    JobOutcome out;
+    EXPECT_TRUE(cache.lookup(10, out));  // refreshes 10: 20 is now LRU
+    cache.insert(30, o);                 // evicts 20
+    EXPECT_FALSE(cache.lookup(20, out));
+    EXPECT_TRUE(cache.lookup(30, out));
+    EXPECT_FALSE(cache.lookup(0, out));  // fingerprint 0 never caches
+    cache.invalidate(10);
+    EXPECT_FALSE(cache.lookup(10, out));
+    const ResultCache::Stats s = cache.stats();
+    EXPECT_EQ(s.entries, 1);
+    EXPECT_EQ(s.insertions, 3);
+    EXPECT_EQ(s.evictions, 1);
+    EXPECT_EQ(s.invalidations, 1);
+}
+
+TEST(ServeCache, FingerprintFoldsConfigButNotThreadCounts) {
+    JobRequest a = tinyRequest("a");
+    a.seed = 42;
+    JobRequest b = a;
+    EXPECT_EQ(requestFingerprint(a), requestFingerprint(b));
+    // Results are bit-identical for every vcycle thread count >= 1 (PR 6),
+    // so the key folds only the parallel-mode marker.
+    b.vcycleThreads = 2;
+    JobRequest c = a;
+    c.vcycleThreads = 8;
+    EXPECT_EQ(requestFingerprint(b), requestFingerprint(c));
+    EXPECT_NE(requestFingerprint(a), requestFingerprint(b)); // serial != parallel
+    // Anything that changes the answer changes the key.
+    JobRequest d = a;
+    d.seed = 43;
+    EXPECT_NE(requestFingerprint(a), requestFingerprint(d));
+    JobRequest e = a;
+    e.k = 4;
+    EXPECT_NE(requestFingerprint(a), requestFingerprint(e));
+    // Side-effectful / fault-armed / resumed jobs are never cacheable.
+    EXPECT_TRUE(cacheableRequest(a));
+    JobRequest f = a;
+    f.faultSpec = "site=serve.worker_crash,at=1";
+    EXPECT_FALSE(cacheableRequest(f));
+    f = a;
+    f.outPath = "/tmp/out.part";
+    EXPECT_FALSE(cacheableRequest(f));
+    f = a;
+    f.checkpointPath = "/tmp/x.ckpt";
+    EXPECT_FALSE(cacheableRequest(f));
+}
+
+TEST(ServeCache, HitReplaysBitIdenticalResultWithCachedMarker) {
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.cacheEntries = 8;
+    Service service(cfg, cap.sink());
+    service.handleLine(tinyJob("cold", "\"seed\":77"));
+    ASSERT_TRUE(cap.waitFor("\"id\":\"cold\""));
+    service.handleLine(tinyJob("warm", "\"seed\":77")); // same key, new id
+    ASSERT_TRUE(cap.waitFor("\"id\":\"warm\""));
+    const std::string status = service.statusJson();
+    service.stop();
+
+    const JsonObject cold = parseJsonObject(cap.resultFor("cold"));
+    const JsonObject warm = parseJsonObject(cap.resultFor("warm"));
+    EXPECT_FALSE(getBool(cold, "cached", true));
+    EXPECT_TRUE(getBool(warm, "cached", false));
+    // Bit-identity, not just same status: cut and partition CRC replay.
+    EXPECT_EQ(getInt(warm, "cut", -1), getInt(cold, "cut", -2));
+    EXPECT_EQ(getInt(warm, "part_crc", -1), getInt(cold, "part_crc", -2));
+    EXPECT_NE(status.find("\"hits\":1"), std::string::npos) << status;
+}
+
+TEST(ServeCache, FaultArmedJobInvalidatesItsKey) {
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.cacheEntries = 8;
+    Service service(cfg, cap.sink());
+    service.handleLine(tinyJob("prime", "\"seed\":88"));
+    ASSERT_TRUE(cap.waitFor("\"id\":\"prime\""));
+    // Same key, fault-armed: must invalidate the cached entry and must
+    // not repopulate it (fault jobs are uncacheable).
+    service.handleLine(tinyJob(
+        "poison",
+        "\"seed\":88,\"fault\":\"site=serve.worker_crash,at=1\",\"fault_attempts\":1"));
+    ASSERT_TRUE(cap.waitFor("\"id\":\"poison\""));
+    service.handleLine(tinyJob("reprove", "\"seed\":88"));
+    ASSERT_TRUE(cap.waitFor("\"id\":\"reprove\""));
+    const std::string status = service.statusJson();
+    service.stop();
+
+    const JsonObject reprove = parseJsonObject(cap.resultFor("reprove"));
+    EXPECT_FALSE(getBool(reprove, "cached", true)) << "stale entry survived the fault";
+    const JsonObject prime = parseJsonObject(cap.resultFor("prime"));
+    EXPECT_EQ(getInt(reprove, "cut", -1), getInt(prime, "cut", -2)); // recomputed, same answer
+    EXPECT_EQ(statusInt(status, "invalidations"), 1);
+}
+
+// ------------------------------------------------------- client isolation
+
+TEST(ServeClients, PerClientInFlightCapRejectsTheOverflow) {
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.perClientInFlight = 1;
+    Service service(cfg, cap.sink());
+    service.handleLine(tinyJob(
+        "hog", "\"fault\":\"site=serve.worker_hang,at=1\",\"deadline\":1.0"));
+    waitForActive(service);
+    service.handleLine(tinyJob("over"));
+    service.stop();
+    const std::string over = cap.resultFor("over");
+    EXPECT_NE(over.find("\"status\":\"REJECTED\""), std::string::npos) << over;
+    EXPECT_NE(over.find("per-client limit"), std::string::npos) << over;
+}
+
+TEST(ServeClients, DisconnectDropsQueuedCancelsInFlightAndSuppressesResults) {
+    Capture survivor;
+    Capture doomed;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    Service service(cfg, survivor.sink());
+    const std::uint64_t gone = service.registerClient(doomed.sink());
+    // In-flight long job plus a queued job, both owned by the client.
+    service.handleLine(
+        "{\"op\":\"partition\",\"id\":\"doomed-run\","
+        "\"hgr\":\"6 8\\n1 2\\n3 4\\n5 6\\n7 8\\n2 3\\n6 7\\n\","
+        "\"runs\":100000,\"seed\":6}",
+        gone);
+    waitForActive(service);
+    service.handleLine(tinyJob("doomed-wait"), gone);
+    service.disconnectClient(gone);
+    const auto t0 = std::chrono::steady_clock::now();
+    // A surviving client keeps getting service: the auto-cancel freed the
+    // dispatcher without waiting for 100000 runs.
+    service.handleLine(tinyJob("alive", "\"seed\":7"));
+    ASSERT_TRUE(survivor.waitFor("\"id\":\"alive\""));
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const std::string status = service.statusJson();
+    service.stop();
+
+    EXPECT_LT(seconds, 20.0);
+    EXPECT_EQ(doomed.countFor("doomed-run"), 0);  // suppressed, not misrouted
+    EXPECT_EQ(doomed.countFor("doomed-wait"), 0); // dropped silently
+    EXPECT_EQ(survivor.countFor("doomed-run"), 0);
+    EXPECT_GE(statusInt(status, "orphaned"), 2); // the queued drop + the suppressed result
+}
+
+// --------------------------------------------------------- socket front end
+
+int connectClient(const std::string& path) {
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    struct sockaddr_un addr {};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    for (int i = 0; i < 250; ++i) {
+        if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) == 0)
+            return fd;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    close(fd);
+    return -1;
+}
+
+void sendAll(int fd, const std::string& data) {
+    ASSERT_TRUE(robust::writeFull(fd, data.data(), data.size()).ok());
+}
+
+/// Reads one '\n'-terminated line (without the newline); "" on EOF/timeout.
+std::string recvLine(int fd, int timeoutMs = 30000) {
+    std::string buf;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeoutMs);
+    while (std::chrono::steady_clock::now() < deadline) {
+        struct pollfd p {};
+        p.fd = fd;
+        p.events = POLLIN;
+        const int rc = poll(&p, 1, 100);
+        if (rc < 0 && errno != EINTR) break;
+        if (rc <= 0) continue;
+        char ch;
+        const ssize_t n = read(fd, &ch, 1);
+        if (n == 0) break;
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN) continue;
+            break;
+        }
+        if (ch == '\n') return buf;
+        buf.push_back(ch);
+    }
+    return buf;
+}
+
+struct FrontEndHarness {
+    Service service;
+    FrontEnd frontEnd;
+    std::atomic<bool> shutdown{false};
+    std::thread loop;
+
+    FrontEndHarness(const std::string& path, ServiceConfig cfg, FrontEndConfig fc = {})
+        : service(std::move(cfg), [](const std::string&) {}),
+          frontEnd(service, [&path, &fc] {
+              fc.socketPath = path;
+              return fc;
+          }()) {
+        EXPECT_TRUE(frontEnd.listen().ok());
+        loop = std::thread([this] { frontEnd.run(shutdown); });
+    }
+    ~FrontEndHarness() {
+        shutdown.store(true);
+        loop.join();
+    }
+};
+
+TEST(ServeFrontEnd, RoutesConcurrentClientsToTheirOwnConnections) {
+    const std::string path = ::testing::TempDir() + "serve_fe_route.sock";
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    FrontEndHarness h(path, cfg);
+    const int a = connectClient(path);
+    const int b = connectClient(path);
+    ASSERT_GE(a, 0);
+    ASSERT_GE(b, 0);
+    sendAll(a, tinyJob("from-a", "\"seed\":51") + "\n");
+    sendAll(b, tinyJob("from-b", "\"seed\":52") + "\n");
+    const std::string la = recvLine(a);
+    const std::string lb = recvLine(b);
+    EXPECT_NE(la.find("\"id\":\"from-a\""), std::string::npos) << la;
+    EXPECT_NE(lb.find("\"id\":\"from-b\""), std::string::npos) << lb;
+    // Interleaved ops on one connection while the other is idle.
+    sendAll(a, "{\"op\":\"status\"}\n");
+    EXPECT_NE(recvLine(a).find("\"event\":\"status\""), std::string::npos);
+    close(a);
+    close(b);
+}
+
+TEST(ServeFrontEnd, OversizedLineGetsOneParseErrorAndTheConnectionSurvives) {
+    const std::string path = ::testing::TempDir() + "serve_fe_cap.sock";
+    FrontEndConfig fc;
+    fc.maxLineBytes = 1024;
+    FrontEndHarness h(path, ServiceConfig{}, fc);
+    const int fd = connectClient(path);
+    ASSERT_GE(fd, 0);
+    // 100 KiB with no newline: far past the cap, spread over many reads.
+    sendAll(fd, std::string(100 * 1024, 'x') + "\n");
+    const std::string err = recvLine(fd);
+    EXPECT_NE(err.find("PARSE_ERROR"), std::string::npos) << err;
+    EXPECT_NE(err.find("exceeds"), std::string::npos) << err;
+    // Same connection, next line: still served.
+    sendAll(fd, tinyJob("after-flood", "\"seed\":61") + "\n");
+    const std::string ok = recvLine(fd);
+    EXPECT_NE(ok.find("\"id\":\"after-flood\""), std::string::npos) << ok;
+    EXPECT_NE(ok.find("\"status\":\"OK\""), std::string::npos) << ok;
+    close(fd);
+}
+
+TEST(ServeFrontEnd, HalfCloseDeliversTheFinalUnterminatedRequest) {
+    const std::string path = ::testing::TempDir() + "serve_fe_half.sock";
+    FrontEndHarness h(path, ServiceConfig{});
+    const int fd = connectClient(path);
+    ASSERT_GE(fd, 0);
+    sendAll(fd, "{\"op\":\"status\"}"); // no trailing newline
+    shutdown(fd, SHUT_WR);
+    const std::string line = recvLine(fd);
+    EXPECT_NE(line.find("\"event\":\"status\""), std::string::npos) << line;
+    // After the owed response, the server finishes the connection.
+    char ch;
+    ssize_t n = 1;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while (std::chrono::steady_clock::now() < deadline) {
+        n = read(fd, &ch, 1);
+        if (n <= 0 && errno != EAGAIN) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(n, 0); // clean EOF, not a hang
+    close(fd);
+}
+
+TEST(ServeFrontEnd, AbruptDisconnectCancelsTheClientsJobs) {
+    const std::string path = ::testing::TempDir() + "serve_fe_drop.sock";
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    FrontEndHarness h(path, cfg);
+    const int doomed = connectClient(path);
+    ASSERT_GE(doomed, 0);
+    sendAll(doomed,
+            "{\"op\":\"partition\",\"id\":\"drop-run\","
+            "\"hgr\":\"6 8\\n1 2\\n3 4\\n5 6\\n7 8\\n2 3\\n6 7\\n\","
+            "\"runs\":100000,\"seed\":8}\n");
+    waitForActive(h.service);
+    close(doomed); // mid-job, no goodbye
+    // The dispatcher must come back without finishing 100000 runs: a
+    // fresh client's job completes promptly.
+    const int alive = connectClient(path);
+    ASSERT_GE(alive, 0);
+    sendAll(alive, tinyJob("drop-alive", "\"seed\":9") + "\n");
+    const std::string line = recvLine(alive);
+    EXPECT_NE(line.find("\"id\":\"drop-alive\""), std::string::npos) << line;
+    sendAll(alive, "{\"op\":\"status\"}\n");
+    const std::string status = recvLine(alive);
+    EXPECT_GE(statusInt(status, "orphaned") + statusInt(status, "cancelled"), 1) << status;
+    close(alive);
 }
 
 } // namespace

@@ -1,16 +1,22 @@
-// mlpart_serve — long-lived supervised partitioning service (DESIGN.md §11).
+// mlpart_serve — long-lived supervised partitioning service (DESIGN.md §11, §13).
 //
 //   mlpart_serve [--workers N] [--queue N] [--deadline SEC] [--grace SEC]
 //                [--drain-grace SEC] [--history N] [--mem-limit BYTES[k|m|g]]
-//                [--socket PATH]
+//                [--socket PATH] [--pool] [--cache N] [--per-client N]
+//                [--max-line BYTES[k|m|g]]
 //
 // Reads one NDJSON job request per line from stdin (or, with --socket,
-// from clients of a unix stream socket) and answers every request with
-// exactly one NDJSON line on stdout (or the client's connection). Jobs
-// run in fork-isolated workers: a SIGSEGV, simulated OOM, or runaway loop
-// inside a job kills that worker, never the service. SIGTERM (or an
-// {"op":"drain"} request) drains gracefully: queued jobs are rejected,
-// in-flight jobs wind down to best-so-far + checkpoint, then exit 0.
+// from any number of concurrent clients of a unix stream socket) and
+// answers every request with exactly one NDJSON line on stdout (or the
+// requesting client's connection). Jobs run in fork-isolated workers — by
+// default one fork per job, with --pool in pre-forked per-dispatcher
+// workers that are reaped and respawned (with exponential backoff) when
+// they crash. {"op":"cancel","id":...} drops a queued job or winds down a
+// running one to a deterministic CANCELLED response; --cache N replays
+// repeat (instance, config) requests from a bounded result cache with
+// "cached":true. SIGTERM (or an {"op":"drain"} request) drains
+// gracefully: queued jobs are rejected, in-flight jobs wind down to
+// best-so-far + checkpoint, then exit 0.
 #if defined(_WIN32)
 #include <cstdio>
 int main() {
@@ -21,8 +27,6 @@ int main() {
 
 #include <poll.h>
 #include <signal.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -31,12 +35,11 @@ int main() {
 #include <csignal>
 #include <cstring>
 #include <iostream>
-#include <mutex>
 #include <string>
 
 #include "robust/fault_injector.h"
 #include "robust/status.h"
-#include "robust/wire.h"
+#include "serve/front_end.h"
 #include "serve/service.h"
 
 using namespace mlpart;
@@ -58,28 +61,32 @@ extern "C" void onSignal(int) { g_drain.store(true, std::memory_order_relaxed); 
         "  --drain-grace SEC  drain -> SIGTERM delay for in-flight jobs (default 0.5)\n"
         "  --history N        recent results kept for \"status\" (default 32)\n"
         "  --mem-limit BYTES  admission + governor budget, k/m/g suffix ok (default off)\n"
-        "  --socket PATH      serve a unix stream socket instead of stdin/stdout\n"
-        "requests: one JSON object per line; see DESIGN.md §11 for fields\n"
+        "  --socket PATH      serve a unix stream socket (concurrent clients)\n"
+        "  --pool             pre-forked worker pool instead of fork-per-job\n"
+        "  --cache N          result cache of N entries; repeats answer \"cached\":true\n"
+        "  --per-client N     max queued+running jobs per client; 0 = unlimited\n"
+        "  --max-line BYTES   request-line cap per connection (default 1m)\n"
+        "requests: one JSON object per line; see DESIGN.md §11/§13 for fields\n"
         "exit: 0 after a clean drain (SIGTERM / {\"op\":\"drain\"} / EOF)\n";
     std::exit(robust::exitCodeFor(robust::StatusCode::kUsage));
 }
 
-std::uint64_t parseByteSize(const std::string& s) {
+std::uint64_t parseByteSize(const std::string& flag, const std::string& s) {
     std::size_t pos = 0;
     unsigned long long v = 0;
     try {
         v = std::stoull(s, &pos);
     } catch (const std::exception&) {
-        usage("--mem-limit: malformed byte count '" + s + "'");
+        usage(flag + ": malformed byte count '" + s + "'");
     }
     std::uint64_t mult = 1;
     if (pos < s.size()) {
-        if (pos + 1 != s.size()) usage("--mem-limit: malformed byte count '" + s + "'");
+        if (pos + 1 != s.size()) usage(flag + ": malformed byte count '" + s + "'");
         switch (std::tolower(static_cast<unsigned char>(s[pos]))) {
             case 'k': mult = std::uint64_t{1} << 10; break;
             case 'm': mult = std::uint64_t{1} << 20; break;
             case 'g': mult = std::uint64_t{1} << 30; break;
-            default: usage("--mem-limit: unknown suffix '" + s.substr(pos) + "'");
+            default: usage(flag + ": unknown suffix '" + s.substr(pos) + "'");
         }
     }
     return static_cast<std::uint64_t>(v) * mult;
@@ -136,85 +143,11 @@ private:
     bool eof_ = false;
 };
 
-// Response sink: socket mode swaps the client connection in and out from
-// the accept loop while dispatcher threads emit concurrently, so the
-// target lives behind its own mutex. Falls back to stdout.
-class Sink {
-public:
-    void set(serve::Service::Emit fn) {
-        std::lock_guard<std::mutex> lock(mu_);
-        fn_ = std::move(fn);
-    }
-    void write(const std::string& line) {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (fn_) fn_(line);
-        else std::cout << line << "\n" << std::flush;
-    }
-
-private:
-    std::mutex mu_;
-    serve::Service::Emit fn_;
-};
-
-int serveFd(serve::Service& service, int inFd) {
-    LineReader reader(inFd);
-    std::string line;
-    while (!service.draining() && reader.next(line)) service.handleLine(line);
-    return 0;
-}
-
-int serveSocket(serve::Service& service, Sink& sink, const std::string& path) {
-    const int listenFd = socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listenFd < 0) {
-        std::cerr << "mlpart_serve: socket: " << std::strerror(errno) << "\n";
-        return 1;
-    }
-    struct sockaddr_un addr {};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path)) {
-        std::cerr << "mlpart_serve: socket path too long\n";
-        return 1;
-    }
-    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-    unlink(path.c_str());
-    if (bind(listenFd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0 ||
-        listen(listenFd, 8) < 0) {
-        std::cerr << "mlpart_serve: bind/listen " << path << ": " << std::strerror(errno) << "\n";
-        close(listenFd);
-        return 1;
-    }
-    std::cerr << "mlpart_serve: listening on " << path << "\n";
-
-    while (!g_drain.load(std::memory_order_relaxed) && !service.draining()) {
-        struct pollfd pfd {};
-        pfd.fd = listenFd;
-        pfd.events = POLLIN;
-        const int rc = poll(&pfd, 1, 200);
-        if (rc < 0 && errno != EINTR) break;
-        if (rc <= 0) continue;
-        const int clientFd = accept(listenFd, nullptr, nullptr);
-        if (clientFd < 0) continue;
-        // One client at a time: responses for this client's jobs go to its
-        // connection; results finishing after disconnect fall back to
-        // stdout (dropped lines would break one-request/one-response).
-        sink.set([clientFd](const std::string& l) {
-            const std::string out = l + "\n";
-            if (!robust::writeFull(clientFd, out.data(), out.size()).ok())
-                std::cout << out << std::flush;
-        });
-        serveFd(service, clientFd);
-        sink.set(nullptr);
-        close(clientFd);
-    }
-    close(listenFd);
-    unlink(path.c_str());
-    return 0;
-}
-
 } // namespace
 
 int main(int argc, char** argv) {
     serve::ServiceConfig cfg;
+    serve::FrontEndConfig fecfg;
     std::string socketPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -228,8 +161,13 @@ int main(int argc, char** argv) {
         else if (arg == "--grace") cfg.graceSeconds = std::stod(value());
         else if (arg == "--drain-grace") cfg.drainGraceSeconds = std::stod(value());
         else if (arg == "--history") cfg.historyLimit = std::stoi(value());
-        else if (arg == "--mem-limit") cfg.memLimitBytes = parseByteSize(value());
+        else if (arg == "--mem-limit") cfg.memLimitBytes = parseByteSize("--mem-limit", value());
         else if (arg == "--socket") socketPath = value();
+        else if (arg == "--pool") cfg.usePool = true;
+        else if (arg == "--cache") cfg.cacheEntries = std::stoi(value());
+        else if (arg == "--per-client") cfg.perClientInFlight = std::stoi(value());
+        else if (arg == "--max-line")
+            fecfg.maxLineBytes = static_cast<std::size_t>(parseByteSize("--max-line", value()));
         else if (arg == "--help" || arg == "-h") usage();
         else usage("unknown flag '" + arg + "'");
     }
@@ -247,24 +185,40 @@ int main(int argc, char** argv) {
 
     robust::FaultInjector::instance().armFromEnv();
 
-    // The per-client sink (socket mode) falls back to stdout.
-    Sink sink;
-    serve::Service service(cfg, [&sink](const std::string& line) { sink.write(line); });
+    // Client 0 (stdin mode) emits to stdout; socket clients each register
+    // their own emit with the service through the front end.
+    serve::Service service(cfg, [](const std::string& line) {
+        std::cout << line << "\n" << std::flush;
+    });
 
-    int rc = 0;
-    if (socketPath.empty()) rc = serveFd(service, STDIN_FILENO);
-    else rc = serveSocket(service, sink, socketPath);
+    if (socketPath.empty()) {
+        LineReader reader(STDIN_FILENO);
+        std::string line;
+        while (!service.draining() && reader.next(line)) service.handleLine(line);
+        // EOF, SIGTERM, or an in-band drain all end here with exit 0. The
+        // difference: a drain (signal / request) rejects whatever is still
+        // queued, while plain EOF finishes the queue — every accepted job
+        // gets its response either way.
+        if (g_drain.load(std::memory_order_relaxed)) service.drain();
+        service.stop();
+    } else {
+        fecfg.socketPath = socketPath;
+        serve::FrontEnd frontEnd(service, fecfg);
+        const robust::Status st = frontEnd.listen();
+        if (!st.ok()) {
+            std::cerr << "mlpart_serve: " << st.message << "\n";
+            return robust::exitCodeFor(st.code);
+        }
+        std::cerr << "mlpart_serve: listening on " << socketPath << "\n";
+        // run() owns the shutdown sequence: stop accepting, drain, flush
+        // every surviving connection, join the dispatchers.
+        frontEnd.run(g_drain);
+    }
 
-    // EOF, SIGTERM, or an in-band drain all end here with exit 0. The
-    // difference: a drain (signal / request) rejects whatever is still
-    // queued, while plain EOF finishes the queue — every accepted job
-    // gets its response either way.
-    if (g_drain.load(std::memory_order_relaxed)) service.drain();
-    service.stop();
     serve::JsonWriter w;
     w.field("event", "drained").field("completed", service.completedJobs());
     std::cout << w.str() << "\n" << std::flush;
-    return rc;
+    return 0;
 }
 
 #endif // _WIN32

@@ -211,6 +211,9 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
     auto coarsestRefiner = factory_(hm, fixedMask(m));
     coarsestRefiner->setDeadline(deadline);
     coarsestRefiner->setWorkspace(&ws.refine);
+    const bool profile = cfg_.profileRefinement && timings != nullptr;
+    refine::RefineProfile coarsestProf;
+    if (profile) coarsestRefiner->setProfile(&coarsestProf);
     Partition best(hm, cfg_.k);
     Weight bestCut = 0;
     if (warm != nullptr) {
@@ -247,6 +250,7 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
         }
     }
 
+    if (profile) timings->levels.push_back({m, hm.numModules(), coarsestProf});
     initialTimer.stop();
 
     // ---- Uncoarsening phase (steps 7-9) ----
@@ -309,6 +313,8 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
             auto refiner = factory_(hi, fixedMask(i));
             refiner->setDeadline(deadline);
             refiner->setWorkspace(&ws.refine);
+            refine::RefineProfile levelProf;
+            if (profile) refiner->setProfile(&levelProf);
 #if MLPART_CHECK_INVARIANTS
             const Weight refinedCut = refiner->refine(projected, bcI, rng);
             check::PartitionCheckOptions opt;
@@ -318,6 +324,7 @@ Partition MultilevelPartitioner::runCycle(const Hypergraph& h0, std::mt19937_64&
 #else
             refiner->refine(projected, bcI, rng);
 #endif
+            if (profile) timings->levels.push_back({i, hi.numModules(), levelProf});
         }
         curPart = std::move(projected);
     }
@@ -401,6 +408,9 @@ std::uint64_t configFingerprint(const MLConfig& cfg) {
         f = hashCombine(f, 0x50415221ull /* "PAR!" */);
         f = hashCombine(f, static_cast<std::uint64_t>(cfg.prePassMinModules));
     }
+    // profileRefinement is observation-only (never changes results) and is
+    // deliberately excluded: toggling the profiler must not invalidate
+    // checkpoints.
     return f == 0 ? 1 : f;
 }
 

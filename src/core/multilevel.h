@@ -20,6 +20,7 @@
 #include "coarsen/coarsen_kernel.h"
 #include "coarsen/matcher.h"
 #include "hypergraph/partition.h"
+#include "refine/profile.h"
 #include "refine/refiner.h"
 #include "refine/workspace.h"
 #include "robust/deadline.h"
@@ -72,10 +73,23 @@ private:
 /// run() call. coarsen covers matching + induce, initial the coarsest-level
 /// partitioning (and its refinement), refine the uncoarsening sweep
 /// (project + rebalance + per-level refinement).
+/// Refinement profile of one hierarchy level of one V-cycle: the engine's
+/// segment counters (refine/profile.h) plus the level's identity.
+struct MLLevelProfile {
+    int level = 0;       ///< hierarchy level: m = coarsest, 0 = flat netlist
+    ModuleId modules = 0; ///< |V_level|
+    refine::RefineProfile refine;
+};
+
 struct MLTimings {
     double coarsenSec = 0.0;
     double initialSec = 0.0;
     double refineSec = 0.0;
+    /// Per-level refinement profiles, in execution order (coarsest level
+    /// first, level 0 last, repeated per V-cycle). Populated only when
+    /// MLConfig::profileRefinement is set; empty otherwise — the engines
+    /// then skip every profiling clock read on the hot path.
+    std::vector<MLLevelProfile> levels;
 };
 
 struct MLConfig {
@@ -139,6 +153,10 @@ struct MLConfig {
     /// modules get the deterministic LP-style refinement pre-pass before
     /// serial FM; smaller levels go straight to FM.
     ModuleId prePassMinModules = 4096;
+    /// Collect per-level refinement profiles into MLTimings::levels
+    /// (mlpart_bench --profile). Observation only — never changes results —
+    /// and therefore deliberately NOT part of configFingerprint().
+    bool profileRefinement = false;
 };
 
 /// Stable hash of every MLConfig field that influences results — the

@@ -1,10 +1,13 @@
 #include "kway/kway_refiner.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <string>
 
+#include "perf/simd.h"
 #include "robust/fault_injector.h"
 
 #if MLPART_CHECK_INVARIANTS
@@ -13,6 +16,22 @@
 #endif
 
 namespace mlpart {
+
+namespace {
+/// Largest k the pass-start frozen-count bitmask sweep supports (one bit
+/// per block in a uint64). Larger k falls back to per-target moveGain().
+constexpr PartId kMaskSweepMaxK = 64;
+
+/// Profiling clock helper: seconds since `t0`, advancing it, so
+/// consecutive calls carve the timeline into disjoint segments.
+using ProfClock = std::chrono::steady_clock;
+inline double secondsSince(ProfClock::time_point& t0) {
+    const ProfClock::time_point t1 = ProfClock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    t0 = t1;
+    return s;
+}
+} // namespace
 
 #if MLPART_CHECK_INVARIANTS
 namespace {
@@ -132,6 +151,14 @@ void KWayFMRefiner::initNetState(const Partition& part) {
     counts_ = ws.kCounts.data();
     lockedCounts_ = ws.kLockedCounts.data();
     span_ = ws.kSpan.data();
+    cnt1Mask_ = cnt0Mask_ = nullptr;
+    if (k_ <= kMaskSweepMaxK) {
+        // Rewritten wholesale by every buildBuckets() call: grow, no clear.
+        if (ws.kCnt1Mask.size() < mSz) ws.kCnt1Mask.resize(mSz);
+        if (ws.kCnt0Mask.size() < mSz) ws.kCnt0Mask.resize(mSz);
+        cnt1Mask_ = ws.kCnt1Mask.data();
+        cnt0Mask_ = ws.kCnt0Mask.data();
+    }
     curObjective_ = 0;
     for (NetId e = 0; e < m; ++e) {
         if (h_.netSize(e) > cfg_.maxNetSize) continue;
@@ -165,6 +192,43 @@ Weight KWayFMRefiner::moveGain(ModuleId v, PartId q, const Partition& part) cons
     return g;
 }
 
+void KWayFMRefiner::moveGainsAll(ModuleId v, const Partition& part, Weight* out) const {
+    // Decomposition of moveGain() over the frozen pass-start counts. With
+    //   a  = [count(e, p) == 1]   (p empties when v leaves) and
+    //   bq = [count(e, q) == 0]   (q becomes newly spanned),
+    // spAfter = sp - a + bq, so per net the contribution toward target q is
+    //   span objective:    w * (sp - spAfter)          = w*a - w*bq
+    //   net-cut objective: w * ((sp>1) - (spAfter>1))  = w*a - w*bq
+    //     when sp - a == 1, and 0 when sp - a >= 2 (sp - a == 0 cannot
+    //     happen: sp == 1 forces count(e, p) == netSize(e) >= 2, so a = 0).
+    // The w*a term is target-independent; the -w*bq corrections are
+    // exactly the set bits of cnt0Mask (bit p is never set: count(e,p)>=1).
+    // Integer sums reassociate exactly, so out[q] matches a per-target
+    // moveGain() call bit for bit — one net traversal instead of k.
+    const PartId p = part.part(v);
+    const std::size_t kSz = static_cast<std::size_t>(k_);
+    const bool netCut = cfg_.objective == KWayObjective::kNetCut;
+    Weight base = 0;
+    Weight corr[kMaskSweepMaxK];
+    std::fill(corr, corr + kSz, Weight{0});
+    for (NetId e : h_.nets(v)) {
+        const std::size_t ei = static_cast<std::size_t>(e);
+        if (!activeNet_[ei]) continue;
+        const std::int32_t a =
+            static_cast<std::int32_t>((cnt1Mask_[ei] >> static_cast<unsigned>(p)) & 1U);
+        if (netCut && span_[ei] - a != 1) continue;
+        const Weight w = h_.netWeight(e);
+        base += w * static_cast<Weight>(a);
+        std::uint64_t bits = cnt0Mask_[ei];
+        while (bits != 0) {
+            corr[static_cast<std::size_t>(std::countr_zero(bits))] += w;
+            bits &= bits - 1;
+        }
+    }
+    // out[p] = base is meaningless; callers skip q == p.
+    for (std::size_t q = 0; q < kSz; ++q) out[q] = base - corr[q];
+}
+
 Weight KWayFMRefiner::lookaheadGain(ModuleId v, PartId q, int depth, const Partition& part) const {
     // Krishnamurthy/Sanchis level-r gain generalized to k blocks: a net
     // can still leave block x at level r if x holds no locked pins of it
@@ -190,12 +254,27 @@ void KWayFMRefiner::buildBuckets(const Partition& part) {
         for (PartId q = 0; q < k_; ++q)
             if (p != q) bucket(p, q).clear();
     const ModuleId n = h_.numModules();
+    // Fast path (k <= 64): one SIMD classification of the frozen counts
+    // into per-net ==1/==0 bitmasks, then one net traversal per module
+    // yields its gains toward all k targets (moveGainsAll). The realGain_
+    // cache is filled in the same sweep — callers must bind it first.
+    // Insertion order (v ascending, then q ascending) and gain values are
+    // identical to the per-target moveGain() fallback.
+    const bool maskSweep = k_ <= kMaskSweepMaxK;
+    if (maskSweep)
+        perf::classifyKWayCounts(counts_, activeNet_, static_cast<std::size_t>(h_.numNets()), k_,
+                                 cnt1Mask_, cnt0Mask_);
+    Weight gains[kMaskSweepMaxK];
     for (ModuleId v = 0; v < n; ++v) {
         if (locked_[static_cast<std::size_t>(v)]) continue;
         const PartId p = part.part(v);
+        if (maskSweep) moveGainsAll(v, part, gains);
         for (PartId q = 0; q < k_; ++q) {
             if (q == p) continue;
-            bucket(p, q).insert(v, moveGain(v, q, part));
+            const Weight g = maskSweep ? gains[static_cast<std::size_t>(q)] : moveGain(v, q, part);
+            bucket(p, q).insert(v, g);
+            realGain_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
+                      static_cast<std::size_t>(q)] = g;
         }
     }
     if (cfg_.clip)
@@ -280,17 +359,17 @@ void KWayFMRefiner::undoMoves(std::size_t n, Partition& part) {
 
 Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) {
     MLPART_FAULT_SITE("refine.kway.pass");
-    buildBuckets(part);
-    // Cache the real gains the buckets were built with (for CLIP deltas).
+    refine::RefineProfile* const prof = profile_;
+    ProfClock::time_point tp{};
+    if (prof != nullptr) tp = ProfClock::now();
+    // The real-gain cache (CLIP delta base) is filled by buildBuckets in
+    // the same sweep that computes the bucket priorities; bind it first.
     ws_->kRealGain.assign(static_cast<std::size_t>(h_.numModules()) * static_cast<std::size_t>(k_), 0);
     realGain_ = ws_->kRealGain.data();
-    for (ModuleId v = 0; v < h_.numModules(); ++v) {
-        if (locked_[static_cast<std::size_t>(v)]) continue;
-        const PartId p = part.part(v);
-        for (PartId q = 0; q < k_; ++q)
-            if (q != p)
-                realGain_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
-                          static_cast<std::size_t>(q)] = moveGain(v, q, part);
+    buildBuckets(part);
+    if (prof != nullptr) {
+        prof->bucketBuildSec += secondsSince(tp);
+        ++prof->passes;
     }
 #if MLPART_CHECK_INVARIANTS
     auditGainState(part, "KWayFMRefiner::buildBuckets");
@@ -343,6 +422,7 @@ Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std:
                 }
             }
         }
+        if (prof != nullptr) prof->selectSec += secondsSince(tp);
         if (bestV == kInvalidModule) break;
         if (cfg_.lookahead >= 2) {
             // Tie-break equal-displayed-gain candidates of the winning
@@ -378,6 +458,10 @@ Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std:
         const PartId from = part.part(bestV);
         const Weight delta = applyMove(bestV, bestTo, part);
         moves.push_back({bestV, from, bestTo, delta});
+        if (prof != nullptr) {
+            prof->applySec += secondsSince(tp);
+            ++prof->moves;
+        }
 #if MLPART_CHECK_INVARIANTS
         if (h_.numModules() <= kMidPassAuditLimit && ++movesSinceAudit_ >= kAuditStride) {
             movesSinceAudit_ = 0;
@@ -390,7 +474,13 @@ Weight KWayFMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std:
             bestIdx = moves.size();
         }
     }
-    undoMoves(moves.size() - bestIdx, part);
+    const std::size_t undone = moves.size() - bestIdx;
+    if (prof != nullptr) tp = ProfClock::now();
+    undoMoves(undone, part);
+    if (prof != nullptr) {
+        prof->rollbackSec += secondsSince(tp);
+        prof->rollbacks += static_cast<std::int64_t>(undone);
+    }
     return bestGain;
 }
 

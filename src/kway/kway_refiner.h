@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "kway/kway_config.h"
+#include "refine/profile.h"
 #include "refine/refiner.h"
 #include "refine/workspace.h"
 
@@ -31,6 +32,7 @@ public:
     [[nodiscard]] int lastPassCount() const override { return lastPassCount_; }
     void setDeadline(const robust::Deadline& deadline) override { deadline_ = deadline; }
     void setWorkspace(refine::Workspace* ws) override { ws_ = ws; }
+    void setProfile(refine::RefineProfile* profile) override { profile_ = profile; }
     /// Final value of the configured objective after the last refine().
     [[nodiscard]] Weight lastObjective() const { return curObjective_; }
 
@@ -51,6 +53,11 @@ private:
     void initNetState(const Partition& part);
     /// Gain of moving v from its block to q under the configured objective.
     [[nodiscard]] Weight moveGain(ModuleId v, PartId q, const Partition& part) const;
+    /// Pass-start gains of v toward *all* k targets in one traversal of its
+    /// nets, using the frozen-count bitmasks (k <= 64). out[q] is written
+    /// for every q != part.part(v); out[p] is untouched. Bit-identical to
+    /// k separate moveGain() calls.
+    void moveGainsAll(ModuleId v, const Partition& part, Weight* out) const;
     void buildBuckets(const Partition& part);
     void refreshModuleGains(ModuleId v, const Partition& part);
     Weight applyMove(ModuleId v, PartId to, Partition& part);
@@ -82,6 +89,7 @@ private:
     // into its buffers, refreshed whenever the buffers are (re)assigned.
     refine::Workspace* ws_ = nullptr;
     std::unique_ptr<refine::Workspace> owned_; ///< fallback when none is set
+    refine::RefineProfile* profile_ = nullptr; ///< null = profiling off
     char* activeNet_ = nullptr;
     std::int32_t* counts_ = nullptr;       ///< per (net, block) pin counts
     std::int32_t* lockedCounts_ = nullptr; ///< per (net, block) locked pins (lookahead)
@@ -89,6 +97,8 @@ private:
     char* locked_ = nullptr;
     GainBucketArray* buckets_ = nullptr; ///< k*k, diagonal unused
     Weight* realGain_ = nullptr;         ///< per (module, target): true gain backing the (possibly CLIP-distorted) bucket priority
+    std::uint64_t* cnt1Mask_ = nullptr;  ///< pass-start: bit q of [e] = block q has exactly 1 pin of e
+    std::uint64_t* cnt0Mask_ = nullptr;  ///< pass-start: bit q of [e] = block q has no pin of e
     std::uint64_t* touched_ = nullptr;   ///< per module: epoch of last gain refresh
     std::uint64_t epoch_ = 0;
     Weight curObjective_ = 0;

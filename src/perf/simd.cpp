@@ -1,0 +1,425 @@
+#include "perf/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define MLPART_SIMD_X86 1
+#else
+#define MLPART_SIMD_X86 0
+#endif
+
+namespace mlpart::perf {
+
+namespace {
+
+// ---------------------------------------------------------------- scalar
+
+void classifyNetsScalar(const std::int32_t* pc, const char* activeNet, const Weight* netWeight,
+                        std::size_t m, Weight* sideGain, char* cut) {
+    Weight* plane1 = sideGain + m;
+    for (std::size_t e = 0; e < m; ++e) {
+        const std::int32_t p0 = pc[2 * e];
+        const std::int32_t p1 = pc[2 * e + 1];
+        const Weight w = netWeight[e];
+        // Branch-free: the (pX == 1) and (pY == 0) cases are mutually
+        // exclusive for real nets (>= 2 pins), and inactive nets are
+        // masked to zero so the gather-sum can skip the active check.
+        const Weight a = activeNet[e] != 0 ? ~Weight{0} : 0;
+        sideGain[e] = (w * ((p0 == 1) - (p1 == 0))) & a;
+        plane1[e] = (w * ((p1 == 1) - (p0 == 0))) & a;
+        if (cut != nullptr) cut[e] = static_cast<char>((p0 > 0) & (p1 > 0) & (a != 0));
+    }
+}
+
+void classifyNetsHotScalar(const NetHot* nets, std::size_t m, Weight* sideGain, char* cut) {
+    Weight* plane1 = sideGain + m;
+    for (std::size_t e = 0; e < m; ++e) {
+        const std::int32_t p0 = nets[e].pc[0];
+        const std::int32_t p1 = nets[e].pc[1];
+        const Weight w = nets[e].w;
+        // Branch-free; the inactive sentinel {-1, -1} matches no case.
+        sideGain[e] = w * ((p0 == 1) - (p1 == 0));
+        plane1[e] = w * ((p1 == 1) - (p0 == 0));
+        if (cut != nullptr) cut[e] = static_cast<char>((p0 > 0) & (p1 > 0));
+    }
+}
+
+Weight gatherSumScalar(const Weight* plane, const NetId* idx, std::size_t count) {
+    Weight s = 0;
+    for (std::size_t i = 0; i < count; ++i) s += plane[static_cast<std::size_t>(idx[i])];
+    return s;
+}
+
+void classifyKWayScalar(const std::int32_t* counts, const char* activeNet, std::size_t m,
+                        std::int32_t k, std::uint64_t* cnt1Mask, std::uint64_t* cnt0Mask) {
+    const std::size_t kSz = static_cast<std::size_t>(k);
+    for (std::size_t e = 0; e < m; ++e) {
+        std::uint64_t m1 = 0, m0 = 0;
+        if (activeNet[e] != 0) {
+            const std::int32_t* row = counts + e * kSz;
+            for (std::size_t j = 0; j < kSz; ++j) {
+                m1 |= static_cast<std::uint64_t>(row[j] == 1) << j;
+                m0 |= static_cast<std::uint64_t>(row[j] == 0) << j;
+            }
+        }
+        cnt1Mask[e] = m1;
+        cnt0Mask[e] = m0;
+    }
+}
+
+#if MLPART_SIMD_X86
+
+// ---------------------------------------------------------------- SSE4.2
+// Two nets per iteration: pc pairs are widened to i64 lanes, classified
+// with pcmpeqq/pcmpgtq, and masked weights combined by exact subtraction.
+
+__attribute__((target("sse4.2"))) void classifyNetsSse4(const std::int32_t* pc,
+                                                        const char* activeNet,
+                                                        const Weight* netWeight, std::size_t m,
+                                                        Weight* sideGain, char* cut) {
+    Weight* plane1 = sideGain + m;
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i one = _mm_set1_epi64x(1);
+    std::size_t e = 0;
+    for (; e + 2 <= m; e += 2) {
+        const __m128i pcv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pc + 2 * e));
+        // pcv = [p0_e, p1_e, p0_{e+1}, p1_{e+1}] as i32.
+        const __m128i p0 = _mm_cvtepi32_epi64(_mm_shuffle_epi32(pcv, _MM_SHUFFLE(3, 1, 2, 0)));
+        const __m128i p1 =
+            _mm_cvtepi32_epi64(_mm_shuffle_epi32(pcv, _MM_SHUFFLE(2, 0, 3, 1)));
+        const __m128i w = _mm_loadu_si128(reinterpret_cast<const __m128i*>(netWeight + e));
+        std::uint16_t abits = 0;
+        std::memcpy(&abits, activeNet + e, 2);
+        const __m128i a64 = _mm_cvtepi8_epi64(_mm_cvtsi32_si128(abits));
+        const __m128i inactive = _mm_cmpeq_epi64(a64, zero);
+        __m128i g0 = _mm_sub_epi64(_mm_and_si128(w, _mm_cmpeq_epi64(p0, one)),
+                                   _mm_and_si128(w, _mm_cmpeq_epi64(p1, zero)));
+        __m128i g1 = _mm_sub_epi64(_mm_and_si128(w, _mm_cmpeq_epi64(p1, one)),
+                                   _mm_and_si128(w, _mm_cmpeq_epi64(p0, zero)));
+        g0 = _mm_andnot_si128(inactive, g0);
+        g1 = _mm_andnot_si128(inactive, g1);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(sideGain + e), g0);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(plane1 + e), g1);
+        if (cut != nullptr) {
+            const __m128i c = _mm_andnot_si128(
+                inactive, _mm_and_si128(_mm_cmpgt_epi64(p0, zero), _mm_cmpgt_epi64(p1, zero)));
+            const int bits = _mm_movemask_pd(_mm_castsi128_pd(c));
+            cut[e] = static_cast<char>(bits & 1);
+            cut[e + 1] = static_cast<char>((bits >> 1) & 1);
+        }
+    }
+    for (; e < m; ++e) {
+        const std::int32_t p0 = pc[2 * e];
+        const std::int32_t p1 = pc[2 * e + 1];
+        const Weight w = netWeight[e];
+        const Weight a = activeNet[e] != 0 ? ~Weight{0} : 0;
+        sideGain[e] = (w * ((p0 == 1) - (p1 == 0))) & a;
+        plane1[e] = (w * ((p1 == 1) - (p0 == 0))) & a;
+        if (cut != nullptr) cut[e] = static_cast<char>((p0 > 0) & (p1 > 0) & (a != 0));
+    }
+}
+
+// Two NetHot records per iteration: each record is one 16-byte lane pair
+// [pc0, pc1 | w], so unpacking two loads yields the same register layout
+// the SoA kernel starts from — counts interleaved, weights packed.
+__attribute__((target("sse4.2"))) void classifyNetsHotSse4(const NetHot* nets, std::size_t m,
+                                                           Weight* sideGain, char* cut) {
+    Weight* plane1 = sideGain + m;
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i one = _mm_set1_epi64x(1);
+    std::size_t e = 0;
+    for (; e + 2 <= m; e += 2) {
+        const __m128i r0 = _mm_load_si128(reinterpret_cast<const __m128i*>(nets + e));
+        const __m128i r1 = _mm_load_si128(reinterpret_cast<const __m128i*>(nets + e + 1));
+        const __m128i pcv = _mm_unpacklo_epi64(r0, r1); // [p0_e, p1_e, p0_e1, p1_e1]
+        const __m128i w = _mm_unpackhi_epi64(r0, r1);   // [w_e, w_e1]
+        const __m128i p0 = _mm_cvtepi32_epi64(_mm_shuffle_epi32(pcv, _MM_SHUFFLE(3, 1, 2, 0)));
+        const __m128i p1 = _mm_cvtepi32_epi64(_mm_shuffle_epi32(pcv, _MM_SHUFFLE(2, 0, 3, 1)));
+        const __m128i g0 = _mm_sub_epi64(_mm_and_si128(w, _mm_cmpeq_epi64(p0, one)),
+                                         _mm_and_si128(w, _mm_cmpeq_epi64(p1, zero)));
+        const __m128i g1 = _mm_sub_epi64(_mm_and_si128(w, _mm_cmpeq_epi64(p1, one)),
+                                         _mm_and_si128(w, _mm_cmpeq_epi64(p0, zero)));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(sideGain + e), g0);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(plane1 + e), g1);
+        if (cut != nullptr) {
+            const __m128i c = _mm_and_si128(_mm_cmpgt_epi64(p0, zero), _mm_cmpgt_epi64(p1, zero));
+            const int bits = _mm_movemask_pd(_mm_castsi128_pd(c));
+            cut[e] = static_cast<char>(bits & 1);
+            cut[e + 1] = static_cast<char>((bits >> 1) & 1);
+        }
+    }
+    for (; e < m; ++e) {
+        const std::int32_t p0 = nets[e].pc[0];
+        const std::int32_t p1 = nets[e].pc[1];
+        const Weight w = nets[e].w;
+        sideGain[e] = w * ((p0 == 1) - (p1 == 0));
+        plane1[e] = w * ((p1 == 1) - (p0 == 0));
+        if (cut != nullptr) cut[e] = static_cast<char>((p0 > 0) & (p1 > 0));
+    }
+}
+
+// ----------------------------------------------------------------- AVX2
+// Four nets per iteration; same masked-weight arithmetic on i64 lanes.
+
+__attribute__((target("avx2"))) void classifyNetsAvx2(const std::int32_t* pc,
+                                                      const char* activeNet,
+                                                      const Weight* netWeight, std::size_t m,
+                                                      Weight* sideGain, char* cut) {
+    Weight* plane1 = sideGain + m;
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i evenIdx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    const __m256i oddIdx = _mm256_setr_epi32(1, 3, 5, 7, 0, 0, 0, 0);
+    std::size_t e = 0;
+    for (; e + 4 <= m; e += 4) {
+        const __m256i pcv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pc + 2 * e));
+        const __m256i p0 = _mm256_cvtepi32_epi64(
+            _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(pcv, evenIdx)));
+        const __m256i p1 = _mm256_cvtepi32_epi64(
+            _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(pcv, oddIdx)));
+        const __m256i w = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(netWeight + e));
+        std::uint32_t abits = 0;
+        std::memcpy(&abits, activeNet + e, 4);
+        const __m256i a64 = _mm256_cvtepi8_epi64(_mm_cvtsi32_si128(static_cast<int>(abits)));
+        const __m256i inactive = _mm256_cmpeq_epi64(a64, zero);
+        __m256i g0 = _mm256_sub_epi64(_mm256_and_si256(w, _mm256_cmpeq_epi64(p0, one)),
+                                      _mm256_and_si256(w, _mm256_cmpeq_epi64(p1, zero)));
+        __m256i g1 = _mm256_sub_epi64(_mm256_and_si256(w, _mm256_cmpeq_epi64(p1, one)),
+                                      _mm256_and_si256(w, _mm256_cmpeq_epi64(p0, zero)));
+        g0 = _mm256_andnot_si256(inactive, g0);
+        g1 = _mm256_andnot_si256(inactive, g1);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(sideGain + e), g0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(plane1 + e), g1);
+        if (cut != nullptr) {
+            const __m256i c = _mm256_andnot_si256(
+                inactive,
+                _mm256_and_si256(_mm256_cmpgt_epi64(p0, zero), _mm256_cmpgt_epi64(p1, zero)));
+            const int bits = _mm256_movemask_pd(_mm256_castsi256_pd(c));
+            cut[e] = static_cast<char>(bits & 1);
+            cut[e + 1] = static_cast<char>((bits >> 1) & 1);
+            cut[e + 2] = static_cast<char>((bits >> 2) & 1);
+            cut[e + 3] = static_cast<char>((bits >> 3) & 1);
+        }
+    }
+    for (; e < m; ++e) {
+        const std::int32_t p0 = pc[2 * e];
+        const std::int32_t p1 = pc[2 * e + 1];
+        const Weight w = netWeight[e];
+        const Weight a = activeNet[e] != 0 ? ~Weight{0} : 0;
+        sideGain[e] = (w * ((p0 == 1) - (p1 == 0))) & a;
+        plane1[e] = (w * ((p1 == 1) - (p0 == 0))) & a;
+        if (cut != nullptr) cut[e] = static_cast<char>((p0 > 0) & (p1 > 0) & (a != 0));
+    }
+}
+
+// Four NetHot records per iteration (two 32-byte loads). One shuffle per
+// input vector deinterleaves both counts; the weights are qword lanes 1
+// and 3 of each vector, merged by a cross-vector blend.
+__attribute__((target("avx2"))) void classifyNetsHotAvx2(const NetHot* nets, std::size_t m,
+                                                         Weight* sideGain, char* cut) {
+    Weight* plane1 = sideGain + m;
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i pcIdx = _mm256_setr_epi32(0, 4, 1, 5, 0, 0, 0, 0);
+    std::size_t e = 0;
+    for (; e + 4 <= m; e += 4) {
+        const __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(nets + e));
+        const __m256i v1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(nets + e + 2));
+        // [p0_a, p0_b, p1_a, p1_b] and [p0_c, p0_d, p1_c, p1_d].
+        const __m128i t0 = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(v0, pcIdx));
+        const __m128i t1 = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(v1, pcIdx));
+        const __m256i p0 = _mm256_cvtepi32_epi64(_mm_unpacklo_epi64(t0, t1));
+        const __m256i p1 = _mm256_cvtepi32_epi64(_mm_unpackhi_epi64(t0, t1));
+        const __m256i wA = _mm256_permute4x64_epi64(v0, _MM_SHUFFLE(3, 1, 3, 1)); // [wa,wb,wa,wb]
+        const __m256i wB = _mm256_permute4x64_epi64(v1, _MM_SHUFFLE(3, 1, 3, 1)); // [wc,wd,wc,wd]
+        const __m256i w = _mm256_blend_epi32(wA, wB, 0xF0);                       // [wa,wb,wc,wd]
+        const __m256i g0 = _mm256_sub_epi64(_mm256_and_si256(w, _mm256_cmpeq_epi64(p0, one)),
+                                            _mm256_and_si256(w, _mm256_cmpeq_epi64(p1, zero)));
+        const __m256i g1 = _mm256_sub_epi64(_mm256_and_si256(w, _mm256_cmpeq_epi64(p1, one)),
+                                            _mm256_and_si256(w, _mm256_cmpeq_epi64(p0, zero)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(sideGain + e), g0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(plane1 + e), g1);
+        if (cut != nullptr) {
+            const __m256i c =
+                _mm256_and_si256(_mm256_cmpgt_epi64(p0, zero), _mm256_cmpgt_epi64(p1, zero));
+            const int bits = _mm256_movemask_pd(_mm256_castsi256_pd(c));
+            cut[e] = static_cast<char>(bits & 1);
+            cut[e + 1] = static_cast<char>((bits >> 1) & 1);
+            cut[e + 2] = static_cast<char>((bits >> 2) & 1);
+            cut[e + 3] = static_cast<char>((bits >> 3) & 1);
+        }
+    }
+    for (; e < m; ++e) {
+        const std::int32_t p0 = nets[e].pc[0];
+        const std::int32_t p1 = nets[e].pc[1];
+        const Weight w = nets[e].w;
+        sideGain[e] = w * ((p0 == 1) - (p1 == 0));
+        plane1[e] = w * ((p1 == 1) - (p0 == 0));
+        if (cut != nullptr) cut[e] = static_cast<char>((p0 > 0) & (p1 > 0));
+    }
+}
+
+__attribute__((target("avx2"))) Weight gatherSumAvx2(const Weight* plane, const NetId* idx,
+                                                     std::size_t count) {
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m128i vidx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+        acc = _mm256_add_epi64(
+            acc, _mm256_i32gather_epi64(reinterpret_cast<const long long*>(plane), vidx, 8));
+    }
+    alignas(32) Weight lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    Weight s = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < count; ++i) s += plane[static_cast<std::size_t>(idx[i])];
+    return s;
+}
+
+// K-way count classification, k == 4 fast path (quadrisection): each row
+// is exactly one 128-bit lane; two movemasks yield both bitmasks. Plain
+// SSE2 ops, usable from both vector tiers.
+__attribute__((target("sse4.2"))) void classifyKWay4Sse(const std::int32_t* counts,
+                                                        const char* activeNet, std::size_t m,
+                                                        std::uint64_t* cnt1Mask,
+                                                        std::uint64_t* cnt0Mask) {
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i one = _mm_set1_epi32(1);
+    for (std::size_t e = 0; e < m; ++e) {
+        if (activeNet[e] == 0) {
+            cnt1Mask[e] = 0;
+            cnt0Mask[e] = 0;
+            continue;
+        }
+        const __m128i row = _mm_loadu_si128(reinterpret_cast<const __m128i*>(counts + 4 * e));
+        cnt1Mask[e] = static_cast<std::uint64_t>(
+            _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(row, one))));
+        cnt0Mask[e] = static_cast<std::uint64_t>(
+            _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(row, zero))));
+    }
+}
+
+__attribute__((target("sse4.2"))) void classifyKWaySse4(const std::int32_t* counts,
+                                                        const char* activeNet, std::size_t m,
+                                                        std::int32_t k, std::uint64_t* cnt1Mask,
+                                                        std::uint64_t* cnt0Mask) {
+    if (k == 4) classifyKWay4Sse(counts, activeNet, m, cnt1Mask, cnt0Mask);
+    else classifyKWayScalar(counts, activeNet, m, k, cnt1Mask, cnt0Mask);
+}
+
+#endif // MLPART_SIMD_X86
+
+// -------------------------------------------------------------- dispatch
+
+struct KernelTable {
+    void (*classifyNets)(const std::int32_t*, const char*, const Weight*, std::size_t, Weight*,
+                         char*);
+    void (*classifyNetsHot)(const NetHot*, std::size_t, Weight*, char*);
+    Weight (*gatherSum)(const Weight*, const NetId*, std::size_t);
+    void (*classifyKWay)(const std::int32_t*, const char*, std::size_t, std::int32_t,
+                         std::uint64_t*, std::uint64_t*);
+};
+
+constexpr KernelTable kScalarTable{classifyNetsScalar, classifyNetsHotScalar, gatherSumScalar,
+                                   classifyKWayScalar};
+#if MLPART_SIMD_X86
+constexpr KernelTable kSse4Table{classifyNetsSse4, classifyNetsHotSse4, gatherSumScalar,
+                                 classifyKWaySse4};
+constexpr KernelTable kAvx2Table{classifyNetsAvx2, classifyNetsHotAvx2, gatherSumAvx2,
+                                 classifyKWaySse4};
+#endif
+
+const KernelTable& tableFor(SimdTier t) {
+#if MLPART_SIMD_X86
+    if (t == SimdTier::kAvx2) return kAvx2Table;
+    if (t == SimdTier::kSse4) return kSse4Table;
+#endif
+    (void)t;
+    return kScalarTable;
+}
+
+SimdTier detectCpuTier() {
+#if MLPART_SIMD_X86
+    if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+    if (__builtin_cpu_supports("sse4.2")) return SimdTier::kSse4;
+#endif
+    return SimdTier::kScalar;
+}
+
+/// MLPART_SIMD cap; unrecognized values fall back to auto (never fail a
+/// production run over a typo — CI asserts the tier it asked for).
+SimdTier envCap(SimdTier cpu) {
+    const char* env = std::getenv("MLPART_SIMD");
+    if (env == nullptr) return cpu;
+    const std::string v(env);
+    if (v == "off" || v == "scalar" || v == "0") return SimdTier::kScalar;
+    if (v == "sse4") return std::min(cpu, SimdTier::kSse4);
+    if (v == "avx2" || v == "auto" || v.empty()) return cpu;
+    return cpu;
+}
+
+std::atomic<int> g_forcedTier{-1};
+
+SimdTier resolvedTier() {
+    static const SimdTier resolved = envCap(detectCpuTier());
+    return resolved;
+}
+
+} // namespace
+
+const char* toString(SimdTier t) {
+    switch (t) {
+        case SimdTier::kAvx2: return "avx2";
+        case SimdTier::kSse4: return "sse4";
+        case SimdTier::kScalar: return "scalar";
+    }
+    return "scalar";
+}
+
+SimdTier cpuTier() {
+    static const SimdTier cpu = detectCpuTier();
+    return cpu;
+}
+
+SimdTier activeTier() {
+    const int forced = g_forcedTier.load(std::memory_order_relaxed);
+    if (forced >= 0) return static_cast<SimdTier>(forced);
+    return resolvedTier();
+}
+
+void forceTier(SimdTier t) {
+    g_forcedTier.store(static_cast<int>(std::min(t, cpuTier())), std::memory_order_relaxed);
+}
+
+void clearForcedTier() { g_forcedTier.store(-1, std::memory_order_relaxed); }
+
+void classifyNets(const std::int32_t* pc, const char* activeNet, const Weight* netWeight,
+                  std::size_t m, Weight* sideGain, char* cut) {
+    tableFor(activeTier()).classifyNets(pc, activeNet, netWeight, m, sideGain, cut);
+}
+
+void classifyNetsHot(const NetHot* nets, std::size_t m, Weight* sideGain, char* cut) {
+    tableFor(activeTier()).classifyNetsHot(nets, m, sideGain, cut);
+}
+
+Weight gatherSum(const Weight* plane, const NetId* idx, std::size_t count) {
+    // Typical module degrees are tiny (3-6 nets); the vector path only
+    // pays past a handful of lanes, so short gathers stay inline-scalar.
+    if (count < 8) {
+        Weight s = 0;
+        for (std::size_t i = 0; i < count; ++i) s += plane[static_cast<std::size_t>(idx[i])];
+        return s;
+    }
+    return tableFor(activeTier()).gatherSum(plane, idx, count);
+}
+
+void classifyKWayCounts(const std::int32_t* counts, const char* activeNet, std::size_t m,
+                        std::int32_t k, std::uint64_t* cnt1Mask, std::uint64_t* cnt0Mask) {
+    tableFor(activeTier()).classifyKWay(counts, activeNet, m, k, cnt1Mask, cnt0Mask);
+}
+
+} // namespace mlpart::perf

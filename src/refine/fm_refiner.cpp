@@ -1,10 +1,12 @@
 #include "refine/fm_refiner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <string>
 
+#include "perf/simd.h"
 #include "robust/fault_injector.h"
 
 #if MLPART_CHECK_INVARIANTS
@@ -19,6 +21,36 @@ namespace {
 /// selected moves. Coarse enough to be free, fine enough that a pass
 /// overshoots an expired budget by at most a few dozen moves.
 constexpr std::int64_t kDeadlineStride = 64;
+
+/// Move-state bits (one byte per module, see Workspace::moveState).
+constexpr char kLockedBit = 1;  ///< exhausted its per-pass move budget
+constexpr char kBlockedBit = 2; ///< CDIP: excluded for the rest of the pass
+/// Mirror of the module's current side. Folding it in makes the delta-gain
+/// update's entire eligibility-and-dispatch decision one byte load where
+/// it used to take three scattered ones (locked flag, blocked flag,
+/// partition assignment). Maintained at every move/undo and at pass start.
+constexpr char kSideBit = 4;
+constexpr char kBusyMask = kLockedBit | kBlockedBit;
+
+/// Pass-start classification planes pay for themselves only while they
+/// stay cache-resident: past this footprint the extra 2m-entry write+gather
+/// traffic evicts the pin counts and bucket nodes applyMove needs, and the
+/// fused per-module recompute over the hot records wins. Both paths
+/// produce bit-identical gains, so the cutover is pure scheduling.
+constexpr std::size_t kPlaneBudgetBytes = std::size_t{1} << 20;
+[[nodiscard]] inline bool usePlaneClassify(std::size_t numNets) {
+    return 2 * numNets * sizeof(Weight) <= kPlaneBudgetBytes;
+}
+
+/// Profiling clock helper: returns the seconds since `t0` and advances it,
+/// so consecutive calls carve the timeline into disjoint segments.
+using ProfClock = std::chrono::steady_clock;
+inline double secondsSince(ProfClock::time_point& t0) {
+    const ProfClock::time_point t1 = ProfClock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    t0 = t1;
+    return s;
+}
 } // namespace
 
 #if MLPART_CHECK_INVARIANTS
@@ -93,12 +125,13 @@ void FMRefiner::initNetState(const Partition& part) {
     refine::Workspace& ws = *ws_;
     const NetId m = h_.numNets();
     const std::size_t mSz = static_cast<std::size_t>(m);
-    ws.activeNet.assign(mSz, 0);
-    ws.pc.assign(2 * mSz, 0);
-    ws.lockedPc.assign(2 * mSz, 0);
-    activeNet_ = ws.activeNet.data();
-    pc_ = ws.pc.data();
-    lockedPc_ = ws.lockedPc.data();
+    ws.activeNet.assign(mSz, 0); // audit hooks read the plain flag array
+    ws.netHot.assign(mSz, perf::NetHot{{-1, -1}, 0}); // inactive sentinel
+    nh_ = ws.netHot.data();
+    if (trackLockedPins_) {
+        ws.lockedPc.assign(2 * mSz, 0);
+        lockedPc_ = ws.lockedPc.data();
+    }
     ignoredNets_ = 0;
     curActiveCut_ = 0;
     for (NetId e = 0; e < m; ++e) {
@@ -107,9 +140,13 @@ void FMRefiner::initNetState(const Partition& part) {
             continue;
         }
         const std::size_t ei = static_cast<std::size_t>(e);
-        activeNet_[ei] = 1;
-        for (ModuleId v : h_.pins(e)) pc_[2 * ei + static_cast<std::size_t>(part.part(v))]++;
-        if (pc_[2 * ei] > 0 && pc_[2 * ei + 1] > 0) curActiveCut_ += h_.netWeight(e);
+        ws.activeNet[ei] = 1;
+        perf::NetHot& ne = nh_[ei];
+        ne.pc[0] = 0;
+        ne.pc[1] = 0;
+        ne.w = h_.netWeight(e);
+        for (ModuleId v : h_.pins(e)) ne.pc[static_cast<std::size_t>(part.part(v))]++;
+        if (ne.pc[0] > 0 && ne.pc[1] > 0) curActiveCut_ += ne.w;
     }
 }
 
@@ -118,10 +155,11 @@ Weight FMRefiner::computeGain(ModuleId v, const Partition& part) const {
     const std::size_t t = 1 - s;
     Weight g = 0;
     for (NetId e : h_.nets(v)) {
-        const std::size_t ei = static_cast<std::size_t>(e);
-        if (!activeNet_[ei]) continue;
-        if (pc_[2 * ei + s] == 1) g += h_.netWeight(e);
-        else if (pc_[2 * ei + t] == 0) g -= h_.netWeight(e);
+        // One 16-byte record per net; the inactive sentinel {-1, -1}
+        // matches neither condition, so no separate active check.
+        const perf::NetHot& ne = nh_[static_cast<std::size_t>(e)];
+        if (ne.pc[s] == 1) g += ne.w;
+        else if (ne.pc[t] == 0) g -= ne.w;
     }
     return g;
 }
@@ -129,9 +167,8 @@ Weight FMRefiner::computeGain(ModuleId v, const Partition& part) const {
 bool FMRefiner::isBoundary(ModuleId v, const Partition& part) const {
     (void)part;
     for (NetId e : h_.nets(v)) {
-        const std::size_t ei = static_cast<std::size_t>(e);
-        if (!activeNet_[ei]) continue;
-        if (pc_[2 * ei] > 0 && pc_[2 * ei + 1] > 0) return true;
+        const perf::NetHot& ne = nh_[static_cast<std::size_t>(e)];
+        if (ne.pc[0] > 0 && ne.pc[1] > 0) return true; // sentinel is never cut
     }
     return false;
 }
@@ -140,13 +177,47 @@ void FMRefiner::buildBuckets(const Partition& part) {
     for (int s = 0; s < 2; ++s) bucket_[s]->clear();
     const ModuleId n = h_.numModules();
     const bool useCache = cfg_.fastPassInit && gainsValid_;
+    // Pass-start gains, restructured for the memory system. While the
+    // planes fit in cache, one SIMD sweep (perf::classifyNetsHot) folds the
+    // per-net hot records into two branch-free per-net gain planes —
+    // sideGain[s][e] is what a side-s pin of net e contributes — after
+    // which each module's gain is a straight sum over its CSR-contiguous
+    // net list (perf::gatherSum). Past the cache budget the fused
+    // per-module recompute over the same records wins (the plane write
+    // traffic would evict applyMove's working set). Arithmetic and
+    // summation order match computeGain() exactly (int64, net order), so
+    // the buckets are bit-identical on every tier and on both paths.
+    const std::size_t mSz = static_cast<std::size_t>(h_.numNets());
+    const Weight* plane[2] = {nullptr, nullptr};
+    const char* cutFlag = nullptr;
+    if (usePlaneClassify(mSz)) {
+        Weight* const planes = ws_->netSideGain.data();
+        char* const cf = cfg_.boundaryInit ? ws_->netCut.data() : nullptr;
+        perf::classifyNetsHot(nh_, mSz, planes, cf);
+        plane[0] = planes;
+        plane[1] = planes + mSz;
+        cutFlag = cf;
+    }
     for (ModuleId v = 0; v < n; ++v) {
         const std::size_t vi = static_cast<std::size_t>(v);
-        if (locked_[vi] || blocked_[vi]) continue;
-        if (cfg_.boundaryInit && !isBoundary(v, part)) continue;
+        if ((state_[vi] & kBusyMask) != 0) continue; // locked or CDIP-blocked
+        const std::span<const NetId> vNets = h_.nets(v);
+        if (cfg_.boundaryInit) { // same predicate as isBoundary()
+            bool boundary = false;
+            if (cutFlag != nullptr) {
+                for (NetId e : vNets)
+                    if (cutFlag[static_cast<std::size_t>(e)] != 0) { boundary = true; break; }
+            } else {
+                boundary = isBoundary(v, part);
+            }
+            if (!boundary) continue;
+        }
         Weight g;
         if (useCache && !dirty_[vi]) {
             g = gains_[vi]; // neighbourhood untouched last pass: gain unchanged
+        } else if (plane[0] != nullptr) {
+            g = perf::gatherSum(plane[static_cast<std::size_t>(part.part(v))], vNets.data(),
+                                vNets.size());
         } else {
             g = computeGain(v, part);
         }
@@ -176,9 +247,10 @@ Weight FMRefiner::lookaheadGain(ModuleId v, int depth, const Partition& part) co
     Weight g = 0;
     for (NetId e : h_.nets(v)) {
         const std::size_t ei = static_cast<std::size_t>(e);
-        if (!activeNet_[ei]) continue;
-        const std::int32_t freeS = pc_[2 * ei + s] - lockedPc_[2 * ei + s];
-        const std::int32_t freeT = pc_[2 * ei + t] - lockedPc_[2 * ei + t];
+        const perf::NetHot& ne = nh_[ei];
+        if (ne.pc[0] < 0) continue; // inactive
+        const std::int32_t freeS = ne.pc[s] - lockedPc_[2 * ei + s];
+        const std::int32_t freeT = ne.pc[t] - lockedPc_[2 * ei + t];
         if (lockedPc_[2 * ei + s] == 0 && freeS == depth) g += h_.netWeight(e);
         if (lockedPc_[2 * ei + t] == 0 && freeT == depth - 1) g -= h_.netWeight(e);
     }
@@ -267,60 +339,108 @@ Weight FMRefiner::applyMove(ModuleId v, Partition& part) {
     lazyInsert.clear();
     if (cfg_.fastPassInit) dirty_[static_cast<std::size_t>(v)] = 1;
     auto adjust = [&](ModuleId u, Weight d) {
-        if (u == v) return; // register compare first; the flag loads miss cache
-        if (locked_[static_cast<std::size_t>(u)] || blocked_[static_cast<std::size_t>(u)]) return;
-        if (bucket_[part.part(u)]->contains(u)) bucket_[part.part(u)]->adjustGain(u, d);
+        if (u == v) return; // register compare first; the state load misses cache
+        const char st = state_[static_cast<std::size_t>(u)];
+        if ((st & kBusyMask) != 0) return; // locked or blocked
+        GainBucketArray& b = *bucket_[(st & kSideBit) != 0 ? 1 : 0];
+        if (b.contains(u)) b.adjustGain(u, d);
         else if (cfg_.boundaryInit) lazyInsert.push_back(u); // now near the cut; full gain after updates
     };
 
     if (bucket_[from]->contains(v)) bucket_[from]->remove(v);
     // One traversal of v's nets does everything per net: measure the true
-    // cut delta from the pre-move pin counts, mark neighbourhoods dirty
-    // (fastPassInit), and apply the standard FM delta-gain rules around
-    // the count updates.
+    // cut delta from the pre-move pin counts (one 16-byte NetHot load per
+    // net), mark neighbourhoods dirty (fastPassInit), apply the standard
+    // FM delta-gain rules around the count updates, and accumulate v's own
+    // post-move gain so the relaxed-locking re-insert below needs no
+    // second traversal: after v's pin flips sides, a net that was pcTo==0
+    // is one v-move from becoming uncut again (+w) and a net that was
+    // pcFrom==1 would become cut again (-w); the else-if mirrors
+    // computeGain()'s rule priority exactly (single-pin nets hit both).
     Weight delta = 0;
-    for (NetId e : h_.nets(v)) {
+    Weight gainAfter = 0;
+    const std::span<const NetId> vNets = h_.nets(v);
+    const NetId* const vn = vNets.data();
+    const std::size_t deg = vNets.size();
+    for (std::size_t j = 0; j < deg; ++j) {
+        const NetId e = vn[j];
         const std::size_t ei = static_cast<std::size_t>(e);
-        if (!activeNet_[ei]) continue;
-        if (cfg_.fastPassInit)
-            for (ModuleId u : h_.pins(e)) dirty_[static_cast<std::size_t>(u)] = 1;
-        const std::int32_t pcTo = pc_[2 * ei + toS];
-        const std::int32_t pcFrom = pc_[2 * ei + fromS];
+        perf::NetHot& ne = nh_[ei];
+        const std::int32_t pcFrom = ne.pc[fromS];
+        if (pcFrom < 0) continue; // inactive sentinel
+        const std::int32_t pcTo = ne.pc[toS];
         // Interior nets (2+ pins on both sides before and after the move)
-        // trigger no rule; skip even the weight load for them.
+        // trigger no rule; skip even the weight read for them. They also
+        // leave every pin's gain contribution untouched — a contribution
+        // flips only when a count crosses the ==0/==1 thresholds, i.e.
+        // exactly when this guard fires — so the fastPassInit dirty marks
+        // are only needed (and only applied) inside it.
         if (pcTo <= 1 || pcFrom <= 2) {
-            const Weight w = h_.netWeight(e);
-            if (pcTo == 0) delta -= w;             // net becomes cut
-            else if (pcFrom == 1) delta += w;      // net becomes uncut
+            if (cfg_.fastPassInit)
+                for (ModuleId u : h_.pins(e)) dirty_[static_cast<std::size_t>(u)] = 1;
+            const Weight w = ne.w;
             if (pcTo == 0) {
-                for (ModuleId u : h_.pins(e)) adjust(u, +w);
-            } else if (pcTo == 1) {
-                for (ModuleId u : h_.pins(e))
-                    if (u != v && part.part(u) == to) adjust(u, -w);
+                delta -= w; // net becomes cut
+                gainAfter += w;
+            } else if (pcFrom == 1) {
+                delta += w; // net becomes uncut
+                gainAfter -= w;
             }
-            if (pcFrom == 1) {
-                for (ModuleId u : h_.pins(e)) adjust(u, -w);
-            } else if (pcFrom == 2) {
+            // The four classic rules, expressed as per-side deltas so one
+            // traversal applies their sum per pin. When two rules hit the
+            // same pin they have the same sign (+w,+w or -w,-w), so the
+            // fused delta lands exactly where the two sequential
+            // adjustGain() calls would: same final bucket, same list
+            // position (intermediate state is never observed), and the
+            // clamped intermediate value lies between the endpoints.
+            const Weight addAll = (pcTo == 0 ? w : 0) + (pcFrom == 1 ? -w : 0);
+            const Weight addTo = (pcTo == 1 ? -w : 0);
+            const Weight addFrom = (pcFrom == 2 ? w : 0);
+            if (addTo != 0 && addFrom != 0) {
+                // 3-pin straddle (pcTo == 1, pcFrom == 2): the only case
+                // where two *different* pins are hit by different rules.
+                // Keep the historical to-then-from sweep order so the
+                // lazyInsert first-occurrence order (and therefore bucket
+                // insertion order) is unchanged.
                 for (ModuleId u : h_.pins(e))
-                    if (part.part(u) == from) adjust(u, +w);
+                    if (u != v && part.part(u) == to) adjust(u, addTo);
+                for (ModuleId u : h_.pins(e))
+                    if (part.part(u) == from) adjust(u, addFrom);
+            } else if ((addAll | addTo | addFrom) != 0) {
+                for (ModuleId u : h_.pins(e)) {
+                    if (u == v) continue;
+                    const char st = state_[static_cast<std::size_t>(u)];
+                    if ((st & kBusyMask) != 0) continue;
+                    const std::size_t us = (st & kSideBit) != 0 ? 1 : 0;
+                    const Weight d = addAll + (us == toS ? addTo : addFrom);
+                    if (d == 0) continue; // no rule touches this pin
+                    GainBucketArray& b = *bucket_[us];
+                    if (b.contains(u)) b.adjustGain(u, d);
+                    else if (cfg_.boundaryInit) lazyInsert.push_back(u);
+                }
             }
         }
-        pc_[2 * ei + fromS] = pcFrom - 1;
-        pc_[2 * ei + toS] = pcTo + 1;
+        ne.pc[fromS] = pcFrom - 1;
+        ne.pc[toS] = pcTo + 1;
         if (trackLockedPins_) lockedPc_[2 * ei + toS]++; // v locks on the target side
     }
     part.move(h_, v, to);
     moveCount_[static_cast<std::size_t>(v)]++;
     const bool exhausted = moveCount_[static_cast<std::size_t>(v)] >= cfg_.movesPerPass ||
                            (!cfg_.fixed.empty() && cfg_.fixed[static_cast<std::size_t>(v)]);
-    locked_[static_cast<std::size_t>(v)] = exhausted ? 1 : 0;
+    // Preserve a CDIP block across the lock update (a blocked module is
+    // never in a bucket, so v normally carries no block bit here) and
+    // re-mirror v's new side.
+    state_[static_cast<std::size_t>(v)] =
+        static_cast<char>((state_[static_cast<std::size_t>(v)] & kBlockedBit) |
+                          (exhausted ? kLockedBit : 0) | (to != 0 ? kSideBit : 0));
     curActiveCut_ -= delta;
 
     // Boundary mode: modules that just became boundary enter the structure
     // with a freshly computed gain (computed after all count updates).
     for (ModuleId u : lazyInsert) {
         GainBucketArray& b = *bucket_[part.part(u)];
-        if (!b.contains(u) && !locked_[static_cast<std::size_t>(u)]) {
+        if (!b.contains(u) && (state_[static_cast<std::size_t>(u)] & kLockedBit) == 0) {
             b.insert(u, computeGain(u, part));
 #if MLPART_CHECK_INVARIANTS
             checkBase_[static_cast<std::size_t>(u)] = 0; // displayed gain is the true gain
@@ -328,9 +448,10 @@ Weight FMRefiner::applyMove(ModuleId v, Partition& part) {
         }
     }
     // Relaxed locking (Dasdan-Aykanat): a module with budget left rejoins
-    // the structure on its new side with a fresh gain.
-    if (!exhausted && !blocked_[static_cast<std::size_t>(v)]) {
-        bucket_[to]->insert(v, computeGain(v, part));
+    // the structure on its new side. gainAfter (accumulated above) equals
+    // computeGain(v, part) over the updated counts, term for term.
+    if (!exhausted && (state_[static_cast<std::size_t>(v)] & kBlockedBit) == 0) {
+        bucket_[to]->insert(v, gainAfter);
 #if MLPART_CHECK_INVARIANTS
         checkBase_[static_cast<std::size_t>(v)] = 0;
 #endif
@@ -345,25 +466,44 @@ void FMRefiner::undoMoves(std::size_t count, Partition& part) {
         moves.pop_back();
         const std::size_t cur = static_cast<std::size_t>(part.part(rec.v));
         const std::size_t back = static_cast<std::size_t>(rec.from);
-        for (NetId e : h_.nets(rec.v)) {
+        const std::span<const NetId> vNets = h_.nets(rec.v);
+        const NetId* const vn = vNets.data();
+        const std::size_t deg = vNets.size();
+        for (std::size_t j = 0; j < deg; ++j) {
+            const NetId e = vn[j];
             const std::size_t ei = static_cast<std::size_t>(e);
-            if (!activeNet_[ei]) continue;
-            pc_[2 * ei + cur]--;
-            pc_[2 * ei + back]++;
-            if (trackLockedPins_) lockedPc_[2 * ei + cur]--;
-            if (cfg_.fastPassInit)
+            perf::NetHot& ne = nh_[ei];
+            if (ne.pc[0] < 0) continue; // inactive sentinel
+            // Same threshold argument as applyMove, for the reverse move:
+            // contributions only change when a count crosses ==0/==1.
+            if (cfg_.fastPassInit && (ne.pc[cur] <= 2 || ne.pc[back] <= 1))
                 for (ModuleId u : h_.pins(e)) dirty_[static_cast<std::size_t>(u)] = 1;
+            ne.pc[cur]--;
+            ne.pc[back]++;
+            if (trackLockedPins_) lockedPc_[2 * ei + cur]--;
         }
         part.move(h_, rec.v, rec.from);
         moveCount_[static_cast<std::size_t>(rec.v)]--;
-        locked_[static_cast<std::size_t>(rec.v)] = 0;
+        // Unlock, keep any CDIP block, restore the side mirror.
+        state_[static_cast<std::size_t>(rec.v)] = static_cast<char>(
+            (state_[static_cast<std::size_t>(rec.v)] & kBlockedBit) |
+            (rec.from != 0 ? kSideBit : 0));
         curActiveCut_ += rec.delta;
     }
 }
 
 Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt19937_64& rng) {
     MLPART_FAULT_SITE("refine.fm.pass");
+    // Profiling is attach-only: with no sink every clock read below is
+    // skipped behind one well-predicted null check per segment.
+    refine::RefineProfile* const prof = profile_;
+    ProfClock::time_point tp{};
+    if (prof != nullptr) tp = ProfClock::now();
     buildBuckets(part);
+    if (prof != nullptr) {
+        prof->bucketBuildSec += secondsSince(tp);
+        ++prof->passes;
+    }
 #if MLPART_CHECK_INVARIANTS
     auditGainState(part, "FMRefiner::buildBuckets");
     movesSinceAudit_ = 0;
@@ -385,10 +525,15 @@ Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt1
             untilDeadlineCheck = kDeadlineStride;
         }
         const ModuleId v = selectMove(part, bc, rng);
+        if (prof != nullptr) prof->selectSec += secondsSince(tp);
         if (v == kInvalidModule) break;
         const PartId from = part.part(v);
         const Weight delta = applyMove(v, part);
         moves.push_back({v, from, delta});
+        if (prof != nullptr) {
+            prof->applySec += secondsSince(tp);
+            ++prof->moves;
+        }
 #if MLPART_CHECK_INVARIANTS
         // Periodic mid-pass audit: delta-gain corruption is only visible
         // between a move and the next bucket rebuild.
@@ -408,11 +553,17 @@ Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt1
             // Reverse the unprofitable tail and try a different sequence,
             // excluding the module that started it (Dutt-Deng CDIP idea).
             const ModuleId firstBad = moves[bestIdx].v;
-            undoMoves(moves.size() - bestIdx, part);
-            blocked_[static_cast<std::size_t>(firstBad)] = 1;
+            const std::size_t undone = moves.size() - bestIdx;
+            undoMoves(undone, part);
+            state_[static_cast<std::size_t>(firstBad)] |= kBlockedBit;
             cumGain = bestGain;
             ++backtracks;
+            if (prof != nullptr) {
+                prof->rollbackSec += secondsSince(tp);
+                prof->rollbacks += static_cast<std::int64_t>(undone);
+            }
             buildBuckets(part);
+            if (prof != nullptr) prof->bucketBuildSec += secondsSince(tp);
 #if MLPART_CHECK_INVARIANTS
             auditGainState(part, "FMRefiner::cdipBacktrack");
             movesSinceAudit_ = 0;
@@ -426,7 +577,13 @@ Weight FMRefiner::runPass(Partition& part, const BalanceConstraint& bc, std::mt1
         }
     }
     // Keep only the best prefix of the pass.
-    undoMoves(moves.size() - bestIdx, part);
+    const std::size_t undone = moves.size() - bestIdx;
+    if (prof != nullptr) tp = ProfClock::now();
+    undoMoves(undone, part);
+    if (prof != nullptr) {
+        prof->rollbackSec += secondsSince(tp);
+        prof->rollbacks += static_cast<std::int64_t>(undone);
+    }
     lastMoveCount_ += static_cast<std::int64_t>(bestIdx);
     return bestGain;
 }
@@ -436,12 +593,10 @@ Weight FMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::mt19
     refine::Workspace& ws = ensureWorkspace();
     const ModuleId n = h_.numModules();
     const std::size_t nSz = static_cast<std::size_t>(n);
-    ws.locked.assign(nSz, 0);
+    ws.moveState.assign(nSz, 0);
     ws.moveCount.assign(nSz, 0);
-    ws.blocked.assign(nSz, 0);
-    locked_ = ws.locked.data();
+    state_ = ws.moveState.data();
     moveCount_ = ws.moveCount.data();
-    blocked_ = ws.blocked.data();
     const bool doubled = cfg_.variant == EngineVariant::kCLIP;
     // Both sides' bucket lists bump-allocate from one arena: size it for
     // both *before* binding either (a resize after the first bind would
@@ -456,6 +611,14 @@ Weight FMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::mt19
 #if MLPART_CHECK_INVARIANTS
     checkBase_.assign(nSz, 0);
 #endif
+    // Classification planes are (re)written wholesale at every pass start,
+    // so they only need to be grown, never cleared — and only exist at all
+    // on levels small enough for the plane path (see usePlaneClassify).
+    const std::size_t mSz = static_cast<std::size_t>(h_.numNets());
+    if (usePlaneClassify(mSz)) {
+        if (ws.netSideGain.size() < 2 * mSz) ws.netSideGain.resize(2 * mSz);
+        if (cfg_.boundaryInit && ws.netCut.size() < mSz) ws.netCut.resize(mSz);
+    }
 
     if (!bc.satisfied(part)) rebalance(h_, part, bc, rng); // defensive; ML projections are pre-balanced
 
@@ -472,11 +635,16 @@ Weight FMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::mt19
     lastMoveCount_ = 0;
     for (int pass = 0; pass < cfg_.maxPasses; ++pass) {
         if (!deadline_.unlimited() && deadline_.expired()) break;
-        // Pre-assigned (fixed) modules stay locked through every pass.
-        if (cfg_.fixed.empty()) std::fill(locked_, locked_ + nSz, 0);
-        else std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_);
+        // Pre-assigned (fixed) modules stay locked through every pass; the
+        // reset also clears all CDIP blocks from the previous pass and
+        // refreshes the per-module side mirror.
+        for (ModuleId i = 0; i < n; ++i) {
+            const std::size_t iSz = static_cast<std::size_t>(i);
+            state_[iSz] = static_cast<char>(
+                ((!cfg_.fixed.empty() && cfg_.fixed[iSz]) ? kLockedBit : 0) |
+                (part.part(i) != 0 ? kSideBit : 0));
+        }
         std::fill(moveCount_, moveCount_ + nSz, 0);
-        std::fill(blocked_, blocked_ + nSz, 0);
         if (trackLockedPins_) std::fill(lockedPc_, lockedPc_ + lockedPcLen, 0);
         // Shin-Kim tightening: early passes run under a relaxed tolerance
         // shrinking linearly to the target; late passes use the caller's
@@ -502,10 +670,13 @@ Weight FMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::mt19
         // counts, tracked cut, and any cached pass-start gains are stale.
         initNetState(part);
         gainsValid_ = false;
-        std::fill(locked_, locked_ + nSz, 0);
-        if (!cfg_.fixed.empty()) std::copy(cfg_.fixed.begin(), cfg_.fixed.end(), locked_);
+        for (ModuleId i = 0; i < n; ++i) {
+            const std::size_t iSz = static_cast<std::size_t>(i);
+            state_[iSz] = static_cast<char>(
+                ((!cfg_.fixed.empty() && cfg_.fixed[iSz]) ? kLockedBit : 0) |
+                (part.part(i) != 0 ? kSideBit : 0));
+        }
         std::fill(moveCount_, moveCount_ + nSz, 0);
-        std::fill(blocked_, blocked_ + nSz, 0);
         if (trackLockedPins_) std::fill(lockedPc_, lockedPc_ + lockedPcLen, 0);
         runPass(part, bc, rng);
         ++lastPassCount_;

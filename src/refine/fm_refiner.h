@@ -16,6 +16,7 @@
 
 #include "refine/fm_config.h"
 #include "refine/gain_bucket.h"
+#include "refine/profile.h"
 #include "refine/refiner.h"
 #include "refine/workspace.h"
 
@@ -33,6 +34,7 @@ public:
     [[nodiscard]] int lastPassCount() const override { return lastPassCount_; }
     void setDeadline(const robust::Deadline& deadline) override { deadline_ = deadline; }
     void setWorkspace(refine::Workspace* ws) override { ws_ = ws; }
+    void setProfile(refine::RefineProfile* profile) override { profile_ = profile; }
     /// Accepted (not rolled back) moves across all passes of the last run.
     [[nodiscard]] std::int64_t lastMoveCount() const { return lastMoveCount_; }
     /// Nets skipped during refinement because they exceed maxNetSize.
@@ -75,15 +77,15 @@ private:
 
     // Per-refine() working state lives in the workspace; these are cursors
     // into its buffers, refreshed whenever the buffers are (re)assigned.
-    // Pin counts are interleaved: pc_[2e + side].
     refine::Workspace* ws_ = nullptr;
     std::unique_ptr<refine::Workspace> owned_; ///< fallback when none is set
-    char* activeNet_ = nullptr;
-    std::int32_t* pc_ = nullptr;       ///< active-net pin counts, [2e + side]
+    refine::RefineProfile* profile_ = nullptr; ///< null = profiling off
+    /// Per-net hot records {pc0, pc1, w}; pc[0] < 0 marks an inactive net.
+    perf::NetHot* nh_ = nullptr;
     std::int32_t* lockedPc_ = nullptr; ///< locked pins (lookahead), [2e + side]
-    char* locked_ = nullptr;
+    /// Per-module move state: bit 0 locked this pass, bit 1 CDIP-blocked.
+    char* state_ = nullptr;
     std::int32_t* moveCount_ = nullptr; ///< per-pass moves (relaxed locking)
-    char* blocked_ = nullptr; ///< CDIP: excluded for the rest of the pass
     Weight* gains_ = nullptr; ///< fastPassInit: cached per-module gains
     char* dirty_ = nullptr;   ///< fastPassInit: gain must be recomputed
     bool gainsValid_ = false; ///< fastPassInit: gains_ holds last pass's values

@@ -51,7 +51,6 @@ void GainBucketArray::initBound(ModuleId numModules, BucketPolicy policy) {
     std::fill(heads_, heads_ + nBuckets_, kInvalidModule);
     std::fill(tails_, tails_ + nBuckets_, kInvalidModule);
     nodes_.assign(static_cast<std::size_t>(numModules), Node{kInvalidModule, kInvalidModule, kNone});
-    gainOf_.assign(static_cast<std::size_t>(numModules), 0);
     maxIdx_ = -1;
     size_ = 0;
 }
@@ -107,9 +106,6 @@ bool GainBucketArray::checkInvariants() const {
         for (ModuleId v = heads_[b]; v != kInvalidModule; v = nodes_[static_cast<std::size_t>(v)].next) {
             if (nodes_[static_cast<std::size_t>(v)].bucket != static_cast<ModuleId>(b)) return false;
             if (nodes_[static_cast<std::size_t>(v)].prev != prev) return false;
-            // The flat gain array is the bucket index in gain space; any
-            // divergence means a link path forgot to mirror it.
-            if (gainOf_[static_cast<std::size_t>(v)] != static_cast<Weight>(b) - range_) return false;
             prev = v;
             ++count;
         }
@@ -119,6 +115,7 @@ bool GainBucketArray::checkInvariants() const {
     }
     if (total != size_) return false;
     if (maxIdx_ < maxSeen) return false; // max pointer must never lag below a filled bucket
+    rewindMax(); // maxIdx_ is only an upper bound; exact after rewinding
     if (size_ > 0 && heads_[static_cast<std::size_t>(maxIdx_)] == kInvalidModule) return false;
     return true;
 }

@@ -12,10 +12,11 @@
 // into the zero bucket, after which gains evolve relatively (the index
 // range must be doubled, which the constructor's `doubledRange` does).
 //
-// Storage layout: gains are a flat per-module array (gainOf_), so the
-// engines' hot paths (applyMove's neighbour updates, buildBuckets) read
-// and write a dense Weight array instead of chasing the node's bucket
-// index — and the head/tail lists can be *bound* to a caller-owned arena
+// Storage layout: each module's list links and bucket index share one
+// Node record, and the bucket index doubles as the module's gain (gain =
+// bucket - range_), so the engines' hot paths (applyMove's neighbour
+// updates, buildBuckets) touch a single dense record per module — and
+// the head/tail lists can be *bound* to a caller-owned arena
 // (refine::Workspace::bucketArena) so both sides' bucket structures for a
 // level come from one bump allocation instead of four vector grows.
 #pragma once
@@ -94,20 +95,28 @@ public:
     /// Adds `delta` to the gain of present module `v` (re-bucketing it
     /// according to the policy). Gains are clamped to the index range.
     void adjustGain(ModuleId v, Weight delta) {
-        if (!contains(v)) throw std::invalid_argument("GainBucketArray::adjustGain: module not present");
-        const Weight g = gainOf_[static_cast<std::size_t>(v)] + delta;
+        const ModuleId b = nodes_[static_cast<std::size_t>(v)].bucket;
+        if (b == kNone) throw std::invalid_argument("GainBucketArray::adjustGain: module not present");
+        const Weight g = static_cast<Weight>(b) - range_ + delta;
         unlink(v);
         insertAtIndex(v, std::clamp<Weight>(g, -range_, range_) + range_);
     }
 
     [[nodiscard]] bool contains(ModuleId v) const { return nodes_[static_cast<std::size_t>(v)].bucket != kNone; }
-    /// Current (clamped) gain of present module `v` — one dense-array load.
-    [[nodiscard]] Weight gain(ModuleId v) const { return gainOf_[static_cast<std::size_t>(v)]; }
+    /// Current (clamped) gain of present module `v`: the bucket index *is*
+    /// the gain in index space, so no separate gain array exists — one
+    /// fewer cache line touched per adjust on the FM hot path.
+    [[nodiscard]] Weight gain(ModuleId v) const {
+        return static_cast<Weight>(nodes_[static_cast<std::size_t>(v)].bucket) - range_;
+    }
     [[nodiscard]] bool empty() const { return size_ == 0; }
     [[nodiscard]] ModuleId size() const { return size_; }
     [[nodiscard]] BucketPolicy policy() const { return policy_; }
     /// Gain of the highest non-empty bucket; valid only when !empty().
-    [[nodiscard]] Weight maxGain() const { return maxIdx_ - range_; }
+    [[nodiscard]] Weight maxGain() const {
+        rewindMax();
+        return maxIdx_ - range_;
+    }
     [[nodiscard]] Weight minRepresentableGain() const { return -range_; }
     [[nodiscard]] Weight maxRepresentableGain() const { return range_; }
 
@@ -117,6 +126,7 @@ public:
     /// exactly what selectBest() returns under LIFO/FIFO when every
     /// module is feasible, without the per-candidate scan.
     [[nodiscard]] ModuleId top() const {
+        rewindMax();
         return maxIdx_ >= 0 ? heads_[static_cast<std::size_t>(maxIdx_)] : kInvalidModule;
     }
     /// Next module after `v` in its bucket list (kInvalidModule at end).
@@ -135,6 +145,7 @@ public:
     /// when nothing is feasible. Does not remove.
     template <typename Feasible>
     [[nodiscard]] ModuleId selectBest(Feasible&& feasible, std::mt19937_64& rng) const {
+        rewindMax();
         for (Weight idx = maxIdx_; idx >= 0; --idx) {
             const ModuleId h = heads_[static_cast<std::size_t>(idx)];
             if (h == kInvalidModule) continue;
@@ -172,7 +183,6 @@ public:
     void shrinkToFit() {
         std::vector<ModuleId>().swap(ownedLists_);
         std::vector<Node>().swap(nodes_);
-        std::vector<Weight>().swap(gainOf_);
         std::vector<ModuleId>().swap(clipOrder_);
         heads_ = nullptr;
         tails_ = nullptr;
@@ -187,7 +197,7 @@ public:
     /// Arena-bound list slots are counted by the arena's owner, not here.
     [[nodiscard]] std::size_t capacityBytes() const {
         return ownedLists_.capacity() * sizeof(ModuleId) + nodes_.capacity() * sizeof(Node) +
-               gainOf_.capacity() * sizeof(Weight) + clipOrder_.capacity() * sizeof(ModuleId);
+               clipOrder_.capacity() * sizeof(ModuleId);
     }
 
     /// Internal consistency check for tests: list links, counts, flat
@@ -215,7 +225,6 @@ private:
         nv.prev = kInvalidModule;
         nv.next = h;
         nv.bucket = static_cast<ModuleId>(idx);
-        gainOf_[static_cast<std::size_t>(v)] = idx - range_;
         if (h != kInvalidModule) nodes_[static_cast<std::size_t>(h)].prev = v;
         heads_[b] = v;
         if (tails_[b] == kInvalidModule) tails_[b] = v;
@@ -229,13 +238,18 @@ private:
         nv.next = kInvalidModule;
         nv.prev = t;
         nv.bucket = static_cast<ModuleId>(idx);
-        gainOf_[static_cast<std::size_t>(v)] = idx - range_;
         if (t != kInvalidModule) nodes_[static_cast<std::size_t>(t)].next = v;
         tails_[b] = v;
         if (heads_[b] == kInvalidModule) heads_[b] = v;
         maxIdx_ = std::max(maxIdx_, idx);
         ++size_;
     }
+    /// Unlink leaves maxIdx_ stale-high on purpose: adjustGain unlinks and
+    /// relinks ~deg(e) modules per FM move, and eagerly rewinding the max
+    /// pointer past empty buckets on each of those is the single hottest
+    /// scan in the refiner. maxIdx_ is therefore an *upper bound*; the
+    /// query paths (top/maxGain/selectBest) rewind it lazily, which visits
+    /// each empty bucket once per drain instead of once per unlink.
     void unlink(ModuleId v) {
         Node& nv = nodes_[static_cast<std::size_t>(v)];
         const std::size_t b = static_cast<std::size_t>(nv.bucket);
@@ -247,7 +261,10 @@ private:
         else tails_[b] = p;
         nv.bucket = kNone;
         --size_;
-        // Lower the max pointer past now-empty buckets.
+    }
+    /// Lower the (stale-high) max pointer to the true highest non-empty
+    /// bucket. Logically const: maxIdx_ is a cached query accelerator.
+    void rewindMax() const {
         while (maxIdx_ >= 0 && heads_[static_cast<std::size_t>(maxIdx_)] == kInvalidModule) --maxIdx_;
     }
     void insertAtIndex(ModuleId v, Weight idx) {
@@ -265,9 +282,9 @@ private:
     std::size_t nBuckets_ = 0;
     std::vector<ModuleId> ownedLists_;  ///< backing store for the owned reset()
     std::vector<Node> nodes_;           ///< per module
-    std::vector<Weight> gainOf_;        ///< per module: clamped gain (flat array)
     std::vector<ModuleId> clipOrder_;   ///< clipConcatenate scratch (pooled)
-    Weight maxIdx_ = -1;                ///< highest non-empty bucket index
+    mutable Weight maxIdx_ = -1;        ///< upper bound on the highest non-empty
+                                        ///< bucket index (see unlink/rewindMax)
     ModuleId size_ = 0;
 };
 

@@ -1,0 +1,38 @@
+// Lightweight refinement profiling counters.
+//
+// A RefineProfile splits one refine() call's work into the three segments
+// that matter for the FM family — bucket (re)build, move selection, move
+// application — plus rollback, and counts passes/moves/rollbacks. Engines
+// accumulate into it only when one is attached via Refiner::setProfile():
+// the hot loops guard every steady_clock read behind a null check, so an
+// unprofiled run pays a single predictable branch per segment and nothing
+// else. The multilevel driver snapshots one profile per hierarchy level
+// (MLTimings::levels) when MLConfig::profileRefinement is set, and
+// `mlpart_bench --profile` reports the aggregate per instance.
+#pragma once
+
+#include <cstdint>
+
+namespace mlpart::refine {
+
+struct RefineProfile {
+    std::int64_t passes = 0;    ///< runPass() executions (incl. repair pass)
+    std::int64_t moves = 0;     ///< moves applied (incl. later rolled back)
+    std::int64_t rollbacks = 0; ///< moves undone (best-prefix + CDIP)
+    double bucketBuildSec = 0.0; ///< buildBuckets + pass-start gain sweeps
+    double selectSec = 0.0;      ///< selectMove / k-way candidate scans
+    double applySec = 0.0;       ///< applyMove delta-gain updates
+    double rollbackSec = 0.0;    ///< undoMoves (best-prefix + CDIP)
+
+    void add(const RefineProfile& o) {
+        passes += o.passes;
+        moves += o.moves;
+        rollbacks += o.rollbacks;
+        bucketBuildSec += o.bucketBuildSec;
+        selectSec += o.selectSec;
+        applySec += o.applySec;
+        rollbackSec += o.rollbackSec;
+    }
+};
+
+} // namespace mlpart::refine

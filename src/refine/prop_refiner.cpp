@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "perf/simd.h"
 #include "refine/workspace.h"
 #include "robust/thread_pool.h"
 
@@ -210,11 +211,19 @@ Weight parallelPrePass(const Hypergraph& h, Partition& part, const BalanceConstr
                    });
 
     ws.gains.assign(static_cast<std::size_t>(n), 0);
+    const std::size_t mSz = static_cast<std::size_t>(m);
+    if (ws.netSideGain.size() < 2 * mSz) ws.netSideGain.resize(2 * mSz);
     Weight total = 0;
     for (int round = 0; round < cfg.rounds; ++round) {
         // Score: immediate FM gain of every free module, from pin counts
-        // and the assignment frozen at the round boundary. Writes only
-        // ws.gains[v] for owned v.
+        // and the assignment frozen at the round boundary. One SIMD sweep
+        // (perf::classifyNets) turns the frozen counts into per-side gain
+        // planes; each module's score is then a branch-free plane sum —
+        // bit-identical to the per-net probe it replaces. Chunks write
+        // only ws.gains[v] for owned v and read the shared planes.
+        perf::classifyNets(ws.pc.data(), ws.activeNet.data(), h.netWeightData(), mSz,
+                           ws.netSideGain.data(), nullptr);
+        const Weight* const plane[2] = {ws.netSideGain.data(), ws.netSideGain.data() + mSz};
         pool.forChunks(robust::ThreadPool::chunkCount(n, kPrePassChunk),
                        [&](int, std::int64_t chunk) {
                            const ModuleId lo = static_cast<ModuleId>(chunk * kPrePassChunk);
@@ -225,16 +234,10 @@ Weight parallelPrePass(const Hypergraph& h, Partition& part, const BalanceConstr
                                    ws.gains[static_cast<std::size_t>(v)] = 0;
                                    continue;
                                }
-                               const std::size_t s = static_cast<std::size_t>(part.part(v));
-                               const std::size_t t = 1 - s;
-                               Weight g = 0;
-                               for (NetId e : h.nets(v)) {
-                                   const std::size_t ei = static_cast<std::size_t>(e);
-                                   if (!ws.activeNet[ei]) continue;
-                                   if (ws.pc[2 * ei + s] == 1) g += h.netWeight(e);
-                                   else if (ws.pc[2 * ei + t] == 0) g -= h.netWeight(e);
-                               }
-                               ws.gains[static_cast<std::size_t>(v)] = g;
+                               const std::span<const NetId> vNets = h.nets(v);
+                               ws.gains[static_cast<std::size_t>(v)] = perf::gatherSum(
+                                   plane[static_cast<std::size_t>(part.part(v))], vNets.data(),
+                                   vNets.size());
                            }
                        });
         // Apply: serial, fixed (gain desc, id asc) order. The frozen score

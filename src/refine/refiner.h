@@ -14,7 +14,8 @@
 namespace mlpart {
 
 namespace refine {
-struct Workspace; // refine/workspace.h
+struct Workspace;     // refine/workspace.h
+struct RefineProfile; // refine/profile.h
 } // namespace refine
 
 /// A refiner improves a partition in place via local moves and returns the
@@ -43,6 +44,13 @@ public:
     /// Engines without pooled state ignore the call; passing nullptr (or
     /// never calling) makes the engine use private storage.
     virtual void setWorkspace(refine::Workspace* ws) { (void)ws; }
+
+    /// Attaches a profiling sink (refine/profile.h): subsequent refine()
+    /// calls accumulate pass/move counters and per-segment wall time into
+    /// it. nullptr (the default) disables profiling — engines must then
+    /// skip every clock read on the hot path. Engines without profiling
+    /// support ignore the call.
+    virtual void setProfile(refine::RefineProfile* profile) { (void)profile; }
 };
 
 /// Creates a refiner bound to a hypergraph; used by the multilevel driver

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "hypergraph/types.h"
+#include "perf/simd.h"
 #include "refine/gain_bucket.h"
 
 namespace mlpart::refine {
@@ -59,13 +60,26 @@ struct Workspace {
     /// pairs).
     std::vector<std::int32_t> pc;
     std::vector<std::int32_t> lockedPc; ///< interleaved like pc
-    std::vector<char> locked;
+    /// Per-net hot records ({pc0, pc1, w}, 16 bytes): the one array
+    /// FMRefiner's applyMove/undoMoves/computeGain touch per net, so a
+    /// random net visit costs one cache line instead of three (counts,
+    /// weight, active flag). Inactive nets carry the pc[0] == -1 sentinel.
+    std::vector<perf::NetHot> netHot;
+    /// Per-module move state, one byte: bit 0 = locked this pass, bit 1 =
+    /// CDIP-blocked. Merged so the delta-gain update's eligibility test is
+    /// a single load.
+    std::vector<char> moveState;
     std::vector<std::int32_t> moveCount;
-    std::vector<char> blocked;
     std::vector<Weight> gains;
     std::vector<char> dirty;
     std::vector<FMMove> moves;
     std::vector<ModuleId> lazyInsert;
+    /// Pass-start net classification planes (perf::classifyNets): entry
+    /// [s*numNets + e] is what one side-s pin of net e contributes to its
+    /// module's gain, given the frozen pass-start pin counts. SoA per side
+    /// so buildBuckets' gather-sums stream one contiguous plane.
+    std::vector<Weight> netSideGain;
+    std::vector<char> netCut; ///< pass-start cut flags (boundaryInit only)
     GainBucketArray bucket[2];
     /// Backing store for both sides' bucket head/tail lists: FMRefiner
     /// sizes it once per level, then bump-binds bucket[0] and bucket[1]
@@ -81,6 +95,12 @@ struct Workspace {
     std::vector<PartId> kSpan;
     std::vector<char> kLocked;
     std::vector<Weight> kRealGain; ///< per (module, target block)
+    /// Pass-start frozen-count bitmasks (perf::classifyKWayCounts): bit q
+    /// of kCnt1Mask[e] / kCnt0Mask[e] says block q holds exactly one / zero
+    /// pins of active net e. One traversal of a module's nets then yields
+    /// its gains toward *all* k targets (k <= 64).
+    std::vector<std::uint64_t> kCnt1Mask;
+    std::vector<std::uint64_t> kCnt0Mask;
     std::vector<std::uint64_t> kTouched;
     std::vector<KWayMove> kMoves;
     std::vector<GainBucketArray> kBuckets; ///< k*k, diagonal unused
@@ -95,13 +115,15 @@ struct Workspace {
         releaseVector(activeNet);
         releaseVector(pc);
         releaseVector(lockedPc);
-        releaseVector(locked);
+        releaseVector(netHot);
+        releaseVector(moveState);
         releaseVector(moveCount);
-        releaseVector(blocked);
         releaseVector(gains);
         releaseVector(dirty);
         releaseVector(moves);
         releaseVector(lazyInsert);
+        releaseVector(netSideGain);
+        releaseVector(netCut);
         bucket[0].shrinkToFit();
         bucket[1].shrinkToFit();
         releaseVector(bucketArena);
@@ -111,6 +133,8 @@ struct Workspace {
         releaseVector(kSpan);
         releaseVector(kLocked);
         releaseVector(kRealGain);
+        releaseVector(kCnt1Mask);
+        releaseVector(kCnt0Mask);
         releaseVector(kTouched);
         releaseVector(kMoves);
         for (GainBucketArray& b : kBuckets) b.shrinkToFit();
@@ -121,15 +145,17 @@ struct Workspace {
     [[nodiscard]] std::size_t capacityBytes() const {
         using detail::vectorCapacityBytes;
         std::size_t n = vectorCapacityBytes(activeNet) + vectorCapacityBytes(pc) +
-                        vectorCapacityBytes(lockedPc) + vectorCapacityBytes(locked) +
-                        vectorCapacityBytes(moveCount) + vectorCapacityBytes(blocked) +
+                        vectorCapacityBytes(lockedPc) + vectorCapacityBytes(netHot) +
+                        vectorCapacityBytes(moveState) + vectorCapacityBytes(moveCount) +
                         vectorCapacityBytes(gains) + vectorCapacityBytes(dirty) +
                         vectorCapacityBytes(moves) + vectorCapacityBytes(lazyInsert) +
+                        vectorCapacityBytes(netSideGain) + vectorCapacityBytes(netCut) +
                         bucket[0].capacityBytes() + bucket[1].capacityBytes() +
                         vectorCapacityBytes(bucketArena) +
                         vectorCapacityBytes(kActiveNet) + vectorCapacityBytes(kCounts) +
                         vectorCapacityBytes(kLockedCounts) + vectorCapacityBytes(kSpan) +
                         vectorCapacityBytes(kLocked) + vectorCapacityBytes(kRealGain) +
+                        vectorCapacityBytes(kCnt1Mask) + vectorCapacityBytes(kCnt0Mask) +
                         vectorCapacityBytes(kTouched) + vectorCapacityBytes(kMoves) +
                         vectorCapacityBytes(kBuckets);
         for (const GainBucketArray& b : kBuckets) n += b.capacityBytes();

@@ -1,0 +1,272 @@
+// Differential tests for the src/perf SIMD kernel layer (DESIGN.md §14).
+//
+// The layer's one hard contract is that every dispatch tier — scalar,
+// SSE4.2, AVX2 — computes BIT-IDENTICAL results. Two levels of enforcement
+// here:
+//   1. Kernel-level: random inputs through classifyNets / classifyNetsHot /
+//      gatherSum / classifyKWayCounts at every CPU-supported tier, compared
+//      element for element against the scalar oracle.
+//   2. End-to-end: the gen benchmark suite x seeds 1-5 x all three matchers
+//      through the full multilevel engine at every tier; cuts AND the full
+//      per-module assignments must match the scalar run exactly.
+// Tiers the CPU lacks are skipped (the dispatch shim clamps them anyway).
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "coarsen/matcher.h"
+#include "core/multilevel.h"
+#include "gen/benchmark_suite.h"
+#include "hypergraph/partition.h"
+#include "perf/simd.h"
+#include "refine/fm_refiner.h"
+#include "refine/multistart.h"
+#include "test_util.h"
+
+namespace mlpart {
+namespace {
+
+std::vector<perf::SimdTier> supportedTiers() {
+    std::vector<perf::SimdTier> tiers{perf::SimdTier::kScalar};
+    if (perf::cpuTier() >= perf::SimdTier::kSse4) tiers.push_back(perf::SimdTier::kSse4);
+    if (perf::cpuTier() >= perf::SimdTier::kAvx2) tiers.push_back(perf::SimdTier::kAvx2);
+    return tiers;
+}
+
+/// Pins the dispatch tier for the lifetime of one scope.
+struct TierGuard {
+    explicit TierGuard(perf::SimdTier t) { perf::forceTier(t); }
+    ~TierGuard() { perf::clearForcedTier(); }
+};
+
+// ---- kernel-level differentials ----------------------------------------
+
+struct NetFixture {
+    std::vector<std::int32_t> pc;      ///< interleaved [2e + side]
+    std::vector<char> active;
+    std::vector<Weight> weight;
+    std::vector<perf::NetHot> hot;     ///< same nets as AoS records
+};
+
+/// Random net population covering the classification edge cases: counts
+/// in {0, 1, 2, many}, inactive nets, and weights up to 32 bits.
+NetFixture randomNets(std::size_t m, std::mt19937_64& rng) {
+    NetFixture f;
+    f.pc.resize(2 * m);
+    f.active.resize(m);
+    f.weight.resize(m);
+    f.hot.resize(m);
+    std::uniform_int_distribution<std::int32_t> countDist(0, 5);
+    std::uniform_int_distribution<Weight> weightDist(1, (Weight{1} << 32));
+    for (std::size_t e = 0; e < m; ++e) {
+        f.active[e] = (rng() % 8) != 0 ? 1 : 0;
+        f.pc[2 * e] = countDist(rng);
+        f.pc[2 * e + 1] = countDist(rng);
+        f.weight[e] = weightDist(rng);
+        if (f.active[e] != 0) {
+            f.hot[e] = perf::NetHot{{f.pc[2 * e], f.pc[2 * e + 1]}, f.weight[e]};
+        } else {
+            f.hot[e] = perf::NetHot{{-1, -1}, 0};
+        }
+    }
+    return f;
+}
+
+TEST(SimdKernels, ClassifyNetsMatchesScalarOnEveryTier) {
+    std::mt19937_64 rng(11);
+    for (const std::size_t m : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                                std::size_t{1000}, std::size_t{4097}}) {
+        const NetFixture f = randomNets(m, rng);
+        std::vector<Weight> oracleGain(2 * m);
+        std::vector<char> oracleCut(m);
+        {
+            TierGuard g(perf::SimdTier::kScalar);
+            perf::classifyNets(f.pc.data(), f.active.data(), f.weight.data(), m,
+                               oracleGain.data(), oracleCut.data());
+        }
+        for (const perf::SimdTier tier : supportedTiers()) {
+            TierGuard g(tier);
+            std::vector<Weight> gain(2 * m, -1);
+            std::vector<char> cut(m, 2);
+            perf::classifyNets(f.pc.data(), f.active.data(), f.weight.data(), m, gain.data(),
+                               cut.data());
+            EXPECT_EQ(gain, oracleGain) << "m=" << m << " tier=" << perf::toString(tier);
+            EXPECT_EQ(cut, oracleCut) << "m=" << m << " tier=" << perf::toString(tier);
+        }
+    }
+}
+
+TEST(SimdKernels, ClassifyNetsHotMatchesSoAKernelAndScalar) {
+    std::mt19937_64 rng(12);
+    for (const std::size_t m : {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{63},
+                                std::size_t{1024}, std::size_t{5001}}) {
+        const NetFixture f = randomNets(m, rng);
+        // SoA oracle: the two kernels must agree with each other, not just
+        // across tiers — FMRefiner switched from one to the other and the
+        // committed bench cuts depend on their equivalence.
+        std::vector<Weight> oracleGain(2 * m);
+        std::vector<char> oracleCut(m);
+        {
+            TierGuard g(perf::SimdTier::kScalar);
+            perf::classifyNets(f.pc.data(), f.active.data(), f.weight.data(), m,
+                               oracleGain.data(), oracleCut.data());
+        }
+        for (const perf::SimdTier tier : supportedTiers()) {
+            TierGuard g(tier);
+            std::vector<Weight> gain(2 * m, -1);
+            std::vector<char> cut(m, 2);
+            perf::classifyNetsHot(f.hot.data(), m, gain.data(), cut.data());
+            EXPECT_EQ(gain, oracleGain) << "m=" << m << " tier=" << perf::toString(tier);
+            EXPECT_EQ(cut, oracleCut) << "m=" << m << " tier=" << perf::toString(tier);
+            // The cut pointer is optional; the gain planes must not change.
+            std::vector<Weight> gainNoCut(2 * m, -1);
+            perf::classifyNetsHot(f.hot.data(), m, gainNoCut.data(), nullptr);
+            EXPECT_EQ(gainNoCut, oracleGain) << "m=" << m << " tier=" << perf::toString(tier);
+        }
+    }
+}
+
+TEST(SimdKernels, GatherSumMatchesScalarOnEveryTier) {
+    std::mt19937_64 rng(13);
+    const std::size_t planeLen = 3000;
+    std::vector<Weight> plane(planeLen);
+    std::uniform_int_distribution<Weight> vDist(-(Weight{1} << 40), Weight{1} << 40);
+    for (Weight& w : plane) w = vDist(rng);
+    std::uniform_int_distribution<NetId> idxDist(0, static_cast<NetId>(planeLen - 1));
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                                    std::size_t{33}, std::size_t{257}}) {
+        std::vector<NetId> idx(count);
+        for (NetId& i : idx) i = idxDist(rng);
+        Weight oracle;
+        {
+            TierGuard g(perf::SimdTier::kScalar);
+            oracle = perf::gatherSum(plane.data(), idx.data(), count);
+        }
+        for (const perf::SimdTier tier : supportedTiers()) {
+            TierGuard g(tier);
+            EXPECT_EQ(perf::gatherSum(plane.data(), idx.data(), count), oracle)
+                << "count=" << count << " tier=" << perf::toString(tier);
+        }
+    }
+}
+
+TEST(SimdKernels, ClassifyKWayCountsMatchesScalarOnEveryTier) {
+    std::mt19937_64 rng(14);
+    for (const std::int32_t k : {2, 3, 8, 64}) {
+        const std::size_t m = 701;
+        std::vector<std::int32_t> counts(m * static_cast<std::size_t>(k));
+        std::vector<char> active(m);
+        std::uniform_int_distribution<std::int32_t> countDist(0, 3);
+        for (std::size_t e = 0; e < m; ++e) {
+            active[e] = (rng() % 8) != 0 ? 1 : 0;
+            for (std::int32_t q = 0; q < k; ++q)
+                counts[e * static_cast<std::size_t>(k) + static_cast<std::size_t>(q)] =
+                    countDist(rng);
+        }
+        std::vector<std::uint64_t> oracle1(m), oracle0(m);
+        {
+            TierGuard g(perf::SimdTier::kScalar);
+            perf::classifyKWayCounts(counts.data(), active.data(), m, k, oracle1.data(),
+                                     oracle0.data());
+        }
+        for (const perf::SimdTier tier : supportedTiers()) {
+            TierGuard g(tier);
+            std::vector<std::uint64_t> got1(m, ~0ULL), got0(m, ~0ULL);
+            perf::classifyKWayCounts(counts.data(), active.data(), m, k, got1.data(),
+                                     got0.data());
+            EXPECT_EQ(got1, oracle1) << "k=" << k << " tier=" << perf::toString(tier);
+            EXPECT_EQ(got0, oracle0) << "k=" << k << " tier=" << perf::toString(tier);
+        }
+    }
+}
+
+// ---- end-to-end differentials ------------------------------------------
+
+struct RunResult {
+    Weight cut = 0;
+    std::vector<PartId> assign;
+};
+
+RunResult runMultilevel(const Hypergraph& h, CoarsenerKind matcher, std::uint64_t seed,
+                        perf::SimdTier tier) {
+    TierGuard g(tier);
+    MLConfig cfg;
+    cfg.coarsener = matcher;
+    cfg.matchingRatio = 0.5;
+    MultilevelPartitioner ml(cfg, makeFMFactory(FMConfig{}));
+    std::mt19937_64 rng(seed);
+    const MLResult res = ml.run(h, rng);
+    RunResult out;
+    out.cut = res.cut;
+    const auto a = res.partition.assignment();
+    out.assign.assign(a.begin(), a.end());
+    return out;
+}
+
+TEST(SimdDifferential, GenSuiteSeedsAndMatchersBitIdenticalAcrossTiers) {
+    const std::vector<perf::SimdTier> tiers = supportedTiers();
+    const CoarsenerKind matchers[] = {CoarsenerKind::kConnectivityMatch,
+                                      CoarsenerKind::kRandomMatch,
+                                      CoarsenerKind::kHeavyEdgeMatch};
+    // Scaled-down gen suite instances: the full circuits would make this
+    // suite minutes long; scale preserves net-size structure.
+    for (const std::string& name : {std::string("balu"), std::string("struct")}) {
+        const Hypergraph h = benchmarkInstance(name, 0.35);
+        for (const CoarsenerKind matcher : matchers) {
+            for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+                const RunResult oracle =
+                    runMultilevel(h, matcher, seed, perf::SimdTier::kScalar);
+                for (const perf::SimdTier tier : tiers) {
+                    const RunResult got = runMultilevel(h, matcher, seed, tier);
+                    EXPECT_EQ(got.cut, oracle.cut)
+                        << name << " matcher=" << static_cast<int>(matcher) << " seed=" << seed
+                        << " tier=" << perf::toString(tier);
+                    EXPECT_EQ(got.assign, oracle.assign)
+                        << name << " matcher=" << static_cast<int>(matcher) << " seed=" << seed
+                        << " tier=" << perf::toString(tier);
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdDifferential, FlatFMGainsAndCutIdenticalAcrossTiers) {
+    // Flat FM exercises buildBuckets' plane path + the NetHot hot loops
+    // directly (no coarsening): the reported cut, the per-pass counts, and
+    // the final assignment must match scalar on every tier.
+    const Hypergraph h = benchmarkInstance("primary1", 0.5);
+    const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        RunResult oracle;
+        int oraclePasses = 0;
+        {
+            TierGuard g(perf::SimdTier::kScalar);
+            std::mt19937_64 rng(seed);
+            Partition p = randomPartition(h, 2, bc, rng);
+            FMRefiner fm(h, FMConfig{});
+            oracle.cut = fm.refine(p, bc, rng);
+            oraclePasses = fm.lastPassCount();
+            const auto a = p.assignment();
+            oracle.assign.assign(a.begin(), a.end());
+        }
+        for (const perf::SimdTier tier : supportedTiers()) {
+            TierGuard g(tier);
+            std::mt19937_64 rng(seed);
+            Partition p = randomPartition(h, 2, bc, rng);
+            FMRefiner fm(h, FMConfig{});
+            const Weight cut = fm.refine(p, bc, rng);
+            const auto a = p.assignment();
+            EXPECT_EQ(cut, oracle.cut) << "seed=" << seed << " tier=" << perf::toString(tier);
+            EXPECT_EQ(fm.lastPassCount(), oraclePasses)
+                << "seed=" << seed << " tier=" << perf::toString(tier);
+            EXPECT_TRUE(std::vector<PartId>(a.begin(), a.end()) == oracle.assign)
+                << "seed=" << seed << " tier=" << perf::toString(tier);
+        }
+    }
+}
+
+} // namespace
+} // namespace mlpart

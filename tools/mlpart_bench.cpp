@@ -29,15 +29,27 @@
 //                     the primary rows.
 //     --engine E      fm | clip (default clip)
 //     --scale X       synthetic-instance scale in (0,1] (default 1)
+//     --profile       per-level refinement profile (pass/move/rollback
+//                     counts, bucket-build vs select vs apply vs rollback
+//                     wall time) per instance; also emitted into the JSON.
+//                     Observation only — cuts are unchanged.
 //     -o FILE         output JSON (default BENCH_ML.json)
 //     --compare FILE  baseline JSON: exit 1 if any shared instance's
 //                     wall_sec regressed more than --max-regression, or
-//                     its peak_rss_kb more than --max-rss-regression
+//                     its peak_rss_kb more than --max-rss-regression.
+//                     Phase times (coarsen_sec, refine_sec) present in the
+//                     baseline are gated at the same percentage, but only
+//                     when the baseline phase is >= 0.1s (smaller phases
+//                     are timer-noise-dominated).
 //     --max-regression PCT   allowed slowdown vs baseline (default 25)
 //     --max-rss-regression PCT  allowed peak-RSS growth vs baseline
 //                     (default 50; RSS is a process-wide high-water mark,
 //                     so it is gated separately and more loosely than
 //                     wall time)
+//
+// The selected SIMD dispatch tier (perf/simd.h — avx2/sse4/scalar, capped
+// by the MLPART_SIMD env var) is printed at startup and recorded in the
+// JSON; cuts are bit-identical across tiers, only speed differs.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -57,6 +69,7 @@
 #include "hypergraph/io.h"
 #include "hypergraph/stats.h"
 #include "core/multilevel.h"
+#include "perf/simd.h"
 #include "refine/multistart.h"
 
 namespace {
@@ -95,6 +108,9 @@ struct InstanceResult {
     double refineSec = 0.0;
     double wallSec = 0.0; ///< end-to-end, all runs
     long peakRssKb = 0;   ///< process high-water mark after this instance
+    /// --profile only: per-level refinement profiles keyed by hierarchy
+    /// level (coarsest = highest), summed over all runs.
+    std::map<int, MLLevelProfile> profByLevel;
 };
 
 struct Options {
@@ -106,6 +122,7 @@ struct Options {
     std::vector<int> vcycleSweep;
     std::string engine = "clip";
     double scale = 1.0;
+    bool profile = false;
     std::string out = "BENCH_ML.json";
     std::string compare;
     double maxRegressionPct = 25.0;
@@ -116,7 +133,7 @@ struct Options {
     if (!msg.empty()) std::cerr << "error: " << msg << "\n";
     std::cerr << "usage: mlpart_bench [instances...] [--quick|--full] [--runs N] [--seed S]\n"
                  "                    [--threads T] [--vcycle-threads T] [--vcycle-sweep \"1,2,4\"]\n"
-                 "                    [--engine fm|clip] [--scale X]\n"
+                 "                    [--engine fm|clip] [--scale X] [--profile]\n"
                  "                    [-o FILE] [--compare BASELINE.json] [--max-regression PCT]\n"
                  "                    [--max-rss-regression PCT]\n";
     std::exit(2);
@@ -145,6 +162,7 @@ Options parseOptions(int argc, char** argv) {
         }
         else if (arg == "--engine") o.engine = value();
         else if (arg == "--scale") o.scale = std::stod(value());
+        else if (arg == "--profile") o.profile = true;
         else if (arg == "-o" || arg == "--out") o.out = value();
         else if (arg == "--compare") o.compare = value();
         else if (arg == "--max-regression") o.maxRegressionPct = std::stod(value());
@@ -176,6 +194,7 @@ InstanceResult benchInstance(const std::string& name, const Hypergraph& h, const
     cfg.matchingRatio = 0.5;
     cfg.tolerance = 0.1;
     cfg.vcycleThreads = vcycleThreads;
+    cfg.profileRefinement = o.profile;
     FMConfig fm;
     fm.tolerance = cfg.tolerance;
     if (o.engine == "clip") fm.variant = EngineVariant::kCLIP;
@@ -220,10 +239,42 @@ InstanceResult benchInstance(const std::string& name, const Hypergraph& h, const
         r.coarsenSec += res.timings.coarsenSec;
         r.initialSec += res.timings.initialSec;
         r.refineSec += res.timings.refineSec;
+        for (const MLLevelProfile& lp : res.timings.levels) {
+            MLLevelProfile& slot = r.profByLevel[lp.level];
+            slot.level = lp.level;
+            slot.modules = lp.modules;
+            slot.refine.add(lp.refine);
+        }
     }
     r.avgCut = sum / static_cast<double>(o.runs);
     r.peakRssKb = peakRssKb();
     return r;
+}
+
+/// Aggregate of an instance's per-level profiles (all levels, all runs).
+refine::RefineProfile profileTotal(const InstanceResult& r) {
+    refine::RefineProfile total;
+    for (const auto& [lvl, lp] : r.profByLevel) total.add(lp.refine);
+    return total;
+}
+
+void printProfile(const InstanceResult& r) {
+    std::printf("  %-7s %9s %7s %9s %10s %9s %9s %9s %9s\n", "level", "modules", "passes",
+                "moves", "rollbacks", "build_s", "select_s", "apply_s", "undo_s");
+    // Coarsest level first — the order refinement actually runs in.
+    for (auto it = r.profByLevel.rbegin(); it != r.profByLevel.rend(); ++it) {
+        const MLLevelProfile& lp = it->second;
+        std::printf("  %-7d %9d %7lld %9lld %10lld %9.3f %9.3f %9.3f %9.3f\n", lp.level,
+                    lp.modules, static_cast<long long>(lp.refine.passes),
+                    static_cast<long long>(lp.refine.moves),
+                    static_cast<long long>(lp.refine.rollbacks), lp.refine.bucketBuildSec,
+                    lp.refine.selectSec, lp.refine.applySec, lp.refine.rollbackSec);
+    }
+    const refine::RefineProfile t = profileTotal(r);
+    std::printf("  %-7s %9s %7lld %9lld %10lld %9.3f %9.3f %9.3f %9.3f\n", "total", "",
+                static_cast<long long>(t.passes), static_cast<long long>(t.moves),
+                static_cast<long long>(t.rollbacks), t.bucketBuildSec, t.selectSec, t.applySec,
+                t.rollbackSec);
 }
 
 void writeJson(const std::string& path, const Options& o, const std::vector<InstanceResult>& rs) {
@@ -233,6 +284,7 @@ void writeJson(const std::string& path, const Options& o, const std::vector<Inst
     j << "{\n"
       << "  \"schema\": \"mlpart-bench-v1\",\n"
       << "  \"engine\": \"" << o.engine << "\",\n"
+      << "  \"simd_tier\": \"" << perf::toString(perf::activeTier()) << "\",\n"
       << "  \"seed\": " << o.seed << ",\n"
       << "  \"threads\": " << o.threads << ",\n"
       << "  \"vcycle_threads\": " << o.vcycleThreads << ",\n"
@@ -254,8 +306,21 @@ void writeJson(const std::string& path, const Options& o, const std::vector<Inst
           << "      \"initial_sec\": " << r.initialSec << ",\n"
           << "      \"refine_sec\": " << r.refineSec << ",\n"
           << "      \"wall_sec\": " << r.wallSec << ",\n"
-          << "      \"peak_rss_kb\": " << r.peakRssKb << "\n"
-          << "    }" << (i + 1 < rs.size() ? "," : "") << "\n";
+          << "      \"peak_rss_kb\": " << r.peakRssKb;
+        if (!r.profByLevel.empty()) {
+            const refine::RefineProfile t = profileTotal(r);
+            j << ",\n"
+              << "      \"profile\": {\n"
+              << "        \"passes\": " << t.passes << ",\n"
+              << "        \"moves\": " << t.moves << ",\n"
+              << "        \"rollbacks\": " << t.rollbacks << ",\n"
+              << "        \"bucket_build_sec\": " << t.bucketBuildSec << ",\n"
+              << "        \"select_sec\": " << t.selectSec << ",\n"
+              << "        \"apply_sec\": " << t.applySec << ",\n"
+              << "        \"rollback_sec\": " << t.rollbackSec << "\n"
+              << "      }";
+        }
+        j << "\n    }" << (i + 1 < rs.size() ? "," : "") << "\n";
     }
     j << "  ]\n}\n";
     std::ofstream out(path);
@@ -268,14 +333,16 @@ void writeJson(const std::string& path, const Options& o, const std::vector<Inst
 
 struct BaselineEntry {
     double wallSec = -1.0;
+    double coarsenSec = -1.0; ///< -1 = absent (pre-phase-gate baseline)
+    double refineSec = -1.0;
     long peakRssKb = -1; ///< -1 = absent (pre-RSS-gate baseline file)
 };
 
 /// Minimal scan of a previous BENCH_ML.json: instance -> {wall_sec,
-/// peak_rss_kb}. Only keys this harness itself emits are recognized,
-/// which is all the regression gate needs. Baselines written before the
-/// RSS gate existed simply lack peak_rss_kb; those instances skip the
-/// RSS check rather than failing it.
+/// coarsen_sec, refine_sec, peak_rss_kb}. Only keys this harness itself
+/// emits are recognized, which is all the regression gate needs. Older
+/// baselines simply lack the newer keys; those instances skip the
+/// corresponding checks rather than failing them.
 std::map<std::string, BaselineEntry> readBaseline(const std::string& path) {
     std::ifstream in(path);
     if (!in) {
@@ -299,6 +366,10 @@ std::map<std::string, BaselineEntry> readBaseline(const std::string& path) {
         if (std::string v = grab("\"instance\""); !v.empty()) current = v;
         if (std::string v = grab("\"wall_sec\""); !v.empty() && !current.empty())
             entries[current].wallSec = std::stod(v);
+        if (std::string v = grab("\"coarsen_sec\""); !v.empty() && !current.empty())
+            entries[current].coarsenSec = std::stod(v);
+        if (std::string v = grab("\"refine_sec\""); !v.empty() && !current.empty())
+            entries[current].refineSec = std::stod(v);
         if (std::string v = grab("\"peak_rss_kb\""); !v.empty() && !current.empty())
             entries[current].peakRssKb = std::stol(v);
     }
@@ -309,6 +380,8 @@ std::map<std::string, BaselineEntry> readBaseline(const std::string& path) {
 
 int main(int argc, char** argv) {
     const Options o = parseOptions(argc, argv);
+    std::cout << "simd: " << perf::toString(perf::activeTier()) << " (cpu "
+              << perf::toString(perf::cpuTier()) << ")\n";
 
     std::vector<InstanceResult> results;
     for (const std::string& inst : o.instances) {
@@ -325,6 +398,7 @@ int main(int argc, char** argv) {
         std::printf("cut %lld (avg %.1f), %.3fs wall [coarsen %.3f, initial %.3f, refine %.3f], rss %ld KiB\n",
                     static_cast<long long>(r.bestCut), r.avgCut, r.wallSec, r.coarsenSec,
                     r.initialSec, r.refineSec, r.peakRssKb);
+        if (o.profile) printProfile(r);
         // Thread-scaling sweep rows: same instance under each requested
         // deterministic thread count. Cuts must agree across the sweep
         // (determinism hard bar); a mismatch fails the whole bench run.
@@ -372,6 +446,25 @@ int main(int argc, char** argv) {
                 std::printf("ok %s: %.3fs vs baseline %.3fs\n", r.name.c_str(), r.wallSec,
                             it->second.wallSec);
             }
+            // Phase gates: same allowance as wall time, but only for phases
+            // the baseline spent real time in (>= 0.1s) — the quick CI
+            // instances' phases are a few ms and purely noise.
+            constexpr double kPhaseGateFloorSec = 0.1;
+            const auto gatePhase = [&](const char* phase, double baseSec, double curSec) {
+                if (baseSec < kPhaseGateFloorSec) return;
+                const double allowedPhase = baseSec * (1.0 + o.maxRegressionPct / 100.0);
+                if (curSec > allowedPhase) {
+                    std::printf("REGRESSION %s %s: %.3fs vs baseline %.3fs (> +%.0f%%)\n",
+                                r.name.c_str(), phase, curSec, baseSec, o.maxRegressionPct);
+                    regressed = true;
+                } else {
+                    std::printf("ok %s %s: %.3fs vs baseline %.3fs\n", r.name.c_str(), phase,
+                                curSec, baseSec);
+                }
+            };
+            if (it->second.coarsenSec >= 0)
+                gatePhase("coarsen", it->second.coarsenSec, r.coarsenSec);
+            if (it->second.refineSec >= 0) gatePhase("refine", it->second.refineSec, r.refineSec);
             if (it->second.peakRssKb >= 0) {
                 const double allowedRss = static_cast<double>(it->second.peakRssKb) *
                                           (1.0 + o.maxRssRegressionPct / 100.0);

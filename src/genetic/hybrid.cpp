@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "robust/fault_injector.h"
+
 namespace mlpart {
 
 HybridMultiStart::HybridMultiStart(HybridConfig cfg, RefinerFactory factory)
@@ -16,6 +18,11 @@ HybridMultiStart::HybridMultiStart(HybridConfig cfg, RefinerFactory factory)
 }
 
 HybridResult HybridMultiStart::run(const Hypergraph& h, std::mt19937_64& rng) const {
+    return run(h, rng, robust::Deadline());
+}
+
+HybridResult HybridMultiStart::run(const Hypergraph& h, std::mt19937_64& rng,
+                                   const robust::Deadline& deadline) const {
     struct Member {
         Partition part;
         Weight cut;
@@ -27,7 +34,9 @@ HybridResult HybridMultiStart::run(const Hypergraph& h, std::mt19937_64& rng) co
     std::vector<Member> population;
     population.reserve(static_cast<std::size_t>(cfg_.populationSize));
     for (int i = 0; i < cfg_.populationSize; ++i) {
-        MLResult r = seedML.run(h, rng);
+        // Seed 0 always runs so an expired deadline still yields a result.
+        if (i > 0 && deadline.expired()) break;
+        MLResult r = seedML.run(h, rng, deadline);
         population.push_back({std::move(r.partition), r.cut});
     }
 
@@ -55,6 +64,8 @@ HybridResult HybridMultiStart::run(const Hypergraph& h, std::mt19937_64& rng) co
 
     const PartId k = base.k;
     for (int gen = 0; gen < cfg_.generations; ++gen) {
+        MLPART_FAULT_SITE("genetic.generation");
+        if (deadline.expired()) break; // keep the best member found so far
         std::size_t pa = pick();
         std::size_t pb = pick();
         if (pa == pb) pb = (pb + 1) % population.size();
@@ -66,7 +77,7 @@ HybridResult HybridMultiStart::run(const Hypergraph& h, std::mt19937_64& rng) co
             childCfg.matchGroups[static_cast<std::size_t>(v)] =
                 population[pa].part.part(v) * k + population[pb].part.part(v);
         MultilevelPartitioner childML(childCfg, factory_);
-        MLResult child = childML.run(h, rng);
+        MLResult child = childML.run(h, rng, deadline);
 
         const std::size_t w = worst();
         if (child.cut < population[w].cut) {

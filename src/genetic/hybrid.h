@@ -14,6 +14,7 @@
 #include <random>
 
 #include "core/multilevel.h"
+#include "robust/deadline.h"
 
 namespace mlpart {
 
@@ -37,6 +38,13 @@ public:
     HybridMultiStart(HybridConfig cfg, RefinerFactory factory);
 
     [[nodiscard]] HybridResult run(const Hypergraph& h, std::mt19937_64& rng) const;
+
+    /// As above under a cooperative deadline, checked between seeds and
+    /// between generations and threaded into every inner ML run: expiry
+    /// winds the evolution down to the best population member found so far
+    /// (at least the first seed always completes).
+    [[nodiscard]] HybridResult run(const Hypergraph& h, std::mt19937_64& rng,
+                                   const robust::Deadline& deadline) const;
 
 private:
     HybridConfig cfg_;

@@ -499,9 +499,22 @@ Weight KWayFMRefiner::refine(Partition& part, const BalanceConstraint& bc, std::
     epoch_ = 0;
     ws.kBuckets.resize(static_cast<std::size_t>(k_) * static_cast<std::size_t>(k_));
     buckets_ = ws.kBuckets.data();
+    // All k*(k-1) directed bucket structures bind their head/tail lists to
+    // one bump-allocated workspace arena (sized up-front — the binding
+    // contract forbids growing it afterwards), so a warm V-cycle performs
+    // zero per-level list allocations here instead of O(k^2) per level.
+    const Weight maxGain = h_.maxModuleGain();
+    const std::size_t slots = GainBucketArray::listSlotsFor(maxGain, cfg_.clip);
+    const std::size_t pairs =
+        static_cast<std::size_t>(k_) * static_cast<std::size_t>(k_ - 1);
+    if (ws.kBucketArena.size() < pairs * slots) ws.kBucketArena.resize(pairs * slots);
+    std::size_t offset = 0;
     for (PartId p = 0; p < k_; ++p)
         for (PartId q = 0; q < k_; ++q)
-            if (p != q) bucket(p, q).reset(n, h_.maxModuleGain(), cfg_.clip, cfg_.policy);
+            if (p != q) {
+                bucket(p, q).reset(n, maxGain, cfg_.clip, cfg_.policy, ws.kBucketArena, offset);
+                offset += slots;
+            }
 
     if (!bc.satisfied(part)) rebalance(h_, part, bc, rng);
     initNetState(part);

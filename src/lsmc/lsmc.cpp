@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "robust/fault_injector.h"
+
 namespace mlpart {
 
 LSMCPartitioner::LSMCPartitioner(LSMCConfig cfg, RefinerFactory factory)
@@ -34,15 +36,23 @@ void LSMCPartitioner::kick(const Hypergraph& h, Partition& part, const BalanceCo
 }
 
 LSMCResult LSMCPartitioner::run(const Hypergraph& h, std::mt19937_64& rng) const {
+    return run(h, rng, robust::Deadline());
+}
+
+LSMCResult LSMCPartitioner::run(const Hypergraph& h, std::mt19937_64& rng,
+                                const robust::Deadline& deadline) const {
     const BalanceConstraint startBc = BalanceConstraint::forTolerance(h, cfg_.k, cfg_.tolerance);
     const BalanceConstraint refineBc = BalanceConstraint::forRefinement(h, cfg_.k, cfg_.tolerance);
     auto refiner = factory_(h, {});
+    refiner->setDeadline(deadline);
 
     Partition best = randomPartition(h, cfg_.k, startBc, rng);
     Weight bestCut = refiner->refine(best, refineBc, rng);
 
     LSMCResult result{Partition(h, cfg_.k), 0, 0, 0};
     for (int d = 1; d < cfg_.descents; ++d) {
+        MLPART_FAULT_SITE("lsmc.descent");
+        if (deadline.expired()) break; // wind down to the incumbent
         Partition cand = best; // kick from the incumbent (temperature 0)
         kick(h, cand, refineBc, rng);
         const Weight cut = refiner->refine(cand, refineBc, rng);

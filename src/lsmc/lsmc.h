@@ -13,6 +13,7 @@
 
 #include "hypergraph/partition.h"
 #include "refine/refiner.h"
+#include "robust/deadline.h"
 
 namespace mlpart {
 
@@ -36,6 +37,13 @@ public:
     LSMCPartitioner(LSMCConfig cfg, RefinerFactory factory);
 
     [[nodiscard]] LSMCResult run(const Hypergraph& h, std::mt19937_64& rng) const;
+
+    /// As above under a cooperative deadline: the descent loop checks the
+    /// budget between descents (and passes it to the inner refiner), so an
+    /// expired deadline winds the chain down to the best incumbent found
+    /// so far instead of abandoning the run.
+    [[nodiscard]] LSMCResult run(const Hypergraph& h, std::mt19937_64& rng,
+                                 const robust::Deadline& deadline) const;
 
 private:
     /// Temperature-0 kick: swaps ~kickFraction*n module pairs between

@@ -1,0 +1,150 @@
+// Fault-isolated portfolio engine manager (DESIGN.md §15).
+//
+// The repository owns five partitioning engines — the paper's ML V-cycle
+// plus the comparators it is evaluated against (two-phase FM, LSMC,
+// spectral, genetic). runPortfolio() turns them from paper-table
+// artifacts into product capacity: every eligible engine runs in its own
+// *lane* under the job's deadline/memory budget, a lane that crashes,
+// times out, or is refused admission loses only itself, and the winner is
+// chosen by a fixed total order (best cut → best balance → engine rank)
+// so the result is bit-identical across thread and worker counts. When
+// every lane dies the job degrades to the greedy area-split fallback from
+// src/core/recursive_bisection rather than failing.
+//
+// Lane lifecycle (each lane, in fixed engine-rank order):
+//   1. fault gate   — MLPART_FAULT_SITE("portfolio.lane.<engine>") then
+//                     "portfolio.lane.hang" (a fired hang stalls the lane
+//                     until its deadline slice expires);
+//   2. admission    — RAII MemoryGovernor reservation sized by
+//                     estimateStartBytes(); refusal → kRefused;
+//   3. run          — the engine under the lane's cooperative deadline
+//                     slice (budgetSeconds split evenly across lanes,
+//                     intersected with the caller's deadline);
+//   4. verify       — check::verifyPartition (balance + recomputed cut);
+//                     a lane that returns garbage is classified kCrashed;
+//   5. record       — outcome + Status + metrics into EvaluationReport.
+//
+// Determinism: lanes run sequentially, lane RNG streams derive from
+// (seed, engine rank) alone, every engine is deterministic given its RNG,
+// and the ML lane's parallelMultiStart is thread-count-invariant — so the
+// winning partition is a pure function of (instance, config, seed, which
+// lanes survived). Timings are recorded but never influence selection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hypergraph/partition.h"
+#include "robust/deadline.h"
+#include "robust/status.h"
+#include "robust/wire.h"
+
+namespace mlpart::portfolio {
+
+/// The five engines, in fixed rank order (the winner tie-break).
+enum class EngineKind : std::uint8_t {
+    kML = 0,       ///< paper V-cycle via parallelMultiStart
+    kTwoPhase = 1, ///< single-clustering two-phase FM (paper §II.C)
+    kLSMC = 2,     ///< large-step Markov chain descents
+    kSpectral = 3, ///< EIG1 Fiedler sweep (k = 2 only)
+    kGenetic = 4,  ///< hybrid genetic / multilevel multi-start
+};
+inline constexpr int kEngineCount = 5;
+
+/// Canonical lower-case name ("ml", "two_phase", "lsmc", "spectral",
+/// "genetic") — the protocol/CLI spelling.
+[[nodiscard]] const char* engineName(EngineKind e);
+
+/// Parses an engineName() spelling; returns false on anything else
+/// (including "auto" — the caller decides what that expands to).
+[[nodiscard]] bool parseEngineName(const std::string& name, EngineKind& out);
+
+/// The fault-injection site visited at the lane's entry
+/// ("portfolio.lane.<engineName>").
+[[nodiscard]] const char* laneFaultSite(EngineKind e);
+
+/// What happened to one lane.
+enum class LaneOutcome : std::uint8_t {
+    kWon = 0,      ///< produced the winning partition
+    kSurvived = 1, ///< produced a valid partition, out-ranked by the winner
+    kCrashed = 2,  ///< threw (injected fault, engine error, failed verify)
+    kTimedOut = 3, ///< deadline slice expired before a result existed
+    kRefused = 4,  ///< memory governor refused the admission reservation
+    kSkipped = 5,  ///< not applicable (spectral with k > 2) or not requested
+};
+
+[[nodiscard]] const char* laneOutcomeName(LaneOutcome o);
+
+/// Per-lane evaluation record. `cut`/`maxBlockArea` are -1 when the lane
+/// produced no partition; `seconds` is wall time and excluded from every
+/// determinism contract.
+struct LaneRecord {
+    EngineKind engine = EngineKind::kML;
+    LaneOutcome outcome = LaneOutcome::kSkipped;
+    robust::Status status;           ///< classification for dead lanes
+    std::int64_t cut = -1;
+    std::int64_t maxBlockArea = -1;  ///< balance metric: smaller = better
+    double seconds = 0.0;
+    bool deadlineHit = false;        ///< lane wound down on its slice
+    bool verified = false;           ///< passed check::verifyPartition
+};
+
+/// The per-job report embedded in serve responses and the CLI output.
+struct EvaluationReport {
+    std::vector<LaneRecord> lanes; ///< fixed engine-rank order
+    std::int32_t winnerLane = -1;  ///< index into lanes; -1 = fallback
+    bool fallbackUsed = false;     ///< greedy area-split produced the result
+    double totalSeconds = 0.0;
+
+    /// Lanes with a valid partition (kWon or kSurvived).
+    [[nodiscard]] int survivors() const;
+    /// Winning engine's protocol name, or "fallback".
+    [[nodiscard]] std::string winnerName() const;
+};
+
+struct PortfolioConfig {
+    PartId k = 2;
+    double tolerance = 0.1;
+    double matchingRatio = 1.0;
+    bool clip = true;        ///< CLIP (vs plain FM) inner refinement
+    int runs = 4;            ///< ML-lane multi-start width
+    int threads = 1;         ///< ML-lane multi-start threads (0 = hw)
+    int vcycleThreads = 0;   ///< ML-lane deterministic parallel V-cycle
+    std::uint64_t seed = 1;
+    /// Engine budget in seconds, split evenly across eligible lanes;
+    /// 0 = no budget (lanes only bound by `deadline`).
+    double budgetSeconds = 0.0;
+    /// External deadline/cancel flag; intersected with every lane slice.
+    robust::Deadline deadline;
+    /// Lanes to run, empty = all five. Order is ignored — lanes always
+    /// execute (and report) in engine-rank order.
+    std::vector<EngineKind> engines;
+    /// Verify every surviving lane through check::verifyPartition and
+    /// demote failures to kCrashed. Cheap relative to any engine run.
+    bool verifyLanes = true;
+};
+
+struct PortfolioResult {
+    Partition best;
+    Weight bestCut = 0;
+    EvaluationReport report;
+};
+
+/// Runs the portfolio. Throws robust::Error only for malformed configs
+/// (k < 2, infeasible k) — engine failures of any kind are contained in
+/// their lane, and an all-lanes-dead job returns the greedy fallback.
+[[nodiscard]] PortfolioResult runPortfolio(const Hypergraph& h, const PortfolioConfig& cfg);
+
+/// Renders the report as one JSON object:
+/// {"winner":"ml","fallback":false,"total_seconds":...,"lanes":[...]}.
+/// Self-contained (no serve dependency) so every front end can embed it.
+[[nodiscard]] std::string evaluationReportJson(const EvaluationReport& report);
+
+/// Wire codec for embedding the report in a framed payload (the serve
+/// worker→supervisor pipe). decode throws robust::Error(kParseError) on
+/// out-of-range enums or truncation.
+void encodeEvaluationReport(robust::WireWriter& w, const EvaluationReport& report);
+[[nodiscard]] EvaluationReport decodeEvaluationReport(robust::WireReader& in);
+
+} // namespace mlpart::portfolio

@@ -104,6 +104,11 @@ struct Workspace {
     std::vector<std::uint64_t> kTouched;
     std::vector<KWayMove> kMoves;
     std::vector<GainBucketArray> kBuckets; ///< k*k, diagonal unused
+    /// Backing store for every kBuckets head/tail list: KWayFMRefiner
+    /// sizes it once per refine() (amortized zero when warm) and
+    /// bump-binds the k*(k-1) structures at disjoint offsets — the k-way
+    /// twin of `bucketArena`.
+    std::vector<ModuleId> kBucketArena;
 
     /// Releases every pooled buffer back to the allocator. Capacity
     /// otherwise only ever grows, which is exactly right mid-run but wrong
@@ -139,6 +144,7 @@ struct Workspace {
         releaseVector(kMoves);
         for (GainBucketArray& b : kBuckets) b.shrinkToFit();
         releaseVector(kBuckets);
+        releaseVector(kBucketArena);
     }
 
     /// Bytes of heap capacity currently held across every pooled buffer.
@@ -157,7 +163,7 @@ struct Workspace {
                         vectorCapacityBytes(kLocked) + vectorCapacityBytes(kRealGain) +
                         vectorCapacityBytes(kCnt1Mask) + vectorCapacityBytes(kCnt0Mask) +
                         vectorCapacityBytes(kTouched) + vectorCapacityBytes(kMoves) +
-                        vectorCapacityBytes(kBuckets);
+                        vectorCapacityBytes(kBuckets) + vectorCapacityBytes(kBucketArena);
         for (const GainBucketArray& b : kBuckets) n += b.capacityBytes();
         return n;
     }

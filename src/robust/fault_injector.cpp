@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <new>
+#include <string_view>
 
 #include "robust/status.h"
 
@@ -23,6 +24,15 @@ std::uint64_t fnv1a(const std::string& s) {
         h *= 0x100000001b3ULL;
     }
     return h;
+}
+
+/// Plan-site match: empty = everything, trailing '*' = prefix, else exact.
+bool siteMatches(const std::string& pattern, const char* site) {
+    if (pattern.empty()) return true;
+    if (pattern.back() == '*')
+        return std::string_view(site).substr(0, pattern.size() - 1) ==
+               std::string_view(pattern).substr(0, pattern.size() - 1);
+    return pattern == site;
 }
 
 } // namespace
@@ -50,6 +60,18 @@ const std::vector<std::string>& FaultInjector::knownSites() {
         "serve.worker_crash",// worker child, before the job: raises SIGSEGV
         "serve.worker_hang", // worker child, before the job: hangs forever
         "serve.pipe",        // worker child, result write: torn frame
+        "lsmc.descent",      // LSMC descent loop, before a kick+refine
+        "spectral.iterate",  // spectral power iteration, each step
+        "genetic.generation",// hybrid GA, before a generation
+        // Portfolio lane containment sites (portfolio_test drives these:
+        // the lane-named ones sit at each lane's entry, .hang stalls a
+        // lane until its deadline slice expires).
+        "portfolio.lane.ml",
+        "portfolio.lane.two_phase",
+        "portfolio.lane.lsmc",
+        "portfolio.lane.spectral",
+        "portfolio.lane.genetic",
+        "portfolio.lane.hang",
     };
     return sites;
 }
@@ -76,7 +98,7 @@ void FaultInjector::visit(const char* site) {
         std::lock_guard<std::mutex> lock(mu_);
         if (!armed_.load(std::memory_order_relaxed)) return;
         hit = ++hits_[site];
-        if (!plan_.site.empty() && plan_.site != site) return;
+        if (!siteMatches(plan_.site, site)) return;
         if (plan_.maxFires >= 0 && fires_ >= plan_.maxFires) return;
         bool fire;
         if (plan_.fireAtHit >= 1) {

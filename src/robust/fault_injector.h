@@ -40,7 +40,9 @@ struct FaultPlan {
     std::uint64_t seed = 1;
     double probability = 0.0;
     FaultKind kind = FaultKind::kThrow;
-    std::string site;          ///< empty = every known site matches
+    /// Empty = every known site matches; a trailing '*' matches by prefix
+    /// ("portfolio.lane.*" hits every lane entry gate but no serve.* site).
+    std::string site;
     std::int64_t fireAtHit = -1;
     std::int64_t maxFires = -1; ///< -1 = unlimited
 };

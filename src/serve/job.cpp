@@ -14,7 +14,10 @@ namespace {
 using robust::Error;
 using robust::StatusCode;
 
-constexpr std::uint32_t kOutcomeVersion = 1;
+// v2 appended the portfolio evaluation report. The codec only ever talks
+// to a same-binary fork over a pipe, so no skew tolerance is needed —
+// any other version is a parse error.
+constexpr std::uint32_t kOutcomeVersion = 2;
 constexpr std::uint32_t kRequestVersion = 1;
 
 /// Instance files above this size are never fingerprinted (and therefore
@@ -83,9 +86,21 @@ JobRequest parseJobRequest(const std::string& line) {
     if (r.tolerance < 0 || r.tolerance >= 1) badRequest("tolerance must be in [0, 1)");
     if (r.matchingRatio <= 0 || r.matchingRatio > 1) badRequest("ratio must be in (0, 1]");
     if (r.deadlineSeconds < 0) badRequest("deadline must be >= 0");
-    if (r.engine != "fm" && r.engine != "clip") badRequest("engine must be fm or clip");
+    if (r.engine != "fm" && r.engine != "clip" && !portfolioEngine(r.engine))
+        badRequest("engine must be fm, clip, auto, or one of ml/two_phase/lsmc/spectral/genetic");
     if (r.resume && r.checkpointPath.empty()) badRequest("resume requires checkpoint");
+    // Checkpoints snapshot multi-start progress; the portfolio lanes have
+    // no cross-engine resume semantics, so reject instead of silently
+    // checkpointing one lane.
+    if (portfolioEngine(r.engine) && !r.checkpointPath.empty())
+        badRequest("checkpoint requires engine fm or clip");
     return r;
+}
+
+bool portfolioEngine(const std::string& engine) {
+    if (engine == "auto") return true;
+    portfolio::EngineKind kind;
+    return portfolio::parseEngineName(engine, kind);
 }
 
 std::vector<std::uint8_t> encodeJobOutcome(const JobOutcome& o) {
@@ -102,6 +117,8 @@ std::vector<std::uint8_t> encodeJobOutcome(const JobOutcome& o) {
     w.u32(o.partitionCrc);
     w.u8(o.deadlineHit ? 1 : 0);
     w.u8(o.checkpointSaved ? 1 : 0);
+    w.u8(o.hasReport ? 1 : 0);
+    if (o.hasReport) portfolio::encodeEvaluationReport(w, o.report);
     return std::move(w.bytes);
 }
 
@@ -127,6 +144,8 @@ JobOutcome decodeJobOutcome(const std::uint8_t* data, std::size_t size) {
     o.partitionCrc = in.u32();
     o.deadlineHit = in.u8() != 0;
     o.checkpointSaved = in.u8() != 0;
+    o.hasReport = in.u8() != 0;
+    if (o.hasReport) o.report = portfolio::decodeEvaluationReport(in);
     if (in.remaining() != 0)
         throw Error(StatusCode::kParseError, "job outcome: trailing bytes");
     return o;
@@ -258,6 +277,11 @@ std::string jobResultJson(const JobResult& r) {
         .field("part_crc", static_cast<std::int64_t>(r.outcome.partitionCrc))
         .field("seconds", r.outcome.seconds)
         .field("queue_seconds", r.queueSeconds);
+    if (r.outcome.hasReport) {
+        w.field("winner", r.outcome.report.winnerName())
+            .field("fallback", r.outcome.report.fallbackUsed)
+            .raw("engine_report", portfolio::evaluationReportJson(r.outcome.report));
+    }
     if (!r.outcome.status.message.empty()) w.field("message", r.outcome.status.message);
     return w.str();
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "portfolio/portfolio.h"
 #include "robust/status.h"
 #include "serve/json.h"
 
@@ -35,7 +36,11 @@ struct JobRequest {
     std::int32_t k = 2;
     double tolerance = 0.1;
     double matchingRatio = 0.5;
-    std::string engine = "clip"; ///< "fm" | "clip"
+    /// "fm" | "clip" run the classic multi-start; "auto" races the whole
+    /// engine portfolio (DESIGN.md §15); a single portfolio engine name
+    /// ("ml", "two_phase", "lsmc", "spectral", "genetic") runs that one
+    /// lane under the same containment/report machinery.
+    std::string engine = "clip";
     std::int32_t runs = 4;
     std::int32_t threads = 1;    ///< worker-internal multi-start threads
     /// Deterministic parallel V-cycle threads per start (MLConfig::
@@ -60,6 +65,11 @@ struct JobRequest {
 /// malformed JSON, unknown op, unknown keys, or out-of-range values.
 [[nodiscard]] JobRequest parseJobRequest(const std::string& line);
 
+/// True when `engine` routes through the portfolio manager: "auto" or a
+/// single portfolio engine name. "fm"/"clip" (the legacy multi-start
+/// path) return false.
+[[nodiscard]] bool portfolioEngine(const std::string& engine);
+
 /// What the worker computes inside the fork — everything the parent
 /// cannot reconstruct from the exit status.
 struct JobOutcome {
@@ -75,6 +85,10 @@ struct JobOutcome {
     std::uint32_t partitionCrc = 0;
     bool deadlineHit = false;
     bool checkpointSaved = false;
+    /// Portfolio jobs ("auto" / explicit engine names) carry the per-lane
+    /// evaluation report; legacy fm/clip jobs leave hasReport false.
+    bool hasReport = false;
+    portfolio::EvaluationReport report;
 };
 
 /// Pipe codec for JobOutcome (framed by robust/wire.h at the call site).

@@ -13,6 +13,7 @@
 #include "hypergraph/io.h"
 #include "hypergraph/netd_format.h"
 #include "kway/kway_refiner.h"
+#include "portfolio/portfolio.h"
 #include "refine/fm_refiner.h"
 #include "refine/multistart.h"
 #include "robust/checkpoint.h"
@@ -64,6 +65,63 @@ std::uint64_t engineSalt(const std::string& engine) {
 
 } // namespace
 
+namespace {
+
+/// The portfolio job body: every engine lane under the request's deadline
+/// budget, fault-contained per lane, report embedded in the outcome.
+void executePortfolioJob(const JobRequest& req, const Hypergraph& h,
+                         const std::atomic<bool>* cancel, JobOutcome& out) {
+    portfolio::PortfolioConfig pc;
+    pc.k = static_cast<PartId>(req.k);
+    pc.tolerance = req.tolerance;
+    pc.matchingRatio = req.matchingRatio;
+    pc.runs = req.runs;
+    pc.threads = req.threads;
+    pc.vcycleThreads = req.vcycleThreads;
+    pc.seed = req.seed;
+    pc.budgetSeconds = req.deadlineSeconds;
+    if (cancel != nullptr)
+        pc.deadline.bindCancelFlag(const_cast<std::atomic<bool>*>(cancel));
+    if (req.engine != "auto") {
+        portfolio::EngineKind kind;
+        if (!portfolio::parseEngineName(req.engine, kind))
+            throw Error(StatusCode::kUsage, "unknown portfolio engine " + req.engine);
+        pc.engines = {kind};
+    }
+
+    const portfolio::PortfolioResult r = portfolio::runPortfolio(h, pc);
+
+    out.cut = static_cast<std::int64_t>(r.bestCut);
+    out.hasReport = true;
+    out.report = r.report;
+    std::int32_t failed = 0, skipped = 0;
+    bool deadlineHit = false;
+    for (const portfolio::LaneRecord& lane : r.report.lanes) {
+        using portfolio::LaneOutcome;
+        if (lane.outcome == LaneOutcome::kCrashed || lane.outcome == LaneOutcome::kTimedOut ||
+            lane.outcome == LaneOutcome::kRefused)
+            ++failed;
+        if (lane.outcome == LaneOutcome::kSkipped) ++skipped;
+        deadlineHit = deadlineHit || lane.deadlineHit;
+    }
+    out.runsOk = r.report.survivors();
+    out.runsFailed = failed;
+    out.runsSkipped = skipped;
+    out.deadlineHit = deadlineHit;
+    const std::vector<std::uint8_t> blob = encodePartitionBinary(r.best);
+    out.partitionCrc = robust::crc32(blob.data(), blob.size());
+    if (!req.outPath.empty()) writePartitionFile(r.best, req.outPath);
+
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed))
+        out.status = {StatusCode::kInterrupted, "drained: best-so-far result emitted"};
+    else if (r.report.fallbackUsed)
+        out.status = {StatusCode::kOk, "portfolio: all lanes failed; greedy fallback"};
+    else
+        out.status = robust::Status::okStatus();
+}
+
+} // namespace
+
 JobOutcome executeJob(const JobRequest& req, const std::atomic<bool>* cancel) {
     JobOutcome out;
     const auto t0 = std::chrono::steady_clock::now();
@@ -74,6 +132,13 @@ JobOutcome executeJob(const JobRequest& req, const std::atomic<bool>* cancel) {
             throw Error(StatusCode::kInfeasible,
                         "cannot split " + std::to_string(h.numModules()) + " modules into " +
                             std::to_string(req.k) + " non-empty blocks");
+
+        if (portfolioEngine(req.engine)) {
+            executePortfolioJob(req, h, cancel, out);
+            out.seconds =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+            return out;
+        }
 
         MLConfig cfg;
         cfg.k = k;

@@ -7,6 +7,7 @@
 
 #include "hypergraph/graph_model.h"
 #include "placement/linear_system.h"
+#include "robust/fault_injector.h"
 
 namespace mlpart {
 
@@ -27,6 +28,11 @@ SparseSymmetricMatrix buildLaplacian(const Hypergraph& h, int maxCliqueNetSize) 
 } // namespace
 
 SpectralResult spectralBisect(const Hypergraph& h, const SpectralConfig& cfg, std::mt19937_64& rng) {
+    return spectralBisect(h, cfg, rng, robust::Deadline());
+}
+
+SpectralResult spectralBisect(const Hypergraph& h, const SpectralConfig& cfg, std::mt19937_64& rng,
+                              const robust::Deadline& deadline) {
     if (cfg.maxIterations < 1) throw std::invalid_argument("spectralBisect: maxIterations must be >= 1");
     if (cfg.maxCliqueNetSize < 2) throw std::invalid_argument("spectralBisect: maxCliqueNetSize must be >= 2");
     if (cfg.tolerance < 0.0 || cfg.tolerance >= 1.0)
@@ -70,6 +76,8 @@ SpectralResult spectralBisect(const Hypergraph& h, const SpectralConfig& cfg, st
 
     SpectralResult result{Partition(h, 2), 0, {}, 0};
     for (int it = 0; it < cfg.maxIterations; ++it) {
+        MLPART_FAULT_SITE("spectral.iterate");
+        if (deadline.expired()) break; // sweep the embedding found so far
         L.multiply(x, Lx);
         for (std::size_t i = 0; i < n; ++i) next[i] = sigma * x[i] - Lx[i];
         deflate(next);

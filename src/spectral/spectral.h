@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "hypergraph/partition.h"
+#include "robust/deadline.h"
 
 namespace mlpart {
 
@@ -36,5 +37,13 @@ struct SpectralResult {
 /// std::invalid_argument on malformed configs.
 [[nodiscard]] SpectralResult spectralBisect(const Hypergraph& h, const SpectralConfig& cfg,
                                             std::mt19937_64& rng);
+
+/// As above under a cooperative deadline: the power iteration checks the
+/// budget each iteration and, when it expires, runs the split sweep on the
+/// best embedding computed so far — the result is always a valid balanced
+/// bisection, just from a less-converged Fiedler estimate.
+[[nodiscard]] SpectralResult spectralBisect(const Hypergraph& h, const SpectralConfig& cfg,
+                                            std::mt19937_64& rng,
+                                            const robust::Deadline& deadline);
 
 } // namespace mlpart

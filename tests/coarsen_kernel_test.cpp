@@ -16,6 +16,7 @@
 #include "coarsen/matcher.h"
 #include "core/multilevel.h"
 #include "gen/benchmark_suite.h"
+#include "kway/kway_refiner.h"
 #include "refine/multistart.h"
 #include "test_util.h"
 
@@ -156,6 +157,39 @@ TEST(VCycleAllocationDiscipline, WarmRunsAllocateOLevels) {
     const std::int64_t perLevelBudget = 48;
     EXPECT_LT(warmAllocs, 128 + perLevelBudget * static_cast<std::int64_t>(second.levels))
         << "warm V-cycle allocated " << warmAllocs << " times over " << second.levels
+        << " levels";
+    EXPECT_LT(warmAllocs, static_cast<std::int64_t>(h.numModules()));
+}
+
+TEST(VCycleAllocationDiscipline, KWayWarmRunsAllocateOLevels) {
+#if MLPART_CHECK_INVARIANTS
+    GTEST_SKIP() << "allocation discipline is asserted in non-checked builds only";
+#endif
+    // The k-way twin of the bound above: with the k*(k-1) gain-bucket
+    // head/tail lists bump-bound to Workspace::kBucketArena, a warm
+    // quadrisection V-cycle must stay O(levels) too.
+    const Hypergraph h = testing::mediumCircuit(4000, 13);
+
+    MLConfig cfg;
+    cfg.k = 4;
+    cfg.coarseningThreshold = 100;
+    cfg.matchingRatio = 0.5;
+    KWayConfig kw;
+    kw.clip = true;
+    const MultilevelPartitioner ml(cfg, makeKWayFactory(kw));
+
+    MLWorkspace ws;
+    std::mt19937_64 rng(1);
+    const MLResult warm = ml.run(h, rng, robust::Deadline{}, ws);
+    ASSERT_GT(warm.levels, 3);
+
+    const std::int64_t before = allocationsSinceStart();
+    const MLResult second = ml.run(h, rng, robust::Deadline{}, ws);
+    const std::int64_t warmAllocs = allocationsSinceStart() - before;
+
+    const std::int64_t perLevelBudget = 64;
+    EXPECT_LT(warmAllocs, 128 + perLevelBudget * static_cast<std::int64_t>(second.levels))
+        << "warm k-way V-cycle allocated " << warmAllocs << " times over " << second.levels
         << " levels";
     EXPECT_LT(warmAllocs, static_cast<std::int64_t>(h.numModules()));
 }

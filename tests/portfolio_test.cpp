@@ -1,0 +1,527 @@
+// Tests for the fault-isolated portfolio engine manager (DESIGN.md §15):
+// deterministic winner selection across thread counts and repeats, per-lane
+// fault containment for every portfolio.* and engine-inner-loop fault site
+// (the sites robust_test skips are exercised here), the hang/OOM/crash
+// salvage paths, the all-lanes-dead greedy fallback, the EvaluationReport
+// wire codec / JSON, and the serve-level "engine":"auto" path with lane
+// faults across worker counts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "check/verify_partition.h"
+#include "genetic/hybrid.h"
+#include "hypergraph/partition.h"
+#include "lsmc/lsmc.h"
+#include "portfolio/portfolio.h"
+#include "refine/multistart.h"
+#include "robust/deadline.h"
+#include "robust/fault_injector.h"
+#include "robust/status.h"
+#include "robust/wire.h"
+#include "spectral/spectral.h"
+#include "test_util.h"
+
+#if !defined(_WIN32)
+#include "serve/job.h"
+#include "serve/json.h"
+#include "serve/service.h"
+#endif
+
+namespace mlpart {
+namespace {
+
+using portfolio::EngineKind;
+using portfolio::EvaluationReport;
+using portfolio::LaneOutcome;
+using portfolio::LaneRecord;
+using portfolio::PortfolioConfig;
+using portfolio::PortfolioResult;
+using robust::FaultInjector;
+using robust::FaultKind;
+using robust::FaultPlan;
+using robust::StatusCode;
+
+PortfolioConfig smallConfig(std::uint64_t seed = 9) {
+    PortfolioConfig pc;
+    pc.k = 2;
+    pc.tolerance = 0.1;
+    pc.matchingRatio = 0.5;
+    pc.runs = 2;
+    pc.threads = 1;
+    pc.seed = seed;
+    return pc;
+}
+
+/// Fingerprint of everything the determinism contract covers: winner,
+/// per-lane outcomes and cuts, and the full winning assignment. Timings
+/// are deliberately excluded.
+std::string resultFingerprint(const PortfolioResult& r) {
+    std::string s = r.report.winnerName() + "|cut=" + std::to_string(r.bestCut) + "|";
+    for (const LaneRecord& lane : r.report.lanes) {
+        s += portfolio::engineName(lane.engine);
+        s += ':';
+        s += portfolio::laneOutcomeName(lane.outcome);
+        s += ':';
+        s += std::to_string(lane.cut);
+        s += ':';
+        s += std::to_string(lane.maxBlockArea);
+        s += '|';
+    }
+    for (const PartId p : r.best.assignment()) s += static_cast<char>('0' + p);
+    return s;
+}
+
+const LaneRecord& laneFor(const EvaluationReport& report, EngineKind e) {
+    for (const LaneRecord& lane : report.lanes)
+        if (lane.engine == e) return lane;
+    static LaneRecord missing;
+    ADD_FAILURE() << "no lane record for engine " << portfolio::engineName(e);
+    return missing;
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(PortfolioDeterminism, WinnerBitIdenticalAcrossThreadCountsAndRepeats) {
+    const Hypergraph h = testing::mediumCircuit(300, 7);
+    std::string oracle;
+    for (const int threads : {1, 2, 8, 1}) { // trailing 1: repeat stability
+        PortfolioConfig pc = smallConfig();
+        pc.threads = threads;
+        const PortfolioResult r = runPortfolio(h, pc);
+        ASSERT_FALSE(r.report.fallbackUsed);
+        EXPECT_GE(r.report.survivors(), 4); // all five lanes eligible at k=2
+        if (oracle.empty()) oracle = resultFingerprint(r);
+        EXPECT_EQ(resultFingerprint(r), oracle) << "threads=" << threads;
+    }
+}
+
+TEST(PortfolioDeterminism, ExplicitEngineSubsetKeepsRankOrderAndSkipsTheRest) {
+    const Hypergraph h = testing::mediumCircuit(120, 3);
+    PortfolioConfig pc = smallConfig();
+    pc.engines = {EngineKind::kLSMC, EngineKind::kTwoPhase};
+    const PortfolioResult r = runPortfolio(h, pc);
+    ASSERT_EQ(r.report.lanes.size(), static_cast<std::size_t>(portfolio::kEngineCount));
+    for (const LaneRecord& lane : r.report.lanes) {
+        const bool requested =
+            lane.engine == EngineKind::kLSMC || lane.engine == EngineKind::kTwoPhase;
+        EXPECT_EQ(lane.outcome == LaneOutcome::kSkipped, !requested)
+            << portfolio::engineName(lane.engine);
+    }
+    // Lanes always report in fixed engine-rank order.
+    for (std::size_t i = 0; i < r.report.lanes.size(); ++i)
+        EXPECT_EQ(static_cast<int>(r.report.lanes[i].engine), static_cast<int>(i));
+    EXPECT_TRUE(r.report.winnerName() == "lsmc" || r.report.winnerName() == "two_phase");
+}
+
+TEST(PortfolioDeterminism, SpectralLaneSkippedBeyondBisection) {
+    const Hypergraph h = testing::mediumCircuit(200, 5);
+    PortfolioConfig pc = smallConfig();
+    pc.k = 4;
+    const PortfolioResult r = runPortfolio(h, pc);
+    const LaneRecord& spectral = laneFor(r.report, EngineKind::kSpectral);
+    EXPECT_EQ(spectral.outcome, LaneOutcome::kSkipped);
+    EXPECT_EQ(spectral.status.code, StatusCode::kUsage);
+    EXPECT_FALSE(r.report.fallbackUsed);
+    EXPECT_EQ(r.best.numParts(), 4);
+}
+
+// ------------------------------------------------- per-lane fault salvage
+
+TEST(PortfolioFaults, EveryLaneEntrySiteFiresAndLosesOnlyItsOwnLane) {
+    const Hypergraph h = testing::mediumCircuit(150, 11);
+    FaultInjector& injector = FaultInjector::instance();
+    for (int e = 0; e < portfolio::kEngineCount; ++e) {
+        const auto victim = static_cast<EngineKind>(e);
+        SCOPED_TRACE(portfolio::engineName(victim));
+        FaultPlan plan;
+        plan.probability = 1.0;
+        plan.site = portfolio::laneFaultSite(victim);
+        injector.arm(plan);
+        const PortfolioResult r = runPortfolio(h, smallConfig());
+        EXPECT_GE(injector.fires(), 1) << "site never fired";
+        injector.disarm();
+
+        const LaneRecord& dead = laneFor(r.report, victim);
+        EXPECT_EQ(dead.outcome, LaneOutcome::kCrashed);
+        EXPECT_EQ(dead.status.code, StatusCode::kInjectedFault);
+        EXPECT_EQ(dead.cut, -1);
+        EXPECT_FALSE(r.report.fallbackUsed);
+        EXPECT_EQ(r.report.survivors(), portfolio::kEngineCount - 1);
+        EXPECT_NE(r.report.winnerName(), portfolio::engineName(victim));
+        const auto bc = BalanceConstraint::forRefinement(h, 2, 0.1);
+        check::PartitionCheckOptions opt;
+        opt.balance = &bc;
+        opt.expectedCut = r.bestCut;
+        EXPECT_TRUE(check::verifyPartition(h, r.best, opt).ok());
+    }
+}
+
+TEST(PortfolioFaults, EngineInnerLoopSitesFireAndAreContained) {
+    const Hypergraph h = testing::mediumCircuit(150, 11);
+    const struct {
+        const char* site;
+        EngineKind victim;
+    } cases[] = {
+        {"lsmc.descent", EngineKind::kLSMC},
+        {"spectral.iterate", EngineKind::kSpectral},
+        {"genetic.generation", EngineKind::kGenetic},
+    };
+    FaultInjector& injector = FaultInjector::instance();
+    for (const auto& c : cases) {
+        SCOPED_TRACE(c.site);
+        FaultPlan plan;
+        plan.probability = 1.0;
+        plan.site = c.site;
+        injector.arm(plan);
+        const PortfolioResult r = runPortfolio(h, smallConfig());
+        EXPECT_GE(injector.fires(), 1) << "site never fired";
+        injector.disarm();
+        EXPECT_EQ(laneFor(r.report, c.victim).outcome, LaneOutcome::kCrashed);
+        EXPECT_FALSE(r.report.fallbackUsed);
+        EXPECT_EQ(r.report.survivors(), portfolio::kEngineCount - 1);
+    }
+}
+
+TEST(PortfolioFaults, OomRefusedLaneIsClassifiedNotCrashed) {
+    const Hypergraph h = testing::mediumCircuit(150, 11);
+    FaultPlan plan;
+    plan.probability = 1.0;
+    plan.site = portfolio::laneFaultSite(EngineKind::kTwoPhase);
+    plan.kind = FaultKind::kBadAlloc;
+    FaultInjector::instance().arm(plan);
+    const PortfolioResult r = runPortfolio(h, smallConfig());
+    FaultInjector::instance().disarm();
+    const LaneRecord& refused = laneFor(r.report, EngineKind::kTwoPhase);
+    EXPECT_EQ(refused.outcome, LaneOutcome::kRefused);
+    EXPECT_EQ(refused.status.code, StatusCode::kResourceExhausted);
+    EXPECT_FALSE(r.report.fallbackUsed);
+}
+
+TEST(PortfolioFaults, HungLaneWindsDownOnItsBudgetSliceAndLosesOnlyItself) {
+    const Hypergraph h = testing::mediumCircuit(150, 11);
+    PortfolioConfig pc = smallConfig();
+    pc.budgetSeconds = 1.0; // 0.2 s slice per lane — the hang's bound
+    FaultPlan plan;
+    plan.site = "portfolio.lane.hang";
+    plan.fireAtHit = 1; // only the first lane (ml) hangs
+    FaultInjector::instance().arm(plan);
+    const PortfolioResult r = runPortfolio(h, pc);
+    EXPECT_EQ(FaultInjector::instance().fires(), 1);
+    FaultInjector::instance().disarm();
+
+    const LaneRecord& hung = laneFor(r.report, EngineKind::kML);
+    EXPECT_EQ(hung.outcome, LaneOutcome::kTimedOut);
+    EXPECT_EQ(hung.status.code, StatusCode::kDeadlineExceeded);
+    EXPECT_GE(hung.seconds, 0.15); // actually stalled until the slice
+    EXPECT_FALSE(r.report.fallbackUsed);
+    EXPECT_NE(r.report.winnerName(), "ml");
+}
+
+TEST(PortfolioFaults, AllLanesDeadDegradesToTheGreedyFallback) {
+    const Hypergraph h = testing::mediumCircuit(150, 11);
+    FaultPlan plan;
+    plan.probability = 1.0;
+    plan.site = "portfolio.lane.*"; // prefix match: every lane entry gate
+    FaultInjector::instance().arm(plan);
+    const PortfolioResult r = runPortfolio(h, smallConfig());
+    FaultInjector::instance().disarm();
+
+    EXPECT_TRUE(r.report.fallbackUsed);
+    EXPECT_EQ(r.report.winnerLane, -1);
+    EXPECT_EQ(r.report.winnerName(), "fallback");
+    EXPECT_EQ(r.report.survivors(), 0);
+    for (const LaneRecord& lane : r.report.lanes)
+        EXPECT_EQ(lane.outcome, LaneOutcome::kCrashed) << portfolio::engineName(lane.engine);
+    // The fallback still answers with a structurally valid bisection whose
+    // reported cut matches a recomputation.
+    check::PartitionCheckOptions opt;
+    opt.expectedCut = static_cast<Weight>(r.bestCut);
+    EXPECT_TRUE(check::verifyPartition(h, r.best, opt).ok());
+    EXPECT_EQ(r.best.numParts(), 2);
+}
+
+// --------------------------------------- engine inner-loop deadline checks
+
+TEST(EngineDeadlines, ExpiredDeadlinesStillYieldValidResults) {
+    const Hypergraph h = testing::mediumCircuit(150, 11);
+    const robust::Deadline expired = robust::Deadline::after(0.0);
+    FMConfig fm;
+    fm.variant = EngineVariant::kCLIP;
+
+    std::mt19937_64 rng(1);
+    LSMCConfig lc;
+    lc.descents = 50;
+    const LSMCResult lsmc = LSMCPartitioner(lc, makeFMFactory(fm)).run(h, rng, expired);
+    check::PartitionCheckOptions opt;
+    opt.expectedCut = lsmc.cut;
+    EXPECT_TRUE(check::verifyPartition(h, lsmc.partition, opt).ok());
+
+    std::mt19937_64 rng2(1);
+    const SpectralResult sp = spectralBisect(h, SpectralConfig{}, rng2, expired);
+    opt.expectedCut = sp.cut;
+    EXPECT_TRUE(check::verifyPartition(h, sp.partition, opt).ok());
+
+    std::mt19937_64 rng3(1);
+    HybridConfig hc;
+    hc.populationSize = 3;
+    hc.generations = 4;
+    const HybridResult ga = HybridMultiStart(hc, makeFMFactory(fm)).run(h, rng3, expired);
+    opt.expectedCut = ga.cut;
+    EXPECT_TRUE(check::verifyPartition(h, ga.partition, opt).ok());
+}
+
+// -------------------------------------------------- report codec and JSON
+
+TEST(EvaluationReportCodec, WireRoundTripPinsEveryField) {
+    EvaluationReport report;
+    LaneRecord a;
+    a.engine = EngineKind::kML;
+    a.outcome = LaneOutcome::kWon;
+    a.status = robust::Status::okStatus();
+    a.cut = 42;
+    a.maxBlockArea = 77;
+    a.seconds = 1.25;
+    a.deadlineHit = false;
+    a.verified = true;
+    LaneRecord b;
+    b.engine = EngineKind::kSpectral;
+    b.outcome = LaneOutcome::kCrashed;
+    b.status = {StatusCode::kInjectedFault, "injected fault at 'portfolio.lane.spectral'"};
+    b.cut = -1;
+    b.maxBlockArea = -1;
+    b.seconds = 0.5;
+    b.deadlineHit = true;
+    b.verified = false;
+    report.lanes = {a, b};
+    report.winnerLane = 0;
+    report.fallbackUsed = false;
+    report.totalSeconds = 2.5;
+
+    robust::WireWriter w;
+    portfolio::encodeEvaluationReport(w, report);
+    robust::WireReader in{w.bytes.data(), w.bytes.size(), 0};
+    const EvaluationReport got = portfolio::decodeEvaluationReport(in);
+
+    ASSERT_EQ(got.lanes.size(), 2u);
+    EXPECT_EQ(got.lanes[0].engine, EngineKind::kML);
+    EXPECT_EQ(got.lanes[0].outcome, LaneOutcome::kWon);
+    EXPECT_EQ(got.lanes[0].status.code, StatusCode::kOk);
+    EXPECT_EQ(got.lanes[0].cut, 42);
+    EXPECT_EQ(got.lanes[0].maxBlockArea, 77);
+    EXPECT_DOUBLE_EQ(got.lanes[0].seconds, 1.25);
+    EXPECT_FALSE(got.lanes[0].deadlineHit);
+    EXPECT_TRUE(got.lanes[0].verified);
+    EXPECT_EQ(got.lanes[1].engine, EngineKind::kSpectral);
+    EXPECT_EQ(got.lanes[1].outcome, LaneOutcome::kCrashed);
+    EXPECT_EQ(got.lanes[1].status.code, StatusCode::kInjectedFault);
+    EXPECT_EQ(got.lanes[1].status.message, "injected fault at 'portfolio.lane.spectral'");
+    EXPECT_EQ(got.lanes[1].cut, -1);
+    EXPECT_TRUE(got.lanes[1].deadlineHit);
+    EXPECT_EQ(got.winnerLane, 0);
+    EXPECT_FALSE(got.fallbackUsed);
+    EXPECT_DOUBLE_EQ(got.totalSeconds, 2.5);
+    EXPECT_EQ(got.winnerName(), "ml");
+    EXPECT_EQ(got.survivors(), 1);
+}
+
+TEST(EvaluationReportCodec, RejectsHostilePayloads) {
+    EvaluationReport report;
+    LaneRecord lane;
+    report.lanes = {lane};
+    report.winnerLane = 0;
+    robust::WireWriter w;
+    portfolio::encodeEvaluationReport(w, report);
+
+    // Truncation.
+    robust::WireReader truncated{w.bytes.data(), w.bytes.size() - 4, 0};
+    EXPECT_THROW((void)portfolio::decodeEvaluationReport(truncated), robust::Error);
+
+    // Out-of-range engine byte (first lane field after the count).
+    std::vector<std::uint8_t> bad = w.bytes;
+    bad[4] = 250;
+    robust::WireReader badEngine{bad.data(), bad.size(), 0};
+    EXPECT_THROW((void)portfolio::decodeEvaluationReport(badEngine), robust::Error);
+
+    // Implausible lane count.
+    robust::WireWriter huge;
+    huge.u32(1000);
+    robust::WireReader hugeCount{huge.bytes.data(), huge.bytes.size(), 0};
+    EXPECT_THROW((void)portfolio::decodeEvaluationReport(hugeCount), robust::Error);
+
+    // Winner index out of range.
+    EvaluationReport badWinner;
+    badWinner.lanes = {lane};
+    badWinner.winnerLane = 7;
+    robust::WireWriter w2;
+    portfolio::encodeEvaluationReport(w2, badWinner);
+    robust::WireReader in2{w2.bytes.data(), w2.bytes.size(), 0};
+    EXPECT_THROW((void)portfolio::decodeEvaluationReport(in2), robust::Error);
+}
+
+TEST(EvaluationReportJson, RendersWinnerLanesAndMessages) {
+    const Hypergraph h = testing::mediumCircuit(120, 3);
+    FaultPlan plan;
+    plan.probability = 1.0;
+    plan.site = "portfolio.lane.lsmc";
+    FaultInjector::instance().arm(plan);
+    const PortfolioResult r = runPortfolio(h, smallConfig());
+    FaultInjector::instance().disarm();
+    const std::string json = portfolio::evaluationReportJson(r.report);
+    EXPECT_NE(json.find("\"winner\":\"" + r.report.winnerName() + "\""), std::string::npos);
+    EXPECT_NE(json.find("\"fallback\":false"), std::string::npos);
+    EXPECT_NE(json.find("\"engine\":\"lsmc\",\"outcome\":\"crashed\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"INJECTED_FAULT\""), std::string::npos);
+    EXPECT_NE(json.find("\"outcome\":\"won\""), std::string::npos);
+    EXPECT_NE(json.find("\"message\":\"injected fault at"), std::string::npos);
+}
+
+// ------------------------------------------------------- serve-level auto
+
+#if !defined(_WIN32)
+
+using serve::JobRequest;
+using serve::parseJobRequest;
+using serve::Service;
+using serve::ServiceConfig;
+
+// Mirrors serve_test's Capture: collects emitted NDJSON lines.
+struct Capture {
+    std::mutex mu;
+    std::vector<std::string> lines;
+    Service::Emit sink() {
+        return [this](const std::string& line) {
+            std::lock_guard<std::mutex> lock(mu);
+            lines.push_back(line);
+        };
+    }
+    [[nodiscard]] std::string lineFor(const std::string& id) {
+        const std::string needle = "\"id\":\"" + id + "\"";
+        std::lock_guard<std::mutex> lock(mu);
+        for (const std::string& l : lines)
+            if (l.find(needle) != std::string::npos &&
+                l.find("\"event\":\"result\"") != std::string::npos)
+                return l;
+        ADD_FAILURE() << "no result line for id=" << id;
+        return "";
+    }
+};
+
+/// First occurrence of `"key":` in `line` — result lines carry the nested
+/// engine_report object, which the flat job-schema parser rejects, so the
+/// comparisons extract top-level fields textually (top-level fields are
+/// emitted before the report, so first match wins).
+std::string fieldAfter(const std::string& line, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    std::size_t i = line.find(needle);
+    if (i == std::string::npos) return "?";
+    i += needle.size();
+    std::string out;
+    if (i < line.size() && line[i] == '"') {
+        for (++i; i < line.size() && line[i] != '"'; ++i) out += line[i];
+    } else {
+        for (; i < line.size() && line[i] != ',' && line[i] != '}'; ++i) out += line[i];
+    }
+    return out;
+}
+
+std::string autoJob(const std::string& id, const std::string& extra = "") {
+    return "{\"op\":\"partition\",\"id\":\"" + id +
+           "\",\"hgr\":\"6 8\\n1 2\\n3 4\\n5 6\\n7 8\\n2 3\\n6 7\\n\",\"engine\":\"auto\","
+           "\"runs\":2" +
+           (extra.empty() ? "" : "," + extra) + "}";
+}
+
+TEST(ServePortfolio, RequestValidationAcceptsPortfolioEnginesOnly) {
+    EXPECT_EQ(parseJobRequest(autoJob("a")).engine, "auto");
+    EXPECT_EQ(parseJobRequest("{\"op\":\"partition\",\"hgr\":\"x\",\"engine\":\"lsmc\"}").engine,
+              "lsmc");
+    EXPECT_THROW(
+        (void)parseJobRequest("{\"op\":\"partition\",\"hgr\":\"x\",\"engine\":\"bogus\"}"),
+        robust::Error);
+    // Checkpointing has no cross-engine resume semantics: reject up front.
+    EXPECT_THROW((void)parseJobRequest(
+                     "{\"op\":\"partition\",\"hgr\":\"x\",\"engine\":\"auto\","
+                     "\"checkpoint\":\"/tmp/x.ckpt\"}"),
+                 robust::Error);
+}
+
+TEST(ServePortfolio, AutoJobsWithLaneFaultsAreBitIdenticalAcrossWorkerCounts) {
+    // Three auto jobs: clean, one with its ML lane crashing in the fork,
+    // one with every lane dead (greedy fallback). Results — cut, partition
+    // CRC, winner, fallback flag — must be identical at every worker count
+    // and the supervisor must survive all of it.
+    const std::vector<std::string> jobs = {
+        autoJob("clean", "\"seed\":21"),
+        autoJob("ml-dead", "\"seed\":22,\"fault\":\"site=portfolio.lane.ml,p=1.0,seed=5\""),
+        autoJob("all-dead",
+                "\"seed\":23,\"fault\":\"site=portfolio.lane.*,p=1.0,seed=5\""),
+        "{\"op\":\"partition\",\"id\":\"one-lane\",\"hgr\":\"6 8\\n1 2\\n3 4\\n5 6\\n7 8\\n2 "
+        "3\\n6 7\\n\",\"engine\":\"lsmc\",\"seed\":24}",
+    };
+    std::map<std::string, std::map<std::string, std::string>> byWorkers;
+    for (const int workers : {1, 2, 8}) {
+        Capture cap;
+        ServiceConfig cfg;
+        cfg.workers = workers;
+        {
+            Service service(cfg, cap.sink());
+            for (const std::string& j : jobs) service.handleLine(j);
+            service.stop();
+        }
+        std::map<std::string, std::string> results;
+        for (const std::string& j : jobs) {
+            const std::string id = parseJobRequest(j).id;
+            const std::string line = cap.lineFor(id);
+            results[id] = fieldAfter(line, "status") + "/cut=" + fieldAfter(line, "cut") +
+                          "/crc=" + fieldAfter(line, "part_crc") +
+                          "/winner=" + fieldAfter(line, "winner");
+        }
+        byWorkers[std::to_string(workers)] = results;
+
+        // Spot-check the containment + report semantics once per count.
+        const std::string mlDead = cap.lineFor("ml-dead");
+        EXPECT_NE(mlDead.find("\"engine_report\""), std::string::npos);
+        EXPECT_NE(mlDead.find("\"engine\":\"ml\",\"outcome\":\"crashed\""), std::string::npos);
+        EXPECT_NE(mlDead.find("\"status\":\"OK\""), std::string::npos);
+        const std::string allDead = cap.lineFor("all-dead");
+        EXPECT_NE(allDead.find("\"winner\":\"fallback\""), std::string::npos);
+        EXPECT_NE(allDead.find("\"fallback\":true"), std::string::npos);
+        EXPECT_NE(allDead.find("\"status\":\"OK\""), std::string::npos);
+        const std::string oneLane = cap.lineFor("one-lane");
+        EXPECT_NE(oneLane.find("\"winner\":\"lsmc\""), std::string::npos);
+    }
+    EXPECT_EQ(byWorkers.at("1"), byWorkers.at("2"));
+    EXPECT_EQ(byWorkers.at("1"), byWorkers.at("8"));
+}
+
+TEST(ServePortfolio, StatusExposesPerEngineLaneCounters) {
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    {
+        Service service(cfg, cap.sink());
+        service.handleLine(autoJob("s1", "\"seed\":31"));
+        service.handleLine(
+            autoJob("s2", "\"seed\":32,\"fault\":\"site=portfolio.lane.lsmc,p=1.0,seed=5\""));
+        service.stop();
+        const std::string status = service.statusJson();
+        EXPECT_NE(status.find("\"engines\":["), std::string::npos);
+        EXPECT_NE(status.find("\"engine\":\"ml\""), std::string::npos);
+        EXPECT_NE(status.find("\"engine\":\"genetic\""), std::string::npos);
+        EXPECT_NE(status.find("\"median_cut\""), std::string::npos);
+        EXPECT_NE(status.find("\"portfolio_fallbacks\":0"), std::string::npos);
+        // The faulted job's LSMC lane shows up as exactly one crash.
+        const std::size_t lsmc = status.find("\"engine\":\"lsmc\"");
+        ASSERT_NE(lsmc, std::string::npos);
+        EXPECT_NE(status.find("\"crashes\":1", lsmc), std::string::npos);
+    }
+}
+
+#endif // !_WIN32
+
+} // namespace
+} // namespace mlpart

@@ -28,6 +28,14 @@
 //                     baseline, so the regression gate still judges only
 //                     the primary rows.
 //     --engine E      fm | clip (default clip)
+//     --portfolio     additionally run the fault-isolated engine portfolio
+//                     (DESIGN.md §15) on every instance, emitting an extra
+//                     <instance>@portfolio row (winner's cut / wall time)
+//                     plus a per-engine lane table at the end: wins,
+//                     crashes, timeouts, refusals, median cut and median
+//                     lane runtime. Like @vt sweep rows, @portfolio rows
+//                     never exist in older baselines, so the regression
+//                     gate still judges only the primary rows.
 //     --scale X       synthetic-instance scale in (0,1] (default 1)
 //     --profile       per-level refinement profile (pass/move/rollback
 //                     counts, bucket-build vs select vs apply vs rollback
@@ -70,6 +78,7 @@
 #include "hypergraph/stats.h"
 #include "core/multilevel.h"
 #include "perf/simd.h"
+#include "portfolio/portfolio.h"
 #include "refine/multistart.h"
 
 namespace {
@@ -123,6 +132,7 @@ struct Options {
     std::string engine = "clip";
     double scale = 1.0;
     bool profile = false;
+    bool portfolio = false;
     std::string out = "BENCH_ML.json";
     std::string compare;
     double maxRegressionPct = 25.0;
@@ -133,7 +143,7 @@ struct Options {
     if (!msg.empty()) std::cerr << "error: " << msg << "\n";
     std::cerr << "usage: mlpart_bench [instances...] [--quick|--full] [--runs N] [--seed S]\n"
                  "                    [--threads T] [--vcycle-threads T] [--vcycle-sweep \"1,2,4\"]\n"
-                 "                    [--engine fm|clip] [--scale X] [--profile]\n"
+                 "                    [--engine fm|clip] [--scale X] [--profile] [--portfolio]\n"
                  "                    [-o FILE] [--compare BASELINE.json] [--max-regression PCT]\n"
                  "                    [--max-rss-regression PCT]\n";
     std::exit(2);
@@ -163,6 +173,7 @@ Options parseOptions(int argc, char** argv) {
         else if (arg == "--engine") o.engine = value();
         else if (arg == "--scale") o.scale = std::stod(value());
         else if (arg == "--profile") o.profile = true;
+        else if (arg == "--portfolio") o.portfolio = true;
         else if (arg == "-o" || arg == "--out") o.out = value();
         else if (arg == "--compare") o.compare = value();
         else if (arg == "--max-regression") o.maxRegressionPct = std::stod(value());
@@ -249,6 +260,96 @@ InstanceResult benchInstance(const std::string& name, const Hypergraph& h, const
     r.avgCut = sum / static_cast<double>(o.runs);
     r.peakRssKb = peakRssKb();
     return r;
+}
+
+/// --portfolio: per-engine lane tallies accumulated across every
+/// instance's portfolio run — the bench-side twin of the serve status
+/// endpoint's "engines" array.
+struct EngineAgg {
+    std::int64_t wins = 0;
+    std::int64_t survived = 0;
+    std::int64_t crashes = 0;
+    std::int64_t timeouts = 0;
+    std::int64_t refusals = 0;
+    std::int64_t skipped = 0;
+    std::vector<std::int64_t> cuts;
+    std::vector<double> seconds;
+};
+
+double medianOf(std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    const std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+    return v[mid];
+}
+
+std::int64_t medianOf(std::vector<std::int64_t> v) {
+    if (v.empty()) return -1;
+    const std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+    return v[mid];
+}
+
+/// Runs the engine portfolio on one instance, folds every lane into the
+/// per-engine aggregates, and returns the extra @portfolio result row.
+InstanceResult benchPortfolio(const std::string& name, const Hypergraph& h, const Options& o,
+                              EngineAgg (&agg)[portfolio::kEngineCount]) {
+    portfolio::PortfolioConfig pc;
+    pc.k = 2;
+    pc.tolerance = 0.1;
+    pc.matchingRatio = 0.5;
+    pc.clip = o.engine == "clip";
+    pc.runs = o.runs;
+    pc.threads = o.threads;
+    pc.vcycleThreads = o.vcycleThreads;
+    pc.seed = o.seed;
+    const portfolio::PortfolioResult out = runPortfolio(h, pc);
+
+    const HypergraphStats stats = computeStats(h);
+    InstanceResult r;
+    r.name = name + "@portfolio";
+    r.modules = stats.numModules;
+    r.nets = stats.numNets;
+    r.pins = stats.numPins;
+    r.runs = o.runs;
+    r.bestCut = static_cast<Weight>(out.bestCut);
+    r.avgCut = static_cast<double>(out.bestCut);
+    r.wallSec = out.report.totalSeconds;
+    r.peakRssKb = peakRssKb();
+
+    for (const portfolio::LaneRecord& lane : out.report.lanes) {
+        EngineAgg& a = agg[static_cast<int>(lane.engine)];
+        switch (lane.outcome) {
+            case portfolio::LaneOutcome::kWon: ++a.wins; break;
+            case portfolio::LaneOutcome::kSurvived: ++a.survived; break;
+            case portfolio::LaneOutcome::kCrashed: ++a.crashes; break;
+            case portfolio::LaneOutcome::kTimedOut: ++a.timeouts; break;
+            case portfolio::LaneOutcome::kRefused: ++a.refusals; break;
+            case portfolio::LaneOutcome::kSkipped: ++a.skipped; break;
+        }
+        if (lane.cut >= 0) {
+            a.cuts.push_back(lane.cut);
+            a.seconds.push_back(lane.seconds);
+        }
+    }
+    std::printf("winner %s, cut %lld, %.3fs wall\n", out.report.winnerName().c_str(),
+                static_cast<long long>(out.bestCut), out.report.totalSeconds);
+    return r;
+}
+
+void printEngineTable(const EngineAgg (&agg)[portfolio::kEngineCount]) {
+    std::printf("portfolio lane summary:\n");
+    std::printf("  %-10s %5s %9s %8s %9s %9s %8s %11s %13s\n", "engine", "wins", "survived",
+                "crashes", "timeouts", "refusals", "skipped", "median_cut", "median_sec");
+    for (int e = 0; e < portfolio::kEngineCount; ++e) {
+        const EngineAgg& a = agg[e];
+        std::printf("  %-10s %5lld %9lld %8lld %9lld %9lld %8lld %11lld %13.3f\n",
+                    portfolio::engineName(static_cast<portfolio::EngineKind>(e)),
+                    static_cast<long long>(a.wins), static_cast<long long>(a.survived),
+                    static_cast<long long>(a.crashes), static_cast<long long>(a.timeouts),
+                    static_cast<long long>(a.refusals), static_cast<long long>(a.skipped),
+                    static_cast<long long>(medianOf(a.cuts)), medianOf(a.seconds));
+    }
 }
 
 /// Aggregate of an instance's per-level profiles (all levels, all runs).
@@ -384,6 +485,7 @@ int main(int argc, char** argv) {
               << perf::toString(perf::cpuTier()) << ")\n";
 
     std::vector<InstanceResult> results;
+    EngineAgg engineAgg[portfolio::kEngineCount];
     for (const std::string& inst : o.instances) {
         const bool isFile = inst.find(".hgr") != std::string::npos ||
                             std::filesystem::exists(inst);
@@ -424,7 +526,14 @@ int main(int argc, char** argv) {
             }
             results.push_back(sr);
         }
+        if (o.portfolio) {
+            std::cout << name << "@portfolio: " << std::flush;
+            InstanceResult pr = benchPortfolio(name, h, o, engineAgg);
+            pr.source = r.source;
+            results.push_back(pr);
+        }
     }
+    if (o.portfolio) printEngineTable(engineAgg);
 
     writeJson(o.out, o, results);
     std::cout << "wrote " << o.out << "\n";

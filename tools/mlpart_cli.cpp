@@ -37,6 +37,7 @@
 #include "hypergraph/stats.h"
 #include "kway/kway_refiner.h"
 #include "placement/topdown_placer.h"
+#include "portfolio/portfolio.h"
 #include "refine/fm_refiner.h"
 #include "refine/multistart.h"
 #include "robust/checkpoint.h"
@@ -73,7 +74,10 @@ void setPhase(const std::string& phase, const std::string& input = "") {
     std::cerr <<
         "usage: mlpart <command> [args]\n"
         "  stats     <netlist>\n"
-        "  partition <netlist> [-k K] [-r TOL] [-R RATIO] [--engine fm|clip]\n"
+        "  partition <netlist> [-k K] [-r TOL] [-R RATIO]\n"
+        "            [--engine fm|clip|auto|ml|two_phase|lsmc|spectral|genetic]\n"
+        "            [--engine-budget SEC]   (portfolio engines: per-job budget,\n"
+        "             split across lanes; auto races the whole portfolio)\n"
         "            [--runs N] [--threads T] [--vcycle-threads T] [--seed S]\n"
         "            [--timeout SEC]\n"
         "            [--checkpoint FILE [--checkpoint-every N] [--resume]]\n"
@@ -221,6 +225,71 @@ void logReportJson(const robust::RunReport& report, const MultiStartOutcome& out
     std::cerr << s.str() << "\n";
 }
 
+/// The --engine auto / single-portfolio-engine path: races the engine
+/// portfolio under the fault-containment manager and prints the per-lane
+/// evaluation report next to the winner.
+int runPortfolioPartition(const Args& a, const Hypergraph& h, PartId k, double r,
+                          const std::string& engine, double timeout, bool logJson) {
+    portfolio::PortfolioConfig pc;
+    pc.k = k;
+    pc.tolerance = r;
+    pc.matchingRatio = a.getD("-R", 0.5);
+    pc.runs = static_cast<int>(a.getI("--runs", 4));
+    pc.threads = static_cast<int>(a.getI("--threads", 0));
+    pc.vcycleThreads = static_cast<int>(a.getI("--vcycle-threads", 0));
+    pc.seed = static_cast<std::uint64_t>(a.getI("--seed", 1));
+    pc.budgetSeconds = a.getD("--engine-budget", 0.0);
+    if (pc.runs < 1) usage("partition: --runs must be >= 1");
+    if (pc.vcycleThreads < 0) usage("partition: --vcycle-threads must be >= 0");
+    if (pc.budgetSeconds < 0) usage("partition: --engine-budget must be >= 0");
+    if (a.flags.count("--checkpoint"))
+        usage("partition: --checkpoint requires --engine fm or clip");
+    pc.deadline = timeout > 0 ? robust::Deadline::after(timeout) : robust::Deadline();
+    pc.deadline.bindCancelFlag(&g_interrupted);
+    if (engine != "auto") {
+        portfolio::EngineKind kind{};
+        if (!portfolio::parseEngineName(engine, kind))
+            usage("partition: --engine must be fm, clip, auto, or one of "
+                  "ml/two_phase/lsmc/spectral/genetic");
+        pc.engines = {kind};
+    }
+
+    setPhase("partitioning (portfolio)");
+    const portfolio::PortfolioResult out = runPortfolio(h, pc);
+    logPhaseJson(logJson, "partition", out.report.totalSeconds);
+    if (logJson)
+        std::cerr << portfolio::evaluationReportJson(out.report) << "\n";
+
+    setPhase("writing results");
+    std::cout << k << "-way portfolio partition (" << engine << ", seed " << pc.seed;
+    if (pc.budgetSeconds > 0) std::cout << ", budget " << pc.budgetSeconds << " s";
+    std::cout << "):\n";
+    for (const auto& lane : out.report.lanes) {
+        std::cout << "  lane " << portfolio::engineName(lane.engine) << ": "
+                  << portfolio::laneOutcomeName(lane.outcome);
+        if (lane.cut >= 0)
+            std::cout << "  cut " << lane.cut << "  max block " << lane.maxBlockArea;
+        if (!lane.status.ok()) std::cout << "  (" << lane.status.message << ")";
+        std::cout << "  [" << lane.seconds << " s]\n";
+    }
+    std::cout << "  winner:    " << out.report.winnerName() << "\n"
+              << "  min cut:   " << out.bestCut << "\n"
+              << "  wall time: " << out.report.totalSeconds << " s\n  block areas:";
+    for (PartId p = 0; p < k; ++p) std::cout << ' ' << out.best.blockArea(p);
+    std::cout << "\n";
+    if (out.report.fallbackUsed)
+        std::cout << "  all lanes failed: greedy area-split fallback emitted\n";
+    if (a.flags.count("-o")) {
+        writePartitionFile(out.best, a.get("-o", ""));
+        std::cout << "  wrote " << a.get("-o", "") << "\n";
+    }
+    if (g_interrupted.load(std::memory_order_relaxed)) {
+        std::cout << "  interrupted: best-so-far result emitted\n";
+        return robust::exitCodeFor(robust::StatusCode::kInterrupted);
+    }
+    return 0;
+}
+
 int cmdPartition(const Args& a) {
     if (a.positional.empty()) usage("partition: missing netlist");
     const bool logJson = a.flags.count("--log-json") > 0;
@@ -244,6 +313,14 @@ int cmdPartition(const Args& a) {
                             "cannot split " + std::to_string(h.numModules()) +
                                 " modules into " + std::to_string(k) + " non-empty blocks");
 
+    {
+        portfolio::EngineKind kind{};
+        if (engine == "auto" || portfolio::parseEngineName(engine, kind))
+            return runPortfolioPartition(a, h, k, r, engine, timeout, logJson);
+    }
+    if (a.flags.count("--engine-budget"))
+        usage("partition: --engine-budget requires a portfolio engine (--engine auto/...)");
+
     MLConfig cfg;
     cfg.k = k;
     cfg.tolerance = r;
@@ -259,11 +336,16 @@ int cmdPartition(const Args& a) {
         FMConfig fm;
         fm.tolerance = r;
         if (engine == "clip") fm.variant = EngineVariant::kCLIP;
-        else if (engine != "fm") usage("partition: --engine must be fm or clip");
+        else if (engine != "fm")
+            usage("partition: --engine must be fm, clip, auto, or one of "
+                  "ml/two_phase/lsmc/spectral/genetic");
         factory = makeFMFactory(fm);
     } else {
         KWayConfig kw;
         kw.tolerance = r;
+        if (engine != "fm" && engine != "clip")
+            usage("partition: --engine must be fm, clip, auto, or one of "
+                  "ml/two_phase/lsmc/spectral/genetic");
         kw.clip = engine == "clip";
         factory = makeKWayFactory(kw);
     }

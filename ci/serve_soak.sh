@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Soak harness for mlpart_serve (DESIGN.md §11, §13), two phases:
+# Soak harness for mlpart_serve (DESIGN.md §11, §13, §16), three phases:
 #
 #   1. stdin mode: a mixed-priority job stream with the serve.* fault
 #      sites armed per-job — crash-once, crash-always, hang-until-
@@ -11,6 +11,12 @@
 #      hit the result cache, and clients that disconnect abruptly with
 #      jobs in flight. Every surviving request gets exactly one result,
 #      crashes recycle pool workers, and the drain still exits 0.
+#   3. durable mode: SIGKILL the supervisor mid-barrage with a write-
+#      ahead journal armed (--state-dir), restart it on the same state
+#      dir, and prove every journaled job gets exactly one response
+#      across the crash with zero duplicate side effects — a job the
+#      first process already answered may only reappear as a journal
+#      re-emission carrying "replayed":true, never as a re-execution.
 #
 # Both phases also mix in "engine":"auto" portfolio jobs (DESIGN.md §15)
 # with per-lane faults — a rotating single-lane crash, a hang that must
@@ -367,4 +373,141 @@ if grep -q "ERROR: .*Sanitizer" "$work/sock_err.log"; then
     exit 1
 fi
 
-echo "serve_soak.sh: ${duration}s soak clean — both phases survived, drains exited 0"
+# ---------------------------------------------------------------- phase 3
+# Durable state: SIGKILL mid-barrage, restart on the same --state-dir.
+
+state="$work/state"
+njobs=30
+mkfifo "$work/in3"
+"$serve" --workers 2 --queue 64 --grace 1 --drain-grace 0.2 \
+    --state-dir "$state" \
+    <"$work/in3" >"$work/dur_a.ndjson" 2>"$work/dur_a_err.log" &
+pid=$!
+exec 5>"$work/in3"
+
+for i in $(seq 1 "$njobs"); do
+    printf '{"op":"partition","id":"dur-%d","hgr":"%s","runs":400,"seed":%d,"priority":%d}\n' \
+        "$i" "$hgr" $((4000 + i)) $((i % 4)) >&5
+done
+
+# Let a few jobs complete so the crash straddles done-and-delivered,
+# done-but-possibly-undelivered, and never-started journal states.
+for _ in $(seq 1 200); do
+    n=$(grep -c '"event":"result"' "$work/dur_a.ndjson" 2>/dev/null || true)
+    [ "${n:-0}" -ge 3 ] && break
+    sleep 0.1
+done
+kill -KILL "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+exec 5>&-
+rm -f "$work/in3"
+
+mkfifo "$work/in3b"
+"$serve" --workers 2 --queue 64 --grace 1 --drain-grace 0.2 \
+    --state-dir "$state" \
+    <"$work/in3b" >"$work/dur_b.ndjson" 2>"$work/dur_b_err.log" &
+pid=$!
+exec 5>"$work/in3b"
+
+# Every journaled job must resolve across the two output streams.
+deadline=$((SECONDS + 180))
+while [ "$SECONDS" -lt "$deadline" ]; do
+    seen=$(cat "$work/dur_a.ndjson" "$work/dur_b.ndjson" 2>/dev/null |
+        grep -o '"id":"dur-[0-9]*"' | sort -u | wc -l)
+    [ "$seen" -ge "$njobs" ] && break
+    sleep 0.2
+done
+
+printf '{"op":"status"}\n' >&5
+for _ in $(seq 1 100); do
+    grep -q '"event":"status"' "$work/dur_b.ndjson" && break
+    sleep 0.1
+done
+
+kill -TERM "$pid"
+exec 5>&-
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "serve_soak.sh: durable-phase drain exited $rc, want 0" >&2
+    tail -5 "$work/dur_b_err.log" >&2 || true
+    exit 1
+fi
+
+python3 - "$work/dur_a.ndjson" "$work/dur_b.ndjson" "$njobs" <<'PYEOF'
+"""Exactly-one-response-per-journaled-job across a SIGKILL, and zero
+duplicate side effects: an id answered by both processes is legal only
+as a journal re-emission ("replayed":true), never a re-execution."""
+import json
+import sys
+
+
+def load(path):
+    out = []
+    for line in open(path):
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out
+
+
+def results(events):
+    byid = {}
+    for obj in events:
+        if obj.get("event") == "result" and str(obj.get("id", "")).startswith("dur-"):
+            byid.setdefault(obj["id"], []).append(obj)
+    return byid
+
+
+before, after = load(sys.argv[1]), load(sys.argv[2])
+njobs = int(sys.argv[3])
+ra, rb = results(before), results(after)
+fails = []
+replays = 0
+for i in range(1, njobs + 1):
+    jid = "dur-%d" % i
+    ca, cb = len(ra.get(jid, [])), len(rb.get(jid, []))
+    if ca > 1:
+        fails.append("%s answered %d times before the kill" % (jid, ca))
+    if cb > 1:
+        fails.append("%s answered %d times after the restart" % (jid, cb))
+    if ca + cb == 0:
+        fails.append("%s was journaled but never answered" % jid)
+    if ca >= 1 and cb >= 1:
+        if rb[jid][0].get("replayed"):
+            replays += 1
+        else:
+            fails.append("%s was re-executed after the restart "
+                         "(duplicate side effect)" % jid)
+if not any(obj.get("event") == "recovered" for obj in after):
+    fails.append("restart produced no recovered event")
+status = [obj for obj in after if obj.get("event") == "status"]
+if not status:
+    fails.append("no status response after recovery")
+else:
+    st = status[-1]
+    if not st.get("durable"):
+        fails.append("status says the restarted service is not durable")
+    if st.get("journal_replayed", 0) < 1:
+        fails.append("status counters show no journal replay")
+    if st.get("degraded_nondurable"):
+        fails.append("restart degraded to non-durable without any fault")
+print("serve_soak durable: %d jobs, %d answered pre-kill, %d replayed re-emissions"
+      % (njobs, len(ra), replays))
+for msg in fails:
+    print("serve_soak FAIL:", msg, file=sys.stderr)
+sys.exit(1 if fails else 0)
+PYEOF
+
+grep -q '"event":"drained"' "$work/dur_b.ndjson" ||
+    { echo "serve_soak.sh: no drained event after durable-phase SIGTERM" >&2; exit 1; }
+
+for log in dur_a_err.log dur_b_err.log; do
+    if grep -q "ERROR: .*Sanitizer" "$work/$log"; then
+        echo "serve_soak.sh: sanitizer report in the durable phase ($log)" >&2
+        tail -20 "$work/$log" >&2
+        exit 1
+    fi
+done
+
+echo "serve_soak.sh: ${duration}s soak clean — all three phases survived, drains exited 0"

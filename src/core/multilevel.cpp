@@ -350,21 +350,50 @@ MLResult MultilevelPartitioner::run(const Hypergraph& h0, std::mt19937_64& rng,
 
 MLResult MultilevelPartitioner::run(const Hypergraph& h0, std::mt19937_64& rng,
                                     const robust::Deadline& deadline, MLWorkspace& ws) const {
+    return run(h0, rng, deadline, ws, nullptr, {});
+}
+
+MLResult MultilevelPartitioner::run(const Hypergraph& h0, std::mt19937_64& rng,
+                                    const robust::Deadline& deadline, MLWorkspace& ws,
+                                    const MLCycleResume* resume,
+                                    const MLCycleObserver& observer) const {
     if (!cfg_.preassignment.empty() &&
         cfg_.preassignment.size() != static_cast<std::size_t>(h0.numModules()))
         throw std::invalid_argument("MultilevelPartitioner: preassignment size mismatch");
 
     MLResult result{Partition(h0, cfg_.k), 0, 0, 0, {}};
-    Partition bestPart = runCycle(h0, rng, nullptr, &result, deadline, ws, &result.timings);
-    Weight bestCut = cutWeight(h0, bestPart);
-    for (int cycle = 1; cycle < cfg_.vCycles; ++cycle) {
+    Partition bestPart(h0, cfg_.k);
+    Weight bestCut = 0;
+    int startCycle = 0;
+    bool infoFilled = false;
+    if (resume != nullptr && resume->cyclesDone >= 1 && resume->best != nullptr) {
+        // Continue where the interrupted process stopped: the restored
+        // incumbent plus the restored rng stream state reproduce the
+        // remaining cycles exactly. The cut is recomputed rather than
+        // trusted — the partition is the source of truth here.
+        bestPart = *resume->best;
+        bestCut = cutWeight(h0, bestPart);
+        startCycle = resume->cyclesDone;
+    } else {
+        bestPart = runCycle(h0, rng, nullptr, &result, deadline, ws, &result.timings);
+        bestCut = cutWeight(h0, bestPart);
+        startCycle = 1;
+        infoFilled = true;
+        if (observer && startCycle < cfg_.vCycles) observer(1, bestPart, bestCut, rng);
+    }
+    for (int cycle = startCycle; cycle < cfg_.vCycles; ++cycle) {
         if (deadline.expired()) break;
-        Partition next = runCycle(h0, rng, &bestPart, nullptr, deadline, ws, &result.timings);
+        // On a resumed run the first executed cycle carries the info
+        // pointer so level statistics are still reported.
+        MLResult* info = infoFilled ? nullptr : &result;
+        infoFilled = true;
+        Partition next = runCycle(h0, rng, &bestPart, info, deadline, ws, &result.timings);
         const Weight cut = cutWeight(h0, next);
         if (cut <= bestCut) { // refinement never accepted if it worsened the cut
             bestPart = std::move(next);
             bestCut = cut;
         }
+        if (observer && cycle + 1 < cfg_.vCycles) observer(cycle + 1, bestPart, bestCut, rng);
     }
     result.partition = std::move(bestPart);
     result.cut = bestCut;

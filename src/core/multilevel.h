@@ -13,6 +13,7 @@
 // corresponding factory.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <random>
 #include <vector>
@@ -174,6 +175,25 @@ struct MLResult {
     MLTimings timings;              ///< per-phase wall time of this run
 };
 
+/// Where to pick up a run interrupted at a V-cycle boundary: the incumbent
+/// best partition after `cyclesDone` completed cycles. The caller must also
+/// have restored the rng to the stream state captured alongside the
+/// incumbent — continuing from (incumbent, rng state) is then bit-identical
+/// to never having been interrupted (the cycle loop reads no other state).
+struct MLCycleResume {
+    int cyclesDone = 0;            ///< completed V-cycles (>= 1)
+    const Partition* best = nullptr; ///< incumbent after those cycles
+};
+
+/// Observer invoked after each completed V-cycle with the cycles done so
+/// far, the incumbent, its cut, and the rng whose state replays the rest of
+/// the run. Deliberately not called after the final cycle — the finished
+/// result goes through the caller's normal completion path, so a snapshot
+/// there would only duplicate it. Used for V-cycle-granularity checkpoints
+/// (MultiStartConfig::checkpointEveryCycle).
+using MLCycleObserver = std::function<void(int cyclesDone, const Partition& best, Weight cut,
+                                           const std::mt19937_64& rng)>;
+
 /// The ML driver. Construct once, run many times (multi-start).
 class MultilevelPartitioner {
 public:
@@ -195,6 +215,16 @@ public:
     /// allocation count O(levels) instead of O(levels x modules).
     [[nodiscard]] MLResult run(const Hypergraph& h0, std::mt19937_64& rng,
                                const robust::Deadline& deadline, MLWorkspace& ws) const;
+
+    /// As above with V-cycle-boundary hooks. `resume` (nullable) skips the
+    /// already-completed cycles and continues from the restored incumbent;
+    /// `observer` (nullable) fires after every completed cycle except the
+    /// last. Both default paths (resume == nullptr, empty observer) are
+    /// byte-identical to the plain overload.
+    [[nodiscard]] MLResult run(const Hypergraph& h0, std::mt19937_64& rng,
+                               const robust::Deadline& deadline, MLWorkspace& ws,
+                               const MLCycleResume* resume,
+                               const MLCycleObserver& observer) const;
 
     [[nodiscard]] const MLConfig& config() const { return cfg_; }
 

@@ -1,7 +1,9 @@
 #include "core/parallel_multistart.h"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -50,6 +52,18 @@ std::uint64_t runFingerprint(const Hypergraph& h, const MultilevelPartitioner& m
     return f == 0 ? 1 : f;
 }
 
+/// A validated V-cycle-boundary snapshot, decoded and ready to hand to
+/// MultilevelPartitioner::run as a resume point. Built during the
+/// validate-then-commit resume pass; one per in-flight run at most.
+struct RestoredPartial {
+    int attempt = 0;
+    int cyclesDone = 0;
+    Partition partition;
+    std::mt19937_64 rng;
+
+    explicit RestoredPartial(Partition p) : partition(std::move(p)) {}
+};
+
 } // namespace
 
 MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartitioner& ml,
@@ -96,6 +110,10 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
     int resumedStarts = 0;
     robust::Status resumeStatus;
     robust::Status checkpointStatus;
+    // Validated V-cycle snapshots, indexed by run; null = none. Only ever
+    // populated on resume with checkpointEveryCycle-written checkpoints.
+    std::vector<std::unique_ptr<RestoredPartial>> restoredPartials(
+        static_cast<std::size_t>(cfg.runs));
 
     if (checkpointing && cfg.resume) {
         try {
@@ -116,11 +134,44 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
                                         "checkpoint: restored best partition invalid: " +
                                             chk.summary());
             }
+            std::vector<std::unique_ptr<RestoredPartial>> pendingPartials(
+                static_cast<std::size_t>(cfg.runs));
+            for (const robust::CheckpointPartial& p : st.partial) {
+                // Structural bounds were checked by the parser; here the
+                // snapshot is held against the *live* configuration: a
+                // partial claiming more cycles than configured or an
+                // attempt beyond the retry budget cannot have been written
+                // by this run shape.
+                if (p.cyclesDone >= ml.config().vCycles)
+                    throw robust::Error(robust::StatusCode::kParseError,
+                                        "checkpoint: partial claims more cycles than configured");
+                if (p.attempt > cfg.maxRetries)
+                    throw robust::Error(robust::StatusCode::kParseError,
+                                        "checkpoint: partial attempt beyond the retry budget");
+                auto rp = std::make_unique<RestoredPartial>(
+                    decodePartitionBinary(h, p.blob.data(), p.blob.size()));
+                check::PartitionCheckOptions opt;
+                opt.expectedCut = p.cut;
+                const check::CheckResult chk = check::verifyPartition(h, rp->partition, opt);
+                if (!chk.ok())
+                    throw robust::Error(robust::StatusCode::kParseError,
+                                        "checkpoint: restored partial partition invalid: " +
+                                            chk.summary());
+                std::istringstream is(p.rngState);
+                is >> rp->rng;
+                if (is.fail())
+                    throw robust::Error(robust::StatusCode::kParseError,
+                                        "checkpoint: partial RNG state unreadable");
+                rp->attempt = p.attempt;
+                rp->cyclesDone = p.cyclesDone;
+                pendingPartials[static_cast<std::size_t>(p.run)] = std::move(rp);
+            }
             for (const robust::CheckpointStart& d : st.done) {
                 records[static_cast<std::size_t>(d.run)] = d.record;
                 done[static_cast<std::size_t>(d.run)] = 1;
             }
             resumedStarts = static_cast<int>(st.done.size());
+            restoredPartials = std::move(pendingPartials);
             if (st.bestRun >= 0) {
                 best = std::move(restoredBest);
                 bestCut = st.bestCut;
@@ -135,36 +186,48 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
         }
     }
 
+    // Latest V-cycle snapshot per in-flight run (cyclesDone == 0 = none),
+    // written by the per-cycle observer under stateMutex and cleared when
+    // the run finalizes — a run is never both done and partial.
+    std::vector<robust::CheckpointPartial> partials(static_cast<std::size_t>(cfg.runs));
+
     // Checkpoint writes: snapshot under stateMutex (cheap — records plus
     // one partition encode), then serialize + write the file under a
     // separate IO mutex so workers are never blocked on fsync. The
-    // monotonic done-count guard drops snapshots that raced behind a
-    // newer one, so the file on disk never goes backwards.
+    // monotonic progress guard (done starts dominate, then total partial
+    // cycles) drops snapshots that raced behind a newer one, so the file
+    // on disk never goes backwards.
     std::mutex ckptIoMutex;
-    std::int64_t lastWrittenDone = -1;
+    std::int64_t lastWrittenProgress = -1;
     auto writeCheckpoint = [&](bool finalWrite) {
         if (!checkpointing) return;
         robust::CheckpointState st;
         st.fingerprint = fingerprint;
         st.seed = cfg.seed;
         st.runs = cfg.runs;
+        std::int64_t progress = 0;
         {
             std::lock_guard<std::mutex> lock(stateMutex);
             for (int i = 0; i < cfg.runs; ++i)
                 if (done[static_cast<std::size_t>(i)])
                     st.done.push_back({i, records[static_cast<std::size_t>(i)]});
+            for (int i = 0; i < cfg.runs; ++i)
+                if (partials[static_cast<std::size_t>(i)].cyclesDone >= 1 &&
+                    !done[static_cast<std::size_t>(i)])
+                    st.partial.push_back(partials[static_cast<std::size_t>(i)]);
             if (bestRun >= 0) {
                 st.bestRun = bestRun;
                 st.bestCut = bestCut;
                 st.bestBlob = encodePartitionBinary(best);
             }
+            progress = static_cast<std::int64_t>(st.done.size()) << 20;
+            for (const robust::CheckpointPartial& p : st.partial) progress += p.cyclesDone;
         }
         std::lock_guard<std::mutex> io(ckptIoMutex);
-        const auto snapshotDone = static_cast<std::int64_t>(st.done.size());
-        if (!finalWrite && snapshotDone <= lastWrittenDone) return;
+        if (!finalWrite && progress <= lastWrittenProgress) return;
         const robust::Status s = robust::saveCheckpoint(cfg.checkpointPath, st);
         if (s.ok()) {
-            lastWrittenDone = snapshotDone;
+            lastWrittenProgress = progress;
         } else {
             std::lock_guard<std::mutex> lock(stateMutex);
             checkpointStatus = s;
@@ -212,7 +275,13 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
                 continue;
             }
             bool finalized = false;
-            for (int attempt = 0; attempt <= cfg.maxRetries; ++attempt) {
+            // A restored V-cycle snapshot resumes at the attempt it was
+            // taken in — earlier attempts already failed in the interrupted
+            // process, so starting there reproduces the uninterrupted
+            // attempt count and status exactly.
+            const RestoredPartial* rp = restoredPartials[static_cast<std::size_t>(run)].get();
+            const int startAttempt = rp != nullptr ? rp->attempt : 0;
+            for (int attempt = startAttempt; attempt <= cfg.maxRetries; ++attempt) {
                 rec.attempts = attempt + 1;
                 try {
                     MLPART_FAULT_SITE("multistart.start");
@@ -223,7 +292,37 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
                     // Per-run stream derived from (seed, run, attempt)
                     // only: scheduling cannot influence any run's result.
                     std::mt19937_64 rng(streamSeed(cfg.seed, run, attempt));
-                    MLResult r = ml.run(h, rng, deadline, ws);
+                    MLCycleResume resumePoint;
+                    const MLCycleResume* resumePtr = nullptr;
+                    if (rp != nullptr && attempt == rp->attempt) {
+                        // Continue mid-start: restored rng stream + restored
+                        // incumbent replay the remaining cycles exactly.
+                        rng = rp->rng;
+                        resumePoint.cyclesDone = rp->cyclesDone;
+                        resumePoint.best = &rp->partition;
+                        resumePtr = &resumePoint;
+                    }
+                    MLCycleObserver observer;
+                    if (checkpointing && cfg.checkpointEveryCycle) {
+                        observer = [&, run, attempt](int cyclesDone, const Partition& bp,
+                                                     Weight cut, const std::mt19937_64& rs) {
+                            std::ostringstream os;
+                            os << rs;
+                            {
+                                std::lock_guard<std::mutex> lock(stateMutex);
+                                robust::CheckpointPartial& p =
+                                    partials[static_cast<std::size_t>(run)];
+                                p.run = run;
+                                p.attempt = attempt;
+                                p.cyclesDone = cyclesDone;
+                                p.cut = cut;
+                                p.rngState = os.str();
+                                p.blob = encodePartitionBinary(bp);
+                            }
+                            writeCheckpoint(false);
+                        };
+                    }
+                    MLResult r = ml.run(h, rng, deadline, ws, resumePtr, observer);
                     if (cfg.verifyResults) {
                         check::PartitionCheckOptions opt;
                         opt.expectedCut = r.cut;
@@ -249,12 +348,20 @@ MultiStartOutcome parallelMultiStart(const Hypergraph& h, const MultilevelPartit
                             bestRun = run;
                         }
                         done[static_cast<std::size_t>(run)] = 1;
+                        partials[static_cast<std::size_t>(run)].cyclesDone = 0;
                     }
                     finalized = true;
                     break;
                 } catch (const std::exception& e) {
                     rec.status = robust::StartStatus::kFailed;
                     rec.error = robust::statusOf(e);
+                    // A snapshot of the attempt that just failed must not
+                    // survive it: replaying one would re-enter an attempt
+                    // the live process has already moved past.
+                    {
+                        std::lock_guard<std::mutex> lock(stateMutex);
+                        partials[static_cast<std::size_t>(run)].cyclesDone = 0;
+                    }
                     // Retry (reseeded) unless attempts are spent or the
                     // budget is gone — a deadline failure will only repeat.
                     if (attempt >= cfg.maxRetries || deadline.expired()) {

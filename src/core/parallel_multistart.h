@@ -44,6 +44,14 @@ struct MultiStartConfig {
     std::string checkpointPath;
     /// Completed starts between checkpoint writes (>= 1).
     int checkpointEvery = 1;
+    /// V-cycle-granularity checkpoints: also snapshot every in-flight
+    /// start at each V-cycle boundary (incumbent partition + exact RNG
+    /// stream state), so a killed run loses at most one V-cycle of work
+    /// instead of whole starts. Only meaningful with vCycles > 1 and a
+    /// checkpointPath; resuming such a snapshot is bit-identical to never
+    /// having been interrupted. Observation/durability only — never part
+    /// of the fingerprint, never changes results.
+    bool checkpointEveryCycle = false;
     /// Load `checkpointPath` before running: starts it records are
     /// restored instead of re-run and the final result is bit-identical
     /// to an uninterrupted run. A missing, corrupt, or stale checkpoint

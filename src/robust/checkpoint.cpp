@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "robust/fault_injector.h"
+#include "robust/fs_shim.h"
 #include "robust/wire.h"
 
 #if defined(_WIN32)
@@ -27,10 +28,12 @@ constexpr std::size_t kHeaderSize = 24;       // magic+version+fingerprint+count
 constexpr std::size_t kSectionHeaderSize = 16; // tag + len + crc
 
 // Section tags. Meta and records are mandatory; best is present only when
-// at least one persisted start succeeded.
+// at least one persisted start succeeded; partial only when V-cycle
+// snapshots of in-flight runs exist (checkpointEveryCycle).
 constexpr std::uint32_t kTagMeta = 1;
 constexpr std::uint32_t kTagRecords = 2;
 constexpr std::uint32_t kTagBest = 3;
+constexpr std::uint32_t kTagPartial = 4;
 
 // Any checkpoint bigger than this is hostile or damaged: even a 2^30
 // module partition blob stays under it, and the loader must never let a
@@ -128,69 +131,6 @@ void writeRawUnsafe(const std::string& path, const std::uint8_t* data, std::size
     out.write(reinterpret_cast<const char*>(data), static_cast<std::streamsize>(n));
 }
 
-#if !defined(_WIN32)
-Status writeAtomic(const std::string& path, const std::vector<std::uint8_t>& bytes) {
-    const std::string tmp = path + ".tmp";
-    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (fd < 0)
-        return Status::error(StatusCode::kInternal,
-                             "checkpoint: cannot open " + tmp + ": " + std::strerror(errno));
-    std::size_t off = 0;
-    while (off < bytes.size()) {
-        const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            const int err = errno;
-            ::close(fd);
-            ::unlink(tmp.c_str());
-            return Status::error(StatusCode::kInternal,
-                                 "checkpoint: write to " + tmp + " failed: " + std::strerror(err));
-        }
-        off += static_cast<std::size_t>(n);
-    }
-    // Order matters for crash consistency: data must be durable before the
-    // rename makes it visible, and the rename must be durable before the
-    // caller believes the checkpoint exists.
-    if (::fsync(fd) != 0) {
-        const int err = errno;
-        ::close(fd);
-        ::unlink(tmp.c_str());
-        return Status::error(StatusCode::kInternal,
-                             "checkpoint: fsync " + tmp + " failed: " + std::strerror(err));
-    }
-    ::close(fd);
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        const int err = errno;
-        ::unlink(tmp.c_str());
-        return Status::error(StatusCode::kInternal, "checkpoint: rename to " + path +
-                                                        " failed: " + std::strerror(err));
-    }
-    std::string dir = std::filesystem::path(path).parent_path().string();
-    if (dir.empty()) dir = ".";
-    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-    if (dfd >= 0) {
-        ::fsync(dfd); // best effort: the rename itself is already atomic
-        ::close(dfd);
-    }
-    return Status::okStatus();
-}
-#else
-Status writeAtomic(const std::string& path, const std::vector<std::uint8_t>& bytes) {
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out) return Status::error(StatusCode::kInternal, "checkpoint: cannot open " + tmp);
-        out.write(reinterpret_cast<const char*>(bytes.data()),
-                  static_cast<std::streamsize>(bytes.size()));
-        if (!out) return Status::error(StatusCode::kInternal, "checkpoint: write failed: " + tmp);
-    }
-    std::remove(path.c_str());
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        return Status::error(StatusCode::kInternal, "checkpoint: rename to " + path + " failed");
-    return Status::okStatus();
-}
-#endif
-
 } // namespace
 
 // --------------------------------------------------------------- hashing
@@ -246,15 +186,32 @@ std::vector<std::uint8_t> serializeCheckpoint(const CheckpointState& state) {
         best.raw(state.bestBlob.data(), state.bestBlob.size());
     }
 
+    const bool hasPartial = !state.partial.empty();
+    ByteWriter partial;
+    if (hasPartial) {
+        partial.i32(static_cast<std::int32_t>(state.partial.size()));
+        for (const CheckpointPartial& p : state.partial) {
+            partial.i32(p.run);
+            partial.i32(p.attempt);
+            partial.i32(p.cyclesDone);
+            partial.i64(p.cut);
+            partial.u32(static_cast<std::uint32_t>(p.rngState.size()));
+            partial.raw(p.rngState.data(), p.rngState.size());
+            partial.u64(p.blob.size());
+            partial.raw(p.blob.data(), p.blob.size());
+        }
+    }
+
     ByteWriter out;
     out.u32(kMagic);
     out.u32(kVersion);
     out.u64(state.fingerprint);
-    out.u32(hasBest ? 3 : 2);
+    out.u32(2u + (hasBest ? 1u : 0u) + (hasPartial ? 1u : 0u));
     out.u32(crc32(out.bytes.data(), out.bytes.size()));
     appendSection(out, kTagMeta, meta.bytes);
     appendSection(out, kTagRecords, records.bytes);
     if (hasBest) appendSection(out, kTagBest, best.bytes);
+    if (hasPartial) appendSection(out, kTagPartial, partial.bytes);
     return std::move(out.bytes);
 }
 
@@ -275,10 +232,10 @@ CheckpointState parseCheckpoint(const std::uint8_t* data, std::size_t size,
     if (expectedFingerprint != 0 && state.fingerprint != expectedFingerprint)
         corrupt("stale config fingerprint (checkpoint was written by a different "
                 "instance/configuration/seed)");
-    if (sectionCount < 2 || sectionCount > 3)
+    if (sectionCount < 2 || sectionCount > 4)
         corrupt("invalid section count " + std::to_string(sectionCount));
 
-    bool sawMeta = false, sawRecords = false, sawBest = false;
+    bool sawMeta = false, sawRecords = false, sawBest = false, sawPartial = false;
     for (std::uint32_t s = 0; s < sectionCount; ++s) {
         in.need(kSectionHeaderSize);
         const std::uint32_t tag = in.u32();
@@ -330,6 +287,36 @@ CheckpointState parseCheckpoint(const std::uint8_t* data, std::size_t size,
                 corrupt("best-partition blob length mismatch");
             state.bestBlob.assign(payload.data + payload.pos,
                                   payload.data + payload.pos + blobLen);
+        } else if (tag == kTagPartial) {
+            if (sawPartial) corrupt("duplicate partial section");
+            sawPartial = true;
+            const std::int32_t count = payload.i32();
+            if (count < 1 || static_cast<std::uint64_t>(count) > len)
+                corrupt("nonsensical partial count " + std::to_string(count));
+            state.partial.reserve(static_cast<std::size_t>(count));
+            for (std::int32_t i = 0; i < count; ++i) {
+                CheckpointPartial p;
+                p.run = payload.i32();
+                p.attempt = payload.i32();
+                p.cyclesDone = payload.i32();
+                p.cut = payload.i64();
+                const std::uint32_t rngLen = payload.u32();
+                p.rngState = payload.str(rngLen);
+                const std::uint64_t blobLen = payload.u64();
+                if (blobLen > payload.remaining())
+                    corrupt("partial-partition blob length mismatch");
+                p.blob.assign(payload.data + payload.pos,
+                              payload.data + payload.pos + blobLen);
+                payload.pos += static_cast<std::size_t>(blobLen);
+                if (p.attempt < 0) corrupt("partial with negative attempt");
+                // A snapshot is only taken after a cycle completes, so a
+                // persisted partial with no finished cycle is a lie.
+                if (p.cyclesDone < 1) corrupt("partial with no completed cycles");
+                if (p.rngState.empty()) corrupt("partial with empty RNG state");
+                if (p.blob.empty()) corrupt("partial with empty partition blob");
+                state.partial.push_back(std::move(p));
+            }
+            if (payload.remaining() != 0) corrupt("trailing bytes in partial section");
         } else {
             corrupt("unknown section tag " + std::to_string(tag));
         }
@@ -360,6 +347,19 @@ CheckpointState parseCheckpoint(const std::uint8_t* data, std::size_t size,
             }
         if (!matched) corrupt("best run has no persisted record");
     }
+    if (sawPartial) {
+        std::vector<char> partialSeen(static_cast<std::size_t>(state.runs), 0);
+        for (const CheckpointPartial& p : state.partial) {
+            if (p.run < 0 || p.run >= state.runs)
+                corrupt("partial run index " + std::to_string(p.run) + " out of range");
+            if (partialSeen[static_cast<std::size_t>(p.run)]++)
+                corrupt("duplicate partial for run " + std::to_string(p.run));
+            // A run cannot be both finished and in flight: a partial for a
+            // run that also has a done record is a cross-field lie.
+            if (seen[static_cast<std::size_t>(p.run)])
+                corrupt("partial for a run that already completed");
+        }
+    }
     return state;
 }
 
@@ -385,7 +385,7 @@ Status saveCheckpoint(const std::string& path, const CheckpointState& state) {
         writeRawUnsafe(path, bytes.data(), bytes.size() / 2);
         return Status::error(statusOf(e).code, "torn checkpoint write injected at " + path);
     }
-    return writeAtomic(path, bytes);
+    return atomicWriteFile(path, bytes, "checkpoint");
 }
 
 CheckpointState loadCheckpoint(const std::string& path, std::uint64_t expectedFingerprint) {
@@ -395,7 +395,7 @@ CheckpointState loadCheckpoint(const std::string& path, std::uint64_t expectedFi
     // indistinguishable from a quiet load.
     std::vector<std::uint8_t> bytes;
     try {
-        bytes = readFileBytes(path);
+        bytes = readFileDurable(path);
     } catch (const Error& e) {
         corrupt(std::string(e.what()));
     }

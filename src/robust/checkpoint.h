@@ -54,6 +54,21 @@ struct CheckpointStart {
     StartRecord record;
 };
 
+/// Mid-start progress of an in-flight run at a V-cycle boundary
+/// (MLConfig::vCycles > 1 with checkpointEveryCycle): the incumbent
+/// partition, its cut, the exact RNG stream state, and how many cycles
+/// produced it. Restoring all four and continuing at cycle `cyclesDone`
+/// is bit-identical to never having been interrupted, so a kill loses at
+/// most one V-cycle of the run instead of the whole start.
+struct CheckpointPartial {
+    std::int32_t run = -1;
+    std::int32_t attempt = 0;    ///< retry attempt this progress belongs to
+    std::int32_t cyclesDone = 0; ///< completed V-cycles (>= 1)
+    std::int64_t cut = 0;        ///< incumbent cut (cross-checked on restore)
+    std::string rngState;        ///< mt19937_64 stream state (operator<< form)
+    std::vector<std::uint8_t> blob; ///< encoded incumbent partition (io.h codec)
+};
+
 /// Everything a resumed run needs. `fingerprint` must cover the instance,
 /// the partitioner configuration, and the multi-start parameters — a
 /// checkpoint is only ever applied to the exact run shape that wrote it.
@@ -65,6 +80,11 @@ struct CheckpointState {
     std::int32_t bestRun = -1;   ///< winning run among `done`, -1 = none succeeded
     std::int64_t bestCut = 0;
     std::vector<std::uint8_t> bestBlob; ///< encoded best partition (io.h codec)
+    /// V-cycle-boundary snapshots of runs still in flight (one per run at
+    /// most, never for a run in `done`). Optional section; absent in
+    /// checkpoints written without per-cycle granularity, so every
+    /// pre-existing checkpoint file still parses.
+    std::vector<CheckpointPartial> partial;
 };
 
 /// Serializes `state` to the version-1 byte layout (no file involved);

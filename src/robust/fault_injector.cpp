@@ -56,6 +56,14 @@ const std::vector<std::string>& FaultInjector::knownSites() {
         "govern.reserve",    // MemoryGovernor::reserve (arm kind=alloc for OOM)
         "checkpoint.write",  // saveCheckpoint entry: the write is skipped
         "checkpoint.torn",   // saveCheckpoint body: a torn file is left behind
+        // Durable-filesystem shim sites (robust/fs_shim.h): every
+        // checkpoint, journal, and persisted-cache byte crosses these.
+        // Arm "site=fs.*" to exercise all of them at once; journal_test
+        // and serve_test assert graceful degradation for each.
+        "fs.write.enospc",   // before any byte: full disk, nothing written
+        "fs.write.short",    // half the payload lands, then failure
+        "fs.fsync",          // write complete, durability ack lost
+        "fs.read.eio",       // read-side media error
         "serve.fork",        // supervisor, before fork(): spawn failure
         "serve.worker_crash",// worker child, before the job: raises SIGSEGV
         "serve.worker_hang", // worker child, before the job: hangs forever

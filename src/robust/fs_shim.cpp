@@ -1,0 +1,177 @@
+#include "robust/fs_shim.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "robust/fault_injector.h"
+#include "robust/wire.h"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace mlpart::robust {
+
+namespace {
+
+/// Converts an injected fault at a write site into the Status the real
+/// syscall failure would produce, tagged with the subsystem name.
+Status injected(const std::string& what, const std::string& site, const std::string& model) {
+    return Status::error(StatusCode::kInternal,
+                         what + ": injected " + model + " at '" + site + "'");
+}
+
+#if !defined(_WIN32)
+/// EINTR-retried write loop; returns a Status instead of throwing so a
+/// dying disk never takes the caller down with it.
+Status writeAll(int fd, const std::uint8_t* data, std::size_t size, const std::string& what) {
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t n = ::write(fd, data + off, size - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return Status::error(StatusCode::kInternal,
+                                 what + ": write failed: " + std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return Status::okStatus();
+}
+#endif
+
+} // namespace
+
+#if !defined(_WIN32)
+
+Status atomicWriteFile(const std::string& path, const std::vector<std::uint8_t>& bytes,
+                       const std::string& what) {
+    try {
+        MLPART_FAULT_SITE("fs.write.enospc");
+    } catch (const std::exception&) {
+        // Full disk before the first byte: nothing was written, the
+        // previous file (if any) is intact.
+        return injected(what, "fs.write.enospc", "ENOSPC (no space left)");
+    }
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return Status::error(StatusCode::kInternal,
+                             what + ": cannot open " + tmp + ": " + std::strerror(errno));
+    bool shortWrite = false;
+    try {
+        MLPART_FAULT_SITE("fs.write.short");
+    } catch (const std::exception&) {
+        shortWrite = true;
+    }
+    const std::size_t toWrite = shortWrite ? bytes.size() / 2 : bytes.size();
+    Status st = writeAll(fd, bytes.data(), toWrite, what);
+    if (st.ok() && shortWrite)
+        st = injected(what, "fs.write.short", "short write (half the payload)");
+    if (st.ok()) {
+        try {
+            MLPART_FAULT_SITE("fs.fsync");
+            if (::fsync(fd) != 0)
+                st = Status::error(StatusCode::kInternal,
+                                   what + ": fsync " + tmp + " failed: " + std::strerror(errno));
+        } catch (const std::exception&) {
+            st = injected(what, "fs.fsync", "fsync failure (data lost in cache)");
+        }
+    }
+    ::close(fd);
+    if (!st.ok()) {
+        // The destination never saw a byte: the torn state lives only in
+        // the temp file, which is removed here.
+        ::unlink(tmp.c_str());
+        return st;
+    }
+    // Order matters for crash consistency: data must be durable before the
+    // rename makes it visible, and the rename must be durable before the
+    // caller believes the file exists.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        return Status::error(StatusCode::kInternal,
+                             what + ": rename to " + path + " failed: " + std::strerror(err));
+    }
+    std::string dir = std::filesystem::path(path).parent_path().string();
+    if (dir.empty()) dir = ".";
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd); // best effort: the rename itself is already atomic
+        ::close(dfd);
+    }
+    return Status::okStatus();
+}
+
+Status appendAndSync(int fd, const void* data, std::size_t size, const std::string& what) {
+    try {
+        MLPART_FAULT_SITE("fs.write.enospc");
+    } catch (const std::exception&) {
+        return injected(what, "fs.write.enospc", "ENOSPC (no space left)");
+    }
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    bool shortWrite = false;
+    try {
+        MLPART_FAULT_SITE("fs.write.short");
+    } catch (const std::exception&) {
+        shortWrite = true;
+    }
+    // The short-write fault deliberately leaves a real torn record behind
+    // (unlike the atomic path, where the tear stays in the temp file):
+    // an appender that fails mid-record is exactly how a crashed process
+    // produces the torn tails the journal scanner truncates.
+    const std::size_t toWrite = shortWrite ? size / 2 : size;
+    Status st = writeAll(fd, bytes, toWrite, what);
+    if (st.ok() && shortWrite)
+        st = injected(what, "fs.write.short", "short write (half the record)");
+    if (!st.ok()) return st;
+    try {
+        MLPART_FAULT_SITE("fs.fsync");
+    } catch (const std::exception&) {
+        return injected(what, "fs.fsync", "fsync failure (data lost in cache)");
+    }
+    if (::fsync(fd) != 0)
+        return Status::error(StatusCode::kInternal,
+                             what + ": fsync failed: " + std::strerror(errno));
+    return Status::okStatus();
+}
+
+#else // _WIN32
+
+Status atomicWriteFile(const std::string& path, const std::vector<std::uint8_t>& bytes,
+                       const std::string& what) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) return Status::error(StatusCode::kInternal, what + ": cannot open " + tmp);
+        out.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out) return Status::error(StatusCode::kInternal, what + ": write failed: " + tmp);
+    }
+    std::remove(path.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        return Status::error(StatusCode::kInternal, what + ": rename to " + path + " failed");
+    return Status::okStatus();
+}
+
+Status appendAndSync(int, const void*, std::size_t, const std::string& what) {
+    return Status::error(StatusCode::kInternal, what + ": append is POSIX-only");
+}
+
+#endif
+
+std::vector<std::uint8_t> readFileDurable(const std::string& path) {
+    try {
+        MLPART_FAULT_SITE("fs.read.eio");
+    } catch (const std::exception&) {
+        throw Error(StatusCode::kParseError,
+                    "injected EIO reading " + path + " (media error)");
+    }
+    return readFileBytes(path);
+}
+
+} // namespace mlpart::robust

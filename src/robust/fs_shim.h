@@ -1,0 +1,52 @@
+// Durable-filesystem shim: every byte the durability layer (checkpoints,
+// the serve job journal, the persisted result cache) puts on or reads
+// from disk goes through these helpers, so degraded-disk behavior is a
+// single, fault-injectable surface instead of N ad-hoc write loops.
+//
+// Fault sites (DESIGN.md §16):
+//   fs.write.enospc  before any byte is written — models a full disk;
+//                    nothing reaches the filesystem.
+//   fs.write.short   after roughly half the payload — models a short
+//                    write / partial flush; the temp file is torn, the
+//                    destination is untouched (atomic path) or truncated
+//                    mid-record (append path).
+//   fs.fsync         the fsync after a complete write — models a drive
+//                    that acknowledged the data but lost it in cache.
+//   fs.read.eio      before a read — models media errors (EIO).
+//
+// All write helpers return Status (never throw): a caller that cannot
+// persist must keep computing and degrade to non-durable operation, not
+// die. The read helper throws Error like the readers it wraps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "robust/status.h"
+
+namespace mlpart::robust {
+
+/// Crash-consistent whole-file write: `path.tmp` + full write + fsync +
+/// atomic rename over `path` + best-effort directory fsync. A crash (or
+/// an injected fault) at any instant leaves either the previous file or
+/// the new one, never a mix. `what` names the subsystem in error
+/// messages ("checkpoint", "journal", "result cache").
+[[nodiscard]] Status atomicWriteFile(const std::string& path,
+                                     const std::vector<std::uint8_t>& bytes,
+                                     const std::string& what);
+
+/// Appends `size` bytes to an already-open fd (EINTR-retried) and fsyncs.
+/// Subject to the same three write fault sites; on a short-write fault a
+/// real partial record is left behind — exactly the torn tail the journal
+/// scanner must truncate on recovery. POSIX only.
+[[nodiscard]] Status appendAndSync(int fd, const void* data, std::size_t size,
+                                   const std::string& what);
+
+/// Whole-file read through the EINTR-safe wire.h reader, behind the
+/// fs.read.eio fault site. Throws Error(kParseError) when the file cannot
+/// be opened or read — the same contract as readFileBytes, so existing
+/// corrupt-input fallbacks (fresh start, empty cache) apply unchanged.
+[[nodiscard]] std::vector<std::uint8_t> readFileDurable(const std::string& path);
+
+} // namespace mlpart::robust

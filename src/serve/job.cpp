@@ -267,6 +267,7 @@ std::string jobResultJson(const JobResult& r) {
         .field("crashes", r.crashes)
         .field("retried", r.retried)
         .field("cached", r.cached)
+        .field("replayed", r.replayed)
         .field("watchdog_killed", r.watchdogKilled)
         .field("runs_ok", r.outcome.runsOk)
         .field("runs_retried", r.outcome.runsRetried)

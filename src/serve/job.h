@@ -129,6 +129,9 @@ struct JobResult {
     bool watchdogKilled = false;
     bool retried = false;       ///< a reseeded second worker produced the result
     bool cached = false;        ///< answered from the result cache, no worker ran
+    /// Re-emitted from the write-ahead journal after a restart: the job
+    /// completed before the crash and was NOT re-executed (DESIGN.md §16).
+    bool replayed = false;
     double queueSeconds = 0;    ///< admission → dispatch latency
 };
 

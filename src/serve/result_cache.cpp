@@ -1,6 +1,32 @@
 #include "serve/result_cache.h"
 
+#include "robust/checkpoint.h" // crc32
+#include "robust/fs_shim.h"
+#include "robust/wire.h"
+
 namespace mlpart::serve {
+
+namespace {
+
+// Persisted snapshot layout (little-endian `cache.bin`):
+//   header  magic 'MLRC' u32 | version u32 | count u32 | crc32(header) u32
+//   entry   fingerprint u64 | payloadLen u64 | crc32(payload) u32 |
+//           encodeJobOutcome payload
+constexpr std::uint32_t kCacheMagic = 0x43524C4DU; // "MLRC"
+constexpr std::uint32_t kCacheVersion = 1;
+constexpr std::size_t kCacheHeaderBytes = 16;
+constexpr std::size_t kEntryHeaderBytes = 20;
+constexpr std::uint64_t kMaxEntryBytes = std::uint64_t{1} << 28;
+
+/// A persisted outcome must be something the live insert path could have
+/// produced: a clean OK result with a real partition. Anything else is a
+/// lie (hand-edited or cross-field-corrupted file) and must be dropped —
+/// a poisoned cache entry served as a hit would silently change results.
+bool plausibleOutcome(const JobOutcome& o) {
+    return o.status.ok() && o.cut >= 0 && !o.deadlineHit;
+}
+
+} // namespace
 
 bool ResultCache::lookup(std::uint64_t fingerprint, JobOutcome& out) {
     if (fingerprint == 0 || maxEntries_ <= 0) return false;
@@ -13,6 +39,7 @@ bool ResultCache::lookup(std::uint64_t fingerprint, JobOutcome& out) {
     lru_.splice(lru_.begin(), lru_, it->second);
     out = it->second->outcome;
     ++stats_.hits;
+    if (it->second->fromDisk) ++stats_.persistedHits;
     return true;
 }
 
@@ -22,6 +49,7 @@ void ResultCache::insert(std::uint64_t fingerprint, const JobOutcome& outcome) {
     const auto it = index_.find(fingerprint);
     if (it != index_.end()) {
         it->second->outcome = outcome;
+        it->second->fromDisk = false; // freshly computed beats loaded
         lru_.splice(lru_.begin(), lru_, it->second);
         return;
     }
@@ -50,6 +78,99 @@ ResultCache::Stats ResultCache::stats() const {
     Stats s = stats_;
     s.entries = static_cast<std::int64_t>(index_.size());
     return s;
+}
+
+robust::Status ResultCache::saveToFile(const std::string& path) const {
+    robust::WireWriter out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        out.u32(kCacheMagic);
+        out.u32(kCacheVersion);
+        out.u32(static_cast<std::uint32_t>(index_.size()));
+        out.u32(robust::crc32(out.bytes.data(), out.bytes.size()));
+        // Oldest first so reloading re-inserts in LRU order and the most
+        // recent entries end up at the front again.
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+            const std::vector<std::uint8_t> payload = encodeJobOutcome(it->outcome);
+            out.u64(it->fingerprint);
+            out.u64(payload.size());
+            out.u32(robust::crc32(payload.data(), payload.size()));
+            out.bytes.insert(out.bytes.end(), payload.begin(), payload.end());
+        }
+    }
+    return robust::atomicWriteFile(path, out.bytes, "result-cache");
+}
+
+int ResultCache::loadFromFile(const std::string& path) {
+    if (maxEntries_ <= 0) return 0;
+    std::vector<std::uint8_t> bytes;
+    try {
+        bytes = robust::readFileDurable(path);
+    } catch (const robust::Error&) {
+        return 0; // missing or unreadable snapshot: cold cache, not an error
+    }
+    // Structural validation: a damaged header drops the whole file — there
+    // is no way to trust any entry boundary past it.
+    if (bytes.size() < kCacheHeaderBytes) return 0;
+    const std::uint8_t* p = bytes.data();
+    const auto u32At = [&](std::size_t off) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[off + i]) << (8 * i);
+        return v;
+    };
+    if (u32At(0) != kCacheMagic || u32At(4) != kCacheVersion) return 0;
+    const std::uint32_t count = u32At(8);
+    if (u32At(12) != robust::crc32(p, kCacheHeaderBytes - 4)) return 0;
+
+    int loaded = 0;
+    robust::WireReader in{p, bytes.size(), kCacheHeaderBytes};
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint64_t fingerprint = 0;
+        std::uint64_t len = 0;
+        std::uint32_t crc = 0;
+        try {
+            fingerprint = in.u64();
+            len = in.u64();
+            crc = in.u32();
+        } catch (const robust::Error&) {
+            break; // truncated tail: keep what already loaded
+        }
+        if (len > kMaxEntryBytes || len > in.remaining()) break;
+        const std::uint8_t* payload = in.data + in.pos;
+        in.pos += static_cast<std::size_t>(len);
+        if (robust::crc32(payload, static_cast<std::size_t>(len)) != crc) {
+            // Bit rot confined to one entry: skip it, the framing is intact.
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.loadRejected;
+            continue;
+        }
+        JobOutcome outcome;
+        try {
+            outcome = decodeJobOutcome(payload, static_cast<std::size_t>(len));
+        } catch (const robust::Error&) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.loadRejected;
+            continue;
+        }
+        if (fingerprint == 0 || !plausibleOutcome(outcome)) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.loadRejected;
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            const auto it = index_.find(fingerprint);
+            if (it != index_.end()) continue; // live entry wins over disk
+            lru_.push_front(Entry{fingerprint, outcome, /*fromDisk=*/true});
+            index_[fingerprint] = lru_.begin();
+            ++loaded;
+            while (index_.size() > static_cast<std::size_t>(maxEntries_)) {
+                index_.erase(lru_.back().fingerprint);
+                lru_.pop_back();
+            }
+        }
+    }
+    return loaded;
 }
 
 } // namespace mlpart::serve

@@ -12,6 +12,15 @@
 // their key (the fault may have poisoned what a concurrent cold run
 // inserted). Thread-safe; every dispatcher and the admission path share
 // one instance.
+//
+// Persistence (--state-dir, DESIGN.md §16): the cache can snapshot itself
+// to `cache.bin` and reload after a restart, so repeat requests across
+// process lifetimes still hit. The file is CRC-framed per entry; a
+// structurally damaged file is dropped whole, a damaged or *lying* entry
+// (CRC mismatch, undecodable outcome, non-ok status, negative cut) is
+// dropped individually — a poisoned cache must never change a result,
+// only cost a cold re-run. Hits on disk-loaded entries are counted
+// separately (persisted_hits) so the restart benefit is observable.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +28,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "robust/status.h"
 #include "serve/job.h"
 
 namespace mlpart::serve {
@@ -35,6 +45,11 @@ public:
         std::int64_t insertions = 0;
         std::int64_t evictions = 0;
         std::int64_t invalidations = 0;
+        /// Of `hits`, how many were served by an entry loaded from disk —
+        /// the cross-restart payoff of --state-dir.
+        std::int64_t persistedHits = 0;
+        /// Entries dropped while loading (bad CRC, undecodable, lying).
+        std::int64_t loadRejected = 0;
     };
 
     /// On a hit, copies the cached outcome into `out` and refreshes the
@@ -50,10 +65,23 @@ public:
 
     [[nodiscard]] Stats stats() const;
 
+    /// Snapshots every entry to `path` crash-consistently (fs shim:
+    /// temp + fsync + rename). Returns the write status; a failure costs
+    /// only cross-restart hits, never the in-memory cache.
+    [[nodiscard]] robust::Status saveToFile(const std::string& path) const;
+
+    /// Loads a snapshot written by saveToFile. Never throws: a missing or
+    /// structurally damaged file loads nothing; a damaged or lying entry
+    /// is skipped (counted in Stats::loadRejected). Returns entries
+    /// loaded. Loaded entries are marked so their hits show up as
+    /// persisted_hits.
+    int loadFromFile(const std::string& path);
+
 private:
     struct Entry {
         std::uint64_t fingerprint;
         JobOutcome outcome;
+        bool fromDisk = false;
     };
 
     const int maxEntries_;

@@ -122,9 +122,65 @@ Service::Service(ServiceConfig cfg, Emit emit) : cfg_(cfg), emit_(std::move(emit
         pool_ = std::make_unique<WorkerPool>(pc);
     }
     if (cfg_.cacheEntries > 0) cache_ = std::make_unique<ResultCache>(cfg_.cacheEntries);
+
+    Journal::Recovery recovery;
+    if (!cfg_.stateDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cfg_.stateDir, ec);
+        if (cache_) {
+            cachePath_ = cfg_.stateDir + "/cache.bin";
+            cache_->loadFromFile(cachePath_);
+        }
+        journal_ = std::make_unique<Journal>(cfg_.stateDir);
+        recovery = journal_->recover();
+        if (journal_->degraded())
+            durabilityLost_.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu_);
+        nextSeq_ = static_cast<std::int64_t>(recovery.maxSeq) + 1;
+    }
+
     dispatchers_.reserve(static_cast<std::size_t>(cfg_.workers));
     for (int i = 0; i < cfg_.workers; ++i)
         dispatchers_.emplace_back([this, i] { dispatcherLoop(i); });
+
+    if (journal_) {
+        // Completed-before-crash jobs: re-emit the journaled result to
+        // client 0 (the restarted stdin/socket owner) and never
+        // re-execute — the journal is the proof the side effects already
+        // happened once.
+        for (JobResult r : recovery.completed) {
+            r.replayed = true;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++replayedResults_;
+            }
+            emitTo(0, jobResultJson(r));
+        }
+        // Admitted-but-unfinished jobs: back through the front door under
+        // their original seq, so priority ordering and the deterministic
+        // reseed lineage — and therefore the results — are bit-identical
+        // to the uninterrupted server.
+        for (Journal::RecoveredJob& job : recovery.pending) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++journalReplayed_;
+            }
+            admit(std::move(job.req), 0, static_cast<std::int64_t>(job.seq));
+        }
+        // Everything surviving is now re-journaled: shrink the log to it.
+        const robust::Status st = journal_->compact();
+        if (!st.ok()) noteDurabilityFailure(st);
+        if (!recovery.pending.empty() || !recovery.completed.empty() ||
+            recovery.truncatedBytes > 0 || recovery.unreadable) {
+            JsonWriter w;
+            w.field("event", "recovered")
+                .field("replayed_results", static_cast<std::int64_t>(recovery.completed.size()))
+                .field("reenqueued", static_cast<std::int64_t>(recovery.pending.size()))
+                .field("truncated_bytes", recovery.truncatedBytes)
+                .field("journal_unreadable", recovery.unreadable);
+            emitTo(0, w.str());
+        }
+    }
 }
 
 Service::~Service() { stop(); }
@@ -142,11 +198,13 @@ std::uint64_t Service::registerClient(Emit emit) {
 
 void Service::disconnectClient(std::uint64_t client) {
     if (client == 0) return;
+    std::vector<std::int64_t> droppedSeqs;
     {
         std::lock_guard<std::mutex> lock(mu_);
         // Queued jobs die silently: nobody is listening for their result.
         const auto isOrphan = [client](const Queued& q) { return q.client == client; };
         const auto first = std::remove_if(queue_.begin(), queue_.end(), isOrphan);
+        for (auto it = first; it != queue_.end(); ++it) droppedSeqs.push_back(it->seq);
         orphaned_.fetch_add(queue_.end() - first, std::memory_order_relaxed);
         queue_.erase(first, queue_.end());
         // In-flight jobs are auto-cancelled; their workers wind down and
@@ -155,6 +213,9 @@ void Service::disconnectClient(std::uint64_t client) {
             if (f.client == client) f.cancel->store(true, std::memory_order_release);
         clientLoad_.erase(client);
     }
+    if (journal_)
+        for (const std::int64_t seq : droppedSeqs)
+            (void)journal_->appendDrop(static_cast<std::uint64_t>(seq));
     std::lock_guard<std::mutex> lock(emitMu_);
     clients_.erase(client);
 }
@@ -223,6 +284,25 @@ void Service::recordResult(JobResult r) {
         history_.pop_front();
 }
 
+void Service::noteDurabilityFailure(const robust::Status& st) {
+    durabilityLost_.store(true, std::memory_order_relaxed);
+    // One warning, not one per failed write: after the first, the service
+    // is openly non-durable (degraded_nondurable in status) and keeps
+    // serving — losing the journal must never lose the service.
+    if (durabilityWarned_.exchange(true, std::memory_order_relaxed)) return;
+    JsonWriter w;
+    w.field("event", "warning")
+        .field("what", "durability degraded; continuing non-durable")
+        .field("message", st.message);
+    emitTo(0, w.str());
+}
+
+void Service::persistCache() {
+    if (!cache_ || cachePath_.empty()) return;
+    const robust::Status st = cache_->saveToFile(cachePath_);
+    if (!st.ok()) noteDurabilityFailure(st);
+}
+
 void Service::decrementLoadLocked(std::uint64_t client) {
     const auto it = clientLoad_.find(client);
     if (it == clientLoad_.end()) return;
@@ -234,7 +314,7 @@ bool Service::clientIdle(std::uint64_t client) const {
     return clientLoad_.count(client) == 0;
 }
 
-void Service::admit(JobRequest req, std::uint64_t client) {
+void Service::admit(JobRequest req, std::uint64_t client, std::int64_t forcedSeq) {
     const std::uint64_t estimate = estimateJobBytes(req);
     const std::uint64_t limit = robust::MemoryGovernor::instance().limitBytes();
     // Fingerprinting reads the instance (bounded, raw bytes) — do it
@@ -250,17 +330,30 @@ void Service::admit(JobRequest req, std::uint64_t client) {
 
     JobRequest shedJob;
     std::uint64_t shedClient = 0;
+    std::int64_t shedSeq = -1;
     bool didShed = false;
+    robust::Status journalStatus;
+    // A recovered job bounced at (re-)admission still owes the journal a
+    // Drop: its original Admit record is live, and without closure it
+    // would rise again at every restart. The caller (one response per
+    // journaled job) gets the rejection line instead.
+    const auto dropForced = [&] {
+        if (journal_ && forcedSeq >= 0)
+            (void)journal_->appendDrop(static_cast<std::uint64_t>(forcedSeq));
+    };
     {
         std::unique_lock<std::mutex> lock(mu_);
-        if (req.id.empty()) req.id = "job-" + std::to_string(nextSeq_);
+        const std::int64_t seq = forcedSeq >= 0 ? forcedSeq : nextSeq_;
+        if (req.id.empty()) req.id = "job-" + std::to_string(seq);
         if (draining_ || stopping_) {
             lock.unlock();
+            dropForced();
             emitRejected(req, client, "service is draining; job rejected");
             return;
         }
         if (limit > 0 && estimate > limit) {
             lock.unlock();
+            dropForced();
             emitRejected(req, client,
                          "admission: estimated " + std::to_string(estimate) +
                              " bytes exceeds the " + std::to_string(limit) + "-byte budget",
@@ -270,6 +363,7 @@ void Service::admit(JobRequest req, std::uint64_t client) {
         if (cfg_.perClientInFlight > 0 &&
             clientLoad_[client] >= cfg_.perClientInFlight) {
             lock.unlock();
+            dropForced();
             emitRejected(req, client,
                          "per-client limit (" + std::to_string(cfg_.perClientInFlight) +
                              " jobs queued or running) reached");
@@ -277,6 +371,9 @@ void Service::admit(JobRequest req, std::uint64_t client) {
         }
         // Result cache: a hit answers at admission, bit-identical to the
         // cold run that populated it, without touching queue or workers.
+        // A fresh job has no journal record yet (the cache runs before the
+        // Admit append), but a recovered one does — close it with a Done
+        // so the hit is the job's durable completion.
         if (cacheable && fingerprint != 0) {
             JobOutcome hit;
             if (cache_ && cache_->lookup(fingerprint, hit)) {
@@ -287,6 +384,8 @@ void Service::admit(JobRequest req, std::uint64_t client) {
                 ++completed_;
                 recordResult(r);
                 lock.unlock();
+                if (journal_ && forcedSeq >= 0)
+                    (void)journal_->appendDone(static_cast<std::uint64_t>(forcedSeq), r);
                 emitTo(client, jobResultJson(r));
                 return;
             }
@@ -296,12 +395,14 @@ void Service::admit(JobRequest req, std::uint64_t client) {
             if (queue_[idx].req.priority < req.priority) {
                 shedJob = std::move(queue_[idx].req);
                 shedClient = queue_[idx].client;
+                shedSeq = queue_[idx].seq;
                 decrementLoadLocked(shedClient);
                 queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
                 ++shed_;
                 didShed = true;
             } else {
                 lock.unlock();
+                dropForced();
                 emitRejected(req, client,
                              "queue full (" + std::to_string(cfg_.queueLimit) +
                                  " jobs); no lower-priority job to shed");
@@ -310,25 +411,37 @@ void Service::admit(JobRequest req, std::uint64_t client) {
         }
         Queued q;
         q.req = std::move(req);
-        q.seq = nextSeq_++;
+        q.seq = seq;
+        if (forcedSeq < 0) ++nextSeq_;
         q.enqueuedNs = nowNs();
         q.client = client;
         q.fingerprint = cacheable ? fingerprint : 0;
         q.cancel = std::make_shared<std::atomic<bool>>(false);
+        // Write-ahead: the admission record must be durable before the
+        // job is visible to a dispatcher, or a crash could journal the
+        // job's Start/Done with no Admit. A failed append degrades to
+        // non-durable operation — the job itself is still accepted.
+        if (journal_)
+            journalStatus = journal_->appendAdmit(static_cast<std::uint64_t>(q.seq), q.req);
         queue_.push_back(std::move(q));
         ++clientLoad_[client];
         cv_.notify_one();
     }
-    if (didShed)
+    if (journal_ && !journalStatus.ok()) noteDurabilityFailure(journalStatus);
+    if (didShed) {
+        if (journal_) (void)journal_->appendDrop(static_cast<std::uint64_t>(shedSeq));
         emitRejected(shedJob, shedClient, "shed from a full queue by a higher-priority arrival");
+    }
 }
 
 std::string Service::cancelJob(const std::string& id, std::uint64_t client) {
     JobResult dropped;
+    std::int64_t droppedSeq = -1;
     {
         std::lock_guard<std::mutex> lock(mu_);
         for (std::size_t i = 0; i < queue_.size(); ++i) {
             if (queue_[i].req.id != id || queue_[i].client != client) continue;
+            droppedSeq = queue_[i].seq;
             queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
             decrementLoadLocked(client);
             ++cancelled_;
@@ -348,6 +461,10 @@ std::string Service::cancelJob(const std::string& id, std::uint64_t client) {
             return "inflight";
         }
     }
+    // The cancelled job left the system without a Done: journal the Drop
+    // or it would rise from the dead at the next restart.
+    if (journal_ && droppedSeq >= 0)
+        (void)journal_->appendDrop(static_cast<std::uint64_t>(droppedSeq));
     // The cancelled job's one-and-only response.
     emitTo(client, jobResultJson(dropped));
     return "queued";
@@ -408,8 +525,10 @@ void Service::drain() {
         dropped.swap(queue_);
         for (const Queued& q : dropped) decrementLoadLocked(q.client);
     }
-    for (const Queued& q : dropped)
+    for (const Queued& q : dropped) {
+        if (journal_) (void)journal_->appendDrop(static_cast<std::uint64_t>(q.seq));
         emitRejected(q.req, q.client, "drained before execution; job rejected");
+    }
 }
 
 void Service::stop() {
@@ -422,6 +541,13 @@ void Service::stop() {
     for (std::thread& t : dispatchers_)
         if (t.joinable()) t.join();
     if (pool_) pool_->shutdown();
+    // A clean stop has delivered every response it ever will: compacting
+    // now drops the delivered Done records, so only a *crash* (no stop)
+    // leaves results behind for the at-least-once re-emission path.
+    if (journal_) {
+        const robust::Status st = journal_->compact();
+        if (!st.ok()) noteDurabilityFailure(st);
+    }
     std::lock_guard<std::mutex> lock(mu_);
     stopped_ = true;
 }
@@ -469,7 +595,9 @@ std::string Service::statusJson() {
             .field("misses", cs.misses)
             .field("insertions", cs.insertions)
             .field("evictions", cs.evictions)
-            .field("invalidations", cs.invalidations);
+            .field("invalidations", cs.invalidations)
+            .field("persisted_hits", cs.persistedHits)
+            .field("load_rejected", cs.loadRejected);
     } else {
         cw.field("entries", std::int64_t{0}).field("hits", std::int64_t{0});
     }
@@ -530,6 +658,15 @@ std::string Service::statusJson() {
         .field("mem_limit", static_cast<std::int64_t>(governor.limitBytes()))
         .field("mem_in_use", static_cast<std::int64_t>(governor.inUseBytes()))
         .field("portfolio_fallbacks", portfolioFallbacks_)
+        .field("durable", journal_ != nullptr)
+        .field("journal_replayed", journalReplayed_)
+        .field("replayed_results", replayedResults_)
+        .field("journal_compactions", journal_ ? journal_->compactions() : std::int64_t{0})
+        .field("cache_persisted_hits",
+               cache_ ? cache_->stats().persistedHits : std::int64_t{0})
+        .field("degraded_nondurable",
+               durabilityLost_.load(std::memory_order_relaxed) ||
+                   (journal_ && journal_->degraded()))
         .raw("pool_workers", poolWorkers)
         .raw("cache", cw.str())
         .raw("engines", engines)
@@ -559,6 +696,11 @@ void Service::dispatcherLoop(int slot) {
         inflight_[inflightKey(q.client, q.req.id)] = InFlight{q.cancel, q.client};
         lock.unlock();
 
+        // Best-effort Start marker: purely diagnostic (recovery re-runs
+        // started-but-unfinished jobs the same as never-started ones), so
+        // a failed append here does not even degrade durability.
+        if (journal_) (void)journal_->appendStart(static_cast<std::uint64_t>(q.seq));
+
         const double queueSeconds =
             static_cast<double>(nowNs() - q.enqueuedNs) / 1e9;
         JobResult r;
@@ -574,9 +716,21 @@ void Service::dispatcherLoop(int slot) {
             r = superviseJob(q.req, sc, &drainState_, q.cancel.get(), pool_.get(), slot);
         }
         r.queueSeconds = queueSeconds;
-        if (cache_ && q.fingerprint != 0 && !r.cached && r.outcome.status.ok() &&
-            !r.outcome.deadlineHit)
+        const bool cacheInsert = cache_ && q.fingerprint != 0 && !r.cached &&
+                                 r.outcome.status.ok() && !r.outcome.deadlineHit;
+        if (cacheInsert) {
             cache_->insert(q.fingerprint, r.outcome);
+            persistCache();
+        }
+        // Journal the completion BEFORE emitting: a crash in the gap
+        // re-emits the journaled result at recovery (at-least-once
+        // delivery) instead of re-executing the job (exactly-once
+        // execution — the invariant the soak test's phase 3 counts).
+        if (journal_) {
+            const robust::Status st =
+                journal_->appendDone(static_cast<std::uint64_t>(q.seq), r);
+            if (!st.ok()) noteDurabilityFailure(st);
+        }
         emitTo(q.client, jobResultJson(r));
 
         lock.lock();

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "serve/job.h"
+#include "serve/journal.h"
 #include "serve/result_cache.h"
 #include "serve/supervisor.h"
 #include "serve/worker_pool.h"
@@ -62,6 +63,14 @@ struct ServiceConfig {
     double poolBackoffCapSeconds = 2.0;
     int cacheEntries = 0;              ///< result-cache budget; 0 disables it
     int perClientInFlight = 0;         ///< queued+active cap per client; 0 = unlimited
+    /// Durable serve state (DESIGN.md §16): a directory holding the
+    /// write-ahead job journal (journal.wal) and the persisted result
+    /// cache (cache.bin). Empty disables durability entirely. On
+    /// construction the journal is recovered: completed jobs are
+    /// re-emitted (never re-executed), unfinished admitted jobs are
+    /// re-enqueued with their original priority and seq — the
+    /// deterministic engine makes the replay bit-identical.
+    std::string stateDir;
 };
 
 class Service {
@@ -160,7 +169,15 @@ private:
     static constexpr std::size_t kEngineSampleCap = 256;
 
     void dispatcherLoop(int slot);
-    void admit(JobRequest req, std::uint64_t client);
+    /// `forcedSeq` >= 0 re-admits a journal-recovered job under its
+    /// original seq (so a crash during recovery cannot double-execute
+    /// it); -1 = fresh admission.
+    void admit(JobRequest req, std::uint64_t client, std::int64_t forcedSeq = -1);
+    /// One-time durability degradation warning ({"event":"warning"}) +
+    /// status flag; the service itself keeps serving.
+    void noteDurabilityFailure(const robust::Status& st);
+    /// Persists the result cache to the state dir (after insertions).
+    void persistCache();
     /// Resolves a cancel request; returns "queued" / "inflight" /
     /// "unknown" for the cancel acknowledgement. Client-scoped: a tenant
     /// can only cancel its own jobs.
@@ -188,6 +205,12 @@ private:
     std::vector<std::thread> dispatchers_;
     std::unique_ptr<WorkerPool> pool_;
     std::unique_ptr<ResultCache> cache_;
+    std::unique_ptr<Journal> journal_;
+    std::string cachePath_;            ///< "" = cache persistence disabled
+    std::int64_t journalReplayed_ = 0; ///< jobs re-enqueued at recovery (mu_)
+    std::int64_t replayedResults_ = 0; ///< completed results re-emitted (mu_)
+    std::atomic<bool> durabilityLost_{false}; ///< any durability write failed
+    std::atomic<bool> durabilityWarned_{false};
     DrainState drainState_;
     std::int64_t nextSeq_ = 0;
     std::uint64_t nextClient_ = 1;

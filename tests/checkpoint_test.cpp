@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <new>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -205,6 +207,59 @@ TEST(CheckpointFormat, FileRoundTripAndMissingFile) {
     }
 }
 
+TEST(CheckpointFormat, PartialSectionRoundTripsThroughTheCodec) {
+    CheckpointState st = sampleState();
+    robust::CheckpointPartial p;
+    p.run = 1;
+    p.attempt = 1;
+    p.cyclesDone = 2;
+    p.cut = 23;
+    p.rngState = "123 456 789";
+    p.blob = {9, 8, 7};
+    st.partial.push_back(p);
+    const std::vector<std::uint8_t> bytes = robust::serializeCheckpoint(st);
+    const CheckpointState back = robust::parseCheckpoint(bytes.data(), bytes.size());
+    ASSERT_EQ(back.partial.size(), 1u);
+    EXPECT_EQ(back.partial[0].run, 1);
+    EXPECT_EQ(back.partial[0].attempt, 1);
+    EXPECT_EQ(back.partial[0].cyclesDone, 2);
+    EXPECT_EQ(back.partial[0].cut, 23);
+    EXPECT_EQ(back.partial[0].rngState, p.rngState);
+    EXPECT_EQ(back.partial[0].blob, p.blob);
+}
+
+TEST(CheckpointFormat, PartialCrossFieldLiesAreRejected) {
+    robust::CheckpointPartial p;
+    p.run = 1;
+    p.attempt = 0;
+    p.cyclesDone = 2;
+    p.cut = 23;
+    p.rngState = "123 456";
+    p.blob = {9, 8, 7};
+
+    // A partial for a run that already completed.
+    CheckpointState st = sampleState();
+    p.run = 0;
+    st.partial.push_back(p);
+    auto bytes = robust::serializeCheckpoint(st);
+    EXPECT_THROW((void)robust::parseCheckpoint(bytes.data(), bytes.size()), Error);
+
+    // Two partials claiming the same run.
+    st = sampleState();
+    p.run = 1;
+    st.partial.push_back(p);
+    st.partial.push_back(p);
+    bytes = robust::serializeCheckpoint(st);
+    EXPECT_THROW((void)robust::parseCheckpoint(bytes.data(), bytes.size()), Error);
+
+    // A run index outside [0, runs).
+    st = sampleState();
+    p.run = 99;
+    st.partial.push_back(p);
+    bytes = robust::serializeCheckpoint(st);
+    EXPECT_THROW((void)robust::parseCheckpoint(bytes.data(), bytes.size()), Error);
+}
+
 // ------------------------------------------------------ resume semantics
 
 MultilevelPartitioner defaultML() {
@@ -344,6 +399,104 @@ TEST(CheckpointResume, KillRestartEquivalenceAcrossThreadCounts) {
         expectSameOutcome(oracle, resumed);
         std::remove(path.c_str());
     }
+}
+#endif
+
+// --------------------------------------- V-cycle-granularity checkpoints
+
+// Proves the resume machinery actually *skips* completed V-cycles rather
+// than recomputing them: a run restored from the cycle-2 snapshot fires
+// the observer only for the cycles it still owes, yet lands on the exact
+// partition of the uninterrupted run — at most the in-flight cycle is
+// ever lost.
+TEST(CheckpointPerCycle, ResumeSkipsCompletedCyclesBitIdentically) {
+    const Hypergraph h = testing::mediumCircuit(300, 7);
+    MLConfig cfg;
+    cfg.matchingRatio = 0.5;
+    cfg.vCycles = 4;
+    const MultilevelPartitioner ml(cfg, makeFMFactory({}));
+    const robust::Deadline deadline;
+
+    std::unique_ptr<Partition> snapBest;
+    std::string snapRng;
+    int oracleObserverFires = 0;
+    MLWorkspace ws1;
+    std::mt19937_64 rng(99);
+    const MLCycleObserver capture = [&](int cyclesDone, const Partition& best, Weight,
+                                        const std::mt19937_64& r) {
+        ++oracleObserverFires;
+        if (cyclesDone != 2) return;
+        snapBest = std::make_unique<Partition>(best);
+        std::ostringstream os;
+        os << r;
+        snapRng = os.str();
+    };
+    const MLResult oracle = ml.run(h, rng, deadline, ws1, nullptr, capture);
+    EXPECT_EQ(oracleObserverFires, cfg.vCycles - 1); // never after the last
+    ASSERT_NE(snapBest, nullptr);
+
+    std::mt19937_64 restoredRng;
+    std::istringstream is(snapRng);
+    is >> restoredRng;
+    ASSERT_FALSE(is.fail());
+    MLCycleResume resume;
+    resume.cyclesDone = 2;
+    resume.best = snapBest.get();
+    int resumedObserverFires = 0;
+    MLWorkspace ws2;
+    const MLCycleObserver count = [&](int, const Partition&, Weight,
+                                      const std::mt19937_64&) { ++resumedObserverFires; };
+    const MLResult resumed = ml.run(h, restoredRng, deadline, ws2, &resume, count);
+
+    EXPECT_EQ(resumedObserverFires, cfg.vCycles - 1 - resume.cyclesDone);
+    EXPECT_EQ(resumed.cut, oracle.cut);
+    const auto oa = oracle.partition.assignment();
+    const auto ra = resumed.partition.assignment();
+    EXPECT_TRUE(std::equal(oa.begin(), oa.end(), ra.begin(), ra.end()))
+        << "resumed partition differs from the uninterrupted run";
+}
+
+#if !defined(_WIN32)
+// The §16 acceptance test at the multi-start level: with per-cycle
+// snapshots on, a chain of SIGKILLed processes resumes to a result
+// bit-identical to the never-interrupted oracle.
+TEST(CheckpointPerCycle, KillRestartEquivalenceWithCycleSnapshots) {
+    const Hypergraph h = testing::mediumCircuit(400, 51);
+    MLConfig cfg;
+    cfg.matchingRatio = 0.5;
+    cfg.vCycles = 3;
+    const MultilevelPartitioner ml(cfg, makeFMFactory({}));
+    const std::string path = tempPath("ckpt_cycle_kill.ckpt");
+    std::remove(path.c_str());
+
+    MultiStartConfig ms = checkpointedConfig(path, 6);
+    ms.checkpointEveryCycle = true;
+    MultiStartConfig plain = ms;
+    plain.checkpointPath.clear();
+    const MultiStartOutcome oracle = parallelMultiStart(h, ml, plain);
+
+    for (const unsigned delayUs : {0u, 5000u, 20000u}) {
+        const pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            MultiStartConfig child = ms;
+            child.resume = true;
+            try {
+                (void)parallelMultiStart(h, ml, child);
+            } catch (...) {
+            }
+            _exit(0);
+        }
+        ::usleep(delayUs);
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+    }
+
+    MultiStartConfig resumeCfg = ms;
+    resumeCfg.resume = true;
+    const MultiStartOutcome resumed = parallelMultiStart(h, ml, resumeCfg);
+    expectSameOutcome(oracle, resumed);
+    std::remove(path.c_str());
 }
 #endif
 

@@ -5,6 +5,9 @@
 // declared counts). Runs clean under ASan/UBSan.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -13,6 +16,8 @@
 #include "hypergraph/netd_format.h"
 #include "robust/checkpoint.h"
 #include "robust/status.h"
+#include "serve/journal.h"
+#include "serve/result_cache.h"
 
 namespace mlpart {
 namespace {
@@ -127,6 +132,118 @@ TEST(CorruptCorpus, ErrorsRemainCatchableAsRuntimeError) {
     EXPECT_THROW((void)readHgrFile(corruptPath("empty.hgr")), std::runtime_error);
     EXPECT_THROW((void)readNetDFile(corruptPath("bad_flag.netD")), std::runtime_error);
     EXPECT_THROW((void)readBenchFile(corruptPath("undriven.bench")), std::runtime_error);
+}
+
+// Damaged write-ahead journals (DESIGN.md §16). Unlike the readers
+// above, Journal::recover must NOT throw: the contract is
+// truncate-and-continue — drop the damaged tail, keep every record in
+// front of it, and come back up serving. Each fixture holds one good
+// Admit+Start for job "alpha" followed by one damage class; the
+// exception is journal_bad_magic.wal, whose very first record is rotten
+// so recovery keeps nothing. recover() truncates the file in place, so
+// every fixture is copied into a scratch state dir first.
+struct JournalCase {
+    const char* file;
+    int expectedPending; ///< jobs surviving in front of the damage
+};
+
+const JournalCase kJournalCases[] = {
+    {"journal_bad_magic.wal", 0},     // foreign file / rotten first frame
+    {"journal_bad_type.wal", 1},      // unknown record type 9
+    {"journal_torn_header.wal", 1},   // tail torn inside the 13-byte frame
+    {"journal_torn_payload.wal", 1},  // frame promises bytes the file lacks
+    {"journal_crc_mismatch.wal", 1},  // payload flipped after CRC
+    {"journal_huge_len.wal", 1},      // declared length over the 2^28 cap
+    {"journal_orphan_done.wal", 1},   // Done for a never-admitted seq
+    {"journal_garbage_admit.wal", 1}, // frame-valid, undecodable request
+};
+
+std::string journalScratchDir() {
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "mlpart_corrupt_journal";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+TEST(CorruptCorpus, EveryJournalFixtureRecoversByTruncation) {
+    for (const JournalCase& c : kJournalCases) {
+        SCOPED_TRACE(c.file);
+        const std::string dir = journalScratchDir();
+        const std::string wal = dir + "/journal.wal";
+        std::filesystem::copy_file(corruptPath(c.file), wal);
+        const auto originalSize =
+            static_cast<std::int64_t>(std::filesystem::file_size(wal));
+
+        serve::Journal::Recovery rec;
+        {
+            serve::Journal journal(dir);
+            ASSERT_NO_THROW(rec = journal.recover());
+        }
+        EXPECT_FALSE(rec.unreadable);
+        EXPECT_GT(rec.truncatedBytes, 0);
+        EXPECT_EQ(static_cast<int>(rec.pending.size()), c.expectedPending);
+        EXPECT_TRUE(rec.completed.empty());
+        if (c.expectedPending == 1) {
+            EXPECT_EQ(rec.pending[0].req.id, "alpha");
+            EXPECT_TRUE(rec.pending[0].started);
+        }
+        // The damage is physically gone from disk...
+        const auto survivingSize =
+            static_cast<std::int64_t>(std::filesystem::file_size(wal));
+        EXPECT_EQ(survivingSize + rec.truncatedBytes, originalSize);
+        // ...so a second recovery sees a clean journal: same plan, no
+        // further truncation. This is what makes a crash *during*
+        // recovery safe to retry.
+        serve::Journal again(dir);
+        const serve::Journal::Recovery rec2 = again.recover();
+        EXPECT_EQ(rec2.truncatedBytes, 0);
+        EXPECT_EQ(rec2.pending.size(), rec.pending.size());
+    }
+}
+
+// Damaged persisted result caches. loadFromFile never throws: header
+// damage drops the whole file (no entry boundary can be trusted past
+// it), per-entry damage drops that entry, and CRC-valid entries whose
+// outcomes lie (failed status, negative cut, deadline-hit) are refused
+// so a rotten snapshot can never be served as a cache hit.
+struct CacheCase {
+    const char* file;
+    int expectedLoaded;
+    std::int64_t expectedRejected;
+};
+
+const CacheCase kCacheCases[] = {
+    {"cache_bad_magic.bin", 0, 0},       // foreign file
+    {"cache_bad_version.bin", 0, 0},     // format from the future
+    {"cache_header_crc.bin", 0, 0},      // header bit rot
+    {"cache_truncated_entry.bin", 1, 0}, // torn tail: keep the front
+    {"cache_entry_crc.bin", 1, 1},       // one entry bit-rotten
+    {"cache_len_lie.bin", 1, 0},         // absurd declared entry length
+    {"cache_lying_entry.bin", 1, 3},     // CRC-valid but implausible
+};
+
+TEST(CorruptCorpus, EveryCacheFixtureLoadsOnlyTrustworthyEntries) {
+    for (const CacheCase& c : kCacheCases) {
+        SCOPED_TRACE(c.file);
+        serve::ResultCache cache(16);
+        int loaded = -1;
+        ASSERT_NO_THROW(loaded = cache.loadFromFile(corruptPath(c.file)));
+        EXPECT_EQ(loaded, c.expectedLoaded);
+        EXPECT_EQ(cache.stats().loadRejected, c.expectedRejected);
+        // Whatever survived must actually be servable.
+        serve::JobOutcome out;
+        if (c.expectedLoaded >= 1) {
+            EXPECT_TRUE(cache.lookup(0x1111, out));
+            EXPECT_TRUE(out.status.ok());
+            EXPECT_EQ(out.cut, 3);
+        }
+        // The damaged / lying entries must never surface: in every
+        // fixture the 0x2222+ fingerprints carry the corruption.
+        EXPECT_FALSE(cache.lookup(0x2222, out));
+        EXPECT_FALSE(cache.lookup(0x3333, out));
+        EXPECT_FALSE(cache.lookup(0x4444, out));
+    }
 }
 
 // The size-hint cap must not reject legitimate streams where no hint is

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Regenerates the journal (journal_*.wal) and persisted-cache
+(cache_*.bin) corrupt-corpus fixtures pinned by corrupt_corpus_test.
+
+The byte layouts mirror src/serve/journal.cpp and
+src/serve/result_cache.cpp; zlib.crc32 matches the repo's IEEE
+seed-0 crc32. Rerun from this directory after a format change:
+
+    python3 gen_durable_fixtures.py
+"""
+import struct
+import zlib
+
+MAGIC_J = b"MLJR"
+MAGIC_C = b"MLRC"
+
+
+def crc(b: bytes) -> int:
+    return zlib.crc32(b) & 0xFFFFFFFF
+
+
+def rec(rtype: int, payload: bytes) -> bytes:
+    return (MAGIC_J + bytes([rtype]) + struct.pack("<I", len(payload))
+            + struct.pack("<I", crc(payload)) + payload)
+
+
+def wstr(s: str) -> bytes:
+    raw = s.encode()
+    return struct.pack("<I", len(raw)) + raw
+
+
+def request(job_id: str) -> bytes:
+    """encodeJobRequest(req, attempt=0), wire version 1."""
+    b = struct.pack("<I", 1)                  # kRequestVersion
+    b += struct.pack("<i", 0)                 # attempt
+    b += wstr(job_id)                         # id
+    b += wstr("")                             # instance
+    b += wstr("2 4\n1 2\n3 4\n")              # inlineHgr
+    b += struct.pack("<i", 2)                 # k
+    b += struct.pack("<d", 0.1)               # tolerance
+    b += struct.pack("<d", 0.5)               # matchingRatio
+    b += wstr("clip")                         # engine
+    b += struct.pack("<i", 2)                 # runs
+    b += struct.pack("<i", 1)                 # threads
+    b += struct.pack("<i", 0)                 # vcycleThreads
+    b += struct.pack("<Q", 7)                 # seed
+    b += struct.pack("<d", 0.0)               # deadlineSeconds
+    b += struct.pack("<i", 0)                 # priority
+    b += wstr("")                             # checkpointPath
+    b += bytes([0])                           # resume
+    b += wstr("")                             # outPath
+    b += wstr("")                             # faultSpec
+    b += struct.pack("<i", 1 << 30)           # faultAttempts
+    return b
+
+
+def admit(seq: int, job_id: str) -> bytes:
+    return rec(1, struct.pack("<Q", seq) + request(job_id))
+
+
+def start(seq: int) -> bytes:
+    return rec(2, struct.pack("<Q", seq))
+
+
+def outcome(code: int = 0, cut: int = 3, deadline_hit: int = 0) -> bytes:
+    """encodeJobOutcome, wire version 2."""
+    b = struct.pack("<I", 2)                  # kOutcomeVersion
+    b += bytes([code])                        # status code
+    b += wstr("" if code == 0 else "injected")
+    b += struct.pack("<q", cut)               # cut
+    b += struct.pack("<i", 2)                 # runsRequested
+    b += struct.pack("<i", 2)                 # runsCompleted
+    b += struct.pack("<i", 0)                 # runsFailed
+    b += struct.pack("<i", 0)                 # runsRetried
+    b += struct.pack("<d", 0.01)              # seconds
+    b += struct.pack("<I", 0xABCD1234)        # partitionCrc
+    b += bytes([deadline_hit])                # deadlineHit
+    b += bytes([0])                           # checkpointSaved
+    b += bytes([0])                           # hasReport
+    return b
+
+
+def done(seq: int, job_id: str, oc: bytes) -> bytes:
+    p = struct.pack("<Q", seq)
+    p += wstr(job_id)
+    p += struct.pack("<i", 1)                 # attempts
+    p += struct.pack("<i", 0)                 # crashes
+    p += bytes([0])                           # watchdogKilled
+    p += bytes([0])                           # retried
+    p += bytes([0])                           # cached
+    p += struct.pack("<d", 0.0)               # queueSeconds
+    p += struct.pack("<Q", len(oc))           # outcomeLen
+    p += oc
+    return rec(3, p)
+
+
+def cache_file(entries) -> bytes:
+    head = MAGIC_C + struct.pack("<I", 1) + struct.pack("<I", len(entries))
+    out = head + struct.pack("<I", crc(head))
+    for fp, payload in entries:
+        out += struct.pack("<Q", fp) + struct.pack("<Q", len(payload))
+        out += struct.pack("<I", crc(payload)) + payload
+    return out
+
+
+def write(name: str, data: bytes) -> None:
+    with open(name, "wb") as f:
+        f.write(data)
+    print(f"{name}: {len(data)} bytes")
+
+
+# ---- journal fixtures -------------------------------------------------
+good = admit(1, "alpha") + start(1)
+
+# Foreign file / bit-rotten first magic.
+write("journal_bad_magic.wal", b"XXXX" + good[4:])
+# Unknown record type (9) after one good record.
+write("journal_bad_type.wal", good + b"MLJR" + bytes([9])
+      + struct.pack("<I", 8) + struct.pack("<I", crc(b"\0" * 8)) + b"\0" * 8)
+# Tail torn inside the 13-byte frame header.
+write("journal_torn_header.wal", good + MAGIC_J + bytes([1]) + b"\x28\x00")
+# Frame header promises more payload than the file holds.
+write("journal_torn_payload.wal", good + MAGIC_J + bytes([2])
+      + struct.pack("<I", 8) + struct.pack("<I", crc(struct.pack("<Q", 2)))
+      + struct.pack("<Q", 2)[:3])
+# Payload flipped after the CRC was computed.
+flipped = bytearray(admit(2, "beta"))
+flipped[-1] ^= 0xFF
+write("journal_crc_mismatch.wal", good + bytes(flipped))
+# Declared length over the 2^28 sanity cap — must not allocate for it.
+write("journal_huge_len.wal", good + MAGIC_J + bytes([1])
+      + struct.pack("<I", 1 << 29) + struct.pack("<I", 0) + b"\0" * 16)
+# Done for a seq that was never admitted.
+write("journal_orphan_done.wal", good + done(99, "ghost", outcome()))
+# Frame-valid Admit whose payload is not a decodable request.
+garbage = struct.pack("<Q", 2) + b"\x07garbage-not-a-request"
+write("journal_garbage_admit.wal", good + rec(1, garbage))
+
+# ---- persisted result-cache fixtures ----------------------------------
+oc = outcome()
+base = cache_file([(0x1111, oc), (0x2222, oc)])
+
+write("cache_bad_magic.bin", b"XXXX" + base[4:])
+write("cache_bad_version.bin",
+      cache_file([])[:4] + struct.pack("<I", 9) + base[8:])
+hdr_rot = bytearray(base)
+hdr_rot[12] ^= 0xFF  # header CRC byte
+write("cache_header_crc.bin", bytes(hdr_rot))
+# Second entry torn mid-payload.
+write("cache_truncated_entry.bin", base[:-5])
+# Second entry's payload flipped after its CRC was computed.
+ent_rot = bytearray(base)
+ent_rot[-1] ^= 0xFF
+write("cache_entry_crc.bin", bytes(ent_rot))
+# Entry header promises an absurd payload length.
+lie = cache_file([(0x1111, oc)])
+lie += struct.pack("<Q", 0x2222) + struct.pack("<Q", 1 << 40)
+lie += struct.pack("<I", 0) + b"\0" * 8
+write("cache_len_lie.bin", lie)
+# CRC-valid entries whose outcomes lie: a failed status, a negative
+# cut, a deadline-hit result — none may be served as a cache hit.
+write("cache_lying_entry.bin", cache_file([
+    (0x1111, oc),
+    (0x2222, outcome(code=6)),            # kInjectedFault
+    (0x3333, outcome(cut=-4)),
+    (0x4444, outcome(deadline_hit=1)),
+]))

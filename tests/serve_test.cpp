@@ -18,8 +18,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -33,6 +35,7 @@
 #include "robust/wire.h"
 #include "serve/front_end.h"
 #include "serve/job.h"
+#include "serve/journal.h"
 #include "serve/json.h"
 #include "serve/result_cache.h"
 #include "serve/service.h"
@@ -1156,6 +1159,289 @@ TEST(ServeFrontEnd, AbruptDisconnectCancelsTheClientsJobs) {
     const std::string status = recvLine(alive);
     EXPECT_GE(statusInt(status, "orphaned") + statusInt(status, "cancelled"), 1) << status;
     close(alive);
+}
+
+// ------------------------------------------ durable serve state (§16)
+
+// TSan terminates any forked child that starts a thread (die_after_fork;
+// =0 is unsafe with concurrent forks), so every worker child dies
+// instantly under it — tests below that need an OK result from a live
+// worker skip, same policy as the sanitizers.yml serve filter. The
+// kill/restart bit-identity test stays: its oracle runs under the same
+// regime, so the consistency contract is still exercised.
+#if defined(__SANITIZE_THREAD__)
+#define MLPART_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MLPART_TSAN_ACTIVE 1
+#endif
+#endif
+#ifdef MLPART_TSAN_ACTIVE
+#define MLPART_SKIP_NEEDS_LIVE_WORKER() \
+    GTEST_SKIP() << "needs an OK result from a live forked worker; " \
+                    "TSan kills forked children that start threads"
+#else
+#define MLPART_SKIP_NEEDS_LIVE_WORKER() (void)0
+#endif
+
+struct InjectorGuard {
+    ~InjectorGuard() { robust::FaultInjector::instance().disarm(); }
+};
+
+std::string durableDir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "serve_durable_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/// id -> "status/cut=../crc=.." for every result line in `cap`.
+std::map<std::string, std::string> resultMapOf(Capture& cap,
+                                               const std::vector<std::string>& ids) {
+    std::map<std::string, std::string> out;
+    for (const std::string& id : ids) {
+        const JsonObject o = parseJsonObject(cap.resultFor(id));
+        out[id] = getString(o, "status", "?") + "/cut=" +
+                  std::to_string(getInt(o, "cut", -2)) + "/crc=" +
+                  std::to_string(getInt(o, "part_crc", -2));
+    }
+    return out;
+}
+
+// The §16 acceptance test: a server SIGKILLed mid-queue and restarted on
+// the same --state-dir answers every journaled job exactly once, with
+// results bit-identical to a server that was never interrupted — for 1,
+// 2, and 8 workers.
+TEST(ServeDurable, KillRestartReplaysEveryJournaledJobBitIdentically) {
+    const std::vector<std::string> ids = {"d-1", "d-2", "d-3", "d-4", "d-5"};
+    std::vector<std::string> jobs;
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        jobs.push_back(tinyJob(ids[i], "\"seed\":" + std::to_string(21 + i)));
+
+    // Oracle: the same batch on an uninterrupted, non-durable server.
+    std::map<std::string, std::string> oracle;
+    {
+        Capture cap;
+        ServiceConfig cfg;
+        cfg.workers = 1;
+        {
+            Service service(cfg, cap.sink());
+            for (const std::string& j : jobs) service.handleLine(j);
+            service.stop();
+        }
+        oracle = resultMapOf(cap, ids);
+    }
+
+    for (const int workers : {1, 2, 8}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        const std::string dir = durableDir("kill_w" + std::to_string(workers));
+
+        // The doomed server: admits the whole batch (every job journaled),
+        // completes at least two (their Done records land), then is
+        // SIGKILLed — no destructors, no flush, exactly like a crash.
+        int pipefd[2];
+        ASSERT_EQ(pipe(pipefd), 0);
+        const pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            close(pipefd[0]);
+            std::atomic<int> results{0};
+            ServiceConfig cfg;
+            cfg.workers = workers;
+            cfg.stateDir = dir;
+            auto* service = new Service(cfg, [&](const std::string& line) {
+                if (line.find("\"event\":\"result\"") != std::string::npos)
+                    results.fetch_add(1);
+            });
+            for (const std::string& j : jobs) service->handleLine(j);
+            while (results.load() < 2)
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            const char ready = 'r';
+            (void)write(pipefd[1], &ready, 1);
+            std::this_thread::sleep_for(std::chrono::seconds(60)); // await SIGKILL
+            _exit(0);
+        }
+        close(pipefd[1]);
+        char ch = 0;
+        ASSERT_EQ(read(pipefd[0], &ch, 1), 1);
+        close(pipefd[0]);
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+
+        // The restarted server: recovery replays completed jobs from the
+        // journal and re-runs the rest deterministically.
+        Capture cap;
+        ServiceConfig cfg;
+        cfg.workers = workers;
+        cfg.stateDir = dir;
+        std::string status;
+        {
+            Service service(cfg, cap.sink());
+            for (const std::string& id : ids)
+                ASSERT_TRUE(cap.waitFor("\"id\":\"" + id + "\"")) << id;
+            status = service.statusJson();
+            service.stop();
+        }
+        EXPECT_TRUE(cap.waitFor("\"event\":\"recovered\""));
+        EXPECT_GE(statusInt(status, "journal_replayed") +
+                      statusInt(status, "replayed_results"),
+                  static_cast<std::int64_t>(ids.size()));
+        for (const std::string& id : ids)
+            EXPECT_EQ(cap.countFor(id), 1)
+                << "restart owes exactly one response per journaled job: " << id;
+        EXPECT_EQ(resultMapOf(cap, ids), oracle);
+
+        // A second restart finds a compacted journal with nothing owed:
+        // no job may run or be answered twice across restarts.
+        Capture cap2;
+        {
+            Service service(cfg, cap2.sink());
+            service.stop();
+        }
+        for (const std::string& l : cap2.snapshot())
+            EXPECT_EQ(l.find("\"event\":\"result\""), std::string::npos)
+                << "a drained journal replayed something: " << l;
+    }
+}
+
+TEST(ServeDurable, ReplayedResultsCarryTheReplayedMarkerAndSkipExecution) {
+    MLPART_SKIP_NEEDS_LIVE_WORKER();
+    const std::string dir = durableDir("marker");
+    std::filesystem::create_directories(dir);
+    // Forge the crash aftermath directly: one Done job, one pending job.
+    {
+        Journal j(dir);
+        (void)j.recover();
+        JobRequest done = parseJobRequest(tinyJob("was-done", "\"seed\":31"));
+        JobRequest open = parseJobRequest(tinyJob("still-open", "\"seed\":32"));
+        ASSERT_TRUE(j.appendAdmit(1, done).ok());
+        ASSERT_TRUE(j.appendStart(1).ok());
+        JobResult r;
+        r.id = "was-done";
+        r.outcome.status = robust::Status::okStatus();
+        r.outcome.cut = 777; // a value no real run of this instance produces
+        r.outcome.partitionCrc = 0x12345678u;
+        r.attempts = 1;
+        ASSERT_TRUE(j.appendDone(1, r).ok());
+        ASSERT_TRUE(j.appendAdmit(2, open).ok());
+    }
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.stateDir = dir;
+    {
+        Service service(cfg, cap.sink());
+        ASSERT_TRUE(cap.waitFor("\"id\":\"still-open\""));
+        service.stop();
+    }
+    // The journaled result is re-emitted verbatim — cut 777 proves no
+    // worker ran — and flagged as a replay.
+    const JsonObject replayed = parseJsonObject(cap.resultFor("was-done"));
+    EXPECT_EQ(getInt(replayed, "cut", -1), 777);
+    EXPECT_TRUE(getBool(replayed, "replayed", false));
+    // The pending job really executed and is not a replay.
+    const JsonObject fresh = parseJsonObject(cap.resultFor("still-open"));
+    EXPECT_EQ(getString(fresh, "status", ""), "OK");
+    EXPECT_FALSE(getBool(fresh, "replayed", true));
+}
+
+TEST(ServeDurable, PersistedCacheHitsBitIdenticallyAcrossRestart) {
+    MLPART_SKIP_NEEDS_LIVE_WORKER();
+    const std::string dir = durableDir("cache");
+    const std::string job = tinyJob("hot", "\"seed\":41");
+    std::string coldLine;
+    {
+        Capture cap;
+        ServiceConfig cfg;
+        cfg.workers = 1;
+        cfg.cacheEntries = 8;
+        cfg.stateDir = dir;
+        {
+            Service service(cfg, cap.sink());
+            service.handleLine(job);
+            ASSERT_TRUE(cap.waitFor("\"id\":\"hot\""));
+            service.stop();
+        }
+        coldLine = cap.resultFor("hot");
+        EXPECT_TRUE(std::filesystem::exists(dir + "/cache.bin"))
+            << "insertions must persist the cache snapshot";
+    }
+    // A brand-new process answers the repeat from the *loaded* cache:
+    // cached, counted as a persisted hit, same cut and partition CRC.
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.cacheEntries = 8;
+    cfg.stateDir = dir;
+    std::string status;
+    {
+        Service service(cfg, cap.sink());
+        service.handleLine(job);
+        ASSERT_TRUE(cap.waitFor("\"id\":\"hot\""));
+        status = service.statusJson();
+        service.stop();
+    }
+    const JsonObject cold = parseJsonObject(coldLine);
+    const JsonObject warm = parseJsonObject(cap.resultFor("hot"));
+    EXPECT_TRUE(getBool(warm, "cached", false));
+    EXPECT_EQ(getInt(warm, "cut", -1), getInt(cold, "cut", -2));
+    EXPECT_EQ(getInt(warm, "part_crc", -1), getInt(cold, "part_crc", -2));
+    EXPECT_GE(statusInt(status, "cache_persisted_hits"), 1) << status;
+}
+
+TEST(ServeDurable, JournalWriteFailureDegradesToNonDurableAndKeepsServing) {
+    MLPART_SKIP_NEEDS_LIVE_WORKER();
+    const std::string dir = durableDir("degraded");
+    InjectorGuard guard;
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.stateDir = dir;
+    Service service(cfg, cap.sink());
+
+    robust::FaultPlan plan;
+    plan.site = "fs.*";
+    plan.probability = 1.0;
+    robust::FaultInjector::instance().arm(plan);
+    service.handleLine(tinyJob("under-fault", "\"seed\":51"));
+    ASSERT_TRUE(cap.waitFor("\"id\":\"under-fault\""));
+    robust::FaultInjector::instance().disarm();
+
+    // The job was answered normally despite every durability write
+    // failing; the degradation is warned once and flagged in status.
+    EXPECT_NE(cap.resultFor("under-fault").find("\"status\":\"OK\""), std::string::npos);
+    EXPECT_TRUE(cap.waitFor("durability degraded"));
+    const std::string status = service.statusJson();
+    EXPECT_NE(status.find("\"degraded_nondurable\":true"), std::string::npos) << status;
+    service.stop();
+}
+
+TEST(ServeDurable, UnreadableJournalStartsAnEmptyServiceNotACrash) {
+    MLPART_SKIP_NEEDS_LIVE_WORKER();
+    const std::string dir = durableDir("eio");
+    std::filesystem::create_directories(dir);
+    {
+        Journal j(dir);
+        (void)j.recover();
+        ASSERT_TRUE(j.appendAdmit(1, parseJobRequest(tinyJob("lost", ""))).ok());
+    }
+    InjectorGuard guard;
+    robust::FaultPlan plan;
+    plan.site = "fs.read.eio";
+    plan.fireAtHit = 1; // the journal read; the cache is not configured
+    robust::FaultInjector::instance().arm(plan);
+    Capture cap;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.stateDir = dir;
+    Service service(cfg, cap.sink());
+    robust::FaultInjector::instance().disarm();
+    // The lost job cannot be recovered (the media ate it) — but the
+    // service lives, reports the unreadable journal, and serves new work.
+    EXPECT_TRUE(cap.waitFor("\"journal_unreadable\":true"));
+    service.handleLine(tinyJob("after-eio", "\"seed\":61"));
+    ASSERT_TRUE(cap.waitFor("\"id\":\"after-eio\""));
+    EXPECT_NE(cap.resultFor("after-eio").find("\"status\":\"OK\""), std::string::npos);
+    service.stop();
 }
 
 } // namespace

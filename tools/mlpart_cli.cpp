@@ -79,8 +79,9 @@ void setPhase(const std::string& phase, const std::string& input = "") {
         "            [--engine-budget SEC]   (portfolio engines: per-job budget,\n"
         "             split across lanes; auto races the whole portfolio)\n"
         "            [--runs N] [--threads T] [--vcycle-threads T] [--seed S]\n"
-        "            [--timeout SEC]\n"
-        "            [--checkpoint FILE [--checkpoint-every N] [--resume]]\n"
+        "            [--cycles N] [--timeout SEC]\n"
+        "            [--checkpoint FILE [--checkpoint-every N]\n"
+        "             [--checkpoint-every-cycle] [--resume]]\n"
         "            [--mem-limit BYTES[k|m|g]] [--log-json] [-o OUT.parts]\n"
         "  spectral  <netlist> [-r TOL] [-o OUT.parts]\n"
         "  place     <netlist> [--levels L] [-o OUT.pl]\n"
@@ -157,7 +158,8 @@ Args parseArgs(int argc, char** argv, int start) {
     for (int i = start; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.size() >= 2 && arg[0] == '-' && !std::isdigit(static_cast<unsigned char>(arg[1]))) {
-            if (arg == "--resume" || arg == "--log-json") { // valueless flags
+            if (arg == "--resume" || arg == "--log-json" ||
+                arg == "--checkpoint-every-cycle") { // valueless flags
                 a.flags[arg] = "1";
                 continue;
             }
@@ -330,6 +332,8 @@ int cmdPartition(const Args& a) {
     // for every count >= 1 (0 = the legacy serial algorithms).
     cfg.vcycleThreads = static_cast<int>(a.getI("--vcycle-threads", 0));
     if (cfg.vcycleThreads < 0) usage("partition: --vcycle-threads must be >= 0");
+    cfg.vCycles = static_cast<int>(a.getI("--cycles", 1));
+    if (cfg.vCycles < 1) usage("partition: --cycles must be >= 1");
 
     RefinerFactory factory;
     if (k == 2) {
@@ -360,8 +364,11 @@ int cmdPartition(const Args& a) {
     ms.checkpointPath = a.get("--checkpoint", "");
     ms.checkpointEvery = static_cast<int>(a.getI("--checkpoint-every", 1));
     ms.resume = a.flags.count("--resume") > 0;
+    ms.checkpointEveryCycle = a.flags.count("--checkpoint-every-cycle") > 0;
     if (ms.resume && ms.checkpointPath.empty())
         usage("partition: --resume requires --checkpoint FILE");
+    if (ms.checkpointEveryCycle && ms.checkpointPath.empty())
+        usage("partition: --checkpoint-every-cycle requires --checkpoint FILE");
     if (ms.checkpointEvery < 1) usage("partition: --checkpoint-every must be >= 1");
     if (!ms.checkpointPath.empty()) {
         // The library fingerprints the instance + MLConfig + protocol; the

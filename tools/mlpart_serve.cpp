@@ -65,6 +65,9 @@ extern "C" void onSignal(int) { g_drain.store(true, std::memory_order_relaxed); 
         "  --pool             pre-forked worker pool instead of fork-per-job\n"
         "  --cache N          result cache of N entries; repeats answer \"cached\":true\n"
         "  --per-client N     max queued+running jobs per client; 0 = unlimited\n"
+        "  --state-dir DIR    durable state: write-ahead job journal + persisted\n"
+        "                     result cache; a restart on the same DIR re-emits\n"
+        "                     completed jobs and re-runs unfinished ones (§16)\n"
         "  --max-line BYTES   request-line cap per connection (default 1m)\n"
         "requests: one JSON object per line; see DESIGN.md §11/§13 for fields\n"
         "exit: 0 after a clean drain (SIGTERM / {\"op\":\"drain\"} / EOF)\n";
@@ -166,6 +169,7 @@ int main(int argc, char** argv) {
         else if (arg == "--pool") cfg.usePool = true;
         else if (arg == "--cache") cfg.cacheEntries = std::stoi(value());
         else if (arg == "--per-client") cfg.perClientInFlight = std::stoi(value());
+        else if (arg == "--state-dir") cfg.stateDir = value();
         else if (arg == "--max-line")
             fecfg.maxLineBytes = static_cast<std::size_t>(parseByteSize("--max-line", value()));
         else if (arg == "--help" || arg == "-h") usage();
